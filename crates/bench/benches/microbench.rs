@@ -1,0 +1,251 @@
+//! Criterion micro-benchmarks: the "traditional micro-benchmarking
+//! approach" the paper's system-level evaluation complements (§1, §5).
+//!
+//! Two groups:
+//!
+//! - `primitives/*` — the substrates (bigint modexp, Ed25519 scalar
+//!   multiplication, BN254 pairing, SHA-256, ChaCha20-Poly1305);
+//! - `<scheme>/*` — per-scheme share create / verify / combine, the
+//!   numbers that feed the simulator's cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00, ThresholdParams};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xbe7c)
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+
+    // Arbitrary-precision modular exponentiation (RSA-shaped, 2048-bit).
+    {
+        use theta_math::{BigUint, Montgomery};
+        let mut r = rng();
+        let m = {
+            let mut v = BigUint::random_bits(&mut r, 2048);
+            if v.is_even() {
+                v = &v + &BigUint::one();
+            }
+            v
+        };
+        let base = BigUint::random_below(&mut r, &m);
+        let exp = BigUint::random_bits(&mut r, 2048);
+        let ctx = Montgomery::new(m);
+        group.bench_function("modexp_2048", |b| b.iter(|| ctx.pow(&base, &exp)));
+    }
+
+    // Ed25519 base-point multiplication.
+    {
+        use theta_math::ed25519::{Point, Scalar};
+        let mut r = rng();
+        let s = Scalar::random(&mut r);
+        group.bench_function("ed25519_mul_base", |b| b.iter(|| Point::mul_base(&s)));
+    }
+
+    // BN254 G1 multiplication and full pairing.
+    {
+        use theta_math::bn254::{pairing, Fr, G1, G2};
+        let mut r = rng();
+        let s = Fr::random(&mut r);
+        group.bench_function("bn254_g1_mul", |b| b.iter(|| G1::mul_generator(&s)));
+        let p = G1::mul_generator(&s);
+        let q = G2::generator();
+        group.sample_size(10);
+        group.bench_function("bn254_pairing", |b| b.iter(|| pairing(&p, &q)));
+    }
+
+    // Symmetric primitives.
+    {
+        use theta_primitives::{aead, Sha256};
+        let data = vec![0xa5u8; 4096];
+        group.bench_function("sha256_4k", |b| b.iter(|| Sha256::digest(&data)));
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        let sealed = aead::seal(&key, &nonce, b"", &data);
+        group.bench_function("chacha20poly1305_open_4k", |b| {
+            b.iter(|| aead::open(&key, &nonce, b"", &sealed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sg02(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sg02");
+    group.sample_size(20);
+    let mut r = rng();
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let (pk, keys) = sg02::keygen(params, &mut r);
+    let msg = vec![0x42u8; 256];
+    group.bench_function("encrypt_256B", |b| {
+        b.iter(|| sg02::encrypt(&pk, b"bench", &msg, &mut r))
+    });
+    let ct = sg02::encrypt(&pk, b"bench", &msg, &mut r);
+    group.bench_function("create_share", |b| {
+        b.iter(|| sg02::create_decryption_share(&keys[0], &ct, &mut r).unwrap())
+    });
+    let share = sg02::create_decryption_share(&keys[1], &ct, &mut r).unwrap();
+    group.bench_function("verify_share", |b| {
+        b.iter(|| assert!(sg02::verify_decryption_share(&pk, &ct, &share)))
+    });
+    let shares: Vec<_> = keys[..3]
+        .iter()
+        .map(|k| sg02::create_decryption_share(k, &ct, &mut r).unwrap())
+        .collect();
+    group.bench_function("combine_t3", |b| {
+        b.iter(|| sg02::combine(&pk, &ct, &shares).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bz03(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bz03");
+    group.sample_size(10);
+    let mut r = rng();
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let (pk, keys) = bz03::keygen(params, &mut r);
+    let msg = vec![0x42u8; 256];
+    let ct = bz03::encrypt(&pk, b"bench", &msg, &mut r);
+    group.bench_function("create_share", |b| {
+        b.iter(|| bz03::create_decryption_share(&keys[0], &ct).unwrap())
+    });
+    let share = bz03::create_decryption_share(&keys[1], &ct).unwrap();
+    group.bench_function("verify_share", |b| {
+        b.iter(|| assert!(bz03::verify_decryption_share(&pk, &ct, &share)))
+    });
+    let shares: Vec<_> = keys[..3]
+        .iter()
+        .map(|k| bz03::create_decryption_share(k, &ct).unwrap())
+        .collect();
+    group.bench_function("combine_t3", |b| {
+        b.iter(|| bz03::combine(&pk, &ct, &shares).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sh00(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sh00_512");
+    group.sample_size(10);
+    let mut r = rng();
+    let params = ThresholdParams::new(2, 7).unwrap();
+    // 512-bit modulus keeps the benchmark runnable; the paper's Table 3
+    // uses 2048 (see the cubic extrapolation in theta-sim's cost model).
+    let (pk, keys) = sh00::keygen(params, 512, &mut r).unwrap();
+    let msg = b"bench message".to_vec();
+    group.bench_function("create_share", |b| {
+        b.iter(|| sh00::sign_share(&keys[0], &msg, &mut r))
+    });
+    let share = sh00::sign_share(&keys[1], &msg, &mut r);
+    group.bench_function("verify_share", |b| {
+        b.iter(|| assert!(sh00::verify_share(&pk, &msg, &share)))
+    });
+    let shares: Vec<_> = keys[..3]
+        .iter()
+        .map(|k| sh00::sign_share(k, &msg, &mut r))
+        .collect();
+    group.bench_function("combine_t3", |b| {
+        b.iter(|| sh00::combine(&pk, &msg, &shares).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bls04(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bls04");
+    group.sample_size(10);
+    let mut r = rng();
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let (pk, keys) = bls04::keygen(params, &mut r);
+    let msg = b"bench message".to_vec();
+    group.bench_function("create_share", |b| {
+        b.iter(|| bls04::sign_share(&keys[0], &msg).unwrap())
+    });
+    let share = bls04::sign_share(&keys[1], &msg).unwrap();
+    group.bench_function("verify_share", |b| {
+        b.iter(|| assert!(bls04::verify_share(&pk, &msg, &share)))
+    });
+    let shares: Vec<_> = keys[..3]
+        .iter()
+        .map(|k| bls04::sign_share(k, &msg).unwrap())
+        .collect();
+    group.bench_function("combine_t3", |b| {
+        b.iter(|| bls04::combine(&pk, &msg, &shares).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_kg20(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kg20");
+    group.sample_size(20);
+    let mut r = rng();
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let (pk, keys) = kg20::keygen(params, &mut r);
+    let msg = b"bench message".to_vec();
+    group.bench_function("round1_nonce", |b| {
+        b.iter(|| kg20::generate_nonce(&keys[0], &mut r))
+    });
+    // A 3-signer round 2.
+    group.bench_function("round2_sign_3", |b| {
+        b.iter(|| {
+            let nonces: Vec<_> = keys[..3]
+                .iter()
+                .map(|k| kg20::generate_nonce(k, &mut r))
+                .collect();
+            let commits: Vec<_> = nonces.iter().map(|n| n.commitment().clone()).collect();
+            let mut iter = nonces.into_iter();
+            kg20::sign_share(&keys[0], iter.next().unwrap(), &msg, &commits).unwrap()
+        })
+    });
+    group.bench_function("full_signing_3", |b| {
+        b.iter(|| {
+            let nonces: Vec<_> = keys[..3]
+                .iter()
+                .map(|k| kg20::generate_nonce(k, &mut r))
+                .collect();
+            let commits: Vec<_> = nonces.iter().map(|n| n.commitment().clone()).collect();
+            let shares: Vec<_> = keys[..3]
+                .iter()
+                .zip(nonces)
+                .map(|(k, n)| kg20::sign_share(k, n, &msg, &commits).unwrap())
+                .collect();
+            kg20::combine(&pk, &msg, &commits, &shares).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cks05(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cks05");
+    group.sample_size(20);
+    let mut r = rng();
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let (pk, keys) = cks05::keygen(params, &mut r);
+    group.bench_function("create_share", |b| {
+        b.iter(|| cks05::create_coin_share(&keys[0], b"bench", &mut r))
+    });
+    let share = cks05::create_coin_share(&keys[1], b"bench", &mut r);
+    group.bench_function("verify_share", |b| {
+        b.iter(|| assert!(cks05::verify_coin_share(&pk, b"bench", &share)))
+    });
+    let shares: Vec<_> = keys[..3]
+        .iter()
+        .map(|k| cks05::create_coin_share(k, b"bench", &mut r))
+        .collect();
+    group.bench_function("combine_t3", |b| {
+        b.iter(|| cks05::combine(&pk, b"bench", &shares).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_sg02,
+    bench_bz03,
+    bench_sh00,
+    bench_bls04,
+    bench_kg20,
+    bench_cks05
+);
+criterion_main!(benches);

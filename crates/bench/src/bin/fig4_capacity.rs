@@ -1,0 +1,72 @@
+//! Regenerates **Figure 4**: the capacity test — throughput-vs-L95 curves
+//! for every scheme across all six deployments, with knee points.
+//!
+//! ```text
+//! cargo run -p theta-bench --release --bin fig4_capacity [--full] [--reference-costs]
+//! ```
+
+use theta_bench::{cost_model, fmt_ms, write_csv, EvalArgs};
+use theta_schemes::registry::SchemeId;
+use theta_sim::{capacity_sweep, knee_of, table2_deployments, usable_of};
+
+fn main() {
+    let args = EvalArgs::parse();
+    let cost = cost_model(&args);
+    let duration = args.capacity_duration();
+    println!(
+        "\nFigure 4 capacity test: {} s virtual runs, rate doubling 1..max\n",
+        duration.as_secs()
+    );
+
+    let mut rows = Vec::new();
+    let mut knee_rows = Vec::new();
+    for deployment in table2_deployments() {
+        println!("=== {} (n={}, t={}) ===", deployment.name, deployment.n, deployment.t);
+        println!(
+            "{:<7} {:>8} {:>14} {:>12}",
+            "scheme", "rate", "tput (req/s)", "L95 (ms)"
+        );
+        for scheme in SchemeId::ALL {
+            let series = capacity_sweep(&deployment, scheme, &cost, duration, 256, 0xf14);
+            for point in &series {
+                println!(
+                    "{:<7} {:>8.0} {:>14.2} {:>12}",
+                    scheme.name(),
+                    point.rate,
+                    point.throughput,
+                    fmt_ms(point.latency.l95)
+                );
+                rows.push(format!(
+                    "{},{},{},{},{},{},{}",
+                    deployment.name,
+                    scheme,
+                    point.rate,
+                    point.throughput,
+                    point.latency.l95,
+                    point.injected,
+                    point.completed
+                ));
+            }
+            let knee = knee_of(&series).unwrap_or(0.0);
+            let usable = usable_of(&series).unwrap_or(0.0);
+            println!(
+                "{:<7} knee capacity = {} req/s, usable capacity = {} req/s",
+                scheme.name(),
+                knee,
+                usable
+            );
+            knee_rows.push(format!("{},{},{},{}", deployment.name, scheme, knee, usable));
+        }
+        println!();
+    }
+    write_csv(
+        "fig4_capacity.csv",
+        "deployment,scheme,offered_rate,throughput,l95_s,injected,completed",
+        &rows,
+    );
+    write_csv(
+        "fig4_knees.csv",
+        "deployment,scheme,knee_req_s,usable_req_s",
+        &knee_rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 5a**: the steady-state experiment on DO-31-G at
+//! each scheme's knee capacity, reporting the per-node latency
+//! distribution (L_θ, L50, L95).
+//!
+//! ```text
+//! cargo run -p theta-bench --release --bin fig5a_steady_state [--full]
+//! ```
+
+use theta_bench::{cost_model, fmt_ms, write_csv, EvalArgs};
+use theta_schemes::registry::SchemeId;
+use theta_sim::{capacity_sweep, deployment_by_name, knee_of, steady_state};
+
+fn main() {
+    let args = EvalArgs::parse();
+    let cost = cost_model(&args);
+    let deployment = deployment_by_name("DO-31-G").expect("table 2");
+    let steady = args.steady_duration();
+    println!(
+        "\nFigure 5a: steady state on DO-31-G at knee capacity ({} s virtual)\n",
+        steady.as_secs()
+    );
+    println!(
+        "{:<7} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "knee (req/s)", "Lθ (ms)", "L50 (ms)", "L95 (ms)"
+    );
+
+    let mut rows = Vec::new();
+    for scheme in SchemeId::ALL {
+        // Knee from a short sweep on this deployment.
+        let sweep = capacity_sweep(&deployment, scheme, &cost, args.capacity_duration(), 256, 7);
+        let knee = knee_of(&sweep).unwrap_or(1.0).max(1.0);
+        let Some(out) = steady_state(&deployment, scheme, &cost, knee, steady, 256, 0x5a5a)
+        else {
+            println!("{:<7} produced no completions", scheme.name());
+            continue;
+        };
+        println!(
+            "{:<7} {:>12.0} {:>10} {:>10} {:>10}",
+            scheme.name(),
+            knee,
+            fmt_ms(out.latency.l_theta),
+            fmt_ms(out.latency.l50),
+            fmt_ms(out.latency.l95)
+        );
+        rows.push(format!(
+            "{},{},{},{},{}",
+            scheme, knee, out.latency.l_theta, out.latency.l50, out.latency.l95
+        ));
+    }
+    write_csv(
+        "fig5a_steady_state.csv",
+        "scheme,knee_req_s,l_theta_s,l50_s,l95_s",
+        &rows,
+    );
+    println!("\n(The paper's Fig. 5a shows these three percentiles as grouped bars.)");
+}

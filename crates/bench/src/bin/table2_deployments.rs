@@ -1,0 +1,52 @@
+//! Regenerates **Table 2**: the deployment configurations with their
+//! region sets, network latencies and maximum request rates.
+
+use theta_sim::{rtt, table2_deployments, Region};
+
+fn main() {
+    println!("Table 2. Deployment configurations");
+    println!(
+        "{:<10} {:<8} {:<28} {:<22} {}",
+        "Acronym", "Size", "Region(s)", "Network latency (ms)", "Max rate"
+    );
+    let mut rows = Vec::new();
+    for d in table2_deployments() {
+        let size = match d.n {
+            7 => "small",
+            31 => "medium",
+            _ => "large",
+        };
+        let regions: Vec<&str> = d.regions.iter().map(|r| r.name()).collect();
+        let latency = if d.is_local() {
+            format!("≈ {:.2}", rtt(Region::Fra1, Region::Fra1).as_secs_f64() * 1e3)
+        } else {
+            format!(
+                "≈ {:.0}, {:.0}",
+                rtt(Region::Fra1, Region::Syd1).as_secs_f64() * 1e3,
+                rtt(Region::Fra1, Region::Tor1).as_secs_f64() * 1e3
+            )
+        };
+        println!(
+            "{:<10} {:<8} {:<28} {:<22} {} req/s",
+            d.name,
+            size,
+            regions.join(", "),
+            latency,
+            d.max_rate
+        );
+        rows.push(format!(
+            "{},{},{},{},\"{}\",{}",
+            d.name,
+            d.n,
+            d.t,
+            size,
+            regions.join(" "),
+            d.max_rate
+        ));
+    }
+    theta_bench::write_csv(
+        "table2_deployments.csv",
+        "acronym,n,t,size,regions,max_rate_req_s",
+        &rows,
+    );
+}

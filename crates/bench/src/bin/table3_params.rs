@@ -1,0 +1,40 @@
+//! Regenerates **Table 3**: per-scheme benchmark parameters — arithmetic
+//! structure, key length and communication complexity.
+
+use theta_schemes::registry::all_schemes;
+
+fn main() {
+    println!("Table 3. Schemes' parameters benchmark setup");
+    println!(
+        "{:<8} {:<16} {:<18} {}",
+        "Scheme", "Arithmetic", "Key length (bit)", "Communication complexity"
+    );
+    let mut rows = Vec::new();
+    // Paper order for Table 3: SG02, BZ03, SH00, BLS04, KG20, CKS05.
+    let order = ["sg02", "bz03", "sh00", "bls04", "kg20", "cks05"];
+    for name in order {
+        let info = all_schemes()
+            .iter()
+            .find(|i| i.id.name() == name)
+            .expect("registered");
+        println!(
+            "{:<8} {:<16} {:<18} {}",
+            info.id.name().to_uppercase(),
+            info.arithmetic,
+            info.key_bits,
+            info.comm_complexity()
+        );
+        rows.push(format!(
+            "{},{},{},{}",
+            info.id,
+            info.arithmetic,
+            info.key_bits,
+            info.comm_complexity()
+        ));
+    }
+    theta_bench::write_csv(
+        "table3_params.csv",
+        "scheme,arithmetic,key_bits,comm_complexity",
+        &rows,
+    );
+}

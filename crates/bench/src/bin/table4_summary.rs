@@ -1,0 +1,55 @@
+//! Regenerates **Table 4**: knee capacity, residual delay factor δ_res
+//! and latency fairness index η_θ per scheme on DO-31-G.
+//!
+//! Expected shape (paper): the cheap DH-based schemes (SG02, CKS05) show
+//! the largest δ_res / smallest η_θ (fast quorum, long tail); pairing-
+//! and RSA-based schemes sit near η_θ ≈ 0.5; KG20, which waits for the
+//! full signing group, is the most balanced (η_θ ≈ 0.8).
+
+use theta_bench::{cost_model, write_csv, EvalArgs};
+use theta_schemes::registry::SchemeId;
+use theta_sim::{capacity_sweep, deployment_by_name, knee_of, steady_state};
+
+fn main() {
+    let args = EvalArgs::parse();
+    let cost = cost_model(&args);
+    let deployment = deployment_by_name("DO-31-G").expect("table 2");
+    println!("\nTable 4. Performance summary, using DO-31-G\n");
+    println!(
+        "{:<7} {:>14} {:>10} {:>8}",
+        "Scheme", "Knee capacity", "δ_res", "η_θ"
+    );
+
+    // Paper's row order.
+    let order = [
+        SchemeId::Sg02,
+        SchemeId::Bz03,
+        SchemeId::Sh00,
+        SchemeId::Bls04,
+        SchemeId::Kg20,
+        SchemeId::Cks05,
+    ];
+    let mut rows = Vec::new();
+    for scheme in order {
+        let sweep = capacity_sweep(&deployment, scheme, &cost, args.capacity_duration(), 256, 7);
+        let knee = knee_of(&sweep).unwrap_or(1.0).max(1.0);
+        let Some(out) =
+            steady_state(&deployment, scheme, &cost, knee, args.steady_duration(), 256, 0x44)
+        else {
+            println!("{:<7} produced no completions", scheme.name());
+            continue;
+        };
+        println!(
+            "{:<7} {:>10.0} req/s {:>10.3} {:>8.3}",
+            scheme.name(),
+            knee,
+            out.latency.delta_res,
+            out.latency.eta_theta
+        );
+        rows.push(format!(
+            "{},{},{:.4},{:.4}",
+            scheme, knee, out.latency.delta_res, out.latency.eta_theta
+        ));
+    }
+    write_csv("table4_summary.csv", "scheme,knee_req_s,delta_res,eta_theta", &rows);
+}

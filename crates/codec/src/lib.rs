@@ -1,0 +1,498 @@
+//! # theta-codec
+//!
+//! A small deterministic binary wire format used by every Thetacrypt
+//! message type (network envelopes, protocol messages, RPC frames,
+//! serialized keys and ciphertexts).
+//!
+//! The paper's implementation uses Protocol Buffers; this reproduction
+//! replaces it with an explicit, canonical encoding:
+//!
+//! - fixed-width little-endian integers,
+//! - `u32`-length-prefixed byte strings and sequences,
+//! - no padding, no optional field reordering — encoding is a pure
+//!   function of the value, so hashes of encodings are stable.
+//!
+//! ## Example
+//!
+//! ```
+//! use theta_codec::{Decode, Encode, Reader, Writer};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Ping { seq: u64, payload: Vec<u8> }
+//!
+//! impl Encode for Ping {
+//!     fn encode(&self, w: &mut Writer) {
+//!         self.seq.encode(w);
+//!         self.payload.encode(w);
+//!     }
+//! }
+//! impl Decode for Ping {
+//!     fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+//!         Ok(Ping { seq: Decode::decode(r)?, payload: Decode::decode(r)? })
+//!     }
+//! }
+//!
+//! let ping = Ping { seq: 7, payload: vec![1, 2, 3] };
+//! let bytes = ping.encoded();
+//! assert_eq!(Ping::decoded(&bytes).unwrap(), ping);
+//! ```
+
+use std::fmt;
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd {
+        /// Bytes needed to continue.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A length prefix exceeded the configured sanity bound.
+    LengthOverflow(u64),
+    /// An enum discriminant or tag byte was not recognised.
+    InvalidTag(u32),
+    /// The value violated a domain constraint (bad point, bad UTF-8, ...).
+    InvalidValue(String),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed}, had {remaining}")
+            }
+            CodecError::LengthOverflow(len) => write!(f, "length prefix {len} too large"),
+            CodecError::InvalidTag(tag) => write!(f, "invalid tag {tag}"),
+            CodecError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Codec result alias.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// Maximum accepted length prefix (guards against hostile inputs).
+pub const MAX_LENGTH: usize = 64 << 20; // 64 MiB
+
+/// An append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32`-length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` exceeds [`MAX_LENGTH`].
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() <= MAX_LENGTH, "value exceeds MAX_LENGTH");
+        (bytes.len() as u32).encode(self);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEnd { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] when fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::LengthOverflow`] for prefixes above [`MAX_LENGTH`],
+    /// or [`CodecError::UnexpectedEnd`] when the body is truncated.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = u32::decode(self)? as usize;
+        if len > MAX_LENGTH {
+            return Err(CodecError::LengthOverflow(len as u64));
+        }
+        self.take(len)
+    }
+}
+
+/// Serialization into the canonical wire format.
+pub trait Encode {
+    /// Appends this value to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encodes into a fresh byte vector.
+    fn encoded(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Deserialization from the canonical wire format.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    fn decode(r: &mut Reader) -> Result<Self>;
+
+    /// Convenience: decodes a complete value, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] when input is longer than the value.
+    fn decoded(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_at_end() {
+            return Err(CodecError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.put_raw(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader) -> Result<Self> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                let mut arr = [0u8; std::mem::size_of::<$t>()];
+                arr.copy_from_slice(bytes);
+                Ok(<$t>::from_le_bytes(arr))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i64);
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        (*self as u8).encode(w);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::InvalidTag(other as u32)),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        let bytes = r.take_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::InvalidValue(format!("invalid utf-8: {e}")))
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        r.take_array::<N>()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => false.encode(w),
+            Some(v) => {
+                true.encode(w);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        if bool::decode(r)? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Sequences are `u32` count-prefixed. (Count, not byte length: elements
+/// may be variable-size.)
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, w: &mut Writer) {
+        assert!(self.len() <= MAX_LENGTH, "sequence exceeds MAX_LENGTH");
+        (self.len() as u32).encode(w);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.as_slice().encode(w);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        let count = u32::decode(r)? as usize;
+        if count > MAX_LENGTH {
+            return Err(CodecError::LengthOverflow(count as u64));
+        }
+        // Guard allocation: each element consumes at least one byte.
+        if count > r.remaining() {
+            return Err(CodecError::UnexpectedEnd { needed: count, remaining: r.remaining() });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encoded();
+        assert_eq!(T::decoded(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdeadu16);
+        roundtrip(0xdeadbeefu32);
+        roundtrip(u64::MAX);
+        roundtrip(u128::MAX);
+        roundtrip(-42i64);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        assert_eq!(0x0102030405060708u64.encoded(), vec![8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bool_strict() {
+        roundtrip(true);
+        roundtrip(false);
+        assert_eq!(bool::decoded(&[2]), Err(CodecError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn bytes_and_strings() {
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip("hello world".to_string());
+        roundtrip(String::new());
+        assert!(String::decoded(&[2, 0, 0, 0, 0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn fixed_arrays() {
+        roundtrip([7u8; 32]);
+        roundtrip([0u8; 0]);
+        // Fixed arrays carry no length prefix.
+        assert_eq!([1u8, 2, 3].encoded(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(17u32));
+        roundtrip((1u8, 2u16));
+        roundtrip((1u8, "x".to_string(), vec![9u8]));
+    }
+
+    #[test]
+    fn nested_vectors() {
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+        roundtrip(vec!["a".to_string(), "bb".to_string()]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u32.encoded();
+        bytes.push(0);
+        assert_eq!(u32::decoded(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = vec![10u8, 0, 0, 0, 1, 2]; // claims 10 bytes, has 2
+        assert!(Vec::<u8>::decoded(&bytes).is_err());
+        assert!(u64::decoded(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn hostile_count_rejected() {
+        // A count of u32::MAX with a tiny body must not allocate.
+        let bytes = u32::MAX.encoded();
+        let err = Vec::<u64>::decoded(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::LengthOverflow(_) | CodecError::UnexpectedEnd { .. }
+        ));
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let v = (vec![3u8; 10], Some(7u64), "abc".to_string());
+        assert_eq!(v.encoded(), v.encoded());
+    }
+
+    #[test]
+    fn reader_take_bounds() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.remaining(), 1);
+        assert!(r.take(2).is_err());
+        assert_eq!(r.take(1).unwrap(), &[3]);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<CodecError> = vec![
+            CodecError::UnexpectedEnd { needed: 4, remaining: 1 },
+            CodecError::LengthOverflow(1 << 40),
+            CodecError::InvalidTag(9),
+            CodecError::InvalidValue("x".into()),
+            CodecError::TrailingBytes(3),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `theta-client` — a small CLI against a node's RPC endpoint.
+//!
+//! ```text
+//! theta-client --node 127.0.0.1:8001 coin epoch-7
+//! theta-client --node 127.0.0.1:8001 sign bls04 "block 42"
+//! theta-client --node 127.0.0.1:8001 seal-open sg02 "secret payload"
+//! theta-client --node 127.0.0.1:8001 pubkey cks05
+//! ```
+
+use std::net::SocketAddr;
+use std::time::Duration;
+use theta_orchestration::Request;
+use theta_schemes::registry::SchemeId;
+use theta_service::RpcClient;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: theta-client --node ADDR <command>\n\
+         commands:\n\
+           coin <name>                 flip the CKS05 coin\n\
+           sign <scheme> <message>     threshold-sign (sh00|bls04|kg20)\n\
+           seal-open <scheme> <msg>    encrypt via scheme API, decrypt via protocol API (sg02|bz03)\n\
+           pubkey <scheme>             fetch a public key (hex)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut node: Option<SocketAddr> = None;
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        if a == "--node" {
+            node = iter.next().and_then(|v| v.parse().ok());
+        } else {
+            rest.push(a);
+        }
+    }
+    let Some(addr) = node else { usage() };
+    if rest.is_empty() {
+        usage()
+    }
+
+    let mut client =
+        RpcClient::connect(addr, Duration::from_secs(5)).expect("connect to node RPC");
+
+    match rest[0].as_str() {
+        "coin" if rest.len() == 2 => {
+            let (value, latency) = client
+                .run_protocol(Request::Cks05Coin(rest[1].clone().into_bytes()))
+                .expect("coin");
+            println!("coin  = {}", theta_primitives::to_hex(&value));
+            println!("server-side latency: {latency:?}");
+        }
+        "sign" if rest.len() == 3 => {
+            let scheme = SchemeId::from_name(&rest[1]).unwrap_or_else(|| usage());
+            let message = rest[2].clone().into_bytes();
+            let request = match scheme {
+                SchemeId::Sh00 => Request::Sh00Sign(message.clone()),
+                SchemeId::Bls04 => Request::Bls04Sign(message.clone()),
+                SchemeId::Kg20 => Request::Kg20Sign(message.clone()),
+                _ => usage(),
+            };
+            let (sig, latency) = client.run_protocol(request).expect("sign");
+            println!("signature = {}", theta_primitives::to_hex(&sig));
+            println!("server-side latency: {latency:?}");
+            let ok = client
+                .verify_signature(scheme, &message, &sig)
+                .expect("verify");
+            println!("verified: {ok}");
+        }
+        "seal-open" if rest.len() == 3 => {
+            let scheme = SchemeId::from_name(&rest[1]).unwrap_or_else(|| usage());
+            let message = rest[2].clone().into_bytes();
+            let ct = client
+                .encrypt(scheme, b"theta-client", &message)
+                .expect("encrypt");
+            println!("ciphertext bytes: {}", ct.len());
+            let request = match scheme {
+                SchemeId::Sg02 => Request::Sg02Decrypt(ct),
+                SchemeId::Bz03 => Request::Bz03Decrypt(ct),
+                _ => usage(),
+            };
+            let (plain, latency) = client.run_protocol(request).expect("decrypt");
+            assert_eq!(plain, message, "roundtrip mismatch");
+            println!("decrypted: {:?}", String::from_utf8_lossy(&plain));
+            println!("server-side latency: {latency:?}");
+        }
+        "pubkey" if rest.len() == 2 => {
+            let scheme = SchemeId::from_name(&rest[1]).unwrap_or_else(|| usage());
+            let pk = client.public_key(scheme).expect("public key");
+            println!("{}", theta_primitives::to_hex(&pk));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,159 @@
+//! `theta-keygen` — the trusted dealer as a CLI (paper §4.4 setup phase):
+//! generates key material for a (t+1)-out-of-n Θ-network and writes one
+//! secret key file per node plus the shared public key file.
+//!
+//! ```text
+//! theta-keygen --t 1 --n 4 --schemes sg02,bls04,cks05 --out ./keys
+//! ```
+
+use rand::SeedableRng;
+use theta_codec::Encode;
+use theta_core::keyfile::{encode_public, NodeKeyFile};
+use theta_schemes::registry::SchemeId;
+use theta_schemes::ThresholdParams;
+use theta_service::PublicKeyChest;
+
+struct Args {
+    t: u16,
+    n: u16,
+    out: std::path::PathBuf,
+    schemes: Vec<SchemeId>,
+    sh00_bits: usize,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut t = None;
+    let mut n = None;
+    let mut out = None;
+    let mut schemes = vec![SchemeId::Sg02, SchemeId::Bls04, SchemeId::Cks05];
+    let mut sh00_bits = 512;
+    let mut seed = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--t" => t = Some(value()?.parse().map_err(|e| format!("--t: {e}"))?),
+            "--n" => n = Some(value()?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--out" => out = Some(std::path::PathBuf::from(value()?)),
+            "--sh00-bits" => {
+                sh00_bits = value()?.parse().map_err(|e| format!("--sh00-bits: {e}"))?
+            }
+            "--seed" => seed = Some(value()?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--schemes" => {
+                schemes = value()?
+                    .split(',')
+                    .map(|s| {
+                        SchemeId::from_name(s.trim()).ok_or(format!("unknown scheme {s}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        t: t.ok_or("--t is required")?,
+        n: n.ok_or("--n is required")?,
+        out: out.ok_or("--out is required")?,
+        schemes,
+        sh00_bits,
+        seed,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: theta-keygen --t T --n N --out DIR \
+                 [--schemes sg02,bz03,sh00,bls04,kg20,cks05] [--sh00-bits B] [--seed S]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let params = match ThresholdParams::new(args.t, args.n) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut rng = match args.seed {
+        Some(s) => rand::rngs::StdRng::seed_from_u64(s),
+        None => rand::rngs::StdRng::from_entropy(),
+    };
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let mut node_files: Vec<NodeKeyFile> = (1..=args.n)
+        .map(|id| NodeKeyFile { node_id: id, ..Default::default() })
+        .collect();
+    let mut public = PublicKeyChest::default();
+
+    for scheme in &args.schemes {
+        print!("generating {scheme} keys... ");
+        match scheme {
+            SchemeId::Sg02 => {
+                let (pk, shares) = theta_schemes::sg02::keygen(params, &mut rng);
+                public.sg02 = Some(pk);
+                for (f, s) in node_files.iter_mut().zip(shares) {
+                    f.sg02 = Some(s);
+                }
+            }
+            SchemeId::Bz03 => {
+                let (pk, shares) = theta_schemes::bz03::keygen(params, &mut rng);
+                public.bz03 = Some(pk);
+                for (f, s) in node_files.iter_mut().zip(shares) {
+                    f.bz03 = Some(s);
+                }
+            }
+            SchemeId::Sh00 => {
+                let (pk, shares) =
+                    theta_schemes::sh00::keygen(params, args.sh00_bits, &mut rng)
+                        .expect("sh00 keygen");
+                public.sh00 = Some(pk);
+                for (f, s) in node_files.iter_mut().zip(shares) {
+                    f.sh00 = Some(s);
+                }
+            }
+            SchemeId::Bls04 => {
+                let (pk, shares) = theta_schemes::bls04::keygen(params, &mut rng);
+                public.bls04 = Some(pk);
+                for (f, s) in node_files.iter_mut().zip(shares) {
+                    f.bls04 = Some(s);
+                }
+            }
+            SchemeId::Kg20 => {
+                let (pk, shares) = theta_schemes::kg20::keygen(params, &mut rng);
+                public.kg20 = Some(pk);
+                for (f, s) in node_files.iter_mut().zip(shares) {
+                    f.kg20 = Some(s);
+                }
+            }
+            SchemeId::Cks05 => {
+                let (pk, shares) = theta_schemes::cks05::keygen(params, &mut rng);
+                public.cks05 = Some(pk);
+                for (f, s) in node_files.iter_mut().zip(shares) {
+                    f.cks05 = Some(s);
+                }
+            }
+        }
+        println!("done");
+    }
+
+    for file in &node_files {
+        let path = args.out.join(format!("node-{}.keys", file.node_id));
+        std::fs::write(&path, file.encoded()).expect("write node key file");
+        println!("wrote {}", path.display());
+    }
+    let pub_path = args.out.join("public.keys");
+    std::fs::write(&pub_path, encode_public(&public)).expect("write public key file");
+    println!("wrote {}", pub_path.display());
+    println!(
+        "dealt a {}-out-of-{} deployment for {} scheme(s)",
+        params.quorum(),
+        params.n(),
+        args.schemes.len()
+    );
+}

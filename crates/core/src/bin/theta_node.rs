@@ -1,0 +1,110 @@
+//! `theta-node` — a standalone Thetacrypt node over real TCP: loads its
+//! key file, joins the full mesh, and serves the RPC endpoints (the
+//! paper's standalone deployment mode).
+//!
+//! ```text
+//! theta-node --id 1 --keys keys/node-1.keys --public keys/public.keys \
+//!            --peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004 \
+//!            --rpc 127.0.0.1:8001
+//! ```
+//!
+//! Peer `i` in the list is node `i+1`'s mesh address; the node binds its
+//! own entry. Node 1 doubles as the TOB sequencer.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use theta_codec::Decode;
+use theta_core::keyfile::{decode_public, NodeKeyFile};
+use theta_network::tcp::TcpMesh;
+use theta_network::Network;
+use theta_orchestration::{spawn_node, NodeConfig};
+use theta_service::serve;
+
+struct Args {
+    id: u16,
+    keys: std::path::PathBuf,
+    public: std::path::PathBuf,
+    peers: Vec<SocketAddr>,
+    rpc: SocketAddr,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut id = None;
+    let mut keys = None;
+    let mut public = None;
+    let mut peers = None;
+    let mut rpc = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--id" => id = Some(value()?.parse().map_err(|e| format!("--id: {e}"))?),
+            "--keys" => keys = Some(std::path::PathBuf::from(value()?)),
+            "--public" => public = Some(std::path::PathBuf::from(value()?)),
+            "--rpc" => rpc = Some(value()?.parse().map_err(|e| format!("--rpc: {e}"))?),
+            "--peers" => {
+                peers = Some(
+                    value()?
+                        .split(',')
+                        .map(|a| a.trim().parse().map_err(|e| format!("--peers: {e}")))
+                        .collect::<Result<Vec<SocketAddr>, String>>()?,
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        id: id.ok_or("--id is required")?,
+        keys: keys.ok_or("--keys is required")?,
+        public: public.ok_or("--public is required")?,
+        peers: peers.ok_or("--peers is required")?,
+        rpc: rpc.ok_or("--rpc is required")?,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: theta-node --id I --keys FILE --public FILE \
+                 --peers a1,a2,... --rpc ADDR"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let key_bytes = std::fs::read(&args.keys).expect("read node key file");
+    let key_file = NodeKeyFile::decoded(&key_bytes).expect("parse node key file");
+    assert_eq!(
+        key_file.node_id, args.id,
+        "key file belongs to node {}, not {}",
+        key_file.node_id, args.id
+    );
+    let public_bytes = std::fs::read(&args.public).expect("read public key file");
+    let public = decode_public(&public_bytes).expect("parse public key file");
+
+    println!(
+        "node {} joining a {}-node mesh (TOB sequencer: node 1)...",
+        args.id,
+        args.peers.len()
+    );
+    let mesh = TcpMesh::connect(args.id, &args.peers).expect("mesh setup");
+    println!("mesh connected");
+
+    let handle = Arc::new(spawn_node(
+        key_file.into_chest(),
+        Box::new(mesh) as Box<dyn Network>,
+        NodeConfig::default(),
+    ));
+    let service = serve(args.rpc, handle, public, Duration::from_secs(60))
+        .expect("bind rpc endpoint");
+    println!("serving Thetacrypt RPC on {}", service.addr());
+    println!("ready — press ctrl-c to stop");
+
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,190 @@
+//! Key files for standalone deployments: the trusted dealer writes one
+//! secret key file per node plus one public key file, and `theta-node`
+//! loads them at startup (the paper's deployment where key material is
+//! provisioned into each node's security domain).
+
+use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_orchestration::KeyChest;
+use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00};
+use theta_service::PublicKeyChest;
+
+/// Magic prefix of node key files.
+const NODE_MAGIC: &[u8; 8] = b"THETAKEY";
+/// Magic prefix of public key files.
+const PUBLIC_MAGIC: &[u8; 8] = b"THETAPUB";
+
+/// One node's secret key material, as persisted on disk.
+#[derive(Default)]
+pub struct NodeKeyFile {
+    /// Node id (1-based).
+    pub node_id: u16,
+    /// SG02 share.
+    pub sg02: Option<sg02::KeyShare>,
+    /// BZ03 share.
+    pub bz03: Option<bz03::KeyShare>,
+    /// SH00 share.
+    pub sh00: Option<sh00::KeyShare>,
+    /// BLS04 share.
+    pub bls04: Option<bls04::KeyShare>,
+    /// KG20 share.
+    pub kg20: Option<kg20::KeyShare>,
+    /// CKS05 share.
+    pub cks05: Option<cks05::KeyShare>,
+}
+
+impl NodeKeyFile {
+    /// Converts into the orchestration key chest.
+    pub fn into_chest(self) -> KeyChest {
+        let mut chest = KeyChest::new();
+        chest.sg02 = self.sg02;
+        chest.bz03 = self.bz03;
+        chest.sh00 = self.sh00;
+        chest.bls04 = self.bls04;
+        chest.kg20 = self.kg20;
+        chest.cks05 = self.cks05;
+        chest
+    }
+}
+
+fn put_opt<T: Encode>(w: &mut Writer, v: &Option<T>) {
+    match v {
+        None => false.encode(w),
+        Some(inner) => {
+            true.encode(w);
+            inner.encode(w);
+        }
+    }
+}
+
+fn get_opt<T: Decode>(r: &mut Reader) -> theta_codec::Result<Option<T>> {
+    if bool::decode(r)? {
+        Ok(Some(T::decode(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
+impl Encode for NodeKeyFile {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(NODE_MAGIC);
+        self.node_id.encode(w);
+        put_opt(w, &self.sg02);
+        put_opt(w, &self.bz03);
+        put_opt(w, &self.sh00);
+        put_opt(w, &self.bls04);
+        put_opt(w, &self.kg20);
+        put_opt(w, &self.cks05);
+    }
+}
+
+impl Decode for NodeKeyFile {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        let magic = r.take(8)?;
+        if magic != NODE_MAGIC {
+            return Err(theta_codec::CodecError::InvalidValue(
+                "not a theta node key file".into(),
+            ));
+        }
+        Ok(NodeKeyFile {
+            node_id: u16::decode(r)?,
+            sg02: get_opt(r)?,
+            bz03: get_opt(r)?,
+            sh00: get_opt(r)?,
+            bls04: get_opt(r)?,
+            kg20: get_opt(r)?,
+            cks05: get_opt(r)?,
+        })
+    }
+}
+
+/// Serializes a public key chest with a file magic.
+pub fn encode_public(keys: &PublicKeyChest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_raw(PUBLIC_MAGIC);
+    put_opt(&mut w, &keys.sg02);
+    put_opt(&mut w, &keys.bz03);
+    put_opt(&mut w, &keys.sh00);
+    put_opt(&mut w, &keys.bls04);
+    put_opt(&mut w, &keys.kg20);
+    put_opt(&mut w, &keys.cks05);
+    w.into_bytes()
+}
+
+/// Parses a public key file.
+///
+/// # Errors
+///
+/// [`theta_codec::CodecError`] on malformed input.
+pub fn decode_public(bytes: &[u8]) -> theta_codec::Result<PublicKeyChest> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8)?;
+    if magic != PUBLIC_MAGIC {
+        return Err(theta_codec::CodecError::InvalidValue(
+            "not a theta public key file".into(),
+        ));
+    }
+    let keys = PublicKeyChest {
+        sg02: get_opt(&mut r)?,
+        bz03: get_opt(&mut r)?,
+        sh00: get_opt(&mut r)?,
+        bls04: get_opt(&mut r)?,
+        kg20: get_opt(&mut r)?,
+        cks05: get_opt(&mut r)?,
+    };
+    if !r.is_at_end() {
+        return Err(theta_codec::CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use theta_schemes::ThresholdParams;
+
+    #[test]
+    fn node_key_file_roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (_pk, shares) = sg02::keygen(params, &mut r);
+        let (_bpk, bshares) = bls04::keygen(params, &mut r);
+        let file = NodeKeyFile {
+            node_id: 2,
+            sg02: Some(shares[1].clone()),
+            bls04: Some(bshares[1].clone()),
+            ..Default::default()
+        };
+        let decoded = NodeKeyFile::decoded(&file.encoded()).unwrap();
+        assert_eq!(decoded.node_id, 2);
+        assert!(decoded.sg02.is_some());
+        assert!(decoded.bls04.is_some());
+        assert!(decoded.sh00.is_none());
+        let chest = decoded.into_chest();
+        assert!(chest.has(theta_schemes::SchemeId::Sg02));
+        assert!(!chest.has(theta_schemes::SchemeId::Cks05));
+    }
+
+    #[test]
+    fn public_key_file_roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, _) = cks05::keygen(params, &mut r);
+        let chest = PublicKeyChest { cks05: Some(pk), ..Default::default() };
+        let bytes = encode_public(&chest);
+        let back = decode_public(&bytes).unwrap();
+        assert_eq!(back, chest);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(NodeKeyFile::decoded(b"NOTAKEY0rest").is_err());
+        assert!(decode_public(b"NOTAPUB0rest").is_err());
+        // Crossed magics rejected too.
+        let mut r = rand::rngs::StdRng::seed_from_u64(5);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, _) = cks05::keygen(params, &mut r);
+        let pub_bytes = encode_public(&PublicKeyChest { cks05: Some(pk), ..Default::default() });
+        assert!(NodeKeyFile::decoded(&pub_bytes).is_err());
+    }
+}

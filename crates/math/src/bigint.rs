@@ -1,0 +1,346 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+//!
+//! Needed wherever intermediate values go negative: the extended Euclidean
+//! algorithm (modular inverses), and Shoup's integer Lagrange coefficients
+//! in the SH00 threshold-RSA combiner.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero (the magnitude is zero exactly when the sign is `Zero`).
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::BigInt;
+/// let a = BigInt::from_i64(-5);
+/// let b = BigInt::from_i64(3);
+/// assert_eq!((&a + &b), BigInt::from_i64(-2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Builds from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: BigUint::from_u64(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// Builds a non-negative value from a [`BigUint`].
+    pub fn from_biguint(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            BigInt { sign: Sign::Positive, mag }
+        }
+    }
+
+    /// Builds a value with an explicit sign (the sign of a zero magnitude is forced to `Zero`).
+    pub fn with_sign(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value).
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True when strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        match self.sign {
+            Sign::Zero => Self::zero(),
+            Sign::Positive => BigInt { sign: Sign::Negative, mag: self.mag.clone() },
+            Sign::Negative => BigInt { sign: Sign::Positive, mag: self.mag.clone() },
+        }
+    }
+
+    /// Canonical representative `self mod modulus` in `[0, modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus` is zero.
+    pub fn mod_floor(&self, modulus: &BigUint) -> BigUint {
+        let r = self.mag.rem(modulus);
+        match self.sign {
+            Sign::Negative if !r.is_zero() => modulus - &r,
+            _ => r,
+        }
+    }
+
+    /// True when `self` is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.is_even()
+    }
+
+    /// Halves the value (exact division by two of the magnitude).
+    pub fn half(&self) -> Self {
+        Self::with_sign(self.sign, &self.mag >> 1)
+    }
+}
+
+impl std::ops::Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::with_sign(a, &self.mag + &rhs.mag),
+            (a, _) => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::with_sign(a, &self.mag - &rhs.mag),
+                Ordering::Less => BigInt::with_sign(rhs.sign, &rhs.mag - &self.mag),
+            },
+        }
+    }
+}
+
+impl std::ops::Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &rhs.neg()
+    }
+}
+
+impl std::ops::Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt::with_sign(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Negative => other.mag.cmp(&self.mag),
+                Sign::Zero => Ordering::Equal,
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        Self::from_i64(v)
+    }
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+pub fn ext_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
+    let mut old_r = BigInt::from_biguint(a.clone());
+    let mut r = BigInt::from_biguint(b.clone());
+    let mut old_s = BigInt::one();
+    let mut s = BigInt::zero();
+    let mut old_t = BigInt::zero();
+    let mut t = BigInt::one();
+    while !r.is_zero() {
+        let (q, rem) = old_r.magnitude().divrem(r.magnitude());
+        // Signs: old_r and r stay non-negative throughout since inputs are.
+        let q = BigInt::from_biguint(q);
+        let new_r = BigInt::from_biguint(rem);
+        old_r = std::mem::replace(&mut r, new_r);
+        let new_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    (old_r.magnitude().clone(), old_s, old_t)
+}
+
+/// Modular inverse of `a` modulo `m`, or `None` when `gcd(a, m) != 1`.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::{BigUint, mod_inverse};
+/// let m = BigUint::from_u64(97);
+/// let inv = mod_inverse(&BigUint::from_u64(3), &m).unwrap();
+/// assert_eq!((&inv * &BigUint::from_u64(3)).rem(&m), BigUint::one());
+/// ```
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    let a = a.rem(m);
+    if a.is_zero() {
+        return None;
+    }
+    let (g, x, _) = ext_gcd(&a, m);
+    if !g.is_one() {
+        return None;
+    }
+    Some(x.mod_floor(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn signed_add_sub() {
+        for a in -5i64..=5 {
+            for b in -5i64..=5 {
+                let ba = BigInt::from_i64(a);
+                let bb = BigInt::from_i64(b);
+                assert_eq!(&ba + &bb, BigInt::from_i64(a + b), "{a}+{b}");
+                assert_eq!(&ba - &bb, BigInt::from_i64(a - b), "{a}-{b}");
+                assert_eq!(&ba * &bb, BigInt::from_i64(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64() {
+        let vals = [-10i64, -1, 0, 1, 10];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    BigInt::from_i64(a).cmp(&BigInt::from_i64(b)),
+                    a.cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod_floor_negative() {
+        let m = BigUint::from_u64(7);
+        assert_eq!(BigInt::from_i64(-1).mod_floor(&m), BigUint::from_u64(6));
+        assert_eq!(BigInt::from_i64(-7).mod_floor(&m), BigUint::zero());
+        assert_eq!(BigInt::from_i64(-15).mod_floor(&m), BigUint::from_u64(6));
+        assert_eq!(BigInt::from_i64(15).mod_floor(&m), BigUint::from_u64(1));
+    }
+
+    #[test]
+    fn ext_gcd_bezout_identity() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = BigUint::random_bits(&mut r, 200);
+            let b = BigUint::random_bits(&mut r, 180);
+            let (g, x, y) = ext_gcd(&a, &b);
+            let lhs = &(&x * &BigInt::from_biguint(a.clone()))
+                + &(&y * &BigInt::from_biguint(b.clone()));
+            assert_eq!(lhs, BigInt::from_biguint(g.clone()));
+            assert_eq!(g, a.gcd(&b));
+        }
+    }
+
+    #[test]
+    fn mod_inverse_multiplies_to_one() {
+        let mut r = rng();
+        let p = (BigUint::one() << 255) - BigUint::from_u64(19);
+        for _ in 0..20 {
+            let a = BigUint::random_below(&mut r, &p);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = mod_inverse(&a, &p).expect("prime modulus, nonzero a");
+            assert!((&inv * &a).rem(&p).is_one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_non_coprime() {
+        assert!(mod_inverse(&BigUint::from_u64(6), &BigUint::from_u64(9)).is_none());
+        assert!(mod_inverse(&BigUint::zero(), &BigUint::from_u64(9)).is_none());
+        assert!(mod_inverse(&BigUint::from_u64(3), &BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn display_signed() {
+        assert_eq!(format!("{}", BigInt::from_i64(-42)), "-42");
+        assert_eq!(format!("{}", BigInt::zero()), "0");
+    }
+}

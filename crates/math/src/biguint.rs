@@ -1,0 +1,996 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! This is the foundation of every asymmetric primitive in the workspace:
+//! RSA (SH00), the Ed25519 scalar field, the BN254 base/scalar fields and
+//! all Shamir/Lagrange arithmetic ultimately bottom out here.
+//!
+//! Representation: little-endian `Vec<u64>` limbs with no trailing zero
+//! limbs (canonical form). Zero is the empty limb vector.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::BigUint;
+/// let a = BigUint::from_u64(1u64 << 40);
+/// let b = &a * &a;
+/// assert_eq!(b, BigUint::from_u64(1) << 80);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, canonical (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint { limbs: vec![lo, hi] };
+        out.normalize();
+        out
+    }
+
+    /// Builds a value from little-endian limbs (any trailing zeros are trimmed).
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Borrows the little-endian limbs (canonical, no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns the limb at `i`, or 0 when out of range.
+    #[inline]
+    pub fn limb(&self, i: usize) -> u64 {
+        self.limbs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Parses a big-endian hexadecimal string (no `0x` prefix, `_` allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when a non-hex character is found.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let mut out = Self::zero();
+        let mut any = false;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(16)? as u64;
+            out = (out << 4) + BigUint::from_u64(d);
+            any = true;
+        }
+        if any {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when a non-decimal character is found or `s` is empty.
+    pub fn from_dec(s: &str) -> Option<Self> {
+        let mut out = Self::zero();
+        let mut any = false;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10)? as u64;
+            out = out.mul_small(10);
+            out = out + BigUint::from_u64(d);
+            any = true;
+        }
+        if any {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Decodes a big-endian byte string.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity((bytes.len() + 7) / 8);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Decodes a little-endian byte string.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity((bytes.len() + 7) / 8);
+        for chunk in bytes.chunks(8) {
+            let mut limb = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                limb |= (b as u64) << (8 * i);
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Encodes as big-endian bytes with no leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip.min(7)..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Encodes as exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Encodes as little-endian bytes with no trailing zeros (empty for zero).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out = self.to_bytes_be();
+        out.reverse();
+        out
+    }
+
+    /// True when the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True when the value is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True when the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// True when the value is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (counting from the least-significant bit).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self * small`, a fast scalar multiply.
+    pub fn mul_small(&self, small: u64) -> Self {
+        if small == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let prod = l as u128 * small as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `(self / small, self % small)` for a nonzero `u64` divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `small == 0`.
+    pub fn divrem_small(&self, small: u64) -> (Self, u64) {
+        assert!(small != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / small as u128) as u64;
+            rem = cur % small as u128;
+        }
+        (Self::from_limbs(out), rem as u64)
+    }
+
+    /// Euclidean division: `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `divisor` is zero.
+    pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_small(divisor.limbs[0]);
+            return (q, Self::from_u64(r));
+        }
+        self.divrem_knuth(divisor)
+    }
+
+    /// Knuth Algorithm D (TAOCP 4.3.1) for multi-limb division.
+    fn divrem_knuth(&self, divisor: &Self) -> (Self, Self) {
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self << shift; // dividend
+        let v = divisor << shift; // divisor
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un: Vec<u64> = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs with an extra top limb
+        let vn = &v.limbs;
+
+        let mut q = vec![0u64; m + 1];
+        let v_top = vn[n - 1] as u128;
+        let v_next = vn[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ = (u[j+n]·b + u[j+n-1]) / v[n-1]
+            let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = numer / v_top;
+            let mut rhat = numer % v_top;
+            // Correct q̂ down at most twice.
+            while qhat >> 64 != 0
+                || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-subtract: u[j..j+n+1] -= q̂ · v
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let prod = qhat * vn[i] as u128 + carry;
+                carry = prod >> 64;
+                let sub = un[j + i] as i128 - (prod as u64) as i128 + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = sub as u64;
+            let negative = sub < 0;
+
+            q[j] = qhat as u64;
+            if negative {
+                // q̂ was one too large: add back.
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let sum = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                un[j + n] = (un[j + n] as u128).wrapping_add(carry) as u64;
+            }
+        }
+
+        let quotient = Self::from_limbs(q);
+        let remainder = Self::from_limbs(un[..n].to_vec()) >> shift;
+        (quotient, remainder)
+    }
+
+    /// `self mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus` is zero.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.divrem(modulus).1
+    }
+
+    /// Checked subtraction: `None` when `other > self`.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        Some(self - other)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a >> 1;
+            b = b >> 1;
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a >> 1;
+        }
+        loop {
+            while b.is_even() {
+                b = b >> 1;
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                break;
+            }
+        }
+        a << shift
+    }
+
+    /// Modular exponentiation `self^exp mod modulus` (simple square-and-multiply;
+    /// for hot paths over odd moduli prefer [`crate::Montgomery`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus` is zero.
+    pub fn pow_mod(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus.is_one() {
+            return Self::zero();
+        }
+        if modulus.is_odd() {
+            // Montgomery is markedly faster and handles every odd modulus.
+            let ctx = crate::Montgomery::new(modulus.clone());
+            return ctx.pow(self, exp);
+        }
+        let mut base = self.rem(modulus);
+        let mut result = Self::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = (&result * &base).rem(modulus);
+            }
+            base = (&base * &base).rem(modulus);
+        }
+        result
+    }
+
+    /// Uniform random value in `[0, bound)` (rejection sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn random_below<R: rand::RngCore + ?Sized>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bits();
+        let limbs = (bits + 63) / 64;
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        loop {
+            let mut raw: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+            if let Some(top) = raw.last_mut() {
+                *top &= top_mask;
+            }
+            let candidate = Self::from_limbs(raw);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniform random value with exactly `bits` bits (top bit set).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits == 0`.
+    pub fn random_bits<R: rand::RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits > 0, "need at least one bit");
+        let limbs = (bits + 63) / 64;
+        let mut raw: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        let top_bit = (bits - 1) % 64;
+        let top = raw.last_mut().unwrap();
+        if top_bit < 63 {
+            *top &= (1u64 << (top_bit + 1)) - 1;
+        }
+        *top |= 1u64 << top_bit;
+        Self::from_limbs(raw)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic operator impls (reference-based to avoid needless clones).
+// ---------------------------------------------------------------------------
+
+impl std::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u128;
+        for i in 0..long.limbs.len() {
+            let sum = long.limbs[i] as u128 + short.limb(i) as u128 + carry;
+            out.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl std::ops::Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl std::ops::Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    /// Panics on underflow.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let diff = self.limbs[i] as i128 - rhs.limb(i) as i128 + borrow;
+            out.push(diff as u64);
+            borrow = diff >> 64;
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl std::ops::Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+/// Karatsuba threshold in limbs; below this, schoolbook wins.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    // Karatsuba: split at half of the longer operand.
+    let split = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(split.min(a.len()));
+    let (b0, b1) = b.split_at(split.min(b.len()));
+    let a0 = BigUint::from_limbs(a0.to_vec());
+    let a1 = BigUint::from_limbs(a1.to_vec());
+    let b0 = BigUint::from_limbs(b0.to_vec());
+    let b1 = BigUint::from_limbs(b1.to_vec());
+
+    let z0 = BigUint::from_limbs(mul_limbs(a0.limbs(), b0.limbs()));
+    let z2 = BigUint::from_limbs(mul_limbs(a1.limbs(), b1.limbs()));
+    let sa = &a0 + &a1;
+    let sb = &b0 + &b1;
+    let z1 = BigUint::from_limbs(mul_limbs(sa.limbs(), sb.limbs()));
+    let z1 = &(&z1 - &z0) - &z2;
+
+    let mut acc = z0;
+    acc = &acc + &(z1 << (64 * split));
+    acc = &acc + &(z2 << (128 * split));
+    acc.limbs
+}
+
+impl std::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl std::ops::Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl std::ops::Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl std::ops::Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        &self << shift
+    }
+}
+
+impl std::ops::Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        let limb_shift = shift / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = shift % 64;
+        let mut out = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (64 - bit_shift);
+                *l = new;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl std::ops::Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        &self >> shift
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dec())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// Lowercase hexadecimal representation (no prefix, `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Decimal representation.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_small(10_000_000_000_000_000_000u64);
+            digits.push(r);
+            cur = q;
+        }
+        let mut s = format!("{}", digits.pop().unwrap());
+        while let Some(d) = digits.pop() {
+            s.push_str(&format!("{d:019}"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xbeef)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn add_sub_roundtrip_u128() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let a: u128 = r.gen();
+            let b: u128 = r.gen::<u128>() >> 1;
+            let ba = BigUint::from_u128(a >> 1);
+            let bb = BigUint::from_u128(b);
+            let sum = &ba + &bb;
+            assert_eq!(sum.to_u128().unwrap(), (a >> 1) + b);
+            assert_eq!(&sum - &bb, ba);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let a: u64 = r.gen();
+            let b: u64 = r.gen();
+            let prod = &BigUint::from_u64(a) * &BigUint::from_u64(b);
+            assert_eq!(prod.to_u128().unwrap(), a as u128 * b as u128);
+        }
+    }
+
+    #[test]
+    fn mul_karatsuba_matches_schoolbook() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = BigUint::random_bits(&mut r, 64 * 60);
+            let b = BigUint::random_bits(&mut r, 64 * 55);
+            let k = &a * &b;
+            let s = BigUint::from_limbs(mul_schoolbook(a.limbs(), b.limbs()));
+            assert_eq!(k, s);
+        }
+    }
+
+    #[test]
+    fn divrem_identity() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = BigUint::random_bits(&mut r, 700);
+            let b = BigUint::random_bits(&mut r, 250);
+            let (q, rem) = a.divrem(&b);
+            assert!(rem < b);
+            assert_eq!(&(&q * &b) + &rem, a);
+        }
+    }
+
+    #[test]
+    fn divrem_small_divisors() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = BigUint::random_bits(&mut r, 300);
+            let d: u64 = r.gen::<u64>() | 1;
+            let (q, rem) = a.divrem(&BigUint::from_u64(d));
+            assert_eq!(&q.mul_small(d) + &rem, a);
+        }
+    }
+
+    #[test]
+    fn divrem_edge_cases() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let (q, r) = a.divrem(&a);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+
+        let small = BigUint::from_u64(5);
+        let (q, r) = small.divrem(&a);
+        assert!(q.is_zero());
+        assert_eq!(r, small);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Classic case that exercises the "add back" branch of Algorithm D.
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000_0000_0000_0000]);
+        let v = BigUint::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = u.divrem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        assert_eq!(&(&a << 13) >> 13, a);
+        assert_eq!((&a >> 1000), BigUint::zero());
+        assert_eq!(&a << 0, a);
+        assert_eq!(&a >> 0, a);
+    }
+
+    #[test]
+    fn hex_and_dec_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        ];
+        for c in cases {
+            let v = BigUint::from_dec(c).unwrap();
+            assert_eq!(v.to_dec(), c);
+            let h = v.to_hex();
+            assert_eq!(BigUint::from_hex(&h).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        for bits in [1, 7, 64, 65, 255, 256, 1024] {
+            let v = BigUint::random_bits(&mut r, bits);
+            assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+            assert_eq!(BigUint::from_bytes_le(&v.to_bytes_le()), v);
+        }
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = BigUint::from_u64(0x1234);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_overflow_panics() {
+        let v = BigUint::from_u64(0x123456);
+        let _ = v.to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn gcd_known() {
+        let a = BigUint::from_u64(48);
+        let b = BigUint::from_u64(36);
+        assert_eq!(a.gcd(&b), BigUint::from_u64(12));
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+        assert_eq!(BigUint::zero().gcd(&b), b);
+    }
+
+    #[test]
+    fn gcd_coprime() {
+        let p = BigUint::from_dec("65537").unwrap();
+        let q = BigUint::from_dec("274177").unwrap();
+        assert!(p.gcd(&q).is_one());
+    }
+
+    #[test]
+    fn pow_mod_known() {
+        // 2^10 mod 1000 = 24
+        let r = BigUint::from_u64(2).pow_mod(&BigUint::from_u64(10), &BigUint::from_u64(1000));
+        assert_eq!(r, BigUint::from_u64(24));
+        // Fermat: a^(p-1) ≡ 1 mod p for prime p
+        let p = BigUint::from_dec("1000000007").unwrap();
+        let a = BigUint::from_u64(123456789);
+        let r = a.pow_mod(&(&p - &BigUint::one()), &p);
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn pow_mod_even_modulus() {
+        // 3^5 mod 16 = 243 mod 16 = 3
+        let r = BigUint::from_u64(3).pow_mod(&BigUint::from_u64(5), &BigUint::from_u64(16));
+        assert_eq!(r, BigUint::from_u64(3));
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut r, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_exact() {
+        let mut r = rng();
+        for bits in [1, 2, 63, 64, 65, 256] {
+            let v = BigUint::random_bits(&mut r, bits);
+            assert_eq!(v.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn cmp_ordering() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u128(1u128 << 100);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", BigUint::zero()), "0");
+        assert!(!format!("{:?}", BigUint::zero()).is_empty());
+        assert_eq!(format!("{}", BigUint::from_u64(12345)), "12345");
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared Jacobian-coordinate short-Weierstrass group implementation
+//! (`y² = x³ + b`, a = 0) instantiated for G1 (over F_p) and G2 (over F_p²).
+
+/// Defines a Jacobian-coordinate elliptic-curve group over a field type
+/// that provides `add/sub/mul/square/double/neg/invert/is_zero` plus
+/// `ZERO`/`ONE` constants (as [`super::fp::Fp`] and [`super::fp2::Fp2`] do).
+macro_rules! define_weierstrass_group {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $field:ty, $b:expr, $gen:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy)]
+        pub struct $name {
+            x: $field,
+            y: $field,
+            z: $field,
+        }
+
+        impl $name {
+            /// The point at infinity (Z = 0).
+            pub fn identity() -> $name {
+                $name {
+                    x: <$field>::ONE,
+                    y: <$field>::ONE,
+                    z: <$field>::ZERO,
+                }
+            }
+
+            /// The fixed group generator.
+            pub fn generator() -> $name {
+                let (x, y) = $gen;
+                $name { x, y, z: <$field>::ONE }
+            }
+
+            /// The curve constant `b`.
+            pub fn b() -> $field {
+                $b
+            }
+
+            /// Builds from affine coordinates, checking `y² = x³ + b`.
+            pub fn from_affine(x: $field, y: $field) -> Option<$name> {
+                let lhs = y.square();
+                let rhs = x.square().mul(&x).add(&Self::b());
+                if lhs == rhs {
+                    Some($name { x, y, z: <$field>::ONE })
+                } else {
+                    None
+                }
+            }
+
+            /// Converts to affine coordinates; `None` for the identity.
+            pub fn to_affine(&self) -> Option<($field, $field)> {
+                let zinv = self.z.invert()?;
+                let zinv2 = zinv.square();
+                let zinv3 = zinv2.mul(&zinv);
+                Some((self.x.mul(&zinv2), self.y.mul(&zinv3)))
+            }
+
+            /// True for the point at infinity.
+            pub fn is_identity(&self) -> bool {
+                self.z.is_zero()
+            }
+
+            /// Point doubling (`dbl-2009-l`, a = 0).
+            pub fn double(&self) -> $name {
+                if self.is_identity() {
+                    return *self;
+                }
+                let a = self.x.square();
+                let b = self.y.square();
+                let c = b.square();
+                let d = self.x.add(&b).square().sub(&a).sub(&c).double();
+                let e = a.double().add(&a);
+                let f = e.square();
+                let x3 = f.sub(&d.double());
+                let y3 = e.mul(&d.sub(&x3)).sub(&c.double().double().double());
+                let z3 = self.y.mul(&self.z).double();
+                $name { x: x3, y: y3, z: z3 }
+            }
+
+            /// Point addition (`add-2007-bl` with identity/doubling handling).
+            pub fn add(&self, rhs: &$name) -> $name {
+                if self.is_identity() {
+                    return *rhs;
+                }
+                if rhs.is_identity() {
+                    return *self;
+                }
+                let z1z1 = self.z.square();
+                let z2z2 = rhs.z.square();
+                let u1 = self.x.mul(&z2z2);
+                let u2 = rhs.x.mul(&z1z1);
+                let s1 = self.y.mul(&rhs.z).mul(&z2z2);
+                let s2 = rhs.y.mul(&self.z).mul(&z1z1);
+                if u1 == u2 {
+                    return if s1 == s2 {
+                        self.double()
+                    } else {
+                        Self::identity()
+                    };
+                }
+                let h = u2.sub(&u1);
+                let i = h.double().square();
+                let j = h.mul(&i);
+                let rr = s2.sub(&s1).double();
+                let v = u1.mul(&i);
+                let x3 = rr.square().sub(&j).sub(&v.double());
+                let y3 = rr.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+                let z3 = self.z.add(&rhs.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+                $name { x: x3, y: y3, z: z3 }
+            }
+
+            /// Negation.
+            pub fn neg(&self) -> $name {
+                $name { x: self.x, y: self.y.neg(), z: self.z }
+            }
+
+            /// Subtraction.
+            pub fn sub(&self, rhs: &$name) -> $name {
+                self.add(&rhs.neg())
+            }
+
+            /// Scalar multiplication by a non-negative integer (4-bit window).
+            pub fn mul_biguint(&self, scalar: &crate::BigUint) -> $name {
+                if scalar.is_zero() || self.is_identity() {
+                    return Self::identity();
+                }
+                let mut table = [Self::identity(); 16];
+                for i in 1..16 {
+                    table[i] = table[i - 1].add(self);
+                }
+                let bits = scalar.bits();
+                let windows = (bits + 3) / 4;
+                let mut acc = Self::identity();
+                for w in (0..windows).rev() {
+                    for _ in 0..4 {
+                        acc = acc.double();
+                    }
+                    let mut nibble = 0usize;
+                    for b in 0..4 {
+                        let bit_idx = w * 4 + (3 - b);
+                        nibble = (nibble << 1) | scalar.bit(bit_idx) as usize;
+                    }
+                    if nibble != 0 {
+                        acc = acc.add(&table[nibble]);
+                    }
+                }
+                acc
+            }
+
+            /// Scalar multiplication by a field scalar.
+            pub fn mul(&self, scalar: &super::fr::Fr) -> $name {
+                self.mul_biguint(scalar.to_biguint())
+            }
+
+            /// `scalar · G` for the fixed generator.
+            pub fn mul_generator(scalar: &super::fr::Fr) -> $name {
+                Self::generator().mul(scalar)
+            }
+
+            /// True when `r · self` is the identity (prime-subgroup test).
+            pub fn is_torsion_free(&self) -> bool {
+                self.mul_biguint(super::fr::Fr::modulus()).is_identity()
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                // (X1 Z2², Y1 Z2³) == (X2 Z1², Y2 Z1³), identity-aware.
+                match (self.is_identity(), other.is_identity()) {
+                    (true, true) => true,
+                    (true, false) | (false, true) => false,
+                    (false, false) => {
+                        let z1z1 = self.z.square();
+                        let z2z2 = other.z.square();
+                        self.x.mul(&z2z2) == other.x.mul(&z1z1)
+                            && self.y.mul(&z2z2.mul(&other.z))
+                                == other.y.mul(&z1z1.mul(&self.z))
+                    }
+                }
+            }
+        }
+
+        impl Eq for $name {}
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self.to_affine() {
+                    None => write!(f, concat!(stringify!($name), "(identity)")),
+                    Some((x, y)) => {
+                        write!(f, concat!(stringify!($name), "({:?}, {:?})"), x, y)
+                    }
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use define_weierstrass_group;

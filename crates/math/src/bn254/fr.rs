@@ -1,0 +1,197 @@
+//! The BN254 scalar field F_r (the order of G1, G2 and G_T):
+//! r = 21888242871839275222246405745257275088548364400416034343698204186575808495617.
+//!
+//! Shamir sharing and Lagrange interpolation for BLS04 and BZ03 happen here.
+
+use crate::{mod_inverse, BigUint};
+use rand::RngCore;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An element of the scalar field Z_r.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::bn254::Fr;
+/// let a = Fr::from_u64(7);
+/// assert_eq!(a.mul(&a.invert().unwrap()), Fr::one());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Fr(BigUint);
+
+impl Fr {
+    /// The group order r.
+    pub fn modulus() -> &'static BigUint {
+        static R: OnceLock<BigUint> = OnceLock::new();
+        R.get_or_init(|| {
+            BigUint::from_dec(
+                "21888242871839275222246405745257275088548364400416034343698204186575808495617",
+            )
+            .expect("constant")
+        })
+    }
+
+    /// The zero scalar.
+    pub fn zero() -> Fr {
+        Fr(BigUint::zero())
+    }
+
+    /// The one scalar.
+    pub fn one() -> Fr {
+        Fr(BigUint::one())
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Fr {
+        Fr(BigUint::from_u64(v).rem(Self::modulus()))
+    }
+
+    /// Builds from a [`BigUint`], reducing mod r.
+    pub fn from_biguint(v: &BigUint) -> Fr {
+        Fr(v.rem(Self::modulus()))
+    }
+
+    /// Reduces 64 uniform little-endian bytes mod r (bias-free hashing).
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Fr {
+        Fr(BigUint::from_bytes_le(bytes).rem(Self::modulus()))
+    }
+
+    /// Decodes a 32-byte little-endian encoding (reduced mod r).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fr {
+        Fr(BigUint::from_bytes_le(bytes).rem(Self::modulus()))
+    }
+
+    /// Encodes as 32 little-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        let le = self.0.to_bytes_le();
+        out[..le.len()].copy_from_slice(&le);
+        out
+    }
+
+    /// The canonical integer representative in `[0, r)`.
+    pub fn to_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Uniformly random scalar.
+    pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Fr {
+        Fr(BigUint::random_below(rng, Self::modulus()))
+    }
+
+    /// Uniformly random nonzero scalar.
+    pub fn random_nonzero<R: RngCore + ?Sized>(rng: &mut R) -> Fr {
+        loop {
+            let s = Self::random(rng);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Addition mod r.
+    pub fn add(&self, rhs: &Fr) -> Fr {
+        let sum = &self.0 + &rhs.0;
+        Fr(if &sum >= Self::modulus() { &sum - Self::modulus() } else { sum })
+    }
+
+    /// Subtraction mod r.
+    pub fn sub(&self, rhs: &Fr) -> Fr {
+        if self.0 >= rhs.0 {
+            Fr(&self.0 - &rhs.0)
+        } else {
+            Fr(&(&self.0 + Self::modulus()) - &rhs.0)
+        }
+    }
+
+    /// Negation mod r.
+    pub fn neg(&self) -> Fr {
+        if self.0.is_zero() {
+            Fr::zero()
+        } else {
+            Fr(Self::modulus() - &self.0)
+        }
+    }
+
+    /// Multiplication mod r.
+    pub fn mul(&self, rhs: &Fr) -> Fr {
+        Fr((&self.0 * &rhs.0).rem(Self::modulus()))
+    }
+
+    /// Multiplicative inverse, `None` for zero.
+    pub fn invert(&self) -> Option<Fr> {
+        mod_inverse(&self.0, Self::modulus()).map(Fr)
+    }
+
+    /// `self^exp mod r`.
+    pub fn pow(&self, exp: &BigUint) -> Fr {
+        Fr(self.0.pow_mod(exp, Self::modulus()))
+    }
+}
+
+impl fmt::Debug for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fr({})", self.0)
+    }
+}
+
+impl fmt::Display for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xf4)
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = Fr::random(&mut r);
+            let b = Fr::random(&mut r);
+            let c = Fr::random(&mut r);
+            assert_eq!(a.add(&b), b.add(&a));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.sub(&a), Fr::zero());
+            assert_eq!(a.add(&a.neg()), Fr::zero());
+            assert_eq!(a.mul(&Fr::one()), a);
+        }
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fr::random_nonzero(&mut r);
+            assert_eq!(a.mul(&a.invert().unwrap()), Fr::one());
+        }
+        assert!(Fr::zero().invert().is_none());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fr::random(&mut r);
+            assert_eq!(Fr::from_bytes(&a.to_bytes()), a);
+        }
+    }
+
+    #[test]
+    fn modulus_is_254_bits() {
+        assert_eq!(Fr::modulus().bits(), 254);
+    }
+}

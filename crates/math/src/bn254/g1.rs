@@ -1,0 +1,170 @@
+//! G1: the group of F_p-rational points on `y² = x³ + 3` (cofactor 1).
+
+use super::curve::define_weierstrass_group;
+use super::fp::Fp;
+
+define_weierstrass_group!(
+    /// A point of the BN254 G1 group in Jacobian coordinates.
+    ///
+    /// Used for BLS04 signatures and BZ03 ciphertext-validity elements.
+    /// The cofactor is 1, so every curve point is in the r-order group.
+    G1,
+    Fp,
+    Fp::from_u64(3),
+    (Fp::from_u64(1), Fp::from_u64(2))
+);
+
+impl G1 {
+    /// Lifts an x-coordinate to a curve point, picking the root whose
+    /// parity matches `y_odd`. Returns `None` when `x³ + 3` is a
+    /// non-residue. This is the primitive behind try-and-increment
+    /// hash-to-G1 (used by BLS04 message hashing and BZ03).
+    pub fn from_x(x: Fp, y_odd: bool) -> Option<G1> {
+        let yy = x.square().mul(&x).add(&G1::b());
+        let mut y = yy.sqrt()?;
+        if y.is_odd() != y_odd {
+            y = y.neg();
+        }
+        G1::from_affine(x, y)
+    }
+
+    /// Compressed 33-byte encoding: a tag byte then big-endian x.
+    ///
+    /// Tag: 0 = identity, 2 = even y, 3 = odd y.
+    pub fn to_compressed(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        match self.to_affine() {
+            None => out,
+            Some((x, y)) => {
+                out[0] = if y.is_odd() { 3 } else { 2 };
+                out[1..].copy_from_slice(&x.to_bytes_be());
+                out
+            }
+        }
+    }
+
+    /// Decodes the 33-byte compressed encoding.
+    pub fn from_compressed(bytes: &[u8; 33]) -> Option<G1> {
+        match bytes[0] {
+            0 => {
+                if bytes[1..].iter().all(|&b| b == 0) {
+                    Some(G1::identity())
+                } else {
+                    None
+                }
+            }
+            tag @ (2 | 3) => {
+                let mut xb = [0u8; 32];
+                xb.copy_from_slice(&bytes[1..]);
+                let x = Fp::from_bytes_be(&xb)?;
+                G1::from_x(x, tag == 3)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::Fr;
+    use crate::BigUint;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x61)
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        let g = G1::generator();
+        assert!(!g.is_identity());
+        let (x, y) = g.to_affine().unwrap();
+        assert!(G1::from_affine(x, y).is_some());
+        assert!(g.is_torsion_free());
+    }
+
+    #[test]
+    fn group_laws() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let p = G1::mul_generator(&Fr::random(&mut r));
+            let q = G1::mul_generator(&Fr::random(&mut r));
+            let s = G1::mul_generator(&Fr::random(&mut r));
+            assert_eq!(p.add(&q), q.add(&p));
+            assert_eq!(p.add(&q).add(&s), p.add(&q.add(&s)));
+            assert_eq!(p.add(&G1::identity()), p);
+            assert!(p.add(&p.neg()).is_identity());
+            assert_eq!(p.double(), p.add(&p));
+        }
+    }
+
+    #[test]
+    fn scalar_mul_homomorphism() {
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        assert_eq!(
+            G1::mul_generator(&a.add(&b)),
+            G1::mul_generator(&a).add(&G1::mul_generator(&b))
+        );
+        assert_eq!(
+            G1::mul_generator(&a.mul(&b)),
+            G1::mul_generator(&a).mul(&b)
+        );
+    }
+
+    #[test]
+    fn order_annihilates() {
+        assert!(G1::generator().mul_biguint(Fr::modulus()).is_identity());
+        let r_minus_1 = Fr::modulus() - &BigUint::one();
+        assert_eq!(
+            G1::generator().mul_biguint(&r_minus_1),
+            G1::generator().neg()
+        );
+    }
+
+    #[test]
+    fn small_multiples() {
+        let g = G1::generator();
+        let mut acc = G1::identity();
+        for k in 0u64..8 {
+            assert_eq!(g.mul(&Fr::from_u64(k)), acc);
+            acc = acc.add(&g);
+        }
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let p = G1::mul_generator(&Fr::random(&mut r));
+            let c = p.to_compressed();
+            assert_eq!(G1::from_compressed(&c).unwrap(), p);
+        }
+        let id = G1::identity();
+        assert_eq!(G1::from_compressed(&id.to_compressed()).unwrap(), id);
+    }
+
+    #[test]
+    fn compressed_rejects_garbage() {
+        let mut bad = [0xffu8; 33];
+        bad[0] = 9;
+        assert!(G1::from_compressed(&bad).is_none());
+        // Non-canonical identity (tag 0 with nonzero payload).
+        let mut bad = [0u8; 33];
+        bad[5] = 1;
+        assert!(G1::from_compressed(&bad).is_none());
+    }
+
+    #[test]
+    fn from_x_respects_sign() {
+        let mut r = rng();
+        let p = G1::mul_generator(&Fr::random(&mut r));
+        let (x, y) = p.to_affine().unwrap();
+        let q = G1::from_x(x, y.is_odd()).unwrap();
+        assert_eq!(p, q);
+        let q_neg = G1::from_x(x, !y.is_odd()).unwrap();
+        assert_eq!(p.neg(), q_neg);
+    }
+}

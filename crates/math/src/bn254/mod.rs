@@ -1,0 +1,39 @@
+//! The BN254 pairing-friendly curve (the paper's "Bn254", Table 3) with a
+//! complete optimal-ate pairing, built from scratch.
+//!
+//! Tower: `Fp2 = Fp[u]/(u²+1)`, `Fp6 = Fp2[v]/(v³−ξ)`, `Fp12 = Fp6[w]/(w²−v)`
+//! with ξ = 9 + u. G1 is `y² = x³ + 3` over F_p (cofactor 1); G2 is the
+//! r-order subgroup of the D-type sextic twist `y² = x³ + 3/ξ` over F_p².
+//!
+//! # Example
+//!
+//! ```
+//! use theta_math::bn254::{pairing, Fr, G1, G2};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sk = Fr::random(&mut rng);
+//! // BLS-style: e(sk·H, G2) == e(H, sk·G2)
+//! let h = G1::mul_generator(&Fr::from_u64(42));
+//! let lhs = pairing(&h.mul(&sk), &G2::generator());
+//! let rhs = pairing(&h, &G2::mul_generator(&sk));
+//! assert_eq!(lhs, rhs);
+//! ```
+
+mod curve;
+mod fp;
+mod fp12;
+mod fp2;
+mod fp6;
+mod fr;
+mod g1;
+mod g2;
+mod pairing;
+
+pub use fp::Fp;
+pub use fp12::Fp12;
+pub use fp2::Fp2;
+pub use fp6::Fp6;
+pub use fr::Fr;
+pub use g1::G1;
+pub use g2::G2;
+pub use pairing::{miller_loop, multi_pairing, pairing, pairing_check};

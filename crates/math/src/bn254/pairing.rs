@@ -1,0 +1,258 @@
+//! The optimal ate pairing e : G1 × G2 → G_T ⊂ F_p¹².
+//!
+//! Implemented with affine Miller-loop steps (one F_p² inversion per step)
+//! for clarity; the line function is assembled into a full F_p¹² element
+//! and multiplied without sparse tricks. Correctness is enforced by
+//! bilinearity/non-degeneracy tests rather than test vectors, which a
+//! wrong loop constant, twist type or Frobenius coefficient would all
+//! break.
+
+use super::fp::Fp;
+use super::fp2::Fp2;
+use super::fp6::Fp6;
+use super::fp12::Fp12;
+use super::g1::G1;
+use super::g2::G2;
+
+/// The BN parameter x = 4965661367192848881; the Miller loop runs over
+/// 6x + 2 = 29793968203157093288 (65 bits, hence `u128`).
+const SIX_X_PLUS_2: u128 = 29793968203157093288;
+
+/// Affine G2 point used inside the Miller loop.
+#[derive(Clone, Copy)]
+struct TwistPoint {
+    x: Fp2,
+    y: Fp2,
+}
+
+/// Line through (or tangent at) twist points, evaluated at P ∈ G1.
+///
+/// After untwisting, the line is `y_P − λ·x_P·w + (λ·x_T − y_T)·w³`,
+/// i.e. in the tower: c0 = (y_P, 0, 0), c1 = (−λ·x_P, λ·x_T − y_T, 0).
+fn line_value(lambda: &Fp2, t: &TwistPoint, px: &Fp, py: &Fp) -> Fp12 {
+    let a = Fp2::from_fp(*py);
+    let b = lambda.mul_fp(px).neg();
+    let c = lambda.mul(&t.x).sub(&t.y);
+    Fp12::new(
+        Fp6::new(a, Fp2::ZERO, Fp2::ZERO),
+        Fp6::new(b, c, Fp2::ZERO),
+    )
+}
+
+/// Vertical line `x_P − x_T·w²` through T and −T, evaluated at P.
+fn vertical_line_value(t: &TwistPoint, px: &Fp) -> Fp12 {
+    // w² = v, so the element is c0 = (x_P, −x_T, 0), c1 = 0.
+    Fp12::new(
+        Fp6::new(Fp2::from_fp(*px), t.x.neg(), Fp2::ZERO),
+        Fp6::ZERO,
+    )
+}
+
+/// Tangent step: returns (line at P, 2T).
+fn double_step(t: &TwistPoint, px: &Fp, py: &Fp) -> (Fp12, TwistPoint) {
+    // λ = 3x² / 2y
+    let xx = t.x.square();
+    let num = xx.double().add(&xx);
+    let denom = t.y.double().invert().expect("y != 0 on the Miller path");
+    let lambda = num.mul(&denom);
+    let line = line_value(&lambda, t, px, py);
+    let x3 = lambda.square().sub(&t.x.double());
+    let y3 = lambda.mul(&t.x.sub(&x3)).sub(&t.y);
+    (line, TwistPoint { x: x3, y: y3 })
+}
+
+/// Chord step: returns (line at P, T + Q).
+fn add_step(t: &TwistPoint, q: &TwistPoint, px: &Fp, py: &Fp) -> (Fp12, TwistPoint) {
+    if t.x == q.x {
+        if t.y == q.y {
+            return double_step(t, px, py);
+        }
+        // T = −Q: vertical line, sum is the identity — this cannot occur
+        // mid-loop for r-torsion inputs but is handled for completeness.
+        return (
+            vertical_line_value(t, px),
+            TwistPoint { x: Fp2::ZERO, y: Fp2::ZERO },
+        );
+    }
+    let lambda = q.y.sub(&t.y).mul(&q.x.sub(&t.x).invert().expect("x_T != x_Q"));
+    let line = line_value(&lambda, t, px, py);
+    let x3 = lambda.square().sub(&t.x).sub(&q.x);
+    let y3 = lambda.mul(&t.x.sub(&x3)).sub(&t.y);
+    (line, TwistPoint { x: x3, y: y3 })
+}
+
+/// The Miller loop of the optimal ate pairing (no final exponentiation).
+///
+/// Returns `Fp12::ONE` when either input is the identity.
+pub fn miller_loop(p: &G1, q: &G2) -> Fp12 {
+    let (px, py) = match p.to_affine() {
+        Some(c) => c,
+        None => return Fp12::ONE,
+    };
+    let (qx, qy) = match q.to_affine() {
+        Some(c) => c,
+        None => return Fp12::ONE,
+    };
+    let q_aff = TwistPoint { x: qx, y: qy };
+    let mut t = q_aff;
+    let mut f = Fp12::ONE;
+
+    let bits = 128 - SIX_X_PLUS_2.leading_zeros();
+    for i in (0..bits - 1).rev() {
+        f = f.square();
+        let (line, t2) = double_step(&t, &px, &py);
+        f = f.mul(&line);
+        t = t2;
+        if (SIX_X_PLUS_2 >> i) & 1 == 1 {
+            let (line, t2) = add_step(&t, &q_aff, &px, &py);
+            f = f.mul(&line);
+            t = t2;
+        }
+    }
+
+    // Frobenius correction lines: Q1 = ψ(Q), Q2 = ψ²(Q) (negated).
+    let q1 = q.frobenius();
+    let q2 = q1.frobenius().neg();
+    let (q1x, q1y) = q1.to_affine().expect("psi(Q) != identity");
+    let (q2x, q2y) = q2.to_affine().expect("psi^2(Q) != identity");
+    let q1_aff = TwistPoint { x: q1x, y: q1y };
+    let q2_aff = TwistPoint { x: q2x, y: q2y };
+
+    let (line, t2) = add_step(&t, &q1_aff, &px, &py);
+    f = f.mul(&line);
+    t = t2;
+    let (line, _) = add_step(&t, &q2_aff, &px, &py);
+    f = f.mul(&line);
+
+    f
+}
+
+/// The full optimal ate pairing `e(P, Q)`.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::bn254::{pairing, Fr, G1, G2};
+/// let e = pairing(&G1::generator(), &G2::generator());
+/// assert!(!e.is_one()); // non-degenerate
+/// ```
+pub fn pairing(p: &G1, q: &G2) -> Fp12 {
+    miller_loop(p, q)
+        .final_exponentiation()
+        .expect("miller loop output is invertible")
+}
+
+/// Computes `Π e(P_i, Q_i)` sharing one final exponentiation — the shape
+/// every pairing-based verification equation in BLS04/BZ03 uses.
+pub fn multi_pairing(pairs: &[(&G1, &G2)]) -> Fp12 {
+    let mut acc = Fp12::ONE;
+    for (p, q) in pairs {
+        acc = acc.mul(&miller_loop(p, q));
+    }
+    acc.final_exponentiation()
+        .expect("miller loop outputs are invertible")
+}
+
+/// Checks `e(a1, a2) == e(b1, b2)` using a single final exponentiation via
+/// `e(a1, a2) · e(−b1, b2) == 1`.
+pub fn pairing_check(a1: &G1, a2: &G2, b1: &G1, b2: &G2) -> bool {
+    multi_pairing(&[(a1, a2), (&b1.neg(), b2)]).is_one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::Fr;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xee)
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let e = pairing(&G1::generator(), &G2::generator());
+        assert!(!e.is_one());
+        assert!(!e.is_zero());
+    }
+
+    #[test]
+    fn output_has_order_r() {
+        let e = pairing(&G1::generator(), &G2::generator());
+        assert_eq!(e.pow(Fr::modulus()), Fp12::ONE);
+    }
+
+    #[test]
+    fn bilinear_in_g1() {
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let e_base = pairing(&G1::generator(), &G2::generator());
+        let e_scaled = pairing(&G1::mul_generator(&a), &G2::generator());
+        assert_eq!(e_scaled, e_base.pow(a.to_biguint()));
+    }
+
+    #[test]
+    fn bilinear_in_g2() {
+        let mut r = rng();
+        let b = Fr::random(&mut r);
+        let e_base = pairing(&G1::generator(), &G2::generator());
+        let e_scaled = pairing(&G1::generator(), &G2::mul_generator(&b));
+        assert_eq!(e_scaled, e_base.pow(b.to_biguint()));
+    }
+
+    #[test]
+    fn bilinear_both_sides() {
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let lhs = pairing(&G1::mul_generator(&a), &G2::mul_generator(&b));
+        let rhs = pairing(&G1::mul_generator(&a.mul(&b)), &G2::generator());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn identity_pairs_to_one() {
+        assert!(pairing(&G1::identity(), &G2::generator()).is_one());
+        assert!(pairing(&G1::generator(), &G2::identity()).is_one());
+    }
+
+    #[test]
+    fn inverse_relation() {
+        let e = pairing(&G1::generator(), &G2::generator());
+        let e_neg = pairing(&G1::generator().neg(), &G2::generator());
+        assert_eq!(e.mul(&e_neg), Fp12::ONE);
+    }
+
+    #[test]
+    fn multi_pairing_matches_products() {
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let p1 = G1::mul_generator(&a);
+        let p2 = G1::mul_generator(&b);
+        let q = G2::generator();
+        let single = pairing(&p1, &q).mul(&pairing(&p2, &q));
+        let multi = multi_pairing(&[(&p1, &q), (&p2, &q)]);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn pairing_check_works() {
+        let mut r = rng();
+        let x = Fr::random(&mut r);
+        // e(xG1, G2) == e(G1, xG2)
+        assert!(pairing_check(
+            &G1::mul_generator(&x),
+            &G2::generator(),
+            &G1::generator(),
+            &G2::mul_generator(&x),
+        ));
+        // and a perturbed equation fails
+        assert!(!pairing_check(
+            &G1::mul_generator(&x.add(&Fr::one())),
+            &G2::generator(),
+            &G1::generator(),
+            &G2::mul_generator(&x),
+        ));
+    }
+}

@@ -1,0 +1,24 @@
+//! The Ed25519 (Curve25519, twisted Edwards) group and its scalar field.
+//!
+//! This is the discrete-log group used by the SG02 threshold cipher,
+//! the KG20/FROST threshold signature and the CKS05 coin in the paper's
+//! Table 3 (256-bit keys).
+//!
+//! # Example
+//!
+//! ```
+//! use theta_math::ed25519::{Point, Scalar};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let sk = Scalar::random(&mut rng);
+//! let pk = Point::mul_base(&sk);
+//! assert!(pk.is_in_prime_subgroup());
+//! ```
+
+mod fe;
+mod point;
+mod scalar;
+
+pub use fe::{edwards_d, sqrt_m1, Fe};
+pub use point::Point;
+pub use scalar::Scalar;

@@ -1,0 +1,227 @@
+//! The Ed25519 scalar field: integers modulo the prime group order
+//! ℓ = 2^252 + 27742317777372353535851937790883648493.
+//!
+//! All Shamir sharing, Lagrange interpolation and Schnorr arithmetic for
+//! the Ed25519-based schemes (SG02, KG20/FROST, CKS05) happens here.
+
+use crate::{mod_inverse, BigUint};
+use rand::RngCore;
+use std::fmt;
+use std::sync::OnceLock;
+
+fn order() -> &'static BigUint {
+    static L: OnceLock<BigUint> = OnceLock::new();
+    L.get_or_init(|| {
+        BigUint::from_dec(
+            "7237005577332262213973186563042994240857116359379907606001950938285454250989",
+        )
+        .expect("constant")
+    })
+}
+
+/// An element of the scalar field Z_ℓ.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::ed25519::Scalar;
+/// let a = Scalar::from_u64(3);
+/// let inv = a.invert().unwrap();
+/// assert_eq!(a.mul(&inv), Scalar::one());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Scalar(BigUint);
+
+impl Scalar {
+    /// The group order ℓ.
+    pub fn order_biguint() -> &'static BigUint {
+        order()
+    }
+
+    /// The zero scalar.
+    pub fn zero() -> Scalar {
+        Scalar(BigUint::zero())
+    }
+
+    /// The one scalar.
+    pub fn one() -> Scalar {
+        Scalar(BigUint::one())
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(BigUint::from_u64(v).rem(order()))
+    }
+
+    /// Builds from a [`BigUint`], reducing mod ℓ.
+    pub fn from_biguint(v: &BigUint) -> Scalar {
+        Scalar(v.rem(order()))
+    }
+
+    /// Reduces 64 uniform bytes (little-endian) mod ℓ; the standard way to
+    /// derive a scalar from a hash without modular bias.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        Scalar(BigUint::from_bytes_le(bytes).rem(order()))
+    }
+
+    /// Decodes a 32-byte little-endian encoding; reduces mod ℓ.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Scalar {
+        Scalar(BigUint::from_bytes_le(bytes).rem(order()))
+    }
+
+    /// Encodes as 32 little-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        let le = self.0.to_bytes_le();
+        out[..le.len()].copy_from_slice(&le);
+        out
+    }
+
+    /// The canonical integer representative in `[0, ℓ)`.
+    pub fn to_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Uniformly random scalar.
+    pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Scalar {
+        Scalar(BigUint::random_below(rng, order()))
+    }
+
+    /// Uniformly random *nonzero* scalar.
+    pub fn random_nonzero<R: RngCore + ?Sized>(rng: &mut R) -> Scalar {
+        loop {
+            let s = Self::random(rng);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Addition mod ℓ.
+    pub fn add(&self, rhs: &Scalar) -> Scalar {
+        let sum = &self.0 + &rhs.0;
+        Scalar(if &sum >= order() { &sum - order() } else { sum })
+    }
+
+    /// Subtraction mod ℓ.
+    pub fn sub(&self, rhs: &Scalar) -> Scalar {
+        if self.0 >= rhs.0 {
+            Scalar(&self.0 - &rhs.0)
+        } else {
+            Scalar(&(&self.0 + order()) - &rhs.0)
+        }
+    }
+
+    /// Negation mod ℓ.
+    pub fn neg(&self) -> Scalar {
+        if self.0.is_zero() {
+            Scalar::zero()
+        } else {
+            Scalar(order() - &self.0)
+        }
+    }
+
+    /// Multiplication mod ℓ.
+    pub fn mul(&self, rhs: &Scalar) -> Scalar {
+        Scalar((&self.0 * &rhs.0).rem(order()))
+    }
+
+    /// Multiplicative inverse, `None` for zero.
+    pub fn invert(&self) -> Option<Scalar> {
+        mod_inverse(&self.0, order()).map(Scalar)
+    }
+
+    /// `self^exp mod ℓ`.
+    pub fn pow(&self, exp: &BigUint) -> Scalar {
+        Scalar(self.0.pow_mod(exp, order()))
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar({})", self.0)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5ca1a4)
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = Scalar::random(&mut r);
+            let b = Scalar::random(&mut r);
+            let c = Scalar::random(&mut r);
+            // Commutativity
+            assert_eq!(a.add(&b), b.add(&a));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            // Associativity
+            assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            // Distributivity
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            // Identities and inverses
+            assert_eq!(a.add(&Scalar::zero()), a);
+            assert_eq!(a.mul(&Scalar::one()), a);
+            assert_eq!(a.sub(&a), Scalar::zero());
+            assert_eq!(a.add(&a.neg()), Scalar::zero());
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Scalar::random_nonzero(&mut r);
+            assert_eq!(a.mul(&a.invert().unwrap()), Scalar::one());
+        }
+        assert!(Scalar::zero().invert().is_none());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Scalar::random(&mut r);
+            assert_eq!(Scalar::from_bytes(&a.to_bytes()), a);
+        }
+    }
+
+    #[test]
+    fn wide_reduction_consistent() {
+        let mut wide = [0u8; 64];
+        wide[0] = 5;
+        assert_eq!(Scalar::from_bytes_wide(&wide), Scalar::from_u64(5));
+    }
+
+    #[test]
+    fn order_is_prime_sized() {
+        assert_eq!(Scalar::order_biguint().bits(), 253);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let mut r = rng();
+        let a = Scalar::random_nonzero(&mut r);
+        let exp = Scalar::order_biguint() - &BigUint::one();
+        assert_eq!(a.pow(&exp), Scalar::one());
+    }
+}

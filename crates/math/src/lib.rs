@@ -1,0 +1,42 @@
+//! # theta-math
+//!
+//! From-scratch mathematical substrate for the Thetacrypt reproduction:
+//!
+//! - [`BigUint`] / [`BigInt`]: arbitrary-precision integers with Knuth
+//!   division and Karatsuba multiplication.
+//! - [`Montgomery`]: reusable Montgomery contexts for fast modular
+//!   exponentiation over odd moduli (RSA, scalar fields).
+//! - [`prime`]: Miller–Rabin plus (safe-)prime generation for SH00.
+//! - [`ed25519`]: the twisted-Edwards curve and its scalar field, used by
+//!   SG02, KG20 (FROST) and CKS05.
+//! - [`bn254`]: the BN254 pairing-friendly curve with a full optimal-ate
+//!   pairing, used by BLS04 and BZ03.
+//!
+//! The crate replaces MIRACL Core from the paper's implementation. It has
+//! no dependencies beyond `rand` and is deliberately self-contained so the
+//! schemes crate can be audited bottom-up.
+//!
+//! ## Example
+//!
+//! ```
+//! use theta_math::{BigUint, mod_inverse};
+//! let p = BigUint::from_dec("65537").unwrap();
+//! let x = BigUint::from_u64(42);
+//! let inv = mod_inverse(&x, &p).unwrap();
+//! assert!((&inv * &x).rem(&p).is_one());
+//! ```
+
+mod bigint;
+mod crt;
+mod biguint;
+mod mont;
+pub mod prime;
+
+pub mod bn254;
+pub mod ed25519;
+
+pub use bigint::{ext_gcd, mod_inverse, BigInt, Sign};
+pub use crt::{crt_combine, rsa_crt_pow};
+pub use biguint::BigUint;
+pub use mont::Montgomery;
+pub use prime::{generate_prime, generate_safe_prime, is_probable_prime};

@@ -1,0 +1,253 @@
+//! Montgomery modular arithmetic over arbitrary odd moduli.
+//!
+//! Used for every hot modular-exponentiation path: RSA (SH00 signing and
+//! verification), prime testing, and the dynamically-sized scalar fields.
+
+use crate::BigUint;
+
+/// A reusable Montgomery context for a fixed odd modulus.
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::{BigUint, Montgomery};
+/// let n = BigUint::from_dec("1000000007").unwrap();
+/// let ctx = Montgomery::new(n.clone());
+/// let r = ctx.pow(&BigUint::from_u64(2), &BigUint::from_u64(100));
+/// assert_eq!(r, BigUint::from_u64(2).pow_mod(&BigUint::from_u64(100), &n));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    modulus: BigUint,
+    /// Number of 64-bit limbs in the modulus.
+    limbs: usize,
+    /// `-modulus^{-1} mod 2^64`.
+    n_prime: u64,
+    /// `R^2 mod modulus` where `R = 2^(64·limbs)`.
+    r2: BigUint,
+    /// `R mod modulus` (the Montgomery form of 1).
+    r1: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context for an odd `modulus > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the modulus is even or ≤ 1.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus.is_odd(), "Montgomery requires an odd modulus");
+        assert!(!modulus.is_one(), "modulus must exceed 1");
+        let limbs = modulus.limbs().len();
+        let n0 = modulus.limb(0);
+        // Newton iteration for the inverse of n0 mod 2^64.
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n_prime = inv.wrapping_neg();
+        let r1 = (BigUint::one() << (64 * limbs)).rem(&modulus);
+        let r2 = (&r1 * &r1).rem(&modulus);
+        Montgomery {
+            modulus,
+            limbs,
+            n_prime,
+            r2,
+            r1,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Montgomery reduction of a double-width value: returns `t·R^{-1} mod n`.
+    fn redc(&self, t: &BigUint) -> BigUint {
+        let n = self.limbs;
+        let mut a: Vec<u64> = t.limbs().to_vec();
+        a.resize(2 * n + 1, 0);
+        let m_limbs = self.modulus.limbs();
+        for i in 0..n {
+            let u = a[i].wrapping_mul(self.n_prime);
+            // a += u * m << (64*i)
+            let mut carry = 0u128;
+            for (j, &mj) in m_limbs.iter().enumerate() {
+                let cur = a[i + j] as u128 + u as u128 * mj as u128 + carry;
+                a[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + m_limbs.len();
+            while carry != 0 {
+                let cur = a[k] as u128 + carry;
+                a[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let out = BigUint::from_limbs(a[n..].to_vec());
+        if out >= self.modulus {
+            &out - &self.modulus
+        } else {
+            out
+        }
+    }
+
+    /// Converts `x` into Montgomery form (`x·R mod n`).
+    pub fn to_mont(&self, x: &BigUint) -> BigUint {
+        let x = if x >= &self.modulus { x.rem(&self.modulus) } else { x.clone() };
+        self.redc(&(&x * &self.r2))
+    }
+
+    /// Converts a Montgomery-form value back to the plain representative.
+    pub fn from_mont(&self, x: &BigUint) -> BigUint {
+        self.redc(x)
+    }
+
+    /// Multiplies two Montgomery-form values.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.redc(&(a * b))
+    }
+
+    /// Squares a Montgomery-form value.
+    pub fn square(&self, a: &BigUint) -> BigUint {
+        self.redc(&(a * a))
+    }
+
+    /// Computes `base^exp mod n` with plain (non-Montgomery) inputs/outputs.
+    ///
+    /// Uses a fixed 4-bit window.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        for i in 1..16 {
+            table.push(self.mul(&table[i - 1], &base_m));
+        }
+        let bits = exp.bits();
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        let mut i = bits;
+        while i > 0 {
+            let take = if i % 4 == 0 { 4 } else { i % 4 };
+            let mut window = 0usize;
+            for _ in 0..take {
+                i -= 1;
+                window = (window << 1) | exp.bit(i) as usize;
+            }
+            if started {
+                for _ in 0..take {
+                    acc = self.square(&acc);
+                }
+            }
+            if window != 0 {
+                acc = self.mul(&acc, &table[window]);
+                started = true;
+            } else if started {
+                // acc already squared; nothing to multiply.
+            } else {
+                // Leading zero window: still nothing accumulated.
+            }
+        }
+        if !started {
+            // exp consisted solely of zero bits, impossible since exp != 0.
+            unreachable!("nonzero exponent produced no windows");
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let mut r = rng();
+        let m = {
+            let mut v = BigUint::random_bits(&mut r, 256);
+            if v.is_even() {
+                v = &v + &BigUint::one();
+            }
+            v
+        };
+        let ctx = Montgomery::new(m.clone());
+        for _ in 0..50 {
+            let x = BigUint::random_below(&mut r, &m);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let mut r = rng();
+        let m = BigUint::from_dec("340282366920938463463374607431768211507").unwrap(); // odd
+        let ctx = Montgomery::new(m.clone());
+        for _ in 0..100 {
+            let a = BigUint::random_below(&mut r, &m);
+            let b = BigUint::random_below(&mut r, &m);
+            let expect = (&a * &b).rem(&m);
+            let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_small() {
+        let m = BigUint::from_u64(1_000_003);
+        let ctx = Montgomery::new(m.clone());
+        for base in [2u64, 3, 12345, 999_999] {
+            for exp in [0u64, 1, 2, 17, 65537] {
+                let expect = naive_pow(base, exp, 1_000_003);
+                let got = ctx.pow(&BigUint::from_u64(base), &BigUint::from_u64(exp));
+                assert_eq!(got.to_u64().unwrap(), expect, "base={base} exp={exp}");
+            }
+        }
+    }
+
+    fn naive_pow(mut b: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc = 1u128;
+        let mut bb = b as u128 % m as u128;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * bb % m as u128;
+            }
+            bb = bb * bb % m as u128;
+            e >>= 1;
+        }
+        let _ = &mut b;
+        acc as u64
+    }
+
+    #[test]
+    fn pow_fermat_large_prime() {
+        // 2^255 - 19 is prime; check Fermat's little theorem.
+        let p = (BigUint::one() << 255) - BigUint::from_u64(19);
+        let ctx = Montgomery::new(p.clone());
+        let a = BigUint::from_dec("123456789123456789123456789").unwrap();
+        let r = ctx.pow(&a, &(&p - &BigUint::one()));
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn pow_zero_exponent() {
+        let m = BigUint::from_u64(97);
+        let ctx = Montgomery::new(m);
+        assert!(ctx.pow(&BigUint::from_u64(5), &BigUint::zero()).is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_panics() {
+        let _ = Montgomery::new(BigUint::from_u64(100));
+    }
+}

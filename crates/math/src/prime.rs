@@ -1,0 +1,248 @@
+//! Primality testing and prime generation.
+//!
+//! Provides Miller–Rabin testing plus generators for random primes and
+//! *safe* primes (`p = 2p' + 1` with `p'` prime), which Shoup's threshold
+//! RSA scheme (SH00) requires for its soundness argument.
+
+use crate::{BigUint, Montgomery};
+use rand::RngCore;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+];
+
+/// Number of Miller–Rabin rounds; 2^-128 error bound for random candidates.
+const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Probabilistic primality test (trial division + Miller–Rabin).
+///
+/// # Examples
+///
+/// ```
+/// use theta_math::{BigUint, is_probable_prime};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = (BigUint::one() << 255) - BigUint::from_u64(19);
+/// assert!(is_probable_prime(&p, &mut rng));
+/// ```
+pub fn is_probable_prime<R: RngCore + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if let Some(small) = n.to_u64() {
+        if small == 2 {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let (_, r) = n.divrem_small(p);
+        if r == 0 {
+            return n.to_u64() == Some(p);
+        }
+    }
+    miller_rabin(n, MILLER_RABIN_ROUNDS, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. `n` must be odd and > 3.
+fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    // n - 1 = d · 2^s with d odd
+    let s = trailing_zeros(&n_minus_1);
+    let d = &n_minus_1 >> s;
+    let ctx = Montgomery::new(n.clone());
+    let two = BigUint::from_u64(2);
+    let bound = n - &BigUint::from_u64(3); // sample a in [2, n-2]
+    'witness: for _ in 0..rounds {
+        let a = &BigUint::random_below(rng, &bound) + &two;
+        let mut x = ctx.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = (&x * &x).rem(n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn trailing_zeros(n: &BigUint) -> usize {
+    if n.is_zero() {
+        return 0;
+    }
+    let mut count = 0;
+    for (i, &limb) in n.limbs().iter().enumerate() {
+        if limb == 0 {
+            continue;
+        }
+        count = i * 64 + limb.trailing_zeros() as usize;
+        break;
+    }
+    count
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics when `bits < 2`.
+pub fn generate_prime<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = &candidate + &BigUint::one();
+            if candidate.bits() != bits {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random *safe* prime `p = 2q + 1` (both `p` and `q` prime)
+/// with exactly `bits` bits. Used by SH00 key generation.
+///
+/// This is expensive for large sizes (minutes at 2048 bits); tests use
+/// 256–512 bits and benches cache generated keys.
+///
+/// # Panics
+///
+/// Panics when `bits < 3`.
+pub fn generate_safe_prime<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "safe primes need at least 3 bits");
+    let one = BigUint::one();
+    loop {
+        // Generate candidate q of bits-1 bits with q ≡ 1 mod 2 and p = 2q+1.
+        let q = BigUint::random_bits(rng, bits - 1);
+        let q = if q.is_even() { &q + &one } else { q };
+        if q.bits() != bits - 1 {
+            continue;
+        }
+        let p = &(&q << 1) + &one;
+        // Cheap screens on both before the expensive tests.
+        if !passes_trial_division(&q) || !passes_trial_division(&p) {
+            continue;
+        }
+        // Fermat base-2 screen on p first (cheapest useful filter).
+        let two = BigUint::from_u64(2);
+        if !two.pow_mod(&(&p - &one), &p).is_one() {
+            continue;
+        }
+        if is_probable_prime(&q, rng) && is_probable_prime(&p, rng) {
+            return p;
+        }
+    }
+}
+
+fn passes_trial_division(n: &BigUint) -> bool {
+    for &p in &SMALL_PRIMES {
+        let (_, r) = n.divrem_small(p);
+        if r == 0 {
+            return n.to_u64() == Some(p);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn small_primes_detected() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 97, 65537, 1_000_000_007] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), &mut r), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 41041, 1_000_000_000] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        // Carmichael numbers fool the Fermat test but not Miller–Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825265] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        let mut r = rng();
+        // 2^255 - 19 (Curve25519 field prime)
+        let p = (BigUint::one() << 255) - BigUint::from_u64(19);
+        assert!(is_probable_prime(&p, &mut r));
+        // BN254 base field prime
+        let p = BigUint::from_dec(
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        )
+        .unwrap();
+        assert!(is_probable_prime(&p, &mut r));
+        // BN254 group order
+        let p = BigUint::from_dec(
+            "21888242871839275222246405745257275088548364400416034343698204186575808495617",
+        )
+        .unwrap();
+        assert!(is_probable_prime(&p, &mut r));
+    }
+
+    #[test]
+    fn known_large_composite() {
+        let mut r = rng();
+        // (2^255 - 19) + 2 is even... use +4 (odd composite).
+        let p = (BigUint::one() << 255) - BigUint::from_u64(15);
+        assert!(!is_probable_prime(&p, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bits() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = generate_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut r = rng();
+        let p = generate_safe_prime(64, &mut r);
+        assert_eq!(p.bits(), 64);
+        assert!(is_probable_prime(&p, &mut r));
+        let q = (&p - &BigUint::one()) >> 1;
+        assert!(is_probable_prime(&q, &mut r));
+    }
+
+    #[test]
+    fn trailing_zeros_counts() {
+        assert_eq!(trailing_zeros(&BigUint::from_u64(8)), 3);
+        assert_eq!(trailing_zeros(&BigUint::from_u64(1)), 0);
+        assert_eq!(trailing_zeros(&(BigUint::one() << 100)), 100);
+    }
+}

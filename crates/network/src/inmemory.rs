@@ -1,0 +1,444 @@
+//! In-process mesh with latency injection, loss and partitions.
+//!
+//! The hub owns one delivery-scheduler thread: every sent message is
+//! stamped with a delivery deadline drawn from its link's
+//! [`LinkProfile`] and released to the destination's channel when due.
+//! This is what lets integration tests and the live benchmarks replay
+//! the paper's local (0.65 ms) and global (43–100 ms) RTT regimes on one
+//! machine.
+
+use crate::{LinkProfile, Network, NetworkEvent, NodeId, TobReorderBuffer};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the simulated mesh.
+#[derive(Clone, Debug)]
+pub struct InMemoryConfig {
+    /// Latency profile applied to every (ordered) node pair. The function
+    /// receives 1-based ids.
+    pub default_link: LinkProfile,
+    /// Probability that a P2P message is silently dropped (0.0 = reliable).
+    pub drop_probability: f64,
+    /// RNG seed for jitter/loss reproducibility.
+    pub seed: u64,
+}
+
+impl Default for InMemoryConfig {
+    fn default() -> Self {
+        InMemoryConfig {
+            default_link: LinkProfile::fixed(Duration::ZERO),
+            drop_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+struct ScheduledDelivery {
+    due: Instant,
+    target: usize,
+    event: Delivery,
+}
+
+enum Delivery {
+    P2p { from: NodeId, payload: Vec<u8> },
+    Tob { seq: u64, from: NodeId, payload: Vec<u8> },
+}
+
+impl PartialEq for ScheduledDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for ScheduledDelivery {}
+impl PartialOrd for ScheduledDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on `due`.
+        other.due.cmp(&self.due)
+    }
+}
+
+struct HubInner {
+    outboxes: Vec<Sender<Delivery>>,
+    links: Mutex<Vec<Vec<LinkProfile>>>,
+    blocked: Mutex<HashSet<(NodeId, NodeId)>>,
+    drop_probability: Mutex<f64>,
+    rng: Mutex<rand::rngs::StdRng>,
+    tob_seq: AtomicU64,
+    scheduler_tx: Sender<ScheduledDelivery>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HubInner {
+    fn link(&self, from: NodeId, to: NodeId) -> LinkProfile {
+        self.links.lock()[from as usize - 1][to as usize - 1]
+    }
+
+    fn delay(&self, from: NodeId, to: NodeId) -> Duration {
+        let profile = self.link(from, to);
+        let mut rng = self.rng.lock();
+        let jitter_us = profile.jitter.as_micros() as u64;
+        let extra = if jitter_us == 0 { 0 } else { rng.gen_range(0..=jitter_us) };
+        profile.latency + Duration::from_micros(extra)
+    }
+
+    fn should_drop(&self, from: NodeId, to: NodeId) -> bool {
+        if self.blocked.lock().contains(&(from, to)) {
+            return true;
+        }
+        let p = *self.drop_probability.lock();
+        p > 0.0 && self.rng.lock().gen_bool(p)
+    }
+
+    fn schedule(&self, target: NodeId, due: Instant, event: Delivery) {
+        let _ = self.scheduler_tx.send(ScheduledDelivery {
+            due,
+            target: target as usize - 1,
+            event,
+        });
+    }
+}
+
+/// The shared in-memory network hub; create one per Θ-network.
+pub struct InMemoryHub {
+    inner: Arc<HubInner>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl InMemoryHub {
+    /// Builds a hub for `n` nodes and returns one [`Network`] handle per
+    /// node (index `i` holds node id `i + 1`).
+    pub fn build(n: u16, config: InMemoryConfig) -> (InMemoryHub, Vec<InMemoryNode>) {
+        assert!(n >= 1, "need at least one node");
+        let mut outboxes = Vec::with_capacity(n as usize);
+        let mut inboxes = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Delivery>();
+            outboxes.push(tx);
+            inboxes.push(rx);
+        }
+        let links = vec![vec![config.default_link; n as usize]; n as usize];
+        let (scheduler_tx, scheduler_rx) = bounded::<ScheduledDelivery>(65536);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let inner = Arc::new(HubInner {
+            outboxes,
+            links: Mutex::new(links),
+            blocked: Mutex::new(HashSet::new()),
+            drop_probability: Mutex::new(config.drop_probability),
+            rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(config.seed)),
+            tob_seq: AtomicU64::new(0),
+            scheduler_tx,
+            shutdown: shutdown.clone(),
+        });
+
+        let scheduler_inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("theta-net-scheduler".into())
+            .spawn(move || scheduler_loop(scheduler_inner, scheduler_rx, shutdown))
+            .expect("spawn scheduler");
+
+        let nodes = (1..=n)
+            .map(|id| InMemoryNode {
+                id,
+                n: n as usize,
+                hub: inner.clone(),
+                inbox: inboxes[id as usize - 1].clone(),
+                reorder: Mutex::new(TobReorderBuffer::new()),
+                ready: Mutex::new(std::collections::VecDeque::new()),
+            })
+            .collect();
+        (InMemoryHub { inner, handle: Some(handle) }, nodes)
+    }
+
+    /// Overrides the latency profile of the directed link `from → to`.
+    pub fn set_link(&self, from: NodeId, to: NodeId, profile: LinkProfile) {
+        self.inner.links.lock()[from as usize - 1][to as usize - 1] = profile;
+    }
+
+    /// Blocks (partitions) or unblocks the directed link `from → to`.
+    pub fn set_link_blocked(&self, from: NodeId, to: NodeId, blocked: bool) {
+        let mut set = self.inner.blocked.lock();
+        if blocked {
+            set.insert((from, to));
+        } else {
+            set.remove(&(from, to));
+        }
+    }
+
+    /// Isolates a node entirely (both directions, all peers).
+    pub fn isolate_node(&self, node: NodeId, isolated: bool) {
+        let n = self.inner.outboxes.len() as u16;
+        for peer in 1..=n {
+            if peer != node {
+                self.set_link_blocked(node, peer, isolated);
+                self.set_link_blocked(peer, node, isolated);
+            }
+        }
+    }
+
+    /// Updates the P2P drop probability at runtime.
+    pub fn set_drop_probability(&self, p: f64) {
+        *self.inner.drop_probability.lock() = p;
+    }
+}
+
+impl Drop for InMemoryHub {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn scheduler_loop(
+    inner: Arc<HubInner>,
+    rx: Receiver<ScheduledDelivery>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut heap: BinaryHeap<ScheduledDelivery> = BinaryHeap::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().map_or(false, |d| d.due <= now) {
+            let d = heap.pop().expect("peeked");
+            let _ = inner.outboxes[d.target].send(d.event);
+        }
+        // Wait for the next item or the next deadline.
+        let wait = heap
+            .peek()
+            .map(|d| d.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        match rx.recv_timeout(wait) {
+            Ok(item) => heap.push(item),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// One node's handle onto the in-memory mesh.
+pub struct InMemoryNode {
+    id: NodeId,
+    n: usize,
+    hub: Arc<HubInner>,
+    inbox: Receiver<Delivery>,
+    reorder: Mutex<TobReorderBuffer>,
+    ready: Mutex<std::collections::VecDeque<NetworkEvent>>,
+}
+
+impl Network for InMemoryNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn broadcast_p2p(&self, payload: Vec<u8>) {
+        for peer in 1..=self.n as u16 {
+            if peer != self.id {
+                self.send_to(peer, payload.clone());
+            }
+        }
+    }
+
+    fn send_to(&self, peer: NodeId, payload: Vec<u8>) {
+        if peer == self.id || peer == 0 || peer as usize > self.n {
+            return;
+        }
+        if self.hub.should_drop(self.id, peer) {
+            return;
+        }
+        let due = Instant::now() + self.hub.delay(self.id, peer);
+        self.hub
+            .schedule(peer, due, Delivery::P2p { from: self.id, payload });
+    }
+
+    fn submit_tob(&self, payload: Vec<u8>) {
+        // The TOB service is modeled as reliable (the paper treats it as a
+        // black box provided by the host platform): no drops, but latency
+        // still applies per destination.
+        let seq = self.hub.tob_seq.fetch_add(1, Ordering::SeqCst);
+        for peer in 1..=self.n as u16 {
+            let delay = if peer == self.id {
+                Duration::ZERO
+            } else {
+                self.hub.delay(self.id, peer)
+            };
+            self.hub.schedule(
+                peer,
+                Instant::now() + delay,
+                Delivery::Tob { seq, from: self.id, payload: payload.clone() },
+            );
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.ready.lock().pop_front() {
+                return Some(ev);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.inbox.recv_timeout(remaining) {
+                Ok(Delivery::P2p { from, payload }) => {
+                    return Some(NetworkEvent::P2p { from, payload });
+                }
+                Ok(Delivery::Tob { seq, from, payload }) => {
+                    let released = self.reorder.lock().insert(seq, from, payload);
+                    let mut ready = self.ready.lock();
+                    for ev in released {
+                        ready.push_back(ev);
+                    }
+                    // Loop: either something was released or we keep waiting.
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: u16) -> (InMemoryHub, Vec<InMemoryNode>) {
+        InMemoryHub::build(n, InMemoryConfig::default())
+    }
+
+    const TICK: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn p2p_broadcast_reaches_all_others() {
+        let (_hub, nodes) = mesh(3);
+        nodes[0].broadcast_p2p(b"hello".to_vec());
+        for node in &nodes[1..] {
+            let ev = node.recv_timeout(TICK).expect("delivery");
+            assert_eq!(ev, NetworkEvent::P2p { from: 1, payload: b"hello".to_vec() });
+        }
+        // Sender does not hear its own broadcast.
+        assert!(nodes[0].recv_timeout(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn send_to_specific_peer() {
+        let (_hub, nodes) = mesh(3);
+        nodes[1].send_to(3, b"direct".to_vec());
+        let ev = nodes[2].recv_timeout(TICK).unwrap();
+        assert_eq!(ev, NetworkEvent::P2p { from: 2, payload: b"direct".to_vec() });
+        assert!(nodes[0].recv_timeout(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn tob_same_order_everywhere() {
+        let (_hub, nodes) = mesh(4);
+        // Concurrent submissions from several nodes.
+        nodes[0].submit_tob(b"a".to_vec());
+        nodes[1].submit_tob(b"b".to_vec());
+        nodes[2].submit_tob(b"c".to_vec());
+        let mut orders = Vec::new();
+        for node in &nodes {
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                match node.recv_timeout(TICK) {
+                    Some(NetworkEvent::Tob { seq, payload, .. }) => seen.push((seq, payload)),
+                    other => panic!("expected tob, got {other:?}"),
+                }
+            }
+            orders.push(seen);
+        }
+        for o in &orders[1..] {
+            assert_eq!(*o, orders[0], "all nodes must see the same TOB order");
+        }
+        // Sequence numbers are gap-free from 0.
+        for (i, (seq, _)) in orders[0].iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let (hub, nodes) = mesh(2);
+        hub.set_link(1, 2, LinkProfile::fixed(Duration::from_millis(80)));
+        let start = Instant::now();
+        nodes[0].send_to(2, b"slow".to_vec());
+        let ev = nodes[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(matches!(ev, NetworkEvent::P2p { .. }));
+        assert!(elapsed >= Duration::from_millis(75), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn blocked_link_drops() {
+        let (hub, nodes) = mesh(2);
+        hub.set_link_blocked(1, 2, true);
+        nodes[0].send_to(2, b"lost".to_vec());
+        assert!(nodes[1].recv_timeout(Duration::from_millis(100)).is_none());
+        hub.set_link_blocked(1, 2, false);
+        nodes[0].send_to(2, b"found".to_vec());
+        assert!(nodes[1].recv_timeout(TICK).is_some());
+    }
+
+    #[test]
+    fn isolated_node_cut_off_both_ways() {
+        let (hub, nodes) = mesh(3);
+        hub.isolate_node(2, true);
+        nodes[0].broadcast_p2p(b"x".to_vec());
+        nodes[1].broadcast_p2p(b"y".to_vec());
+        // Node 2 hears nothing; node 3 hears only node 1.
+        assert!(nodes[1].recv_timeout(Duration::from_millis(100)).is_none());
+        let ev = nodes[2].recv_timeout(TICK).unwrap();
+        assert_eq!(ev, NetworkEvent::P2p { from: 1, payload: b"x".to_vec() });
+        assert!(nodes[2].recv_timeout(Duration::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn lossy_network_drops_some() {
+        let (_hub, nodes) = InMemoryHub::build(
+            2,
+            InMemoryConfig { drop_probability: 0.5, seed: 42, ..Default::default() },
+        );
+        let total = 200;
+        for i in 0..total {
+            nodes[0].send_to(2, vec![i as u8]);
+        }
+        let mut received = 0;
+        while nodes[1].recv_timeout(Duration::from_millis(50)).is_some() {
+            received += 1;
+        }
+        assert!(received > 50 && received < 150, "received {received}");
+    }
+
+    #[test]
+    fn tob_survives_loss_setting() {
+        // TOB is modeled reliable even when P2P is lossy.
+        let (_hub, nodes) = InMemoryHub::build(
+            3,
+            InMemoryConfig { drop_probability: 0.9, seed: 1, ..Default::default() },
+        );
+        nodes[0].submit_tob(b"ordered".to_vec());
+        for node in &nodes {
+            match node.recv_timeout(TICK) {
+                Some(NetworkEvent::Tob { seq: 0, from: 1, payload }) => {
+                    assert_eq!(payload, b"ordered");
+                }
+                other => panic!("expected tob delivery, got {other:?}"),
+            }
+        }
+    }
+}

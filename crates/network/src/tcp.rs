@@ -1,0 +1,411 @@
+//! Real TCP full-mesh transport with a leader-sequencer TOB.
+//!
+//! Replaces the libp2p overlay of the original system for standalone
+//! deployments: every node dials every higher-id node and accepts from
+//! every lower-id node, frames are `u32`-length-prefixed, and node 1
+//! doubles as the TOB sequencer (the "proxy to a replicated service"
+//! collapsed to its simplest faithful form: a single ordering point).
+//!
+//! Frame layout after the length prefix:
+//! `tag(u8) | fields... | payload` with tags
+//! `0` = P2P message (`from: u16`),
+//! `1` = TOB submit (`from: u16`) — only sent *to* the sequencer,
+//! `2` = TOB deliver (`seq: u64, from: u16`) — only sent *by* it.
+
+use crate::{Network, NetworkError, NetworkEvent, NodeId, TobReorderBuffer};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TAG_P2P: u8 = 0;
+const TAG_TOB_SUBMIT: u8 = 1;
+const TAG_TOB_DELIVER: u8 = 2;
+
+/// Maximum accepted frame size (matches the codec bound).
+const MAX_FRAME: u32 = 64 << 20;
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds limit",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+enum Inbound {
+    P2p { from: NodeId, payload: Vec<u8> },
+    TobSubmit { from: NodeId, payload: Vec<u8> },
+    TobDeliver { seq: u64, from: NodeId, payload: Vec<u8> },
+}
+
+fn parse_frame(body: &[u8]) -> Option<Inbound> {
+    match *body.first()? {
+        TAG_P2P => {
+            let from = u16::from_le_bytes([*body.get(1)?, *body.get(2)?]);
+            Some(Inbound::P2p { from, payload: body[3..].to_vec() })
+        }
+        TAG_TOB_SUBMIT => {
+            let from = u16::from_le_bytes([*body.get(1)?, *body.get(2)?]);
+            Some(Inbound::TobSubmit { from, payload: body[3..].to_vec() })
+        }
+        TAG_TOB_DELIVER => {
+            if body.len() < 11 {
+                return None;
+            }
+            let mut seq_bytes = [0u8; 8];
+            seq_bytes.copy_from_slice(&body[1..9]);
+            let seq = u64::from_le_bytes(seq_bytes);
+            let from = u16::from_le_bytes([body[9], body[10]]);
+            Some(Inbound::TobDeliver { seq, from, payload: body[11..].to_vec() })
+        }
+        _ => None,
+    }
+}
+
+struct Shared {
+    /// Write halves, indexed by node id − 1 (`None` at our own slot).
+    peers: Vec<Option<Mutex<TcpStream>>>,
+    id: NodeId,
+    /// Sequencer state (used only on node 1).
+    tob_seq: AtomicU64,
+}
+
+impl Shared {
+    fn send_raw(&self, peer: NodeId, body: &[u8]) {
+        if let Some(Some(stream)) = self.peers.get(peer as usize - 1) {
+            let _ = write_frame(&mut stream.lock(), body);
+        }
+    }
+}
+
+/// A node of the TCP mesh. Build a whole mesh with [`TcpMesh::connect`].
+pub struct TcpMeshNode {
+    shared: Arc<Shared>,
+    n: usize,
+    events: Receiver<Inbound>,
+    reorder: Mutex<TobReorderBuffer>,
+    ready: Mutex<std::collections::VecDeque<NetworkEvent>>,
+    /// Keeps reader threads' sender alive exactly as long as the node.
+    _tx: Sender<Inbound>,
+}
+
+/// Builder for a full TCP mesh on one or more machines.
+pub struct TcpMesh;
+
+impl TcpMesh {
+    /// Connects node `id` (1-based) into the mesh described by `addrs`
+    /// (address `i` belongs to node `i + 1`; `addrs[id-1]` is the local
+    /// bind address).
+    ///
+    /// Dial direction: node `a` dials node `b` iff `a < b`. The dialer
+    /// sends its id as a 2-byte hello.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError`] when binding, dialing or the hello handshake fail.
+    pub fn connect(id: NodeId, addrs: &[SocketAddr]) -> Result<TcpMeshNode, NetworkError> {
+        let n = addrs.len();
+        if id == 0 || id as usize > n {
+            return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
+        }
+        let listener = TcpListener::bind(addrs[id as usize - 1])?;
+        let (tx, rx) = unbounded::<Inbound>();
+
+        let mut peers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            peers.push(None);
+        }
+
+        // Accept connections from all lower-id nodes.
+        let expected_inbound = id as usize - 1;
+        let mut accepted = 0;
+        let mut inbound_streams = Vec::new();
+        listener.set_nonblocking(false)?;
+        while accepted < expected_inbound {
+            let (mut stream, _) = listener.accept()?;
+            let mut hello = [0u8; 2];
+            stream.read_exact(&mut hello)?;
+            let peer_id = u16::from_le_bytes(hello);
+            if peer_id == 0 || peer_id >= id {
+                return Err(NetworkError::Setup(format!("unexpected hello from {peer_id}")));
+            }
+            inbound_streams.push((peer_id, stream));
+            accepted += 1;
+        }
+
+        // Dial all higher-id nodes (with retries while they come up).
+        let mut outbound_streams = Vec::new();
+        for peer in (id + 1)..=(n as u16) {
+            let addr = addrs[peer as usize - 1];
+            let stream = dial_with_retry(addr)?;
+            outbound_streams.push((peer, stream));
+        }
+
+        for (peer, mut stream) in outbound_streams {
+            stream.write_all(&id.to_le_bytes())?;
+            let reader = stream.try_clone()?;
+            spawn_reader(reader, tx.clone());
+            peers[peer as usize - 1] = Some(Mutex::new(stream));
+        }
+        for (peer, stream) in inbound_streams {
+            let reader = stream.try_clone()?;
+            spawn_reader(reader, tx.clone());
+            peers[peer as usize - 1] = Some(Mutex::new(stream));
+        }
+
+        let shared = Arc::new(Shared { peers, id, tob_seq: AtomicU64::new(0) });
+        Ok(TcpMeshNode {
+            shared,
+            n,
+            events: rx,
+            reorder: Mutex::new(TobReorderBuffer::new()),
+            ready: Mutex::new(std::collections::VecDeque::new()),
+            _tx: tx,
+        })
+    }
+}
+
+fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkError> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Ok(s);
+            }
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(NetworkError::Setup(format!("dial {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn spawn_reader(mut stream: TcpStream, tx: Sender<Inbound>) {
+    std::thread::Builder::new()
+        .name("theta-tcp-reader".into())
+        .spawn(move || {
+            while let Ok(body) = read_frame(&mut stream) {
+                match parse_frame(&body) {
+                    Some(inbound) => {
+                        if tx.send(inbound).is_err() {
+                            break;
+                        }
+                    }
+                    None => break, // malformed frame: drop the connection
+                }
+            }
+        })
+        .expect("spawn reader");
+}
+
+impl TcpMeshNode {
+    /// True when this node is the TOB sequencer (node 1).
+    fn is_sequencer(&self) -> bool {
+        self.shared.id == 1
+    }
+
+    fn sequence_and_deliver(&self, from: NodeId, payload: Vec<u8>) -> NetworkEvent {
+        debug_assert!(self.is_sequencer());
+        let seq = self.shared.tob_seq.fetch_add(1, Ordering::SeqCst);
+        let mut body = Vec::with_capacity(11 + payload.len());
+        body.push(TAG_TOB_DELIVER);
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(&from.to_le_bytes());
+        body.extend_from_slice(&payload);
+        for peer in 1..=self.n as u16 {
+            if peer != self.shared.id {
+                self.shared.send_raw(peer, &body);
+            }
+        }
+        NetworkEvent::Tob { seq, from, payload }
+    }
+}
+
+impl Network for TcpMeshNode {
+    fn node_id(&self) -> NodeId {
+        self.shared.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn broadcast_p2p(&self, payload: Vec<u8>) {
+        let mut body = Vec::with_capacity(3 + payload.len());
+        body.push(TAG_P2P);
+        body.extend_from_slice(&self.shared.id.to_le_bytes());
+        body.extend_from_slice(&payload);
+        for peer in 1..=self.n as u16 {
+            if peer != self.shared.id {
+                self.shared.send_raw(peer, &body);
+            }
+        }
+    }
+
+    fn send_to(&self, peer: NodeId, payload: Vec<u8>) {
+        if peer == self.shared.id {
+            return;
+        }
+        let mut body = Vec::with_capacity(3 + payload.len());
+        body.push(TAG_P2P);
+        body.extend_from_slice(&self.shared.id.to_le_bytes());
+        body.extend_from_slice(&payload);
+        self.shared.send_raw(peer, &body);
+    }
+
+    fn submit_tob(&self, payload: Vec<u8>) {
+        if self.is_sequencer() {
+            let ev = self.sequence_and_deliver(self.shared.id, payload);
+            // Self-delivery goes straight to the ready queue in order.
+            if let NetworkEvent::Tob { seq, from, payload } = ev {
+                let released = self.reorder.lock().insert(seq, from, payload);
+                let mut ready = self.ready.lock();
+                for e in released {
+                    ready.push_back(e);
+                }
+            }
+        } else {
+            let mut body = Vec::with_capacity(3 + payload.len());
+            body.push(TAG_TOB_SUBMIT);
+            body.extend_from_slice(&self.shared.id.to_le_bytes());
+            body.extend_from_slice(&payload);
+            self.shared.send_raw(1, &body);
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.ready.lock().pop_front() {
+                return Some(ev);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.events.recv_timeout(remaining) {
+                Ok(Inbound::P2p { from, payload }) => {
+                    return Some(NetworkEvent::P2p { from, payload });
+                }
+                Ok(Inbound::TobSubmit { from, payload }) => {
+                    if self.is_sequencer() {
+                        let ev = self.sequence_and_deliver(from, payload);
+                        if let NetworkEvent::Tob { seq, from, payload } = ev {
+                            let released = self.reorder.lock().insert(seq, from, payload);
+                            let mut ready = self.ready.lock();
+                            for e in released {
+                                ready.push_back(e);
+                            }
+                        }
+                    }
+                    // Non-sequencers ignore stray submits.
+                }
+                Ok(Inbound::TobDeliver { seq, from, payload }) => {
+                    let released = self.reorder.lock().insert(seq, from, payload);
+                    let mut ready = self.ready.lock();
+                    for e in released {
+                        ready.push_back(e);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::atomic::{AtomicU16, Ordering as AtomicOrdering};
+
+    static NEXT_PORT: AtomicU16 = AtomicU16::new(39000);
+
+    fn addrs(n: u16) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|_| {
+                let port = NEXT_PORT.fetch_add(1, AtomicOrdering::SeqCst);
+                SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), port)
+            })
+            .collect()
+    }
+
+    fn build_mesh(n: u16) -> Vec<TcpMeshNode> {
+        let addr_list = addrs(n);
+        let handles: Vec<_> = (1..=n)
+            .map(|id| {
+                let list = addr_list.clone();
+                std::thread::spawn(move || TcpMesh::connect(id, &list).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    const TICK: Duration = Duration::from_secs(3);
+
+    #[test]
+    fn p2p_over_tcp() {
+        let nodes = build_mesh(3);
+        nodes[0].broadcast_p2p(b"tcp hello".to_vec());
+        for node in &nodes[1..] {
+            let ev = node.recv_timeout(TICK).expect("delivery");
+            assert_eq!(ev, NetworkEvent::P2p { from: 1, payload: b"tcp hello".to_vec() });
+        }
+    }
+
+    #[test]
+    fn direct_send_over_tcp() {
+        let nodes = build_mesh(3);
+        nodes[2].send_to(1, b"up".to_vec());
+        let ev = nodes[0].recv_timeout(TICK).unwrap();
+        assert_eq!(ev, NetworkEvent::P2p { from: 3, payload: b"up".to_vec() });
+    }
+
+    #[test]
+    fn tob_total_order_over_tcp() {
+        let nodes = build_mesh(3);
+        nodes[1].submit_tob(b"x".to_vec());
+        nodes[2].submit_tob(b"y".to_vec());
+        nodes[0].submit_tob(b"z".to_vec());
+        let mut views = Vec::new();
+        for node in &nodes {
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                match node.recv_timeout(TICK) {
+                    Some(NetworkEvent::Tob { seq, payload, .. }) => seen.push((seq, payload)),
+                    other => panic!("expected tob, got {other:?}"),
+                }
+            }
+            views.push(seen);
+        }
+        for v in &views[1..] {
+            assert_eq!(*v, views[0]);
+        }
+    }
+
+    #[test]
+    fn bad_node_id_rejected() {
+        let list = addrs(2);
+        assert!(TcpMesh::connect(0, &list).is_err());
+        assert!(TcpMesh::connect(3, &list).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! # theta-orchestration
+//!
+//! The paper's *orchestration module* (§3.5): the execution engine that
+//! manages concurrent protocol instances, tracks their state, schedules
+//! messages to and from the network layer, and returns results to the
+//! service layer.
+//!
+//! - [`KeyChest`] — the *key manager*: per-scheme key material plus the
+//!   KG20 precomputed-nonce stock.
+//! - [`Request`] — what an application asks the Θ-network to do.
+//! - the instance manager (via [`spawn_node`]):
+//!   an event loop owning every live [`theta_protocols::ThresholdRoundProtocol`]
+//!   instance, keyed by a content-derived [`InstanceId`] so that all
+//!   nodes working on the same request converge on the same instance.
+//!
+//! Each node runs the manager on a dedicated thread; protocol crypto
+//! executes inline on that thread, which deliberately mirrors the
+//! paper's evaluation setup of one vCPU per Thetacrypt container.
+
+mod manager;
+
+pub use manager::{spawn_node, NodeConfig, NodeHandle, PendingResult};
+
+use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_primitives::DomainHasher;
+use theta_schemes::registry::SchemeId;
+use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00};
+
+/// Identifies a protocol instance network-wide: a hash of the request
+/// content, so independent nodes derive the same id for the same request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub [u8; 32]);
+
+impl std::fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InstanceId({})", theta_primitives::to_hex(&self.0[..8]))
+    }
+}
+
+impl Encode for InstanceId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for InstanceId {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(InstanceId(<[u8; 32]>::decode(r)?))
+    }
+}
+
+/// A request for one threshold operation, as issued by the service layer.
+///
+/// Payloads are the canonical encodings of the scheme-level objects; they
+/// are validated when the instance starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Decrypt an SG02 ciphertext (encoded [`sg02::Ciphertext`]).
+    Sg02Decrypt(Vec<u8>),
+    /// Decrypt a BZ03 ciphertext (encoded [`bz03::Ciphertext`]).
+    Bz03Decrypt(Vec<u8>),
+    /// Threshold-sign a message with SH00.
+    Sh00Sign(Vec<u8>),
+    /// Threshold-sign a message with BLS04.
+    Bls04Sign(Vec<u8>),
+    /// Threshold-sign a message with KG20 / FROST.
+    Kg20Sign(Vec<u8>),
+    /// Flip the CKS05 coin with this name.
+    Cks05Coin(Vec<u8>),
+}
+
+impl Request {
+    /// The scheme this request targets.
+    pub fn scheme(&self) -> SchemeId {
+        match self {
+            Request::Sg02Decrypt(_) => SchemeId::Sg02,
+            Request::Bz03Decrypt(_) => SchemeId::Bz03,
+            Request::Sh00Sign(_) => SchemeId::Sh00,
+            Request::Bls04Sign(_) => SchemeId::Bls04,
+            Request::Kg20Sign(_) => SchemeId::Kg20,
+            Request::Cks05Coin(_) => SchemeId::Cks05,
+        }
+    }
+
+    /// The request body (ciphertext / message / coin name).
+    pub fn body(&self) -> &[u8] {
+        match self {
+            Request::Sg02Decrypt(b)
+            | Request::Bz03Decrypt(b)
+            | Request::Sh00Sign(b)
+            | Request::Bls04Sign(b)
+            | Request::Kg20Sign(b)
+            | Request::Cks05Coin(b) => b,
+        }
+    }
+
+    /// Derives the network-wide instance id of this request.
+    pub fn instance_id(&self) -> InstanceId {
+        let digest = DomainHasher::new("thetacrypt/instance-id/v1")
+            .chain(self.scheme().name().as_bytes())
+            .chain(self.body())
+            .finish32();
+        InstanceId(digest)
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        self.scheme().encode(w);
+        self.body().to_vec().encode(w);
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        let scheme = SchemeId::decode(r)?;
+        let body = Vec::<u8>::decode(r)?;
+        Ok(match scheme {
+            SchemeId::Sg02 => Request::Sg02Decrypt(body),
+            SchemeId::Bz03 => Request::Bz03Decrypt(body),
+            SchemeId::Sh00 => Request::Sh00Sign(body),
+            SchemeId::Bls04 => Request::Bls04Sign(body),
+            SchemeId::Kg20 => Request::Kg20Sign(body),
+            SchemeId::Cks05 => Request::Cks05Coin(body),
+        })
+    }
+}
+
+/// The network envelope wrapping every protocol message: which instance
+/// it belongs to, which round produced it, and who sent it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Target instance.
+    pub instance: InstanceId,
+    /// The request that spawned the instance (lets nodes that have not
+    /// seen the request yet start their own instance — needed because a
+    /// share can arrive before the local application submits).
+    pub request: Request,
+    /// Protocol round of the payload.
+    pub round: u16,
+    /// Sending party.
+    pub sender: u16,
+    /// Scheme-specific protocol message.
+    pub payload: Vec<u8>,
+}
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        self.instance.encode(w);
+        self.request.encode(w);
+        self.round.encode(w);
+        self.sender.encode(w);
+        self.payload.encode(w);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(Envelope {
+            instance: InstanceId::decode(r)?,
+            request: Request::decode(r)?,
+            round: u16::decode(r)?,
+            sender: u16::decode(r)?,
+            payload: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+/// The key manager: this node's key shares for every provisioned scheme,
+/// plus the KG20 precomputed-nonce stock.
+#[derive(Default)]
+pub struct KeyChest {
+    /// SG02 key share, when provisioned.
+    pub sg02: Option<sg02::KeyShare>,
+    /// BZ03 key share, when provisioned.
+    pub bz03: Option<bz03::KeyShare>,
+    /// SH00 key share, when provisioned.
+    pub sh00: Option<sh00::KeyShare>,
+    /// BLS04 key share, when provisioned.
+    pub bls04: Option<bls04::KeyShare>,
+    /// KG20 key share, when provisioned.
+    pub kg20: Option<kg20::KeyShare>,
+    /// CKS05 key share, when provisioned.
+    pub cks05: Option<cks05::KeyShare>,
+    /// Precomputed FROST nonces (consumed front-first).
+    pub kg20_nonces: std::collections::VecDeque<kg20::SigningNonce>,
+}
+
+impl KeyChest {
+    /// An empty chest (no schemes provisioned).
+    pub fn new() -> KeyChest {
+        KeyChest::default()
+    }
+
+    /// True when key material for `scheme` is present.
+    pub fn has(&self, scheme: SchemeId) -> bool {
+        match scheme {
+            SchemeId::Sg02 => self.sg02.is_some(),
+            SchemeId::Bz03 => self.bz03.is_some(),
+            SchemeId::Sh00 => self.sh00.is_some(),
+            SchemeId::Bls04 => self.bls04.is_some(),
+            SchemeId::Kg20 => self.kg20.is_some(),
+            SchemeId::Cks05 => self.cks05.is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_codec_roundtrip() {
+        let reqs = [
+            Request::Sg02Decrypt(vec![1, 2]),
+            Request::Bz03Decrypt(vec![]),
+            Request::Sh00Sign(b"m".to_vec()),
+            Request::Bls04Sign(b"m".to_vec()),
+            Request::Kg20Sign(b"m".to_vec()),
+            Request::Cks05Coin(b"coin".to_vec()),
+        ];
+        for r in reqs {
+            assert_eq!(Request::decoded(&r.encoded()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn instance_ids_are_content_addressed() {
+        let a = Request::Bls04Sign(b"m".to_vec());
+        let b = Request::Bls04Sign(b"m".to_vec());
+        assert_eq!(a.instance_id(), b.instance_id());
+        // Different scheme or body → different instance.
+        assert_ne!(
+            Request::Bls04Sign(b"m".to_vec()).instance_id(),
+            Request::Sh00Sign(b"m".to_vec()).instance_id()
+        );
+        assert_ne!(
+            Request::Bls04Sign(b"m1".to_vec()).instance_id(),
+            Request::Bls04Sign(b"m2".to_vec()).instance_id()
+        );
+    }
+
+    #[test]
+    fn envelope_codec_roundtrip() {
+        let req = Request::Cks05Coin(b"r".to_vec());
+        let env = Envelope {
+            instance: req.instance_id(),
+            request: req,
+            round: 2,
+            sender: 7,
+            payload: vec![9, 9],
+        };
+        assert_eq!(Envelope::decoded(&env.encoded()).unwrap(), env);
+    }
+
+    #[test]
+    fn key_chest_tracks_provisioning() {
+        let chest = KeyChest::new();
+        for scheme in SchemeId::ALL {
+            assert!(!chest.has(scheme));
+        }
+    }
+}

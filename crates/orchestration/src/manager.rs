@@ -1,0 +1,596 @@
+//! The instance manager / protocol executor event loop.
+
+use crate::{Envelope, InstanceId, KeyChest, Request};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use theta_codec::{Decode, Encode};
+use theta_network::{Network, NetworkEvent};
+use theta_protocols::kg20_protocol::Kg20Sign;
+use theta_protocols::one_round::{
+    Bls04Sign, Bz03Decrypt, Cks05Coin, OneRoundProtocol, Sg02Decrypt, Sh00Sign,
+};
+use theta_protocols::{
+    InboundMessage, ProtocolOutput, RoundOutput, ThresholdRoundProtocol, Transport,
+};
+use theta_schemes::{PartyId, SchemeError};
+
+/// Node-level configuration knobs.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Instances with no progress past this deadline are failed.
+    pub instance_timeout: Duration,
+    /// Use the KG20 precomputed-nonce stock when available.
+    pub use_precomputed_nonces: bool,
+    /// RNG seed (`None` = entropy from the OS).
+    pub rng_seed: Option<u64>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            instance_timeout: Duration::from_secs(30),
+            use_precomputed_nonces: true,
+            rng_seed: None,
+        }
+    }
+}
+
+/// A pending result: completion data for one submitted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceResult {
+    /// The instance this result belongs to.
+    pub instance: InstanceId,
+    /// The protocol output or the failure that ended the instance.
+    pub outcome: Result<ProtocolOutput, SchemeError>,
+    /// Server-side latency: submission (or first message) to completion.
+    pub elapsed: Duration,
+}
+
+/// Receiver half for one submitted request.
+pub struct PendingResult {
+    rx: Receiver<InstanceResult>,
+}
+
+impl PendingResult {
+    /// Blocks until the instance completes or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<InstanceResult> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_take(&self) -> Option<InstanceResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+enum Command {
+    Submit { request: Request, reply: Sender<InstanceResult> },
+    Shutdown,
+}
+
+/// Handle to a running Thetacrypt node (the manager thread).
+pub struct NodeHandle {
+    tx: Sender<Command>,
+    join: Option<std::thread::JoinHandle<()>>,
+    party: PartyId,
+}
+
+impl NodeHandle {
+    /// Submits a request; the returned [`PendingResult`] resolves when
+    /// the Θ-network completes the instance at this node.
+    pub fn submit(&self, request: Request) -> PendingResult {
+        let (reply_tx, reply_rx) = unbounded();
+        let _ = self.tx.send(Command::Submit { request, reply: reply_tx });
+        PendingResult { rx: reply_rx }
+    }
+
+    /// This node's party id.
+    pub fn party(&self) -> PartyId {
+        self.party
+    }
+
+    /// Stops the manager thread (in-flight instances are dropped).
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawns the instance-manager event loop for one node.
+pub fn spawn_node(
+    keys: KeyChest,
+    network: Box<dyn Network>,
+    config: NodeConfig,
+) -> NodeHandle {
+    let (tx, rx) = unbounded::<Command>();
+    let party = PartyId(network.node_id());
+    let join = std::thread::Builder::new()
+        .name(format!("theta-node-{}", party.value()))
+        .spawn(move || InstanceManager::new(keys, network, config, rx).run())
+        .expect("spawn node thread");
+    NodeHandle { tx, join: Some(join), party }
+}
+
+struct LiveInstance {
+    protocol: Box<dyn ThresholdRoundProtocol>,
+    request: Request,
+    subscribers: Vec<Sender<InstanceResult>>,
+    started: Instant,
+    deadline: Instant,
+}
+
+struct InstanceManager {
+    keys: KeyChest,
+    network: Box<dyn Network>,
+    config: NodeConfig,
+    commands: Receiver<Command>,
+    instances: HashMap<InstanceId, LiveInstance>,
+    finished: HashMap<InstanceId, InstanceResult>,
+    rng: rand::rngs::StdRng,
+}
+
+impl InstanceManager {
+    fn new(
+        keys: KeyChest,
+        network: Box<dyn Network>,
+        config: NodeConfig,
+        commands: Receiver<Command>,
+    ) -> Self {
+        let rng = match config.rng_seed {
+            Some(seed) => rand::rngs::StdRng::seed_from_u64(seed),
+            None => rand::rngs::StdRng::from_entropy(),
+        };
+        InstanceManager {
+            keys,
+            network,
+            config,
+            commands,
+            instances: HashMap::new(),
+            finished: HashMap::new(),
+            rng,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            // Drain local commands.
+            loop {
+                match self.commands.try_recv() {
+                    Ok(Command::Submit { request, reply }) => self.handle_submit(request, reply),
+                    Ok(Command::Shutdown) => return,
+                    Err(crossbeam::channel::TryRecvError::Empty) => break,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => return,
+                }
+            }
+            // Pump the network.
+            if let Some(event) = self.network.recv_timeout(Duration::from_micros(500)) {
+                self.handle_network_event(event);
+            }
+            self.expire_instances();
+        }
+    }
+
+    fn handle_submit(&mut self, request: Request, reply: Sender<InstanceResult>) {
+        let id = request.instance_id();
+        if let Some(done) = self.finished.get(&id) {
+            let _ = reply.send(done.clone());
+            return;
+        }
+        if let Some(live) = self.instances.get_mut(&id) {
+            live.subscribers.push(reply);
+            return;
+        }
+        match self.start_instance(&request) {
+            Ok(()) => {
+                if let Some(live) = self.instances.get_mut(&id) {
+                    live.subscribers.push(reply);
+                } else if let Some(done) = self.finished.get(&id) {
+                    // The instance already finished during start (n = 1).
+                    let _ = reply.send(done.clone());
+                }
+            }
+            Err(err) => {
+                let _ = reply.send(InstanceResult {
+                    instance: id,
+                    outcome: Err(err),
+                    elapsed: Duration::ZERO,
+                });
+            }
+        }
+    }
+
+    fn build_protocol(
+        &mut self,
+        request: &Request,
+    ) -> Result<Box<dyn ThresholdRoundProtocol>, SchemeError> {
+        let malformed = |e: theta_codec::CodecError| SchemeError::Malformed(e.to_string());
+        match request {
+            Request::Sg02Decrypt(bytes) => {
+                let key = self.keys.sg02.clone().ok_or_else(|| {
+                    SchemeError::KeyMismatch("no sg02 key provisioned".into())
+                })?;
+                let ct = theta_schemes::sg02::Ciphertext::decoded(bytes).map_err(malformed)?;
+                Ok(Box::new(OneRoundProtocol::new(Sg02Decrypt::new(key, ct))))
+            }
+            Request::Bz03Decrypt(bytes) => {
+                let key = self.keys.bz03.clone().ok_or_else(|| {
+                    SchemeError::KeyMismatch("no bz03 key provisioned".into())
+                })?;
+                let ct = theta_schemes::bz03::Ciphertext::decoded(bytes).map_err(malformed)?;
+                Ok(Box::new(OneRoundProtocol::new(Bz03Decrypt::new(key, ct))))
+            }
+            Request::Sh00Sign(message) => {
+                let key = self.keys.sh00.clone().ok_or_else(|| {
+                    SchemeError::KeyMismatch("no sh00 key provisioned".into())
+                })?;
+                Ok(Box::new(OneRoundProtocol::new(Sh00Sign::new(key, message.clone()))))
+            }
+            Request::Bls04Sign(message) => {
+                let key = self.keys.bls04.clone().ok_or_else(|| {
+                    SchemeError::KeyMismatch("no bls04 key provisioned".into())
+                })?;
+                Ok(Box::new(OneRoundProtocol::new(Bls04Sign::new(key, message.clone()))))
+            }
+            Request::Kg20Sign(message) => {
+                let key = self.keys.kg20.clone().ok_or_else(|| {
+                    SchemeError::KeyMismatch("no kg20 key provisioned".into())
+                })?;
+                let nonce = if self.config.use_precomputed_nonces {
+                    self.keys.kg20_nonces.pop_front()
+                } else {
+                    None
+                };
+                Ok(Box::new(match nonce {
+                    Some(n) => Kg20Sign::with_precomputed_nonce(key, message.clone(), n),
+                    None => Kg20Sign::new(key, message.clone()),
+                }))
+            }
+            Request::Cks05Coin(name) => {
+                let key = self.keys.cks05.clone().ok_or_else(|| {
+                    SchemeError::KeyMismatch("no cks05 key provisioned".into())
+                })?;
+                Ok(Box::new(OneRoundProtocol::new(Cks05Coin::new(key, name.clone()))))
+            }
+        }
+    }
+
+    fn start_instance(&mut self, request: &Request) -> Result<(), SchemeError> {
+        let id = request.instance_id();
+        let mut protocol = self.build_protocol(request)?;
+        let output = protocol.do_round(&mut self.rng)?;
+        let now = Instant::now();
+        self.instances.insert(
+            id,
+            LiveInstance {
+                protocol,
+                request: request.clone(),
+                subscribers: Vec::new(),
+                started: now,
+                deadline: now + self.config.instance_timeout,
+            },
+        );
+        self.dispatch_round_output(id, output);
+        self.poll_instance(id);
+        Ok(())
+    }
+
+    fn dispatch_round_output(&mut self, id: InstanceId, output: RoundOutput) {
+        let Some(live) = self.instances.get(&id) else { return };
+        let sender = self.network.node_id();
+        for msg in output.messages {
+            let envelope = Envelope {
+                instance: id,
+                request: live.request.clone(),
+                round: msg.round,
+                sender,
+                payload: msg.payload,
+            };
+            let bytes = envelope.encoded();
+            match msg.transport {
+                Transport::P2p => self.network.broadcast_p2p(bytes),
+                Transport::Tob => self.network.submit_tob(bytes),
+            }
+        }
+    }
+
+    fn handle_network_event(&mut self, event: NetworkEvent) {
+        let (from, payload, via_tob) = match event {
+            NetworkEvent::P2p { from, payload } => (from, payload, false),
+            NetworkEvent::Tob { from, payload, .. } => (from, payload, true),
+        };
+        let Ok(envelope) = Envelope::decoded(&payload) else {
+            return; // malformed traffic is dropped
+        };
+        if envelope.sender != from && !via_tob {
+            return; // spoofed sender field
+        }
+        let id = envelope.instance;
+        if self.finished.contains_key(&id) {
+            return; // residual message for a completed request
+        }
+        if !self.instances.contains_key(&id) {
+            // First contact: start our own instance from the embedded
+            // request (validates against our keys).
+            if envelope.request.instance_id() != id {
+                return;
+            }
+            if self.start_instance(&envelope.request).is_err() {
+                return;
+            }
+        }
+        // TOB self-deliveries carry our own messages back; skip those.
+        if envelope.sender == self.network.node_id() {
+            return;
+        }
+        let inbound = InboundMessage {
+            sender: PartyId(envelope.sender),
+            round: envelope.round,
+            payload: envelope.payload,
+        };
+        if let Some(live) = self.instances.get_mut(&id) {
+            // Invalid messages are logged-and-dropped; the instance lives on.
+            let _ = live.protocol.update(&inbound);
+        }
+        self.poll_instance(id);
+    }
+
+    /// Advances rounds and finalizes when ready.
+    fn poll_instance(&mut self, id: InstanceId) {
+        loop {
+            let Some(live) = self.instances.get_mut(&id) else { return };
+            if live.protocol.is_ready_for_next_round() {
+                match live.protocol.do_round(&mut self.rng) {
+                    Ok(out) => {
+                        self.dispatch_round_output(id, out);
+                        continue;
+                    }
+                    Err(err) => {
+                        self.finish_instance(id, Err(err));
+                        return;
+                    }
+                }
+            }
+            if live.protocol.is_ready_to_finalize() {
+                let outcome = live.protocol.finalize();
+                self.finish_instance(id, outcome);
+            }
+            return;
+        }
+    }
+
+    fn finish_instance(&mut self, id: InstanceId, outcome: Result<ProtocolOutput, SchemeError>) {
+        if let Some(live) = self.instances.remove(&id) {
+            let result = InstanceResult {
+                instance: id,
+                outcome,
+                elapsed: live.started.elapsed(),
+            };
+            for sub in &live.subscribers {
+                let _ = sub.send(result.clone());
+            }
+            self.finished.insert(id, result);
+        }
+    }
+
+    fn expire_instances(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<InstanceId> = self
+            .instances
+            .iter()
+            .filter(|(_, live)| live.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            self.finish_instance(
+                id,
+                Err(SchemeError::NotEnoughShares { have: 0, need: 0 }),
+            );
+            // Re-tag the generic timeout error with context.
+            if let Some(r) = self.finished.get_mut(&id) {
+                r.outcome = Err(SchemeError::InvalidShareSet(
+                    "instance timed out before reaching quorum".into(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use theta_network::inmemory::{InMemoryConfig, InMemoryHub};
+    use theta_schemes::ThresholdParams;
+
+    fn seeded() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x0a0a)
+    }
+
+    fn build_network(n: u16) -> (InMemoryHub, Vec<Box<dyn Network>>) {
+        let (hub, nodes) = InMemoryHub::build(n, InMemoryConfig::default());
+        let boxed = nodes
+            .into_iter()
+            .map(|n| Box::new(n) as Box<dyn Network>)
+            .collect();
+        (hub, boxed)
+    }
+
+    fn full_chests(t: u16, n: u16, r: &mut rand::rngs::StdRng) -> Vec<KeyChest> {
+        let params = ThresholdParams::new(t, n).unwrap();
+        let (_, sg02) = theta_schemes::sg02::keygen(params, r);
+        let (_, bls04) = theta_schemes::bls04::keygen(params, r);
+        let (_, cks05) = theta_schemes::cks05::keygen(params, r);
+        let (_, kg20) = theta_schemes::kg20::keygen(params, r);
+        let mut chests: Vec<KeyChest> = (0..n).map(|_| KeyChest::new()).collect();
+        for (i, chest) in chests.iter_mut().enumerate() {
+            chest.sg02 = Some(sg02[i].clone());
+            chest.bls04 = Some(bls04[i].clone());
+            chest.cks05 = Some(cks05[i].clone());
+            chest.kg20 = Some(kg20[i].clone());
+        }
+        chests
+    }
+
+    fn spawn_all(chests: Vec<KeyChest>, nets: Vec<Box<dyn Network>>) -> Vec<NodeHandle> {
+        chests
+            .into_iter()
+            .zip(nets)
+            .map(|(chest, net)| {
+                spawn_node(
+                    chest,
+                    net,
+                    NodeConfig { instance_timeout: Duration::from_secs(10), ..Default::default() },
+                )
+            })
+            .collect()
+    }
+
+    const WAIT: Duration = Duration::from_secs(15);
+
+    #[test]
+    fn coin_request_end_to_end() {
+        let mut r = seeded();
+        let (_hub, nets) = build_network(4);
+        let handles = spawn_all(full_chests(1, 4, &mut r), nets);
+        let pending: Vec<PendingResult> = handles
+            .iter()
+            .map(|h| h.submit(Request::Cks05Coin(b"round-1".to_vec())))
+            .collect();
+        let mut outputs = Vec::new();
+        for p in pending {
+            let result = p.wait_timeout(WAIT).expect("completion");
+            outputs.push(result.outcome.expect("coin value"));
+        }
+        for o in &outputs[1..] {
+            assert_eq!(*o, outputs[0]);
+        }
+    }
+
+    #[test]
+    fn bls_sign_only_quorum_submits() {
+        // Only 2 of 4 applications ask; shares from all 4 nodes are not
+        // needed — but only submitting nodes *start* instances, so the
+        // other two nodes join on first contact via the envelope request.
+        let mut r = seeded();
+        let (_hub, nets) = build_network(4);
+        let handles = spawn_all(full_chests(1, 4, &mut r), nets);
+        let p0 = handles[0].submit(Request::Bls04Sign(b"block".to_vec()));
+        let p2 = handles[2].submit(Request::Bls04Sign(b"block".to_vec()));
+        let r0 = p0.wait_timeout(WAIT).expect("node 1 result");
+        let r2 = p2.wait_timeout(WAIT).expect("node 3 result");
+        assert_eq!(r0.outcome.unwrap(), r2.outcome.unwrap());
+    }
+
+    #[test]
+    fn kg20_two_round_through_manager() {
+        let mut r = seeded();
+        let (_hub, nets) = build_network(3);
+        let handles = spawn_all(full_chests(0, 3, &mut r), nets);
+        let pending: Vec<PendingResult> = handles
+            .iter()
+            .map(|h| h.submit(Request::Kg20Sign(b"frost via manager".to_vec())))
+            .collect();
+        for p in pending {
+            let result = p.wait_timeout(WAIT).expect("completion");
+            let out = result.outcome.expect("signature");
+            assert!(matches!(out, ProtocolOutput::Signature(_)));
+        }
+    }
+
+    #[test]
+    fn duplicate_submission_attaches_to_same_instance() {
+        let mut r = seeded();
+        let (_hub, nets) = build_network(4);
+        let handles = spawn_all(full_chests(1, 4, &mut r), nets);
+        for h in &handles[1..] {
+            let _ = h.submit(Request::Cks05Coin(b"dup".to_vec()));
+        }
+        let first = handles[0].submit(Request::Cks05Coin(b"dup".to_vec()));
+        let second = handles[0].submit(Request::Cks05Coin(b"dup".to_vec()));
+        let a = first.wait_timeout(WAIT).unwrap();
+        let b = second.wait_timeout(WAIT).unwrap();
+        assert_eq!(a.outcome.unwrap(), b.outcome.unwrap());
+        assert_eq!(a.instance, b.instance);
+    }
+
+    #[test]
+    fn missing_key_fails_fast() {
+        let (_hub, mut nets) = build_network(1);
+        let handle = spawn_node(KeyChest::new(), nets.pop().unwrap(), NodeConfig::default());
+        let pending = handle.submit(Request::Bls04Sign(b"x".to_vec()));
+        let result = pending.wait_timeout(Duration::from_secs(5)).expect("fast failure");
+        assert!(matches!(result.outcome, Err(SchemeError::KeyMismatch(_))));
+    }
+
+    #[test]
+    fn crash_tolerance_with_t_failures() {
+        // 4 nodes, t = 1: isolate one node; the other 3 still decrypt.
+        let mut r = seeded();
+        let (hub, nets) = build_network(4);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, sg02_keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let mut chests: Vec<KeyChest> = (0..4).map(|_| KeyChest::new()).collect();
+        for (i, chest) in chests.iter_mut().enumerate() {
+            chest.sg02 = Some(sg02_keys[i].clone());
+        }
+        let handles = spawn_all(chests, nets);
+        hub.isolate_node(4, true);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"crash test", &mut r);
+        let pending: Vec<PendingResult> = handles[..3]
+            .iter()
+            .map(|h| h.submit(Request::Sg02Decrypt(theta_codec::Encode::encoded(&ct))))
+            .collect();
+        for p in pending {
+            let result = p.wait_timeout(WAIT).expect("completion despite crash");
+            assert_eq!(
+                result.outcome.unwrap(),
+                ProtocolOutput::Plaintext(b"crash test".to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_reported_when_quorum_unreachable() {
+        // 4 nodes, t = 2 (quorum 3), but only 2 nodes are reachable.
+        let mut r = seeded();
+        let (hub, nets) = build_network(4);
+        let params = ThresholdParams::new(2, 4).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let mut chests: Vec<KeyChest> = (0..4).map(|_| KeyChest::new()).collect();
+        for (i, chest) in chests.iter_mut().enumerate() {
+            chest.sg02 = Some(keys[i].clone());
+        }
+        let handles: Vec<NodeHandle> = chests
+            .into_iter()
+            .zip(nets)
+            .map(|(chest, net)| {
+                spawn_node(
+                    chest,
+                    net,
+                    NodeConfig {
+                        instance_timeout: Duration::from_millis(500),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        hub.isolate_node(3, true);
+        hub.isolate_node(4, true);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"unreachable", &mut r);
+        let pending = handles[0].submit(Request::Sg02Decrypt(theta_codec::Encode::encoded(&ct)));
+        let result = pending.wait_timeout(WAIT).expect("timeout result");
+        assert!(result.outcome.is_err());
+    }
+}

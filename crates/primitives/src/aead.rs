@@ -1,0 +1,169 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8), from scratch.
+//!
+//! This is the symmetric half of the paper's hybrid encryption: SG02/BZ03
+//! threshold-protect a fresh 32-byte key, and the request payload is
+//! sealed with this AEAD under that key.
+
+use crate::chacha20::{chacha20_block, chacha20_xor};
+use crate::poly1305::{poly1305, tags_equal};
+
+/// Error returned when AEAD opening fails authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeadError;
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &[u8; 32], nonce: &[u8; 12]) -> [u8; 32] {
+    let block = chacha20_block(key, 0, nonce);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&block[..32]);
+    out
+}
+
+fn compute_tag(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    let mut mac_data = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    mac_data.extend_from_slice(aad);
+    mac_data.resize(mac_data.len().next_multiple_of(16), 0);
+    mac_data.extend_from_slice(ciphertext);
+    mac_data.resize(mac_data.len().next_multiple_of(16), 0);
+    mac_data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    mac_data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    poly1305(otk, &mac_data)
+}
+
+/// Seals `plaintext` with associated data; returns `ciphertext || tag`.
+///
+/// # Examples
+///
+/// ```
+/// use theta_primitives::aead::{seal, open};
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let boxed = seal(&key, &nonce, b"metadata", b"secret");
+/// let plain = open(&key, &nonce, b"metadata", &boxed).unwrap();
+/// assert_eq!(plain, b"secret");
+/// ```
+pub fn seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20_xor(key, 1, nonce, &mut out);
+    let otk = poly_key(key, nonce);
+    let tag = compute_tag(&otk, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Opens `ciphertext || tag`; verifies the tag before returning plaintext.
+///
+/// # Errors
+///
+/// Returns [`AeadError`] when the input is shorter than a tag or the tag
+/// does not verify (wrong key, nonce, AAD, or tampered ciphertext).
+pub fn open(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    aad: &[u8],
+    boxed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if boxed.len() < 16 {
+        return Err(AeadError);
+    }
+    let (ciphertext, tag_bytes) = boxed.split_at(boxed.len() - 16);
+    let mut tag = [0u8; 16];
+    tag.copy_from_slice(tag_bytes);
+    let otk = poly_key(key, nonce);
+    let expect = compute_tag(&otk, aad, ciphertext);
+    if !tags_equal(&expect, &tag) {
+        return Err(AeadError);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20_xor(key, 1, nonce, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        let nonce: [u8; 12] = [0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let aad: [u8; 12] = [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let boxed = seal(&key, &nonce, &aad, plaintext);
+        let (ct, tag) = boxed.split_at(boxed.len() - 16);
+        assert_eq!(hex(&ct[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        let opened = open(&key, &nonce, &aad, &boxed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let key = [0xabu8; 32];
+        let nonce = [0x01u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 1000] {
+            let plaintext: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let boxed = seal(&key, &nonce, b"aad", &plaintext);
+            assert_eq!(boxed.len(), len + 16);
+            assert_eq!(open(&key, &nonce, b"aad", &boxed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let key = [0x55u8; 32];
+        let nonce = [0x02u8; 12];
+        let boxed = seal(&key, &nonce, b"hdr", b"payload data");
+        for i in 0..boxed.len() {
+            let mut bad = boxed.clone();
+            bad[i] ^= 0x80;
+            assert_eq!(open(&key, &nonce, b"hdr", &bad), Err(AeadError), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_nonce_aad_fail() {
+        let key = [0x55u8; 32];
+        let nonce = [0x02u8; 12];
+        let boxed = seal(&key, &nonce, b"hdr", b"payload");
+        let mut other_key = key;
+        other_key[0] ^= 1;
+        assert!(open(&other_key, &nonce, b"hdr", &boxed).is_err());
+        let mut other_nonce = nonce;
+        other_nonce[0] ^= 1;
+        assert!(open(&key, &other_nonce, b"hdr", &boxed).is_err());
+        assert!(open(&key, &nonce, b"other", &boxed).is_err());
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        assert!(open(&key, &nonce, b"", &[0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_is_tag_only() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let boxed = seal(&key, &nonce, b"", b"");
+        assert_eq!(boxed.len(), 16);
+        assert_eq!(open(&key, &nonce, b"", &boxed).unwrap(), Vec::<u8>::new());
+    }
+}

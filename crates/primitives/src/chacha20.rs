@@ -1,0 +1,152 @@
+//! The ChaCha20 stream cipher (RFC 8439), from scratch.
+//!
+//! SG02 and BZ03 use the hybrid approach from the paper: the threshold
+//! operation protects a symmetric key, and the payload itself is encrypted
+//! with ChaCha20-Poly1305.
+
+/// ChaCha20 block function state constants ("expand 32-byte k").
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream), starting at block
+/// `initial_counter`.
+pub fn chacha20_xor(key: &[u8; 32], initial_counter: u32, nonce: &[u8; 12], data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+        let counter = initial_counter.wrapping_add(block_idx as u32);
+        let keystream = chacha20_block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            hex(&data[..64]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+        );
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let original: Vec<u8> = (0..300).map(|i| (i * 7 % 251) as u8).collect();
+        let mut data = original.clone();
+        chacha20_xor(&key, 0, &nonce, &mut data);
+        assert_ne!(data, original);
+        chacha20_xor(&key, 0, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let a = chacha20_block(&key, 0, &[0u8; 12]);
+        let b = chacha20_block(&key, 0, &[1u8; 12]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_advances_per_block() {
+        let key = [9u8; 32];
+        let nonce = [2u8; 12];
+        let mut long = vec![0u8; 128];
+        chacha20_xor(&key, 5, &nonce, &mut long);
+        let mut first = vec![0u8; 64];
+        chacha20_xor(&key, 5, &nonce, &mut first);
+        let mut second = vec![0u8; 64];
+        chacha20_xor(&key, 6, &nonce, &mut second);
+        assert_eq!(&long[..64], &first[..]);
+        assert_eq!(&long[64..], &second[..]);
+    }
+}

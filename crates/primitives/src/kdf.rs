@@ -1,0 +1,165 @@
+//! Domain-separated hashing and key-derivation helpers.
+//!
+//! Every use of a random oracle in the schemes crate (Fiat–Shamir
+//! challenges, hash-to-group candidates, coin values, symmetric keys)
+//! goes through [`DomainHasher`] or [`expand`], so domains can never
+//! collide across schemes.
+
+use crate::sha2::{Sha256, Sha512};
+
+/// A SHA-512 hasher with length-prefixed, domain-separated input framing.
+///
+/// Each appended item is prefixed by its 8-byte little-endian length, so
+/// concatenation ambiguities are impossible.
+///
+/// # Examples
+///
+/// ```
+/// use theta_primitives::DomainHasher;
+/// let a = DomainHasher::new("example/v1").chain(b"ab").chain(b"c").finish();
+/// let b = DomainHasher::new("example/v1").chain(b"a").chain(b"bc").finish();
+/// assert_ne!(a, b); // framing distinguishes item boundaries
+/// ```
+#[derive(Clone, Debug)]
+pub struct DomainHasher {
+    inner: Sha512,
+}
+
+impl DomainHasher {
+    /// Starts a hash under `domain` (itself length-prefixed).
+    pub fn new(domain: &str) -> DomainHasher {
+        let mut inner = Sha512::new();
+        inner.update(&(domain.len() as u64).to_le_bytes());
+        inner.update(domain.as_bytes());
+        DomainHasher { inner }
+    }
+
+    /// Appends one length-prefixed item.
+    pub fn chain(mut self, item: &[u8]) -> DomainHasher {
+        self.inner.update(&(item.len() as u64).to_le_bytes());
+        self.inner.update(item);
+        self
+    }
+
+    /// Appends one length-prefixed item in place.
+    pub fn update(&mut self, item: &[u8]) {
+        self.inner.update(&(item.len() as u64).to_le_bytes());
+        self.inner.update(item);
+    }
+
+    /// Returns the 64-byte digest.
+    pub fn finish(self) -> [u8; 64] {
+        self.inner.finalize()
+    }
+
+    /// Returns the first 32 bytes of the digest.
+    pub fn finish32(self) -> [u8; 32] {
+        let full = self.inner.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&full[..32]);
+        out
+    }
+}
+
+/// Expands `seed` into `len` output bytes with counter-mode SHA-256
+/// (an HKDF-expand-like XOF; enough for key derivation from uniform seeds).
+pub fn expand(domain: &str, seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let mut h = Sha256::new();
+        h.update(&(domain.len() as u64).to_le_bytes());
+        h.update(domain.as_bytes());
+        h.update(&(seed.len() as u64).to_le_bytes());
+        h.update(seed);
+        h.update(&counter.to_be_bytes());
+        let block = h.finalize();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// Lowercase hex encoding.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Hex decoding; `None` on odd length or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_separation() {
+        let a = DomainHasher::new("domain-a").chain(b"input").finish();
+        let b = DomainHasher::new("domain-b").chain(b"input").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn framing_prevents_ambiguity() {
+        let a = DomainHasher::new("d").chain(b"ab").chain(b"c").finish();
+        let b = DomainHasher::new("d").chain(b"a").chain(b"bc").finish();
+        let c = DomainHasher::new("d").chain(b"abc").finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn chain_matches_update() {
+        let a = DomainHasher::new("d").chain(b"x").chain(b"y").finish();
+        let mut h = DomainHasher::new("d");
+        h.update(b"x");
+        h.update(b"y");
+        assert_eq!(a, h.finish());
+    }
+
+    #[test]
+    fn finish32_is_prefix() {
+        let h1 = DomainHasher::new("d").chain(b"data");
+        let h2 = h1.clone();
+        let full = h1.finish();
+        let short = h2.finish32();
+        assert_eq!(&full[..32], &short[..]);
+    }
+
+    #[test]
+    fn expand_lengths() {
+        for len in [0usize, 1, 31, 32, 33, 100] {
+            let out = expand("kdf", b"seed", len);
+            assert_eq!(out.len(), len);
+        }
+        // Prefix property: longer expansions extend shorter ones.
+        let short = expand("kdf", b"seed", 16);
+        let long = expand("kdf", b"seed", 64);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn expand_domain_and_seed_sensitivity() {
+        assert_ne!(expand("a", b"s", 32), expand("b", b"s", 32));
+        assert_ne!(expand("a", b"s", 32), expand("a", b"t", 32));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0x00, 0x01, 0xfe, 0xff];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,31 @@
+//! # theta-primitives
+//!
+//! Symmetric cryptographic primitives for the Thetacrypt reproduction,
+//! all implemented from scratch and checked against RFC / FIPS vectors:
+//!
+//! - [`Sha256`] / [`Sha512`] (FIPS 180-4) — every random-oracle use in the
+//!   threshold schemes bottoms out here.
+//! - [`chacha20`] and [`poly1305`], composed into the RFC 8439
+//!   [`aead`] used by the hybrid encryption of SG02 and BZ03.
+//! - [`DomainHasher`] / [`expand`] — length-prefixed domain-separated
+//!   hashing so no two schemes can collide on oracle inputs.
+//!
+//! ## Example
+//!
+//! ```
+//! use theta_primitives::aead;
+//! let key = [9u8; 32];
+//! let nonce = [0u8; 12];
+//! let sealed = aead::seal(&key, &nonce, b"ctx", b"hello");
+//! assert_eq!(aead::open(&key, &nonce, b"ctx", &sealed).unwrap(), b"hello");
+//! ```
+
+pub mod aead;
+pub mod chacha20;
+pub mod kdf;
+pub mod poly1305;
+mod sha2;
+
+pub use aead::AeadError;
+pub use kdf::{expand, from_hex, to_hex, DomainHasher};
+pub use sha2::{Sha256, Sha512};

@@ -1,0 +1,244 @@
+//! The Poly1305 one-time authenticator (RFC 8439), from scratch.
+//!
+//! Arithmetic is done over 2^130 − 5 using five 26-bit limbs with `u64`
+//! accumulators — small enough to verify by hand, fast enough for the
+//! hybrid payload path.
+
+/// Computes the 16-byte Poly1305 tag of `msg` under the 32-byte one-time key.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    // r with the RFC clamping; s is the final addend.
+    let mut r_bytes = [0u8; 16];
+    r_bytes.copy_from_slice(&key[..16]);
+    r_bytes[3] &= 15;
+    r_bytes[7] &= 15;
+    r_bytes[11] &= 15;
+    r_bytes[15] &= 15;
+    r_bytes[4] &= 252;
+    r_bytes[8] &= 252;
+    r_bytes[12] &= 252;
+
+    // r as five 26-bit limbs.
+    let load32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+    let r0 = load32(&r_bytes[0..4]) & 0x3ffffff;
+    let r1 = (load32(&r_bytes[3..7]) >> 2) & 0x3ffff03;
+    let r2 = (load32(&r_bytes[6..10]) >> 4) & 0x3ffc0ff;
+    let r3 = (load32(&r_bytes[9..13]) >> 6) & 0x3f03fff;
+    let r4 = (load32(&r_bytes[12..16]) >> 8) & 0x00fffff;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h0 = 0u32;
+    let mut h1 = 0u32;
+    let mut h2 = 0u32;
+    let mut h3 = 0u32;
+    let mut h4 = 0u32;
+
+    let mut chunks = msg.chunks_exact(16);
+    let mut process = |block: &[u8], hibit: u32| {
+        let mut padded = [0u8; 17];
+        padded[..block.len()].copy_from_slice(block);
+        // h += block (with the high bit appended)
+        h0 = h0.wrapping_add(load32(&padded[0..4]) & 0x3ffffff);
+        h1 = h1.wrapping_add((load32(&padded[3..7]) >> 2) & 0x3ffffff);
+        h2 = h2.wrapping_add((load32(&padded[6..10]) >> 4) & 0x3ffffff);
+        h3 = h3.wrapping_add((load32(&padded[9..13]) >> 6) & 0x3ffffff);
+        h4 = h4.wrapping_add((load32(&padded[12..16]) >> 8) | hibit);
+
+        // h *= r  (mod 2^130 − 5)
+        let m = |a: u32, b: u32| a as u64 * b as u64;
+        let d0 = m(h0, r0) + m(h1, s4) + m(h2, s3) + m(h3, s2) + m(h4, s1);
+        let mut d1 = m(h0, r1) + m(h1, r0) + m(h2, s4) + m(h3, s3) + m(h4, s2);
+        let mut d2 = m(h0, r2) + m(h1, r1) + m(h2, r0) + m(h3, s4) + m(h4, s3);
+        let mut d3 = m(h0, r3) + m(h1, r2) + m(h2, r1) + m(h3, r0) + m(h4, s4);
+        let mut d4 = m(h0, r4) + m(h1, r3) + m(h2, r2) + m(h3, r1) + m(h4, r0);
+
+        let mut c = (d0 >> 26) as u64;
+        h0 = (d0 as u32) & 0x3ffffff;
+        d1 += c;
+        c = d1 >> 26;
+        h1 = (d1 as u32) & 0x3ffffff;
+        d2 += c;
+        c = d2 >> 26;
+        h2 = (d2 as u32) & 0x3ffffff;
+        d3 += c;
+        c = d3 >> 26;
+        h3 = (d3 as u32) & 0x3ffffff;
+        d4 += c;
+        c = d4 >> 26;
+        h4 = (d4 as u32) & 0x3ffffff;
+        h0 = h0.wrapping_add((c as u32) * 5);
+        let c2 = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 = h1.wrapping_add(c2);
+    };
+
+    for block in &mut chunks {
+        process(block, 1 << 24);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 16];
+        padded[..tail.len()].copy_from_slice(tail);
+        padded[tail.len()] = 1;
+        // hibit 0: the 1 is part of the padded block itself.
+        process(&padded[..], 0);
+    }
+
+    // Full carry and conditional subtraction of p = 2^130 − 5.
+    let mut c = h1 >> 26;
+    h1 &= 0x3ffffff;
+    h2 = h2.wrapping_add(c);
+    c = h2 >> 26;
+    h2 &= 0x3ffffff;
+    h3 = h3.wrapping_add(c);
+    c = h3 >> 26;
+    h3 &= 0x3ffffff;
+    h4 = h4.wrapping_add(c);
+    c = h4 >> 26;
+    h4 &= 0x3ffffff;
+    h0 = h0.wrapping_add(c * 5);
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 = h1.wrapping_add(c);
+
+    // compute h + (-p)
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x3ffffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x3ffffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x3ffffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x3ffffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    // Select h if h < p else g.
+    let mask = if g4 >> 31 == 0 { u32::MAX } else { 0 };
+    h0 = (h0 & !mask) | (g0 & mask);
+    h1 = (h1 & !mask) | (g1 & mask);
+    h2 = (h2 & !mask) | (g2 & mask);
+    h3 = (h3 & !mask) | (g3 & mask);
+    h4 = (h4 & !mask) | (g4 & mask);
+
+    // h = h mod 2^128 as four u32 words.
+    let w0 = h0 | (h1 << 26);
+    let w1 = (h1 >> 6) | (h2 << 20);
+    let w2 = (h2 >> 12) | (h3 << 14);
+    let w3 = (h3 >> 18) | (h4 << 8);
+
+    // tag = (h + s) mod 2^128
+    let s0 = load32(&key[16..20]);
+    let s1_ = load32(&key[20..24]);
+    let s2_ = load32(&key[24..28]);
+    let s3_ = load32(&key[28..32]);
+    let mut f = w0 as u64 + s0 as u64;
+    let t0 = f as u32;
+    f = w1 as u64 + s1_ as u64 + (f >> 32);
+    let t1 = f as u32;
+    f = w2 as u64 + s2_ as u64 + (f >> 32);
+    let t2 = f as u32;
+    f = w3 as u64 + s3_ as u64 + (f >> 32);
+    let t3 = f as u32;
+
+    let mut tag = [0u8; 16];
+    tag[0..4].copy_from_slice(&t0.to_le_bytes());
+    tag[4..8].copy_from_slice(&t1.to_le_bytes());
+    tag[8..12].copy_from_slice(&t2.to_le_bytes());
+    tag[12..16].copy_from_slice(&t3.to_le_bytes());
+    tag
+}
+
+/// Constant-time tag comparison.
+pub fn tags_equal(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..16 {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(&key, msg);
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn zero_key_zero_tag() {
+        // r = 0 means the accumulator stays 0 and the tag is s = 0.
+        let tag = poly1305(&[0u8; 32], b"whatever message content");
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    #[test]
+    fn tag_depends_on_message() {
+        let key = [0x42u8; 32];
+        let t1 = poly1305(&key, b"message one");
+        let t2 = poly1305(&key, b"message two");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [0x42u8; 32];
+        let msg: Vec<u8> = (0..100).collect();
+        let base = poly1305(&key, &msg);
+        for i in [0usize, 15, 16, 17, 50, 99] {
+            let mut m = msg.clone();
+            m[i] ^= 1;
+            assert_ne!(poly1305(&key, &m), base, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [0x42u8; 32];
+        // Must not panic and must equal s for r-clamped key... just check determinism.
+        assert_eq!(poly1305(&key, b""), poly1305(&key, b""));
+    }
+
+    #[test]
+    fn block_boundaries() {
+        let key = [0x11u8; 32];
+        let mut tags = Vec::new();
+        for len in 14..=18 {
+            tags.push(poly1305(&key, &vec![0x33u8; len]));
+        }
+        for i in 0..tags.len() {
+            for j in i + 1..tags.len() {
+                assert_ne!(tags[i], tags[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_time_eq() {
+        let a = [1u8; 16];
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 1;
+        assert!(!tags_equal(&a, &b));
+    }
+}

@@ -1,0 +1,359 @@
+//! The two-round KG20 / FROST protocol under the TRI.
+//!
+//! This is the multi-round protocol that motivated the TRI design in the
+//! paper (§3.5: "FROST is the first multi-round protocol to have been
+//! implemented in Thetacrypt, and served as a model and test case").
+//!
+//! Round 1 broadcasts nonce commitments over **total-order broadcast**
+//! so every party derives the identical signing-set view; round 2 sends
+//! responses peer-to-peer. The signing group is fixed a priori to all
+//! `n` parties (as in the paper's evaluation), which is why KG20 waits
+//! for everyone and is not robust: any misbehaviour aborts the run.
+//!
+//! With a precomputed nonce ([`Kg20Sign::with_precomputed_nonce`]) round
+//! 1 still exchanges the commitments but needs no fresh randomness —
+//! the paper's preprocessing mode.
+
+use crate::{
+    InboundMessage, OutboundMessage, ProtocolOutput, RoundOutput, ThresholdRoundProtocol,
+    Transport,
+};
+use std::collections::BTreeMap;
+use theta_codec::{Decode, Encode};
+use theta_schemes::kg20::{self, KeyShare, NonceCommitment, SignatureShare, SigningNonce};
+use theta_schemes::{PartyId, SchemeError};
+
+/// TRI state machine for KG20 threshold Schnorr signing.
+pub struct Kg20Sign {
+    key: KeyShare,
+    message: Vec<u8>,
+    round: u16,
+    nonce: Option<SigningNonce>,
+    commitments: BTreeMap<PartyId, NonceCommitment>,
+    shares: BTreeMap<PartyId, SignatureShare>,
+    /// Set when a party misbehaved; FROST aborts.
+    aborted_by: Option<PartyId>,
+    finished: bool,
+}
+
+impl Kg20Sign {
+    /// Creates a fresh two-round signing instance (nonce generated in
+    /// round 1).
+    pub fn new(key: KeyShare, message: Vec<u8>) -> Self {
+        Kg20Sign {
+            key,
+            message,
+            round: 0,
+            nonce: None,
+            commitments: BTreeMap::new(),
+            shares: BTreeMap::new(),
+            aborted_by: None,
+            finished: false,
+        }
+    }
+
+    /// Creates an instance that consumes a precomputed nonce (the
+    /// paper's preprocessing mode — signing needs only one fresh round).
+    pub fn with_precomputed_nonce(key: KeyShare, message: Vec<u8>, nonce: SigningNonce) -> Self {
+        let mut p = Self::new(key, message);
+        p.nonce = Some(nonce);
+        p
+    }
+
+    /// The fixed signing group size (all `n` parties).
+    fn group_size(&self) -> usize {
+        self.key.public().params().n() as usize
+    }
+
+    fn commitment_list(&self) -> Vec<NonceCommitment> {
+        self.commitments.values().cloned().collect()
+    }
+
+    /// The party that caused an abort, if any.
+    pub fn aborted_by(&self) -> Option<PartyId> {
+        self.aborted_by
+    }
+}
+
+impl ThresholdRoundProtocol for Kg20Sign {
+    fn do_round(&mut self, rng: &mut dyn rand::RngCore) -> Result<RoundOutput, SchemeError> {
+        match self.round {
+            0 => {
+                self.round = 1;
+                let nonce = match self.nonce.take() {
+                    Some(n) => n,
+                    None => kg20::generate_nonce(&self.key, rng),
+                };
+                let commitment = nonce.commitment().clone();
+                self.commitments.insert(self.key.id(), commitment.clone());
+                self.nonce = Some(nonce);
+                Ok(RoundOutput {
+                    messages: vec![OutboundMessage {
+                        transport: Transport::Tob,
+                        round: 1,
+                        payload: commitment.encoded(),
+                    }],
+                })
+            }
+            1 => {
+                if !self.is_ready_for_next_round() {
+                    return Err(SchemeError::NotEnoughShares {
+                        have: self.commitments.len(),
+                        need: self.group_size(),
+                    });
+                }
+                self.round = 2;
+                let nonce = self
+                    .nonce
+                    .take()
+                    .ok_or_else(|| SchemeError::InvalidParameters("nonce consumed".into()))?;
+                let commitments = self.commitment_list();
+                let share = kg20::sign_share(&self.key, nonce, &self.message, &commitments)?;
+                let payload = share.encoded();
+                self.shares.insert(self.key.id(), share);
+                Ok(RoundOutput {
+                    messages: vec![OutboundMessage {
+                        transport: Transport::P2p,
+                        round: 2,
+                        payload,
+                    }],
+                })
+            }
+            _ => Err(SchemeError::InvalidParameters("protocol already in round 2".into())),
+        }
+    }
+
+    fn update(&mut self, message: &InboundMessage) -> Result<(), SchemeError> {
+        match message.round {
+            1 => {
+                let commitment = NonceCommitment::decoded(&message.payload)
+                    .map_err(|e| SchemeError::Malformed(e.to_string()))?;
+                if commitment.id() != message.sender {
+                    return Err(SchemeError::InvalidShare { party: message.sender.value() });
+                }
+                if commitment.id().value() == 0
+                    || commitment.id().value() > self.key.public().params().n()
+                {
+                    return Err(SchemeError::InvalidShareSet("party outside group".into()));
+                }
+                self.commitments.insert(commitment.id(), commitment);
+                Ok(())
+            }
+            2 => {
+                let share = SignatureShare::decoded(&message.payload)
+                    .map_err(|e| SchemeError::Malformed(e.to_string()))?;
+                if share.id() != message.sender {
+                    self.aborted_by = Some(message.sender);
+                    return Err(SchemeError::InvalidShare { party: message.sender.value() });
+                }
+                let commitments = self.commitment_list();
+                if !kg20::verify_share(self.key.public(), &self.message, &commitments, &share) {
+                    // Non-robust: a bad response dooms this run.
+                    self.aborted_by = Some(share.id());
+                    return Err(SchemeError::InvalidShare { party: share.id().value() });
+                }
+                self.shares.insert(share.id(), share);
+                Ok(())
+            }
+            other => Err(SchemeError::Malformed(format!("unexpected round {other}"))),
+        }
+    }
+
+    fn is_ready_for_next_round(&self) -> bool {
+        self.round == 1 && self.commitments.len() == self.group_size()
+    }
+
+    fn is_ready_to_finalize(&self) -> bool {
+        !self.finished
+            && self.aborted_by.is_none()
+            && self.round == 2
+            && self.shares.len() == self.group_size()
+    }
+
+    fn finalize(&mut self) -> Result<ProtocolOutput, SchemeError> {
+        if let Some(party) = self.aborted_by {
+            return Err(SchemeError::InvalidShare { party: party.value() });
+        }
+        if !self.is_ready_to_finalize() {
+            return Err(SchemeError::NotEnoughShares {
+                have: self.shares.len(),
+                need: self.group_size(),
+            });
+        }
+        let commitments = self.commitment_list();
+        let shares: Vec<SignatureShare> = self.shares.values().cloned().collect();
+        let sig = kg20::combine(self.key.public(), &self.message, &commitments, &shares)?;
+        self.finished = true;
+        Ok(ProtocolOutput::Signature(sig.encoded()))
+    }
+
+    fn current_round(&self) -> u16 {
+        self.round
+    }
+
+    fn party(&self) -> PartyId {
+        self.key.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use theta_schemes::ThresholdParams;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x6021)
+    }
+
+    fn broadcast_round(
+        protocols: &mut [Kg20Sign],
+        r: &mut rand::rngs::StdRng,
+    ) -> Vec<(PartyId, RoundOutput)> {
+        let outs: Vec<(PartyId, RoundOutput)> = protocols
+            .iter_mut()
+            .map(|p| (p.party(), p.do_round(r).unwrap()))
+            .collect();
+        for (sender, out) in &outs {
+            for msg in &out.messages {
+                for p in protocols.iter_mut() {
+                    if p.party() != *sender {
+                        p.update(&InboundMessage {
+                            sender: *sender,
+                            round: msg.round,
+                            payload: msg.payload.clone(),
+                        })
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        outs
+    }
+
+    #[test]
+    fn full_two_round_run() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = kg20::keygen(params, &mut r);
+        let mut protos: Vec<Kg20Sign> = keys
+            .into_iter()
+            .map(|k| Kg20Sign::new(k, b"two-round".to_vec()))
+            .collect();
+
+        // Round 1: everyone commits over TOB.
+        let outs = broadcast_round(&mut protos, &mut r);
+        for (_, out) in &outs {
+            assert_eq!(out.messages[0].transport, Transport::Tob);
+        }
+        for p in &protos {
+            assert!(p.is_ready_for_next_round());
+            assert!(!p.is_ready_to_finalize());
+        }
+
+        // Round 2: responses over P2P.
+        let outs = broadcast_round(&mut protos, &mut r);
+        for (_, out) in &outs {
+            assert_eq!(out.messages[0].transport, Transport::P2p);
+        }
+        let mut sigs = Vec::new();
+        for p in protos.iter_mut() {
+            assert!(p.is_ready_to_finalize());
+            sigs.push(p.finalize().unwrap());
+        }
+        // All agree and the signature verifies.
+        for s in &sigs {
+            assert_eq!(*s, sigs[0]);
+        }
+        if let ProtocolOutput::Signature(bytes) = &sigs[0] {
+            let sig = <theta_schemes::kg20::Signature as Decode>::decoded(bytes).unwrap();
+            assert!(kg20::verify(&pk, b"two-round", &sig));
+        } else {
+            panic!("expected signature");
+        }
+    }
+
+    #[test]
+    fn precomputed_nonce_mode() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 2).unwrap();
+        let (pk, keys) = kg20::keygen(params, &mut r);
+        let n0 = kg20::precompute_nonces(&keys[0], 1, &mut r).pop().unwrap();
+        let n1 = kg20::precompute_nonces(&keys[1], 1, &mut r).pop().unwrap();
+        let mut protos = vec![
+            Kg20Sign::with_precomputed_nonce(keys[0].clone(), b"pre".to_vec(), n0),
+            Kg20Sign::with_precomputed_nonce(keys[1].clone(), b"pre".to_vec(), n1),
+        ];
+        broadcast_round(&mut protos, &mut r);
+        broadcast_round(&mut protos, &mut r);
+        for p in protos.iter_mut() {
+            let out = p.finalize().unwrap();
+            if let ProtocolOutput::Signature(bytes) = out {
+                let sig = <theta_schemes::kg20::Signature as Decode>::decoded(&bytes).unwrap();
+                assert!(kg20::verify(&pk, b"pre", &sig));
+            } else {
+                panic!("expected signature");
+            }
+        }
+    }
+
+    #[test]
+    fn cannot_advance_before_all_commitments() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (_pk, keys) = kg20::keygen(params, &mut r);
+        let mut p = Kg20Sign::new(keys[0].clone(), b"m".to_vec());
+        let _ = p.do_round(&mut r).unwrap();
+        assert!(!p.is_ready_for_next_round()); // only own commitment
+        assert!(p.do_round(&mut r).is_err()); // premature round 2
+    }
+
+    #[test]
+    fn bad_round2_share_aborts() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 2).unwrap();
+        let (_pk, keys) = kg20::keygen(params, &mut r);
+        let mut protos = vec![
+            Kg20Sign::new(keys[0].clone(), b"m".to_vec()),
+            Kg20Sign::new(keys[1].clone(), b"m".to_vec()),
+        ];
+        broadcast_round(&mut protos, &mut r);
+        // Round 2 messages, but party 2's share is corrupted in flight.
+        let outs: Vec<(PartyId, RoundOutput)> = protos
+            .iter_mut()
+            .map(|p| (p.party(), p.do_round(&mut r).unwrap()))
+            .collect();
+        let (sender2, out2) = &outs[1];
+        let mut bad_payload = out2.messages[0].payload.clone();
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 1;
+        let err = protos[0].update(&InboundMessage {
+            sender: *sender2,
+            round: 2,
+            payload: bad_payload,
+        });
+        assert!(err.is_err());
+        assert_eq!(protos[0].aborted_by(), Some(PartyId(2)));
+        assert!(!protos[0].is_ready_to_finalize());
+        assert!(protos[0].finalize().is_err());
+    }
+
+    #[test]
+    fn mismatched_sender_rejected() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 2).unwrap();
+        let (_pk, keys) = kg20::keygen(params, &mut r);
+        let mut p0 = Kg20Sign::new(keys[0].clone(), b"m".to_vec());
+        let mut p1 = Kg20Sign::new(keys[1].clone(), b"m".to_vec());
+        let _ = p0.do_round(&mut r).unwrap();
+        let out1 = p1.do_round(&mut r).unwrap();
+        // Party 2's commitment claimed to come from... party 2 is fine;
+        // spoof it as from the wrong sender.
+        let err = p0.update(&InboundMessage {
+            sender: PartyId(1),
+            round: 1,
+            payload: out1.messages[0].payload.clone(),
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,568 @@
+//! Generic TRI implementation for the five non-interactive schemes.
+//!
+//! A non-interactive threshold protocol has exactly the three-algorithm
+//! shape from the paper's §2.2 — create a share, verify a share, combine
+//! a quorum — so one state machine serves SG02, BZ03, SH00, BLS04 and
+//! CKS05 through the [`OneRoundScheme`] adapter trait.
+
+use crate::{
+    InboundMessage, OutboundMessage, ProtocolOutput, RoundOutput, ThresholdRoundProtocol,
+    Transport,
+};
+use std::collections::BTreeMap;
+use theta_schemes::{bls04, bz03, cks05, sg02, sh00, PartyId, SchemeError};
+
+/// Adapter trait: everything a non-interactive scheme needs to expose to
+/// run under the generic one-round TRI state machine.
+pub trait OneRoundScheme: Send {
+    /// The per-party share type.
+    type Share: Clone + Send;
+
+    /// This node's party id.
+    fn party(&self) -> PartyId;
+
+    /// Shares needed to finalize (`t + 1`).
+    fn quorum(&self) -> usize;
+
+    /// Computes this node's share.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-level failures (invalid ciphertext, ...) abort the instance.
+    fn create_share(&self, rng: &mut dyn rand::RngCore) -> Result<Self::Share, SchemeError>;
+
+    /// Verifies a received share; invalid shares are discarded.
+    fn verify_share(&self, share: &Self::Share) -> bool;
+
+    /// The party a share claims to come from.
+    fn share_party(share: &Self::Share) -> PartyId;
+
+    /// Serializes a share for the wire.
+    fn encode_share(share: &Self::Share) -> Vec<u8>;
+
+    /// Parses a share from the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Malformed`] on undecodable bytes.
+    fn decode_share(&self, bytes: &[u8]) -> Result<Self::Share, SchemeError>;
+
+    /// Combines a quorum of verified shares into the final output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme combination failures.
+    fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError>;
+}
+
+/// TRI state machine for any [`OneRoundScheme`].
+pub struct OneRoundProtocol<S: OneRoundScheme> {
+    scheme: S,
+    round: u16,
+    shares: BTreeMap<PartyId, S::Share>,
+    finished: bool,
+}
+
+impl<S: OneRoundScheme> OneRoundProtocol<S> {
+    /// Wraps a scheme adapter into a fresh protocol instance.
+    pub fn new(scheme: S) -> Self {
+        OneRoundProtocol { scheme, round: 0, shares: BTreeMap::new(), finished: false }
+    }
+
+    /// Number of valid shares currently held.
+    pub fn share_count(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
+    fn do_round(&mut self, rng: &mut dyn rand::RngCore) -> Result<RoundOutput, SchemeError> {
+        if self.round > 0 {
+            return Err(SchemeError::InvalidParameters(
+                "one-round protocol has no further rounds".into(),
+            ));
+        }
+        self.round = 1;
+        let share = self.scheme.create_share(rng)?;
+        let payload = S::encode_share(&share);
+        self.shares.insert(self.scheme.party(), share);
+        Ok(RoundOutput {
+            messages: vec![OutboundMessage { transport: Transport::P2p, round: 1, payload }],
+        })
+    }
+
+    fn update(&mut self, message: &InboundMessage) -> Result<(), SchemeError> {
+        let share = self.scheme.decode_share(&message.payload)?;
+        let claimed = S::share_party(&share);
+        if claimed != message.sender {
+            return Err(SchemeError::InvalidShare { party: message.sender.value() });
+        }
+        if !self.scheme.verify_share(&share) {
+            return Err(SchemeError::InvalidShare { party: claimed.value() });
+        }
+        self.shares.insert(claimed, share);
+        Ok(())
+    }
+
+    fn is_ready_for_next_round(&self) -> bool {
+        // Non-interactive: the only transition is into finalization.
+        false
+    }
+
+    fn is_ready_to_finalize(&self) -> bool {
+        !self.finished && self.round == 1 && self.shares.len() >= self.scheme.quorum()
+    }
+
+    fn finalize(&mut self) -> Result<ProtocolOutput, SchemeError> {
+        if !self.is_ready_to_finalize() {
+            return Err(SchemeError::NotEnoughShares {
+                have: self.shares.len(),
+                need: self.scheme.quorum(),
+            });
+        }
+        let shares: Vec<S::Share> = self.shares.values().cloned().collect();
+        let out = self.scheme.combine(&shares)?;
+        self.finished = true;
+        Ok(out)
+    }
+
+    fn current_round(&self) -> u16 {
+        self.round
+    }
+
+    fn party(&self) -> PartyId {
+        self.scheme.party()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheme adapters
+// ---------------------------------------------------------------------
+
+/// SG02 threshold decryption as a one-round protocol.
+pub struct Sg02Decrypt {
+    key: sg02::KeyShare,
+    ciphertext: sg02::Ciphertext,
+}
+
+impl Sg02Decrypt {
+    /// Creates the adapter for this node's key share and the ciphertext
+    /// being decrypted.
+    pub fn new(key: sg02::KeyShare, ciphertext: sg02::Ciphertext) -> Self {
+        Sg02Decrypt { key, ciphertext }
+    }
+}
+
+impl OneRoundScheme for Sg02Decrypt {
+    type Share = sg02::DecryptionShare;
+
+    fn party(&self) -> PartyId {
+        self.key.id()
+    }
+
+    fn quorum(&self) -> usize {
+        self.key.public().params().quorum() as usize
+    }
+
+    fn create_share(&self, rng: &mut dyn rand::RngCore) -> Result<Self::Share, SchemeError> {
+        sg02::create_decryption_share(&self.key, &self.ciphertext, rng)
+    }
+
+    fn verify_share(&self, share: &Self::Share) -> bool {
+        sg02::verify_decryption_share(self.key.public(), &self.ciphertext, share)
+    }
+
+    fn share_party(share: &Self::Share) -> PartyId {
+        share.id()
+    }
+
+    fn encode_share(share: &Self::Share) -> Vec<u8> {
+        theta_codec::Encode::encoded(share)
+    }
+
+    fn decode_share(&self, bytes: &[u8]) -> Result<Self::Share, SchemeError> {
+        theta_codec::Decode::decoded(bytes).map_err(|e| SchemeError::Malformed(e.to_string()))
+    }
+
+    fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        sg02::combine(self.key.public(), &self.ciphertext, shares).map(ProtocolOutput::Plaintext)
+    }
+}
+
+/// BZ03 threshold decryption as a one-round protocol.
+pub struct Bz03Decrypt {
+    key: bz03::KeyShare,
+    ciphertext: bz03::Ciphertext,
+}
+
+impl Bz03Decrypt {
+    /// Creates the adapter.
+    pub fn new(key: bz03::KeyShare, ciphertext: bz03::Ciphertext) -> Self {
+        Bz03Decrypt { key, ciphertext }
+    }
+}
+
+impl OneRoundScheme for Bz03Decrypt {
+    type Share = bz03::DecryptionShare;
+
+    fn party(&self) -> PartyId {
+        self.key.id()
+    }
+
+    fn quorum(&self) -> usize {
+        self.key.public().params().quorum() as usize
+    }
+
+    fn create_share(&self, _rng: &mut dyn rand::RngCore) -> Result<Self::Share, SchemeError> {
+        bz03::create_decryption_share(&self.key, &self.ciphertext)
+    }
+
+    fn verify_share(&self, share: &Self::Share) -> bool {
+        bz03::verify_decryption_share(self.key.public(), &self.ciphertext, share)
+    }
+
+    fn share_party(share: &Self::Share) -> PartyId {
+        share.id()
+    }
+
+    fn encode_share(share: &Self::Share) -> Vec<u8> {
+        theta_codec::Encode::encoded(share)
+    }
+
+    fn decode_share(&self, bytes: &[u8]) -> Result<Self::Share, SchemeError> {
+        theta_codec::Decode::decoded(bytes).map_err(|e| SchemeError::Malformed(e.to_string()))
+    }
+
+    fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        bz03::combine(self.key.public(), &self.ciphertext, shares).map(ProtocolOutput::Plaintext)
+    }
+}
+
+/// SH00 threshold signing as a one-round protocol.
+pub struct Sh00Sign {
+    key: sh00::KeyShare,
+    message: Vec<u8>,
+}
+
+impl Sh00Sign {
+    /// Creates the adapter for signing `message`.
+    pub fn new(key: sh00::KeyShare, message: Vec<u8>) -> Self {
+        Sh00Sign { key, message }
+    }
+}
+
+impl OneRoundScheme for Sh00Sign {
+    type Share = sh00::SignatureShare;
+
+    fn party(&self) -> PartyId {
+        self.key.id()
+    }
+
+    fn quorum(&self) -> usize {
+        self.key.public().params().quorum() as usize
+    }
+
+    fn create_share(&self, rng: &mut dyn rand::RngCore) -> Result<Self::Share, SchemeError> {
+        Ok(sh00::sign_share(&self.key, &self.message, rng))
+    }
+
+    fn verify_share(&self, share: &Self::Share) -> bool {
+        sh00::verify_share(self.key.public(), &self.message, share)
+    }
+
+    fn share_party(share: &Self::Share) -> PartyId {
+        share.id()
+    }
+
+    fn encode_share(share: &Self::Share) -> Vec<u8> {
+        theta_codec::Encode::encoded(share)
+    }
+
+    fn decode_share(&self, bytes: &[u8]) -> Result<Self::Share, SchemeError> {
+        theta_codec::Decode::decoded(bytes).map_err(|e| SchemeError::Malformed(e.to_string()))
+    }
+
+    fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        sh00::combine(self.key.public(), &self.message, shares)
+            .map(|sig| ProtocolOutput::Signature(theta_codec::Encode::encoded(&sig)))
+    }
+}
+
+/// BLS04 threshold signing as a one-round protocol.
+pub struct Bls04Sign {
+    key: bls04::KeyShare,
+    message: Vec<u8>,
+}
+
+impl Bls04Sign {
+    /// Creates the adapter for signing `message`.
+    pub fn new(key: bls04::KeyShare, message: Vec<u8>) -> Self {
+        Bls04Sign { key, message }
+    }
+}
+
+impl OneRoundScheme for Bls04Sign {
+    type Share = bls04::SignatureShare;
+
+    fn party(&self) -> PartyId {
+        self.key.id()
+    }
+
+    fn quorum(&self) -> usize {
+        self.key.public().params().quorum() as usize
+    }
+
+    fn create_share(&self, _rng: &mut dyn rand::RngCore) -> Result<Self::Share, SchemeError> {
+        bls04::sign_share(&self.key, &self.message)
+    }
+
+    fn verify_share(&self, share: &Self::Share) -> bool {
+        bls04::verify_share(self.key.public(), &self.message, share)
+    }
+
+    fn share_party(share: &Self::Share) -> PartyId {
+        share.id()
+    }
+
+    fn encode_share(share: &Self::Share) -> Vec<u8> {
+        theta_codec::Encode::encoded(share)
+    }
+
+    fn decode_share(&self, bytes: &[u8]) -> Result<Self::Share, SchemeError> {
+        theta_codec::Decode::decoded(bytes).map_err(|e| SchemeError::Malformed(e.to_string()))
+    }
+
+    fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        bls04::combine(self.key.public(), &self.message, shares)
+            .map(|sig| ProtocolOutput::Signature(theta_codec::Encode::encoded(&sig)))
+    }
+}
+
+/// CKS05 coin flipping as a one-round protocol.
+pub struct Cks05Coin {
+    key: cks05::KeyShare,
+    name: Vec<u8>,
+}
+
+impl Cks05Coin {
+    /// Creates the adapter for the coin called `name`.
+    pub fn new(key: cks05::KeyShare, name: Vec<u8>) -> Self {
+        Cks05Coin { key, name }
+    }
+}
+
+impl OneRoundScheme for Cks05Coin {
+    type Share = cks05::CoinShare;
+
+    fn party(&self) -> PartyId {
+        self.key.id()
+    }
+
+    fn quorum(&self) -> usize {
+        self.key.public().params().quorum() as usize
+    }
+
+    fn create_share(&self, rng: &mut dyn rand::RngCore) -> Result<Self::Share, SchemeError> {
+        Ok(cks05::create_coin_share(&self.key, &self.name, rng))
+    }
+
+    fn verify_share(&self, share: &Self::Share) -> bool {
+        cks05::verify_coin_share(self.key.public(), &self.name, share)
+    }
+
+    fn share_party(share: &Self::Share) -> PartyId {
+        share.id()
+    }
+
+    fn encode_share(share: &Self::Share) -> Vec<u8> {
+        theta_codec::Encode::encoded(share)
+    }
+
+    fn decode_share(&self, bytes: &[u8]) -> Result<Self::Share, SchemeError> {
+        theta_codec::Decode::decoded(bytes).map_err(|e| SchemeError::Malformed(e.to_string()))
+    }
+
+    fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        cks05::combine(self.key.public(), &self.name, shares).map(ProtocolOutput::Coin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use theta_schemes::ThresholdParams;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x0c0)
+    }
+
+    /// Runs a set of one-round TRI instances to completion by exchanging
+    /// their messages all-to-all; returns each node's output.
+    fn run_all<S: OneRoundScheme>(
+        mut protocols: Vec<OneRoundProtocol<S>>,
+        r: &mut rand::rngs::StdRng,
+    ) -> Vec<ProtocolOutput> {
+        let mut outboxes = Vec::new();
+        for p in protocols.iter_mut() {
+            let out = p.do_round(r).unwrap();
+            outboxes.push((p.party(), out));
+        }
+        for (sender, out) in &outboxes {
+            for msg in &out.messages {
+                assert_eq!(msg.transport, Transport::P2p);
+                for p in protocols.iter_mut() {
+                    if p.party() != *sender {
+                        p.update(&InboundMessage {
+                            sender: *sender,
+                            round: msg.round,
+                            payload: msg.payload.clone(),
+                        })
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        protocols
+            .iter_mut()
+            .map(|p| {
+                assert!(p.is_ready_to_finalize());
+                p.finalize().unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sg02_protocol_all_nodes_agree() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"label", b"tri plaintext", &mut r);
+        let protos: Vec<_> = keys
+            .into_iter()
+            .map(|k| OneRoundProtocol::new(Sg02Decrypt::new(k, ct.clone())))
+            .collect();
+        let outputs = run_all(protos, &mut r);
+        for out in outputs {
+            assert_eq!(out, ProtocolOutput::Plaintext(b"tri plaintext".to_vec()));
+        }
+    }
+
+    #[test]
+    fn bls04_protocol_all_nodes_agree() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = theta_schemes::bls04::keygen(params, &mut r);
+        let protos: Vec<_> = keys
+            .into_iter()
+            .map(|k| OneRoundProtocol::new(Bls04Sign::new(k, b"msg".to_vec())))
+            .collect();
+        let outputs = run_all(protos, &mut r);
+        let first = outputs[0].clone();
+        for out in &outputs {
+            assert_eq!(*out, first);
+        }
+        if let ProtocolOutput::Signature(bytes) = first {
+            let sig = <theta_schemes::bls04::Signature as theta_codec::Decode>::decoded(&bytes)
+                .unwrap();
+            assert!(theta_schemes::bls04::verify(&pk, b"msg", &sig));
+        } else {
+            panic!("expected signature output");
+        }
+    }
+
+    #[test]
+    fn cks05_protocol_coin_agreement() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (_pk, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let protos: Vec<_> = keys
+            .into_iter()
+            .map(|k| OneRoundProtocol::new(Cks05Coin::new(k, b"epoch-9".to_vec())))
+            .collect();
+        let outputs = run_all(protos, &mut r);
+        let first = outputs[0].clone();
+        for out in outputs {
+            assert_eq!(out, first);
+        }
+    }
+
+    #[test]
+    fn finalizes_at_exact_quorum_without_all_messages() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        assert!(!me.is_ready_to_finalize()); // 1 of 3
+        // Receive shares from parties 2 and 3 only.
+        for k in &keys[1..3] {
+            let share = theta_schemes::sg02::create_decryption_share(k, &ct, &mut r).unwrap();
+            me.update(&InboundMessage {
+                sender: k.id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share),
+            })
+            .unwrap();
+        }
+        assert!(me.is_ready_to_finalize());
+        assert_eq!(me.finalize().unwrap(), ProtocolOutput::Plaintext(b"m".to_vec()));
+    }
+
+    #[test]
+    fn invalid_share_rejected_but_instance_survives() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        // Garbage payload.
+        assert!(me
+            .update(&InboundMessage { sender: PartyId(2), round: 1, payload: vec![1, 2, 3] })
+            .is_err());
+        // Mis-attributed (valid share from 3 claimed as from 2).
+        let share3 = theta_schemes::sg02::create_decryption_share(&keys[2], &ct, &mut r).unwrap();
+        assert!(me
+            .update(&InboundMessage {
+                sender: PartyId(2),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share3),
+            })
+            .is_err());
+        assert_eq!(me.share_count(), 1);
+        // The honest share still lands and completes the instance.
+        me.update(&InboundMessage {
+            sender: PartyId(3),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&share3),
+        })
+        .unwrap();
+        assert!(me.is_ready_to_finalize());
+        assert_eq!(me.finalize().unwrap(), ProtocolOutput::Plaintext(b"m".to_vec()));
+    }
+
+    #[test]
+    fn double_do_round_rejected() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 1).unwrap();
+        let (_pk, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut p = OneRoundProtocol::new(Cks05Coin::new(keys[0].clone(), b"c".to_vec()));
+        let _ = p.do_round(&mut r).unwrap();
+        assert!(p.do_round(&mut r).is_err());
+    }
+
+    #[test]
+    fn finalize_before_quorum_errors() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (_pk, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut p = OneRoundProtocol::new(Cks05Coin::new(keys[0].clone(), b"c".to_vec()));
+        let _ = p.do_round(&mut r).unwrap();
+        assert!(matches!(
+            p.finalize(),
+            Err(SchemeError::NotEnoughShares { have: 1, need: 2 })
+        ));
+    }
+}

@@ -1,0 +1,366 @@
+//! BLS04 — the Boneh–Lynn–Shacham threshold signature over BN254.
+//!
+//! Short signatures in G1, public keys in G2. Key homomorphism makes the
+//! scheme directly threshold-friendly (paper §3.5): partial signatures
+//! are verified with a pairing equation against per-party verification
+//! keys, and the combined signature is an ordinary BLS signature.
+//!
+//! # Example
+//!
+//! ```
+//! use theta_schemes::common::ThresholdParams;
+//! use theta_schemes::bls04;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let params = ThresholdParams::new(1, 4).unwrap();
+//! let (pk, shares) = bls04::keygen(params, &mut rng);
+//! let s1 = bls04::sign_share(&shares[0], b"block 42").unwrap();
+//! let s3 = bls04::sign_share(&shares[3], b"block 42").unwrap();
+//! let sig = bls04::combine(&pk, b"block 42", &[s1, s3]).unwrap();
+//! assert!(bls04::verify(&pk, b"block 42", &sig));
+//! ```
+
+use crate::common::{lagrange_at_zero, shamir_share, PartyId, ThresholdParams};
+use crate::error::SchemeError;
+use crate::hashing::hash_to_g1;
+use crate::wire::{get_fr, get_g1, get_g2, put_fr, put_g1, put_g2};
+use rand::RngCore;
+use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_math::bn254::{pairing_check, Fr, G1, G2};
+
+const D_MSG: &str = "thetacrypt/bls04/message/v1";
+
+/// The BLS threshold public key `Y = x·P2` with verification keys
+/// `Y_i = x_i·P2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    params: ThresholdParams,
+    y: G2,
+    verification_keys: Vec<G2>,
+}
+
+impl PublicKey {
+    /// Threshold parameters.
+    pub fn params(&self) -> ThresholdParams {
+        self.params
+    }
+
+    /// The verification key of `party`, if in range.
+    pub fn verification_key(&self, party: PartyId) -> Option<&G2> {
+        let idx = party.value().checked_sub(1)? as usize;
+        self.verification_keys.get(idx)
+    }
+
+    /// The group public key.
+    pub fn group_key(&self) -> &G2 {
+        &self.y
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        put_g2(w, &self.y);
+        (self.verification_keys.len() as u32).encode(w);
+        for vk in &self.verification_keys {
+            put_g2(w, vk);
+        }
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        let params = ThresholdParams::decode(r)?;
+        let y = get_g2(r)?;
+        let count = u32::decode(r)? as usize;
+        if count != params.n() as usize {
+            return Err(theta_codec::CodecError::InvalidValue(
+                "verification key count != n".into(),
+            ));
+        }
+        let mut verification_keys = Vec::with_capacity(count);
+        for _ in 0..count {
+            verification_keys.push(get_g2(r)?);
+        }
+        Ok(PublicKey { params, y, verification_keys })
+    }
+}
+
+/// One party's signing share `x_i`.
+#[derive(Clone, Debug)]
+pub struct KeyShare {
+    id: PartyId,
+    x_i: Fr,
+    public: PublicKey,
+}
+
+impl KeyShare {
+    /// The owning party.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The common public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+}
+
+impl Encode for KeyShare {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        put_fr(w, &self.x_i);
+        self.public.encode(w);
+    }
+}
+
+impl Decode for KeyShare {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(KeyShare {
+            id: PartyId::decode(r)?,
+            x_i: get_fr(r)?,
+            public: PublicKey::decode(r)?,
+        })
+    }
+}
+
+/// A partial signature `σ_i = x_i·H(m)` in G1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureShare {
+    id: PartyId,
+    sigma_i: G1,
+}
+
+impl SignatureShare {
+    /// The producing party.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+}
+
+impl Encode for SignatureShare {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        put_g1(w, &self.sigma_i);
+    }
+}
+
+impl Decode for SignatureShare {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(SignatureShare { id: PartyId::decode(r)?, sigma_i: get_g1(r)? })
+    }
+}
+
+/// A combined BLS signature (one G1 point, 33 bytes compressed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    sigma: G1,
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        put_g1(w, &self.sigma);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(Signature { sigma: get_g1(r)? })
+    }
+}
+
+/// Dealer key generation.
+pub fn keygen(params: ThresholdParams, rng: &mut dyn RngCore) -> (PublicKey, Vec<KeyShare>) {
+    let x = Fr::random(rng);
+    let y = G2::mul_generator(&x);
+    let shares = shamir_share(&x, params, rng);
+    let verification_keys: Vec<G2> =
+        shares.iter().map(|(_, x_i)| G2::mul_generator(x_i)).collect();
+    let public = PublicKey { params, y, verification_keys };
+    let key_shares = shares
+        .into_iter()
+        .map(|(id, x_i)| KeyShare { id, x_i, public: public.clone() })
+        .collect();
+    (public, key_shares)
+}
+
+/// Hashes the message to G1 (exposed so callers can pre-hash once).
+///
+/// # Errors
+///
+/// [`SchemeError::HashToGroupFailed`] (cryptographically unreachable).
+pub fn hash_message(message: &[u8]) -> Result<G1, SchemeError> {
+    hash_to_g1(D_MSG, &[message])
+}
+
+/// Produces this party's partial signature.
+///
+/// # Errors
+///
+/// Propagates hash-to-group failure (cryptographically unreachable).
+pub fn sign_share(key: &KeyShare, message: &[u8]) -> Result<SignatureShare, SchemeError> {
+    let h = hash_message(message)?;
+    Ok(SignatureShare { id: key.id, sigma_i: h.mul(&key.x_i) })
+}
+
+/// Verifies a partial signature with the pairing equation
+/// `e(σ_i, P2) == e(H(m), Y_i)` (the "Pairings" verification strategy of
+/// Table 1 — no ZKP needed).
+pub fn verify_share(pk: &PublicKey, message: &[u8], share: &SignatureShare) -> bool {
+    let Some(vk) = pk.verification_key(share.id) else {
+        return false;
+    };
+    let Ok(h) = hash_message(message) else {
+        return false;
+    };
+    pairing_check(&share.sigma_i, &G2::generator(), &h, vk)
+}
+
+/// Combines `t+1` verified partial signatures into a full signature and
+/// verifies the result (the paper always enables both checks, §4.4).
+///
+/// # Errors
+///
+/// - [`SchemeError::InvalidShare`] when a share fails its pairing check.
+/// - [`SchemeError::NotEnoughShares`] with fewer than `t+1` shares.
+/// - [`SchemeError::InvalidSignature`] if the assembled signature fails
+///   final verification (cannot happen with verified shares).
+pub fn combine(
+    pk: &PublicKey,
+    message: &[u8],
+    shares: &[SignatureShare],
+) -> Result<Signature, SchemeError> {
+    for share in shares {
+        if !verify_share(pk, message, share) {
+            return Err(SchemeError::InvalidShare { party: share.id.value() });
+        }
+    }
+    let need = pk.params.quorum() as usize;
+    if shares.len() < need {
+        return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
+    }
+    let quorum = &shares[..need];
+    let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
+    let mut sigma = G1::identity();
+    for share in quorum {
+        let lambda = lagrange_at_zero::<Fr>(share.id, &ids)?;
+        sigma = sigma.add(&share.sigma_i.mul(&lambda));
+    }
+    let sig = Signature { sigma };
+    if !verify(pk, message, &sig) {
+        return Err(SchemeError::InvalidSignature);
+    }
+    Ok(sig)
+}
+
+/// Verifies a combined signature: `e(σ, P2) == e(H(m), Y)`.
+pub fn verify(pk: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+    let Ok(h) = hash_message(message) else {
+        return false;
+    };
+    pairing_check(&sig.sigma, &G2::generator(), &h, &pk.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xb15)
+    }
+
+    fn setup(t: u16, n: u16) -> (PublicKey, Vec<KeyShare>, rand::rngs::StdRng) {
+        let mut r = rng();
+        let params = ThresholdParams::new(t, n).unwrap();
+        let (pk, shares) = keygen(params, &mut r);
+        (pk, shares, r)
+    }
+
+    #[test]
+    fn sign_and_verify_quorum() {
+        let (pk, shares, _) = setup(1, 4);
+        let msg = b"hello threshold world";
+        let partials: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| sign_share(s, msg).unwrap())
+            .collect();
+        let sig = combine(&pk, msg, &partials).unwrap();
+        assert!(verify(&pk, msg, &sig));
+        assert!(!verify(&pk, b"other message", &sig));
+    }
+
+    #[test]
+    fn signature_is_unique_across_quorums() {
+        // BLS is deterministic: any quorum combines to the same signature.
+        let (pk, shares, _) = setup(1, 4);
+        let msg = b"deterministic";
+        let all: Vec<_> = shares.iter().map(|s| sign_share(s, msg).unwrap()).collect();
+        let sig_a = combine(&pk, msg, &[all[0].clone(), all[1].clone()]).unwrap();
+        let sig_b = combine(&pk, msg, &[all[2].clone(), all[3].clone()]).unwrap();
+        assert_eq!(sig_a, sig_b);
+    }
+
+    #[test]
+    fn share_verification() {
+        let (pk, shares, _) = setup(1, 4);
+        let msg = b"m";
+        let good = sign_share(&shares[0], msg).unwrap();
+        assert!(verify_share(&pk, msg, &good));
+        assert!(!verify_share(&pk, b"wrong", &good));
+        let forged = SignatureShare { id: PartyId(2), sigma_i: good.sigma_i };
+        assert!(!verify_share(&pk, msg, &forged));
+    }
+
+    #[test]
+    fn bad_share_rejected_in_combine() {
+        let (pk, shares, _) = setup(1, 4);
+        let msg = b"m";
+        let mut bad = sign_share(&shares[0], msg).unwrap();
+        bad.sigma_i = bad.sigma_i.add(&G1::generator());
+        let good = sign_share(&shares[1], msg).unwrap();
+        assert!(matches!(
+            combine(&pk, msg, &[bad, good]),
+            Err(SchemeError::InvalidShare { party: 1 })
+        ));
+    }
+
+    #[test]
+    fn not_enough_shares() {
+        let (pk, shares, _) = setup(2, 7);
+        let msg = b"m";
+        let partials: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| sign_share(s, msg).unwrap())
+            .collect();
+        assert!(matches!(
+            combine(&pk, msg, &partials),
+            Err(SchemeError::NotEnoughShares { have: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let (pk, shares, _) = setup(1, 4);
+        assert_eq!(PublicKey::decoded(&pk.encoded()).unwrap(), pk);
+        let ks = KeyShare::decoded(&shares[0].encoded()).unwrap();
+        assert_eq!(ks.id(), shares[0].id());
+        let msg = b"m";
+        let share = sign_share(&shares[0], msg).unwrap();
+        assert_eq!(SignatureShare::decoded(&share.encoded()).unwrap(), share);
+        let partials: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| sign_share(s, msg).unwrap())
+            .collect();
+        let sig = combine(&pk, msg, &partials).unwrap();
+        assert_eq!(Signature::decoded(&sig.encoded()).unwrap(), sig);
+    }
+
+    #[test]
+    fn empty_message_signable() {
+        let (pk, shares, _) = setup(0, 1);
+        let sig = combine(&pk, b"", &[sign_share(&shares[0], b"").unwrap()]).unwrap();
+        assert!(verify(&pk, b"", &sig));
+    }
+}

@@ -1,0 +1,476 @@
+//! BZ03 — the Baek–Zheng threshold cryptosystem over the Gap
+//! Diffie-Hellman group BN254.
+//!
+//! Shares the CCA-security goals of SG02 but replaces zero-knowledge
+//! proofs with pairing equations (paper Table 1: "Pairings"): both the
+//! ciphertext validity check and decryption-share verification are
+//! pairing checks, which makes shares proof-free.
+//!
+//! Asymmetric-pairing instantiation: the ElGamal element `U = r·P2` and
+//! the key material live in G2, the validity element `W = r·H1(U, V)`
+//! lives in G1.
+//!
+//! - Ciphertext validity: `e(W, P2) == e(H1(U, V), U)`.
+//! - Share validity: `e(H1(U, V), δ_i) == e(W, Y_i)` where `δ_i = x_i·U`.
+//!
+//! The hybrid payload layout mirrors [`crate::sg02`].
+//!
+//! # Example
+//!
+//! ```
+//! use theta_schemes::common::ThresholdParams;
+//! use theta_schemes::bz03;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let params = ThresholdParams::new(1, 4).unwrap();
+//! let (pk, shares) = bz03::keygen(params, &mut rng);
+//! let ct = bz03::encrypt(&pk, b"label", b"pairing-protected payload", &mut rng);
+//! let d0 = bz03::create_decryption_share(&shares[0], &ct).unwrap();
+//! let d1 = bz03::create_decryption_share(&shares[1], &ct).unwrap();
+//! let plain = bz03::combine(&pk, &ct, &[d0, d1]).unwrap();
+//! assert_eq!(plain, b"pairing-protected payload");
+//! ```
+
+use crate::common::{lagrange_at_zero, shamir_share, PartyId, ThresholdParams};
+use crate::error::SchemeError;
+use crate::hashing::{hash_to_g1, hash_to_key};
+use crate::wire::{get_fr, get_g1, get_g2, put_fr, put_g1, put_g2};
+use rand::RngCore;
+use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_math::bn254::{pairing_check, Fr, G1, G2};
+use theta_primitives::aead;
+
+const D_VALIDITY: &str = "thetacrypt/bz03/validity-h1/v1";
+const D_MASK: &str = "thetacrypt/bz03/mask/v1";
+const D_NONCE: &str = "thetacrypt/bz03/nonce/v1";
+
+/// The BZ03 public key: `Y = x·P2` plus per-party verification keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    params: ThresholdParams,
+    y: G2,
+    verification_keys: Vec<G2>,
+}
+
+impl PublicKey {
+    /// Threshold parameters.
+    pub fn params(&self) -> ThresholdParams {
+        self.params
+    }
+
+    /// The verification key of `party`, if in range.
+    pub fn verification_key(&self, party: PartyId) -> Option<&G2> {
+        let idx = party.value().checked_sub(1)? as usize;
+        self.verification_keys.get(idx)
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        put_g2(w, &self.y);
+        (self.verification_keys.len() as u32).encode(w);
+        for vk in &self.verification_keys {
+            put_g2(w, vk);
+        }
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        let params = ThresholdParams::decode(r)?;
+        let y = get_g2(r)?;
+        let count = u32::decode(r)? as usize;
+        if count != params.n() as usize {
+            return Err(theta_codec::CodecError::InvalidValue(
+                "verification key count != n".into(),
+            ));
+        }
+        let mut verification_keys = Vec::with_capacity(count);
+        for _ in 0..count {
+            verification_keys.push(get_g2(r)?);
+        }
+        Ok(PublicKey { params, y, verification_keys })
+    }
+}
+
+/// One party's decryption key share `x_i`.
+#[derive(Clone, Debug)]
+pub struct KeyShare {
+    id: PartyId,
+    x_i: Fr,
+    public: PublicKey,
+}
+
+impl KeyShare {
+    /// The owning party.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The common public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+}
+
+impl Encode for KeyShare {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        put_fr(w, &self.x_i);
+        self.public.encode(w);
+    }
+}
+
+impl Decode for KeyShare {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(KeyShare {
+            id: PartyId::decode(r)?,
+            x_i: get_fr(r)?,
+            public: PublicKey::decode(r)?,
+        })
+    }
+}
+
+/// A BZ03 ciphertext `(U, c_k, W, label, payload)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext {
+    u: G2,
+    c_k: [u8; 32],
+    w: G1,
+    label: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl Ciphertext {
+    /// The ciphertext label.
+    pub fn label(&self) -> &[u8] {
+        &self.label
+    }
+
+    /// Stable identifier for protocol instances.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        hash_to_key("thetacrypt/bz03/fingerprint/v1", &[&self.encoded()])
+    }
+}
+
+impl Encode for Ciphertext {
+    fn encode(&self, w: &mut Writer) {
+        put_g2(w, &self.u);
+        self.c_k.encode(w);
+        put_g1(w, &self.w);
+        self.label.encode(w);
+        self.payload.encode(w);
+    }
+}
+
+impl Decode for Ciphertext {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(Ciphertext {
+            u: get_g2(r)?,
+            c_k: <[u8; 32]>::decode(r)?,
+            w: get_g1(r)?,
+            label: Vec::<u8>::decode(r)?,
+            payload: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+/// A decryption share `δ_i = x_i·U` (no ZKP — pairing-verified).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecryptionShare {
+    id: PartyId,
+    delta_i: G2,
+}
+
+impl DecryptionShare {
+    /// The producing party.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+}
+
+impl Encode for DecryptionShare {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        put_g2(w, &self.delta_i);
+    }
+}
+
+impl Decode for DecryptionShare {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(DecryptionShare { id: PartyId::decode(r)?, delta_i: get_g2(r)? })
+    }
+}
+
+/// Dealer key generation.
+pub fn keygen(params: ThresholdParams, rng: &mut dyn RngCore) -> (PublicKey, Vec<KeyShare>) {
+    let x = Fr::random(rng);
+    let y = G2::mul_generator(&x);
+    let shares = shamir_share(&x, params, rng);
+    let verification_keys: Vec<G2> =
+        shares.iter().map(|(_, x_i)| G2::mul_generator(x_i)).collect();
+    let public = PublicKey { params, y, verification_keys };
+    let key_shares = shares
+        .into_iter()
+        .map(|(id, x_i)| KeyShare { id, x_i, public: public.clone() })
+        .collect();
+    (public, key_shares)
+}
+
+/// The validity-base hash `H1(U, c_k, label) ∈ G1`.
+fn validity_base(u: &G2, c_k: &[u8; 32], label: &[u8]) -> Result<G1, SchemeError> {
+    hash_to_g1(D_VALIDITY, &[&u.to_compressed(), c_k, label])
+}
+
+fn payload_nonce(c_k: &[u8; 32], u: &G2) -> [u8; 12] {
+    let full = hash_to_key(D_NONCE, &[c_k, &u.to_compressed()]);
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&full[..12]);
+    nonce
+}
+
+/// Encrypts `message` under the threshold public key (hybrid, like SG02).
+pub fn encrypt(pk: &PublicKey, label: &[u8], message: &[u8], rng: &mut dyn RngCore) -> Ciphertext {
+    let mut k = [0u8; 32];
+    rng.fill_bytes(&mut k);
+    let r = Fr::random(rng);
+    let u = G2::mul_generator(&r);
+    // Mask from the DH value r·Y ∈ G2.
+    let mask = hash_to_key(D_MASK, &[&pk.y.mul(&r).to_compressed()]);
+    let mut c_k = [0u8; 32];
+    for i in 0..32 {
+        c_k[i] = k[i] ^ mask[i];
+    }
+    let h1 = validity_base(&u, &c_k, label).expect("hash-to-curve");
+    let w = h1.mul(&r);
+    let nonce = payload_nonce(&c_k, &u);
+    let payload = aead::seal(&k, &nonce, label, message);
+    Ciphertext { u, c_k, w, label: label.to_vec(), payload }
+}
+
+/// Publicly checks ciphertext validity: `e(W, P2) == e(H1, U)`.
+pub fn verify_ciphertext(ct: &Ciphertext) -> bool {
+    let Ok(h1) = validity_base(&ct.u, &ct.c_k, &ct.label) else {
+        return false;
+    };
+    // e(W, P2) == e(H1, U)
+    theta_math::bn254::multi_pairing(&[(&ct.w, &G2::generator()), (&h1.neg(), &ct.u)]).is_one()
+}
+
+/// Produces this party's decryption share `δ_i = x_i·U`.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidCiphertext`] when the validity pairing fails.
+pub fn create_decryption_share(
+    key: &KeyShare,
+    ct: &Ciphertext,
+) -> Result<DecryptionShare, SchemeError> {
+    if !verify_ciphertext(ct) {
+        return Err(SchemeError::InvalidCiphertext("BZ03 validity pairing failed".into()));
+    }
+    Ok(DecryptionShare { id: key.id, delta_i: ct.u.mul(&key.x_i) })
+}
+
+/// Verifies a decryption share via `e(H1, δ_i) == e(W, Y_i)`... with the
+/// caveat that `W = r·H1` so both sides equal `e(H1, U)^{x_i·r}`-matched
+/// pairings; concretely checks `e(H1, δ_i) == e(W, Y_i)` rearranged for
+/// our groups as `e(W, Y_i) == e(H1, δ_i)`.
+pub fn verify_decryption_share(pk: &PublicKey, ct: &Ciphertext, share: &DecryptionShare) -> bool {
+    let Some(vk) = pk.verification_key(share.id) else {
+        return false;
+    };
+    let Ok(h1) = validity_base(&ct.u, &ct.c_k, &ct.label) else {
+        return false;
+    };
+    // e(W, Y_i) == e(H1, δ_i): both are e(H1, P2)^{r·x_i}.
+    pairing_check(&ct.w, vk, &h1, &share.delta_i)
+}
+
+/// Combines `t+1` verified shares and opens the payload.
+///
+/// # Errors
+///
+/// Mirrors [`crate::sg02::combine`]: invalid ciphertext, invalid share,
+/// or not enough shares.
+pub fn combine(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+) -> Result<Vec<u8>, SchemeError> {
+    if !verify_ciphertext(ct) {
+        return Err(SchemeError::InvalidCiphertext("BZ03 validity pairing failed".into()));
+    }
+    for share in shares {
+        if !verify_decryption_share(pk, ct, share) {
+            return Err(SchemeError::InvalidShare { party: share.id.value() });
+        }
+    }
+    let need = pk.params.quorum() as usize;
+    if shares.len() < need {
+        return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
+    }
+    let quorum = &shares[..need];
+    let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
+    // x·U = Σ λ_i·δ_i = r·Y
+    let mut xu = G2::identity();
+    for share in quorum {
+        let lambda = lagrange_at_zero::<Fr>(share.id, &ids)?;
+        xu = xu.add(&share.delta_i.mul(&lambda));
+    }
+    let mask = hash_to_key(D_MASK, &[&xu.to_compressed()]);
+    let mut k = [0u8; 32];
+    for i in 0..32 {
+        k[i] = ct.c_k[i] ^ mask[i];
+    }
+    let nonce = payload_nonce(&ct.c_k, &ct.u);
+    aead::open(&k, &nonce, &ct.label, &ct.payload)
+        .map_err(|_| SchemeError::InvalidCiphertext("payload authentication failed".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xb203)
+    }
+
+    fn setup(t: u16, n: u16) -> (PublicKey, Vec<KeyShare>, rand::rngs::StdRng) {
+        let mut r = rng();
+        let params = ThresholdParams::new(t, n).unwrap();
+        let (pk, shares) = keygen(params, &mut r);
+        (pk, shares, r)
+    }
+
+    #[test]
+    fn roundtrip_exact_quorum() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"label", b"gap-DH message", &mut r);
+        assert!(verify_ciphertext(&ct));
+        let dec: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| create_decryption_share(s, &ct).unwrap())
+            .collect();
+        assert_eq!(combine(&pk, &ct, &dec).unwrap(), b"gap-DH message");
+    }
+
+    #[test]
+    fn different_quorums_agree() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let all: Vec<_> = shares
+            .iter()
+            .map(|s| create_decryption_share(s, &ct).unwrap())
+            .collect();
+        let a = combine(&pk, &ct, &[all[0].clone(), all[1].clone()]).unwrap();
+        let b = combine(&pk, &ct, &[all[2].clone(), all[3].clone()]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tampered_u_rejected() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let mut bad = ct.clone();
+        bad.u = bad.u.add(&G2::generator());
+        assert!(!verify_ciphertext(&bad));
+        assert!(create_decryption_share(&shares[0], &bad).is_err());
+    }
+
+    #[test]
+    fn tampered_key_box_rejected() {
+        let (pk, _, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let mut bad = ct.clone();
+        bad.c_k[5] ^= 0x10;
+        // c_k is hashed into H1, so the validity pairing breaks.
+        assert!(!verify_ciphertext(&bad));
+    }
+
+    #[test]
+    fn tampered_payload_caught_by_aead() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let mut bad = ct.clone();
+        let last = bad.payload.len() - 1;
+        bad.payload[last] ^= 1;
+        assert!(verify_ciphertext(&bad)); // validity only covers the key box
+        let dec: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| create_decryption_share(s, &bad).unwrap())
+            .collect();
+        assert!(matches!(
+            combine(&pk, &bad, &dec),
+            Err(SchemeError::InvalidCiphertext(_))
+        ));
+    }
+
+    #[test]
+    fn share_verification_pairing() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let good = create_decryption_share(&shares[0], &ct).unwrap();
+        assert!(verify_decryption_share(&pk, &ct, &good));
+        // Wrong party attribution fails.
+        let forged = DecryptionShare { id: PartyId(3), delta_i: good.delta_i };
+        assert!(!verify_decryption_share(&pk, &ct, &forged));
+        // Corrupted share value fails.
+        let corrupt = DecryptionShare {
+            id: PartyId(1),
+            delta_i: good.delta_i.add(&G2::generator()),
+        };
+        assert!(!verify_decryption_share(&pk, &ct, &corrupt));
+    }
+
+    #[test]
+    fn bad_share_rejected_in_combine() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let mut bad = create_decryption_share(&shares[0], &ct).unwrap();
+        bad.delta_i = bad.delta_i.double();
+        let good = create_decryption_share(&shares[1], &ct).unwrap();
+        assert!(matches!(
+            combine(&pk, &ct, &[bad, good]),
+            Err(SchemeError::InvalidShare { party: 1 })
+        ));
+    }
+
+    #[test]
+    fn not_enough_shares() {
+        let (pk, shares, mut r) = setup(2, 7);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let dec: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| create_decryption_share(s, &ct).unwrap())
+            .collect();
+        assert!(matches!(
+            combine(&pk, &ct, &dec),
+            Err(SchemeError::NotEnoughShares { .. })
+        ));
+    }
+
+    #[test]
+    fn label_bound_into_validity() {
+        let (pk, _, mut r) = setup(1, 4);
+        let ct = encrypt(&pk, b"label-a", b"m", &mut r);
+        let mut swapped = ct.clone();
+        swapped.label = b"label-b".to_vec();
+        assert!(!verify_ciphertext(&swapped));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let (pk, shares, mut r) = setup(1, 4);
+        assert_eq!(PublicKey::decoded(&pk.encoded()).unwrap(), pk);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        assert_eq!(Ciphertext::decoded(&ct.encoded()).unwrap(), ct);
+        let d = create_decryption_share(&shares[0], &ct).unwrap();
+        assert_eq!(DecryptionShare::decoded(&d.encoded()).unwrap(), d);
+        let ks = KeyShare::decoded(&shares[0].encoded()).unwrap();
+        assert_eq!(ks.id(), shares[0].id());
+    }
+}

@@ -1,0 +1,379 @@
+//! Shared threshold-scheme infrastructure: parameters, party identifiers,
+//! the field abstraction, Shamir secret sharing and Lagrange interpolation.
+
+use crate::error::SchemeError;
+use rand::RngCore;
+use theta_codec::{Decode, Encode, Reader, Writer};
+
+/// A 1-based party identifier; doubles as the Shamir x-coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartyId(pub u16);
+
+impl PartyId {
+    /// The numeric id (≥ 1).
+    pub fn value(&self) -> u16 {
+        self.0
+    }
+}
+
+impl Encode for PartyId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for PartyId {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(PartyId(u16::decode(r)?))
+    }
+}
+
+/// Threshold parameters: `n` parties, reconstruction needs `t + 1` of them
+/// and any `t` learn nothing (the paper's `(t+1)`-out-of-`n` convention).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ThresholdParams {
+    t: u16,
+    n: u16,
+}
+
+impl ThresholdParams {
+    /// Creates parameters after validating `1 ≤ t + 1 ≤ n` and `n ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::InvalidParameters`] when the constraint fails.
+    pub fn new(t: u16, n: u16) -> Result<ThresholdParams, SchemeError> {
+        if n == 0 || t >= n {
+            return Err(SchemeError::InvalidParameters(format!(
+                "need 0 <= t < n, got t={t}, n={n}"
+            )));
+        }
+        Ok(ThresholdParams { t, n })
+    }
+
+    /// The usual BFT sizing `n = 3t + 1` for a given `t` (paper §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchemeError::InvalidParameters`] (never fails for t ≥ 0).
+    pub fn bft(t: u16) -> Result<ThresholdParams, SchemeError> {
+        ThresholdParams::new(t, 3 * t + 1)
+    }
+
+    /// Corruption bound `t`.
+    pub fn t(&self) -> u16 {
+        self.t
+    }
+
+    /// Total parties `n`.
+    pub fn n(&self) -> u16 {
+        self.n
+    }
+
+    /// Parties needed to reconstruct: `t + 1`.
+    pub fn quorum(&self) -> u16 {
+        self.t + 1
+    }
+
+    /// All party ids `1..=n`.
+    pub fn parties(&self) -> impl Iterator<Item = PartyId> {
+        (1..=self.n).map(PartyId)
+    }
+}
+
+impl Encode for ThresholdParams {
+    fn encode(&self, w: &mut Writer) {
+        self.t.encode(w);
+        self.n.encode(w);
+    }
+}
+
+impl Decode for ThresholdParams {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        let t = u16::decode(r)?;
+        let n = u16::decode(r)?;
+        ThresholdParams::new(t, n)
+            .map_err(|e| theta_codec::CodecError::InvalidValue(e.to_string()))
+    }
+}
+
+/// Minimal prime-field interface that Shamir sharing and Lagrange
+/// interpolation need; implemented for both scalar fields in use.
+pub trait ShareField: Clone + PartialEq + Sized {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a small integer.
+    fn from_u64(v: u64) -> Self;
+    /// Field addition.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Field subtraction.
+    fn sub(&self, rhs: &Self) -> Self;
+    /// Field multiplication.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// Multiplicative inverse (`None` for zero).
+    fn invert(&self) -> Option<Self>;
+    /// Uniformly random element.
+    fn random(rng: &mut dyn RngCore) -> Self;
+}
+
+impl ShareField for theta_math::ed25519::Scalar {
+    fn zero() -> Self {
+        theta_math::ed25519::Scalar::zero()
+    }
+    fn one() -> Self {
+        theta_math::ed25519::Scalar::one()
+    }
+    fn from_u64(v: u64) -> Self {
+        theta_math::ed25519::Scalar::from_u64(v)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        theta_math::ed25519::Scalar::add(self, rhs)
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        theta_math::ed25519::Scalar::sub(self, rhs)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        theta_math::ed25519::Scalar::mul(self, rhs)
+    }
+    fn invert(&self) -> Option<Self> {
+        theta_math::ed25519::Scalar::invert(self)
+    }
+    fn random(rng: &mut dyn RngCore) -> Self {
+        theta_math::ed25519::Scalar::random(rng)
+    }
+}
+
+impl ShareField for theta_math::bn254::Fr {
+    fn zero() -> Self {
+        theta_math::bn254::Fr::zero()
+    }
+    fn one() -> Self {
+        theta_math::bn254::Fr::one()
+    }
+    fn from_u64(v: u64) -> Self {
+        theta_math::bn254::Fr::from_u64(v)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        theta_math::bn254::Fr::add(self, rhs)
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        theta_math::bn254::Fr::sub(self, rhs)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        theta_math::bn254::Fr::mul(self, rhs)
+    }
+    fn invert(&self) -> Option<Self> {
+        theta_math::bn254::Fr::invert(self)
+    }
+    fn random(rng: &mut dyn RngCore) -> Self {
+        theta_math::bn254::Fr::random(rng)
+    }
+}
+
+/// Splits `secret` into `params.n()` Shamir shares with threshold
+/// `params.t()` (degree-`t` polynomial; any `t+1` shares reconstruct).
+///
+/// Returns shares in party order `1..=n`.
+pub fn shamir_share<F: ShareField>(
+    secret: &F,
+    params: ThresholdParams,
+    rng: &mut dyn RngCore,
+) -> Vec<(PartyId, F)> {
+    // f(X) = secret + a1 X + ... + at X^t
+    let coeffs: Vec<F> = std::iter::once(secret.clone())
+        .chain((0..params.t()).map(|_| F::random(rng)))
+        .collect();
+    params
+        .parties()
+        .map(|id| {
+            let x = F::from_u64(id.value() as u64);
+            // Horner evaluation.
+            let mut acc = F::zero();
+            for c in coeffs.iter().rev() {
+                acc = acc.mul(&x).add(c);
+            }
+            (id, acc)
+        })
+        .collect()
+}
+
+/// Lagrange coefficient λ_i(0) for interpolation at zero over the party
+/// set `ids` (which must contain `i` and hold pairwise-distinct ids).
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShareSet`] when `i ∉ ids` or ids collide.
+pub fn lagrange_at_zero<F: ShareField>(i: PartyId, ids: &[PartyId]) -> Result<F, SchemeError> {
+    if !ids.contains(&i) {
+        return Err(SchemeError::InvalidShareSet(format!(
+            "party {} not in interpolation set",
+            i.value()
+        )));
+    }
+    let mut seen = std::collections::HashSet::with_capacity(ids.len());
+    for id in ids {
+        if !seen.insert(id.value()) {
+            return Err(SchemeError::InvalidShareSet("duplicate party id".into()));
+        }
+    }
+    let xi = F::from_u64(i.value() as u64);
+    let mut num = F::one();
+    let mut den = F::one();
+    for &j in ids {
+        if j == i {
+            continue;
+        }
+        let xj = F::from_u64(j.value() as u64);
+        num = num.mul(&xj);
+        den = den.mul(&xj.sub(&xi));
+    }
+    let den_inv = den
+        .invert()
+        .ok_or_else(|| SchemeError::InvalidShareSet("duplicate party id".into()))?;
+    Ok(num.mul(&den_inv))
+}
+
+/// Reconstructs the secret (the polynomial at zero) from `t+1` or more
+/// shares.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShareSet`] on duplicate ids.
+pub fn shamir_reconstruct<F: ShareField>(shares: &[(PartyId, F)]) -> Result<F, SchemeError> {
+    let ids: Vec<PartyId> = shares.iter().map(|(id, _)| *id).collect();
+    let mut acc = F::zero();
+    for (id, share) in shares {
+        let lambda = lagrange_at_zero::<F>(*id, &ids)?;
+        acc = acc.add(&lambda.mul(share));
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use theta_math::ed25519::Scalar;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5a5a)
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(ThresholdParams::new(0, 1).is_ok());
+        assert!(ThresholdParams::new(1, 4).is_ok());
+        assert!(ThresholdParams::new(4, 4).is_err());
+        assert!(ThresholdParams::new(0, 0).is_err());
+        let p = ThresholdParams::bft(2).unwrap();
+        assert_eq!(p.n(), 7);
+        assert_eq!(p.quorum(), 3);
+    }
+
+    #[test]
+    fn params_codec_roundtrip() {
+        let p = ThresholdParams::new(3, 10).unwrap();
+        assert_eq!(ThresholdParams::decoded(&p.encoded()).unwrap(), p);
+        // Invalid params rejected at decode.
+        let bad = {
+            let mut w = Writer::new();
+            5u16.encode(&mut w);
+            3u16.encode(&mut w);
+            w.into_bytes()
+        };
+        assert!(ThresholdParams::decoded(&bad).is_err());
+    }
+
+    #[test]
+    fn share_and_reconstruct_exact_quorum() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let secret = Scalar::random(&mut r);
+        let shares = shamir_share(&secret, params, &mut r);
+        assert_eq!(shares.len(), 7);
+        // Any 3 shares reconstruct.
+        let subset = &shares[2..5];
+        assert_eq!(shamir_reconstruct(subset).unwrap(), secret);
+        // All shares reconstruct too.
+        assert_eq!(shamir_reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn insufficient_shares_give_wrong_secret() {
+        let mut r = rng();
+        let params = ThresholdParams::new(3, 7).unwrap();
+        let secret = Scalar::random(&mut r);
+        let shares = shamir_share(&secret, params, &mut r);
+        // With only t shares the interpolation is (overwhelmingly) wrong.
+        let subset = &shares[0..3];
+        assert_ne!(shamir_reconstruct(subset).unwrap(), secret);
+    }
+
+    #[test]
+    fn any_quorum_matches() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 5).unwrap();
+        let secret = Scalar::random(&mut r);
+        let shares = shamir_share(&secret, params, &mut r);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let subset = vec![shares[a].clone(), shares[b].clone()];
+                assert_eq!(shamir_reconstruct(&subset).unwrap(), secret);
+            }
+        }
+    }
+
+    #[test]
+    fn t_zero_shares_are_secret() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 3).unwrap();
+        let secret = Scalar::random(&mut r);
+        let shares = shamir_share(&secret, params, &mut r);
+        for (_, s) in shares {
+            assert_eq!(s, secret);
+        }
+    }
+
+    #[test]
+    fn lagrange_partition_of_unity() {
+        // Σ λ_i(0)·i interpolates f(X) = X at 0, i.e. equals 0;
+        // Σ λ_i(0) interpolates f(X) = 1, i.e. equals 1.
+        let ids: Vec<PartyId> = [1u16, 3, 4, 7].iter().map(|&v| PartyId(v)).collect();
+        let mut sum = Scalar::zero();
+        let mut weighted = Scalar::zero();
+        for &i in &ids {
+            let l = lagrange_at_zero::<Scalar>(i, &ids).unwrap();
+            sum = sum.add(&l);
+            weighted = weighted.add(&l.mul(&Scalar::from_u64(i.value() as u64)));
+        }
+        assert_eq!(sum, Scalar::one());
+        assert_eq!(weighted, Scalar::zero());
+    }
+
+    #[test]
+    fn lagrange_rejects_foreign_party() {
+        let ids = vec![PartyId(1), PartyId(2)];
+        assert!(lagrange_at_zero::<Scalar>(PartyId(9), &ids).is_err());
+    }
+
+    #[test]
+    fn reconstruct_rejects_duplicates() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 3).unwrap();
+        let shares = shamir_share(&Scalar::random(&mut r), params, &mut r);
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert!(shamir_reconstruct(&dup).is_err());
+    }
+
+    #[test]
+    fn works_over_bn254_fr_too() {
+        use theta_math::bn254::Fr;
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 5).unwrap();
+        let secret = Fr::random(&mut r);
+        let shares = shamir_share(&secret, params, &mut r);
+        assert_eq!(shamir_reconstruct(&shares[1..4]).unwrap(), secret);
+    }
+}

@@ -1,0 +1,170 @@
+//! Chaum–Pedersen proofs of discrete-log equality over Ed25519.
+//!
+//! This is the "ZKP" verification strategy of Table 1: SG02 decryption
+//! shares and CKS05 coin shares each carry a DLEQ proof that the share
+//! was computed with the party's committed key share.
+
+use crate::hashing::hash_to_ed25519_scalar;
+use rand::RngCore;
+use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_math::ed25519::{Point, Scalar};
+
+/// A non-interactive DLEQ proof: knowledge of `x` with `h1 = g1^x` and
+/// `h2 = g2^x` (Fiat–Shamir over the given domain).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DleqProof {
+    challenge: Scalar,
+    response: Scalar,
+}
+
+impl DleqProof {
+    /// Proves `log_{g1}(h1) = log_{g2}(h2) = x`.
+    pub fn prove(
+        domain: &str,
+        g1: &Point,
+        h1: &Point,
+        g2: &Point,
+        h2: &Point,
+        x: &Scalar,
+        rng: &mut dyn RngCore,
+    ) -> DleqProof {
+        let s = Scalar::random(rng);
+        let w1 = g1.mul(&s);
+        let w2 = g2.mul(&s);
+        let challenge = Self::challenge(domain, g1, h1, g2, h2, &w1, &w2);
+        let response = s.add(&x.mul(&challenge));
+        DleqProof { challenge, response }
+    }
+
+    /// Verifies the proof against the same statement.
+    pub fn verify(&self, domain: &str, g1: &Point, h1: &Point, g2: &Point, h2: &Point) -> bool {
+        // w1 = g1^z · h1^{−e},  w2 = g2^z · h2^{−e}
+        let w1 = g1.mul(&self.response).sub(&h1.mul(&self.challenge));
+        let w2 = g2.mul(&self.response).sub(&h2.mul(&self.challenge));
+        let expect = Self::challenge(domain, g1, h1, g2, h2, &w1, &w2);
+        expect == self.challenge
+    }
+
+    fn challenge(
+        domain: &str,
+        g1: &Point,
+        h1: &Point,
+        g2: &Point,
+        h2: &Point,
+        w1: &Point,
+        w2: &Point,
+    ) -> Scalar {
+        hash_to_ed25519_scalar(
+            domain,
+            &[
+                &g1.compress(),
+                &h1.compress(),
+                &g2.compress(),
+                &h2.compress(),
+                &w1.compress(),
+                &w2.compress(),
+            ],
+        )
+    }
+}
+
+impl Encode for DleqProof {
+    fn encode(&self, w: &mut Writer) {
+        crate::wire::put_scalar(w, &self.challenge);
+        crate::wire::put_scalar(w, &self.response);
+    }
+}
+
+impl Decode for DleqProof {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(DleqProof {
+            challenge: crate::wire::get_scalar(r)?,
+            response: crate::wire::get_scalar(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xd1e9)
+    }
+
+    fn statement(r: &mut impl RngCore) -> (Point, Point, Point, Point, Scalar) {
+        let x = Scalar::random(r);
+        let g1 = Point::base();
+        let g2 = Point::mul_base(&Scalar::random(r));
+        let h1 = g1.mul(&x);
+        let h2 = g2.mul(&x);
+        (g1, h1, g2, h2, x)
+    }
+
+    #[test]
+    fn honest_proof_verifies() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let (g1, h1, g2, h2, x) = statement(&mut r);
+            let proof = DleqProof::prove("test/dleq", &g1, &h1, &g2, &h2, &x, &mut r);
+            assert!(proof.verify("test/dleq", &g1, &h1, &g2, &h2));
+        }
+    }
+
+    #[test]
+    fn unequal_logs_rejected() {
+        let mut r = rng();
+        let (g1, h1, g2, _, x) = statement(&mut r);
+        // h2 with a different exponent: the prover cannot produce a valid
+        // proof for a false statement.
+        let h2_bad = g2.mul(&x.add(&Scalar::one()));
+        let proof = DleqProof::prove("test/dleq", &g1, &h1, &g2, &h2_bad, &x, &mut r);
+        assert!(!proof.verify("test/dleq", &g1, &h1, &g2, &h2_bad));
+    }
+
+    #[test]
+    fn wrong_domain_rejected() {
+        let mut r = rng();
+        let (g1, h1, g2, h2, x) = statement(&mut r);
+        let proof = DleqProof::prove("domain-a", &g1, &h1, &g2, &h2, &x, &mut r);
+        assert!(!proof.verify("domain-b", &g1, &h1, &g2, &h2));
+    }
+
+    #[test]
+    fn tampered_statement_rejected() {
+        let mut r = rng();
+        let (g1, h1, g2, h2, x) = statement(&mut r);
+        let proof = DleqProof::prove("test/dleq", &g1, &h1, &g2, &h2, &x, &mut r);
+        let other = Point::mul_base(&Scalar::random(&mut r));
+        assert!(!proof.verify("test/dleq", &g1, &other, &g2, &h2));
+        assert!(!proof.verify("test/dleq", &g1, &h1, &g2, &other));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut r = rng();
+        let (g1, h1, g2, h2, x) = statement(&mut r);
+        let proof = DleqProof::prove("test/dleq", &g1, &h1, &g2, &h2, &x, &mut r);
+        let bad = DleqProof {
+            challenge: proof.challenge.add(&Scalar::one()),
+            response: proof.response.clone(),
+        };
+        assert!(!bad.verify("test/dleq", &g1, &h1, &g2, &h2));
+        let bad = DleqProof {
+            challenge: proof.challenge.clone(),
+            response: proof.response.add(&Scalar::one()),
+        };
+        assert!(!bad.verify("test/dleq", &g1, &h1, &g2, &h2));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut r = rng();
+        let (g1, h1, g2, h2, x) = statement(&mut r);
+        let proof = DleqProof::prove("test/dleq", &g1, &h1, &g2, &h2, &x, &mut r);
+        let decoded = DleqProof::decoded(&proof.encoded()).unwrap();
+        assert_eq!(decoded, proof);
+        assert!(decoded.verify("test/dleq", &g1, &h1, &g2, &h2));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all threshold schemes.
+
+use std::fmt;
+
+/// Errors produced by threshold-scheme operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// Threshold parameters were inconsistent (e.g. `t ≥ n`).
+    InvalidParameters(String),
+    /// A set of shares was unusable (duplicates, foreign ids, too few).
+    InvalidShareSet(String),
+    /// A share failed its validity proof or pairing check.
+    InvalidShare {
+        /// The offending party.
+        party: u16,
+    },
+    /// A ciphertext failed its integrity/CCA check.
+    InvalidCiphertext(String),
+    /// A signature failed verification.
+    InvalidSignature,
+    /// Fewer than `t+1` valid shares were supplied.
+    NotEnoughShares {
+        /// Shares supplied.
+        have: usize,
+        /// Shares required.
+        need: usize,
+    },
+    /// Serialized data could not be parsed into a valid object.
+    Malformed(String),
+    /// A hash-to-group operation exhausted its retry budget.
+    HashToGroupFailed,
+    /// The operation was invoked with mismatched key material.
+    KeyMismatch(String),
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            SchemeError::InvalidShareSet(msg) => write!(f, "invalid share set: {msg}"),
+            SchemeError::InvalidShare { party } => {
+                write!(f, "share from party {party} failed verification")
+            }
+            SchemeError::InvalidCiphertext(msg) => write!(f, "invalid ciphertext: {msg}"),
+            SchemeError::InvalidSignature => write!(f, "signature verification failed"),
+            SchemeError::NotEnoughShares { have, need } => {
+                write!(f, "not enough shares: have {have}, need {need}")
+            }
+            SchemeError::Malformed(msg) => write!(f, "malformed data: {msg}"),
+            SchemeError::HashToGroupFailed => write!(f, "hash-to-group retries exhausted"),
+            SchemeError::KeyMismatch(msg) => write!(f, "key mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_nonempty() {
+        let errs = [
+            SchemeError::InvalidParameters("p".into()),
+            SchemeError::InvalidShareSet("s".into()),
+            SchemeError::InvalidShare { party: 3 },
+            SchemeError::InvalidCiphertext("c".into()),
+            SchemeError::InvalidSignature,
+            SchemeError::NotEnoughShares { have: 1, need: 3 },
+            SchemeError::Malformed("m".into()),
+            SchemeError::HashToGroupFailed,
+            SchemeError::KeyMismatch("k".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SchemeError::InvalidSignature);
+    }
+}

@@ -1,0 +1,37 @@
+//! # theta-schemes
+//!
+//! The cryptographic core of the Thetacrypt reproduction (the paper's
+//! *schemes module*, §3.5): six threshold schemes spanning ciphers,
+//! signatures and randomness, over two curves and RSA, plus the secret
+//! sharing and zero-knowledge machinery they need.
+//!
+//! | Scheme | Kind | Hardness | Verification |
+//! |--------|------|----------|--------------|
+//! | [`sg02`] | cipher | DL (Ed25519) | ZKP |
+//! | [`bz03`] | cipher | GDH (BN254) | pairings |
+//! | [`sh00`] | signature | RSA | ZKP |
+//! | [`bls04`] | signature | GDH (BN254) | pairings |
+//! | [`kg20`] | signature (FROST, 2-round) | DL (Ed25519) | ZKP |
+//! | [`cks05`] | randomness | DL (Ed25519) | ZKP |
+//!
+//! This crate is self-contained — no networking, no orchestration — and
+//! "might also be imported as a library directly by other projects"
+//! (paper §3.3); the benchmark client does exactly that.
+
+pub mod bls04;
+pub mod bz03;
+pub mod cks05;
+pub mod common;
+pub mod dkg;
+pub mod dleq;
+pub mod error;
+pub mod hashing;
+pub mod kg20;
+pub mod registry;
+pub mod sg02;
+pub mod sh00;
+pub mod wire;
+
+pub use common::{PartyId, ThresholdParams};
+pub use error::SchemeError;
+pub use registry::{SchemeId, SchemeInfo, SchemeKind};

@@ -1,0 +1,348 @@
+//! The scheme registry: static metadata behind the paper's Table 1
+//! (scheme inventory) and Table 3 (benchmark parameters), plus the
+//! scheme/operation enums shared by the protocol, service and
+//! evaluation layers.
+
+use std::fmt;
+use theta_codec::{Decode, Encode, Reader, Writer};
+
+/// The six threshold schemes of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchemeId {
+    /// Shoup–Gennaro TDH2 threshold cipher (Ed25519).
+    Sg02,
+    /// Baek–Zheng threshold cipher (BN254, pairings).
+    Bz03,
+    /// Shoup threshold RSA signatures.
+    Sh00,
+    /// Boneh–Lynn–Shacham threshold signatures (BN254, pairings).
+    Bls04,
+    /// Komlo–Goldberg FROST threshold Schnorr signatures (Ed25519).
+    Kg20,
+    /// Cachin–Kursawe–Shoup common coin (Ed25519).
+    Cks05,
+}
+
+impl SchemeId {
+    /// All schemes in the paper's Table 1 order.
+    pub const ALL: [SchemeId; 6] = [
+        SchemeId::Sh00,
+        SchemeId::Kg20,
+        SchemeId::Bls04,
+        SchemeId::Sg02,
+        SchemeId::Bz03,
+        SchemeId::Cks05,
+    ];
+
+    /// Short lowercase name (stable identifier).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeId::Sg02 => "sg02",
+            SchemeId::Bz03 => "bz03",
+            SchemeId::Sh00 => "sh00",
+            SchemeId::Bls04 => "bls04",
+            SchemeId::Kg20 => "kg20",
+            SchemeId::Cks05 => "cks05",
+        }
+    }
+
+    /// Parses a short name.
+    pub fn from_name(name: &str) -> Option<SchemeId> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Full metadata for this scheme.
+    pub fn info(&self) -> &'static SchemeInfo {
+        &REGISTRY[match self {
+            SchemeId::Sh00 => 0,
+            SchemeId::Kg20 => 1,
+            SchemeId::Bls04 => 2,
+            SchemeId::Sg02 => 3,
+            SchemeId::Bz03 => 4,
+            SchemeId::Cks05 => 5,
+        }]
+    }
+}
+
+impl fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Encode for SchemeId {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            SchemeId::Sg02 => 0,
+            SchemeId::Bz03 => 1,
+            SchemeId::Sh00 => 2,
+            SchemeId::Bls04 => 3,
+            SchemeId::Kg20 => 4,
+            SchemeId::Cks05 => 5,
+        };
+        tag.encode(w);
+    }
+}
+
+impl Decode for SchemeId {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(SchemeId::Sg02),
+            1 => Ok(SchemeId::Bz03),
+            2 => Ok(SchemeId::Sh00),
+            3 => Ok(SchemeId::Bls04),
+            4 => Ok(SchemeId::Kg20),
+            5 => Ok(SchemeId::Cks05),
+            other => Err(theta_codec::CodecError::InvalidTag(other as u32)),
+        }
+    }
+}
+
+/// Scheme category (paper §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Threshold public-key encryption.
+    Cipher,
+    /// Threshold digital signature.
+    Signature,
+    /// Distributed randomness / common coin.
+    Randomness,
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchemeKind::Cipher => "Cipher",
+            SchemeKind::Signature => "Signature",
+            SchemeKind::Randomness => "Randomness",
+        })
+    }
+}
+
+/// Cryptographic hardness assumption (Table 1 / §4.5 grouping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hardness {
+    /// Elliptic-curve Diffie–Hellman (fastest local computation).
+    EcDh,
+    /// Pairing-based (Gap Diffie–Hellman).
+    Pairing,
+    /// RSA (heaviest local computation).
+    Rsa,
+}
+
+impl fmt::Display for Hardness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Hardness::EcDh => "DL (ECDH)",
+            Hardness::Pairing => "DL (pairings)",
+            Hardness::Rsa => "RSA",
+        })
+    }
+}
+
+/// Share verification strategy (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verification {
+    /// Zero-knowledge proof accompanies each share.
+    Zkp,
+    /// Pairing equations verify shares directly.
+    Pairings,
+}
+
+impl fmt::Display for Verification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verification::Zkp => "ZKP",
+            Verification::Pairings => "Pairings",
+        })
+    }
+}
+
+/// Static metadata for one scheme (rows of Tables 1 and 3).
+#[derive(Debug)]
+pub struct SchemeInfo {
+    /// Scheme identifier.
+    pub id: SchemeId,
+    /// Literature reference as cited in the paper.
+    pub reference: &'static str,
+    /// Category.
+    pub kind: SchemeKind,
+    /// Hardness assumption.
+    pub hardness: Hardness,
+    /// Verification strategy.
+    pub verification: Verification,
+    /// Arithmetic structure (Table 3).
+    pub arithmetic: &'static str,
+    /// Key length in bits (Table 3).
+    pub key_bits: u32,
+    /// Asymptotic communication complexity (Table 3): messages per
+    /// protocol run as a power of n (1 = O(n), 2 = O(n²)).
+    pub comm_complexity_exp: u32,
+    /// Communication rounds (1 for non-interactive; KG20 needs 2).
+    pub rounds: u32,
+    /// Whether misbehaving parties can be excluded (robustness).
+    pub robust: bool,
+}
+
+impl SchemeInfo {
+    /// Communication complexity rendered as in Table 3.
+    pub fn comm_complexity(&self) -> String {
+        match self.comm_complexity_exp {
+            1 => "O(n)".to_string(),
+            k => format!("O(n^{k})"),
+        }
+    }
+}
+
+/// Rows in the Table 1 order (SH00, KG20, BLS04 signatures; SG02, BZ03
+/// ciphers; CKS05 randomness).
+static REGISTRY: [SchemeInfo; 6] = [
+    SchemeInfo {
+        id: SchemeId::Sh00,
+        reference: "SH00 [43]",
+        kind: SchemeKind::Signature,
+        hardness: Hardness::Rsa,
+        verification: Verification::Zkp,
+        arithmetic: "RSA",
+        key_bits: 2048,
+        comm_complexity_exp: 1,
+        rounds: 1,
+        robust: true,
+    },
+    SchemeInfo {
+        id: SchemeId::Kg20,
+        reference: "KG20 [29]",
+        kind: SchemeKind::Signature,
+        hardness: Hardness::EcDh,
+        verification: Verification::Zkp,
+        arithmetic: "EC (Ed25519)",
+        key_bits: 256,
+        comm_complexity_exp: 2,
+        rounds: 2,
+        robust: false,
+    },
+    SchemeInfo {
+        id: SchemeId::Bls04,
+        reference: "BLS04 [5]",
+        kind: SchemeKind::Signature,
+        hardness: Hardness::Pairing,
+        verification: Verification::Pairings,
+        arithmetic: "EC (Bn254)",
+        key_bits: 254,
+        comm_complexity_exp: 1,
+        rounds: 1,
+        robust: true,
+    },
+    SchemeInfo {
+        id: SchemeId::Sg02,
+        reference: "SG02 [44]",
+        kind: SchemeKind::Cipher,
+        hardness: Hardness::EcDh,
+        verification: Verification::Zkp,
+        arithmetic: "EC (Ed25519)",
+        key_bits: 256,
+        comm_complexity_exp: 1,
+        rounds: 1,
+        robust: true,
+    },
+    SchemeInfo {
+        id: SchemeId::Bz03,
+        reference: "BZ03 [3]",
+        kind: SchemeKind::Cipher,
+        hardness: Hardness::Pairing,
+        verification: Verification::Pairings,
+        arithmetic: "EC (Bn254)",
+        key_bits: 254,
+        comm_complexity_exp: 1,
+        rounds: 1,
+        robust: true,
+    },
+    SchemeInfo {
+        id: SchemeId::Cks05,
+        reference: "CKS05 [8]",
+        kind: SchemeKind::Randomness,
+        hardness: Hardness::EcDh,
+        verification: Verification::Zkp,
+        arithmetic: "EC (Ed25519)",
+        key_bits: 256,
+        comm_complexity_exp: 1,
+        rounds: 1,
+        robust: true,
+    },
+];
+
+/// All scheme metadata rows (Table 1 / Table 3).
+pub fn all_schemes() -> &'static [SchemeInfo] {
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for id in SchemeId::ALL {
+            assert_eq!(SchemeId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(SchemeId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for id in SchemeId::ALL {
+            assert_eq!(SchemeId::decoded(&id.encoded()).unwrap(), id);
+        }
+        assert!(SchemeId::decoded(&[9]).is_err());
+    }
+
+    #[test]
+    fn info_self_consistent() {
+        for id in SchemeId::ALL {
+            let info = id.info();
+            assert_eq!(info.id, id, "registry row mismatch for {id}");
+        }
+    }
+
+    #[test]
+    fn table1_contents() {
+        // Paper Table 1: hardness and verification per scheme.
+        assert_eq!(SchemeId::Sh00.info().hardness, Hardness::Rsa);
+        assert_eq!(SchemeId::Sh00.info().verification, Verification::Zkp);
+        assert_eq!(SchemeId::Kg20.info().hardness, Hardness::EcDh);
+        assert_eq!(SchemeId::Bls04.info().verification, Verification::Pairings);
+        assert_eq!(SchemeId::Bz03.info().verification, Verification::Pairings);
+        assert_eq!(SchemeId::Sg02.info().kind, SchemeKind::Cipher);
+        assert_eq!(SchemeId::Cks05.info().kind, SchemeKind::Randomness);
+    }
+
+    #[test]
+    fn table3_contents() {
+        // Paper Table 3: key lengths and communication complexity.
+        assert_eq!(SchemeId::Sg02.info().key_bits, 256);
+        assert_eq!(SchemeId::Bz03.info().key_bits, 254);
+        assert_eq!(SchemeId::Sh00.info().key_bits, 2048);
+        assert_eq!(SchemeId::Kg20.info().comm_complexity_exp, 2);
+        assert_eq!(SchemeId::Kg20.info().comm_complexity(), "O(n^2)");
+        assert_eq!(SchemeId::Bls04.info().comm_complexity(), "O(n)");
+        // Only KG20 is interactive (2 rounds) and non-robust.
+        for id in SchemeId::ALL {
+            let info = id.info();
+            if id == SchemeId::Kg20 {
+                assert_eq!(info.rounds, 2);
+                assert!(!info.robust);
+            } else {
+                assert_eq!(info.rounds, 1);
+                assert!(info.robust);
+            }
+        }
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(SchemeId::Sg02.to_string(), "sg02");
+        assert_eq!(SchemeKind::Cipher.to_string(), "Cipher");
+        assert!(!Hardness::Rsa.to_string().is_empty());
+        assert!(!Verification::Zkp.to_string().is_empty());
+    }
+}

@@ -1,0 +1,675 @@
+//! SH00 — Shoup's practical threshold RSA signatures.
+//!
+//! The first non-interactive robust threshold signature (paper Table 1:
+//! hardness RSA, verification ZKP). Keys use safe-prime moduli
+//! `N = pq`, `p = 2p′+1`, `q = 2q′+1`; the signing exponent `d` is
+//! Shamir-shared over `Z_m` with `m = p′q′`, and each signature share
+//! carries Shoup's discrete-log-equality proof in `QR_N`.
+//!
+//! The paper benchmarks moduli of 512–4096 bits (Table 3 uses 2048).
+//! Safe-prime generation is expensive; [`keygen_from_primes`] lets
+//! benchmarks cache generated primes.
+//!
+//! # Example
+//!
+//! ```
+//! use theta_schemes::common::ThresholdParams;
+//! use theta_schemes::sh00;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let params = ThresholdParams::new(1, 4).unwrap();
+//! // 256-bit modulus keeps the doctest fast; real deployments use ≥ 2048.
+//! let (pk, shares) = sh00::keygen(params, 256, &mut rng).unwrap();
+//! let s0 = sh00::sign_share(&shares[0], b"msg", &mut rng);
+//! let s2 = sh00::sign_share(&shares[2], b"msg", &mut rng);
+//! let sig = sh00::combine(&pk, b"msg", &[s0, s2]).unwrap();
+//! assert!(sh00::verify(&pk, b"msg", &sig));
+//! ```
+
+use crate::common::{PartyId, ThresholdParams};
+use crate::error::SchemeError;
+use rand::RngCore;
+use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_math::{ext_gcd, generate_safe_prime, mod_inverse, BigInt, BigUint, Montgomery, Sign};
+use theta_primitives::{expand, DomainHasher};
+
+const D_MSG: &str = "thetacrypt/sh00/message/v1";
+const D_PROOF: &str = "thetacrypt/sh00/share-proof/v1";
+
+/// Bit length of the proof challenge (Shoup's L1).
+const L1_BITS: usize = 128;
+
+/// The SH00 public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    params: ThresholdParams,
+    /// RSA modulus `N = pq` (safe primes).
+    n: BigUint,
+    /// Public verification exponent (prime, > number of parties).
+    e: BigUint,
+    /// Verification base: a generator of `QR_N`.
+    v: BigUint,
+    /// Per-party verification values `v_i = v^{s_i} mod N`.
+    v_keys: Vec<BigUint>,
+}
+
+impl PublicKey {
+    /// Threshold parameters.
+    pub fn params(&self) -> ThresholdParams {
+        self.params
+    }
+
+    /// The RSA modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Modulus size in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bits()
+    }
+
+    /// The verification value of `party`, if in range.
+    pub fn verification_key(&self, party: PartyId) -> Option<&BigUint> {
+        let idx = party.value().checked_sub(1)? as usize;
+        self.v_keys.get(idx)
+    }
+
+    /// `Δ = n!`.
+    fn delta(&self) -> BigUint {
+        factorial(self.params.n())
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        crate::wire::put_biguint(w, &self.n);
+        crate::wire::put_biguint(w, &self.e);
+        crate::wire::put_biguint(w, &self.v);
+        (self.v_keys.len() as u32).encode(w);
+        for vk in &self.v_keys {
+            crate::wire::put_biguint(w, vk);
+        }
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        let params = ThresholdParams::decode(r)?;
+        let n = crate::wire::get_biguint(r)?;
+        let e = crate::wire::get_biguint(r)?;
+        let v = crate::wire::get_biguint(r)?;
+        let count = u32::decode(r)? as usize;
+        if count != params.n() as usize {
+            return Err(theta_codec::CodecError::InvalidValue(
+                "verification key count != n".into(),
+            ));
+        }
+        let mut v_keys = Vec::with_capacity(count);
+        for _ in 0..count {
+            v_keys.push(crate::wire::get_biguint(r)?);
+        }
+        Ok(PublicKey { params, n, e, v, v_keys })
+    }
+}
+
+/// One party's share `s_i` of the signing exponent.
+#[derive(Clone, Debug)]
+pub struct KeyShare {
+    id: PartyId,
+    s_i: BigUint,
+    public: PublicKey,
+}
+
+impl KeyShare {
+    /// The owning party.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The common public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+}
+
+impl Encode for KeyShare {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        crate::wire::put_biguint(w, &self.s_i);
+        self.public.encode(w);
+    }
+}
+
+impl Decode for KeyShare {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(KeyShare {
+            id: PartyId::decode(r)?,
+            s_i: crate::wire::get_biguint(r)?,
+            public: PublicKey::decode(r)?,
+        })
+    }
+}
+
+/// A signature share `x_i = x^{2Δ s_i}` with Shoup's validity proof `(c, z)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureShare {
+    id: PartyId,
+    x_i: BigUint,
+    c: BigUint,
+    z: BigUint,
+}
+
+impl SignatureShare {
+    /// The producing party.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+}
+
+impl Encode for SignatureShare {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        crate::wire::put_biguint(w, &self.x_i);
+        crate::wire::put_biguint(w, &self.c);
+        crate::wire::put_biguint(w, &self.z);
+    }
+}
+
+impl Decode for SignatureShare {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(SignatureShare {
+            id: PartyId::decode(r)?,
+            x_i: crate::wire::get_biguint(r)?,
+            c: crate::wire::get_biguint(r)?,
+            z: crate::wire::get_biguint(r)?,
+        })
+    }
+}
+
+/// A standard RSA signature `y` with `y^e = H(m) mod N`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    y: BigUint,
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        crate::wire::put_biguint(w, &self.y);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(Signature { y: crate::wire::get_biguint(r)? })
+    }
+}
+
+fn factorial(n: u16) -> BigUint {
+    let mut acc = BigUint::one();
+    for k in 2..=n as u64 {
+        acc = acc.mul_small(k);
+    }
+    acc
+}
+
+/// Dealer key generation with freshly generated safe primes.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidParameters`] when `modulus_bits < 128` or the
+/// party count is not below the public exponent 65537.
+pub fn keygen(
+    params: ThresholdParams,
+    modulus_bits: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(PublicKey, Vec<KeyShare>), SchemeError> {
+    if modulus_bits < 128 {
+        return Err(SchemeError::InvalidParameters(
+            "modulus must be at least 128 bits".into(),
+        ));
+    }
+    let half = modulus_bits / 2;
+    let p = generate_safe_prime(half, rng);
+    let q = loop {
+        let q = generate_safe_prime(modulus_bits - half, rng);
+        if q != p {
+            break q;
+        }
+    };
+    keygen_from_primes(params, &p, &q, rng)
+}
+
+/// Dealer key generation from pre-generated safe primes (used by the
+/// benchmark harness to cache expensive 2048/4096-bit primes).
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidParameters`] on non-safe primes or too many
+/// parties for the fixed exponent 65537.
+pub fn keygen_from_primes(
+    params: ThresholdParams,
+    p: &BigUint,
+    q: &BigUint,
+    rng: &mut dyn RngCore,
+) -> Result<(PublicKey, Vec<KeyShare>), SchemeError> {
+    if params.n() as u64 >= 65537 {
+        return Err(SchemeError::InvalidParameters(
+            "public exponent 65537 requires fewer than 65537 parties".into(),
+        ));
+    }
+    if p == q {
+        return Err(SchemeError::InvalidParameters("p == q".into()));
+    }
+    let one = BigUint::one();
+    let p_prime = (p - &one) >> 1;
+    let q_prime = (q - &one) >> 1;
+    let n = p * q;
+    let m = &p_prime * &q_prime;
+    let e = BigUint::from_u64(65537);
+    let d = mod_inverse(&e, &m).ok_or_else(|| {
+        SchemeError::InvalidParameters("e not invertible mod m (primes not safe?)".into())
+    })?;
+
+    // Shamir share d over Z_m (no inversion needed for sharing).
+    let coeffs: Vec<BigUint> = std::iter::once(d)
+        .chain((0..params.t()).map(|_| BigUint::random_below(rng, &m)))
+        .collect();
+    let shares: Vec<(PartyId, BigUint)> = params
+        .parties()
+        .map(|id| {
+            let x = BigUint::from_u64(id.value() as u64);
+            let mut acc = BigUint::zero();
+            for c in coeffs.iter().rev() {
+                acc = (&(&acc * &x) + c).rem(&m);
+            }
+            (id, acc)
+        })
+        .collect();
+
+    // v: a generator of QR_N (a random square is one w.h.p. since QR_N is
+    // cyclic of order m = p'q' with overwhelming probability over r).
+    let v = loop {
+        let r = BigUint::random_below(rng, &n);
+        if r.is_zero() || !r.gcd(&n).is_one() {
+            continue;
+        }
+        let v = (&r * &r).rem(&n);
+        if !v.is_one() {
+            break v;
+        }
+    };
+    // The dealer knows the factorization, so the n verification values
+    // are computed with the CRT speedup (~4× per exponentiation).
+    let v_keys: Vec<BigUint> = shares
+        .iter()
+        .map(|(_, s_i)| theta_math::rsa_crt_pow(&v, s_i, p, q))
+        .collect();
+
+    let public = PublicKey { params, n, e, v, v_keys };
+    let key_shares = shares
+        .into_iter()
+        .map(|(id, s_i)| KeyShare { id, s_i, public: public.clone() })
+        .collect();
+    Ok((public, key_shares))
+}
+
+/// Maps a message to an element of `Z_N*` (full-domain hash).
+fn message_rep(pk: &PublicKey, message: &[u8]) -> BigUint {
+    let n_bytes = (pk.n.bits() + 7) / 8;
+    let mut ctr = 0u32;
+    loop {
+        let mut seed = Vec::with_capacity(message.len() + 8);
+        seed.extend_from_slice(message);
+        seed.extend_from_slice(&ctr.to_le_bytes());
+        // Oversample by 16 bytes so the reduction bias is negligible.
+        let raw = expand(D_MSG, &seed, n_bytes + 16);
+        let x = BigUint::from_bytes_be(&raw).rem(&pk.n);
+        if !x.is_zero() && !x.is_one() && x.gcd(&pk.n).is_one() {
+            return x;
+        }
+        ctr += 1;
+    }
+}
+
+fn proof_challenge(
+    pk: &PublicKey,
+    x_tilde: &BigUint,
+    v_i: &BigUint,
+    x_i_sq: &BigUint,
+    v_prime: &BigUint,
+    x_prime: &BigUint,
+) -> BigUint {
+    let digest = DomainHasher::new(D_PROOF)
+        .chain(&pk.n.to_bytes_be())
+        .chain(&pk.v.to_bytes_be())
+        .chain(&x_tilde.to_bytes_be())
+        .chain(&v_i.to_bytes_be())
+        .chain(&x_i_sq.to_bytes_be())
+        .chain(&v_prime.to_bytes_be())
+        .chain(&x_prime.to_bytes_be())
+        .finish();
+    BigUint::from_bytes_be(&digest[..L1_BITS / 8])
+}
+
+/// Produces this party's signature share `x^{2Δ s_i}` with Shoup's
+/// correctness proof.
+pub fn sign_share(key: &KeyShare, message: &[u8], rng: &mut dyn RngCore) -> SignatureShare {
+    let pk = &key.public;
+    let ctx = Montgomery::new(pk.n.clone());
+    let x = message_rep(pk, message);
+    let delta = pk.delta();
+    let two_delta = &delta << 1;
+    let x_i = ctx.pow(&x, &(&two_delta * &key.s_i));
+    // Proof: knowledge of s_i with v_i = v^{s_i} and x_i² = x̃^{s_i},
+    // where x̃ = x^{4Δ}.
+    let x_tilde = ctx.pow(&x, &(&delta << 2));
+    let x_i_sq = (&x_i * &x_i).rem(&pk.n);
+    // r is sampled from [0, 2^(|N| + 2·L1)) — wide enough to hide s_i·c.
+    let r = BigUint::random_bits(rng, pk.n.bits() + 2 * L1_BITS);
+    let v_prime = ctx.pow(&pk.v, &r);
+    let x_prime = ctx.pow(&x_tilde, &r);
+    let v_i = pk.verification_key(key.id).expect("own id in range");
+    let c = proof_challenge(pk, &x_tilde, v_i, &x_i_sq, &v_prime, &x_prime);
+    let z = &(&key.s_i * &c) + &r;
+    SignatureShare { id: key.id, x_i, c, z }
+}
+
+/// Verifies a signature share via the recomputed challenge.
+pub fn verify_share(pk: &PublicKey, message: &[u8], share: &SignatureShare) -> bool {
+    let Some(v_i) = pk.verification_key(share.id) else {
+        return false;
+    };
+    if share.x_i.is_zero() || share.x_i >= pk.n {
+        return false;
+    }
+    let ctx = Montgomery::new(pk.n.clone());
+    let x = message_rep(pk, message);
+    let delta = pk.delta();
+    let x_tilde = ctx.pow(&x, &(&delta << 2));
+    let x_i_sq = (&share.x_i * &share.x_i).rem(&pk.n);
+    // v' = v^z · v_i^{−c},  x' = x̃^z · (x_i²)^{−c}
+    let Some(v_i_inv) = mod_inverse(v_i, &pk.n) else {
+        return false;
+    };
+    let Some(x_i_sq_inv) = mod_inverse(&x_i_sq, &pk.n) else {
+        return false;
+    };
+    let v_prime = (&ctx.pow(&pk.v, &share.z) * &ctx.pow(&v_i_inv, &share.c)).rem(&pk.n);
+    let x_prime = (&ctx.pow(&x_tilde, &share.z) * &ctx.pow(&x_i_sq_inv, &share.c)).rem(&pk.n);
+    proof_challenge(pk, &x_tilde, v_i, &x_i_sq, &v_prime, &x_prime) == share.c
+}
+
+/// Integer Lagrange coefficient `λ_i = Δ·Π_{j≠i} j / Π_{j≠i} (j − i)`;
+/// exactly divisible by construction (Shoup, Lemma 1).
+fn lagrange_integer(i: PartyId, ids: &[PartyId], delta: &BigUint) -> BigInt {
+    let mut num = delta.clone();
+    let mut den = BigUint::one();
+    let mut negative = false;
+    for &j in ids {
+        if j == i {
+            continue;
+        }
+        num = num.mul_small(j.value() as u64);
+        let diff = j.value() as i32 - i.value() as i32;
+        if diff < 0 {
+            negative = !negative;
+        }
+        den = den.mul_small(diff.unsigned_abs() as u64);
+    }
+    let (q, r) = num.divrem(&den);
+    debug_assert!(r.is_zero(), "Lagrange numerator must divide exactly");
+    BigInt::with_sign(if negative { Sign::Negative } else { Sign::Positive }, q)
+}
+
+/// Combines `t+1` verified shares into a standard RSA signature.
+///
+/// # Errors
+///
+/// - [`SchemeError::InvalidShare`] when a share fails Shoup's proof.
+/// - [`SchemeError::NotEnoughShares`] with fewer than `t+1` shares.
+/// - [`SchemeError::InvalidSignature`] should assembly fail.
+pub fn combine(
+    pk: &PublicKey,
+    message: &[u8],
+    shares: &[SignatureShare],
+) -> Result<Signature, SchemeError> {
+    for share in shares {
+        if !verify_share(pk, message, share) {
+            return Err(SchemeError::InvalidShare { party: share.id.value() });
+        }
+    }
+    let need = pk.params.quorum() as usize;
+    if shares.len() < need {
+        return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
+    }
+    let quorum = &shares[..need];
+    let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for id in &ids {
+            if !seen.insert(id.value()) {
+                return Err(SchemeError::InvalidShareSet("duplicate share".into()));
+            }
+        }
+    }
+
+    let ctx = Montgomery::new(pk.n.clone());
+    let x = message_rep(pk, message);
+    let delta = pk.delta();
+
+    // w = Π x_i^{2·λ_i}; then w^e = x^{e'} with e' = 4Δ².
+    let mut w = BigUint::one();
+    for share in quorum {
+        let lambda = lagrange_integer(share.id, &ids, &delta);
+        let exp = lambda.magnitude() << 1;
+        let base = if lambda.is_negative() {
+            mod_inverse(&share.x_i, &pk.n)
+                .ok_or_else(|| SchemeError::InvalidShare { party: share.id.value() })?
+        } else {
+            share.x_i.clone()
+        };
+        w = (&w * &ctx.pow(&base, &exp)).rem(&pk.n);
+    }
+
+    let e_prime = &(&delta * &delta) << 2; // 4Δ²
+    let (g, a, b) = ext_gcd(&e_prime, &pk.e);
+    if !g.is_one() {
+        return Err(SchemeError::InvalidParameters(
+            "gcd(4Δ², e) != 1 — exponent too small for this n".into(),
+        ));
+    }
+    // y = w^a · x^b (signed exponents via modular inverses).
+    let pow_signed = |base: &BigUint, exp: &BigInt| -> Result<BigUint, SchemeError> {
+        let b = if exp.is_negative() {
+            mod_inverse(base, &pk.n)
+                .ok_or_else(|| SchemeError::InvalidSignature)?
+        } else {
+            base.clone()
+        };
+        Ok(ctx.pow(&b, exp.magnitude()))
+    };
+    let y = (&pow_signed(&w, &a)? * &pow_signed(&x, &b)?).rem(&pk.n);
+
+    let sig = Signature { y };
+    if !verify(pk, message, &sig) {
+        return Err(SchemeError::InvalidSignature);
+    }
+    Ok(sig)
+}
+
+/// Standard RSA verification: `y^e == H(m) mod N`.
+pub fn verify(pk: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+    if sig.y.is_zero() || sig.y >= pk.n {
+        return false;
+    }
+    let ctx = Montgomery::new(pk.n.clone());
+    let x = message_rep(pk, message);
+    ctx.pow(&sig.y, &pk.e) == x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5400)
+    }
+
+    fn setup(t: u16, n: u16) -> (PublicKey, Vec<KeyShare>, rand::rngs::StdRng) {
+        let mut r = rng();
+        let params = ThresholdParams::new(t, n).unwrap();
+        let (pk, shares) = keygen(params, 256, &mut r).unwrap();
+        (pk, shares, r)
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"threshold RSA";
+        let partials: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| sign_share(s, msg, &mut r))
+            .collect();
+        let sig = combine(&pk, msg, &partials).unwrap();
+        assert!(verify(&pk, msg, &sig));
+        assert!(!verify(&pk, b"other", &sig));
+    }
+
+    #[test]
+    fn signature_unique_across_quorums() {
+        // RSA signatures are unique: every quorum produces the same y.
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"uniqueness";
+        let all: Vec<_> = shares.iter().map(|s| sign_share(s, msg, &mut r)).collect();
+        let a = combine(&pk, msg, &[all[0].clone(), all[1].clone()]).unwrap();
+        let b = combine(&pk, msg, &[all[2].clone(), all[3].clone()]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn share_proofs_validate() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"m";
+        let share = sign_share(&shares[0], msg, &mut r);
+        assert!(verify_share(&pk, msg, &share));
+        assert!(!verify_share(&pk, b"wrong message", &share));
+        let forged = SignatureShare { id: PartyId(2), ..share.clone() };
+        assert!(!verify_share(&pk, msg, &forged));
+    }
+
+    #[test]
+    fn corrupt_share_detected() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"m";
+        let mut bad = sign_share(&shares[0], msg, &mut r);
+        bad.x_i = (&bad.x_i * &BigUint::from_u64(2)).rem(pk.modulus());
+        let good = sign_share(&shares[1], msg, &mut r);
+        assert!(!verify_share(&pk, msg, &bad));
+        assert!(matches!(
+            combine(&pk, msg, &[bad, good]),
+            Err(SchemeError::InvalidShare { party: 1 })
+        ));
+    }
+
+    #[test]
+    fn robustness_via_exclusion() {
+        // Unlike FROST, dropping the bad share and using an honest quorum
+        // succeeds — SH00 is robust.
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"m";
+        let honest: Vec<_> = shares[1..3]
+            .iter()
+            .map(|s| sign_share(s, msg, &mut r))
+            .collect();
+        let sig = combine(&pk, msg, &honest).unwrap();
+        assert!(verify(&pk, msg, &sig));
+    }
+
+    #[test]
+    fn not_enough_shares() {
+        let (pk, shares, mut r) = setup(2, 7);
+        let msg = b"m";
+        let partials: Vec<_> = shares[..2]
+            .iter()
+            .map(|s| sign_share(s, msg, &mut r))
+            .collect();
+        assert!(matches!(
+            combine(&pk, msg, &partials),
+            Err(SchemeError::NotEnoughShares { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_shares_rejected() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"m";
+        let s = sign_share(&shares[0], msg, &mut r);
+        assert!(matches!(
+            combine(&pk, msg, &[s.clone(), s]),
+            Err(SchemeError::InvalidShareSet(_))
+        ));
+    }
+
+    #[test]
+    fn lagrange_integer_properties() {
+        // Σ λ_i(0) = Δ when interpolating the constant 1... verified via
+        // the defining property instead: interpolating f(X)=X at 0 is 0.
+        let ids: Vec<PartyId> = [1u16, 2, 5].iter().map(|&v| PartyId(v)).collect();
+        let delta = factorial(5);
+        let mut acc = BigInt::zero();
+        for &i in &ids {
+            let l = lagrange_integer(i, &ids, &delta);
+            acc = &acc + &(&l * &BigInt::from_i64(i.value() as i64));
+        }
+        // Δ·f(0) for f(X) = X is zero.
+        assert!(acc.is_zero());
+        // And for f(X) = 1: Σ λ_i = Δ.
+        let mut acc = BigInt::zero();
+        for &i in &ids {
+            acc = &acc + &lagrange_integer(i, &ids, &delta);
+        }
+        assert_eq!(acc, BigInt::from_biguint(delta));
+    }
+
+    #[test]
+    fn different_modulus_sizes() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 1).unwrap();
+        for bits in [128usize, 192] {
+            let (pk, shares) = keygen(params, bits, &mut r).unwrap();
+            // Allow ±2 bits of slack from prime sizing.
+            assert!(pk.modulus_bits() >= bits - 2 && pk.modulus_bits() <= bits + 2);
+            let msg = b"sized";
+            let s = sign_share(&shares[0], msg, &mut r);
+            let sig = combine(&pk, msg, &[s]).unwrap();
+            assert!(verify(&pk, msg, &sig));
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_modulus() {
+        let mut r = rng();
+        let params = ThresholdParams::new(0, 1).unwrap();
+        assert!(keygen(params, 64, &mut r).is_err());
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let (pk, shares, mut r) = setup(1, 4);
+        assert_eq!(PublicKey::decoded(&pk.encoded()).unwrap(), pk);
+        let ks = KeyShare::decoded(&shares[0].encoded()).unwrap();
+        assert_eq!(ks.id(), shares[0].id());
+        let s = sign_share(&shares[0], b"m", &mut r);
+        assert_eq!(SignatureShare::decoded(&s.encoded()).unwrap(), s);
+        let partials: Vec<_> = shares[..2]
+            .iter()
+            .map(|sh| sign_share(sh, b"m", &mut r))
+            .collect();
+        let sig = combine(&pk, b"m", &partials).unwrap();
+        assert_eq!(Signature::decoded(&sig.encoded()).unwrap(), sig);
+    }
+}

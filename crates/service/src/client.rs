@@ -1,0 +1,183 @@
+//! The RPC client used by applications (and by the benchmarking client,
+//! exactly as in the paper's §4.1 setup).
+
+use crate::{read_frame, write_frame, Frame, RpcRequest, RpcResponse};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use theta_orchestration::Request;
+use theta_schemes::registry::SchemeId;
+
+/// Errors surfaced by RPC calls.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with an error.
+    Server(String),
+    /// The server answered with an unexpected response kind.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "rpc i/o error: {e}"),
+            RpcError::Server(msg) => write!(f, "server error: {msg}"),
+            RpcError::UnexpectedResponse => write!(f, "unexpected response kind"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+/// A blocking RPC client over one TCP connection.
+///
+/// Calls are correlated by id, so out-of-order server responses (protocol
+/// results racing scheme-API answers) are handled transparently.
+pub struct RpcClient {
+    stream: TcpStream,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different id.
+    parked: HashMap<u64, RpcResponse>,
+}
+
+impl RpcClient {
+    /// Connects to a Thetacrypt service endpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the TCP connect.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<RpcClient, RpcError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(RpcClient { stream, next_id: 0, parked: HashMap::new() })
+    }
+
+    fn call(&mut self, body: RpcRequest) -> Result<RpcResponse, RpcError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Frame { id, body })?;
+        self.wait_for(id)
+    }
+
+    fn wait_for(&mut self, id: u64) -> Result<RpcResponse, RpcError> {
+        if let Some(resp) = self.parked.remove(&id) {
+            return Ok(resp);
+        }
+        loop {
+            let frame: Frame<RpcResponse> = read_frame(&mut self.stream)?;
+            if frame.id == id {
+                return Ok(frame.body);
+            }
+            self.parked.insert(frame.id, frame.body);
+        }
+    }
+
+    /// Protocol API: runs a threshold operation to completion, returning
+    /// `(output bytes, server-side latency)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] when the Θ-network failed or timed out.
+    pub fn run_protocol(&mut self, request: Request) -> Result<(Vec<u8>, Duration), RpcError> {
+        match self.call(RpcRequest::Protocol(request))? {
+            RpcResponse::ProtocolResult { output, server_latency_us } => {
+                Ok((output, Duration::from_micros(server_latency_us)))
+            }
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Submits a protocol request without waiting; returns the id to pass
+    /// to [`RpcClient::collect_protocol`]. Lets load generators pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn submit_protocol(&mut self, request: Request) -> Result<u64, RpcError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Frame { id, body: RpcRequest::Protocol(request) })?;
+        Ok(id)
+    }
+
+    /// Collects a previously submitted protocol request.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RpcClient::run_protocol`].
+    pub fn collect_protocol(&mut self, id: u64) -> Result<(Vec<u8>, Duration), RpcError> {
+        match self.wait_for(id)? {
+            RpcResponse::ProtocolResult { output, server_latency_us } => {
+                Ok((output, Duration::from_micros(server_latency_us)))
+            }
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Scheme API: fetches the encoded public key for `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] when the scheme is not provisioned.
+    pub fn public_key(&mut self, scheme: SchemeId) -> Result<Vec<u8>, RpcError> {
+        match self.call(RpcRequest::GetPublicKey(scheme))? {
+            RpcResponse::PublicKey(bytes) => Ok(bytes),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Scheme API: server-side encryption under the threshold key.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] for non-cipher schemes or missing keys.
+    pub fn encrypt(
+        &mut self,
+        scheme: SchemeId,
+        label: &[u8],
+        message: &[u8],
+    ) -> Result<Vec<u8>, RpcError> {
+        match self.call(RpcRequest::Encrypt {
+            scheme,
+            label: label.to_vec(),
+            message: message.to_vec(),
+        })? {
+            RpcResponse::Ciphertext(bytes) => Ok(bytes),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Scheme API: verifies a combined signature.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] for non-signature schemes or missing keys.
+    pub fn verify_signature(
+        &mut self,
+        scheme: SchemeId,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<bool, RpcError> {
+        match self.call(RpcRequest::VerifySignature {
+            scheme,
+            message: message.to_vec(),
+            signature: signature.to_vec(),
+        })? {
+            RpcResponse::Verified(ok) => Ok(ok),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! # theta-service
+//!
+//! The paper's *service layer* (§3.4): the RPC boundary through which an
+//! application invokes its local Thetacrypt instance, with the two
+//! endpoints of the paper:
+//!
+//! - the **protocol API** — submit a threshold operation as a black box
+//!   and receive the network-wide result;
+//! - the **scheme API** — direct access to cryptographic primitives
+//!   (public keys, encryption, signature verification) without running a
+//!   protocol.
+//!
+//! The original uses gRPC/protobuf; this reproduction frames
+//! `theta-codec` messages over TCP with a `u32` length prefix. Request
+//! ids allow pipelining; the server answers protocol requests from a
+//! per-request waiter thread, so slow instances never block the
+//! connection.
+
+pub mod client;
+pub mod server;
+
+pub use client::RpcClient;
+pub use server::{serve, ServiceHandle};
+
+use theta_codec::{CodecError, Decode, Encode, Reader, Writer};
+use theta_orchestration::Request;
+use theta_schemes::registry::SchemeId;
+use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00};
+
+/// Public keys of every provisioned scheme — what the scheme API serves.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PublicKeyChest {
+    /// SG02 public key, when provisioned.
+    pub sg02: Option<sg02::PublicKey>,
+    /// BZ03 public key, when provisioned.
+    pub bz03: Option<bz03::PublicKey>,
+    /// SH00 public key, when provisioned.
+    pub sh00: Option<sh00::PublicKey>,
+    /// BLS04 public key, when provisioned.
+    pub bls04: Option<bls04::PublicKey>,
+    /// KG20 public key, when provisioned.
+    pub kg20: Option<kg20::PublicKey>,
+    /// CKS05 public key, when provisioned.
+    pub cks05: Option<cks05::PublicKey>,
+}
+
+impl PublicKeyChest {
+    /// Encoded public key for `scheme`, or `None` when not provisioned.
+    pub fn encoded_key(&self, scheme: SchemeId) -> Option<Vec<u8>> {
+        match scheme {
+            SchemeId::Sg02 => self.sg02.as_ref().map(Encode::encoded),
+            SchemeId::Bz03 => self.bz03.as_ref().map(Encode::encoded),
+            SchemeId::Sh00 => self.sh00.as_ref().map(Encode::encoded),
+            SchemeId::Bls04 => self.bls04.as_ref().map(Encode::encoded),
+            SchemeId::Kg20 => self.kg20.as_ref().map(Encode::encoded),
+            SchemeId::Cks05 => self.cks05.as_ref().map(Encode::encoded),
+        }
+    }
+}
+
+/// A call to the service layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcRequest {
+    /// Protocol API: run a threshold operation across the Θ-network.
+    Protocol(Request),
+    /// Scheme API: fetch the public key of a scheme.
+    GetPublicKey(SchemeId),
+    /// Scheme API: encrypt locally under the threshold public key
+    /// (SG02 or BZ03), returning the encoded ciphertext.
+    Encrypt {
+        /// Target cipher (must be [`SchemeId::Sg02`] or [`SchemeId::Bz03`]).
+        scheme: SchemeId,
+        /// Ciphertext label.
+        label: Vec<u8>,
+        /// Plaintext to protect.
+        message: Vec<u8>,
+    },
+    /// Scheme API: verify a combined signature locally.
+    VerifySignature {
+        /// Signature scheme (SH00, BLS04 or KG20).
+        scheme: SchemeId,
+        /// Signed message.
+        message: Vec<u8>,
+        /// Encoded signature.
+        signature: Vec<u8>,
+    },
+}
+
+impl Encode for RpcRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RpcRequest::Protocol(req) => {
+                0u8.encode(w);
+                req.encode(w);
+            }
+            RpcRequest::GetPublicKey(scheme) => {
+                1u8.encode(w);
+                scheme.encode(w);
+            }
+            RpcRequest::Encrypt { scheme, label, message } => {
+                2u8.encode(w);
+                scheme.encode(w);
+                label.encode(w);
+                message.encode(w);
+            }
+            RpcRequest::VerifySignature { scheme, message, signature } => {
+                3u8.encode(w);
+                scheme.encode(w);
+                message.encode(w);
+                signature.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for RpcRequest {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(RpcRequest::Protocol(Request::decode(r)?)),
+            1 => Ok(RpcRequest::GetPublicKey(SchemeId::decode(r)?)),
+            2 => Ok(RpcRequest::Encrypt {
+                scheme: SchemeId::decode(r)?,
+                label: Vec::<u8>::decode(r)?,
+                message: Vec::<u8>::decode(r)?,
+            }),
+            3 => Ok(RpcRequest::VerifySignature {
+                scheme: SchemeId::decode(r)?,
+                message: Vec::<u8>::decode(r)?,
+                signature: Vec::<u8>::decode(r)?,
+            }),
+            other => Err(CodecError::InvalidTag(other as u32)),
+        }
+    }
+}
+
+/// Successful RPC payloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcResponse {
+    /// Result of a protocol run: the output bytes (plaintext, encoded
+    /// signature or coin) plus the server-side latency in microseconds.
+    ProtocolResult {
+        /// Output bytes.
+        output: Vec<u8>,
+        /// Server-side latency in microseconds (paper's latency metric).
+        server_latency_us: u64,
+    },
+    /// An encoded public key.
+    PublicKey(Vec<u8>),
+    /// An encoded ciphertext.
+    Ciphertext(Vec<u8>),
+    /// Outcome of a signature verification.
+    Verified(bool),
+    /// The request failed.
+    Error(String),
+}
+
+impl Encode for RpcResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RpcResponse::ProtocolResult { output, server_latency_us } => {
+                0u8.encode(w);
+                output.encode(w);
+                server_latency_us.encode(w);
+            }
+            RpcResponse::PublicKey(bytes) => {
+                1u8.encode(w);
+                bytes.encode(w);
+            }
+            RpcResponse::Ciphertext(bytes) => {
+                2u8.encode(w);
+                bytes.encode(w);
+            }
+            RpcResponse::Verified(ok) => {
+                3u8.encode(w);
+                ok.encode(w);
+            }
+            RpcResponse::Error(msg) => {
+                4u8.encode(w);
+                msg.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for RpcResponse {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(RpcResponse::ProtocolResult {
+                output: Vec::<u8>::decode(r)?,
+                server_latency_us: u64::decode(r)?,
+            }),
+            1 => Ok(RpcResponse::PublicKey(Vec::<u8>::decode(r)?)),
+            2 => Ok(RpcResponse::Ciphertext(Vec::<u8>::decode(r)?)),
+            3 => Ok(RpcResponse::Verified(bool::decode(r)?)),
+            4 => Ok(RpcResponse::Error(String::decode(r)?)),
+            other => Err(CodecError::InvalidTag(other as u32)),
+        }
+    }
+}
+
+/// One frame on the wire: correlation id + body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame<T> {
+    /// Correlation id chosen by the client.
+    pub id: u64,
+    /// Request or response body.
+    pub body: T,
+}
+
+impl<T: Encode> Encode for Frame<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.body.encode(w);
+    }
+}
+
+impl<T: Decode> Decode for Frame<T> {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(Frame { id: u64::decode(r)?, body: T::decode(r)? })
+    }
+}
+
+pub(crate) fn write_frame<T: Encode>(
+    stream: &mut std::net::TcpStream,
+    frame: &Frame<T>,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let body = frame.encoded();
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(&body)
+}
+
+pub(crate) fn read_frame<T: Decode>(stream: &mut std::net::TcpStream) -> std::io::Result<Frame<T>> {
+    use std::io::Read;
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > 64 << 20 {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Frame::<T>::decoded(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_request_codec() {
+        let reqs = [
+            RpcRequest::Protocol(Request::Cks05Coin(b"r".to_vec())),
+            RpcRequest::GetPublicKey(SchemeId::Bls04),
+            RpcRequest::Encrypt {
+                scheme: SchemeId::Sg02,
+                label: b"l".to_vec(),
+                message: b"m".to_vec(),
+            },
+            RpcRequest::VerifySignature {
+                scheme: SchemeId::Sh00,
+                message: b"m".to_vec(),
+                signature: vec![1, 2, 3],
+            },
+        ];
+        for r in reqs {
+            assert_eq!(RpcRequest::decoded(&r.encoded()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn rpc_response_codec() {
+        let resps = [
+            RpcResponse::ProtocolResult { output: vec![1], server_latency_us: 42 },
+            RpcResponse::PublicKey(vec![2]),
+            RpcResponse::Ciphertext(vec![3]),
+            RpcResponse::Verified(true),
+            RpcResponse::Error("nope".into()),
+        ];
+        for r in resps {
+            assert_eq!(RpcResponse::decoded(&r.encoded()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn frame_codec() {
+        let f = Frame { id: 99, body: RpcResponse::Verified(false) };
+        assert_eq!(Frame::<RpcResponse>::decoded(&f.encoded()).unwrap(), f);
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(RpcRequest::decoded(&[9]).is_err());
+        assert!(RpcResponse::decoded(&[9]).is_err());
+    }
+}

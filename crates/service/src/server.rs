@@ -1,0 +1,187 @@
+//! The RPC server: accepts connections, answers scheme-API calls inline
+//! and protocol-API calls from per-request waiter threads.
+
+use crate::{write_frame, Frame, PublicKeyChest, RpcRequest, RpcResponse};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use theta_codec::Decode;
+use theta_orchestration::NodeHandle;
+use theta_schemes::registry::SchemeId;
+
+/// Handle to a running RPC service.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections (in-flight requests finish).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Starts serving the two Thetacrypt APIs for a node.
+///
+/// `node` is the orchestration handle whose Θ-network executes protocol
+/// requests; `keys` backs the scheme API. Binds `addr` (use port 0 for
+/// an ephemeral port, then read [`ServiceHandle::addr`]).
+///
+/// # Errors
+///
+/// I/O errors from binding the listener.
+pub fn serve(
+    addr: SocketAddr,
+    node: Arc<NodeHandle>,
+    keys: PublicKeyChest,
+    request_timeout: Duration,
+) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown_accept = shutdown.clone();
+    let join = std::thread::Builder::new()
+        .name("theta-rpc-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let node = node.clone();
+                let keys = keys.clone();
+                std::thread::Builder::new()
+                    .name("theta-rpc-conn".into())
+                    .spawn(move || handle_connection(stream, node, keys, request_timeout))
+                    .ok();
+            }
+        })
+        .expect("spawn accept loop");
+    Ok(ServiceHandle { addr: bound, shutdown, join: Some(join) })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    node: Arc<NodeHandle>,
+    keys: PublicKeyChest,
+    request_timeout: Duration,
+) {
+    stream.set_nodelay(true).ok();
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+    let mut reader = stream;
+    loop {
+        let frame: Frame<RpcRequest> = match crate::read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => return, // client gone or malformed
+        };
+        let id = frame.id;
+        match frame.body {
+            RpcRequest::Protocol(request) => {
+                // Answer from a waiter thread so the connection can pipeline.
+                let pending = node.submit(request);
+                let writer = writer.clone();
+                std::thread::Builder::new()
+                    .name("theta-rpc-wait".into())
+                    .spawn(move || {
+                        let response = match pending.wait_timeout(request_timeout) {
+                            Some(result) => match result.outcome {
+                                Ok(output) => RpcResponse::ProtocolResult {
+                                    output: output.as_bytes().to_vec(),
+                                    server_latency_us: result.elapsed.as_micros() as u64,
+                                },
+                                Err(e) => RpcResponse::Error(e.to_string()),
+                            },
+                            None => RpcResponse::Error("request timed out".into()),
+                        };
+                        let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+                    })
+                    .ok();
+            }
+            other => {
+                let response = answer_scheme_api(other, &keys);
+                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+            }
+        }
+    }
+}
+
+fn answer_scheme_api(request: RpcRequest, keys: &PublicKeyChest) -> RpcResponse {
+    match request {
+        RpcRequest::GetPublicKey(scheme) => match keys.encoded_key(scheme) {
+            Some(bytes) => RpcResponse::PublicKey(bytes),
+            None => RpcResponse::Error(format!("scheme {scheme} not provisioned")),
+        },
+        RpcRequest::Encrypt { scheme, label, message } => {
+            let mut rng = rand::rngs::OsRng;
+            match scheme {
+                SchemeId::Sg02 => match &keys.sg02 {
+                    Some(pk) => {
+                        let ct = theta_schemes::sg02::encrypt(pk, &label, &message, &mut rng);
+                        RpcResponse::Ciphertext(theta_codec::Encode::encoded(&ct))
+                    }
+                    None => RpcResponse::Error("sg02 not provisioned".into()),
+                },
+                SchemeId::Bz03 => match &keys.bz03 {
+                    Some(pk) => {
+                        let ct = theta_schemes::bz03::encrypt(pk, &label, &message, &mut rng);
+                        RpcResponse::Ciphertext(theta_codec::Encode::encoded(&ct))
+                    }
+                    None => RpcResponse::Error("bz03 not provisioned".into()),
+                },
+                other => RpcResponse::Error(format!("{other} is not a cipher")),
+            }
+        }
+        RpcRequest::VerifySignature { scheme, message, signature } => {
+            let verified = match scheme {
+                SchemeId::Sh00 => keys.sh00.as_ref().map(|pk| {
+                    theta_schemes::sh00::Signature::decoded(&signature)
+                        .map(|sig| theta_schemes::sh00::verify(pk, &message, &sig))
+                        .unwrap_or(false)
+                }),
+                SchemeId::Bls04 => keys.bls04.as_ref().map(|pk| {
+                    theta_schemes::bls04::Signature::decoded(&signature)
+                        .map(|sig| theta_schemes::bls04::verify(pk, &message, &sig))
+                        .unwrap_or(false)
+                }),
+                SchemeId::Kg20 => keys.kg20.as_ref().map(|pk| {
+                    theta_schemes::kg20::Signature::decoded(&signature)
+                        .map(|sig| theta_schemes::kg20::verify(pk, &message, &sig))
+                        .unwrap_or(false)
+                }),
+                other => return RpcResponse::Error(format!("{other} is not a signature scheme")),
+            };
+            match verified {
+                Some(ok) => RpcResponse::Verified(ok),
+                None => RpcResponse::Error(format!("scheme {scheme} not provisioned")),
+            }
+        }
+        RpcRequest::Protocol(_) => unreachable!("protocol requests handled by caller"),
+    }
+}

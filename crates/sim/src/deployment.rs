@@ -1,0 +1,156 @@
+//! Deployment descriptions reproducing the paper's Table 2.
+//!
+//! Six configurations: small (7), medium (31) and large (127) node
+//! fleets, each in a *local* (single datacenter, FRA1) and a *global*
+//! (FRA1/SYD1/TOR1/SFO3) variant, with the paper's measured RTTs
+//! (≈ 0.65 ms local; ≈ 43 ms / ≈ 100 ms between regions).
+
+use std::time::Duration;
+
+/// A DigitalOcean region from the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Frankfurt (also hosts the benchmarking client).
+    Fra1,
+    /// Sydney.
+    Syd1,
+    /// Toronto.
+    Tor1,
+    /// San Francisco.
+    Sfo3,
+}
+
+impl Region {
+    /// The four regions of the global deployments.
+    pub const ALL: [Region; 4] = [Region::Fra1, Region::Syd1, Region::Tor1, Region::Sfo3];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::Fra1 => "FRA1",
+            Region::Syd1 => "SYD1",
+            Region::Tor1 => "TOR1",
+            Region::Sfo3 => "SFO3",
+        }
+    }
+}
+
+/// Round-trip time between two regions (paper Table 2: ≈ 0.65 ms
+/// intra-region, ≈ 43 ms for nearer inter-region pairs, ≈ 100 ms for
+/// far pairs).
+pub fn rtt(a: Region, b: Region) -> Duration {
+    use Region::*;
+    if a == b {
+        return Duration::from_micros(650);
+    }
+    match (a, b) {
+        // Nearer pairs (~43 ms): transatlantic FRA–TOR and coastal TOR–SFO.
+        (Fra1, Tor1) | (Tor1, Fra1) | (Tor1, Sfo3) | (Sfo3, Tor1) => Duration::from_millis(43),
+        // Far pairs (~100 ms): anything involving SYD, plus FRA–SFO.
+        _ => Duration::from_millis(100),
+    }
+}
+
+/// One-way latency between regions (half the RTT).
+pub fn one_way(a: Region, b: Region) -> Duration {
+    rtt(a, b) / 2
+}
+
+/// One row of the paper's Table 2.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Acronym (e.g. "DO-31-G").
+    pub name: &'static str,
+    /// Node count.
+    pub n: u16,
+    /// Corruption bound (`n = 3t + 1`).
+    pub t: u16,
+    /// Regions hosting nodes (nodes assigned round-robin).
+    pub regions: &'static [Region],
+    /// The capacity test's maximum request rate (req/s).
+    pub max_rate: u64,
+}
+
+impl Deployment {
+    /// The region of node `id` (1-based, round-robin assignment).
+    pub fn region_of(&self, node: u16) -> Region {
+        self.regions[(node as usize - 1) % self.regions.len()]
+    }
+
+    /// True for single-region (local) deployments.
+    pub fn is_local(&self) -> bool {
+        self.regions.len() == 1
+    }
+
+    /// Reconstruction quorum `t + 1`.
+    pub fn quorum(&self) -> u16 {
+        self.t + 1
+    }
+}
+
+const LOCAL: &[Region] = &[Region::Fra1];
+const GLOBAL: &[Region] = &[Region::Fra1, Region::Syd1, Region::Tor1, Region::Sfo3];
+
+/// All six deployments of Table 2.
+pub fn table2_deployments() -> Vec<Deployment> {
+    vec![
+        Deployment { name: "DO-7-L", n: 7, t: 2, regions: LOCAL, max_rate: 1024 },
+        Deployment { name: "DO-7-G", n: 7, t: 2, regions: GLOBAL, max_rate: 1024 },
+        Deployment { name: "DO-31-L", n: 31, t: 10, regions: LOCAL, max_rate: 512 },
+        Deployment { name: "DO-31-G", n: 31, t: 10, regions: GLOBAL, max_rate: 512 },
+        Deployment { name: "DO-127-L", n: 127, t: 42, regions: LOCAL, max_rate: 64 },
+        Deployment { name: "DO-127-G", n: 127, t: 42, regions: GLOBAL, max_rate: 64 },
+    ]
+}
+
+/// Looks a deployment up by acronym.
+pub fn deployment_by_name(name: &str) -> Option<Deployment> {
+    table2_deployments().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape() {
+        let all = table2_deployments();
+        assert_eq!(all.len(), 6);
+        for d in &all {
+            // BFT sizing n = 3t + 1.
+            assert_eq!(d.n, 3 * d.t + 1, "{}", d.name);
+            assert_eq!(d.is_local(), d.name.ends_with("-L"));
+        }
+        assert_eq!(deployment_by_name("DO-31-G").unwrap().max_rate, 512);
+        assert!(deployment_by_name("DO-99-X").is_none());
+    }
+
+    #[test]
+    fn rtt_symmetric_and_sized() {
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert_eq!(rtt(a, b), rtt(b, a));
+                if a == b {
+                    assert!(rtt(a, b) < Duration::from_millis(1));
+                } else {
+                    assert!(rtt(a, b) >= Duration::from_millis(43));
+                    assert!(rtt(a, b) <= Duration::from_millis(100));
+                }
+            }
+        }
+        assert_eq!(rtt(Region::Fra1, Region::Tor1), Duration::from_millis(43));
+        assert_eq!(rtt(Region::Fra1, Region::Syd1), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn round_robin_regions() {
+        let d = deployment_by_name("DO-7-G").unwrap();
+        assert_eq!(d.region_of(1), Region::Fra1);
+        assert_eq!(d.region_of(2), Region::Syd1);
+        assert_eq!(d.region_of(5), Region::Fra1);
+        let l = deployment_by_name("DO-7-L").unwrap();
+        for node in 1..=7 {
+            assert_eq!(l.region_of(node), Region::Fra1);
+        }
+    }
+}

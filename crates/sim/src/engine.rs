@@ -1,0 +1,596 @@
+//! The discrete-event engine: virtual clock, per-node 1-vCPU FIFO queues
+//! and the message-level protocol models for all six schemes.
+//!
+//! The model reproduces exactly the mechanisms the paper's evaluation
+//! attributes its findings to (§4.5):
+//!
+//! - local crypto cost per operation (from the calibrated [`CostModel`]),
+//! - `O(n)` share traffic for the non-interactive schemes and the
+//!   `O(n²)`/two-round pattern of KG20 with its TOB'd first round,
+//! - WAN latency between the Table 2 regions,
+//! - CPU saturation of the single vCPU per node (queueing → the knee).
+
+use crate::cost::CostModel;
+use crate::deployment::{one_way, Deployment, Region};
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Duration;
+use theta_schemes::registry::SchemeId;
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// One experiment's configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Deployment (size, regions, threshold) under test.
+    pub deployment: Deployment,
+    /// Scheme under test.
+    pub scheme: SchemeId,
+    /// Offered load in requests per second (open loop).
+    pub rate: f64,
+    /// Injection window (virtual time). The paper uses 60 s runs for the
+    /// capacity test and 300 s for steady state.
+    pub duration: Duration,
+    /// Request payload size in bytes (paper: 256 B – 4 KiB).
+    pub payload_bytes: usize,
+    /// Extra drain time after injection stops before the run is cut off.
+    pub drain: Duration,
+    /// Seed for link jitter / CPU noise.
+    pub seed: u64,
+    /// KG20 ablation: when true, round-1 commitments are assumed to have
+    /// been exchanged during preprocessing (the paper's precomputation
+    /// mode), so signing needs a single round.
+    pub kg20_precomputed: bool,
+}
+
+/// Samples collected from one run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Server-side latency per (request, node) completion, seconds.
+    pub node_latencies: Vec<f64>,
+    /// Per-request latency until the `t+1`-th node finished, seconds.
+    pub quorum_latencies: Vec<f64>,
+    /// Absolute virtual completion times (quorum) in seconds, for
+    /// throughput estimation.
+    pub quorum_completions: Vec<f64>,
+    /// Requests injected.
+    pub injected: usize,
+    /// Requests whose quorum completed within the run.
+    pub completed: usize,
+}
+
+impl SimResult {
+    /// True when every injected request reached quorum completion.
+    pub fn all_processed(&self) -> bool {
+        self.completed == self.injected
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MsgKind {
+    Share,
+    Commit,
+    Round2,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EventKind {
+    Arrival { req: u32 },
+    Msg { req: u32, kind: MsgKind },
+    CpuDone,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    at: SimTime,
+    node: u16,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskKind {
+    Create,
+    Verify,
+    Round2Sign,
+    VerifyR2,
+    Combine,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    req: u32,
+    kind: TaskKind,
+}
+
+/// Per-(node, request) protocol progress.
+#[derive(Clone, Copy, Debug)]
+struct ReqState {
+    arrival: SimTime,
+    arrived: bool,
+    verified: u16,
+    commits: u16,
+    round1_done: bool,
+    round2_started: bool,
+    combining: bool,
+    done: bool,
+}
+
+impl Default for ReqState {
+    fn default() -> Self {
+        ReqState {
+            arrival: 0,
+            arrived: false,
+            verified: 0,
+            commits: 0,
+            round1_done: false,
+            round2_started: false,
+            combining: false,
+            done: false,
+        }
+    }
+}
+
+struct Node {
+    region: Region,
+    busy: bool,
+    queue: VecDeque<Task>,
+}
+
+/// Runs one experiment and collects its samples.
+pub fn run(config: &SimConfig, cost: &CostModel) -> SimResult {
+    Engine::new(config, cost).run()
+}
+
+struct Engine<'a> {
+    config: &'a SimConfig,
+    cost: &'a CostModel,
+    n: u16,
+    quorum: u16,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    nodes: Vec<Node>,
+    /// state[req][node]
+    state: Vec<Vec<ReqState>>,
+    /// completions per request (count, quorum time recorded?)
+    req_done_count: Vec<u16>,
+    result: SimResult,
+    rng: rand::rngs::StdRng,
+    hard_end: SimTime,
+    request_send_time: Vec<SimTime>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a SimConfig, cost: &'a CostModel) -> Self {
+        let n = config.deployment.n;
+        let nodes = (1..=n)
+            .map(|id| Node {
+                region: config.deployment.region_of(id),
+                busy: false,
+                queue: VecDeque::new(),
+            })
+            .collect();
+        Engine {
+            config,
+            cost,
+            n,
+            quorum: config.deployment.quorum(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            nodes,
+            state: Vec::new(),
+            req_done_count: Vec::new(),
+            result: SimResult::default(),
+            rng: rand::rngs::StdRng::seed_from_u64(config.seed),
+            hard_end: (config.duration + config.drain).as_nanos() as SimTime,
+            request_send_time: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, node: u16, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event { at, node, seq: self.seq, kind });
+    }
+
+    /// One-way link latency with ±10 % jitter plus a 50–250 µs stack cost.
+    fn link(&mut self, a: Region, b: Region) -> SimTime {
+        let base = one_way(a, b).as_nanos() as f64;
+        let jitter = self.rng.gen_range(0.95..1.10);
+        let stack = self.rng.gen_range(50_000.0..250_000.0);
+        (base * jitter + stack) as SimTime
+    }
+
+    /// CPU cost with ±5 % noise.
+    fn cpu(&mut self, d: Duration) -> SimTime {
+        let noise = self.rng.gen_range(0.97..1.05);
+        (d.as_nanos() as f64 * noise) as SimTime
+    }
+
+    fn task_cost(&mut self, task: Task) -> SimTime {
+        let payload = self.config.payload_bytes as u32;
+        let scheme = self.config.scheme;
+        let d = if let Some(c) = self.cost.one_round(scheme) {
+            match task.kind {
+                TaskKind::Create => c.create + c.per_byte * payload,
+                TaskKind::Verify => c.verify,
+                TaskKind::Combine => {
+                    c.combine_fixed
+                        + c.combine_per_share * self.quorum as u32
+                        + c.per_byte * payload
+                }
+                TaskKind::Round2Sign | TaskKind::VerifyR2 => Duration::ZERO,
+            }
+        } else {
+            let c = self.cost.kg20;
+            match task.kind {
+                TaskKind::Create => c.round1 + c.per_byte * payload,
+                TaskKind::Round2Sign => c.round2_fixed + c.round2_per_member * self.n as u32,
+                TaskKind::VerifyR2 => c.verify,
+                TaskKind::Combine => c.combine_fixed + c.combine_per_share * self.n as u32,
+                TaskKind::Verify => Duration::ZERO,
+            }
+        };
+        self.cpu(d)
+    }
+
+    fn run(mut self) -> SimResult {
+        // Open-loop injection from a client in FRA1 to every node.
+        let interval_ns = (1e9 / self.config.rate) as SimTime;
+        let injection_end = self.config.duration.as_nanos() as SimTime;
+        let mut t = 0;
+        let mut req: u32 = 0;
+        while t < injection_end {
+            self.state.push(vec![ReqState::default(); self.n as usize]);
+            self.req_done_count.push(0);
+            self.request_send_time.push(t);
+            for node in 1..=self.n {
+                let delay = self.link(Region::Fra1, self.nodes[node as usize - 1].region);
+                self.push(t + delay, node, EventKind::Arrival { req });
+            }
+            req += 1;
+            t += interval_ns.max(1);
+        }
+        self.result.injected = req as usize;
+
+        while let Some(ev) = self.heap.pop() {
+            if ev.at > self.hard_end {
+                break;
+            }
+            match ev.kind {
+                EventKind::Arrival { req } => self.on_arrival(ev.at, ev.node, req),
+                EventKind::Msg { req, kind } => self.on_msg(ev.at, ev.node, req, kind),
+                EventKind::CpuDone => self.on_cpu_done(ev.at, ev.node),
+            }
+        }
+        self.result
+    }
+
+    fn on_arrival(&mut self, now: SimTime, node: u16, req: u32) {
+        let kg20_pre = self.config.scheme == SchemeId::Kg20 && self.config.kg20_precomputed;
+        let st = &mut self.state[req as usize][node as usize - 1];
+        st.arrival = now;
+        st.arrived = true;
+        if kg20_pre {
+            // Precomputation mode: commitments were exchanged offline, so
+            // the request goes straight to the single signing round.
+            st.commits = self.n;
+            st.round1_done = true;
+            st.round2_started = true;
+            self.enqueue(now, node, Task { req, kind: TaskKind::Round2Sign });
+        } else {
+            self.enqueue(now, node, Task { req, kind: TaskKind::Create });
+        }
+    }
+
+    fn on_msg(&mut self, now: SimTime, node: u16, req: u32, kind: MsgKind) {
+        let st = &mut self.state[req as usize][node as usize - 1];
+        match kind {
+            MsgKind::Share => {
+                if st.done || st.combining {
+                    return; // residual message — dropped for free
+                }
+                self.enqueue(now, node, Task { req, kind: TaskKind::Verify });
+            }
+            MsgKind::Commit => {
+                st.commits += 1;
+                let ready =
+                    st.commits == self.n && st.round1_done && !st.round2_started && st.arrived;
+                if ready {
+                    st.round2_started = true;
+                    self.enqueue(now, node, Task { req, kind: TaskKind::Round2Sign });
+                }
+            }
+            MsgKind::Round2 => {
+                if st.done || st.combining {
+                    return;
+                }
+                self.enqueue(now, node, Task { req, kind: TaskKind::VerifyR2 });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, now: SimTime, node: u16, task: Task) {
+        self.nodes[node as usize - 1].queue.push_back(task);
+        self.maybe_start(now, node);
+    }
+
+    fn maybe_start(&mut self, now: SimTime, node: u16) {
+        if self.nodes[node as usize - 1].busy {
+            return;
+        }
+        // Skip tasks made obsolete while queued (request already done).
+        while let Some(&task) = self.nodes[node as usize - 1].queue.front() {
+            let st = self.state[task.req as usize][node as usize - 1];
+            let obsolete = match task.kind {
+                TaskKind::Verify | TaskKind::VerifyR2 => st.done || st.combining,
+                _ => false,
+            };
+            if obsolete {
+                self.nodes[node as usize - 1].queue.pop_front();
+                continue;
+            }
+            let cost = self.task_cost(task);
+            self.nodes[node as usize - 1].busy = true;
+            self.nodes[node as usize - 1].current_task_store(task);
+            self.push(now + cost, node, EventKind::CpuDone);
+            return;
+        }
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, node: u16) {
+        let task = self.nodes[node as usize - 1]
+            .take_current()
+            .expect("cpu completion without a task");
+        self.nodes[node as usize - 1].busy = false;
+        self.apply_task_effect(now, node, task);
+        self.maybe_start(now, node);
+    }
+
+    fn apply_task_effect(&mut self, now: SimTime, node: u16, task: Task) {
+        let req = task.req;
+        let quorum = self.quorum;
+        let is_kg20 = self.config.scheme == SchemeId::Kg20;
+        match task.kind {
+            TaskKind::Create => {
+                if is_kg20 {
+                    // Round-1 commitment: distributed via the TOB
+                    // sequencer (node 1), adding the extra hop.
+                    {
+                        let st = &mut self.state[req as usize][node as usize - 1];
+                        st.round1_done = true;
+                        st.commits += 1; // own commitment
+                        if st.commits == self.n && !st.round2_started {
+                            st.round2_started = true;
+                            self.enqueue(now, node, Task { req, kind: TaskKind::Round2Sign });
+                        }
+                    }
+                    let my_region = self.nodes[node as usize - 1].region;
+                    let seq_region = self.nodes[0].region;
+                    let to_seq = if node == 1 { 0 } else { self.link(my_region, seq_region) };
+                    for peer in 1..=self.n {
+                        if peer == node {
+                            continue;
+                        }
+                        let peer_region = self.nodes[peer as usize - 1].region;
+                        let hop = self.link(seq_region, peer_region);
+                        self.push(
+                            now + to_seq + hop,
+                            peer,
+                            EventKind::Msg { req, kind: MsgKind::Commit },
+                        );
+                    }
+                } else {
+                    {
+                        let st = &mut self.state[req as usize][node as usize - 1];
+                        st.verified += 1; // own share needs no verification
+                        if st.verified >= quorum && !st.combining {
+                            st.combining = true;
+                            self.enqueue(now, node, Task { req, kind: TaskKind::Combine });
+                        }
+                    }
+                    self.broadcast(now, node, req, MsgKind::Share);
+                }
+            }
+            TaskKind::Verify => {
+                let st = &mut self.state[req as usize][node as usize - 1];
+                st.verified += 1;
+                if st.verified >= quorum && !st.combining && st.arrived {
+                    st.combining = true;
+                    self.enqueue(now, node, Task { req, kind: TaskKind::Combine });
+                }
+            }
+            TaskKind::Round2Sign => {
+                {
+                    let st = &mut self.state[req as usize][node as usize - 1];
+                    st.verified += 1; // own response
+                }
+                self.broadcast(now, node, req, MsgKind::Round2);
+                let st = self.state[req as usize][node as usize - 1];
+                if st.verified == self.n && !st.combining {
+                    self.state[req as usize][node as usize - 1].combining = true;
+                    self.enqueue(now, node, Task { req, kind: TaskKind::Combine });
+                }
+            }
+            TaskKind::VerifyR2 => {
+                let st = &mut self.state[req as usize][node as usize - 1];
+                st.verified += 1;
+                // KG20 waits for the full signing group.
+                if st.verified == self.n && !st.combining && st.round2_started {
+                    st.combining = true;
+                    self.enqueue(now, node, Task { req, kind: TaskKind::Combine });
+                }
+            }
+            TaskKind::Combine => {
+                let st = &mut self.state[req as usize][node as usize - 1];
+                st.done = true;
+                let latency_s = (now - st.arrival) as f64 / 1e9;
+                self.result.node_latencies.push(latency_s);
+                self.req_done_count[req as usize] += 1;
+                if self.req_done_count[req as usize] == quorum {
+                    let send = self.request_send_time[req as usize];
+                    self.result
+                        .quorum_latencies
+                        .push((now - send) as f64 / 1e9);
+                    self.result.quorum_completions.push(now as f64 / 1e9);
+                    self.result.completed += 1;
+                }
+            }
+        }
+    }
+
+    fn broadcast(&mut self, now: SimTime, node: u16, req: u32, kind: MsgKind) {
+        let my_region = self.nodes[node as usize - 1].region;
+        for peer in 1..=self.n {
+            if peer == node {
+                continue;
+            }
+            let peer_region = self.nodes[peer as usize - 1].region;
+            let delay = self.link(my_region, peer_region);
+            self.push(now + delay, peer, EventKind::Msg { req, kind });
+        }
+    }
+}
+
+// Small helper storage for the in-flight CPU task.
+impl Node {
+    fn current_task_store(&mut self, task: Task) {
+        // Keep the running task at the queue front; popped on completion.
+        debug_assert_eq!(
+            self.queue.front().map(|t| (t.req, t.kind)),
+            Some((task.req, task.kind))
+        );
+    }
+
+    fn take_current(&mut self) -> Option<Task> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::deployment_by_name;
+
+    fn quick_config(name: &str, scheme: SchemeId, rate: f64) -> SimConfig {
+        SimConfig {
+            deployment: deployment_by_name(name).unwrap(),
+            scheme,
+            rate,
+            duration: Duration::from_secs(2),
+            payload_bytes: 256,
+            drain: Duration::from_secs(30),
+            seed: 7,
+            kg20_precomputed: false,
+        }
+    }
+
+    #[test]
+    fn low_load_completes_everything() {
+        let cost = CostModel::reference();
+        for scheme in [SchemeId::Sg02, SchemeId::Bls04, SchemeId::Kg20] {
+            let cfg = quick_config("DO-7-L", scheme, 4.0);
+            let r = run(&cfg, &cost);
+            assert_eq!(r.injected, 8, "{scheme}");
+            assert!(r.all_processed(), "{scheme}: {}/{}", r.completed, r.injected);
+            // Every node completes every request at low load.
+            assert_eq!(r.node_latencies.len(), 8 * 7, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn local_latency_below_global() {
+        let cost = CostModel::reference();
+        let local = run(&quick_config("DO-7-L", SchemeId::Sg02, 4.0), &cost);
+        let global = run(&quick_config("DO-7-G", SchemeId::Sg02, 4.0), &cost);
+        let l_avg: f64 =
+            local.quorum_latencies.iter().sum::<f64>() / local.quorum_latencies.len() as f64;
+        let g_avg: f64 =
+            global.quorum_latencies.iter().sum::<f64>() / global.quorum_latencies.len() as f64;
+        assert!(
+            g_avg > l_avg * 3.0,
+            "global ({g_avg:.4}s) must dwarf local ({l_avg:.4}s)"
+        );
+    }
+
+    #[test]
+    fn heavier_crypto_is_slower() {
+        let cost = CostModel::reference();
+        let ecdh = run(&quick_config("DO-7-L", SchemeId::Sg02, 2.0), &cost);
+        let rsa = run(&quick_config("DO-7-L", SchemeId::Sh00, 2.0), &cost);
+        let e_avg: f64 =
+            ecdh.quorum_latencies.iter().sum::<f64>() / ecdh.quorum_latencies.len() as f64;
+        let r_avg: f64 =
+            rsa.quorum_latencies.iter().sum::<f64>() / rsa.quorum_latencies.len() as f64;
+        assert!(r_avg > e_avg * 5.0, "rsa {r_avg:.4}s vs ecdh {e_avg:.4}s");
+    }
+
+    #[test]
+    fn saturation_leaves_requests_unfinished() {
+        let cost = CostModel::reference();
+        // SH00 at 512 req/s on 7 nodes is far past its knee.
+        let cfg = quick_config("DO-7-L", SchemeId::Sh00, 512.0);
+        let r = run(&cfg, &cost);
+        assert!(r.injected > 500);
+        assert!(
+            (r.completed as f64) < 0.9 * r.injected as f64,
+            "saturated run should not keep up: {}/{}",
+            r.completed,
+            r.injected
+        );
+    }
+
+    #[test]
+    fn kg20_latency_tracks_farthest_node_in_global() {
+        // KG20 waits for all n nodes, so even the fastest quorum sees
+        // ~the full WAN diameter (two rounds + TOB hop).
+        let cost = CostModel::reference();
+        let r = run(&quick_config("DO-7-G", SchemeId::Kg20, 2.0), &cost);
+        assert!(r.all_processed());
+        let min = r
+            .node_latencies
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        // At least two WAN one-way hops (~0.1 s) even for the luckiest node.
+        assert!(min > 0.1, "min node latency {min:.4}s");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cost = CostModel::reference();
+        let cfg = quick_config("DO-7-G", SchemeId::Cks05, 8.0);
+        let a = run(&cfg, &cost);
+        let b = run(&cfg, &cost);
+        assert_eq!(a.node_latencies, b.node_latencies);
+        assert_eq!(a.quorum_latencies, b.quorum_latencies);
+    }
+
+    #[test]
+    fn quorum_latency_less_than_worst_node() {
+        let cost = CostModel::reference();
+        let r = run(&quick_config("DO-31-G", SchemeId::Sg02, 2.0), &cost);
+        assert!(r.all_processed());
+        let max_node = r.node_latencies.iter().cloned().fold(0.0, f64::max);
+        let max_quorum = r.quorum_latencies.iter().cloned().fold(0.0, f64::max);
+        assert!(max_quorum <= max_node + 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Experiment drivers: single runs, capacity sweeps (Fig. 4), steady-state
+//! runs (Fig. 5a / Table 4) and payload sweeps (Fig. 5b).
+
+use crate::cost::CostModel;
+use crate::deployment::Deployment;
+use crate::engine::{run, SimConfig, SimResult};
+use std::time::Duration;
+use theta_metrics::{
+    knee_capacity, latency_summary, throughput, usable_capacity, CapacityPoint, LatencySummary,
+};
+use theta_schemes::registry::SchemeId;
+
+/// Aggregated output of one (scheme, deployment, rate) experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Offered load (req/s).
+    pub rate: f64,
+    /// Pooled per-node latency metrics (L50/L95/Lθ/δ_res/η_θ).
+    pub latency: LatencySummary,
+    /// Measured throughput (req/s) per the paper's §4.3 estimator.
+    pub throughput: f64,
+    /// Injected / completed request counts.
+    pub injected: usize,
+    /// Requests that reached quorum completion.
+    pub completed: usize,
+}
+
+impl ExperimentOutput {
+    /// The (rate, throughput, L95) triple for knee detection.
+    pub fn capacity_point(&self) -> CapacityPoint {
+        CapacityPoint {
+            offered_rate: self.rate,
+            throughput: self.throughput,
+            l95: self.latency.l95,
+        }
+    }
+}
+
+/// Runs one experiment and reduces it to the paper's metrics.
+///
+/// Returns `None` when the run produced no completions at all (far past
+/// saturation) — the paper likewise reports latency only for completed
+/// requests.
+pub fn run_experiment(config: &SimConfig, cost: &CostModel) -> Option<ExperimentOutput> {
+    let result: SimResult = run(config, cost);
+    if result.node_latencies.is_empty() {
+        return None;
+    }
+    let d = &config.deployment;
+    let latency = latency_summary(&result.node_latencies, d.t, d.n);
+    let first_start = result
+        .quorum_completions
+        .iter()
+        .zip(&result.quorum_latencies)
+        .map(|(end, lat)| end - lat)
+        .fold(f64::INFINITY, f64::min);
+    let tput = throughput(
+        &result.quorum_completions,
+        if first_start.is_finite() { first_start } else { 0.0 },
+        config.duration.as_secs_f64(),
+        result.all_processed(),
+    );
+    Some(ExperimentOutput {
+        rate: config.rate,
+        latency,
+        throughput: tput,
+        injected: result.injected,
+        completed: result.completed,
+    })
+}
+
+/// One scheme's capacity-test series for one deployment (a line of Fig. 4):
+/// rate doubling from 1 req/s to the deployment's max rate.
+pub fn capacity_sweep(
+    deployment: &Deployment,
+    scheme: SchemeId,
+    cost: &CostModel,
+    duration: Duration,
+    payload_bytes: usize,
+    seed: u64,
+) -> Vec<ExperimentOutput> {
+    let mut out = Vec::new();
+    let mut rate = 1u64;
+    while rate <= deployment.max_rate {
+        let config = SimConfig {
+            deployment: deployment.clone(),
+            scheme,
+            rate: rate as f64,
+            duration,
+            payload_bytes,
+            // The paper's grace period: up to 10 % past the experiment end.
+            drain: duration / 10,
+            seed: seed ^ rate,
+            kg20_precomputed: false,
+        };
+        if let Some(exp) = run_experiment(&config, cost) {
+            out.push(exp);
+        }
+        rate *= 2;
+    }
+    out
+}
+
+/// Knee capacity of a capacity series (req/s), per §4.4.
+pub fn knee_of(series: &[ExperimentOutput]) -> Option<f64> {
+    let points: Vec<CapacityPoint> = series.iter().map(|e| e.capacity_point()).collect();
+    knee_capacity(&points).map(|p| p.offered_rate)
+}
+
+/// Usable capacity of a capacity series (req/s).
+pub fn usable_of(series: &[ExperimentOutput]) -> Option<f64> {
+    let points: Vec<CapacityPoint> = series.iter().map(|e| e.capacity_point()).collect();
+    usable_capacity(&points).map(|p| p.offered_rate)
+}
+
+/// A steady-state run at a fixed rate (Fig. 5a / Table 4 use the knee
+/// capacity on DO-31-G for five minutes).
+pub fn steady_state(
+    deployment: &Deployment,
+    scheme: SchemeId,
+    cost: &CostModel,
+    rate: f64,
+    duration: Duration,
+    payload_bytes: usize,
+    seed: u64,
+) -> Option<ExperimentOutput> {
+    let config = SimConfig {
+        deployment: deployment.clone(),
+        scheme,
+        rate,
+        duration,
+        payload_bytes,
+        drain: duration / 10,
+        seed,
+        kg20_precomputed: false,
+    };
+    run_experiment(&config, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::deployment_by_name;
+
+    #[test]
+    fn capacity_sweep_shows_knee_for_sh00_small() {
+        let cost = CostModel::reference();
+        let d = {
+            let mut d = deployment_by_name("DO-7-L").unwrap();
+            d.max_rate = 64; // trimmed sweep keeps the test fast
+            d
+        };
+        let series = capacity_sweep(&d, SchemeId::Sh00, &cost, Duration::from_secs(3), 256, 1);
+        assert!(series.len() >= 5);
+        // Throughput must saturate: the last point's throughput is well
+        // below its offered rate for RSA on 7 nodes.
+        let last = series.last().unwrap();
+        assert!(last.throughput < 0.9 * last.rate, "expected saturation");
+        let knee = knee_of(&series).expect("knee exists");
+        assert!(knee <= 16.0, "SH00 knee should be small, got {knee}");
+    }
+
+    #[test]
+    fn ecdh_knee_beats_rsa_knee() {
+        let cost = CostModel::reference();
+        let mut d = deployment_by_name("DO-7-L").unwrap();
+        d.max_rate = 256;
+        let dur = Duration::from_secs(3);
+        let sg = capacity_sweep(&d, SchemeId::Sg02, &cost, dur, 256, 1);
+        let sh = capacity_sweep(&d, SchemeId::Sh00, &cost, dur, 256, 1);
+        let sg_knee = knee_of(&sg).unwrap();
+        let sh_knee = knee_of(&sh).unwrap();
+        assert!(
+            sg_knee > sh_knee,
+            "ECDH knee {sg_knee} must beat RSA knee {sh_knee}"
+        );
+    }
+
+    #[test]
+    fn steady_state_produces_fairness_metrics() {
+        let cost = CostModel::reference();
+        let d = deployment_by_name("DO-31-G").unwrap();
+        let out = steady_state(&d, SchemeId::Sg02, &cost, 8.0, Duration::from_secs(5), 256, 2)
+            .expect("completions");
+        assert!(out.latency.eta_theta > 0.0 && out.latency.eta_theta <= 1.0);
+        assert!(out.latency.delta_res >= 0.0);
+        // Global deployment with a cheap scheme: strong quorum/tail gap.
+        assert!(
+            out.latency.delta_res > 0.3,
+            "expected visible residual delay, got {}",
+            out.latency.delta_res
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # theta-sim
+//!
+//! The evaluation testbed: a deterministic discrete-event simulator that
+//! replays the paper's DigitalOcean deployments (Table 2) in virtual
+//! time, driven by computation costs *measured from the real scheme
+//! implementations* ([`CostModel::calibrate`]).
+//!
+//! This substitutes for the hardware we don't have (7–127 VMs across
+//! four regions): the phenomena the paper's evaluation isolates —
+//! per-op crypto cost, message complexity, WAN latency, 1-vCPU
+//! saturation — are exactly the mechanisms modeled here, so the *shape*
+//! of Fig. 4/5 and Table 4 is reproduced even though absolute numbers
+//! track this host's CPU rather than a 2.2 GHz DO droplet.
+//!
+//! ## Example
+//!
+//! ```
+//! use theta_sim::{deployment_by_name, CostModel, SimConfig, run_experiment};
+//! use theta_schemes::registry::SchemeId;
+//! use std::time::Duration;
+//!
+//! let cfg = SimConfig {
+//!     deployment: deployment_by_name("DO-7-L").unwrap(),
+//!     scheme: SchemeId::Cks05,
+//!     rate: 8.0,
+//!     duration: Duration::from_secs(2),
+//!     payload_bytes: 256,
+//!     drain: Duration::from_secs(30),
+//!     seed: 1,
+//!     kg20_precomputed: false,
+//! };
+//! let out = run_experiment(&cfg, &CostModel::reference()).unwrap();
+//! assert!(out.throughput > 0.0);
+//! ```
+
+mod cost;
+mod deployment;
+mod engine;
+mod experiment;
+
+pub use cost::{CostModel, OneRoundCost, TwoRoundCost};
+pub use deployment::{
+    deployment_by_name, one_way, rtt, table2_deployments, Deployment, Region,
+};
+pub use engine::{run, SimConfig, SimResult, SimTime};
+pub use experiment::{
+    capacity_sweep, knee_of, run_experiment, steady_state, usable_of, ExperimentOutput,
+};

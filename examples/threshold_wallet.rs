@@ -1,0 +1,102 @@
+//! A threshold cryptocurrency wallet — the paper's §2.3 key-management
+//! application (Dfns/Coinbase-style MPC custody).
+//!
+//! The wallet key never exists in one place: 5 custodians hold FROST
+//! (KG20) shares and any 3 can co-sign a transaction. The example also
+//! exercises the paper's precomputation mode (nonces generated ahead of
+//! time turn signing into a single round) and shows the non-robustness
+//! trade-off: if a custodian misbehaves mid-signing, the run aborts and
+//! is retried with a different quorum — contrasted with robust BLS04
+//! custody where bad shares are simply excluded.
+//!
+//! ```text
+//! cargo run --example threshold_wallet
+//! ```
+
+use rand::SeedableRng;
+use thetacrypt::schemes::{bls04, kg20, ThresholdParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xc0ffee);
+    let params = ThresholdParams::new(2, 5)?; // 3-of-5 custody
+
+    // --- FROST wallet ----------------------------------------------------
+    println!("dealer provisions a 3-of-5 FROST (KG20) wallet...");
+    let (wallet_pk, custodians) = kg20::keygen(params, &mut rng);
+
+    // Preprocessing: each custodian banks a batch of nonces offline.
+    let mut nonce_stock: Vec<Vec<kg20::SigningNonce>> = custodians
+        .iter()
+        .map(|k| kg20::precompute_nonces(k, 4, &mut rng))
+        .collect();
+    println!("each custodian precomputed 4 signing nonces (paper's 1-round mode)");
+
+    for (i, tx) in ["pay 1.5 BTC to bc1q...", "sweep fees", "rotate cold storage"]
+        .iter()
+        .enumerate()
+    {
+        // A different quorum co-signs each transaction.
+        let signer_idx = [(i) % 5, (i + 1) % 5, (i + 2) % 5];
+        let nonces: Vec<kg20::SigningNonce> = signer_idx
+            .iter()
+            .map(|&s| nonce_stock[s].pop().expect("stock left"))
+            .collect();
+        let commits: Vec<kg20::NonceCommitment> =
+            nonces.iter().map(|n| n.commitment().clone()).collect();
+        let shares: Vec<kg20::SignatureShare> = signer_idx
+            .iter()
+            .zip(nonces)
+            .map(|(&s, nonce)| {
+                kg20::sign_share(&custodians[s], nonce, tx.as_bytes(), &commits)
+                    .expect("honest signer")
+            })
+            .collect();
+        let signature = kg20::combine(&wallet_pk, tx.as_bytes(), &commits, &shares)?;
+        assert!(kg20::verify(&wallet_pk, tx.as_bytes(), &signature));
+        println!(
+            "tx {i}: signed by custodians {:?} -> valid Schnorr signature",
+            signer_idx.map(|s| s + 1)
+        );
+    }
+
+    // --- Misbehaviour: FROST aborts, identifies the culprit --------------
+    let tx = b"malicious attempt";
+    let n1 = kg20::generate_nonce(&custodians[0], &mut rng);
+    let n2 = kg20::generate_nonce(&custodians[1], &mut rng);
+    let n3 = kg20::generate_nonce(&custodians[2], &mut rng);
+    let commits = vec![
+        n1.commitment().clone(),
+        n2.commitment().clone(),
+        n3.commitment().clone(),
+    ];
+    let s1 = kg20::sign_share(&custodians[0], n1, tx, &commits)?;
+    let s2 = kg20::sign_share(&custodians[1], n2, tx, &commits)?;
+    // Custodian 3 sends garbage (its share, for a different message).
+    let s3_bad = kg20::sign_share(&custodians[2], n3, b"other message", &commits)?;
+    match kg20::combine(&wallet_pk, tx, &commits, &[s1, s2, s3_bad]) {
+        Err(e) => println!("FROST aborted as designed (non-robust): {e}"),
+        Ok(_) => panic!("bad share must abort"),
+    }
+
+    // --- Contrast: robust BLS04 custody ----------------------------------
+    println!("\ncontrast: robust BLS04 custody of the same policy");
+    let (bls_pk, bls_custodians) = bls04::keygen(params, &mut rng);
+    let tx = b"robust payout";
+    let mut shares: Vec<bls04::SignatureShare> = bls_custodians[..4]
+        .iter()
+        .map(|k| bls04::sign_share(k, tx).expect("sign"))
+        .collect();
+    // One custodian is corrupted — detected and *excluded*, not fatal.
+    shares[0] = bls04::sign_share(&bls_custodians[0], b"forged").expect("sign");
+    let honest: Vec<bls04::SignatureShare> = shares
+        .into_iter()
+        .filter(|s| bls04::verify_share(&bls_pk, tx, s))
+        .collect();
+    println!("{} of 4 shares survived verification", honest.len());
+    let signature = bls04::combine(&bls_pk, tx, &honest)?;
+    assert!(bls04::verify(&bls_pk, tx, &signature));
+    println!("robust combine succeeded despite the corrupted share");
+
+    println!("\nthreshold wallet demo complete");
+    Ok(())
+}

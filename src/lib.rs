@@ -1,0 +1,39 @@
+//! # thetacrypt
+//!
+//! Facade crate of the Thetacrypt reproduction: re-exports every layer of
+//! the workspace so applications can depend on a single crate.
+//!
+//! The layering follows the paper's architecture (Fig. 2):
+//!
+//! - [`schemes`] — the cryptographic core (six threshold schemes);
+//! - [`protocols`] — the Threshold Round Interface and state machines;
+//! - [`orchestration`] — instance manager, executor, key manager;
+//! - [`network`] — P2P + total-order broadcast transports;
+//! - [`service`] — the RPC service layer (protocol API + scheme API);
+//! - [`core`] — the integrated node / in-process Θ-network builder;
+//! - [`sim`] and [`metrics`] — the evaluation testbed;
+//! - [`math`], [`primitives`], [`codec`] — the substrates everything is
+//!   built from.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use thetacrypt::core::ThetaNetworkBuilder;
+//! use thetacrypt::orchestration::Request;
+//!
+//! let net = ThetaNetworkBuilder::new(1, 4).with_cks05().seed(1).build().unwrap();
+//! let coin = net.submit_and_wait(1, Request::Cks05Coin(b"epoch-1".to_vec())).unwrap();
+//! assert_eq!(coin.as_bytes().len(), 32);
+//! ```
+
+pub use theta_codec as codec;
+pub use theta_core as core;
+pub use theta_math as math;
+pub use theta_metrics as metrics;
+pub use theta_network as network;
+pub use theta_orchestration as orchestration;
+pub use theta_primitives as primitives;
+pub use theta_protocols as protocols;
+pub use theta_schemes as schemes;
+pub use theta_service as service;
+pub use theta_sim as sim;

@@ -1,0 +1,124 @@
+//! Property-based tests over the threshold schemes: Shamir quorum
+//! invariants, scheme roundtrips at random (t, n) and payloads, and the
+//! evaluation metrics' invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use thetacrypt::schemes::common::{shamir_reconstruct, shamir_share};
+use thetacrypt::schemes::{ThresholdParams};
+
+fn rng_from(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shamir_any_quorum_reconstructs(
+        t in 0u16..4,
+        extra in 1u16..4,
+        seed in any::<u64>(),
+        subset_seed in any::<u64>(),
+    ) {
+        use thetacrypt::math::ed25519::Scalar;
+        use rand::seq::SliceRandom;
+        let n = 3 * t + extra; // any n > t
+        let params = ThresholdParams::new(t, n).unwrap();
+        let mut r = rng_from(seed);
+        let secret = Scalar::random(&mut r);
+        let shares = shamir_share(&secret, params, &mut r);
+        // A random quorum-sized subset reconstructs.
+        let mut subset = shares.clone();
+        let mut sr = rng_from(subset_seed);
+        subset.shuffle(&mut sr);
+        subset.truncate((t + 1) as usize);
+        prop_assert_eq!(shamir_reconstruct(&subset).unwrap(), secret);
+    }
+
+    #[test]
+    fn sg02_roundtrip_random_payload(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        label in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        use thetacrypt::schemes::sg02;
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = sg02::keygen(params, &mut r);
+        let ct = sg02::encrypt(&pk, &label, &msg, &mut r);
+        prop_assert!(sg02::verify_ciphertext(&pk, &ct));
+        let shares: Vec<_> = keys[..2]
+            .iter()
+            .map(|k| sg02::create_decryption_share(k, &ct, &mut r).unwrap())
+            .collect();
+        prop_assert_eq!(sg02::combine(&pk, &ct, &shares).unwrap(), msg);
+    }
+
+    #[test]
+    fn bls04_signatures_deterministic_over_quorums(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        pick in 0usize..4,
+    ) {
+        use thetacrypt::schemes::bls04;
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = bls04::keygen(params, &mut r);
+        let all: Vec<_> = keys.iter().map(|k| bls04::sign_share(k, &msg).unwrap()).collect();
+        let a = bls04::combine(&pk, &msg, &[all[pick].clone(), all[(pick + 1) % 4].clone()]).unwrap();
+        let b = bls04::combine(&pk, &msg, &[all[(pick + 2) % 4].clone(), all[(pick + 3) % 4].clone()]).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(bls04::verify(&pk, &msg, &a));
+    }
+
+    #[test]
+    fn cks05_coins_agree_and_look_random(seed in any::<u64>(), name in any::<[u8; 8]>()) {
+        use thetacrypt::schemes::cks05;
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = cks05::keygen(params, &mut r);
+        let shares: Vec<_> = keys
+            .iter()
+            .map(|k| cks05::create_coin_share(k, &name, &mut r))
+            .collect();
+        let a = cks05::combine(&pk, &name, &shares[..2]).unwrap();
+        let b = cks05::combine(&pk, &name, &shares[2..]).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_ne!(a, [0u8; 32]);
+    }
+
+    #[test]
+    fn metrics_invariants_hold(
+        samples in proptest::collection::vec(0.001f64..10.0, 10..200),
+        t in 1u16..10, // BFT sizing keeps θ = (t+1)/n·100 ≤ 50 < 95
+    ) {
+        use thetacrypt::metrics::latency_summary;
+        let n = 3 * t + 1;
+        let s = latency_summary(&samples, t, n);
+        prop_assert!(s.l_theta <= s.l95 + 1e-12);
+        prop_assert!(s.l50 <= s.l95 + 1e-12);
+        prop_assert!(s.delta_res >= -1e-12);
+        prop_assert!(s.eta_theta > 0.0 && s.eta_theta <= 1.0 + 1e-12);
+        // The paper's inverse relationship: η_θ = 1 / (1 + δ_res).
+        prop_assert!((s.eta_theta - 1.0 / (1.0 + s.delta_res)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_scheme_objects_roundtrip(seed in any::<u64>()) {
+        use thetacrypt::codec::{Decode, Encode};
+        use thetacrypt::schemes::{bls04, sg02};
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = sg02::keygen(params, &mut r);
+        prop_assert_eq!(&sg02::PublicKey::decoded(&pk.encoded()).unwrap(), &pk);
+        let ct = sg02::encrypt(&pk, b"l", b"m", &mut r);
+        prop_assert_eq!(&sg02::Ciphertext::decoded(&ct.encoded()).unwrap(), &ct);
+        let share = sg02::create_decryption_share(&keys[0], &ct, &mut r).unwrap();
+        prop_assert_eq!(&sg02::DecryptionShare::decoded(&share.encoded()).unwrap(), &share);
+        let (bpk, bkeys) = bls04::keygen(params, &mut r);
+        let bshare = bls04::sign_share(&bkeys[0], b"m").unwrap();
+        prop_assert_eq!(&bls04::SignatureShare::decoded(&bshare.encoded()).unwrap(), &bshare);
+        prop_assert_eq!(&bls04::PublicKey::decoded(&bpk.encoded()).unwrap(), &bpk);
+    }
+}
