@@ -257,7 +257,7 @@ impl ThetaNetworkBuilder {
                     NodeConfig {
                         instance_timeout: self.instance_timeout,
                         use_precomputed_nonces: self.kg20_nonce_stock > 0,
-                        rng_seed: None,
+                        ..NodeConfig::default()
                     },
                 ))
             })
@@ -299,6 +299,16 @@ impl ThetaNetwork {
     /// Panics when `id` is outside `1..=n`.
     pub fn node(&self, id: u16) -> &Arc<NodeHandle> {
         &self.nodes[id as usize - 1]
+    }
+
+    /// Event-loop counters of node `id` (1-based): wakeups, events,
+    /// retries, cache evictions and instance lifecycle tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is outside `1..=n`.
+    pub fn node_counters(&self, id: u16) -> theta_metrics::EventLoopSnapshot {
+        self.node(id).counters()
     }
 
     /// Number of nodes.
@@ -411,5 +421,12 @@ mod tests {
         assert!(
             <theta_schemes::bls04::PublicKey as theta_codec::Decode>::decoded(&pk_bytes).is_ok()
         );
+        // Node-stats endpoint reflects the two protocol runs above and
+        // matches the in-process counter view.
+        let stats = client.node_stats().unwrap();
+        assert_eq!(stats.instances_started, 2);
+        assert_eq!(stats.instances_completed, 2);
+        assert_eq!(stats.instances_timed_out, 0);
+        assert_eq!(stats, net.node_counters(1));
     }
 }

@@ -12,6 +12,10 @@
 //! - throughput with the paper's 10 % grace-period rule, and
 //! - knee-capacity detection (rate maximizing throughput/latency).
 
+pub mod counters;
+
+pub use counters::{EventLoopCounters, EventLoopSnapshot};
+
 /// Latency values in seconds.
 pub type Seconds = f64;
 

@@ -68,7 +68,7 @@ impl Ord for ScheduledDelivery {
 }
 
 struct HubInner {
-    outboxes: Vec<Sender<Delivery>>,
+    outboxes: Vec<Sender<NetworkEvent>>,
     links: Mutex<Vec<Vec<LinkProfile>>>,
     blocked: Mutex<HashSet<(NodeId, NodeId)>>,
     drop_probability: Mutex<f64>,
@@ -122,7 +122,7 @@ impl InMemoryHub {
         let mut outboxes = Vec::with_capacity(n as usize);
         let mut inboxes = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Delivery>();
+            let (tx, rx) = unbounded::<NetworkEvent>();
             outboxes.push(tx);
             inboxes.push(rx);
         }
@@ -152,8 +152,6 @@ impl InMemoryHub {
                 n: n as usize,
                 hub: inner.clone(),
                 inbox: inboxes[id as usize - 1].clone(),
-                reorder: Mutex::new(TobReorderBuffer::new()),
-                ready: Mutex::new(std::collections::VecDeque::new()),
             })
             .collect();
         (InMemoryHub { inner, handle: Some(handle) }, nodes)
@@ -206,12 +204,26 @@ fn scheduler_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let mut heap: BinaryHeap<ScheduledDelivery> = BinaryHeap::new();
+    // TOB reordering is centralized here (one buffer per target node) so
+    // each node's event channel already carries gap-free sequence order.
+    let mut reorder: Vec<TobReorderBuffer> = (0..inner.outboxes.len())
+        .map(|_| TobReorderBuffer::new())
+        .collect();
     while !shutdown.load(Ordering::SeqCst) {
         // Deliver everything due.
         let now = Instant::now();
         while heap.peek().map_or(false, |d| d.due <= now) {
             let d = heap.pop().expect("peeked");
-            let _ = inner.outboxes[d.target].send(d.event);
+            match d.event {
+                Delivery::P2p { from, payload } => {
+                    let _ = inner.outboxes[d.target].send(NetworkEvent::P2p { from, payload });
+                }
+                Delivery::Tob { seq, from, payload } => {
+                    for ev in reorder[d.target].insert(seq, from, payload) {
+                        let _ = inner.outboxes[d.target].send(ev);
+                    }
+                }
+            }
         }
         // Wait for the next item or the next deadline.
         let wait = heap
@@ -232,9 +244,7 @@ pub struct InMemoryNode {
     id: NodeId,
     n: usize,
     hub: Arc<HubInner>,
-    inbox: Receiver<Delivery>,
-    reorder: Mutex<TobReorderBuffer>,
-    ready: Mutex<std::collections::VecDeque<NetworkEvent>>,
+    inbox: Receiver<NetworkEvent>,
 }
 
 impl Network for InMemoryNode {
@@ -285,31 +295,8 @@ impl Network for InMemoryNode {
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            if let Some(ev) = self.ready.lock().pop_front() {
-                return Some(ev);
-            }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            match self.inbox.recv_timeout(remaining) {
-                Ok(Delivery::P2p { from, payload }) => {
-                    return Some(NetworkEvent::P2p { from, payload });
-                }
-                Ok(Delivery::Tob { seq, from, payload }) => {
-                    let released = self.reorder.lock().insert(seq, from, payload);
-                    let mut ready = self.ready.lock();
-                    for ev in released {
-                        ready.push_back(ev);
-                    }
-                    // Loop: either something was released or we keep waiting.
-                }
-                Err(_) => return None,
-            }
-        }
+    fn events(&self) -> &Receiver<NetworkEvent> {
+        &self.inbox
     }
 }
 
@@ -368,6 +355,29 @@ mod tests {
         // Sequence numbers are gap-free from 0.
         for (i, (seq, _)) in orders[0].iter().enumerate() {
             assert_eq!(*seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn events_channel_delivers_in_order_without_polling() {
+        use crate::Network as _;
+        let (_hub, nodes) = mesh(2);
+        nodes[0].submit_tob(b"first".to_vec());
+        nodes[0].submit_tob(b"second".to_vec());
+        // Blocking directly on the exposed receiver must yield the TOB
+        // stream already reordered (seq 0, then 1).
+        let rx = nodes[1].events();
+        match rx.recv_timeout(TICK) {
+            Ok(NetworkEvent::Tob { seq: 0, from: 1, payload }) => {
+                assert_eq!(payload, b"first")
+            }
+            other => panic!("expected seq 0, got {other:?}"),
+        }
+        match rx.recv_timeout(TICK) {
+            Ok(NetworkEvent::Tob { seq: 1, from: 1, payload }) => {
+                assert_eq!(payload, b"second")
+            }
+            other => panic!("expected seq 1, got {other:?}"),
         }
     }
 

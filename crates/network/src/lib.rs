@@ -95,9 +95,19 @@ pub trait Network: Send {
     /// delivered to all nodes (including this one) in sequence order.
     fn submit_tob(&self, payload: Vec<u8>);
 
+    /// The channel on which this node's events arrive, fully demultiplexed
+    /// and (for TOB) already released in gap-free sequence order.
+    ///
+    /// Exposing the receiver — rather than only a polling call — lets the
+    /// orchestration layer park in a `select!` across its command channel
+    /// and the network instead of busy-polling.
+    fn events(&self) -> &crossbeam::channel::Receiver<NetworkEvent>;
+
     /// Waits up to `timeout` for the next event. `None` on timeout or
     /// when the network has shut down.
-    fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent>;
+    fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent> {
+        self.events().recv_timeout(timeout).ok()
+    }
 }
 
 /// Per-link latency description (one direction).

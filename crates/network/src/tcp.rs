@@ -11,6 +11,18 @@
 //! `0` = P2P message (`from: u16`),
 //! `1` = TOB submit (`from: u16`) — only sent *to* the sequencer,
 //! `2` = TOB deliver (`seq: u64, from: u16`) — only sent *by* it.
+//!
+//! Sender identity is **connection-derived**: each reader thread knows
+//! which peer its socket belongs to (from the 2-byte hello handshake) and
+//! stamps/validates every frame against it. A peer cannot impersonate
+//! another node in P2P traffic, cannot submit TOB messages under a
+//! foreign id, and cannot forge TOB deliveries unless it *is* the
+//! sequencer connection.
+//!
+//! Per node, one demultiplexer thread owns the TOB reorder buffer (and,
+//! on node 1, the sequencer state) and feeds a single ordered event
+//! channel, which [`Network::events`] exposes for `select!`-style
+//! consumption.
 
 use crate::{Network, NetworkError, NetworkEvent, NodeId, TobReorderBuffer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -25,8 +37,15 @@ const TAG_P2P: u8 = 0;
 const TAG_TOB_SUBMIT: u8 = 1;
 const TAG_TOB_DELIVER: u8 = 2;
 
+/// The fixed TOB sequencer node.
+const SEQUENCER: NodeId = 1;
+
 /// Maximum accepted frame size (matches the codec bound).
 const MAX_FRAME: u32 = 64 << 20;
+
+/// Frame bodies are read in chunks of this size, so a hostile length
+/// prefix never triggers one giant upfront allocation.
+const READ_CHUNK: usize = 64 << 10;
 
 fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
     stream.write_all(&(body.len() as u32).to_le_bytes())?;
@@ -36,15 +55,24 @@ fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut len_bytes = [0u8; 4];
     stream.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
-    if len > MAX_FRAME {
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME as usize {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "frame exceeds limit",
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
+    // Grow the buffer chunk by chunk: memory use tracks bytes actually
+    // received, not the (attacker-controlled) claimed length.
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK);
+        stream.read_exact(&mut chunk[..take])?;
+        body.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
     Ok(body)
 }
 
@@ -82,7 +110,7 @@ struct Shared {
     /// Write halves, indexed by node id − 1 (`None` at our own slot).
     peers: Vec<Option<Mutex<TcpStream>>>,
     id: NodeId,
-    /// Sequencer state (used only on node 1).
+    /// Sequencer state (used only on node 1's demux thread).
     tob_seq: AtomicU64,
 }
 
@@ -94,15 +122,17 @@ impl Shared {
     }
 }
 
-/// A node of the TCP mesh. Build a whole mesh with [`TcpMesh::connect`].
+/// A node of the TCP mesh. Build a whole mesh with [`TcpMesh::connect`]
+/// or [`TcpMesh::connect_listener`].
 pub struct TcpMeshNode {
     shared: Arc<Shared>,
     n: usize,
-    events: Receiver<Inbound>,
-    reorder: Mutex<TobReorderBuffer>,
-    ready: Mutex<std::collections::VecDeque<NetworkEvent>>,
-    /// Keeps reader threads' sender alive exactly as long as the node.
-    _tx: Sender<Inbound>,
+    /// Ordered, demultiplexed events (what [`Network::events`] exposes).
+    events: Receiver<NetworkEvent>,
+    /// Raw inbound channel into the demux thread; also used for the
+    /// sequencer's own TOB submissions so all ordering happens in one
+    /// place. Held here to keep the demux alive as long as the node.
+    raw_tx: Sender<Inbound>,
 }
 
 /// Builder for a full TCP mesh on one or more machines.
@@ -125,7 +155,28 @@ impl TcpMesh {
             return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
         }
         let listener = TcpListener::bind(addrs[id as usize - 1])?;
-        let (tx, rx) = unbounded::<Inbound>();
+        Self::connect_listener(id, listener, addrs)
+    }
+
+    /// Like [`TcpMesh::connect`], but with a pre-bound listener — the
+    /// pattern for OS-assigned (port 0) addresses: bind every listener
+    /// first, exchange the real addresses, then connect the mesh. The
+    /// entry `addrs[id-1]` is ignored (the listener stands in for it).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError`] when accepting, dialing or the hello handshake
+    /// fail.
+    pub fn connect_listener(
+        id: NodeId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> Result<TcpMeshNode, NetworkError> {
+        let n = addrs.len();
+        if id == 0 || id as usize > n {
+            return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
+        }
+        let (raw_tx, raw_rx) = unbounded::<Inbound>();
 
         let mut peers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -160,24 +211,19 @@ impl TcpMesh {
         for (peer, mut stream) in outbound_streams {
             stream.write_all(&id.to_le_bytes())?;
             let reader = stream.try_clone()?;
-            spawn_reader(reader, tx.clone());
+            spawn_reader(reader, peer, raw_tx.clone());
             peers[peer as usize - 1] = Some(Mutex::new(stream));
         }
         for (peer, stream) in inbound_streams {
             let reader = stream.try_clone()?;
-            spawn_reader(reader, tx.clone());
+            spawn_reader(reader, peer, raw_tx.clone());
             peers[peer as usize - 1] = Some(Mutex::new(stream));
         }
 
         let shared = Arc::new(Shared { peers, id, tob_seq: AtomicU64::new(0) });
-        Ok(TcpMeshNode {
-            shared,
-            n,
-            events: rx,
-            reorder: Mutex::new(TobReorderBuffer::new()),
-            ready: Mutex::new(std::collections::VecDeque::new()),
-            _tx: tx,
-        })
+        let (events_tx, events_rx) = unbounded::<NetworkEvent>();
+        spawn_demux(raw_rx, events_tx, shared.clone(), n);
+        Ok(TcpMeshNode { shared, n, events: events_rx, raw_tx })
     }
 }
 
@@ -199,45 +245,91 @@ fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkError> {
     }
 }
 
-fn spawn_reader(mut stream: TcpStream, tx: Sender<Inbound>) {
+/// Reads frames from one connection, enforcing the connection identity
+/// `conn_peer` learned during the hello handshake:
+///
+/// - P2P frames are **stamped** with `conn_peer`, whatever they claim;
+/// - TOB submits claiming a different sender are dropped (spoofing);
+/// - TOB deliveries are accepted only from the sequencer's connection.
+fn spawn_reader(mut stream: TcpStream, conn_peer: NodeId, tx: Sender<Inbound>) {
     std::thread::Builder::new()
-        .name("theta-tcp-reader".into())
+        .name(format!("theta-tcp-reader-{conn_peer}"))
         .spawn(move || {
             while let Ok(body) = read_frame(&mut stream) {
-                match parse_frame(&body) {
-                    Some(inbound) => {
-                        if tx.send(inbound).is_err() {
-                            break;
+                let inbound = match parse_frame(&body) {
+                    Some(Inbound::P2p { payload, .. }) => {
+                        Inbound::P2p { from: conn_peer, payload }
+                    }
+                    Some(Inbound::TobSubmit { from, payload }) => {
+                        if from != conn_peer {
+                            continue; // spoofed submit: drop it
                         }
+                        Inbound::TobSubmit { from, payload }
+                    }
+                    Some(Inbound::TobDeliver { seq, from, payload }) => {
+                        if conn_peer != SEQUENCER {
+                            continue; // only the sequencer delivers
+                        }
+                        Inbound::TobDeliver { seq, from, payload }
                     }
                     None => break, // malformed frame: drop the connection
+                };
+                if tx.send(inbound).is_err() {
+                    break;
                 }
             }
         })
         .expect("spawn reader");
 }
 
-impl TcpMeshNode {
-    /// True when this node is the TOB sequencer (node 1).
-    fn is_sequencer(&self) -> bool {
-        self.shared.id == 1
-    }
-
-    fn sequence_and_deliver(&self, from: NodeId, payload: Vec<u8>) -> NetworkEvent {
-        debug_assert!(self.is_sequencer());
-        let seq = self.shared.tob_seq.fetch_add(1, Ordering::SeqCst);
-        let mut body = Vec::with_capacity(11 + payload.len());
-        body.push(TAG_TOB_DELIVER);
-        body.extend_from_slice(&seq.to_le_bytes());
-        body.extend_from_slice(&from.to_le_bytes());
-        body.extend_from_slice(&payload);
-        for peer in 1..=self.n as u16 {
-            if peer != self.shared.id {
-                self.shared.send_raw(peer, &body);
+/// The per-node demultiplexer: single owner of the TOB reorder buffer
+/// (and of the sequencer state on node 1), turning the raw inbound
+/// stream into one ordered [`NetworkEvent`] channel.
+fn spawn_demux(
+    raw_rx: Receiver<Inbound>,
+    events_tx: Sender<NetworkEvent>,
+    shared: Arc<Shared>,
+    n: usize,
+) {
+    std::thread::Builder::new()
+        .name(format!("theta-tcp-demux-{}", shared.id))
+        .spawn(move || {
+            let sequencing = shared.id == SEQUENCER;
+            let mut reorder = TobReorderBuffer::new();
+            while let Ok(inbound) = raw_rx.recv() {
+                let released = match inbound {
+                    Inbound::P2p { from, payload } => {
+                        vec![NetworkEvent::P2p { from, payload }]
+                    }
+                    Inbound::TobSubmit { from, payload } => {
+                        if !sequencing {
+                            continue; // stray submit at a non-sequencer
+                        }
+                        let seq = shared.tob_seq.fetch_add(1, Ordering::SeqCst);
+                        let mut body = Vec::with_capacity(11 + payload.len());
+                        body.push(TAG_TOB_DELIVER);
+                        body.extend_from_slice(&seq.to_le_bytes());
+                        body.extend_from_slice(&from.to_le_bytes());
+                        body.extend_from_slice(&payload);
+                        for peer in 1..=n as u16 {
+                            if peer != shared.id {
+                                shared.send_raw(peer, &body);
+                            }
+                        }
+                        reorder.insert(seq, from, payload)
+                    }
+                    Inbound::TobDeliver { seq, from, payload } => {
+                        reorder.insert(seq, from, payload)
+                    }
+                };
+                for ev in released {
+                    if events_tx.send(ev).is_err() {
+                        return; // node handle gone
+                    }
+                }
             }
-        }
-        NetworkEvent::Tob { seq, from, payload }
-    }
+        })
+        .expect("spawn demux");
 }
 
 impl Network for TcpMeshNode {
@@ -273,62 +365,23 @@ impl Network for TcpMeshNode {
     }
 
     fn submit_tob(&self, payload: Vec<u8>) {
-        if self.is_sequencer() {
-            let ev = self.sequence_and_deliver(self.shared.id, payload);
-            // Self-delivery goes straight to the ready queue in order.
-            if let NetworkEvent::Tob { seq, from, payload } = ev {
-                let released = self.reorder.lock().insert(seq, from, payload);
-                let mut ready = self.ready.lock();
-                for e in released {
-                    ready.push_back(e);
-                }
-            }
+        if self.shared.id == SEQUENCER {
+            // Route through the demux thread so local submissions are
+            // serialized with remote ones by a single sequencing owner.
+            let _ = self
+                .raw_tx
+                .send(Inbound::TobSubmit { from: self.shared.id, payload });
         } else {
             let mut body = Vec::with_capacity(3 + payload.len());
             body.push(TAG_TOB_SUBMIT);
             body.extend_from_slice(&self.shared.id.to_le_bytes());
             body.extend_from_slice(&payload);
-            self.shared.send_raw(1, &body);
+            self.shared.send_raw(SEQUENCER, &body);
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent> {
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            if let Some(ev) = self.ready.lock().pop_front() {
-                return Some(ev);
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            match self.events.recv_timeout(remaining) {
-                Ok(Inbound::P2p { from, payload }) => {
-                    return Some(NetworkEvent::P2p { from, payload });
-                }
-                Ok(Inbound::TobSubmit { from, payload }) => {
-                    if self.is_sequencer() {
-                        let ev = self.sequence_and_deliver(from, payload);
-                        if let NetworkEvent::Tob { seq, from, payload } = ev {
-                            let released = self.reorder.lock().insert(seq, from, payload);
-                            let mut ready = self.ready.lock();
-                            for e in released {
-                                ready.push_back(e);
-                            }
-                        }
-                    }
-                    // Non-sequencers ignore stray submits.
-                }
-                Ok(Inbound::TobDeliver { seq, from, payload }) => {
-                    let released = self.reorder.lock().insert(seq, from, payload);
-                    let mut ready = self.ready.lock();
-                    for e in released {
-                        ready.push_back(e);
-                    }
-                }
-                Err(_) => return None,
-            }
-        }
+    fn events(&self) -> &Receiver<NetworkEvent> {
+        &self.events
     }
 }
 
@@ -336,25 +389,26 @@ impl Network for TcpMeshNode {
 mod tests {
     use super::*;
     use std::net::{IpAddr, Ipv4Addr};
-    use std::sync::atomic::{AtomicU16, Ordering as AtomicOrdering};
 
-    static NEXT_PORT: AtomicU16 = AtomicU16::new(39000);
-
-    fn addrs(n: u16) -> Vec<SocketAddr> {
-        (0..n)
-            .map(|_| {
-                let port = NEXT_PORT.fetch_add(1, AtomicOrdering::SeqCst);
-                SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), port)
-            })
-            .collect()
-    }
-
+    /// Binds `n` ephemeral-port listeners and connects the full mesh —
+    /// no fixed port ranges, so parallel test binaries cannot collide.
     fn build_mesh(n: u16) -> Vec<TcpMeshNode> {
-        let addr_list = addrs(n);
-        let handles: Vec<_> = (1..=n)
-            .map(|id| {
+        let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind(loopback).expect("bind ephemeral"))
+            .collect();
+        let addr_list: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("local addr"))
+            .collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
                 let list = addr_list.clone();
-                std::thread::spawn(move || TcpMesh::connect(id, &list).unwrap())
+                std::thread::spawn(move || {
+                    TcpMesh::connect_listener(i as u16 + 1, listener, &list).unwrap()
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -404,8 +458,104 @@ mod tests {
 
     #[test]
     fn bad_node_id_rejected() {
-        let list = addrs(2);
+        let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let list = vec![
+            TcpListener::bind(loopback).unwrap().local_addr().unwrap(),
+            TcpListener::bind(loopback).unwrap().local_addr().unwrap(),
+        ];
         assert!(TcpMesh::connect(0, &list).is_err());
         assert!(TcpMesh::connect(3, &list).is_err());
+    }
+
+    #[test]
+    fn p2p_sender_is_stamped_from_connection() {
+        // Node 3 claims to be node 9 inside the frame; the receiver must
+        // see the connection-derived sender instead.
+        let nodes = build_mesh(3);
+        let mut body = vec![TAG_P2P];
+        body.extend_from_slice(&9u16.to_le_bytes());
+        body.extend_from_slice(b"who am i");
+        nodes[2].shared.send_raw(1, &body);
+        let ev = nodes[0].recv_timeout(TICK).expect("delivery");
+        assert_eq!(ev, NetworkEvent::P2p { from: 3, payload: b"who am i".to_vec() });
+    }
+
+    #[test]
+    fn spoofed_tob_submit_is_dropped() {
+        // Node 3 submits to the sequencer claiming to be node 2: the
+        // frame must be discarded, and honest traffic keeps flowing.
+        let nodes = build_mesh(3);
+        let mut body = vec![TAG_TOB_SUBMIT];
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.extend_from_slice(b"forged");
+        nodes[2].shared.send_raw(1, &body);
+        // An honest submit afterwards is the only delivery anyone sees.
+        nodes[2].submit_tob(b"honest".to_vec());
+        for node in &nodes {
+            match node.recv_timeout(TICK) {
+                Some(NetworkEvent::Tob { seq: 0, from: 3, payload }) => {
+                    assert_eq!(payload, b"honest");
+                }
+                other => panic!("expected the honest submit first, got {other:?}"),
+            }
+            assert!(node.recv_timeout(Duration::from_millis(100)).is_none());
+        }
+    }
+
+    #[test]
+    fn forged_tob_deliver_from_non_sequencer_is_dropped() {
+        // Only node 1's connection may carry TOB deliveries; node 3
+        // pushing a fake delivery to node 2 must be ignored.
+        let nodes = build_mesh(3);
+        let mut body = vec![TAG_TOB_DELIVER];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(b"fake");
+        nodes[2].shared.send_raw(2, &body);
+        assert!(nodes[1].recv_timeout(Duration::from_millis(200)).is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut writer = TcpStream::connect(addr).unwrap();
+        let (mut reader, _) = listener.accept().unwrap();
+        // Claim a frame bigger than the cap: rejected before any body read.
+        writer
+            .write_all(&(MAX_FRAME + 1).to_le_bytes())
+            .unwrap();
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_giant_frame_fails_without_upfront_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut writer = TcpStream::connect(addr).unwrap();
+        let (mut reader, _) = listener.accept().unwrap();
+        // Claim the maximum allowed size but send only a sliver and hang
+        // up: chunked reading must surface EOF instead of sitting on a
+        // 64 MiB buffer waiting for bytes that never come.
+        writer.write_all(&MAX_FRAME.to_le_bytes()).unwrap();
+        writer.write_all(&[0u8; 128]).unwrap();
+        drop(writer);
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn chunked_read_reassembles_large_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut writer = TcpStream::connect(addr).unwrap();
+        let (mut reader, _) = listener.accept().unwrap();
+        // Larger than one read chunk, so reassembly spans several reads.
+        let body: Vec<u8> = (0..READ_CHUNK * 3 + 17).map(|i| i as u8).collect();
+        let body_clone = body.clone();
+        let w = std::thread::spawn(move || write_frame(&mut writer, &body_clone).unwrap());
+        let got = read_frame(&mut reader).unwrap();
+        w.join().unwrap();
+        assert_eq!(got, body);
     }
 }

@@ -1,0 +1,163 @@
+//! Bounded result cache for finished instances.
+//!
+//! The manager used to keep every completed instance in an unbounded
+//! `HashMap` forever — a memory leak on any long-running node. This
+//! cache bounds memory two ways:
+//!
+//! - **capacity**: beyond `capacity` entries the oldest insertion is
+//!   evicted (FIFO — results are immutable, so recency of *access* does
+//!   not make an entry more valuable, only recency of completion does);
+//! - **TTL**: entries older than `ttl` are dropped lazily on access and
+//!   eagerly on insert.
+//!
+//! Each insertion gets a generation number so a stale FIFO slot (from an
+//! id that was evicted and later re-inserted) can never evict the fresh
+//! entry by accident.
+
+use crate::InstanceId;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+struct Entry<V> {
+    value: V,
+    generation: u64,
+    inserted: Instant,
+}
+
+/// FIFO + TTL bounded map from [`InstanceId`] to a finished result.
+pub(crate) struct ResultCache<V> {
+    capacity: usize,
+    ttl: Duration,
+    map: HashMap<InstanceId, Entry<V>>,
+    /// Insertion order as `(id, generation)` pairs; stale pairs (whose
+    /// generation no longer matches the map) are skipped on pop.
+    order: VecDeque<(InstanceId, u64)>,
+    next_generation: u64,
+}
+
+impl<V> ResultCache<V> {
+    pub(crate) fn new(capacity: usize, ttl: Duration) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            ttl,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            next_generation: 0,
+        }
+    }
+
+    /// Inserts (or replaces) `id`, then enforces TTL and capacity.
+    /// Returns how many *other* entries were evicted.
+    pub(crate) fn insert(&mut self, id: InstanceId, value: V, now: Instant) -> u64 {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.map.insert(id, Entry { value, generation, inserted: now });
+        self.order.push_back((id, generation));
+        let mut evicted = 0;
+        // TTL pass: the order queue is insertion-sorted, so expired
+        // entries cluster at the front.
+        while let Some(&(old_id, old_gen)) = self.order.front() {
+            let matches_live = self
+                .map
+                .get(&old_id)
+                .map_or(false, |e| e.generation == old_gen);
+            if !matches_live {
+                self.order.pop_front(); // superseded or already evicted
+                continue;
+            }
+            let expired = self.map[&old_id].inserted + self.ttl <= now;
+            if expired || self.map.len() > self.capacity {
+                self.order.pop_front();
+                self.map.remove(&old_id);
+                evicted += 1;
+                continue;
+            }
+            break;
+        }
+        evicted
+    }
+
+    /// Fetches `id`, dropping it instead when its TTL has lapsed.
+    pub(crate) fn get(&mut self, id: &InstanceId, now: Instant) -> Option<&V> {
+        if let Some(e) = self.map.get(id) {
+            if e.inserted + self.ttl <= now {
+                self.map.remove(id);
+                return None;
+            }
+        }
+        self.map.get(id).map(|e| &e.value)
+    }
+
+    /// True when `id` holds an unexpired entry.
+    pub(crate) fn contains(&mut self, id: &InstanceId, now: Instant) -> bool {
+        self.get(id, now).is_some()
+    }
+
+    /// Live entry count (may include TTL-lapsed entries not yet touched).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(b: u8) -> InstanceId {
+        InstanceId([b; 32])
+    }
+
+    const LONG: Duration = Duration::from_secs(3600);
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut c = ResultCache::new(2, LONG);
+        let now = Instant::now();
+        assert_eq!(c.insert(id(1), "a", now), 0);
+        assert_eq!(c.insert(id(2), "b", now), 0);
+        assert_eq!(c.insert(id(3), "c", now), 1); // evicts id(1)
+        assert!(c.get(&id(1), now).is_none());
+        assert_eq!(c.get(&id(2), now), Some(&"b"));
+        assert_eq!(c.get(&id(3), now), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c = ResultCache::new(16, Duration::from_millis(100));
+        let t0 = Instant::now();
+        c.insert(id(1), "a", t0);
+        assert_eq!(c.get(&id(1), t0), Some(&"a"));
+        let later = t0 + Duration::from_millis(200);
+        assert!(c.get(&id(1), later).is_none());
+        // Eager expiry on insert also counts as eviction.
+        c.insert(id(2), "b", t0);
+        let evicted = c.insert(id(3), "c", later);
+        assert_eq!(evicted, 1); // id(2) expired and was swept
+        assert!(c.get(&id(2), later).is_none());
+        assert!(c.get(&id(3), later).is_some());
+    }
+
+    #[test]
+    fn reinsert_after_eviction_survives_stale_order_slot() {
+        let mut c = ResultCache::new(1, LONG);
+        let now = Instant::now();
+        c.insert(id(1), "first", now);
+        c.insert(id(2), "evicts-1", now);
+        c.insert(id(1), "fresh", now); // re-insert under a new generation
+        assert_eq!(c.get(&id(1), now), Some(&"fresh"));
+        assert!(c.get(&id(2), now).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replacing_same_id_does_not_count_as_eviction() {
+        let mut c = ResultCache::new(4, LONG);
+        let now = Instant::now();
+        assert_eq!(c.insert(id(1), "v1", now), 0);
+        assert_eq!(c.insert(id(1), "v2", now), 0);
+        assert_eq!(c.get(&id(1), now), Some(&"v2"));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -17,6 +17,7 @@
 //! executes inline on that thread, which deliberately mirrors the
 //! paper's evaluation setup of one vCPU per Thetacrypt container.
 
+mod cache;
 mod manager;
 
 pub use manager::{spawn_node, NodeConfig, NodeHandle, PendingResult};

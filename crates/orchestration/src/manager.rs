@@ -1,11 +1,25 @@
 //! The instance manager / protocol executor event loop.
+//!
+//! The loop is select-driven: it parks on the command channel, the
+//! network's event channel and a deadline timer, waking only when there
+//! is work. Expiry and retransmission deadlines live in min-heaps, so an
+//! iteration costs O(log instances) instead of a full scan, and finished
+//! results are kept in a bounded TTL + capacity cache instead of an
+//! unbounded map. Instances whose peers are slow re-broadcast their P2P
+//! round messages with exponential backoff, which lets protocols ride
+//! out lost or late-joining peers.
 
+use crate::cache::ResultCache;
 use crate::{Envelope, InstanceId, KeyChest, Request};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use theta_codec::{Decode, Encode};
+use theta_metrics::counters::EventLoopCounters;
+use theta_metrics::EventLoopSnapshot;
 use theta_network::{Network, NetworkEvent};
 use theta_protocols::kg20_protocol::Kg20Sign;
 use theta_protocols::one_round::{
@@ -16,6 +30,10 @@ use theta_protocols::{
 };
 use theta_schemes::{PartyId, SchemeError};
 
+/// Upper bound on network events drained per wakeup, so one firehose
+/// burst cannot starve command processing or timer service.
+const EVENT_BATCH: usize = 64;
+
 /// Node-level configuration knobs.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -25,6 +43,14 @@ pub struct NodeConfig {
     pub use_precomputed_nonces: bool,
     /// RNG seed (`None` = entropy from the OS).
     pub rng_seed: Option<u64>,
+    /// Finished results kept for duplicate submissions, at most this many.
+    pub result_cache_capacity: usize,
+    /// Finished results older than this are dropped from the cache.
+    pub result_cache_ttl: Duration,
+    /// First re-broadcast of an instance's P2P messages fires after this.
+    pub retry_initial_backoff: Duration,
+    /// Backoff doubles per retry up to this ceiling.
+    pub retry_max_backoff: Duration,
 }
 
 impl Default for NodeConfig {
@@ -33,6 +59,10 @@ impl Default for NodeConfig {
             instance_timeout: Duration::from_secs(30),
             use_precomputed_nonces: true,
             rng_seed: None,
+            result_cache_capacity: 4096,
+            result_cache_ttl: Duration::from_secs(300),
+            retry_initial_backoff: Duration::from_millis(200),
+            retry_max_backoff: Duration::from_secs(5),
         }
     }
 }
@@ -75,6 +105,7 @@ pub struct NodeHandle {
     tx: Sender<Command>,
     join: Option<std::thread::JoinHandle<()>>,
     party: PartyId,
+    counters: Arc<EventLoopCounters>,
 }
 
 impl NodeHandle {
@@ -89,6 +120,11 @@ impl NodeHandle {
     /// This node's party id.
     pub fn party(&self) -> PartyId {
         self.party
+    }
+
+    /// Point-in-time view of the event-loop counters.
+    pub fn counters(&self) -> EventLoopSnapshot {
+        self.counters.snapshot()
     }
 
     /// Stops the manager thread (in-flight instances are dropped).
@@ -117,11 +153,13 @@ pub fn spawn_node(
 ) -> NodeHandle {
     let (tx, rx) = unbounded::<Command>();
     let party = PartyId(network.node_id());
+    let counters = Arc::new(EventLoopCounters::new());
+    let thread_counters = counters.clone();
     let join = std::thread::Builder::new()
         .name(format!("theta-node-{}", party.value()))
-        .spawn(move || InstanceManager::new(keys, network, config, rx).run())
+        .spawn(move || InstanceManager::new(keys, network, config, rx, thread_counters).run())
         .expect("spawn node thread");
-    NodeHandle { tx, join: Some(join), party }
+    NodeHandle { tx, join: Some(join), party, counters }
 }
 
 struct LiveInstance {
@@ -130,6 +168,13 @@ struct LiveInstance {
     subscribers: Vec<Sender<InstanceResult>>,
     started: Instant,
     deadline: Instant,
+    /// Encoded envelopes of every P2P broadcast this instance has made,
+    /// re-sent verbatim on retry (protocol `update`s are idempotent).
+    p2p_history: Vec<Vec<u8>>,
+    /// When the next re-broadcast fires (also validates heap entries).
+    next_retry: Instant,
+    /// Current backoff step (doubles per retry, capped).
+    retry_backoff: Duration,
 }
 
 struct InstanceManager {
@@ -138,7 +183,13 @@ struct InstanceManager {
     config: NodeConfig,
     commands: Receiver<Command>,
     instances: HashMap<InstanceId, LiveInstance>,
-    finished: HashMap<InstanceId, InstanceResult>,
+    finished: ResultCache<InstanceResult>,
+    /// Min-heap of `(deadline, id)` — lazily validated against the live
+    /// instance on pop (an entry for a finished instance is skipped).
+    expiry_heap: BinaryHeap<Reverse<(Instant, InstanceId)>>,
+    /// Min-heap of `(retry-due, id)`, same lazy-validation discipline.
+    retry_heap: BinaryHeap<Reverse<(Instant, InstanceId)>>,
+    counters: Arc<EventLoopCounters>,
     rng: rand::rngs::StdRng,
 }
 
@@ -148,44 +199,90 @@ impl InstanceManager {
         network: Box<dyn Network>,
         config: NodeConfig,
         commands: Receiver<Command>,
+        counters: Arc<EventLoopCounters>,
     ) -> Self {
         let rng = match config.rng_seed {
             Some(seed) => rand::rngs::StdRng::seed_from_u64(seed),
             None => rand::rngs::StdRng::from_entropy(),
         };
+        let finished = ResultCache::new(config.result_cache_capacity, config.result_cache_ttl);
         InstanceManager {
             keys,
             network,
             config,
             commands,
             instances: HashMap::new(),
-            finished: HashMap::new(),
+            finished,
+            expiry_heap: BinaryHeap::new(),
+            retry_heap: BinaryHeap::new(),
+            counters,
             rng,
         }
     }
 
+    /// Earliest pending deadline across both heaps, if any. Entries may
+    /// be stale (their instance already finished) — a stale head only
+    /// causes one early wakeup that pops and discards it.
+    fn next_deadline(&self) -> Option<Instant> {
+        let expiry = self.expiry_heap.peek().map(|Reverse((t, _))| *t);
+        let retry = self.retry_heap.peek().map(|Reverse((t, _))| *t);
+        match (expiry, retry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     fn run(mut self) {
+        // Clone the receivers out of `self` so the `select!` arms can
+        // call `&mut self` methods without borrow conflicts.
+        let commands = self.commands.clone();
+        let events = self.network.events().clone();
         loop {
-            // Drain local commands.
-            loop {
-                match self.commands.try_recv() {
-                    Ok(Command::Submit { request, reply }) => self.handle_submit(request, reply),
-                    Ok(Command::Shutdown) => return,
-                    Err(crossbeam::channel::TryRecvError::Empty) => break,
-                    Err(crossbeam::channel::TryRecvError::Disconnected) => return,
-                }
+            let timer = match self.next_deadline() {
+                Some(t) => crossbeam::channel::at(t),
+                None => crossbeam::channel::never(),
+            };
+            crossbeam::select! {
+                recv(commands) -> cmd => match cmd {
+                    Ok(Command::Submit { request, reply }) => {
+                        EventLoopCounters::bump(&self.counters.commands_processed);
+                        self.handle_submit(request, reply);
+                    }
+                    Ok(Command::Shutdown) | Err(_) => return,
+                },
+                recv(events) -> ev => match ev {
+                    Ok(event) => {
+                        // Drain a bounded batch per wakeup: cheaper than
+                        // one select round-trip per event, but still
+                        // yields to commands and timers regularly. Count
+                        // each event *before* handling it — completions
+                        // notify subscribers who may read the counters.
+                        EventLoopCounters::bump(&self.counters.events_processed);
+                        self.handle_network_event(event);
+                        for _ in 1..EVENT_BATCH {
+                            match events.try_recv() {
+                                Ok(e) => {
+                                    EventLoopCounters::bump(&self.counters.events_processed);
+                                    self.handle_network_event(e);
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    Err(_) => return, // network torn down
+                },
+                recv(timer) -> _ => {}
             }
-            // Pump the network.
-            if let Some(event) = self.network.recv_timeout(Duration::from_micros(500)) {
-                self.handle_network_event(event);
-            }
-            self.expire_instances();
+            EventLoopCounters::bump(&self.counters.wakeups);
+            let now = Instant::now();
+            self.expire_instances(now);
+            self.retry_due(now);
         }
     }
 
     fn handle_submit(&mut self, request: Request, reply: Sender<InstanceResult>) {
         let id = request.instance_id();
-        if let Some(done) = self.finished.get(&id) {
+        if let Some(done) = self.finished.get(&id, Instant::now()) {
             let _ = reply.send(done.clone());
             return;
         }
@@ -197,7 +294,7 @@ impl InstanceManager {
             Ok(()) => {
                 if let Some(live) = self.instances.get_mut(&id) {
                     live.subscribers.push(reply);
-                } else if let Some(done) = self.finished.get(&id) {
+                } else if let Some(done) = self.finished.get(&id, Instant::now()) {
                     // The instance already finished during start (n = 1).
                     let _ = reply.send(done.clone());
                 }
@@ -272,6 +369,8 @@ impl InstanceManager {
         let mut protocol = self.build_protocol(request)?;
         let output = protocol.do_round(&mut self.rng)?;
         let now = Instant::now();
+        let deadline = now + self.config.instance_timeout;
+        let next_retry = now + self.config.retry_initial_backoff;
         self.instances.insert(
             id,
             LiveInstance {
@@ -279,9 +378,15 @@ impl InstanceManager {
                 request: request.clone(),
                 subscribers: Vec::new(),
                 started: now,
-                deadline: now + self.config.instance_timeout,
+                deadline,
+                p2p_history: Vec::new(),
+                next_retry,
+                retry_backoff: self.config.retry_initial_backoff,
             },
         );
+        self.expiry_heap.push(Reverse((deadline, id)));
+        self.retry_heap.push(Reverse((next_retry, id)));
+        EventLoopCounters::bump(&self.counters.instances_started);
         self.dispatch_round_output(id, output);
         self.poll_instance(id);
         Ok(())
@@ -289,36 +394,50 @@ impl InstanceManager {
 
     fn dispatch_round_output(&mut self, id: InstanceId, output: RoundOutput) {
         let Some(live) = self.instances.get(&id) else { return };
+        let request = live.request.clone();
         let sender = self.network.node_id();
+        let mut sent_p2p = Vec::new();
         for msg in output.messages {
             let envelope = Envelope {
                 instance: id,
-                request: live.request.clone(),
+                request: request.clone(),
                 round: msg.round,
                 sender,
                 payload: msg.payload,
             };
             let bytes = envelope.encoded();
             match msg.transport {
-                Transport::P2p => self.network.broadcast_p2p(bytes),
+                Transport::P2p => {
+                    self.network.broadcast_p2p(bytes.clone());
+                    sent_p2p.push(bytes);
+                }
                 Transport::Tob => self.network.submit_tob(bytes),
+            }
+        }
+        if !sent_p2p.is_empty() {
+            if let Some(live) = self.instances.get_mut(&id) {
+                live.p2p_history.extend(sent_p2p);
             }
         }
     }
 
     fn handle_network_event(&mut self, event: NetworkEvent) {
-        let (from, payload, via_tob) = match event {
-            NetworkEvent::P2p { from, payload } => (from, payload, false),
-            NetworkEvent::Tob { from, payload, .. } => (from, payload, true),
+        let (from, payload) = match event {
+            NetworkEvent::P2p { from, payload } => (from, payload),
+            NetworkEvent::Tob { from, payload, .. } => (from, payload),
         };
         let Ok(envelope) = Envelope::decoded(&payload) else {
             return; // malformed traffic is dropped
         };
-        if envelope.sender != from && !via_tob {
-            return; // spoofed sender field
+        if envelope.sender != from {
+            // Spoofed sender field. This applies to TOB deliveries too:
+            // the transport stamps `from` with the authenticated
+            // submitter, so a mismatching envelope is an impersonation
+            // attempt (a peer trying to inject shares as someone else).
+            return;
         }
         let id = envelope.instance;
-        if self.finished.contains_key(&id) {
+        if self.finished.contains(&id, Instant::now()) {
             return; // residual message for a completed request
         }
         if !self.instances.contains_key(&id) {
@@ -378,32 +497,68 @@ impl InstanceManager {
                 outcome,
                 elapsed: live.started.elapsed(),
             };
+            // Account and cache *before* notifying: a subscriber thread
+            // may inspect counters the moment its result arrives.
+            EventLoopCounters::bump(&self.counters.instances_completed);
+            let evicted = self.finished.insert(id, result.clone(), Instant::now());
+            EventLoopCounters::add(&self.counters.cache_evictions, evicted);
             for sub in &live.subscribers {
                 let _ = sub.send(result.clone());
             }
-            self.finished.insert(id, result);
+            // Heap entries for `id` are now stale; pops skip them.
         }
     }
 
-    fn expire_instances(&mut self) {
-        let now = Instant::now();
-        let expired: Vec<InstanceId> = self
-            .instances
-            .iter()
-            .filter(|(_, live)| live.deadline <= now)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in expired {
+    /// Pops every due expiry deadline and fails the instances that are
+    /// still live, with the real timeout error (subscribers see exactly
+    /// what the cache later serves).
+    fn expire_instances(&mut self, now: Instant) {
+        while let Some(&Reverse((due, id))) = self.expiry_heap.peek() {
+            if due > now {
+                break;
+            }
+            self.expiry_heap.pop();
+            let still_live = self
+                .instances
+                .get(&id)
+                .map_or(false, |live| live.deadline <= now);
+            if !still_live {
+                continue; // finished already, or a stale entry
+            }
+            EventLoopCounters::bump(&self.counters.instances_timed_out);
             self.finish_instance(
                 id,
-                Err(SchemeError::NotEnoughShares { have: 0, need: 0 }),
-            );
-            // Re-tag the generic timeout error with context.
-            if let Some(r) = self.finished.get_mut(&id) {
-                r.outcome = Err(SchemeError::InvalidShareSet(
+                Err(SchemeError::InvalidShareSet(
                     "instance timed out before reaching quorum".into(),
-                ));
+                )),
+            );
+        }
+    }
+
+    /// Pops every due retry deadline, re-broadcasts that instance's P2P
+    /// history and reschedules it with doubled (capped) backoff.
+    fn retry_due(&mut self, now: Instant) {
+        while let Some(&Reverse((due, id))) = self.retry_heap.peek() {
+            if due > now {
+                break;
             }
+            self.retry_heap.pop();
+            let Some(live) = self.instances.get_mut(&id) else {
+                continue; // instance finished; stale entry
+            };
+            if live.next_retry > now {
+                continue; // superseded by a newer schedule
+            }
+            let resend: Vec<Vec<u8>> = live.p2p_history.clone();
+            live.retry_backoff =
+                (live.retry_backoff * 2).min(self.config.retry_max_backoff);
+            live.next_retry = now + live.retry_backoff;
+            let next = live.next_retry;
+            for bytes in resend {
+                self.network.broadcast_p2p(bytes);
+                EventLoopCounters::bump(&self.counters.retries_sent);
+            }
+            self.retry_heap.push(Reverse((next, id)));
         }
     }
 }
@@ -475,6 +630,14 @@ mod tests {
         }
         for o in &outputs[1..] {
             assert_eq!(*o, outputs[0]);
+        }
+        // Every node started, completed and accounted for the instance.
+        for h in &handles {
+            let c = h.counters();
+            assert_eq!(c.instances_started, 1);
+            assert_eq!(c.instances_completed, 1);
+            assert_eq!(c.instances_timed_out, 0);
+            assert!(c.events_processed >= 1);
         }
     }
 
@@ -591,6 +754,172 @@ mod tests {
         let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"unreachable", &mut r);
         let pending = handles[0].submit(Request::Sg02Decrypt(theta_codec::Encode::encoded(&ct)));
         let result = pending.wait_timeout(WAIT).expect("timeout result");
-        assert!(result.outcome.is_err());
+        // Subscribers must see the real timeout error, not a placeholder
+        // finished-then-retagged variant.
+        match result.outcome {
+            Err(SchemeError::InvalidShareSet(msg)) => {
+                assert!(
+                    msg.contains("timed out before reaching quorum"),
+                    "unexpected message: {msg}"
+                );
+            }
+            other => panic!("expected the timeout error, got {other:?}"),
+        }
+        assert_eq!(handles[0].counters().instances_timed_out, 1);
+    }
+
+    #[test]
+    fn idle_manager_does_not_spin() {
+        // With no instances and no traffic, the loop must park in its
+        // select rather than busy-poll: the wakeup counter stays flat.
+        let (_hub, mut nets) = build_network(1);
+        let handle = spawn_node(KeyChest::new(), nets.pop().unwrap(), NodeConfig::default());
+        std::thread::sleep(Duration::from_millis(200));
+        let before = handle.counters().wakeups;
+        std::thread::sleep(Duration::from_millis(500));
+        let after = handle.counters().wakeups;
+        assert!(
+            after - before <= 2,
+            "idle loop woke {} times in 500 ms",
+            after - before
+        );
+    }
+
+    #[test]
+    fn result_cache_eviction_gets_fresh_instance() {
+        // Capacity-1 cache: finishing coin "b" evicts coin "a"'s result.
+        // Re-submitting "a" must run a *fresh* instance (not serve a stale
+        // or missing entry) and, the coin being deterministic, reproduce
+        // the same value.
+        let mut r = seeded();
+        let (_hub, mut nets) = build_network(1);
+        let params = ThresholdParams::new(0, 1).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(
+            chest,
+            nets.pop().unwrap(),
+            NodeConfig { result_cache_capacity: 1, ..Default::default() },
+        );
+        let first = handle
+            .submit(Request::Cks05Coin(b"a".to_vec()))
+            .wait_timeout(WAIT)
+            .expect("first run");
+        let _ = handle
+            .submit(Request::Cks05Coin(b"b".to_vec()))
+            .wait_timeout(WAIT)
+            .expect("second run evicts the first");
+        let again = handle
+            .submit(Request::Cks05Coin(b"a".to_vec()))
+            .wait_timeout(WAIT)
+            .expect("fresh re-run after eviction");
+        assert_eq!(first.outcome.unwrap(), again.outcome.unwrap());
+        let c = handle.counters();
+        assert_eq!(c.instances_started, 3, "evicted result must be recomputed");
+        assert!(c.cache_evictions >= 2);
+    }
+
+    #[test]
+    fn duplicate_submit_within_cache_serves_cached_result() {
+        let mut r = seeded();
+        let (_hub, mut nets) = build_network(1);
+        let params = ThresholdParams::new(0, 1).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(chest, nets.pop().unwrap(), NodeConfig::default());
+        let first = handle
+            .submit(Request::Cks05Coin(b"cached".to_vec()))
+            .wait_timeout(WAIT)
+            .expect("first run");
+        let again = handle
+            .submit(Request::Cks05Coin(b"cached".to_vec()))
+            .wait_timeout(WAIT)
+            .expect("cache hit");
+        assert_eq!(first.outcome.unwrap(), again.outcome.unwrap());
+        assert_eq!(handle.counters().instances_started, 1, "second submit is a cache hit");
+    }
+
+    #[test]
+    fn spoofed_sender_is_dropped_even_via_tob() {
+        // An envelope whose claimed sender disagrees with the transport's
+        // authenticated `from` must be ignored on the TOB path too (the
+        // seed only checked P2P). If it were accepted, the receiving node
+        // would start an instance for the embedded request.
+        let mut r = seeded();
+        let params = ThresholdParams::new(1, 2).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let (_hub, mut nets) = build_network(2);
+        let injector = nets.remove(0); // raw handle for node 1, no manager
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[1].clone());
+        let handle = spawn_node(chest, nets.pop().unwrap(), NodeConfig::default());
+
+        let request = Request::Cks05Coin(b"spoof-tob".to_vec());
+        let spoofed = Envelope {
+            instance: request.instance_id(),
+            request: request.clone(),
+            round: 1,
+            sender: 7, // does not match the true submitter (node 1)
+            payload: vec![1, 2, 3],
+        };
+        injector.submit_tob(spoofed.encoded());
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(
+            handle.counters().instances_started,
+            0,
+            "spoofed TOB envelope must not start an instance"
+        );
+
+        // The honest version of the same message is accepted.
+        let honest = Envelope {
+            instance: request.instance_id(),
+            request,
+            round: 1,
+            sender: 1,
+            payload: vec![1, 2, 3],
+        };
+        injector.submit_tob(honest.encoded());
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(handle.counters().instances_started, 1);
+    }
+
+    #[test]
+    fn retries_rebroadcast_p2p_history() {
+        // Partition node 2 while node 1 starts a coin; the share is lost.
+        // Heal the partition: the retry machinery must re-deliver node
+        // 1's share so node 2 (which hears of the instance only through
+        // the retry) completes — and both agree.
+        let mut r = seeded();
+        let params = ThresholdParams::new(1, 2).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let (hub, nets) = build_network(2);
+        let handles: Vec<NodeHandle> = keys
+            .iter()
+            .zip(nets)
+            .map(|(key, net)| {
+                let mut chest = KeyChest::new();
+                chest.cks05 = Some(key.clone());
+                spawn_node(
+                    chest,
+                    net,
+                    NodeConfig {
+                        retry_initial_backoff: Duration::from_millis(100),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        hub.isolate_node(2, true);
+        let pending = handles[0].submit(Request::Cks05Coin(b"retry me".to_vec()));
+        std::thread::sleep(Duration::from_millis(250));
+        hub.isolate_node(2, false);
+        let result = pending.wait_timeout(WAIT).expect("completion after heal");
+        assert!(result.outcome.is_ok());
+        assert!(
+            handles[0].counters().retries_sent >= 1,
+            "node 1 must have re-broadcast its share"
+        );
     }
 }

@@ -159,6 +159,19 @@ impl RpcClient {
         }
     }
 
+    /// Observability: snapshot of the serving node's event-loop counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind.
+    pub fn node_stats(&mut self) -> Result<theta_metrics::EventLoopSnapshot, RpcError> {
+        match self.call(RpcRequest::GetNodeStats)? {
+            RpcResponse::NodeStats(s) => Ok(s),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
     /// Scheme API: verifies a combined signature.
     ///
     /// # Errors

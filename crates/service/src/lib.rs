@@ -84,6 +84,8 @@ pub enum RpcRequest {
         /// Encoded signature.
         signature: Vec<u8>,
     },
+    /// Observability: snapshot of the node's event-loop counters.
+    GetNodeStats,
 }
 
 impl Encode for RpcRequest {
@@ -109,6 +111,9 @@ impl Encode for RpcRequest {
                 message.encode(w);
                 signature.encode(w);
             }
+            RpcRequest::GetNodeStats => {
+                4u8.encode(w);
+            }
         }
     }
 }
@@ -128,6 +133,7 @@ impl Decode for RpcRequest {
                 message: Vec::<u8>::decode(r)?,
                 signature: Vec::<u8>::decode(r)?,
             }),
+            4 => Ok(RpcRequest::GetNodeStats),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -152,6 +158,8 @@ pub enum RpcResponse {
     Verified(bool),
     /// The request failed.
     Error(String),
+    /// Event-loop counters of the serving node.
+    NodeStats(theta_metrics::EventLoopSnapshot),
 }
 
 impl Encode for RpcResponse {
@@ -178,6 +186,19 @@ impl Encode for RpcResponse {
                 4u8.encode(w);
                 msg.encode(w);
             }
+            RpcResponse::NodeStats(s) => {
+                // `EventLoopSnapshot` lives in theta-metrics (which has
+                // no codec dependency), so its fields are framed here.
+                5u8.encode(w);
+                s.wakeups.encode(w);
+                s.events_processed.encode(w);
+                s.commands_processed.encode(w);
+                s.retries_sent.encode(w);
+                s.cache_evictions.encode(w);
+                s.instances_started.encode(w);
+                s.instances_completed.encode(w);
+                s.instances_timed_out.encode(w);
+            }
         }
     }
 }
@@ -193,6 +214,16 @@ impl Decode for RpcResponse {
             2 => Ok(RpcResponse::Ciphertext(Vec::<u8>::decode(r)?)),
             3 => Ok(RpcResponse::Verified(bool::decode(r)?)),
             4 => Ok(RpcResponse::Error(String::decode(r)?)),
+            5 => Ok(RpcResponse::NodeStats(theta_metrics::EventLoopSnapshot {
+                wakeups: u64::decode(r)?,
+                events_processed: u64::decode(r)?,
+                commands_processed: u64::decode(r)?,
+                retries_sent: u64::decode(r)?,
+                cache_evictions: u64::decode(r)?,
+                instances_started: u64::decode(r)?,
+                instances_completed: u64::decode(r)?,
+                instances_timed_out: u64::decode(r)?,
+            })),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -263,6 +294,7 @@ mod tests {
                 message: b"m".to_vec(),
                 signature: vec![1, 2, 3],
             },
+            RpcRequest::GetNodeStats,
         ];
         for r in reqs {
             assert_eq!(RpcRequest::decoded(&r.encoded()).unwrap(), r);
@@ -277,6 +309,16 @@ mod tests {
             RpcResponse::Ciphertext(vec![3]),
             RpcResponse::Verified(true),
             RpcResponse::Error("nope".into()),
+            RpcResponse::NodeStats(theta_metrics::EventLoopSnapshot {
+                wakeups: 1,
+                events_processed: 2,
+                commands_processed: 3,
+                retries_sent: 4,
+                cache_evictions: 5,
+                instances_started: 6,
+                instances_completed: 7,
+                instances_timed_out: 8,
+            }),
         ];
         for r in resps {
             assert_eq!(RpcResponse::decoded(&r.encoded()).unwrap(), r);

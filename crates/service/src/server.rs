@@ -124,6 +124,10 @@ fn handle_connection(
                     })
                     .ok();
             }
+            RpcRequest::GetNodeStats => {
+                let response = RpcResponse::NodeStats(node.counters());
+                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+            }
             other => {
                 let response = answer_scheme_api(other, &keys);
                 let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
@@ -182,6 +186,8 @@ fn answer_scheme_api(request: RpcRequest, keys: &PublicKeyChest) -> RpcResponse 
                 None => RpcResponse::Error(format!("scheme {scheme} not provisioned")),
             }
         }
-        RpcRequest::Protocol(_) => unreachable!("protocol requests handled by caller"),
+        RpcRequest::Protocol(_) | RpcRequest::GetNodeStats => {
+            unreachable!("handled by the connection loop")
+        }
     }
 }

@@ -249,13 +249,19 @@ fn tcp_mesh_runs_a_real_protocol() {
     let (pk, sg_keys) = thetacrypt::schemes::sg02::keygen(params, &mut r);
     let (_, kg_keys) = thetacrypt::schemes::kg20::keygen(params, &mut r);
 
-    let addrs: Vec<std::net::SocketAddr> = (0..4)
-        .map(|i| format!("127.0.0.1:{}", 38200 + i).parse().unwrap())
+    // Bind every listener on an OS-assigned port first, then hand the
+    // real address list to each node — no fixed ports to collide on.
+    let listeners: Vec<std::net::TcpListener> = (0..4)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
         .collect();
-    let meshes: Vec<_> = (1..=4u16)
-        .map(|id| {
+    let addrs: Vec<std::net::SocketAddr> =
+        listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+    let meshes: Vec<_> = listeners
+        .into_iter()
+        .zip(1..=4u16)
+        .map(|(listener, id)| {
             let list = addrs.clone();
-            std::thread::spawn(move || TcpMesh::connect(id, &list).unwrap())
+            std::thread::spawn(move || TcpMesh::connect_listener(id, listener, &list).unwrap())
         })
         .collect();
     let handles: Vec<_> = meshes
