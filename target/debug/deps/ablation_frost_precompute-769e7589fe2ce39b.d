@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_frost_precompute-769e7589fe2ce39b.d: crates/bench/src/bin/ablation_frost_precompute.rs
+
+/root/repo/target/debug/deps/ablation_frost_precompute-769e7589fe2ce39b: crates/bench/src/bin/ablation_frost_precompute.rs
+
+crates/bench/src/bin/ablation_frost_precompute.rs:

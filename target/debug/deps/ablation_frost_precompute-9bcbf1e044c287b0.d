@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_frost_precompute-9bcbf1e044c287b0.d: crates/bench/src/bin/ablation_frost_precompute.rs
+
+/root/repo/target/debug/deps/ablation_frost_precompute-9bcbf1e044c287b0: crates/bench/src/bin/ablation_frost_precompute.rs
+
+crates/bench/src/bin/ablation_frost_precompute.rs:

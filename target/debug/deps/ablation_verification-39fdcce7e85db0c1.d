@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_verification-39fdcce7e85db0c1.d: crates/bench/src/bin/ablation_verification.rs
+
+/root/repo/target/debug/deps/ablation_verification-39fdcce7e85db0c1: crates/bench/src/bin/ablation_verification.rs
+
+crates/bench/src/bin/ablation_verification.rs:

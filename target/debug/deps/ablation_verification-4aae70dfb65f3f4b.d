@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_verification-4aae70dfb65f3f4b.d: crates/bench/src/bin/ablation_verification.rs
+
+/root/repo/target/debug/deps/ablation_verification-4aae70dfb65f3f4b: crates/bench/src/bin/ablation_verification.rs
+
+crates/bench/src/bin/ablation_verification.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-e7caf1b266124f8a.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e7caf1b266124f8a.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e7caf1b266124f8a.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

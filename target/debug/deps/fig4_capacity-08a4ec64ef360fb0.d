@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_capacity-08a4ec64ef360fb0.d: crates/bench/src/bin/fig4_capacity.rs
+
+/root/repo/target/debug/deps/fig4_capacity-08a4ec64ef360fb0: crates/bench/src/bin/fig4_capacity.rs
+
+crates/bench/src/bin/fig4_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_capacity-b09018b19aad1e75.d: crates/bench/src/bin/fig4_capacity.rs
+
+/root/repo/target/debug/deps/fig4_capacity-b09018b19aad1e75: crates/bench/src/bin/fig4_capacity.rs
+
+crates/bench/src/bin/fig4_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_steady_state-da835a9adbb71f32.d: crates/bench/src/bin/fig5a_steady_state.rs
+
+/root/repo/target/debug/deps/fig5a_steady_state-da835a9adbb71f32: crates/bench/src/bin/fig5a_steady_state.rs
+
+crates/bench/src/bin/fig5a_steady_state.rs:

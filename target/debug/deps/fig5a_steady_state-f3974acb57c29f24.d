@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_steady_state-f3974acb57c29f24.d: crates/bench/src/bin/fig5a_steady_state.rs
+
+/root/repo/target/debug/deps/fig5a_steady_state-f3974acb57c29f24: crates/bench/src/bin/fig5a_steady_state.rs
+
+crates/bench/src/bin/fig5a_steady_state.rs:

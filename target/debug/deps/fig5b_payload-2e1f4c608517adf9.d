@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_payload-2e1f4c608517adf9.d: crates/bench/src/bin/fig5b_payload.rs
+
+/root/repo/target/debug/deps/fig5b_payload-2e1f4c608517adf9: crates/bench/src/bin/fig5b_payload.rs
+
+crates/bench/src/bin/fig5b_payload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_payload-ec0d98dad69f8bc1.d: crates/bench/src/bin/fig5b_payload.rs
+
+/root/repo/target/debug/deps/fig5b_payload-ec0d98dad69f8bc1: crates/bench/src/bin/fig5b_payload.rs
+
+crates/bench/src/bin/fig5b_payload.rs:

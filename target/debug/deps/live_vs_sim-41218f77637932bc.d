@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_vs_sim-41218f77637932bc.d: crates/bench/src/bin/live_vs_sim.rs
+
+/root/repo/target/debug/deps/live_vs_sim-41218f77637932bc: crates/bench/src/bin/live_vs_sim.rs
+
+crates/bench/src/bin/live_vs_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_vs_sim-ca027d09695b590d.d: crates/bench/src/bin/live_vs_sim.rs
+
+/root/repo/target/debug/deps/live_vs_sim-ca027d09695b590d: crates/bench/src/bin/live_vs_sim.rs
+
+crates/bench/src/bin/live_vs_sim.rs:

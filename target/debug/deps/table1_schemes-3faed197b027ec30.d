@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_schemes-3faed197b027ec30.d: crates/bench/src/bin/table1_schemes.rs
+
+/root/repo/target/debug/deps/table1_schemes-3faed197b027ec30: crates/bench/src/bin/table1_schemes.rs
+
+crates/bench/src/bin/table1_schemes.rs:

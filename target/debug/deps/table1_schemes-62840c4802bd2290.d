@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_schemes-62840c4802bd2290.d: crates/bench/src/bin/table1_schemes.rs
+
+/root/repo/target/debug/deps/table1_schemes-62840c4802bd2290: crates/bench/src/bin/table1_schemes.rs
+
+crates/bench/src/bin/table1_schemes.rs:

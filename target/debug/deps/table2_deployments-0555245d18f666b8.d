@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_deployments-0555245d18f666b8.d: crates/bench/src/bin/table2_deployments.rs
+
+/root/repo/target/debug/deps/table2_deployments-0555245d18f666b8: crates/bench/src/bin/table2_deployments.rs
+
+crates/bench/src/bin/table2_deployments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_deployments-d8fba129249c8a34.d: crates/bench/src/bin/table2_deployments.rs
+
+/root/repo/target/debug/deps/table2_deployments-d8fba129249c8a34: crates/bench/src/bin/table2_deployments.rs
+
+crates/bench/src/bin/table2_deployments.rs:

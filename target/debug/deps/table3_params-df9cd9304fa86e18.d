@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_params-df9cd9304fa86e18.d: crates/bench/src/bin/table3_params.rs
+
+/root/repo/target/debug/deps/table3_params-df9cd9304fa86e18: crates/bench/src/bin/table3_params.rs
+
+crates/bench/src/bin/table3_params.rs:

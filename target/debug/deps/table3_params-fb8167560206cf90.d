@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_params-fb8167560206cf90.d: crates/bench/src/bin/table3_params.rs
+
+/root/repo/target/debug/deps/table3_params-fb8167560206cf90: crates/bench/src/bin/table3_params.rs
+
+crates/bench/src/bin/table3_params.rs:

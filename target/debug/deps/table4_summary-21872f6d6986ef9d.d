@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_summary-21872f6d6986ef9d.d: crates/bench/src/bin/table4_summary.rs
+
+/root/repo/target/debug/deps/table4_summary-21872f6d6986ef9d: crates/bench/src/bin/table4_summary.rs
+
+crates/bench/src/bin/table4_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_summary-2aa2fcd04440d72c.d: crates/bench/src/bin/table4_summary.rs
+
+/root/repo/target/debug/deps/table4_summary-2aa2fcd04440d72c: crates/bench/src/bin/table4_summary.rs
+
+crates/bench/src/bin/table4_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_bench-27bba3eb64ee52c0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtheta_bench-27bba3eb64ee52c0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtheta_bench-27bba3eb64ee52c0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_bench-d95f1b7eb25dc2e2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtheta_bench-d95f1b7eb25dc2e2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtheta_bench-d95f1b7eb25dc2e2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theta_client-3208aa9322d97f8a.d: crates/core/src/bin/theta_client.rs
+
+/root/repo/target/debug/deps/theta_client-3208aa9322d97f8a: crates/core/src/bin/theta_client.rs
+
+crates/core/src/bin/theta_client.rs:

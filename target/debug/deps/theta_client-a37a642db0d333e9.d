@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theta_client-a37a642db0d333e9.d: crates/core/src/bin/theta_client.rs
+
+/root/repo/target/debug/deps/theta_client-a37a642db0d333e9: crates/core/src/bin/theta_client.rs
+
+crates/core/src/bin/theta_client.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/theta_codec-d766caf90790605e.d: crates/codec/src/lib.rs
+
+/root/repo/target/debug/deps/libtheta_codec-d766caf90790605e.rlib: crates/codec/src/lib.rs
+
+/root/repo/target/debug/deps/libtheta_codec-d766caf90790605e.rmeta: crates/codec/src/lib.rs
+
+crates/codec/src/lib.rs:

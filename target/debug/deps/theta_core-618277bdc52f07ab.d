@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/theta_core-618277bdc52f07ab.d: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/debug/deps/libtheta_core-618277bdc52f07ab.rlib: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/debug/deps/libtheta_core-618277bdc52f07ab.rmeta: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/keyfile.rs:

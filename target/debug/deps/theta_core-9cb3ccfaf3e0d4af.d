@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/theta_core-9cb3ccfaf3e0d4af.d: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/debug/deps/libtheta_core-9cb3ccfaf3e0d4af.rlib: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/debug/deps/libtheta_core-9cb3ccfaf3e0d4af.rmeta: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/keyfile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theta_keygen-060897901b02ad36.d: crates/core/src/bin/theta_keygen.rs
+
+/root/repo/target/debug/deps/theta_keygen-060897901b02ad36: crates/core/src/bin/theta_keygen.rs
+
+crates/core/src/bin/theta_keygen.rs:

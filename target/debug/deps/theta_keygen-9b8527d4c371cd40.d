@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theta_keygen-9b8527d4c371cd40.d: crates/core/src/bin/theta_keygen.rs
+
+/root/repo/target/debug/deps/theta_keygen-9b8527d4c371cd40: crates/core/src/bin/theta_keygen.rs
+
+crates/core/src/bin/theta_keygen.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/theta_math-336ee939640acbff.d: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/crt.rs crates/math/src/biguint.rs crates/math/src/mont.rs crates/math/src/prime.rs crates/math/src/bn254/mod.rs crates/math/src/bn254/curve.rs crates/math/src/bn254/fp.rs crates/math/src/bn254/fp12.rs crates/math/src/bn254/fp2.rs crates/math/src/bn254/fp6.rs crates/math/src/bn254/fr.rs crates/math/src/bn254/g1.rs crates/math/src/bn254/g2.rs crates/math/src/bn254/pairing.rs crates/math/src/ed25519/mod.rs crates/math/src/ed25519/fe.rs crates/math/src/ed25519/point.rs crates/math/src/ed25519/scalar.rs
+
+/root/repo/target/debug/deps/libtheta_math-336ee939640acbff.rlib: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/crt.rs crates/math/src/biguint.rs crates/math/src/mont.rs crates/math/src/prime.rs crates/math/src/bn254/mod.rs crates/math/src/bn254/curve.rs crates/math/src/bn254/fp.rs crates/math/src/bn254/fp12.rs crates/math/src/bn254/fp2.rs crates/math/src/bn254/fp6.rs crates/math/src/bn254/fr.rs crates/math/src/bn254/g1.rs crates/math/src/bn254/g2.rs crates/math/src/bn254/pairing.rs crates/math/src/ed25519/mod.rs crates/math/src/ed25519/fe.rs crates/math/src/ed25519/point.rs crates/math/src/ed25519/scalar.rs
+
+/root/repo/target/debug/deps/libtheta_math-336ee939640acbff.rmeta: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/crt.rs crates/math/src/biguint.rs crates/math/src/mont.rs crates/math/src/prime.rs crates/math/src/bn254/mod.rs crates/math/src/bn254/curve.rs crates/math/src/bn254/fp.rs crates/math/src/bn254/fp12.rs crates/math/src/bn254/fp2.rs crates/math/src/bn254/fp6.rs crates/math/src/bn254/fr.rs crates/math/src/bn254/g1.rs crates/math/src/bn254/g2.rs crates/math/src/bn254/pairing.rs crates/math/src/ed25519/mod.rs crates/math/src/ed25519/fe.rs crates/math/src/ed25519/point.rs crates/math/src/ed25519/scalar.rs
+
+crates/math/src/lib.rs:
+crates/math/src/bigint.rs:
+crates/math/src/crt.rs:
+crates/math/src/biguint.rs:
+crates/math/src/mont.rs:
+crates/math/src/prime.rs:
+crates/math/src/bn254/mod.rs:
+crates/math/src/bn254/curve.rs:
+crates/math/src/bn254/fp.rs:
+crates/math/src/bn254/fp12.rs:
+crates/math/src/bn254/fp2.rs:
+crates/math/src/bn254/fp6.rs:
+crates/math/src/bn254/fr.rs:
+crates/math/src/bn254/g1.rs:
+crates/math/src/bn254/g2.rs:
+crates/math/src/bn254/pairing.rs:
+crates/math/src/ed25519/mod.rs:
+crates/math/src/ed25519/fe.rs:
+crates/math/src/ed25519/point.rs:
+crates/math/src/ed25519/scalar.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/theta_metrics-b789c87ba8168572.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+/root/repo/target/debug/deps/libtheta_metrics-b789c87ba8168572.rlib: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+/root/repo/target/debug/deps/libtheta_metrics-b789c87ba8168572.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:

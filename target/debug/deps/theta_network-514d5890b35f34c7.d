@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_network-514d5890b35f34c7.d: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+/root/repo/target/debug/deps/libtheta_network-514d5890b35f34c7.rlib: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+/root/repo/target/debug/deps/libtheta_network-514d5890b35f34c7.rmeta: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+crates/network/src/lib.rs:
+crates/network/src/inmemory.rs:
+crates/network/src/tcp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theta_node-554942f68cdb0e41.d: crates/core/src/bin/theta_node.rs
+
+/root/repo/target/debug/deps/theta_node-554942f68cdb0e41: crates/core/src/bin/theta_node.rs
+
+crates/core/src/bin/theta_node.rs:

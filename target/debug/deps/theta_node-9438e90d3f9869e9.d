@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theta_node-9438e90d3f9869e9.d: crates/core/src/bin/theta_node.rs
+
+/root/repo/target/debug/deps/theta_node-9438e90d3f9869e9: crates/core/src/bin/theta_node.rs
+
+crates/core/src/bin/theta_node.rs:

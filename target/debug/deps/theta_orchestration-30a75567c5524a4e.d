@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_orchestration-30a75567c5524a4e.d: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/debug/deps/libtheta_orchestration-30a75567c5524a4e.rlib: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/debug/deps/libtheta_orchestration-30a75567c5524a4e.rmeta: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+crates/orchestration/src/lib.rs:
+crates/orchestration/src/cache.rs:
+crates/orchestration/src/manager.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/theta_orchestration-6755e0dbfecd1e6d.d: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/debug/deps/libtheta_orchestration-6755e0dbfecd1e6d.rlib: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/debug/deps/libtheta_orchestration-6755e0dbfecd1e6d.rmeta: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+crates/orchestration/src/lib.rs:
+crates/orchestration/src/manager.rs:

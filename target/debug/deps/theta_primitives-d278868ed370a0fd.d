@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/theta_primitives-d278868ed370a0fd.d: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+/root/repo/target/debug/deps/libtheta_primitives-d278868ed370a0fd.rlib: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+/root/repo/target/debug/deps/libtheta_primitives-d278868ed370a0fd.rmeta: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/aead.rs:
+crates/primitives/src/chacha20.rs:
+crates/primitives/src/kdf.rs:
+crates/primitives/src/poly1305.rs:
+crates/primitives/src/sha2.rs:

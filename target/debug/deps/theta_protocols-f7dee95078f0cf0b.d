@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_protocols-f7dee95078f0cf0b.d: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+/root/repo/target/debug/deps/libtheta_protocols-f7dee95078f0cf0b.rlib: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+/root/repo/target/debug/deps/libtheta_protocols-f7dee95078f0cf0b.rmeta: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/kg20_protocol.rs:
+crates/protocols/src/one_round.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/theta_schemes-dd9e28b085b02c17.d: crates/schemes/src/lib.rs crates/schemes/src/bls04.rs crates/schemes/src/bz03.rs crates/schemes/src/cks05.rs crates/schemes/src/common.rs crates/schemes/src/dkg.rs crates/schemes/src/dleq.rs crates/schemes/src/error.rs crates/schemes/src/hashing.rs crates/schemes/src/kg20.rs crates/schemes/src/registry.rs crates/schemes/src/sg02.rs crates/schemes/src/sh00.rs crates/schemes/src/wire.rs
+
+/root/repo/target/debug/deps/libtheta_schemes-dd9e28b085b02c17.rlib: crates/schemes/src/lib.rs crates/schemes/src/bls04.rs crates/schemes/src/bz03.rs crates/schemes/src/cks05.rs crates/schemes/src/common.rs crates/schemes/src/dkg.rs crates/schemes/src/dleq.rs crates/schemes/src/error.rs crates/schemes/src/hashing.rs crates/schemes/src/kg20.rs crates/schemes/src/registry.rs crates/schemes/src/sg02.rs crates/schemes/src/sh00.rs crates/schemes/src/wire.rs
+
+/root/repo/target/debug/deps/libtheta_schemes-dd9e28b085b02c17.rmeta: crates/schemes/src/lib.rs crates/schemes/src/bls04.rs crates/schemes/src/bz03.rs crates/schemes/src/cks05.rs crates/schemes/src/common.rs crates/schemes/src/dkg.rs crates/schemes/src/dleq.rs crates/schemes/src/error.rs crates/schemes/src/hashing.rs crates/schemes/src/kg20.rs crates/schemes/src/registry.rs crates/schemes/src/sg02.rs crates/schemes/src/sh00.rs crates/schemes/src/wire.rs
+
+crates/schemes/src/lib.rs:
+crates/schemes/src/bls04.rs:
+crates/schemes/src/bz03.rs:
+crates/schemes/src/cks05.rs:
+crates/schemes/src/common.rs:
+crates/schemes/src/dkg.rs:
+crates/schemes/src/dleq.rs:
+crates/schemes/src/error.rs:
+crates/schemes/src/hashing.rs:
+crates/schemes/src/kg20.rs:
+crates/schemes/src/registry.rs:
+crates/schemes/src/sg02.rs:
+crates/schemes/src/sh00.rs:
+crates/schemes/src/wire.rs:

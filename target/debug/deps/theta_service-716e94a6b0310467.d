@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_service-716e94a6b0310467.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libtheta_service-716e94a6b0310467.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libtheta_service-716e94a6b0310467.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/server.rs:

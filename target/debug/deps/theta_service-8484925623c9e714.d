@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theta_service-8484925623c9e714.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libtheta_service-8484925623c9e714.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libtheta_service-8484925623c9e714.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/theta_sim-77bdbe832fe7bd78.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+/root/repo/target/debug/deps/libtheta_sim-77bdbe832fe7bd78.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+/root/repo/target/debug/deps/libtheta_sim-77bdbe832fe7bd78.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/deployment.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/experiment.rs:

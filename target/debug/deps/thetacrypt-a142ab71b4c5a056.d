@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thetacrypt-a142ab71b4c5a056.d: src/lib.rs
+
+/root/repo/target/debug/deps/libthetacrypt-a142ab71b4c5a056.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libthetacrypt-a142ab71b4c5a056.rmeta: src/lib.rs
+
+src/lib.rs:

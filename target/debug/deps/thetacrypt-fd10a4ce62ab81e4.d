@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thetacrypt-fd10a4ce62ab81e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libthetacrypt-fd10a4ce62ab81e4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libthetacrypt-fd10a4ce62ab81e4.rmeta: src/lib.rs
+
+src/lib.rs:

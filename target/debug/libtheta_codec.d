@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtheta_codec.rlib: /root/repo/crates/codec/src/lib.rs /tmp/stubs/bytes/src/lib.rs

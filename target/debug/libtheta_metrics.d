@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtheta_metrics.rlib: /root/repo/crates/metrics/src/counters.rs /root/repo/crates/metrics/src/lib.rs

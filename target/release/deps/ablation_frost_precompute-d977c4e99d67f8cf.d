@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_frost_precompute-d977c4e99d67f8cf.d: crates/bench/src/bin/ablation_frost_precompute.rs
+
+/root/repo/target/release/deps/ablation_frost_precompute-d977c4e99d67f8cf: crates/bench/src/bin/ablation_frost_precompute.rs
+
+crates/bench/src/bin/ablation_frost_precompute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_frost_precompute-e73174de544e76a6.d: crates/bench/src/bin/ablation_frost_precompute.rs
+
+/root/repo/target/release/deps/ablation_frost_precompute-e73174de544e76a6: crates/bench/src/bin/ablation_frost_precompute.rs
+
+crates/bench/src/bin/ablation_frost_precompute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_verification-36b163171b88bec7.d: crates/bench/src/bin/ablation_verification.rs
+
+/root/repo/target/release/deps/ablation_verification-36b163171b88bec7: crates/bench/src/bin/ablation_verification.rs
+
+crates/bench/src/bin/ablation_verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_verification-6a8c553524860701.d: crates/bench/src/bin/ablation_verification.rs
+
+/root/repo/target/release/deps/ablation_verification-6a8c553524860701: crates/bench/src/bin/ablation_verification.rs
+
+crates/bench/src/bin/ablation_verification.rs:

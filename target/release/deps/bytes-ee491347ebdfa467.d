@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ee491347ebdfa467.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ee491347ebdfa467.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ee491347ebdfa467.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

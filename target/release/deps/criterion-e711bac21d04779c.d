@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e711bac21d04779c.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e711bac21d04779c.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e711bac21d04779c.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-29586ed5c2dff6c7.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-29586ed5c2dff6c7.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-29586ed5c2dff6c7.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_capacity-3867228fcd08eb27.d: crates/bench/src/bin/fig4_capacity.rs
+
+/root/repo/target/release/deps/fig4_capacity-3867228fcd08eb27: crates/bench/src/bin/fig4_capacity.rs
+
+crates/bench/src/bin/fig4_capacity.rs:

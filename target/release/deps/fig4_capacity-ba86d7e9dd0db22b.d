@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_capacity-ba86d7e9dd0db22b.d: crates/bench/src/bin/fig4_capacity.rs
+
+/root/repo/target/release/deps/fig4_capacity-ba86d7e9dd0db22b: crates/bench/src/bin/fig4_capacity.rs
+
+crates/bench/src/bin/fig4_capacity.rs:

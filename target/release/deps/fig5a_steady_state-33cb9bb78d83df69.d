@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a_steady_state-33cb9bb78d83df69.d: crates/bench/src/bin/fig5a_steady_state.rs
+
+/root/repo/target/release/deps/fig5a_steady_state-33cb9bb78d83df69: crates/bench/src/bin/fig5a_steady_state.rs
+
+crates/bench/src/bin/fig5a_steady_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a_steady_state-4fb47014f1ff12d6.d: crates/bench/src/bin/fig5a_steady_state.rs
+
+/root/repo/target/release/deps/fig5a_steady_state-4fb47014f1ff12d6: crates/bench/src/bin/fig5a_steady_state.rs
+
+crates/bench/src/bin/fig5a_steady_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b_payload-5debd7cc71baa5f8.d: crates/bench/src/bin/fig5b_payload.rs
+
+/root/repo/target/release/deps/fig5b_payload-5debd7cc71baa5f8: crates/bench/src/bin/fig5b_payload.rs
+
+crates/bench/src/bin/fig5b_payload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b_payload-fb10928511410fd7.d: crates/bench/src/bin/fig5b_payload.rs
+
+/root/repo/target/release/deps/fig5b_payload-fb10928511410fd7: crates/bench/src/bin/fig5b_payload.rs
+
+crates/bench/src/bin/fig5b_payload.rs:

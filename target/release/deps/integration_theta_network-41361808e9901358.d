@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_theta_network-41361808e9901358.d: tests/integration_theta_network.rs
+
+/root/repo/target/release/deps/integration_theta_network-41361808e9901358: tests/integration_theta_network.rs
+
+tests/integration_theta_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_theta_network-5064ad7d3fe86381.d: tests/integration_theta_network.rs
+
+/root/repo/target/release/deps/integration_theta_network-5064ad7d3fe86381: tests/integration_theta_network.rs
+
+tests/integration_theta_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/live_vs_sim-6346857438c3cea7.d: crates/bench/src/bin/live_vs_sim.rs
+
+/root/repo/target/release/deps/live_vs_sim-6346857438c3cea7: crates/bench/src/bin/live_vs_sim.rs
+
+crates/bench/src/bin/live_vs_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/live_vs_sim-88d80e7b265542d1.d: crates/bench/src/bin/live_vs_sim.rs
+
+/root/repo/target/release/deps/live_vs_sim-88d80e7b265542d1: crates/bench/src/bin/live_vs_sim.rs
+
+crates/bench/src/bin/live_vs_sim.rs:

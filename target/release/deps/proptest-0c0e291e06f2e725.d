@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0c0e291e06f2e725.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0c0e291e06f2e725.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0c0e291e06f2e725.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

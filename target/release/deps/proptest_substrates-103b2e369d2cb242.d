@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_substrates-103b2e369d2cb242.d: tests/proptest_substrates.rs
+
+/root/repo/target/release/deps/proptest_substrates-103b2e369d2cb242: tests/proptest_substrates.rs
+
+tests/proptest_substrates.rs:

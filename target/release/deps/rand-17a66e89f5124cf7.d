@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-17a66e89f5124cf7.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-17a66e89f5124cf7.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-17a66e89f5124cf7.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

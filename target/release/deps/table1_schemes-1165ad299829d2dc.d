@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_schemes-1165ad299829d2dc.d: crates/bench/src/bin/table1_schemes.rs
+
+/root/repo/target/release/deps/table1_schemes-1165ad299829d2dc: crates/bench/src/bin/table1_schemes.rs
+
+crates/bench/src/bin/table1_schemes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_schemes-524b8ec9772b1071.d: crates/bench/src/bin/table1_schemes.rs
+
+/root/repo/target/release/deps/table1_schemes-524b8ec9772b1071: crates/bench/src/bin/table1_schemes.rs
+
+crates/bench/src/bin/table1_schemes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_deployments-7a38911e5f06f4c6.d: crates/bench/src/bin/table2_deployments.rs
+
+/root/repo/target/release/deps/table2_deployments-7a38911e5f06f4c6: crates/bench/src/bin/table2_deployments.rs
+
+crates/bench/src/bin/table2_deployments.rs:

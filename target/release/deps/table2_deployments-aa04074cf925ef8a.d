@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_deployments-aa04074cf925ef8a.d: crates/bench/src/bin/table2_deployments.rs
+
+/root/repo/target/release/deps/table2_deployments-aa04074cf925ef8a: crates/bench/src/bin/table2_deployments.rs
+
+crates/bench/src/bin/table2_deployments.rs:

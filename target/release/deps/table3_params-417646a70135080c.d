@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_params-417646a70135080c.d: crates/bench/src/bin/table3_params.rs
+
+/root/repo/target/release/deps/table3_params-417646a70135080c: crates/bench/src/bin/table3_params.rs
+
+crates/bench/src/bin/table3_params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_params-d4e723f8426bd119.d: crates/bench/src/bin/table3_params.rs
+
+/root/repo/target/release/deps/table3_params-d4e723f8426bd119: crates/bench/src/bin/table3_params.rs
+
+crates/bench/src/bin/table3_params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_summary-cfd434ad414262c4.d: crates/bench/src/bin/table4_summary.rs
+
+/root/repo/target/release/deps/table4_summary-cfd434ad414262c4: crates/bench/src/bin/table4_summary.rs
+
+crates/bench/src/bin/table4_summary.rs:

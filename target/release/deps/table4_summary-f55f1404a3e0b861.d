@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_summary-f55f1404a3e0b861.d: crates/bench/src/bin/table4_summary.rs
+
+/root/repo/target/release/deps/table4_summary-f55f1404a3e0b861: crates/bench/src/bin/table4_summary.rs
+
+crates/bench/src/bin/table4_summary.rs:

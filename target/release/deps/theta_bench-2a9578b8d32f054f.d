@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_bench-2a9578b8d32f054f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/theta_bench-2a9578b8d32f054f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_bench-d2a53bf8d8a50bf0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtheta_bench-d2a53bf8d8a50bf0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtheta_bench-d2a53bf8d8a50bf0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

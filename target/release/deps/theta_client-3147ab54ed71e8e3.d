@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_client-3147ab54ed71e8e3.d: crates/core/src/bin/theta_client.rs
+
+/root/repo/target/release/deps/theta_client-3147ab54ed71e8e3: crates/core/src/bin/theta_client.rs
+
+crates/core/src/bin/theta_client.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_client-689da8529da919be.d: crates/core/src/bin/theta_client.rs
+
+/root/repo/target/release/deps/theta_client-689da8529da919be: crates/core/src/bin/theta_client.rs
+
+crates/core/src/bin/theta_client.rs:

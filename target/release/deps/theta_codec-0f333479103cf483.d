@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_codec-0f333479103cf483.d: crates/codec/src/lib.rs
+
+/root/repo/target/release/deps/libtheta_codec-0f333479103cf483.rlib: crates/codec/src/lib.rs
+
+/root/repo/target/release/deps/libtheta_codec-0f333479103cf483.rmeta: crates/codec/src/lib.rs
+
+crates/codec/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_codec-bd18a216d7f24675.d: crates/codec/src/lib.rs
+
+/root/repo/target/release/deps/theta_codec-bd18a216d7f24675: crates/codec/src/lib.rs
+
+crates/codec/src/lib.rs:

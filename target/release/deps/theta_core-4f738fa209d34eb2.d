@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/theta_core-4f738fa209d34eb2.d: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/release/deps/libtheta_core-4f738fa209d34eb2.rlib: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/release/deps/libtheta_core-4f738fa209d34eb2.rmeta: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/keyfile.rs:

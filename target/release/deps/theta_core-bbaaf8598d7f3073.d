@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/theta_core-bbaaf8598d7f3073.d: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/release/deps/theta_core-bbaaf8598d7f3073: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/keyfile.rs:

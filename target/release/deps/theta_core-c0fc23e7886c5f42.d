@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/theta_core-c0fc23e7886c5f42.d: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/release/deps/theta_core-c0fc23e7886c5f42: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/keyfile.rs:

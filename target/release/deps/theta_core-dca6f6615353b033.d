@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/theta_core-dca6f6615353b033.d: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/release/deps/libtheta_core-dca6f6615353b033.rlib: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+/root/repo/target/release/deps/libtheta_core-dca6f6615353b033.rmeta: crates/core/src/lib.rs crates/core/src/keyfile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/keyfile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_keygen-5ca90b118839fd62.d: crates/core/src/bin/theta_keygen.rs
+
+/root/repo/target/release/deps/theta_keygen-5ca90b118839fd62: crates/core/src/bin/theta_keygen.rs
+
+crates/core/src/bin/theta_keygen.rs:

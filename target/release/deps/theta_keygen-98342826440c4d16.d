@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_keygen-98342826440c4d16.d: crates/core/src/bin/theta_keygen.rs
+
+/root/repo/target/release/deps/theta_keygen-98342826440c4d16: crates/core/src/bin/theta_keygen.rs
+
+crates/core/src/bin/theta_keygen.rs:

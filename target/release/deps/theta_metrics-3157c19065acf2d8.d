@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/theta_metrics-3157c19065acf2d8.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+/root/repo/target/release/deps/theta_metrics-3157c19065acf2d8: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:

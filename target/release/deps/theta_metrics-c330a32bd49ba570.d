@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/theta_metrics-c330a32bd49ba570.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+/root/repo/target/release/deps/libtheta_metrics-c330a32bd49ba570.rlib: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+/root/repo/target/release/deps/libtheta_metrics-c330a32bd49ba570.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:

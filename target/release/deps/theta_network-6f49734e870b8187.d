@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_network-6f49734e870b8187.d: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+/root/repo/target/release/deps/theta_network-6f49734e870b8187: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+crates/network/src/lib.rs:
+crates/network/src/inmemory.rs:
+crates/network/src/tcp.rs:

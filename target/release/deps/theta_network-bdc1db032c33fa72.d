@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_network-bdc1db032c33fa72.d: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+/root/repo/target/release/deps/libtheta_network-bdc1db032c33fa72.rlib: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+/root/repo/target/release/deps/libtheta_network-bdc1db032c33fa72.rmeta: crates/network/src/lib.rs crates/network/src/inmemory.rs crates/network/src/tcp.rs
+
+crates/network/src/lib.rs:
+crates/network/src/inmemory.rs:
+crates/network/src/tcp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_node-531807d13fe71a14.d: crates/core/src/bin/theta_node.rs
+
+/root/repo/target/release/deps/theta_node-531807d13fe71a14: crates/core/src/bin/theta_node.rs
+
+crates/core/src/bin/theta_node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theta_node-a9d3f28e94544965.d: crates/core/src/bin/theta_node.rs
+
+/root/repo/target/release/deps/theta_node-a9d3f28e94544965: crates/core/src/bin/theta_node.rs
+
+crates/core/src/bin/theta_node.rs:

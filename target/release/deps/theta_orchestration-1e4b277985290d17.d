@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/theta_orchestration-1e4b277985290d17.d: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/release/deps/libtheta_orchestration-1e4b277985290d17.rlib: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/release/deps/libtheta_orchestration-1e4b277985290d17.rmeta: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+crates/orchestration/src/lib.rs:
+crates/orchestration/src/manager.rs:

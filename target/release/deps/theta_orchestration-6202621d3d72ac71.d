@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_orchestration-6202621d3d72ac71.d: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/release/deps/theta_orchestration-6202621d3d72ac71: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+crates/orchestration/src/lib.rs:
+crates/orchestration/src/cache.rs:
+crates/orchestration/src/manager.rs:

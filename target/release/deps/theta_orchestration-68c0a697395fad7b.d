@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_orchestration-68c0a697395fad7b.d: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/release/deps/libtheta_orchestration-68c0a697395fad7b.rlib: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/release/deps/libtheta_orchestration-68c0a697395fad7b.rmeta: crates/orchestration/src/lib.rs crates/orchestration/src/cache.rs crates/orchestration/src/manager.rs
+
+crates/orchestration/src/lib.rs:
+crates/orchestration/src/cache.rs:
+crates/orchestration/src/manager.rs:

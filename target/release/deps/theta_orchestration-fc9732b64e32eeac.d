@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/theta_orchestration-fc9732b64e32eeac.d: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+/root/repo/target/release/deps/theta_orchestration-fc9732b64e32eeac: crates/orchestration/src/lib.rs crates/orchestration/src/manager.rs
+
+crates/orchestration/src/lib.rs:
+crates/orchestration/src/manager.rs:

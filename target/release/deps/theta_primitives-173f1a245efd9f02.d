@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/theta_primitives-173f1a245efd9f02.d: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+/root/repo/target/release/deps/libtheta_primitives-173f1a245efd9f02.rlib: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+/root/repo/target/release/deps/libtheta_primitives-173f1a245efd9f02.rmeta: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/aead.rs:
+crates/primitives/src/chacha20.rs:
+crates/primitives/src/kdf.rs:
+crates/primitives/src/poly1305.rs:
+crates/primitives/src/sha2.rs:

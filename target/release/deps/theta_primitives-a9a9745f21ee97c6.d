@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/theta_primitives-a9a9745f21ee97c6.d: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+/root/repo/target/release/deps/theta_primitives-a9a9745f21ee97c6: crates/primitives/src/lib.rs crates/primitives/src/aead.rs crates/primitives/src/chacha20.rs crates/primitives/src/kdf.rs crates/primitives/src/poly1305.rs crates/primitives/src/sha2.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/aead.rs:
+crates/primitives/src/chacha20.rs:
+crates/primitives/src/kdf.rs:
+crates/primitives/src/poly1305.rs:
+crates/primitives/src/sha2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_protocols-9307e7cc76d5a294.d: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+/root/repo/target/release/deps/theta_protocols-9307e7cc76d5a294: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/kg20_protocol.rs:
+crates/protocols/src/one_round.rs:

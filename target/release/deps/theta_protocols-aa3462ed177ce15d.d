@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_protocols-aa3462ed177ce15d.d: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+/root/repo/target/release/deps/libtheta_protocols-aa3462ed177ce15d.rlib: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+/root/repo/target/release/deps/libtheta_protocols-aa3462ed177ce15d.rmeta: crates/protocols/src/lib.rs crates/protocols/src/kg20_protocol.rs crates/protocols/src/one_round.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/kg20_protocol.rs:
+crates/protocols/src/one_round.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_service-2cab5d0cd0adbd06.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libtheta_service-2cab5d0cd0adbd06.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libtheta_service-2cab5d0cd0adbd06.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/server.rs:

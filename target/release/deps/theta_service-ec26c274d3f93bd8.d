@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_service-ec26c274d3f93bd8.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/theta_service-ec26c274d3f93bd8: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/server.rs:

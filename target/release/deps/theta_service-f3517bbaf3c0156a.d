@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_service-f3517bbaf3c0156a.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libtheta_service-f3517bbaf3c0156a.rlib: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libtheta_service-f3517bbaf3c0156a.rmeta: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/server.rs:

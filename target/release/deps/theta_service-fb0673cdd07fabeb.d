@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/theta_service-fb0673cdd07fabeb.d: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/theta_service-fb0673cdd07fabeb: crates/service/src/lib.rs crates/service/src/client.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/client.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theta_sim-38a0bbff03a87034.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+/root/repo/target/release/deps/theta_sim-38a0bbff03a87034: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/deployment.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/experiment.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/theta_sim-b8dc4d0e2c2f7bfe.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+/root/repo/target/release/deps/libtheta_sim-b8dc4d0e2c2f7bfe.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+/root/repo/target/release/deps/libtheta_sim-b8dc4d0e2c2f7bfe.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/deployment.rs crates/sim/src/engine.rs crates/sim/src/experiment.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/deployment.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/experiment.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/thetacrypt-96d177d2cb2a3aeb.d: src/lib.rs
+
+/root/repo/target/release/deps/libthetacrypt-96d177d2cb2a3aeb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libthetacrypt-96d177d2cb2a3aeb.rmeta: src/lib.rs
+
+src/lib.rs:

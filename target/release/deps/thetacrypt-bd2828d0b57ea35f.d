@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/thetacrypt-bd2828d0b57ea35f.d: src/lib.rs
+
+/root/repo/target/release/deps/libthetacrypt-bd2828d0b57ea35f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libthetacrypt-bd2828d0b57ea35f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thetacrypt-e7f074ba211af597.d: src/lib.rs
+
+/root/repo/target/release/deps/thetacrypt-e7f074ba211af597: src/lib.rs
+
+src/lib.rs:

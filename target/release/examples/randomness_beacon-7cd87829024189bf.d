@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/randomness_beacon-7cd87829024189bf.d: examples/randomness_beacon.rs
+
+/root/repo/target/release/examples/randomness_beacon-7cd87829024189bf: examples/randomness_beacon.rs
+
+examples/randomness_beacon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threshold_wallet-378e78d45e858aca.d: examples/threshold_wallet.rs
+
+/root/repo/target/release/examples/threshold_wallet-378e78d45e858aca: examples/threshold_wallet.rs
+
+examples/threshold_wallet.rs:
