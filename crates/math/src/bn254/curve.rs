@@ -154,11 +154,6 @@ macro_rules! define_weierstrass_group {
                 self.mul_biguint(scalar.to_biguint())
             }
 
-            /// `scalar · G` for the fixed generator.
-            pub fn mul_generator(scalar: &super::fr::Fr) -> $name {
-                Self::generator().mul(scalar)
-            }
-
             /// True when `r · self` is the identity (prime-subgroup test).
             pub fn is_torsion_free(&self) -> bool {
                 self.mul_biguint(super::fr::Fr::modulus()).is_identity()

@@ -15,6 +15,13 @@ define_weierstrass_group!(
 );
 
 impl G1 {
+    /// `scalar · G` for the fixed generator, via the process-wide
+    /// fixed-base table (additions only — no doublings, no per-call
+    /// table build).
+    pub fn mul_generator(scalar: &super::fr::Fr) -> G1 {
+        crate::precomp::bn254_g1_table().mul(scalar.to_biguint())
+    }
+
     /// Lifts an x-coordinate to a curve point, picking the root whose
     /// parity matches `y_odd`. Returns `None` when `x³ + 3` is a
     /// non-residue. This is the primitive behind try-and-increment

@@ -50,6 +50,13 @@ define_weierstrass_group!(
 );
 
 impl G2 {
+    /// `scalar · G` for the fixed generator, via the process-wide
+    /// fixed-base table (additions only — no doublings, no per-call
+    /// table build).
+    pub fn mul_generator(scalar: &super::fr::Fr) -> G2 {
+        crate::precomp::bn254_g2_table().mul(scalar.to_biguint())
+    }
+
     /// The untwist-Frobenius-twist endomorphism ψ used by the optimal ate
     /// pairing: `ψ(x, y) = (x̄·ξ^((p−1)/3), ȳ·ξ^((p−1)/2))`.
     pub fn frobenius(&self) -> G2 {

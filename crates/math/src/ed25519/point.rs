@@ -162,9 +162,11 @@ impl Point {
         acc
     }
 
-    /// `scalar · B` for the standard base point.
+    /// `scalar · B` for the standard base point, via the process-wide
+    /// fixed-base table (additions only — no doublings, no per-call
+    /// table build).
     pub fn mul_base(scalar: &Scalar) -> Point {
-        Point::base().mul(scalar)
+        crate::precomp::ed25519_base_table().mul(scalar.to_biguint())
     }
 
     /// Multiplies by the cofactor 8 (clears any small-order component).

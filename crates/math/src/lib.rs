@@ -30,6 +30,8 @@ mod bigint;
 mod crt;
 mod biguint;
 mod mont;
+pub mod msm;
+pub mod precomp;
 pub mod prime;
 
 pub mod bn254;
@@ -38,5 +40,7 @@ pub mod ed25519;
 pub use bigint::{ext_gcd, mod_inverse, BigInt, Sign};
 pub use crt::{crt_combine, rsa_crt_pow};
 pub use biguint::BigUint;
-pub use mont::Montgomery;
+pub use mont::{MontTable, Montgomery};
+pub use msm::{msm, CurveGroup};
+pub use precomp::PrecomputedBase;
 pub use prime::{generate_prime, generate_safe_prime, is_probable_prime};

@@ -4,6 +4,40 @@
 //! verification), prime testing, and the dynamically-sized scalar fields.
 
 use crate::BigUint;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch table reused by every [`Montgomery::pow`] call on this
+    /// thread, so the hot exponentiation path does not allocate a fresh
+    /// window-table `Vec` per call.
+    static POW_SCRATCH: RefCell<Vec<BigUint>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A fixed-base exponentiation table for one [`Montgomery`] context.
+///
+/// `windows[w][j]` holds `base^(j·16ʷ)` in Montgomery form, so
+/// [`Montgomery::pow_precomputed`] needs only ~`bits/4` multiplications
+/// and **zero squarings** per exponentiation. Build it once per
+/// long-lived base (RSA verification bases, group elements of a key).
+#[derive(Clone, Debug)]
+pub struct MontTable {
+    /// Plain (non-Montgomery) base, for the oversized-exponent fallback.
+    base: BigUint,
+    /// `windows[w][j] = base^(j·16ʷ)·R mod n`, `j ∈ 1..16`.
+    windows: Vec<[BigUint; 15]>,
+}
+
+impl MontTable {
+    /// Number of exponent bits the table covers.
+    pub fn max_bits(&self) -> usize {
+        self.windows.len() * 4
+    }
+
+    /// The plain-form base this table was built for.
+    pub fn base(&self) -> &BigUint {
+        &self.base
+    }
+}
 
 /// A reusable Montgomery context for a fixed odd modulus.
 ///
@@ -62,6 +96,11 @@ impl Montgomery {
         &self.modulus
     }
 
+    /// The Montgomery form of 1 (`R mod n`).
+    pub fn one_mont(&self) -> &BigUint {
+        &self.r1
+    }
+
     /// Montgomery reduction of a double-width value: returns `t·R^{-1} mod n`.
     fn redc(&self, t: &BigUint) -> BigUint {
         let n = self.limbs;
@@ -116,48 +155,171 @@ impl Montgomery {
 
     /// Computes `base^exp mod n` with plain (non-Montgomery) inputs/outputs.
     ///
-    /// Uses a fixed 4-bit window.
+    /// Uses a 4-bit sliding window over the eight *odd* powers
+    /// `base¹, base³, …, base¹⁵`, which halves the table size of the
+    /// old fixed-window code, and keeps the table in a thread-local
+    /// scratch `Vec` so no per-call heap allocation is made for it.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one().rem(&self.modulus);
         }
         let base_m = self.to_mont(base);
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(self.r1.clone());
-        for i in 1..16 {
-            table.push(self.mul(&table[i - 1], &base_m));
-        }
-        let bits = exp.bits();
-        let mut acc = self.r1.clone();
-        let mut started = false;
-        let mut i = bits;
-        while i > 0 {
-            let take = if i % 4 == 0 { 4 } else { i % 4 };
-            let mut window = 0usize;
-            for _ in 0..take {
-                i -= 1;
-                window = (window << 1) | exp.bit(i) as usize;
+        POW_SCRATCH.with(|scratch| {
+            let mut table = scratch.borrow_mut();
+            table.clear();
+            let b2 = self.square(&base_m);
+            table.push(base_m);
+            for i in 1..8 {
+                let next = self.mul(&table[i - 1], &b2);
+                table.push(next);
             }
-            if started {
-                for _ in 0..take {
-                    acc = self.square(&acc);
+            let acc = self.pow_windows(&table, exp);
+            self.from_mont(&acc)
+        })
+    }
+
+    /// Sliding-window core over a table of odd powers in Montgomery
+    /// form (`table[k] = base^(2k+1)·R`). Returns the Montgomery-form
+    /// result; `exp` must be nonzero.
+    fn pow_windows(&self, table: &[BigUint], exp: &BigUint) -> BigUint {
+        let mut acc: Option<BigUint> = None;
+        let mut i = exp.bits() as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                if let Some(a) = acc.as_mut() {
+                    *a = self.square(a);
+                }
+                i -= 1;
+                continue;
+            }
+            // Longest window of ≤ 4 bits ending in a set bit.
+            let mut j = (i - 3).max(0);
+            while !exp.bit(j as usize) {
+                j += 1;
+            }
+            let width = (i - j + 1) as usize;
+            let mut val = 0usize;
+            for k in (j..=i).rev() {
+                val = (val << 1) | exp.bit(k as usize) as usize;
+            }
+            match acc.as_mut() {
+                Some(a) => {
+                    for _ in 0..width {
+                        *a = self.square(a);
+                    }
+                    *a = self.mul(a, &table[val >> 1]);
+                }
+                None => acc = Some(table[val >> 1].clone()),
+            }
+            i = j - 1;
+        }
+        acc.expect("nonzero exponent produced no windows")
+    }
+
+    /// Builds a fixed-base table covering exponents up to `max_bits`
+    /// bits, for use with [`Montgomery::pow_precomputed`].
+    pub fn precompute_base(&self, base: &BigUint, max_bits: usize) -> MontTable {
+        let base_m = self.to_mont(base);
+        let nwin = (max_bits + 3) / 4;
+        let mut windows = Vec::with_capacity(nwin);
+        let mut cur = base_m; // base^(16ʷ) in Montgomery form
+        for _ in 0..nwin {
+            let mut row: Vec<BigUint> = Vec::with_capacity(15);
+            row.push(cur.clone());
+            for j in 1..15 {
+                let next = self.mul(&row[j - 1], &cur);
+                row.push(next);
+            }
+            // base^(16^{w+1}) = (base^(8·16ʷ))², and row[7] = base^(8·16ʷ).
+            cur = self.square(&row[7]);
+            let row: [BigUint; 15] = row.try_into().expect("15 entries");
+            windows.push(row);
+        }
+        MontTable { base: base.clone(), windows }
+    }
+
+    /// `base^exp mod n` using a [`MontTable`]: one table lookup and
+    /// multiplication per nonzero exponent nibble, no squarings.
+    ///
+    /// Exponents wider than the table fall back to [`Montgomery::pow`].
+    pub fn pow_precomputed(&self, table: &MontTable, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        if exp.bits() > table.max_bits() {
+            return self.pow(&table.base, exp);
+        }
+        let mut acc: Option<BigUint> = None;
+        for (w, row) in table.windows.iter().enumerate() {
+            let base_bit = w * 4;
+            let nibble = exp.bit(base_bit) as usize
+                | (exp.bit(base_bit + 1) as usize) << 1
+                | (exp.bit(base_bit + 2) as usize) << 2
+                | (exp.bit(base_bit + 3) as usize) << 3;
+            if nibble != 0 {
+                acc = Some(match acc {
+                    Some(a) => self.mul(&a, &row[nibble - 1]),
+                    None => row[nibble - 1].clone(),
+                });
+            }
+        }
+        self.from_mont(&acc.expect("nonzero exponent"))
+    }
+
+    /// Computes `Π basesᵢ^expsᵢ mod n` (plain inputs/outputs) with
+    /// Straus interleaving: the squaring chain is shared across all
+    /// bases, so k-term products cost one exponentiation's squarings
+    /// plus one multiplication per nonzero nibble.
+    pub fn multi_exp(&self, bases: &[BigUint], exps: &[&BigUint]) -> BigUint {
+        assert_eq!(
+            bases.len(),
+            exps.len(),
+            "multi_exp: bases/exps length mismatch"
+        );
+        let max_bits = exps.iter().map(|e| e.bits()).max().unwrap_or(0);
+        if max_bits == 0 {
+            return BigUint::one().rem(&self.modulus);
+        }
+        // tables[i][j] = basesᵢ^(j+1) in Montgomery form.
+        let tables: Vec<Vec<BigUint>> = bases
+            .iter()
+            .map(|b| {
+                let bm = self.to_mont(b);
+                let mut t = Vec::with_capacity(15);
+                t.push(bm.clone());
+                for j in 1..15 {
+                    let next = self.mul(&t[j - 1], &bm);
+                    t.push(next);
+                }
+                t
+            })
+            .collect();
+        let windows = (max_bits + 3) / 4;
+        let mut acc: Option<BigUint> = None;
+        for w in (0..windows).rev() {
+            if let Some(a) = acc.as_mut() {
+                for _ in 0..4 {
+                    *a = self.square(a);
                 }
             }
-            if window != 0 {
-                acc = self.mul(&acc, &table[window]);
-                started = true;
-            } else if started {
-                // acc already squared; nothing to multiply.
-            } else {
-                // Leading zero window: still nothing accumulated.
+            for (i, e) in exps.iter().enumerate() {
+                let base_bit = w * 4;
+                let nibble = e.bit(base_bit) as usize
+                    | (e.bit(base_bit + 1) as usize) << 1
+                    | (e.bit(base_bit + 2) as usize) << 2
+                    | (e.bit(base_bit + 3) as usize) << 3;
+                if nibble != 0 {
+                    acc = Some(match acc {
+                        Some(a) => self.mul(&a, &tables[i][nibble - 1]),
+                        None => tables[i][nibble - 1].clone(),
+                    });
+                }
             }
         }
-        if !started {
-            // exp consisted solely of zero bits, impossible since exp != 0.
-            unreachable!("nonzero exponent produced no windows");
+        match acc {
+            Some(a) => self.from_mont(&a),
+            None => BigUint::one().rem(&self.modulus),
         }
-        self.from_mont(&acc)
     }
 }
 
@@ -249,5 +411,69 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn even_modulus_panics() {
         let _ = Montgomery::new(BigUint::from_u64(100));
+    }
+
+    #[test]
+    fn precomputed_pow_matches_pow() {
+        let mut r = rng();
+        let m = {
+            let mut v = BigUint::random_bits(&mut r, 512);
+            if v.is_even() {
+                v = &v + &BigUint::one();
+            }
+            v
+        };
+        let ctx = Montgomery::new(m.clone());
+        let base = BigUint::random_below(&mut r, &m);
+        let table = ctx.precompute_base(&base, 512);
+        for bits in [0usize, 1, 17, 200, 512] {
+            let exp = if bits == 0 {
+                BigUint::zero()
+            } else {
+                BigUint::random_bits(&mut r, bits)
+            };
+            assert_eq!(
+                ctx.pow_precomputed(&table, &exp),
+                ctx.pow(&base, &exp),
+                "bits={bits}"
+            );
+        }
+        // Oversized exponent falls back to the generic path.
+        let wide = BigUint::random_bits(&mut r, 600);
+        assert_eq!(ctx.pow_precomputed(&table, &wide), ctx.pow(&base, &wide));
+    }
+
+    #[test]
+    fn multi_exp_matches_product_of_pows() {
+        let mut r = rng();
+        let m = {
+            let mut v = BigUint::random_bits(&mut r, 256);
+            if v.is_even() {
+                v = &v + &BigUint::one();
+            }
+            v
+        };
+        let ctx = Montgomery::new(m.clone());
+        for k in [0usize, 1, 3, 6] {
+            let bases: Vec<BigUint> =
+                (0..k).map(|_| BigUint::random_below(&mut r, &m)).collect();
+            let exps_owned: Vec<BigUint> =
+                (0..k).map(|_| BigUint::random_bits(&mut r, 256)).collect();
+            let exps: Vec<&BigUint> = exps_owned.iter().collect();
+            let mut expect = BigUint::one().rem(&m);
+            for (b, e) in bases.iter().zip(exps_owned.iter()) {
+                expect = (&expect * &ctx.pow(b, e)).rem(&m);
+            }
+            assert_eq!(ctx.multi_exp(&bases, &exps), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn multi_exp_zero_exponents() {
+        let ctx = Montgomery::new(BigUint::from_u64(97));
+        let bases = vec![BigUint::from_u64(5), BigUint::from_u64(7)];
+        let zero = BigUint::zero();
+        let exps = vec![&zero, &zero];
+        assert!(ctx.multi_exp(&bases, &exps).is_one());
     }
 }

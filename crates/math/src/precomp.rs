@@ -1,0 +1,146 @@
+//! Fixed-base scalar-multiplication tables.
+//!
+//! For a base point known ahead of time — the Ed25519 basepoint, the
+//! BN254 G1/G2 generators, per-key RSA verification bases — a one-time
+//! table `windows[w][j] = j · 16ʷ · B` turns every later multiplication
+//! into ~`bits/4` pure additions with **no doublings at all**, roughly
+//! 4–5× cheaper than the generic double-and-add ladder (which also
+//! rebuilds its 15-entry table per call).
+//!
+//! The three process-wide generator tables are built lazily behind
+//! `OnceLock`s, so keygen, share creation and DLEQ proving all share
+//! one table per group.
+
+use crate::msm::{mul_point, CurveGroup};
+use crate::BigUint;
+use std::sync::OnceLock;
+
+/// A comb/window table for one fixed base point.
+pub struct PrecomputedBase<G> {
+    /// `windows[w][j] = j · 16ʷ · base`, `j ∈ 0..16`.
+    windows: Vec<[G; 16]>,
+}
+
+impl<G: CurveGroup> PrecomputedBase<G> {
+    /// Builds the table covering scalars up to `max_bits` bits.
+    pub fn new(base: &G, max_bits: usize) -> Self {
+        let nwin = (max_bits + 3) / 4;
+        let mut windows = Vec::with_capacity(nwin);
+        let mut cur = *base; // 16ʷ · base for the current window
+        for _ in 0..nwin {
+            let mut row = [G::identity(); 16];
+            for j in 1..16 {
+                row[j] = row[j - 1].add(&cur);
+            }
+            // 16^{w+1}·B = 2 · (8·16ʷ·B), already sitting in row[8].
+            cur = row[8].double();
+            windows.push(row);
+        }
+        PrecomputedBase { windows }
+    }
+
+    /// The base point the table was built for.
+    pub fn base(&self) -> G {
+        self.windows[0][1]
+    }
+
+    /// Number of scalar bits the table covers.
+    pub fn max_bits(&self) -> usize {
+        self.windows.len() * 4
+    }
+
+    /// `scalar · base` using only table lookups and additions.
+    ///
+    /// Scalars wider than the table fall back to the generic ladder.
+    pub fn mul(&self, scalar: &BigUint) -> G {
+        if scalar.bits() > self.max_bits() {
+            return mul_point(&self.base(), scalar);
+        }
+        let mut acc = G::identity();
+        for (w, row) in self.windows.iter().enumerate() {
+            let base_bit = w * 4;
+            let nibble = scalar.bit(base_bit) as usize
+                | (scalar.bit(base_bit + 1) as usize) << 1
+                | (scalar.bit(base_bit + 2) as usize) << 2
+                | (scalar.bit(base_bit + 3) as usize) << 3;
+            if nibble != 0 {
+                acc = acc.add(&row[nibble]);
+            }
+        }
+        acc
+    }
+}
+
+/// Process-wide table for the Ed25519 basepoint `B`.
+pub fn ed25519_base_table() -> &'static PrecomputedBase<crate::ed25519::Point> {
+    static T: OnceLock<PrecomputedBase<crate::ed25519::Point>> = OnceLock::new();
+    T.get_or_init(|| PrecomputedBase::new(&crate::ed25519::Point::base(), 256))
+}
+
+/// Process-wide table for the BN254 G1 generator.
+pub fn bn254_g1_table() -> &'static PrecomputedBase<crate::bn254::G1> {
+    static T: OnceLock<PrecomputedBase<crate::bn254::G1>> = OnceLock::new();
+    T.get_or_init(|| PrecomputedBase::new(&crate::bn254::G1::generator(), 256))
+}
+
+/// Process-wide table for the BN254 G2 generator.
+pub fn bn254_g2_table() -> &'static PrecomputedBase<crate::bn254::G2> {
+    static T: OnceLock<PrecomputedBase<crate::bn254::G2>> = OnceLock::new();
+    T.get_or_init(|| PrecomputedBase::new(&crate::bn254::G2::generator(), 256))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::{Fr, G1, G2};
+    use crate::ed25519::{Point, Scalar};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xf1c5)
+    }
+
+    #[test]
+    fn table_matches_ladder_ed25519() {
+        let mut r = rng();
+        let table = ed25519_base_table();
+        for _ in 0..10 {
+            let s = Scalar::random(&mut r);
+            assert_eq!(table.mul(s.to_biguint()), Point::base().mul_biguint(s.to_biguint()));
+        }
+        assert!(table.mul(&BigUint::zero()).is_identity());
+        assert_eq!(table.mul(&BigUint::one()), Point::base());
+    }
+
+    #[test]
+    fn table_matches_ladder_g1_g2() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let s = Fr::random(&mut r);
+            assert_eq!(
+                bn254_g1_table().mul(s.to_biguint()),
+                G1::generator().mul_biguint(s.to_biguint())
+            );
+            assert_eq!(
+                bn254_g2_table().mul(s.to_biguint()),
+                G2::generator().mul_biguint(s.to_biguint())
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_scalar_falls_back() {
+        let table = PrecomputedBase::new(&Point::base(), 64);
+        let wide = (BigUint::one() << 100) + BigUint::from_u64(7);
+        assert_eq!(table.mul(&wide), Point::base().mul_biguint(&wide));
+    }
+
+    #[test]
+    fn small_table_exact_boundary() {
+        let table = PrecomputedBase::new(&Point::base(), 8);
+        for k in [0u64, 1, 15, 16, 200, 255] {
+            let s = BigUint::from_u64(k);
+            assert_eq!(table.mul(&s), Point::base().mul_biguint(&s), "k={k}");
+        }
+    }
+}

@@ -41,6 +41,11 @@ pub struct NodeConfig {
     pub instance_timeout: Duration,
     /// Use the KG20 precomputed-nonce stock when available.
     pub use_precomputed_nonces: bool,
+    /// Defer share verification until a quorum arrives and verify the
+    /// whole pending set with one batched check (MSM / pairing-product);
+    /// invalid shares are pruned and the instance keeps waiting. Eager
+    /// per-share verification is used when false.
+    pub lazy_batch_verification: bool,
     /// RNG seed (`None` = entropy from the OS).
     pub rng_seed: Option<u64>,
     /// Finished results kept for duplicate submissions, at most this many.
@@ -58,6 +63,7 @@ impl Default for NodeConfig {
         NodeConfig {
             instance_timeout: Duration::from_secs(30),
             use_precomputed_nonces: true,
+            lazy_batch_verification: true,
             rng_seed: None,
             result_cache_capacity: 4096,
             result_cache_ttl: Duration::from_secs(300),
@@ -314,32 +320,45 @@ impl InstanceManager {
         request: &Request,
     ) -> Result<Box<dyn ThresholdRoundProtocol>, SchemeError> {
         let malformed = |e: theta_codec::CodecError| SchemeError::Malformed(e.to_string());
+        // Lazy batch verification folds all pending share checks at
+        // quorum into one MSM / pairing-product equation.
+        fn one_round<S: theta_protocols::one_round::OneRoundScheme + 'static>(
+            lazy: bool,
+            scheme: S,
+        ) -> Box<OneRoundProtocol<S>> {
+            Box::new(if lazy {
+                OneRoundProtocol::new_lazy(scheme)
+            } else {
+                OneRoundProtocol::new(scheme)
+            })
+        }
+        let lazy = self.config.lazy_batch_verification;
         match request {
             Request::Sg02Decrypt(bytes) => {
                 let key = self.keys.sg02.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no sg02 key provisioned".into())
                 })?;
                 let ct = theta_schemes::sg02::Ciphertext::decoded(bytes).map_err(malformed)?;
-                Ok(Box::new(OneRoundProtocol::new(Sg02Decrypt::new(key, ct))))
+                Ok(one_round(lazy, Sg02Decrypt::new(key, ct)))
             }
             Request::Bz03Decrypt(bytes) => {
                 let key = self.keys.bz03.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no bz03 key provisioned".into())
                 })?;
                 let ct = theta_schemes::bz03::Ciphertext::decoded(bytes).map_err(malformed)?;
-                Ok(Box::new(OneRoundProtocol::new(Bz03Decrypt::new(key, ct))))
+                Ok(one_round(lazy, Bz03Decrypt::new(key, ct)))
             }
             Request::Sh00Sign(message) => {
                 let key = self.keys.sh00.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no sh00 key provisioned".into())
                 })?;
-                Ok(Box::new(OneRoundProtocol::new(Sh00Sign::new(key, message.clone()))))
+                Ok(one_round(lazy, Sh00Sign::new(key, message.clone())))
             }
             Request::Bls04Sign(message) => {
                 let key = self.keys.bls04.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no bls04 key provisioned".into())
                 })?;
-                Ok(Box::new(OneRoundProtocol::new(Bls04Sign::new(key, message.clone()))))
+                Ok(one_round(lazy, Bls04Sign::new(key, message.clone())))
             }
             Request::Kg20Sign(message) => {
                 let key = self.keys.kg20.clone().ok_or_else(|| {
@@ -359,7 +378,7 @@ impl InstanceManager {
                 let key = self.keys.cks05.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no cks05 key provisioned".into())
                 })?;
-                Ok(Box::new(OneRoundProtocol::new(Cks05Coin::new(key, name.clone()))))
+                Ok(one_round(lazy, Cks05Coin::new(key, name.clone())))
             }
         }
     }

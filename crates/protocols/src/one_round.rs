@@ -34,6 +34,25 @@ pub trait OneRoundScheme: Send {
     /// Verifies a received share; invalid shares are discarded.
     fn verify_share(&self, share: &Self::Share) -> bool;
 
+    /// Verifies a batch of shares at once, returning the first invalid
+    /// party on failure. The default checks serially; schemes with a
+    /// batched verifier (one MSM / one pairing-product for the whole
+    /// batch) override this.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::InvalidShare`] naming the first invalid share.
+    fn verify_shares_batch(&self, shares: &[Self::Share]) -> Result<(), SchemeError> {
+        for share in shares {
+            if !self.verify_share(share) {
+                return Err(SchemeError::InvalidShare {
+                    party: Self::share_party(share).value(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The party a share claims to come from.
     fn share_party(share: &Self::Share) -> PartyId;
 
@@ -60,18 +79,74 @@ pub struct OneRoundProtocol<S: OneRoundScheme> {
     scheme: S,
     round: u16,
     shares: BTreeMap<PartyId, S::Share>,
+    verified: std::collections::BTreeSet<PartyId>,
+    lazy: bool,
     finished: bool,
 }
 
 impl<S: OneRoundScheme> OneRoundProtocol<S> {
-    /// Wraps a scheme adapter into a fresh protocol instance.
+    /// Wraps a scheme adapter into a fresh protocol instance that
+    /// verifies each share eagerly on arrival.
     pub fn new(scheme: S) -> Self {
-        OneRoundProtocol { scheme, round: 0, shares: BTreeMap::new(), finished: false }
+        OneRoundProtocol {
+            scheme,
+            round: 0,
+            shares: BTreeMap::new(),
+            verified: std::collections::BTreeSet::new(),
+            lazy: false,
+            finished: false,
+        }
     }
 
-    /// Number of valid shares currently held.
+    /// Wraps a scheme adapter with *lazy batched verification*: incoming
+    /// shares are stored unchecked until a quorum accumulates, then all
+    /// pending shares are verified in one batch (one MSM or one
+    /// pairing-product for the whole set). Invalid shares are pruned so
+    /// the instance keeps waiting for honest ones — semantics match the
+    /// eager mode, with per-quorum instead of per-share verification
+    /// cost.
+    pub fn new_lazy(scheme: S) -> Self {
+        let mut p = Self::new(scheme);
+        p.lazy = true;
+        p
+    }
+
+    /// Number of shares currently held (in lazy mode this may include
+    /// not-yet-verified shares below quorum).
     pub fn share_count(&self) -> usize {
         self.shares.len()
+    }
+
+    /// Batch-verifies all pending shares, removing any that fail.
+    /// Returns the parties whose shares were pruned.
+    fn settle_pending(&mut self) -> Result<Vec<PartyId>, SchemeError> {
+        let mut pruned = Vec::new();
+        loop {
+            let pending: Vec<(PartyId, S::Share)> = self
+                .shares
+                .iter()
+                .filter(|(id, _)| !self.verified.contains(id))
+                .map(|(id, s)| (*id, s.clone()))
+                .collect();
+            if pending.is_empty() {
+                return Ok(pruned);
+            }
+            let batch: Vec<S::Share> = pending.iter().map(|(_, s)| s.clone()).collect();
+            match self.scheme.verify_shares_batch(&batch) {
+                Ok(()) => {
+                    self.verified.extend(pending.iter().map(|(id, _)| *id));
+                    return Ok(pruned);
+                }
+                Err(SchemeError::InvalidShare { party }) => {
+                    let id = PartyId(party);
+                    self.shares.remove(&id);
+                    pruned.push(id);
+                    // Loop: re-batch the remainder (bisection already
+                    // localized this failure; others may still be bad).
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -85,7 +160,10 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
         self.round = 1;
         let share = self.scheme.create_share(rng)?;
         let payload = S::encode_share(&share);
-        self.shares.insert(self.scheme.party(), share);
+        let me = self.scheme.party();
+        self.shares.insert(me, share);
+        // Own shares are trusted (we just created them).
+        self.verified.insert(me);
         Ok(RoundOutput {
             messages: vec![OutboundMessage { transport: Transport::P2p, round: 1, payload }],
         })
@@ -97,10 +175,24 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
         if claimed != message.sender {
             return Err(SchemeError::InvalidShare { party: message.sender.value() });
         }
-        if !self.scheme.verify_share(&share) {
-            return Err(SchemeError::InvalidShare { party: claimed.value() });
+        if !self.lazy {
+            if !self.scheme.verify_share(&share) {
+                return Err(SchemeError::InvalidShare { party: claimed.value() });
+            }
+            self.shares.insert(claimed, share);
+            self.verified.insert(claimed);
+            return Ok(());
         }
+        // Lazy mode: store unchecked; once a quorum of candidates exists,
+        // settle all pending shares with one batched verification and
+        // prune the invalid ones.
         self.shares.insert(claimed, share);
+        if self.shares.len() >= self.scheme.quorum() {
+            let pruned = self.settle_pending()?;
+            if pruned.contains(&claimed) {
+                return Err(SchemeError::InvalidShare { party: claimed.value() });
+            }
+        }
         Ok(())
     }
 
@@ -172,6 +264,10 @@ impl OneRoundScheme for Sg02Decrypt {
         sg02::verify_decryption_share(self.key.public(), &self.ciphertext, share)
     }
 
+    fn verify_shares_batch(&self, shares: &[Self::Share]) -> Result<(), SchemeError> {
+        sg02::verify_decryption_shares_batch(self.key.public(), &self.ciphertext, shares)
+    }
+
     fn share_party(share: &Self::Share) -> PartyId {
         share.id()
     }
@@ -221,6 +317,10 @@ impl OneRoundScheme for Bz03Decrypt {
         bz03::verify_decryption_share(self.key.public(), &self.ciphertext, share)
     }
 
+    fn verify_shares_batch(&self, shares: &[Self::Share]) -> Result<(), SchemeError> {
+        bz03::verify_decryption_shares_batch(self.key.public(), &self.ciphertext, shares)
+    }
+
     fn share_party(share: &Self::Share) -> PartyId {
         share.id()
     }
@@ -268,6 +368,10 @@ impl OneRoundScheme for Sh00Sign {
 
     fn verify_share(&self, share: &Self::Share) -> bool {
         sh00::verify_share(self.key.public(), &self.message, share)
+    }
+
+    fn verify_shares_batch(&self, shares: &[Self::Share]) -> Result<(), SchemeError> {
+        sh00::verify_shares_batch(self.key.public(), &self.message, shares)
     }
 
     fn share_party(share: &Self::Share) -> PartyId {
@@ -320,6 +424,10 @@ impl OneRoundScheme for Bls04Sign {
         bls04::verify_share(self.key.public(), &self.message, share)
     }
 
+    fn verify_shares_batch(&self, shares: &[Self::Share]) -> Result<(), SchemeError> {
+        bls04::verify_shares_batch(self.key.public(), &self.message, shares)
+    }
+
     fn share_party(share: &Self::Share) -> PartyId {
         share.id()
     }
@@ -368,6 +476,10 @@ impl OneRoundScheme for Cks05Coin {
 
     fn verify_share(&self, share: &Self::Share) -> bool {
         cks05::verify_coin_share(self.key.public(), &self.name, share)
+    }
+
+    fn verify_shares_batch(&self, shares: &[Self::Share]) -> Result<(), SchemeError> {
+        cks05::verify_coin_shares_batch(self.key.public(), &self.name, shares)
     }
 
     fn share_party(share: &Self::Share) -> PartyId {
@@ -541,6 +653,93 @@ mod tests {
         .unwrap();
         assert!(me.is_ready_to_finalize());
         assert_eq!(me.finalize().unwrap(), ProtocolOutput::Plaintext(b"m".to_vec()));
+    }
+
+    #[test]
+    fn lazy_mode_agrees_with_eager() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"label", b"lazy batch", &mut r);
+        let protos: Vec<_> = keys
+            .into_iter()
+            .map(|k| OneRoundProtocol::new_lazy(Sg02Decrypt::new(k, ct.clone())))
+            .collect();
+        let outputs = run_all(protos, &mut r);
+        for out in outputs {
+            assert_eq!(out, ProtocolOutput::Plaintext(b"lazy batch".to_vec()));
+        }
+    }
+
+    #[test]
+    fn lazy_mode_prunes_bad_share_at_quorum_and_recovers() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new_lazy(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        // A forged share: a valid share from party 2 for a *different*
+        // ciphertext decodes fine but fails verification.
+        let other_ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let forged =
+            theta_schemes::sg02::create_decryption_share(&keys[1], &other_ct, &mut r).unwrap();
+        // Below quorum, the forged share is stored unverified.
+        me.update(&InboundMessage {
+            sender: keys[1].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&forged),
+        })
+        .unwrap();
+        assert_eq!(me.share_count(), 2);
+        assert!(!me.is_ready_to_finalize());
+        // The third share triggers batch settlement: the forged share is
+        // pruned (reported against party 2), count drops below quorum.
+        let honest =
+            theta_schemes::sg02::create_decryption_share(&keys[2], &ct, &mut r).unwrap();
+        me.update(&InboundMessage {
+            sender: keys[2].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&honest),
+        })
+        .unwrap();
+        assert_eq!(me.share_count(), 2);
+        assert!(!me.is_ready_to_finalize());
+        // One more honest share completes the quorum.
+        let honest2 =
+            theta_schemes::sg02::create_decryption_share(&keys[3], &ct, &mut r).unwrap();
+        me.update(&InboundMessage {
+            sender: keys[3].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&honest2),
+        })
+        .unwrap();
+        assert!(me.is_ready_to_finalize());
+        assert_eq!(me.finalize().unwrap(), ProtocolOutput::Plaintext(b"m".to_vec()));
+    }
+
+    #[test]
+    fn lazy_mode_rejects_bad_share_arriving_at_quorum() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new_lazy(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        let other_ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let forged =
+            theta_schemes::sg02::create_decryption_share(&keys[1], &other_ct, &mut r).unwrap();
+        // Quorum is 2, so this arrival triggers settlement immediately and
+        // the error names the sender.
+        assert!(matches!(
+            me.update(&InboundMessage {
+                sender: keys[1].id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&forged),
+            }),
+            Err(SchemeError::InvalidShare { party: 2 })
+        ));
+        assert!(!me.is_ready_to_finalize());
     }
 
     #[test]

@@ -21,15 +21,20 @@
 //! assert!(bls04::verify(&pk, b"block 42", &sig));
 //! ```
 
-use crate::common::{lagrange_at_zero, shamir_share, PartyId, ThresholdParams};
+use crate::common::{
+    bisect_invalid, lagrange_at_zero, lagrange_coeffs_at_zero, shamir_share, PartyId,
+    ThresholdParams,
+};
 use crate::error::SchemeError;
-use crate::hashing::hash_to_g1;
+use crate::hashing::{hash_to_fr, hash_to_g1, hash_to_key};
 use crate::wire::{get_fr, get_g1, get_g2, put_fr, put_g1, put_g2};
 use rand::RngCore;
 use theta_codec::{Decode, Encode, Reader, Writer};
 use theta_math::bn254::{pairing_check, Fr, G1, G2};
+use theta_math::msm::msm;
 
 const D_MSG: &str = "thetacrypt/bls04/message/v1";
+const D_BATCH: &str = "thetacrypt/bls04/batch-weights/v1";
 
 /// The BLS threshold public key `Y = x·P2` with verification keys
 /// `Y_i = x_i·P2`.
@@ -208,17 +213,78 @@ pub fn sign_share(key: &KeyShare, message: &[u8]) -> Result<SignatureShare, Sche
 /// `e(σ_i, P2) == e(H(m), Y_i)` (the "Pairings" verification strategy of
 /// Table 1 — no ZKP needed).
 pub fn verify_share(pk: &PublicKey, message: &[u8], share: &SignatureShare) -> bool {
-    let Some(vk) = pk.verification_key(share.id) else {
-        return false;
-    };
     let Ok(h) = hash_message(message) else {
         return false;
     };
-    pairing_check(&share.sigma_i, &G2::generator(), &h, vk)
+    verify_share_with_hash(pk, &h, share)
+}
+
+fn verify_share_with_hash(pk: &PublicKey, h: &G1, share: &SignatureShare) -> bool {
+    let Some(vk) = pk.verification_key(share.id) else {
+        return false;
+    };
+    pairing_check(&share.sigma_i, &G2::generator(), h, vk)
+}
+
+/// One pairing-product check for a whole sub-batch of shares: with
+/// Fiat–Shamir weights `r_i`, `e(Σ r_i σ_i, P2) == e(H(m), Σ r_i Y_i)`.
+/// Both sums are MSMs, so `k` shares cost two pairings + two MSMs
+/// instead of `2k` pairings.
+fn batch_holds(pk: &PublicKey, h: &G1, shares: &[SignatureShare]) -> bool {
+    match shares.len() {
+        0 => return true,
+        1 => return verify_share_with_hash(pk, h, &shares[0]),
+        _ => {}
+    }
+    let mut vks = Vec::with_capacity(shares.len());
+    let mut transcript: Vec<Vec<u8>> = Vec::with_capacity(shares.len());
+    for share in shares {
+        let Some(vk) = pk.verification_key(share.id) else {
+            return false;
+        };
+        vks.push(*vk);
+        let mut item = Vec::with_capacity(35);
+        item.extend_from_slice(&share.id.value().to_le_bytes());
+        item.extend_from_slice(&share.sigma_i.to_compressed());
+        transcript.push(item);
+    }
+    let items: Vec<&[u8]> = transcript.iter().map(|t| t.as_slice()).collect();
+    let seed = hash_to_key(D_BATCH, &items);
+    let weights: Vec<Fr> = (0..shares.len() as u64)
+        .map(|idx| hash_to_fr(D_BATCH, &[&seed, &idx.to_le_bytes()]))
+        .collect();
+    let coeffs: Vec<&theta_math::BigUint> = weights.iter().map(|w| w.to_biguint()).collect();
+    let sigmas: Vec<G1> = shares.iter().map(|s| s.sigma_i).collect();
+    let lhs = msm(&sigmas, &coeffs);
+    let rhs = msm(&vks, &coeffs);
+    pairing_check(&lhs, &G2::generator(), h, &rhs)
+}
+
+/// Verifies a batch of partial signatures with one pairing-product
+/// equation (random linear combination); on failure, bisection locates
+/// the first invalid share.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShare`] naming the first offending party.
+pub fn verify_shares_batch(
+    pk: &PublicKey,
+    message: &[u8],
+    shares: &[SignatureShare],
+) -> Result<(), SchemeError> {
+    let h = hash_message(message)?;
+    let check = |r: std::ops::Range<usize>| batch_holds(pk, &h, &shares[r]);
+    match bisect_invalid(shares.len(), &check) {
+        None => Ok(()),
+        Some(i) => Err(SchemeError::InvalidShare { party: shares[i].id.value() }),
+    }
 }
 
 /// Combines `t+1` verified partial signatures into a full signature and
 /// verifies the result (the paper always enables both checks, §4.4).
+///
+/// Share verification is batched into a single pairing-product equation
+/// and the Lagrange combination `σ = Σ λ_i σ_i` runs as one MSM.
 ///
 /// # Errors
 ///
@@ -227,6 +293,34 @@ pub fn verify_share(pk: &PublicKey, message: &[u8], share: &SignatureShare) -> b
 /// - [`SchemeError::InvalidSignature`] if the assembled signature fails
 ///   final verification (cannot happen with verified shares).
 pub fn combine(
+    pk: &PublicKey,
+    message: &[u8],
+    shares: &[SignatureShare],
+) -> Result<Signature, SchemeError> {
+    verify_shares_batch(pk, message, shares)?;
+    let need = pk.params.quorum() as usize;
+    if shares.len() < need {
+        return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
+    }
+    let quorum = &shares[..need];
+    let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
+    let lambdas = lagrange_coeffs_at_zero::<Fr>(&ids)?;
+    let sigmas: Vec<G1> = quorum.iter().map(|s| s.sigma_i).collect();
+    let coeffs: Vec<&theta_math::BigUint> = lambdas.iter().map(|l| l.to_biguint()).collect();
+    let sigma = msm(&sigmas, &coeffs);
+    let sig = Signature { sigma };
+    if !verify(pk, message, &sig) {
+        return Err(SchemeError::InvalidSignature);
+    }
+    Ok(sig)
+}
+
+/// Pre-optimization reference path: one pairing check per share and a
+/// serial per-share Lagrange combination. Kept (hidden from docs) so
+/// benchmarks and property tests can compare the batched kernels against
+/// the straightforward implementation they replaced.
+#[doc(hidden)]
+pub fn combine_serial_baseline(
     pk: &PublicKey,
     message: &[u8],
     shares: &[SignatureShare],
@@ -362,5 +456,40 @@ mod tests {
         let (pk, shares, _) = setup(0, 1);
         let sig = combine(&pk, b"", &[sign_share(&shares[0], b"").unwrap()]).unwrap();
         assert!(verify(&pk, b"", &sig));
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_names_culprit() {
+        let (pk, shares, _) = setup(2, 7);
+        let msg = b"batched";
+        let mut partials: Vec<_> = shares
+            .iter()
+            .map(|s| sign_share(s, msg).unwrap())
+            .collect();
+        assert!(verify_shares_batch(&pk, msg, &partials).is_ok());
+        // Tamper one share: the batch equation fails and bisection names
+        // exactly that party.
+        partials[4].sigma_i = partials[4].sigma_i.double();
+        assert_eq!(
+            verify_shares_batch(&pk, msg, &partials),
+            Err(SchemeError::InvalidShare { party: partials[4].id.value() })
+        );
+        // Combine propagates the same error.
+        assert!(matches!(
+            combine(&pk, msg, &partials),
+            Err(SchemeError::InvalidShare { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_verify_rejects_foreign_party() {
+        let (pk, shares, _) = setup(1, 4);
+        let msg = b"m";
+        let mut share = sign_share(&shares[0], msg).unwrap();
+        share.id = PartyId(9);
+        assert_eq!(
+            verify_shares_batch(&pk, msg, &[share]),
+            Err(SchemeError::InvalidShare { party: 9 })
+        );
     }
 }

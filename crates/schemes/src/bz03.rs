@@ -32,17 +32,21 @@
 //! assert_eq!(plain, b"pairing-protected payload");
 //! ```
 
-use crate::common::{lagrange_at_zero, shamir_share, PartyId, ThresholdParams};
+use crate::common::{
+    bisect_invalid, lagrange_coeffs_at_zero, shamir_share, PartyId, ThresholdParams,
+};
 use crate::error::SchemeError;
-use crate::hashing::{hash_to_g1, hash_to_key};
+use crate::hashing::{hash_to_fr, hash_to_g1, hash_to_key};
 use crate::wire::{get_fr, get_g1, get_g2, put_fr, put_g1, put_g2};
 use rand::RngCore;
 use theta_codec::{Decode, Encode, Reader, Writer};
 use theta_math::bn254::{pairing_check, Fr, G1, G2};
+use theta_math::msm::msm;
 use theta_primitives::aead;
 
 const D_VALIDITY: &str = "thetacrypt/bz03/validity-h1/v1";
 const D_MASK: &str = "thetacrypt/bz03/mask/v1";
+const D_BATCH: &str = "thetacrypt/bz03/batch-weights/v1";
 const D_NONCE: &str = "thetacrypt/bz03/nonce/v1";
 
 /// The BZ03 public key: `Y = x·P2` plus per-party verification keys.
@@ -279,17 +283,85 @@ pub fn create_decryption_share(
 /// pairings; concretely checks `e(H1, δ_i) == e(W, Y_i)` rearranged for
 /// our groups as `e(W, Y_i) == e(H1, δ_i)`.
 pub fn verify_decryption_share(pk: &PublicKey, ct: &Ciphertext, share: &DecryptionShare) -> bool {
-    let Some(vk) = pk.verification_key(share.id) else {
-        return false;
-    };
     let Ok(h1) = validity_base(&ct.u, &ct.c_k, &ct.label) else {
         return false;
     };
+    verify_share_with_base(pk, ct, &h1, share)
+}
+
+fn verify_share_with_base(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    h1: &G1,
+    share: &DecryptionShare,
+) -> bool {
+    let Some(vk) = pk.verification_key(share.id) else {
+        return false;
+    };
     // e(W, Y_i) == e(H1, δ_i): both are e(H1, P2)^{r·x_i}.
-    pairing_check(&ct.w, vk, &h1, &share.delta_i)
+    pairing_check(&ct.w, vk, h1, &share.delta_i)
+}
+
+/// One pairing-product check for a sub-batch: with Fiat–Shamir weights
+/// `r_i`, `e(W, Σ r_i Y_i) == e(H1, Σ r_i δ_i)` — both sides share the
+/// same G1 argument across all shares, so `k` shares cost two G2 MSMs
+/// plus two pairings instead of `2k` pairings.
+fn batch_holds(pk: &PublicKey, ct: &Ciphertext, h1: &G1, shares: &[DecryptionShare]) -> bool {
+    match shares.len() {
+        0 => return true,
+        1 => return verify_share_with_base(pk, ct, h1, &shares[0]),
+        _ => {}
+    }
+    let mut vks = Vec::with_capacity(shares.len());
+    let mut transcript: Vec<Vec<u8>> = Vec::with_capacity(shares.len());
+    for share in shares {
+        let Some(vk) = pk.verification_key(share.id) else {
+            return false;
+        };
+        vks.push(*vk);
+        let mut item = Vec::with_capacity(67);
+        item.extend_from_slice(&share.id.value().to_le_bytes());
+        item.extend_from_slice(&share.delta_i.to_compressed());
+        transcript.push(item);
+    }
+    let items: Vec<&[u8]> = transcript.iter().map(|t| t.as_slice()).collect();
+    let seed = hash_to_key(D_BATCH, &items);
+    let weights: Vec<Fr> = (0..shares.len() as u64)
+        .map(|idx| hash_to_fr(D_BATCH, &[&seed, &idx.to_le_bytes()]))
+        .collect();
+    let coeffs: Vec<&theta_math::BigUint> = weights.iter().map(|w| w.to_biguint()).collect();
+    let deltas: Vec<G2> = shares.iter().map(|s| s.delta_i).collect();
+    let vk_sum = msm(&vks, &coeffs);
+    let delta_sum = msm(&deltas, &coeffs);
+    pairing_check(&ct.w, &vk_sum, h1, &delta_sum)
+}
+
+/// Verifies a batch of decryption shares with one pairing-product
+/// equation; bisection identifies the first invalid share on failure.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShare`] naming the first offending party, or
+/// [`SchemeError::InvalidCiphertext`] when the validity base cannot be
+/// derived.
+pub fn verify_decryption_shares_batch(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+) -> Result<(), SchemeError> {
+    let h1 = validity_base(&ct.u, &ct.c_k, &ct.label)
+        .map_err(|_| SchemeError::InvalidCiphertext("validity base derivation failed".into()))?;
+    let check = |r: std::ops::Range<usize>| batch_holds(pk, ct, &h1, &shares[r]);
+    match bisect_invalid(shares.len(), &check) {
+        None => Ok(()),
+        Some(i) => Err(SchemeError::InvalidShare { party: shares[i].id.value() }),
+    }
 }
 
 /// Combines `t+1` verified shares and opens the payload.
+///
+/// Share verification is batched into one pairing-product equation and
+/// the interpolation `x·U = Σ λ_i δ_i` runs as a single G2 MSM.
 ///
 /// # Errors
 ///
@@ -303,23 +375,18 @@ pub fn combine(
     if !verify_ciphertext(ct) {
         return Err(SchemeError::InvalidCiphertext("BZ03 validity pairing failed".into()));
     }
-    for share in shares {
-        if !verify_decryption_share(pk, ct, share) {
-            return Err(SchemeError::InvalidShare { party: share.id.value() });
-        }
-    }
+    verify_decryption_shares_batch(pk, ct, shares)?;
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
     }
     let quorum = &shares[..need];
     let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
-    // x·U = Σ λ_i·δ_i = r·Y
-    let mut xu = G2::identity();
-    for share in quorum {
-        let lambda = lagrange_at_zero::<Fr>(share.id, &ids)?;
-        xu = xu.add(&share.delta_i.mul(&lambda));
-    }
+    // x·U = Σ λ_i·δ_i = r·Y, as one G2 MSM over the quorum.
+    let lambdas = lagrange_coeffs_at_zero::<Fr>(&ids)?;
+    let deltas: Vec<G2> = quorum.iter().map(|s| s.delta_i).collect();
+    let coeffs: Vec<&theta_math::BigUint> = lambdas.iter().map(|l| l.to_biguint()).collect();
+    let xu = msm(&deltas, &coeffs);
     let mask = hash_to_key(D_MASK, &[&xu.to_compressed()]);
     let mut k = [0u8; 32];
     for i in 0..32 {
@@ -472,5 +539,25 @@ mod tests {
         assert_eq!(DecryptionShare::decoded(&d.encoded()).unwrap(), d);
         let ks = KeyShare::decoded(&shares[0].encoded()).unwrap();
         assert_eq!(ks.id(), shares[0].id());
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_names_culprit() {
+        let (pk, shares, mut r) = setup(2, 7);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let mut ds: Vec<_> = shares
+            .iter()
+            .map(|k| create_decryption_share(k, &ct).unwrap())
+            .collect();
+        assert!(verify_decryption_shares_batch(&pk, &ct, &ds).is_ok());
+        ds[3].delta_i = ds[3].delta_i.double();
+        assert_eq!(
+            verify_decryption_shares_batch(&pk, &ct, &ds),
+            Err(SchemeError::InvalidShare { party: ds[3].id.value() })
+        );
+        assert!(matches!(
+            combine(&pk, &ct, &ds),
+            Err(SchemeError::InvalidShare { .. })
+        ));
     }
 }

@@ -22,8 +22,10 @@
 //! assert_eq!(coin.len(), 32);
 //! ```
 
-use crate::common::{lagrange_at_zero, shamir_share, PartyId, ThresholdParams};
-use crate::dleq::DleqProof;
+use crate::common::{
+    bisect_invalid, lagrange_coeffs_at_zero, shamir_share, PartyId, ThresholdParams,
+};
+use crate::dleq::{DleqInstance, DleqProof};
 use crate::error::SchemeError;
 use crate::hashing::{hash_to_ed25519, hash_to_key};
 use crate::wire::{get_point, get_scalar, put_point, put_scalar};
@@ -199,31 +201,61 @@ pub fn verify_coin_share(pk: &PublicKey, name: &[u8], share: &CoinShare) -> bool
         .verify(D_SHARE, &Point::base(), h_i, &g_tilde, &share.sigma_i)
 }
 
+/// Verifies a batch of coin shares at once: all DLEQ proofs fold into a
+/// single multi-scalar multiplication, with bisection locating the first
+/// invalid share on failure.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShare`] naming the first offending party.
+pub fn verify_coin_shares_batch(
+    pk: &PublicKey,
+    name: &[u8],
+    shares: &[CoinShare],
+) -> Result<(), SchemeError> {
+    let base = Point::base();
+    let g_tilde = coin_base(name);
+    let mut instances = Vec::with_capacity(shares.len());
+    for share in shares {
+        let Some(h_i) = pk.verification_key(share.id) else {
+            return Err(SchemeError::InvalidShare { party: share.id.value() });
+        };
+        instances.push(DleqInstance {
+            g1: &base,
+            h1: h_i,
+            g2: &g_tilde,
+            h2: &share.sigma_i,
+            proof: &share.proof,
+        });
+    }
+    let check = |r: std::ops::Range<usize>| DleqProof::verify_batch(D_SHARE, &instances[r]);
+    match bisect_invalid(shares.len(), &check) {
+        None => Ok(()),
+        Some(i) => Err(SchemeError::InvalidShare { party: shares[i].id.value() }),
+    }
+}
+
 /// Combines `t+1` verified shares into the 32-byte coin value.
 ///
 /// The coin is `H(name, g̃^x)` — pseudorandom under DDH, and identical
-/// for every quorum (share uniqueness).
+/// for every quorum (share uniqueness). Share proofs are verified in one
+/// batched MSM and the interpolation of `g̃^x` is a single MSM too.
 ///
 /// # Errors
 ///
 /// [`SchemeError::InvalidShare`] / [`SchemeError::NotEnoughShares`].
 pub fn combine(pk: &PublicKey, name: &[u8], shares: &[CoinShare]) -> Result<[u8; 32], SchemeError> {
-    for share in shares {
-        if !verify_coin_share(pk, name, share) {
-            return Err(SchemeError::InvalidShare { party: share.id.value() });
-        }
-    }
+    verify_coin_shares_batch(pk, name, shares)?;
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
     }
     let quorum = &shares[..need];
     let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
-    let mut g_tilde_x = Point::identity();
-    for share in quorum {
-        let lambda = lagrange_at_zero::<Scalar>(share.id, &ids)?;
-        g_tilde_x = g_tilde_x.add(&share.sigma_i.mul(&lambda));
-    }
+    let lambdas = lagrange_coeffs_at_zero::<Scalar>(&ids)?;
+    let points: Vec<Point> = quorum.iter().map(|s| s.sigma_i).collect();
+    let coeffs: Vec<&theta_math::BigUint> = lambdas.iter().map(|l| l.to_biguint()).collect();
+    let g_tilde_x = theta_math::msm::msm(&points, &coeffs);
     Ok(hash_to_key(D_COIN_VALUE, &[name, &g_tilde_x.compress()]))
 }
 
@@ -337,5 +369,25 @@ mod tests {
         assert_eq!(CoinShare::decoded(&share.encoded()).unwrap(), share);
         let ks = KeyShare::decoded(&shares[0].encoded()).unwrap();
         assert_eq!(ks.id(), shares[0].id());
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_names_culprit() {
+        let (pk, shares, mut r) = setup(2, 7);
+        let name = b"round-9";
+        let mut cs: Vec<_> = shares
+            .iter()
+            .map(|k| create_coin_share(k, name, &mut r))
+            .collect();
+        assert!(verify_coin_shares_batch(&pk, name, &cs).is_ok());
+        cs[5].sigma_i = cs[5].sigma_i.add(&Point::base());
+        assert_eq!(
+            verify_coin_shares_batch(&pk, name, &cs),
+            Err(SchemeError::InvalidShare { party: cs[5].id.value() })
+        );
+        assert!(matches!(
+            combine(&pk, name, &cs),
+            Err(SchemeError::InvalidShare { .. })
+        ));
     }
 }

@@ -235,6 +235,99 @@ pub fn lagrange_at_zero<F: ShareField>(i: PartyId, ids: &[PartyId]) -> Result<F,
     Ok(num.mul(&den_inv))
 }
 
+/// All Lagrange coefficients λ_i(0) for the party set `ids`, in input
+/// order, with a **single** field inversion (Montgomery's batch-inversion
+/// trick) instead of one per party.
+///
+/// Computes, for each `i`, `num_i = Π_{j≠i} x_j` and
+/// `den_i = Π_{j≠i} (x_j − x_i)`, inverts all `den_i` at once via the
+/// prefix-product walk, and returns `num_i · den_i⁻¹`.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShareSet`] on duplicate or colliding ids.
+pub fn lagrange_coeffs_at_zero<F: ShareField>(ids: &[PartyId]) -> Result<Vec<F>, SchemeError> {
+    let mut seen = std::collections::HashSet::with_capacity(ids.len());
+    for id in ids {
+        if !seen.insert(id.value()) {
+            return Err(SchemeError::InvalidShareSet("duplicate party id".into()));
+        }
+    }
+    let k = ids.len();
+    let xs: Vec<F> = ids.iter().map(|id| F::from_u64(id.value() as u64)).collect();
+    let mut nums = Vec::with_capacity(k);
+    let mut dens = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut num = F::one();
+        let mut den = F::one();
+        for j in 0..k {
+            if j == i {
+                continue;
+            }
+            num = num.mul(&xs[j]);
+            den = den.mul(&xs[j].sub(&xs[i]));
+        }
+        nums.push(num);
+        dens.push(den);
+    }
+    // Batch inversion: prefix[i] = den_0 · … · den_i, invert the total
+    // product once, then peel inverses off from the back.
+    let mut prefix = Vec::with_capacity(k);
+    let mut acc = F::one();
+    for den in &dens {
+        acc = acc.mul(den);
+        prefix.push(acc.clone());
+    }
+    let mut inv_acc = prefix
+        .last()
+        .cloned()
+        .unwrap_or_else(F::one)
+        .invert()
+        .ok_or_else(|| SchemeError::InvalidShareSet("colliding party ids".into()))?;
+    let mut inverses = vec![F::zero(); k];
+    for i in (0..k).rev() {
+        if i == 0 {
+            inverses[0] = inv_acc.clone();
+        } else {
+            inverses[i] = inv_acc.mul(&prefix[i - 1]);
+            inv_acc = inv_acc.mul(&dens[i]);
+        }
+    }
+    Ok((0..k).map(|i| nums[i].mul(&inverses[i])).collect())
+}
+
+/// Locates the first failing element behind a batch predicate by
+/// bisection: `check` is called on index ranges and must return `true`
+/// iff every element in the range is valid.
+///
+/// When the batch check over `0..len` passes this returns `None` after a
+/// single call; otherwise it recurses into whichever half fails, costing
+/// `O(log len)` batch checks instead of `len` individual ones. Used by the
+/// schemes' batched share verification to keep the "which party cheated?"
+/// error precise without giving up the batching speedup.
+pub fn bisect_invalid<C>(len: usize, check: &C) -> Option<usize>
+where
+    C: Fn(std::ops::Range<usize>) -> bool,
+{
+    fn go<C: Fn(std::ops::Range<usize>) -> bool>(
+        range: std::ops::Range<usize>,
+        check: &C,
+    ) -> Option<usize> {
+        if check(range.clone()) {
+            return None;
+        }
+        if range.len() == 1 {
+            return Some(range.start);
+        }
+        let mid = range.start + range.len() / 2;
+        go(range.start..mid, check).or_else(|| go(mid..range.end, check))
+    }
+    if len == 0 {
+        return None;
+    }
+    go(0..len, check)
+}
+
 /// Reconstructs the secret (the polynomial at zero) from `t+1` or more
 /// shares.
 ///
@@ -243,9 +336,9 @@ pub fn lagrange_at_zero<F: ShareField>(i: PartyId, ids: &[PartyId]) -> Result<F,
 /// [`SchemeError::InvalidShareSet`] on duplicate ids.
 pub fn shamir_reconstruct<F: ShareField>(shares: &[(PartyId, F)]) -> Result<F, SchemeError> {
     let ids: Vec<PartyId> = shares.iter().map(|(id, _)| *id).collect();
+    let lambdas = lagrange_coeffs_at_zero::<F>(&ids)?;
     let mut acc = F::zero();
-    for (id, share) in shares {
-        let lambda = lagrange_at_zero::<F>(*id, &ids)?;
+    for ((_, share), lambda) in shares.iter().zip(&lambdas) {
         acc = acc.add(&lambda.mul(share));
     }
     Ok(acc)
@@ -350,6 +443,44 @@ mod tests {
         }
         assert_eq!(sum, Scalar::one());
         assert_eq!(weighted, Scalar::zero());
+    }
+
+    #[test]
+    fn batch_coeffs_match_per_party() {
+        let ids: Vec<PartyId> = [2u16, 5, 6, 9, 11].iter().map(|&v| PartyId(v)).collect();
+        let batch = lagrange_coeffs_at_zero::<Scalar>(&ids).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(batch[i], lagrange_at_zero::<Scalar>(id, &ids).unwrap());
+        }
+        use theta_math::bn254::Fr;
+        let batch = lagrange_coeffs_at_zero::<Fr>(&ids).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(batch[i], lagrange_at_zero::<Fr>(id, &ids).unwrap());
+        }
+    }
+
+    #[test]
+    fn bisect_finds_single_bad_index() {
+        for bad in 0..7usize {
+            let check = |r: std::ops::Range<usize>| !r.contains(&bad);
+            assert_eq!(bisect_invalid(7, &check), Some(bad));
+        }
+        assert_eq!(bisect_invalid(7, &|_| true), None);
+        assert_eq!(bisect_invalid(0, &|_| false), None);
+    }
+
+    #[test]
+    fn bisect_finds_first_of_several() {
+        let bad = [2usize, 5];
+        let check = |r: std::ops::Range<usize>| bad.iter().all(|b| !r.contains(b));
+        assert_eq!(bisect_invalid(8, &check), Some(2));
+    }
+
+    #[test]
+    fn batch_coeffs_reject_duplicates() {
+        let ids = vec![PartyId(1), PartyId(2), PartyId(1)];
+        assert!(lagrange_coeffs_at_zero::<Scalar>(&ids).is_err());
+        assert!(lagrange_coeffs_at_zero::<Scalar>(&[]).unwrap().is_empty());
     }
 
     #[test]

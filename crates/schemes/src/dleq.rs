@@ -3,18 +3,40 @@
 //! This is the "ZKP" verification strategy of Table 1: SG02 decryption
 //! shares and CKS05 coin shares each carry a DLEQ proof that the share
 //! was computed with the party's committed key share.
+//!
+//! Proofs carry the Schnorr commitments `(w1, w2)` rather than the
+//! challenge, so a verifier can check many proofs at once: a random
+//! linear combination of the per-proof equations collapses into a single
+//! multi-scalar multiplication (see [`DleqProof::verify_batch`]).
 
 use crate::hashing::hash_to_ed25519_scalar;
 use rand::RngCore;
 use theta_codec::{Decode, Encode, Reader, Writer};
 use theta_math::ed25519::{Point, Scalar};
+use theta_math::msm;
 
 /// A non-interactive DLEQ proof: knowledge of `x` with `h1 = g1^x` and
 /// `h2 = g2^x` (Fiat–Shamir over the given domain).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DleqProof {
-    challenge: Scalar,
+    w1: Point,
+    w2: Point,
     response: Scalar,
+}
+
+/// One `(statement, proof)` pair for batch verification.
+#[derive(Clone, Copy)]
+pub struct DleqInstance<'a> {
+    /// First base.
+    pub g1: &'a Point,
+    /// First image `g1^x`.
+    pub h1: &'a Point,
+    /// Second base.
+    pub g2: &'a Point,
+    /// Second image `g2^x`.
+    pub h2: &'a Point,
+    /// The proof to check against the statement.
+    pub proof: &'a DleqProof,
 }
 
 impl DleqProof {
@@ -33,16 +55,98 @@ impl DleqProof {
         let w2 = g2.mul(&s);
         let challenge = Self::challenge(domain, g1, h1, g2, h2, &w1, &w2);
         let response = s.add(&x.mul(&challenge));
-        DleqProof { challenge, response }
+        DleqProof { w1, w2, response }
     }
 
     /// Verifies the proof against the same statement.
+    ///
+    /// Each equation `g^z = w · h^e` is rearranged to
+    /// `g^z · h^{−e} == w` and evaluated as a 2-point Straus MSM, so the
+    /// two scalar multiplications share one doubling chain.
     pub fn verify(&self, domain: &str, g1: &Point, h1: &Point, g2: &Point, h2: &Point) -> bool {
-        // w1 = g1^z · h1^{−e},  w2 = g2^z · h2^{−e}
-        let w1 = g1.mul(&self.response).sub(&h1.mul(&self.challenge));
-        let w2 = g2.mul(&self.response).sub(&h2.mul(&self.challenge));
-        let expect = Self::challenge(domain, g1, h1, g2, h2, &w1, &w2);
-        expect == self.challenge
+        let e = Self::challenge(domain, g1, h1, g2, h2, &self.w1, &self.w2);
+        let z = self.response.to_biguint();
+        let neg_e = e.neg();
+        let lhs1 = msm::msm(&[*g1, *h1], &[z, neg_e.to_biguint()]);
+        if lhs1 != self.w1 {
+            return false;
+        }
+        let lhs2 = msm::msm(&[*g2, *h2], &[z, neg_e.to_biguint()]);
+        lhs2 == self.w2
+    }
+
+    /// Verifies `k` proofs with one `6k`-point multi-scalar multiplication.
+    ///
+    /// Uses a random linear combination: with per-instance weights
+    /// `r_i, s_i` (derived by Fiat–Shamir from the whole batch, so a
+    /// malicious prover cannot anticipate them),
+    ///
+    /// ```text
+    /// Σ_i  r_i·(z_i·g1_i − e_i·h1_i − w1_i)
+    ///    + s_i·(z_i·g2_i − e_i·h2_i − w2_i)  ==  𝒪
+    /// ```
+    ///
+    /// holds iff every individual proof verifies, except with probability
+    /// ≈ 2⁻¹²⁸ over the weights. Returns `true` for an empty batch.
+    pub fn verify_batch(domain: &str, instances: &[DleqInstance<'_>]) -> bool {
+        match instances.len() {
+            0 => return true,
+            1 => {
+                let i = &instances[0];
+                return i.proof.verify(domain, i.g1, i.h1, i.g2, i.h2);
+            }
+            _ => {}
+        }
+        // Per-instance challenges, then batch weights bound to the full
+        // transcript (every statement and every commitment).
+        let challenges: Vec<Scalar> = instances
+            .iter()
+            .map(|i| {
+                Self::challenge(domain, i.g1, i.h1, i.g2, i.h2, &i.proof.w1, &i.proof.w2)
+            })
+            .collect();
+        let transcript: Vec<[u8; 32]> = instances
+            .iter()
+            .flat_map(|i| {
+                [
+                    i.g1.compress(),
+                    i.h1.compress(),
+                    i.g2.compress(),
+                    i.h2.compress(),
+                    i.proof.w1.compress(),
+                    i.proof.w2.compress(),
+                ]
+            })
+            .collect();
+        let items: Vec<&[u8]> = transcript.iter().map(|t| t.as_slice()).collect();
+        let seed = crate::hashing::hash_to_key(&format!("{domain}/batch-seed"), &items);
+        let mut points = Vec::with_capacity(instances.len() * 6);
+        let mut scalars = Vec::with_capacity(instances.len() * 6);
+        for (idx, (inst, e)) in instances.iter().zip(&challenges).enumerate() {
+            let idx_bytes = (idx as u64).to_le_bytes();
+            let r =
+                hash_to_ed25519_scalar(&format!("{domain}/batch-r"), &[&seed, &idx_bytes]);
+            let s =
+                hash_to_ed25519_scalar(&format!("{domain}/batch-s"), &[&seed, &idx_bytes]);
+            let z = &inst.proof.response;
+            // r_i·z_i · g1 − r_i·e_i · h1 − r_i · w1
+            points.push(*inst.g1);
+            scalars.push(r.mul(z));
+            points.push(*inst.h1);
+            scalars.push(r.mul(e).neg());
+            points.push(inst.proof.w1);
+            scalars.push(r.neg());
+            // s_i·z_i · g2 − s_i·e_i · h2 − s_i · w2
+            points.push(*inst.g2);
+            scalars.push(s.mul(z));
+            points.push(*inst.h2);
+            scalars.push(s.mul(e).neg());
+            points.push(inst.proof.w2);
+            scalars.push(s.neg());
+        }
+        let scalar_refs: Vec<&theta_math::BigUint> =
+            scalars.iter().map(|s| s.to_biguint()).collect();
+        msm::msm(&points, &scalar_refs).is_identity()
     }
 
     fn challenge(
@@ -70,7 +174,8 @@ impl DleqProof {
 
 impl Encode for DleqProof {
     fn encode(&self, w: &mut Writer) {
-        crate::wire::put_scalar(w, &self.challenge);
+        crate::wire::put_point(w, &self.w1);
+        crate::wire::put_point(w, &self.w2);
         crate::wire::put_scalar(w, &self.response);
     }
 }
@@ -78,7 +183,8 @@ impl Encode for DleqProof {
 impl Decode for DleqProof {
     fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
         Ok(DleqProof {
-            challenge: crate::wire::get_scalar(r)?,
+            w1: crate::wire::get_point(r)?,
+            w2: crate::wire::get_point(r)?,
             response: crate::wire::get_scalar(r)?,
         })
     }
@@ -147,12 +253,20 @@ mod tests {
         let (g1, h1, g2, h2, x) = statement(&mut r);
         let proof = DleqProof::prove("test/dleq", &g1, &h1, &g2, &h2, &x, &mut r);
         let bad = DleqProof {
-            challenge: proof.challenge.add(&Scalar::one()),
+            w1: proof.w1.add(&Point::base()),
+            w2: proof.w2,
             response: proof.response.clone(),
         };
         assert!(!bad.verify("test/dleq", &g1, &h1, &g2, &h2));
         let bad = DleqProof {
-            challenge: proof.challenge.clone(),
+            w1: proof.w1,
+            w2: proof.w2.add(&Point::base()),
+            response: proof.response.clone(),
+        };
+        assert!(!bad.verify("test/dleq", &g1, &h1, &g2, &h2));
+        let bad = DleqProof {
+            w1: proof.w1,
+            w2: proof.w2,
             response: proof.response.add(&Scalar::one()),
         };
         assert!(!bad.verify("test/dleq", &g1, &h1, &g2, &h2));
@@ -166,5 +280,64 @@ mod tests {
         let decoded = DleqProof::decoded(&proof.encoded()).unwrap();
         assert_eq!(decoded, proof);
         assert!(decoded.verify("test/dleq", &g1, &h1, &g2, &h2));
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        let mut r = rng();
+        let stmts: Vec<_> = (0..6).map(|_| statement(&mut r)).collect();
+        let proofs: Vec<DleqProof> = stmts
+            .iter()
+            .map(|(g1, h1, g2, h2, x)| {
+                DleqProof::prove("test/dleq", g1, h1, g2, h2, x, &mut r)
+            })
+            .collect();
+        let instances: Vec<DleqInstance<'_>> = stmts
+            .iter()
+            .zip(&proofs)
+            .map(|((g1, h1, g2, h2, _), proof)| DleqInstance { g1, h1, g2, h2, proof })
+            .collect();
+        assert!(DleqProof::verify_batch("test/dleq", &instances));
+        assert!(DleqProof::verify_batch("test/dleq", &instances[..1]));
+        assert!(DleqProof::verify_batch("test/dleq", &[]));
+    }
+
+    #[test]
+    fn batch_rejects_single_bad_proof() {
+        let mut r = rng();
+        let stmts: Vec<_> = (0..5).map(|_| statement(&mut r)).collect();
+        let mut proofs: Vec<DleqProof> = stmts
+            .iter()
+            .map(|(g1, h1, g2, h2, x)| {
+                DleqProof::prove("test/dleq", g1, h1, g2, h2, x, &mut r)
+            })
+            .collect();
+        proofs[3].response = proofs[3].response.add(&Scalar::one());
+        let instances: Vec<DleqInstance<'_>> = stmts
+            .iter()
+            .zip(&proofs)
+            .map(|((g1, h1, g2, h2, _), proof)| DleqInstance { g1, h1, g2, h2, proof })
+            .collect();
+        assert!(!DleqProof::verify_batch("test/dleq", &instances));
+        // The other four instances still pass on their own.
+        assert!(DleqProof::verify_batch("test/dleq", &instances[..3]));
+    }
+
+    #[test]
+    fn batch_rejects_wrong_domain() {
+        let mut r = rng();
+        let stmts: Vec<_> = (0..3).map(|_| statement(&mut r)).collect();
+        let proofs: Vec<DleqProof> = stmts
+            .iter()
+            .map(|(g1, h1, g2, h2, x)| {
+                DleqProof::prove("domain-a", g1, h1, g2, h2, x, &mut r)
+            })
+            .collect();
+        let instances: Vec<DleqInstance<'_>> = stmts
+            .iter()
+            .zip(&proofs)
+            .map(|((g1, h1, g2, h2, _), proof)| DleqInstance { g1, h1, g2, h2, proof })
+            .collect();
+        assert!(!DleqProof::verify_batch("domain-b", &instances));
     }
 }

@@ -24,8 +24,11 @@
 //! assert_eq!(plain, b"front-running protected tx");
 //! ```
 
-use crate::common::{lagrange_at_zero, shamir_share, PartyId, ThresholdParams};
-use crate::dleq::DleqProof;
+use crate::common::{
+    bisect_invalid, lagrange_at_zero, lagrange_coeffs_at_zero, shamir_share, PartyId,
+    ThresholdParams,
+};
+use crate::dleq::{DleqInstance, DleqProof};
 use crate::error::SchemeError;
 use crate::hashing::{hash_to_ed25519, hash_to_ed25519_scalar, hash_to_key};
 use crate::wire::{get_point, get_scalar, put_point, put_scalar};
@@ -332,10 +335,43 @@ pub fn verify_decryption_share(pk: &PublicKey, ct: &Ciphertext, share: &Decrypti
         .verify(D_SHARE, &Point::base(), h_i, &ct.u, &share.u_i)
 }
 
+/// Verifies a batch of decryption shares at once.
+///
+/// All DLEQ proofs are folded into a single multi-scalar multiplication
+/// ([`DleqProof::verify_batch`]); when the batch fails, bisection
+/// pinpoints the first invalid share so the error still names the
+/// offending party.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShare`] naming the first party whose share
+/// fails its proof (or whose id is out of range).
+pub fn verify_decryption_shares_batch(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+) -> Result<(), SchemeError> {
+    let base = Point::base();
+    let mut instances = Vec::with_capacity(shares.len());
+    for share in shares {
+        let Some(h_i) = pk.verification_key(share.id) else {
+            return Err(SchemeError::InvalidShare { party: share.id.value() });
+        };
+        instances.push(DleqInstance { g1: &base, h1: h_i, g2: &ct.u, h2: &share.u_i, proof: &share.proof });
+    }
+    let check = |r: std::ops::Range<usize>| DleqProof::verify_batch(D_SHARE, &instances[r]);
+    match bisect_invalid(shares.len(), &check) {
+        None => Ok(()),
+        Some(i) => Err(SchemeError::InvalidShare { party: shares[i].id.value() }),
+    }
+}
+
 /// Combines `t+1` verified shares and opens the payload.
 ///
 /// Shares failing verification are rejected (robustness: the protocol
-/// succeeds as long as `t+1` honest shares are present).
+/// succeeds as long as `t+1` honest shares are present). Verification is
+/// batched — one MSM for all proofs — and the Lagrange interpolation of
+/// `u^x` runs as a single multi-scalar multiplication.
 ///
 /// # Errors
 ///
@@ -344,6 +380,41 @@ pub fn verify_decryption_share(pk: &PublicKey, ct: &Ciphertext, share: &Decrypti
 /// - [`SchemeError::InvalidShare`] when a supplied share fails its proof.
 /// - [`SchemeError::NotEnoughShares`] with fewer than `t+1` shares.
 pub fn combine(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+) -> Result<Vec<u8>, SchemeError> {
+    if !verify_ciphertext(pk, ct) {
+        return Err(SchemeError::InvalidCiphertext("TDH2 validity check failed".into()));
+    }
+    verify_decryption_shares_batch(pk, ct, shares)?;
+    let need = pk.params.quorum() as usize;
+    if shares.len() < need {
+        return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
+    }
+    let quorum = &shares[..need];
+    let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
+    // h^r = u^x = Π u_i^{λ_i}, as one MSM over the quorum.
+    let lambdas = lagrange_coeffs_at_zero::<Scalar>(&ids)?;
+    let points: Vec<Point> = quorum.iter().map(|s| s.u_i).collect();
+    let coeffs: Vec<&theta_math::BigUint> = lambdas.iter().map(|l| l.to_biguint()).collect();
+    let h_r = theta_math::msm::msm(&points, &coeffs);
+    let mask = hash_to_key(D_MASK, &[&h_r.compress()]);
+    let mut k = [0u8; 32];
+    for i in 0..32 {
+        k[i] = ct.c_k[i] ^ mask[i];
+    }
+    let nonce = payload_nonce(&ct.c_k, &ct.u);
+    aead::open(&k, &nonce, &ct.label, &ct.payload)
+        .map_err(|_| SchemeError::InvalidCiphertext("payload authentication failed".into()))
+}
+
+/// Pre-optimization reference path: per-share DLEQ verification and a
+/// serial per-share Lagrange interpolation of `u^x`. Kept (hidden from
+/// docs) so benchmarks and property tests can compare the batched
+/// kernels against the straightforward implementation they replaced.
+#[doc(hidden)]
+pub fn combine_serial_baseline(
     pk: &PublicKey,
     ct: &Ciphertext,
     shares: &[DecryptionShare],
@@ -362,7 +433,6 @@ pub fn combine(
     }
     let quorum = &shares[..need];
     let ids: Vec<PartyId> = quorum.iter().map(|s| s.id).collect();
-    // h^r = u^x = Π u_i^{λ_i}
     let mut h_r = Point::identity();
     for share in quorum {
         let lambda = lagrange_at_zero::<Scalar>(share.id, &ids)?;
@@ -551,5 +621,25 @@ mod tests {
                 .collect();
             assert_eq!(combine(&pk, &ct, &dec).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_names_culprit() {
+        let (pk, shares, mut r) = setup(2, 7);
+        let ct = encrypt(&pk, b"l", b"m", &mut r);
+        let mut ds: Vec<_> = shares
+            .iter()
+            .map(|s| create_decryption_share(s, &ct, &mut r).unwrap())
+            .collect();
+        assert!(verify_decryption_shares_batch(&pk, &ct, &ds).is_ok());
+        ds[2].u_i = ds[2].u_i.add(&Point::base());
+        assert_eq!(
+            verify_decryption_shares_batch(&pk, &ct, &ds),
+            Err(SchemeError::InvalidShare { party: ds[2].id.value() })
+        );
+        assert!(matches!(
+            combine(&pk, &ct, &ds),
+            Err(SchemeError::InvalidShare { .. })
+        ));
     }
 }

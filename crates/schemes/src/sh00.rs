@@ -31,7 +31,9 @@ use crate::common::{PartyId, ThresholdParams};
 use crate::error::SchemeError;
 use rand::RngCore;
 use theta_codec::{Decode, Encode, Reader, Writer};
-use theta_math::{ext_gcd, generate_safe_prime, mod_inverse, BigInt, BigUint, Montgomery, Sign};
+use theta_math::{
+    ext_gcd, generate_safe_prime, mod_inverse, BigInt, BigUint, MontTable, Montgomery, Sign,
+};
 use theta_primitives::{expand, DomainHasher};
 
 const D_MSG: &str = "thetacrypt/sh00/message/v1";
@@ -379,16 +381,30 @@ pub fn sign_share(key: &KeyShare, message: &[u8], rng: &mut dyn RngCore) -> Sign
 
 /// Verifies a signature share via the recomputed challenge.
 pub fn verify_share(pk: &PublicKey, message: &[u8], share: &SignatureShare) -> bool {
+    let ctx = Montgomery::new(pk.n.clone());
+    let x = message_rep(pk, message);
+    let delta = pk.delta();
+    let x_tilde = ctx.pow(&x, &(&delta << 2));
+    verify_share_inner(pk, &ctx, &x_tilde, None, share)
+}
+
+/// Core proof check with an optional pair of fixed-base tables for `v`
+/// and `x̃` (the two message-/key-fixed bases raised to the wide exponent
+/// `z`). With tables, the `z`-sized squaring chains disappear and only
+/// the 128-bit challenge exponentiations remain.
+fn verify_share_inner(
+    pk: &PublicKey,
+    ctx: &Montgomery,
+    x_tilde: &BigUint,
+    tables: Option<&(MontTable, MontTable)>,
+    share: &SignatureShare,
+) -> bool {
     let Some(v_i) = pk.verification_key(share.id) else {
         return false;
     };
     if share.x_i.is_zero() || share.x_i >= pk.n {
         return false;
     }
-    let ctx = Montgomery::new(pk.n.clone());
-    let x = message_rep(pk, message);
-    let delta = pk.delta();
-    let x_tilde = ctx.pow(&x, &(&delta << 2));
     let x_i_sq = (&share.x_i * &share.x_i).rem(&pk.n);
     // v' = v^z · v_i^{−c},  x' = x̃^z · (x_i²)^{−c}
     let Some(v_i_inv) = mod_inverse(v_i, &pk.n) else {
@@ -397,9 +413,51 @@ pub fn verify_share(pk: &PublicKey, message: &[u8], share: &SignatureShare) -> b
     let Some(x_i_sq_inv) = mod_inverse(&x_i_sq, &pk.n) else {
         return false;
     };
-    let v_prime = (&ctx.pow(&pk.v, &share.z) * &ctx.pow(&v_i_inv, &share.c)).rem(&pk.n);
-    let x_prime = (&ctx.pow(&x_tilde, &share.z) * &ctx.pow(&x_i_sq_inv, &share.c)).rem(&pk.n);
-    proof_challenge(pk, &x_tilde, v_i, &x_i_sq, &v_prime, &x_prime) == share.c
+    let (v_pow_z, xt_pow_z) = match tables {
+        Some((vt, xt)) => (
+            ctx.pow_precomputed(vt, &share.z),
+            ctx.pow_precomputed(xt, &share.z),
+        ),
+        None => (ctx.pow(&pk.v, &share.z), ctx.pow(x_tilde, &share.z)),
+    };
+    let v_prime = (&v_pow_z * &ctx.pow(&v_i_inv, &share.c)).rem(&pk.n);
+    let x_prime = (&xt_pow_z * &ctx.pow(&x_i_sq_inv, &share.c)).rem(&pk.n);
+    proof_challenge(pk, x_tilde, v_i, &x_i_sq, &v_prime, &x_prime) == share.c
+}
+
+/// Verifies many shares over one message with shared precomputation: the
+/// Montgomery context, full-domain hash, `x̃ = x^{4Δ}` and — for two or
+/// more shares — fixed-base tables for `v` and `x̃` are computed once and
+/// reused, removing the per-share wide-exponent squaring chains.
+///
+/// # Errors
+///
+/// [`SchemeError::InvalidShare`] naming the first party whose proof
+/// fails.
+pub fn verify_shares_batch(
+    pk: &PublicKey,
+    message: &[u8],
+    shares: &[SignatureShare],
+) -> Result<(), SchemeError> {
+    if shares.is_empty() {
+        return Ok(());
+    }
+    let ctx = Montgomery::new(pk.n.clone());
+    let x = message_rep(pk, message);
+    let delta = pk.delta();
+    let x_tilde = ctx.pow(&x, &(&delta << 2));
+    // Honest z < 2^(|N| + 2·L1) + m·2^L1; oversized exponents fall back
+    // to the generic pow inside pow_precomputed, so this is a fast path,
+    // not a correctness bound.
+    let z_bits = pk.n.bits() + 2 * L1_BITS + 8;
+    let tables = (shares.len() >= 2)
+        .then(|| (ctx.precompute_base(&pk.v, z_bits), ctx.precompute_base(&x_tilde, z_bits)));
+    for share in shares {
+        if !verify_share_inner(pk, &ctx, &x_tilde, tables.as_ref(), share) {
+            return Err(SchemeError::InvalidShare { party: share.id.value() });
+        }
+    }
+    Ok(())
 }
 
 /// Integer Lagrange coefficient `λ_i = Δ·Π_{j≠i} j / Π_{j≠i} (j − i)`;
@@ -436,11 +494,7 @@ pub fn combine(
     message: &[u8],
     shares: &[SignatureShare],
 ) -> Result<Signature, SchemeError> {
-    for share in shares {
-        if !verify_share(pk, message, share) {
-            return Err(SchemeError::InvalidShare { party: share.id.value() });
-        }
-    }
+    verify_shares_batch(pk, message, shares)?;
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });
@@ -460,19 +514,24 @@ pub fn combine(
     let x = message_rep(pk, message);
     let delta = pk.delta();
 
-    // w = Π x_i^{2·λ_i}; then w^e = x^{e'} with e' = 4Δ².
-    let mut w = BigUint::one();
+    // w = Π x_i^{2·λ_i}; then w^e = x^{e'} with e' = 4Δ². Signed λ_i are
+    // handled by inverting the base; the t+1 exponentiations then share
+    // one squaring chain via Straus multi-exponentiation.
+    let mut bases = Vec::with_capacity(quorum.len());
+    let mut exps = Vec::with_capacity(quorum.len());
     for share in quorum {
         let lambda = lagrange_integer(share.id, &ids, &delta);
-        let exp = lambda.magnitude() << 1;
+        exps.push(lambda.magnitude() << 1);
         let base = if lambda.is_negative() {
             mod_inverse(&share.x_i, &pk.n)
                 .ok_or_else(|| SchemeError::InvalidShare { party: share.id.value() })?
         } else {
             share.x_i.clone()
         };
-        w = (&w * &ctx.pow(&base, &exp)).rem(&pk.n);
+        bases.push(base);
     }
+    let exp_refs: Vec<&BigUint> = exps.iter().collect();
+    let w = ctx.multi_exp(&bases, &exp_refs);
 
     let e_prime = &(&delta * &delta) << 2; // 4Δ²
     let (g, a, b) = ext_gcd(&e_prime, &pk.e);
@@ -481,17 +540,18 @@ pub fn combine(
             "gcd(4Δ², e) != 1 — exponent too small for this n".into(),
         ));
     }
-    // y = w^a · x^b (signed exponents via modular inverses).
-    let pow_signed = |base: &BigUint, exp: &BigInt| -> Result<BigUint, SchemeError> {
-        let b = if exp.is_negative() {
-            mod_inverse(base, &pk.n)
-                .ok_or_else(|| SchemeError::InvalidSignature)?
+    // y = w^a · x^b (signed exponents via modular inverses), again as one
+    // two-base multi-exponentiation.
+    let signed_base = |base: &BigUint, exp: &BigInt| -> Result<BigUint, SchemeError> {
+        if exp.is_negative() {
+            mod_inverse(base, &pk.n).ok_or(SchemeError::InvalidSignature)
         } else {
-            base.clone()
-        };
-        Ok(ctx.pow(&b, exp.magnitude()))
+            Ok(base.clone())
+        }
     };
-    let y = (&pow_signed(&w, &a)? * &pow_signed(&x, &b)?).rem(&pk.n);
+    let y_bases = [signed_base(&w, &a)?, signed_base(&x, &b)?];
+    let y_exps = [a.magnitude(), b.magnitude()];
+    let y = ctx.multi_exp(&y_bases, &y_exps);
 
     let sig = Signature { y };
     if !verify(pk, message, &sig) {
@@ -671,5 +731,29 @@ mod tests {
             .collect();
         let sig = combine(&pk, b"m", &partials).unwrap();
         assert_eq!(Signature::decoded(&sig.encoded()).unwrap(), sig);
+    }
+
+    #[test]
+    fn batch_verify_matches_individual_and_names_culprit() {
+        let (pk, shares, mut r) = setup(1, 4);
+        let msg = b"batched rsa";
+        let mut partials: Vec<_> = shares
+            .iter()
+            .map(|s| sign_share(s, msg, &mut r))
+            .collect();
+        // The table-backed batch path agrees with per-share verification.
+        assert!(verify_shares_batch(&pk, msg, &partials).is_ok());
+        for s in &partials {
+            assert!(verify_share(&pk, msg, s));
+        }
+        partials[1].z = &partials[1].z + &BigUint::one();
+        assert_eq!(
+            verify_shares_batch(&pk, msg, &partials),
+            Err(SchemeError::InvalidShare { party: partials[1].id.value() })
+        );
+        assert!(matches!(
+            combine(&pk, msg, &partials),
+            Err(SchemeError::InvalidShare { .. })
+        ));
     }
 }

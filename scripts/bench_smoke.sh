@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Quick smoke run of the scalar-multiplication kernel benchmarks.
+#
+# Runs the Criterion `kernels` bench with a shrunken measurement budget
+# (CRITERION_QUICK=1) and then the `bench_kernels` binary, which writes
+# the old-vs-new speedup table to BENCH_kernels.json at the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CRITERION_QUICK=1
+
+echo "== criterion kernels bench (quick mode) =="
+cargo bench -p theta-bench --bench kernels
+
+echo
+echo "== kernel speedup table -> BENCH_kernels.json =="
+cargo run --release -p theta-bench --bin bench_kernels -- --quick
+
+echo
+echo "BENCH_kernels.json:"
+cat BENCH_kernels.json

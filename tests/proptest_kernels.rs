@@ -1,0 +1,171 @@
+//! Property-based tests for the scalar-multiplication kernels: the MSM
+//! agrees with the naive `Σ sᵢ·Pᵢ` loop on every group, batched share
+//! verification accepts exactly when every share verifies individually
+//! (with bisection naming the first culprit), and the optimised combine
+//! paths produce the same results as the serial baselines they
+//! replaced.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use thetacrypt::math::msm::msm;
+use thetacrypt::math::BigUint;
+use thetacrypt::schemes::ThresholdParams;
+
+fn rng_from(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn msm_matches_naive_ed25519(seed in any::<u64>(), n in 0usize..10) {
+        use thetacrypt::math::ed25519::{Point, Scalar};
+        let mut r = rng_from(seed);
+        let scalars: Vec<Scalar> = (0..n).map(|_| Scalar::random(&mut r)).collect();
+        let points: Vec<Point> =
+            (0..n).map(|_| Point::mul_base(&Scalar::random(&mut r))).collect();
+        let coeffs: Vec<&BigUint> = scalars.iter().map(|s| s.to_biguint()).collect();
+        let mut naive = Point::identity();
+        for (p, s) in points.iter().zip(&scalars) {
+            naive = naive.add(&p.mul(s));
+        }
+        prop_assert_eq!(msm(&points, &coeffs), naive);
+    }
+
+    #[test]
+    fn msm_matches_naive_bn254(seed in any::<u64>(), n in 0usize..6) {
+        use thetacrypt::math::bn254::{Fr, G1, G2};
+        let mut r = rng_from(seed);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let coeffs: Vec<&BigUint> = scalars.iter().map(|s| s.to_biguint()).collect();
+        let g1s: Vec<G1> = (0..n).map(|_| G1::mul_generator(&Fr::random(&mut r))).collect();
+        let mut naive1 = G1::identity();
+        for (p, s) in g1s.iter().zip(&scalars) {
+            naive1 = naive1.add(&p.mul(s));
+        }
+        prop_assert_eq!(msm(&g1s, &coeffs), naive1);
+        let g2s: Vec<G2> = (0..n).map(|_| G2::mul_generator(&Fr::random(&mut r))).collect();
+        let mut naive2 = G2::identity();
+        for (p, s) in g2s.iter().zip(&scalars) {
+            naive2 = naive2.add(&p.mul(s));
+        }
+        prop_assert_eq!(msm(&g2s, &coeffs), naive2);
+    }
+
+    #[test]
+    fn batch_lagrange_matches_per_party(seed in any::<u64>(), t in 0u16..5, extra in 1u16..4) {
+        use thetacrypt::schemes::common::{
+            lagrange_at_zero, lagrange_coeffs_at_zero, shamir_share, PartyId,
+        };
+        use thetacrypt::math::ed25519::Scalar;
+        use rand::seq::SliceRandom;
+        let n = 2 * t + extra;
+        let params = ThresholdParams::new(t, n).unwrap();
+        let mut r = rng_from(seed);
+        let shares = shamir_share(&Scalar::random(&mut r), params, &mut r);
+        let mut ids: Vec<PartyId> = shares.iter().map(|(id, _)| *id).collect();
+        ids.shuffle(&mut r);
+        ids.truncate((t + 1) as usize);
+        let batch = lagrange_coeffs_at_zero::<Scalar>(&ids).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(&batch[i], &lagrange_at_zero::<Scalar>(*id, &ids).unwrap());
+        }
+    }
+
+    #[test]
+    fn bls04_batch_accepts_iff_all_valid(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        bad in proptest::option::of(0usize..5),
+    ) {
+        use thetacrypt::schemes::{bls04, SchemeError};
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(2, 5).unwrap();
+        let (pk, keys) = bls04::keygen(params, &mut r);
+        let mut shares: Vec<_> =
+            keys.iter().map(|k| bls04::sign_share(k, &msg).unwrap()).collect();
+        if let Some(i) = bad {
+            // Forge share i by signing a different message with the
+            // same key: individually well-formed, but invalid here.
+            shares[i] = bls04::sign_share(&keys[i], b"forged").unwrap();
+            // A forgery only exists when the messages actually differ.
+            prop_assume!(msg != b"forged");
+        }
+        let all_valid = shares.iter().all(|s| bls04::verify_share(&pk, &msg, s));
+        let batch = bls04::verify_shares_batch(&pk, &msg, &shares);
+        prop_assert_eq!(all_valid, batch.is_ok());
+        if let Some(i) = bad {
+            match batch {
+                Err(SchemeError::InvalidShare { party }) => {
+                    prop_assert_eq!(party, shares[i].id().value());
+                }
+                other => prop_assert!(false, "expected InvalidShare, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn sg02_batch_accepts_iff_all_valid(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        bad in proptest::option::of(0usize..5),
+    ) {
+        use thetacrypt::schemes::{sg02, SchemeError};
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(2, 5).unwrap();
+        let (pk, keys) = sg02::keygen(params, &mut r);
+        let ct = sg02::encrypt(&pk, b"label", &msg, &mut r);
+        let other_ct = sg02::encrypt(&pk, b"label", &msg, &mut r);
+        let mut shares: Vec<_> = keys
+            .iter()
+            .map(|k| sg02::create_decryption_share(k, &ct, &mut r).unwrap())
+            .collect();
+        if let Some(i) = bad {
+            // A valid share for a *different* ciphertext: the proof
+            // verifies against other_ct but not against ct.
+            shares[i] = sg02::create_decryption_share(&keys[i], &other_ct, &mut r).unwrap();
+        }
+        let all_valid =
+            shares.iter().all(|s| sg02::verify_decryption_share(&pk, &ct, s));
+        let batch = sg02::verify_decryption_shares_batch(&pk, &ct, &shares);
+        prop_assert_eq!(all_valid, batch.is_ok());
+        if let Some(i) = bad {
+            prop_assert!(!all_valid);
+            match batch {
+                Err(SchemeError::InvalidShare { party }) => {
+                    prop_assert_eq!(party, shares[i].id().value());
+                }
+                other => prop_assert!(false, "expected InvalidShare, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_combine_matches_serial_baseline(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        use thetacrypt::schemes::{bls04, sg02};
+        let mut r = rng_from(seed);
+        let params = ThresholdParams::new(2, 5).unwrap();
+
+        let (bpk, bkeys) = bls04::keygen(params, &mut r);
+        let bshares: Vec<_> =
+            bkeys[..3].iter().map(|k| bls04::sign_share(k, &msg).unwrap()).collect();
+        let fast = bls04::combine(&bpk, &msg, &bshares).unwrap();
+        let slow = bls04::combine_serial_baseline(&bpk, &msg, &bshares).unwrap();
+        prop_assert_eq!(fast, slow);
+
+        let (spk, skeys) = sg02::keygen(params, &mut r);
+        let ct = sg02::encrypt(&spk, b"label", &msg, &mut r);
+        let sshares: Vec<_> = skeys[..3]
+            .iter()
+            .map(|k| sg02::create_decryption_share(k, &ct, &mut r).unwrap())
+            .collect();
+        let fast = sg02::combine(&spk, &ct, &sshares).unwrap();
+        let slow = sg02::combine_serial_baseline(&spk, &ct, &sshares).unwrap();
+        prop_assert_eq!(&fast, &msg);
+        prop_assert_eq!(fast, slow);
+    }
+}

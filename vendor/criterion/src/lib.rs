@@ -1,0 +1,127 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! workspace benches use, with a simple wall-clock measurement loop:
+//! a short warm-up, then a time-budgeted batch whose mean per-iteration
+//! time is printed in Criterion-like form. Honours `CRITERION_QUICK=1`
+//! to shrink the measurement budget for smoke runs.
+
+use std::time::{Duration, Instant};
+
+fn budget() -> Duration {
+    if std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false) {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+/// Re-export-compatible opaque hint.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    pub mean_ns: f64,
+    pub iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(5) && warm_iters < 1000) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let target = budget().as_nanos() as f64;
+        let n = ((target / est.max(1.0)) as u64).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / n as f64;
+        self.iters = n;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.mean_ns;
+    let (val, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    };
+    println!("{:<40} time: {:>10.3} {:<2} ({} iters)", name, val, unit, b.iters);
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,322 @@
+//! Offline stand-in for `crossbeam` (channel subset used by thetacrypt).
+//! Functional MPMC channels over Mutex+Condvar; `select!` polls.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cond: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        capacity: Option<usize>,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    enum ReceiverKind<T> {
+        Normal(Arc<Shared<T>>),
+        Never,
+        At { when: Instant, fired: Arc<AtomicBool> },
+    }
+
+    pub struct Receiver<T> {
+        kind: ReceiverKind<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            match &self.kind {
+                ReceiverKind::Normal(shared) => {
+                    shared.receivers.fetch_add(1, Ordering::SeqCst);
+                    Receiver { kind: ReceiverKind::Normal(shared.clone()) }
+                }
+                ReceiverKind::Never => Receiver { kind: ReceiverKind::Never },
+                ReceiverKind::At { when, fired } => Receiver {
+                    kind: ReceiverKind::At { when: *when, fired: fired.clone() },
+                },
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let ReceiverKind::Normal(shared) = &self.kind {
+                if shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    shared.cond.notify_all();
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap();
+            if let Some(cap) = self.shared.capacity {
+                while q.len() >= cap {
+                    if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(value));
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .cond
+                        .wait_timeout(q, Duration::from_millis(5))
+                        .unwrap();
+                    q = guard;
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.shared.cond.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match &self.kind {
+                ReceiverKind::Normal(shared) => {
+                    let mut q = shared.queue.lock().unwrap();
+                    if let Some(v) = q.pop_front() {
+                        drop(q);
+                        shared.cond.notify_all();
+                        return Ok(v);
+                    }
+                    if shared.senders.load(Ordering::SeqCst) == 0 {
+                        Err(TryRecvError::Disconnected)
+                    } else {
+                        Err(TryRecvError::Empty)
+                    }
+                }
+                ReceiverKind::Never => Err(TryRecvError::Empty),
+                ReceiverKind::At { when, fired } => {
+                    if Instant::now() >= *when
+                        && fired
+                            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    {
+                        Err(TryRecvError::Disconnected) // see at(): fires via select poll
+                    } else {
+                        Err(TryRecvError::Empty)
+                    }
+                }
+            }
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                match self.recv_timeout(Duration::from_millis(50)) {
+                    Ok(v) => return Ok(v),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                }
+            }
+        }
+
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            self.recv_timeout(deadline.saturating_duration_since(Instant::now()))
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match &self.kind {
+                ReceiverKind::Normal(shared) => {
+                    let deadline = Instant::now() + timeout;
+                    let mut q = shared.queue.lock().unwrap();
+                    loop {
+                        if let Some(v) = q.pop_front() {
+                            drop(q);
+                            shared.cond.notify_all();
+                            return Ok(v);
+                        }
+                        if shared.senders.load(Ordering::SeqCst) == 0 {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        let (guard, _) = shared
+                            .cond
+                            .wait_timeout(q, deadline - now)
+                            .unwrap();
+                        q = guard;
+                    }
+                }
+                ReceiverKind::Never => {
+                    std::thread::sleep(timeout);
+                    Err(RecvTimeoutError::Timeout)
+                }
+                ReceiverKind::At { when, fired } => {
+                    let deadline = Instant::now() + timeout;
+                    loop {
+                        if Instant::now() >= *when
+                            && fired
+                                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                                .is_ok()
+                        {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        if Instant::now() >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                }
+            }
+        }
+
+        /// select! support: Empty / ready probe without consuming.
+        pub fn stub_ready(&self) -> bool {
+            match &self.kind {
+                ReceiverKind::Normal(shared) => {
+                    !shared.queue.lock().unwrap().is_empty()
+                        || shared.senders.load(Ordering::SeqCst) == 0
+                }
+                ReceiverKind::Never => false,
+                ReceiverKind::At { when, fired } => {
+                    !fired.load(Ordering::SeqCst) && Instant::now() >= *when
+                }
+            }
+        }
+
+        /// select! support: blocking recv yielding the arm's Result type.
+        pub fn stub_select_recv(&self) -> Result<T, RecvError> {
+            match &self.kind {
+                ReceiverKind::Normal(_) => match self.try_recv() {
+                    Ok(v) => Ok(v),
+                    Err(_) => Err(RecvError),
+                },
+                ReceiverKind::Never => Err(RecvError),
+                ReceiverKind::At { .. } => Err(RecvError),
+            }
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            capacity,
+        });
+        (
+            Sender { shared: shared.clone() },
+            Receiver { kind: ReceiverKind::Normal(shared) },
+        )
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+
+    /// Support for the `select!` stub: one non-blocking poll, `None`
+    /// when the channel is merely empty.
+    pub fn __select_poll<T>(r: &Receiver<T>) -> Option<Result<T, RecvError>> {
+        match r.try_recv() {
+            Ok(v) => Some(Ok(v)),
+            Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+            Err(TryRecvError::Empty) => None,
+        }
+    }
+
+    pub fn never<T>() -> Receiver<T> {
+        Receiver { kind: ReceiverKind::Never }
+    }
+
+    pub fn at(when: Instant) -> Receiver<Instant> {
+        Receiver {
+            kind: ReceiverKind::At { when, fired: Arc::new(AtomicBool::new(false)) },
+        }
+    }
+
+    pub fn after(duration: Duration) -> Receiver<Instant> {
+        at(Instant::now() + duration)
+    }
+}
+
+/// Polling select!: semantically equivalent for the arm bodies (each arm
+/// fires with Ok(msg) on a message, Err on disconnect/timer), trading
+/// blocking efficiency for simplicity.
+#[macro_export]
+macro_rules! select {
+    ($(recv($r:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
+        loop {
+            let mut fired = false;
+            $(
+                if !fired {
+                    // The helper ties the Result's Ok type to the
+                    // receiver, so `_` patterns need no annotation.
+                    if let Some(res) = $crate::channel::__select_poll(&$r) {
+                        fired = true;
+                        let $msg = res;
+                        $body
+                    }
+                }
+            )+
+            if fired {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+    }};
+}
