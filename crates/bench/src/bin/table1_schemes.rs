@@ -5,7 +5,7 @@ use theta_schemes::registry::all_schemes;
 
 fn main() {
     println!("Table 1. Threshold schemes in Thetacrypt");
-    println!("{:<22} {:<12} {:<15} {}", "Cryptographic scheme", "Reference", "Hardness", "Verification strategy");
+    println!("{:<22} {:<12} {:<15} Verification strategy", "Cryptographic scheme", "Reference", "Hardness");
     let mut rows = Vec::new();
     for info in all_schemes() {
         println!(

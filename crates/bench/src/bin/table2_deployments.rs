@@ -6,8 +6,8 @@ use theta_sim::{rtt, table2_deployments, Region};
 fn main() {
     println!("Table 2. Deployment configurations");
     println!(
-        "{:<10} {:<8} {:<28} {:<22} {}",
-        "Acronym", "Size", "Region(s)", "Network latency (ms)", "Max rate"
+        "{:<10} {:<8} {:<28} {:<22} Max rate",
+        "Acronym", "Size", "Region(s)", "Network latency (ms)"
     );
     let mut rows = Vec::new();
     for d in table2_deployments() {

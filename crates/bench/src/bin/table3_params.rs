@@ -6,8 +6,8 @@ use theta_schemes::registry::all_schemes;
 fn main() {
     println!("Table 3. Schemes' parameters benchmark setup");
     println!(
-        "{:<8} {:<16} {:<18} {}",
-        "Scheme", "Arithmetic", "Key length (bit)", "Communication complexity"
+        "{:<8} {:<16} {:<18} Communication complexity",
+        "Scheme", "Arithmetic", "Key length (bit)"
     );
     let mut rows = Vec::new();
     // Paper order for Table 3: SG02, BZ03, SH00, BLS04, KG20, CKS05.

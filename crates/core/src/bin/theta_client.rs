@@ -5,6 +5,8 @@
 //! theta-client --node 127.0.0.1:8001 sign bls04 "block 42"
 //! theta-client --node 127.0.0.1:8001 seal-open sg02 "secret payload"
 //! theta-client --node 127.0.0.1:8001 pubkey cks05
+//! theta-client --node 127.0.0.1:8001 metrics
+//! theta-client --node 127.0.0.1:8001 trace <instance-id-hex>
 //! ```
 
 use std::net::SocketAddr;
@@ -20,7 +22,10 @@ fn usage() -> ! {
            coin <name>                 flip the CKS05 coin\n\
            sign <scheme> <message>     threshold-sign (sh00|bls04|kg20)\n\
            seal-open <scheme> <msg>    encrypt via scheme API, decrypt via protocol API (sg02|bz03)\n\
-           pubkey <scheme>             fetch a public key (hex)"
+           pubkey <scheme>             fetch a public key (hex)\n\
+           stats                       event-loop counters of the node\n\
+           metrics                     Prometheus text exposition of the node's metrics\n\
+           trace <instance-hex>        lifecycle trace of one protocol instance"
     );
     std::process::exit(2);
 }
@@ -91,6 +96,46 @@ fn main() {
             let scheme = SchemeId::from_name(&rest[1]).unwrap_or_else(|| usage());
             let pk = client.public_key(scheme).expect("public key");
             println!("{}", theta_primitives::to_hex(&pk));
+        }
+        "stats" if rest.len() == 1 => {
+            let s = client.node_stats().expect("node stats");
+            println!("{s:#?}");
+        }
+        "metrics" if rest.len() == 1 => {
+            // Raw Prometheus text — pipeable straight into promtool or a
+            // file_sd-backed scrape.
+            print!("{}", client.metrics().expect("metrics"));
+        }
+        "trace" if rest.len() == 2 => {
+            let bytes = theta_primitives::from_hex(&rest[1])
+                .filter(|b| b.len() == 32)
+                .unwrap_or_else(|| {
+                    eprintln!("trace expects a 64-char hex instance id");
+                    std::process::exit(2);
+                });
+            let mut instance = [0u8; 32];
+            instance.copy_from_slice(&bytes);
+            let events = client.trace(instance).expect("trace");
+            println!("trace for {} ({} event(s)):", &rest[1][..16], events.len());
+            for ev in events {
+                let peer = if ev.peer == 0 {
+                    String::new()
+                } else {
+                    format!(" peer={}", ev.peer)
+                };
+                let detail = if ev.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", ev.detail)
+                };
+                println!(
+                    "  {:>10.3} ms  {:<18}{}{}",
+                    ev.at_micros as f64 / 1000.0,
+                    ev.kind.label(),
+                    peer,
+                    detail
+                );
+            }
         }
         _ => usage(),
     }

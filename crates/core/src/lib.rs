@@ -311,6 +311,16 @@ impl ThetaNetwork {
         self.node(id).counters()
     }
 
+    /// Full observability bundle of node `id` (1-based): metrics registry,
+    /// trace journal and per-phase latency histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is outside `1..=n`.
+    pub fn node_observability(&self, id: u16) -> Arc<theta_metrics::NodeObservability> {
+        self.node(id).observability()
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

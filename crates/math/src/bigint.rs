@@ -147,6 +147,8 @@ impl std::ops::Add for &BigInt {
 
 impl std::ops::Sub for &BigInt {
     type Output = BigInt;
+    // Subtraction *is* addition of the negation here; not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: &BigInt) -> BigInt {
         self + &rhs.neg()
     }

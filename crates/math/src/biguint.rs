@@ -122,7 +122,7 @@ impl BigUint {
 
     /// Decodes a big-endian byte string.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity((bytes.len() + 7) / 8);
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
         let mut iter = bytes.rchunks(8);
         for chunk in &mut iter {
             let mut limb = 0u64;
@@ -136,7 +136,7 @@ impl BigUint {
 
     /// Decodes a little-endian byte string.
     pub fn from_bytes_le(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity((bytes.len() + 7) / 8);
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
         for chunk in bytes.chunks(8) {
             let mut limb = 0u64;
             for (i, &b) in chunk.iter().enumerate() {
@@ -201,7 +201,7 @@ impl BigUint {
     /// True when the value is even (zero counts as even).
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// True when the value is odd.
@@ -222,7 +222,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Converts to `u64`, returning `None` on overflow.
@@ -453,8 +453,8 @@ impl BigUint {
     pub fn random_below<R: rand::RngCore + ?Sized>(rng: &mut R, bound: &Self) -> Self {
         assert!(!bound.is_zero(), "empty range");
         let bits = bound.bits();
-        let limbs = (bits + 63) / 64;
-        let top_mask = if bits % 64 == 0 {
+        let limbs = bits.div_ceil(64);
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -478,7 +478,7 @@ impl BigUint {
     /// Panics when `bits == 0`.
     pub fn random_bits<R: rand::RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
         assert!(bits > 0, "need at least one bit");
-        let limbs = (bits + 63) / 64;
+        let limbs = bits.div_ceil(64);
         let mut raw: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
         let top_bit = (bits - 1) % 64;
         let top = raw.last_mut().unwrap();

@@ -68,9 +68,9 @@ impl Fe {
             let mut r = [0u64; 5];
             r[0] = (borrow as u64) & MASK51;
             borrow >>= 51;
-            for i in 1..5 {
+            for (i, limb) in r.iter_mut().enumerate().skip(1) {
                 let cur = t.0[i] as i128 - MASK51 as i128 + borrow;
-                r[i] = (cur as u64) & MASK51;
+                *limb = (cur as u64) & MASK51;
                 borrow = cur >> 51;
             }
             if borrow == 0 {
@@ -155,19 +155,19 @@ impl Fe {
 
         // Carry chain over u128 accumulators.
         let mut out = [0u64; 5];
-        let c = (r0 >> 51) as u128;
+        let c = r0 >> 51;
         out[0] = (r0 as u64) & MASK51;
         r1 += c;
-        let c = (r1 >> 51) as u128;
+        let c = r1 >> 51;
         out[1] = (r1 as u64) & MASK51;
         r2 += c;
-        let c = (r2 >> 51) as u128;
+        let c = r2 >> 51;
         out[2] = (r2 as u64) & MASK51;
         r3 += c;
-        let c = (r3 >> 51) as u128;
+        let c = r3 >> 51;
         out[3] = (r3 as u64) & MASK51;
         r4 += c;
-        let c = (r4 >> 51) as u128;
+        let c = r4 >> 51;
         out[4] = (r4 as u64) & MASK51;
         out[0] += (c as u64) * 19;
         Fe(out).carry()

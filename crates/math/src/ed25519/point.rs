@@ -144,7 +144,7 @@ impl Point {
             table[i] = table[i - 1].add(self);
         }
         let bits = scalar.bits();
-        let windows = (bits + 3) / 4;
+        let windows = bits.div_ceil(4);
         let mut acc = Point::identity();
         for w in (0..windows).rev() {
             for _ in 0..4 {

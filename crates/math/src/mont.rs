@@ -220,7 +220,7 @@ impl Montgomery {
     /// bits, for use with [`Montgomery::pow_precomputed`].
     pub fn precompute_base(&self, base: &BigUint, max_bits: usize) -> MontTable {
         let base_m = self.to_mont(base);
-        let nwin = (max_bits + 3) / 4;
+        let nwin = max_bits.div_ceil(4);
         let mut windows = Vec::with_capacity(nwin);
         let mut cur = base_m; // base^(16ʷ) in Montgomery form
         for _ in 0..nwin {
@@ -294,7 +294,7 @@ impl Montgomery {
                 t
             })
             .collect();
-        let windows = (max_bits + 3) / 4;
+        let windows = max_bits.div_ceil(4);
         let mut acc: Option<BigUint> = None;
         for w in (0..windows).rev() {
             if let Some(a) = acc.as_mut() {

@@ -83,7 +83,7 @@ pub fn mul_point<G: CurveGroup>(point: &G, scalar: &BigUint) -> G {
     for i in 1..16 {
         table[i] = table[i - 1].add(point);
     }
-    let windows = (scalar.bits() + 3) / 4;
+    let windows = scalar.bits().div_ceil(4);
     let mut acc = G::identity();
     for w in (0..windows).rev() {
         if !acc.is_identity() {
@@ -155,7 +155,7 @@ fn msm_straus<G: CurveGroup>(points: &[G], scalars: &[&BigUint]) -> G {
     if max_bits == 0 {
         return G::identity();
     }
-    let windows = (max_bits + 3) / 4;
+    let windows = max_bits.div_ceil(4);
     let mut acc = G::identity();
     for w in (0..windows).rev() {
         if !acc.is_identity() {
@@ -183,11 +183,11 @@ fn msm_pippenger<G: CurveGroup>(points: &[G], scalars: &[&BigUint]) -> G {
     // running-sum merges.
     let c = (4..=16)
         .min_by_key(|&c| {
-            let windows = (max_bits + c - 1) / c;
+            let windows = max_bits.div_ceil(c);
             windows * (n + (1 << (c + 1)))
         })
         .unwrap_or(4);
-    let windows = (max_bits + c - 1) / c;
+    let windows = max_bits.div_ceil(c);
     let mut acc = G::identity();
     let mut buckets: Vec<G> = vec![G::identity(); (1 << c) - 1];
     for w in (0..windows).rev() {

@@ -24,7 +24,7 @@ pub struct PrecomputedBase<G> {
 impl<G: CurveGroup> PrecomputedBase<G> {
     /// Builds the table covering scalars up to `max_bits` bits.
     pub fn new(base: &G, max_bits: usize) -> Self {
-        let nwin = (max_bits + 3) / 4;
+        let nwin = max_bits.div_ceil(4);
         let mut windows = Vec::with_capacity(nwin);
         let mut cur = *base; // 16ʷ · base for the current window
         for _ in 0..nwin {

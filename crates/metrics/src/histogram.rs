@@ -1,0 +1,293 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`Histogram`] covers 1 µs – 60 s with two buckets per octave
+//! (bucket boundaries grow by √2), which keeps the relative
+//! quantization error of any percentile below ~41 % of the value while
+//! needing only 54 fixed buckets — small enough that recording is one
+//! relaxed `fetch_add` into a static array, with no allocation, no
+//! locking and no resizing on the hot path.
+//!
+//! Snapshots are plain-value copies that can be merged across nodes
+//! (bucket-wise addition) and queried with the same nearest-rank
+//! percentile semantics as [`crate::percentile`]: the p-th percentile is
+//! the upper bound of the bucket holding the ⌈p/100·N⌉-th smallest
+//! sample, i.e. a conservative (never under-reported) estimate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lowest bucket boundary: 1 µs. Values below land in bucket 0.
+const MIN_MICROS: u64 = 1;
+
+/// Highest finite boundary: 60 s. Larger values land in the overflow
+/// bucket (rendered as `+Inf` in the Prometheus exposition).
+const MAX_MICROS: u64 = 60_000_000;
+
+/// Number of finite buckets (≈ 2 per octave over 1 µs – 60 s) plus the
+/// overflow bucket at the end.
+pub const NUM_BUCKETS: usize = FINITE_BOUNDS.len() + 1;
+
+/// Upper bounds (inclusive, in µs) of every finite bucket: 1 µs · 2^(i/2),
+/// rounded, deduplicated at the low end, clamped to 60 s at the top.
+const FINITE_BOUNDS: [u64; 53] = bucket_bounds();
+
+const fn bucket_bounds() -> [u64; 53] {
+    // 2^(i/2) µs for i = 0..53: alternate exact powers of two and
+    // powers scaled by √2 ≈ 92682/65536. Integer math only (const fn).
+    // Below ~4 µs the √2 steps collide in integer µs, so each bound is
+    // bumped to at least predecessor+1 (the handful of low-end buckets
+    // become 1 µs wide, which is harmless).
+    let mut out = [0u64; 53];
+    let mut prev = 0u64;
+    let mut i = 0;
+    while i < 53 {
+        let mut v = if i % 2 == 0 {
+            MIN_MICROS << (i / 2)
+        } else {
+            // √2 · 2^(i/2) in fixed point (92682/65536 ≈ √2).
+            ((MIN_MICROS << (i / 2 + 1)) * 92682) >> 17
+        };
+        if v <= prev {
+            v = prev + 1;
+        }
+        if v > MAX_MICROS {
+            v = MAX_MICROS;
+        }
+        out[i] = v;
+        prev = v;
+        i += 1;
+    }
+    out
+}
+
+/// Index of the bucket a value in microseconds belongs to.
+#[inline]
+fn bucket_index(micros: u64) -> usize {
+    // The table is sorted; partition_point is a branch-light binary
+    // search over 53 entries (~6 compares).
+    FINITE_BOUNDS.partition_point(|&bound| bound < micros)
+}
+
+/// A lock-free, log-bucketed histogram of durations.
+///
+/// Recording is wait-free (one relaxed atomic add per sample); reading
+/// is a point-in-time [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_micros(d.as_micros() as u64);
+    }
+
+    /// Records one duration given in microseconds.
+    #[inline]
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A consistent-enough point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`], mergeable across nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (last bucket = overflow beyond 60 s).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Sum of all recorded values, in microseconds.
+    pub sum_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; NUM_BUCKETS], sum_micros: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket-wise merge of another snapshot into this one (pooling
+    /// distributions across nodes, as the paper pools per-node
+    /// latencies into `L^net`).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_micros += other.sum_micros;
+    }
+
+    /// Upper bound (µs) of bucket `i`; `None` for the overflow bucket.
+    pub fn bucket_bound_micros(i: usize) -> Option<u64> {
+        FINITE_BOUNDS.get(i).copied()
+    }
+
+    /// Nearest-rank percentile in seconds: the upper bound of the bucket
+    /// containing the ⌈p/100·N⌉-th smallest sample (matching
+    /// [`crate::percentile`] semantics, quantized up to a bucket edge).
+    ///
+    /// Returns `None` when the histogram is empty. Samples in the
+    /// overflow bucket report the 60 s edge.
+    pub fn percentile(&self, pct: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((pct / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = Self::bucket_bound_micros(i).unwrap_or(MAX_MICROS);
+                return Some(bound as f64 / 1e6);
+            }
+        }
+        Some(MAX_MICROS as f64 / 1e6)
+    }
+
+    /// Mean of the recorded values in seconds (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        Some(self.sum_micros as f64 / 1e6 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounds_are_strictly_increasing_and_cover_range() {
+        for w in FINITE_BOUNDS.windows(2) {
+            assert!(w[0] < w[1], "bounds must increase: {} !< {}", w[0], w[1]);
+        }
+        assert_eq!(FINITE_BOUNDS[0], 1);
+        assert_eq!(*FINITE_BOUNDS.last().unwrap(), MAX_MICROS);
+        // Adjacent ratio ≈ √2 (two buckets per octave) away from the
+        // integer-collision zone at the bottom and the 60 s clamp at
+        // the top.
+        for w in FINITE_BOUNDS[8..52].windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!((1.30..=1.55).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1); // above 1 µs, at the √2-rounded edge
+        assert_eq!(bucket_index(MAX_MICROS), FINITE_BOUNDS.len() - 1);
+        assert_eq!(bucket_index(MAX_MICROS + 1), FINITE_BOUNDS.len()); // overflow
+        assert_eq!(bucket_index(u64::MAX), FINITE_BOUNDS.len());
+    }
+
+    #[test]
+    fn record_and_percentile() {
+        let h = Histogram::new();
+        // 90 fast samples at 100 µs, 10 slow at 50 ms.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.percentile(50.0).unwrap();
+        let p95 = s.percentile(95.0).unwrap();
+        // p50 lands in the 100 µs bucket (bound ≤ ~181 µs), p95 in the
+        // 50 ms bucket (bound ≤ ~91 ms).
+        assert!((100e-6..200e-6).contains(&p50), "p50 {p50}");
+        assert!((0.05..0.1).contains(&p95), "p95 {p95}");
+        assert!(s.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentile() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert!(s.percentile(50.0).is_none());
+        assert!(s.mean().is_none());
+    }
+
+    #[test]
+    fn overflow_reports_top_edge() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(600));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.percentile(100.0).unwrap(), 60.0);
+    }
+
+    #[test]
+    fn merge_pools_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_secs(1));
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum_micros, 10 + 10 + 1_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let joins: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(i);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -13,8 +13,16 @@
 //! - knee-capacity detection (rate maximizing throughput/latency).
 
 pub mod counters;
+pub mod histogram;
+pub mod observability;
+pub mod registry;
+pub mod trace;
 
 pub use counters::{EventLoopCounters, EventLoopSnapshot};
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use observability::{NodeObservability, PhaseTimers};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use trace::{TraceEvent, TraceEventKind, TraceJournal, DEFAULT_JOURNAL_CAPACITY};
 
 /// Latency values in seconds.
 pub type Seconds = f64;
@@ -99,7 +107,10 @@ pub fn throughput(
     }
     let last = completions.iter().cloned().fold(f64::MIN, f64::max);
     let grace_limit = experiment_duration * 1.10;
-    let span = if !all_processed || last > grace_limit {
+    // The grace check is on the measured span (last completion relative
+    // to the first start), not the raw completion timestamp: a run whose
+    // first request starts late must not be misclassified as dragging.
+    let span = if !all_processed || last - first_start > grace_limit {
         experiment_duration
     } else {
         (last - first_start).max(f64::EPSILON)
@@ -220,6 +231,21 @@ mod tests {
         // Far past the end: clamped to experiment duration.
         let completions = vec![10.0, 90.0];
         let tput = throughput(&completions, 0.0, 60.0, true);
+        assert!((tput - 2.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_grace_is_relative_to_first_start() {
+        // The first request starts at t=10 and the last completion lands
+        // at t=68: the measured span is 58 s — inside the 66 s grace
+        // limit — so throughput must use the measured span, not be
+        // clamped to the nominal duration.
+        let completions: Vec<f64> = (11..=68).map(|i| i as f64).collect();
+        let tput = throughput(&completions, 10.0, 60.0, true);
+        assert!((tput - 58.0 / 58.0).abs() < 0.05, "tput {tput}");
+        // And a genuinely dragging run (span 75 s > 66 s) is clamped.
+        let completions = vec![20.0, 85.0];
+        let tput = throughput(&completions, 10.0, 60.0, true);
         assert!((tput - 2.0 / 60.0).abs() < 1e-9);
     }
 

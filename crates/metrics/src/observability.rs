@@ -1,0 +1,142 @@
+//! Per-node observability bundle: the metrics registry, the trace
+//! journal, the event-loop counters and the four per-phase latency
+//! histograms, wired together so every layer of a node shares one
+//! clone-able handle.
+
+use crate::counters::EventLoopCounters;
+use crate::histogram::Histogram;
+use crate::registry::MetricsRegistry;
+use crate::trace::TraceJournal;
+use std::sync::Arc;
+
+/// Canonical metric names for the per-phase latency histograms. The
+/// `_seconds` suffix follows the Prometheus naming convention; values
+/// are recorded in microseconds internally and rendered in seconds.
+pub const SHARE_COMPUTE_HISTOGRAM: &str = "theta_share_compute_seconds";
+/// Name of the share-verification phase histogram.
+pub const SHARE_VERIFY_HISTOGRAM: &str = "theta_share_verify_seconds";
+/// Name of the combine phase histogram.
+pub const COMBINE_HISTOGRAM: &str = "theta_combine_seconds";
+/// Name of the end-to-end (instance started → result delivered)
+/// histogram.
+pub const E2E_HISTOGRAM: &str = "theta_e2e_seconds";
+
+/// Pre-resolved handles to the four per-phase histograms, so the
+/// event-loop hot path records without touching the registry lock.
+#[derive(Clone)]
+pub struct PhaseTimers {
+    /// Time to compute this node's own share (`do_round`).
+    pub share_compute: Arc<Histogram>,
+    /// Time to verify one received share (`update`).
+    pub share_verify: Arc<Histogram>,
+    /// Time to combine shares into the final result (`finalize`).
+    pub combine: Arc<Histogram>,
+    /// Instance started → result delivered.
+    pub e2e: Arc<Histogram>,
+}
+
+/// Everything a node exposes about itself, shared across layers.
+///
+/// One `Arc<NodeObservability>` is created per node at build time and
+/// handed to the service layer, the instance manager and the network
+/// backend. All parts are individually lock-free or short-lock bounded;
+/// cloning the `Arc` is the only way the handle travels.
+pub struct NodeObservability {
+    /// Named counters/gauges/histograms (includes the phase timers).
+    pub registry: Arc<MetricsRegistry>,
+    /// Bounded ring buffer of per-instance lifecycle events.
+    pub journal: Arc<TraceJournal>,
+    /// The PR-1 event-loop counters, kept for `GetNodeStats`.
+    pub counters: Arc<EventLoopCounters>,
+    /// Fast handles to the four per-phase histograms.
+    pub phases: PhaseTimers,
+}
+
+impl Default for NodeObservability {
+    fn default() -> Self {
+        NodeObservability::new()
+    }
+}
+
+impl NodeObservability {
+    /// A fresh bundle with the four phase histograms pre-registered.
+    pub fn new() -> NodeObservability {
+        let registry = Arc::new(MetricsRegistry::new());
+        let phases = PhaseTimers {
+            share_compute: registry.histogram(SHARE_COMPUTE_HISTOGRAM),
+            share_verify: registry.histogram(SHARE_VERIFY_HISTOGRAM),
+            combine: registry.histogram(COMBINE_HISTOGRAM),
+            e2e: registry.histogram(E2E_HISTOGRAM),
+        };
+        NodeObservability {
+            registry,
+            journal: Arc::new(TraceJournal::default()),
+            counters: Arc::new(EventLoopCounters::new()),
+            phases,
+        }
+    }
+
+    /// Renders everything the node knows about itself in the Prometheus
+    /// text exposition format: the registry (counters, gauges, phase
+    /// histograms) followed by the event-loop counters and the trace
+    /// journal's own health gauges.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        let c = self.counters.snapshot();
+        for (name, value) in [
+            ("theta_event_loop_wakeups_total", c.wakeups),
+            ("theta_event_loop_events_total", c.events_processed),
+            ("theta_event_loop_commands_total", c.commands_processed),
+            ("theta_event_loop_retries_total", c.retries_sent),
+            ("theta_event_loop_cache_evictions_total", c.cache_evictions),
+            ("theta_instances_started_total", c.instances_started),
+            ("theta_instances_completed_total", c.instances_completed),
+            ("theta_instances_timed_out_total", c.instances_timed_out),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "# TYPE theta_trace_journal_events gauge\ntheta_trace_journal_events {}\n",
+            self.journal.len()
+        ));
+        out.push_str(&format!(
+            "# TYPE theta_trace_journal_dropped_total counter\ntheta_trace_journal_dropped_total {}\n",
+            self.journal.dropped()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEventKind;
+    use std::time::Duration;
+
+    #[test]
+    fn bundle_renders_phases_counters_and_journal_health() {
+        let obs = NodeObservability::new();
+        obs.phases.e2e.record(Duration::from_millis(12));
+        EventLoopCounters::bump(&obs.counters.instances_started);
+        obs.journal.record([7u8; 32], TraceEventKind::InstanceStarted);
+        let text = obs.render_prometheus();
+        assert!(text.contains("# TYPE theta_e2e_seconds histogram"));
+        assert!(text.contains("theta_e2e_seconds_count 1"));
+        assert!(text.contains("theta_share_compute_seconds_count 0"));
+        assert!(text.contains("theta_share_verify_seconds_count 0"));
+        assert!(text.contains("theta_combine_seconds_count 0"));
+        assert!(text.contains("theta_instances_started_total 1"));
+        assert!(text.contains("theta_trace_journal_events 1"));
+    }
+
+    #[test]
+    fn phase_handles_alias_registry_histograms() {
+        let obs = NodeObservability::new();
+        obs.phases.share_compute.record(Duration::from_micros(500));
+        let snap = obs
+            .registry
+            .histogram_snapshot(SHARE_COMPUTE_HISTOGRAM, &[])
+            .unwrap();
+        assert_eq!(snap.count(), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! Named runtime metrics: counters, gauges and histograms, shared per
+//! node and rendered in the Prometheus text exposition format.
+//!
+//! A [`MetricsRegistry`] is a get-or-create map from `(name, labels)` to
+//! a metric handle. Handles are `Arc`s: instrumentation sites resolve
+//! their metric once (at setup) and afterwards touch only the atomic —
+//! the registry lock is never on a hot path.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Map key: metric name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A node's registry of named metrics.
+///
+/// The same `(name, labels)` pair always resolves to the same handle;
+/// registering the same name with a different metric kind panics (a
+/// programming error caught at setup time, never on a hot path).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    MetricKey { name: name.to_string(), labels }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The registry lock is only ever held for map operations; if a
+    /// holder panicked the map itself is still consistent, so poisoning
+    /// is deliberately ignored (observability must not take a node
+    /// down).
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<MetricKey, Metric>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create a counter with label pairs.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut map = self.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create a gauge with label pairs.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = self.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-create a histogram with label pairs.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut map = self.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Snapshot of a histogram by name/labels, when registered.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        match self.lock().get(&key(name, labels)) {
+            Some(Metric::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Value of a counter by name/labels, when registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.lock().get(&key(name, labels)) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    ///
+    /// Durations are recorded in microseconds internally; histogram
+    /// bucket edges, sums and quantile-friendly values are rendered in
+    /// **seconds** as the Prometheus convention expects.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.lock();
+        let mut out = String::with_capacity(4096 + map.len() * 64);
+        let mut last_name: Option<&str> = None;
+        for (k, metric) in map.iter() {
+            if last_name != Some(k.name.as_str()) {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", k.name, kind));
+                last_name = Some(k.name.as_str());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        k.name,
+                        render_labels(&k.labels, None),
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        k.name,
+                        render_labels(&k.labels, None),
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    render_histogram(&mut out, &k.name, &k.labels, &h.snapshot());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, v.replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Appends one histogram in Prometheus text format (cumulative
+/// `_bucket{le=...}` series, `_sum` and `_count`).
+pub(crate) fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        cumulative += c;
+        // Skip interior zero-count buckets to keep the dump compact,
+        // but always emit the first, any bucket with samples, and +Inf.
+        let is_last_finite = i + 1 == snap.buckets.len() - 1;
+        if c == 0 && i != 0 && !is_last_finite {
+            continue;
+        }
+        let le = match HistogramSnapshot::bucket_bound_micros(i) {
+            Some(us) => format!("{}", us as f64 / 1e6),
+            None => continue, // overflow handled by +Inf below
+        };
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name,
+            render_labels(labels, Some(&le)),
+            cumulative
+        ));
+    }
+    out.push_str(&format!(
+        "{}_bucket{} {}\n",
+        name,
+        render_labels(labels, Some("+Inf")),
+        snap.count()
+    ));
+    out.push_str(&format!(
+        "{}_sum{} {}\n",
+        name,
+        render_labels(labels, None),
+        snap.sum_micros as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "{}_count{} {}\n",
+        name,
+        render_labels(labels, None),
+        snap.count()
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn same_key_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("requests_total", &[]), Some(3));
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = MetricsRegistry::new();
+        let p1 = r.counter_with("net_sent_total", &[("peer", "1")]);
+        let p2 = r.counter_with("net_sent_total", &[("peer", "2")]);
+        p1.inc();
+        p2.add(5);
+        assert_eq!(r.counter_value("net_sent_total", &[("peer", "1")]), Some(1));
+        assert_eq!(r.counter_value("net_sent_total", &[("peer", "2")]), Some(5));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with("x", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("conflicted");
+        let _ = r.gauge("conflicted");
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = MetricsRegistry::new();
+        r.counter("alpha_total").add(7);
+        r.gauge("beta").set(-3);
+        r.counter_with("net_total", &[("peer", "2")]).add(4);
+        let h = r.histogram("lat_seconds");
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_secs(2));
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE alpha_total counter"));
+        assert!(text.contains("alpha_total 7"));
+        assert!(text.contains("# TYPE beta gauge"));
+        assert!(text.contains("beta -3"));
+        assert!(text.contains("net_total{peer=\"2\"} 4"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_count 3"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        // The 1 ms samples appear cumulatively in some finite bucket.
+        assert!(text.contains("lat_seconds_sum"));
+    }
+
+    #[test]
+    fn histogram_bucket_cumulation() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("d_seconds");
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_secs(100)); // overflow bucket
+        let text = r.render_prometheus();
+        // First bucket has 1 sample, +Inf has both.
+        assert!(text.contains("d_seconds_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("d_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("d_seconds_count 2"));
+    }
+}

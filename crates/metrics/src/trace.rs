@@ -1,0 +1,320 @@
+//! Request-scoped tracing: a bounded ring-buffer journal of lifecycle
+//! events for protocol instances.
+//!
+//! Every node keeps one [`TraceJournal`]. Instrumentation sites append
+//! [`TraceEvent`]s keyed by the 32-byte instance id; a trace query
+//! filters the ring by instance and returns the events in the order
+//! they were recorded. Timestamps are microseconds since the journal's
+//! creation (a monotonic clock), so within one node event ordering and
+//! phase durations are exact.
+//!
+//! The journal is bounded: when full, the oldest events are dropped
+//! (and counted) rather than growing without limit — tracing must never
+//! become the memory leak it is supposed to detect.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What happened, in instance-lifecycle order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEventKind {
+    /// An RPC request referencing this instance arrived at the service
+    /// layer.
+    RpcReceived,
+    /// The manager created the protocol instance.
+    InstanceStarted,
+    /// This node finished computing its own share.
+    ShareComputed,
+    /// This node broadcast its share to the peers.
+    ShareSent,
+    /// A share message from a peer was received by the manager.
+    ShareReceived,
+    /// A received share passed verification.
+    ShareVerified,
+    /// A received share failed verification and was discarded.
+    ShareRejected,
+    /// Enough shares were assembled to attempt combination.
+    QuorumReached,
+    /// The shares were combined into the final result.
+    Combined,
+    /// The result was handed to the waiting subscriber(s).
+    ResultDelivered,
+    /// The instance hit its deadline before reaching quorum.
+    InstanceTimedOut,
+    /// The instance failed for a non-timeout reason.
+    InstanceFailed,
+    /// The manager re-broadcast this node's share (retry/backoff).
+    RetryBroadcast,
+    /// A duplicate request was answered from the result cache.
+    CacheHit,
+    /// A message for this instance was dropped (malformed, spoofed, or
+    /// residual traffic for a finished instance).
+    MessageDropped,
+    /// An internal error on the event loop was contained and counted.
+    Error,
+}
+
+impl TraceEventKind {
+    /// Stable wire code for RPC transport.
+    pub fn code(self) -> u8 {
+        match self {
+            TraceEventKind::RpcReceived => 0,
+            TraceEventKind::InstanceStarted => 1,
+            TraceEventKind::ShareComputed => 2,
+            TraceEventKind::ShareSent => 3,
+            TraceEventKind::ShareReceived => 4,
+            TraceEventKind::ShareVerified => 5,
+            TraceEventKind::ShareRejected => 6,
+            TraceEventKind::QuorumReached => 7,
+            TraceEventKind::Combined => 8,
+            TraceEventKind::ResultDelivered => 9,
+            TraceEventKind::InstanceTimedOut => 10,
+            TraceEventKind::InstanceFailed => 11,
+            TraceEventKind::RetryBroadcast => 12,
+            TraceEventKind::CacheHit => 13,
+            TraceEventKind::MessageDropped => 14,
+            TraceEventKind::Error => 15,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown codes from a
+    /// newer peer.
+    pub fn from_code(code: u8) -> Option<TraceEventKind> {
+        Some(match code {
+            0 => TraceEventKind::RpcReceived,
+            1 => TraceEventKind::InstanceStarted,
+            2 => TraceEventKind::ShareComputed,
+            3 => TraceEventKind::ShareSent,
+            4 => TraceEventKind::ShareReceived,
+            5 => TraceEventKind::ShareVerified,
+            6 => TraceEventKind::ShareRejected,
+            7 => TraceEventKind::QuorumReached,
+            8 => TraceEventKind::Combined,
+            9 => TraceEventKind::ResultDelivered,
+            10 => TraceEventKind::InstanceTimedOut,
+            11 => TraceEventKind::InstanceFailed,
+            12 => TraceEventKind::RetryBroadcast,
+            13 => TraceEventKind::CacheHit,
+            14 => TraceEventKind::MessageDropped,
+            15 => TraceEventKind::Error,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable label used by the CLI pretty-printer.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::RpcReceived => "rpc-received",
+            TraceEventKind::InstanceStarted => "instance-started",
+            TraceEventKind::ShareComputed => "share-computed",
+            TraceEventKind::ShareSent => "share-sent",
+            TraceEventKind::ShareReceived => "share-received",
+            TraceEventKind::ShareVerified => "share-verified",
+            TraceEventKind::ShareRejected => "share-rejected",
+            TraceEventKind::QuorumReached => "quorum-reached",
+            TraceEventKind::Combined => "combined",
+            TraceEventKind::ResultDelivered => "result-delivered",
+            TraceEventKind::InstanceTimedOut => "instance-timed-out",
+            TraceEventKind::InstanceFailed => "instance-failed",
+            TraceEventKind::RetryBroadcast => "retry-broadcast",
+            TraceEventKind::CacheHit => "cache-hit",
+            TraceEventKind::MessageDropped => "message-dropped",
+            TraceEventKind::Error => "error",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The 32-byte protocol-instance id the event belongs to.
+    pub instance: [u8; 32],
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Microseconds since the journal was created (monotonic).
+    pub at_micros: u64,
+    /// Peer the event refers to, when any (0 = not peer-related; node
+    /// ids in this codebase start at 1).
+    pub peer: u16,
+    /// Free-form context (error text, drop reason, share index…).
+    pub detail: String,
+}
+
+/// Default journal capacity: enough for several hundred instances'
+/// full lifecycles without unbounded growth.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 16_384;
+
+/// Bounded ring buffer of [`TraceEvent`]s, one per node.
+pub struct TraceJournal {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Default for TraceJournal {
+    fn default() -> Self {
+        TraceJournal::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl TraceJournal {
+    /// A journal holding at most `capacity` events.
+    pub fn new(capacity: usize) -> TraceJournal {
+        TraceJournal {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The journal's ring is always structurally consistent; a panic in
+    /// a holder must not disable tracing for the rest of the node's
+    /// life, so lock poisoning is ignored.
+    fn lock(&self) -> MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Microseconds elapsed since the journal was created.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records an event with no peer / detail context.
+    pub fn record(&self, instance: [u8; 32], kind: TraceEventKind) {
+        self.record_full(instance, kind, 0, String::new());
+    }
+
+    /// Records an event attributed to a peer.
+    pub fn record_peer(&self, instance: [u8; 32], kind: TraceEventKind, peer: u16) {
+        self.record_full(instance, kind, peer, String::new());
+    }
+
+    /// Records an event with detail text.
+    pub fn record_detail(&self, instance: [u8; 32], kind: TraceEventKind, detail: impl Into<String>) {
+        self.record_full(instance, kind, 0, detail.into());
+    }
+
+    /// Records a fully specified event.
+    pub fn record_full(
+        &self,
+        instance: [u8; 32],
+        kind: TraceEventKind,
+        peer: u16,
+        detail: String,
+    ) {
+        let ev = TraceEvent { instance, kind, at_micros: self.now_micros(), peer, detail };
+        let mut ring = self.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// All events for one instance, in recording order.
+    pub fn events_for(&self, instance: &[u8; 32]) -> Vec<TraceEvent> {
+        self.lock().iter().filter(|e| &e.instance == instance).cloned().collect()
+    }
+
+    /// Number of distinct instances with at least one
+    /// `InstanceStarted` event still in the ring.
+    pub fn instances_started(&self) -> usize {
+        let ring = self.lock();
+        let mut seen: Vec<[u8; 32]> = ring
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::InstanceStarted)
+            .map(|e| e.instance)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Total events currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(b: u8) -> [u8; 32] {
+        let mut x = [0u8; 32];
+        x[0] = b;
+        x
+    }
+
+    #[test]
+    fn records_in_order_and_filters_by_instance() {
+        let j = TraceJournal::new(64);
+        j.record(id(1), TraceEventKind::InstanceStarted);
+        j.record(id(2), TraceEventKind::InstanceStarted);
+        j.record(id(1), TraceEventKind::ShareComputed);
+        j.record_peer(id(1), TraceEventKind::ShareReceived, 3);
+        j.record(id(1), TraceEventKind::ResultDelivered);
+
+        let evs = j.events_for(&id(1));
+        let kinds: Vec<_> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::InstanceStarted,
+                TraceEventKind::ShareComputed,
+                TraceEventKind::ShareReceived,
+                TraceEventKind::ResultDelivered,
+            ]
+        );
+        // Timestamps are monotone non-decreasing.
+        for w in evs.windows(2) {
+            assert!(w[0].at_micros <= w[1].at_micros);
+        }
+        assert_eq!(evs[2].peer, 3);
+        assert_eq!(j.instances_started(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let j = TraceJournal::new(4);
+        for i in 0..10u8 {
+            j.record(id(i), TraceEventKind::InstanceStarted);
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        // Only the newest 4 instances survive.
+        assert!(j.events_for(&id(0)).is_empty());
+        assert_eq!(j.events_for(&id(9)).len(), 1);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=15u8 {
+            let kind = TraceEventKind::from_code(code).unwrap();
+            assert_eq!(kind.code(), code);
+            assert!(!kind.label().is_empty());
+        }
+        assert!(TraceEventKind::from_code(200).is_none());
+    }
+
+    #[test]
+    fn unknown_instance_yields_empty() {
+        let j = TraceJournal::new(8);
+        j.record(id(1), TraceEventKind::InstanceStarted);
+        assert!(j.events_for(&id(7)).is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! the paper's local (0.65 ms) and global (43–100 ms) RTT regimes on one
 //! machine.
 
-use crate::{LinkProfile, Network, NetworkEvent, NodeId, TobReorderBuffer};
+use crate::{LinkProfile, Network, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
@@ -76,6 +76,9 @@ struct HubInner {
     tob_seq: AtomicU64,
     scheduler_tx: Sender<ScheduledDelivery>,
     shutdown: Arc<AtomicBool>,
+    /// Per-target receive counters, registered lazily by each node's
+    /// `attach_registry` and read by the scheduler on delivery.
+    recv_counters: Mutex<Vec<Option<Arc<PeerTraffic>>>>,
 }
 
 impl HubInner {
@@ -138,6 +141,7 @@ impl InMemoryHub {
             tob_seq: AtomicU64::new(0),
             scheduler_tx,
             shutdown: shutdown.clone(),
+            recv_counters: Mutex::new(vec![None; n as usize]),
         });
 
         let scheduler_inner = inner.clone();
@@ -152,6 +156,7 @@ impl InMemoryHub {
                 n: n as usize,
                 hub: inner.clone(),
                 inbox: inboxes[id as usize - 1].clone(),
+                sent: None,
             })
             .collect();
         (InMemoryHub { inner, handle: Some(handle) }, nodes)
@@ -212,13 +217,20 @@ fn scheduler_loop(
     while !shutdown.load(Ordering::SeqCst) {
         // Deliver everything due.
         let now = Instant::now();
-        while heap.peek().map_or(false, |d| d.due <= now) {
+        while heap.peek().is_some_and(|d| d.due <= now) {
             let d = heap.pop().expect("peeked");
+            let recv = inner.recv_counters.lock()[d.target].clone();
             match d.event {
                 Delivery::P2p { from, payload } => {
+                    if let Some(recv) = recv {
+                        recv.count(from, payload.len());
+                    }
                     let _ = inner.outboxes[d.target].send(NetworkEvent::P2p { from, payload });
                 }
                 Delivery::Tob { seq, from, payload } => {
+                    if let Some(recv) = recv {
+                        recv.count(from, payload.len());
+                    }
                     for ev in reorder[d.target].insert(seq, from, payload) {
                         let _ = inner.outboxes[d.target].send(ev);
                     }
@@ -245,6 +257,8 @@ pub struct InMemoryNode {
     n: usize,
     hub: Arc<HubInner>,
     inbox: Receiver<NetworkEvent>,
+    /// Per-peer send counters; `None` until `attach_registry`.
+    sent: Option<PeerTraffic>,
 }
 
 impl Network for InMemoryNode {
@@ -268,6 +282,11 @@ impl Network for InMemoryNode {
         if peer == self.id || peer == 0 || peer as usize > self.n {
             return;
         }
+        // Sends are counted before the loss/partition roll: the counter
+        // reflects what this node handed to the transport.
+        if let Some(sent) = &self.sent {
+            sent.count(peer, payload.len());
+        }
         if self.hub.should_drop(self.id, peer) {
             return;
         }
@@ -282,6 +301,9 @@ impl Network for InMemoryNode {
         // still applies per destination.
         let seq = self.hub.tob_seq.fetch_add(1, Ordering::SeqCst);
         for peer in 1..=self.n as u16 {
+            if let Some(sent) = &self.sent {
+                sent.count(peer, payload.len());
+            }
             let delay = if peer == self.id {
                 Duration::ZERO
             } else {
@@ -297,6 +319,22 @@ impl Network for InMemoryNode {
 
     fn events(&self) -> &Receiver<NetworkEvent> {
         &self.inbox
+    }
+
+    fn attach_registry(&mut self, registry: &Arc<theta_metrics::MetricsRegistry>) {
+        self.sent = Some(PeerTraffic::register(
+            registry,
+            "theta_net_messages_sent_total",
+            "theta_net_bytes_sent_total",
+            self.n,
+        ));
+        let recv = Arc::new(PeerTraffic::register(
+            registry,
+            "theta_net_messages_received_total",
+            "theta_net_bytes_received_total",
+            self.n,
+        ));
+        self.hub.recv_counters.lock()[self.id as usize - 1] = Some(recv);
     }
 }
 
@@ -432,6 +470,40 @@ mod tests {
             received += 1;
         }
         assert!(received > 50 && received < 150, "received {received}");
+    }
+
+    #[test]
+    fn per_peer_counters_track_traffic() {
+        let (_hub, mut nodes) = mesh(3);
+        let registry = Arc::new(theta_metrics::MetricsRegistry::new());
+        for node in nodes.iter_mut() {
+            node.attach_registry(&registry);
+        }
+        nodes[0].broadcast_p2p(vec![0u8; 10]); // to peers 2 and 3
+        nodes[1].send_to(1, vec![0u8; 4]);
+        // Wait for deliveries so receive counters settle.
+        assert!(nodes[1].recv_timeout(TICK).is_some());
+        assert!(nodes[2].recv_timeout(TICK).is_some());
+        assert!(nodes[0].recv_timeout(TICK).is_some());
+        assert_eq!(
+            registry.counter_value("theta_net_messages_sent_total", &[("peer", "2")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("theta_net_bytes_sent_total", &[("peer", "3")]),
+            Some(10)
+        );
+        // Node 1 received node 2's direct send. (All three nodes share
+        // one registry here, so received{peer=1} pools deliveries *from*
+        // node 1 at nodes 2 and 3: 2 messages of 10 bytes each.)
+        assert_eq!(
+            registry.counter_value("theta_net_messages_received_total", &[("peer", "2")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("theta_net_bytes_received_total", &[("peer", "1")]),
+            Some(20)
+        );
     }
 
     #[test]

@@ -108,6 +108,52 @@ pub trait Network: Send {
     fn recv_timeout(&self, timeout: Duration) -> Option<NetworkEvent> {
         self.events().recv_timeout(timeout).ok()
     }
+
+    /// Attaches a metrics registry: implementations register their
+    /// per-peer traffic counters (`theta_net_messages_sent_total`,
+    /// `theta_net_bytes_sent_total`, receive equivalents, connect
+    /// counts) against it. Called once by the orchestration layer before
+    /// the event loop starts; the default is a no-op so transports
+    /// without instrumentation keep working.
+    fn attach_registry(&mut self, registry: &std::sync::Arc<theta_metrics::MetricsRegistry>) {
+        let _ = registry;
+    }
+}
+
+/// Per-peer traffic counters (messages + bytes), resolved once at
+/// registration so the send/receive hot paths touch only atomics.
+/// Shared by both transport implementations.
+pub(crate) struct PeerTraffic {
+    msgs: Vec<std::sync::Arc<theta_metrics::Counter>>,
+    bytes: Vec<std::sync::Arc<theta_metrics::Counter>>,
+}
+
+impl PeerTraffic {
+    /// Registers one `{peer="i"}` series pair per node.
+    pub(crate) fn register(
+        registry: &theta_metrics::MetricsRegistry,
+        msgs_name: &str,
+        bytes_name: &str,
+        n: usize,
+    ) -> PeerTraffic {
+        let mut msgs = Vec::with_capacity(n);
+        let mut bytes = Vec::with_capacity(n);
+        for peer in 1..=n {
+            let label = peer.to_string();
+            msgs.push(registry.counter_with(msgs_name, &[("peer", &label)]));
+            bytes.push(registry.counter_with(bytes_name, &[("peer", &label)]));
+        }
+        PeerTraffic { msgs, bytes }
+    }
+
+    /// Counts one message of `nbytes` for `peer` (1-based; out-of-range
+    /// ids are ignored).
+    pub(crate) fn count(&self, peer: NodeId, nbytes: usize) {
+        if peer >= 1 && (peer as usize) <= self.msgs.len() {
+            self.msgs[peer as usize - 1].inc();
+            self.bytes[peer as usize - 1].add(nbytes as u64);
+        }
+    }
 }
 
 /// Per-link latency description (one direction).

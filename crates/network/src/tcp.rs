@@ -24,13 +24,13 @@
 //! channel, which [`Network::events`] exposes for `select!`-style
 //! consumption.
 
-use crate::{Network, NetworkError, NetworkEvent, NodeId, TobReorderBuffer};
+use crate::{Network, NetworkError, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 const TAG_P2P: u8 = 0;
@@ -106,17 +106,32 @@ fn parse_frame(body: &[u8]) -> Option<Inbound> {
     }
 }
 
+/// Traffic counters attached to a mesh node after setup. Reader and
+/// writer paths check the `OnceLock` per frame — a relaxed pointer load
+/// when attached, a no-op when not.
+struct TcpMetrics {
+    sent: PeerTraffic,
+    recv: PeerTraffic,
+}
+
 struct Shared {
     /// Write halves, indexed by node id − 1 (`None` at our own slot).
     peers: Vec<Option<Mutex<TcpStream>>>,
     id: NodeId,
     /// Sequencer state (used only on node 1's demux thread).
     tob_seq: AtomicU64,
+    /// Connections established during mesh setup (dials + accepts),
+    /// transferred into the registry when metrics are attached.
+    connects_established: AtomicU64,
+    metrics: OnceLock<TcpMetrics>,
 }
 
 impl Shared {
     fn send_raw(&self, peer: NodeId, body: &[u8]) {
         if let Some(Some(stream)) = self.peers.get(peer as usize - 1) {
+            if let Some(m) = self.metrics.get() {
+                m.sent.count(peer, body.len());
+            }
             let _ = write_frame(&mut stream.lock(), body);
         }
     }
@@ -208,19 +223,30 @@ impl TcpMesh {
             outbound_streams.push((peer, stream));
         }
 
+        let mut readers = Vec::new();
+        let mut connects = 0u64;
         for (peer, mut stream) in outbound_streams {
             stream.write_all(&id.to_le_bytes())?;
-            let reader = stream.try_clone()?;
-            spawn_reader(reader, peer, raw_tx.clone());
+            readers.push((stream.try_clone()?, peer));
             peers[peer as usize - 1] = Some(Mutex::new(stream));
+            connects += 1;
         }
         for (peer, stream) in inbound_streams {
-            let reader = stream.try_clone()?;
-            spawn_reader(reader, peer, raw_tx.clone());
+            readers.push((stream.try_clone()?, peer));
             peers[peer as usize - 1] = Some(Mutex::new(stream));
+            connects += 1;
         }
 
-        let shared = Arc::new(Shared { peers, id, tob_seq: AtomicU64::new(0) });
+        let shared = Arc::new(Shared {
+            peers,
+            id,
+            tob_seq: AtomicU64::new(0),
+            connects_established: AtomicU64::new(connects),
+            metrics: OnceLock::new(),
+        });
+        for (stream, peer) in readers {
+            spawn_reader(stream, peer, raw_tx.clone(), shared.clone());
+        }
         let (events_tx, events_rx) = unbounded::<NetworkEvent>();
         spawn_demux(raw_rx, events_tx, shared.clone(), n);
         Ok(TcpMeshNode { shared, n, events: events_rx, raw_tx })
@@ -251,11 +277,19 @@ fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkError> {
 /// - P2P frames are **stamped** with `conn_peer`, whatever they claim;
 /// - TOB submits claiming a different sender are dropped (spoofing);
 /// - TOB deliveries are accepted only from the sequencer's connection.
-fn spawn_reader(mut stream: TcpStream, conn_peer: NodeId, tx: Sender<Inbound>) {
+fn spawn_reader(
+    mut stream: TcpStream,
+    conn_peer: NodeId,
+    tx: Sender<Inbound>,
+    shared: Arc<Shared>,
+) {
     std::thread::Builder::new()
         .name(format!("theta-tcp-reader-{conn_peer}"))
         .spawn(move || {
             while let Ok(body) = read_frame(&mut stream) {
+                if let Some(m) = shared.metrics.get() {
+                    m.recv.count(conn_peer, body.len());
+                }
                 let inbound = match parse_frame(&body) {
                     Some(Inbound::P2p { payload, .. }) => {
                         Inbound::P2p { from: conn_peer, payload }
@@ -382,6 +416,30 @@ impl Network for TcpMeshNode {
 
     fn events(&self) -> &Receiver<NetworkEvent> {
         &self.events
+    }
+
+    fn attach_registry(&mut self, registry: &Arc<theta_metrics::MetricsRegistry>) {
+        let metrics = TcpMetrics {
+            sent: PeerTraffic::register(
+                registry,
+                "theta_net_messages_sent_total",
+                "theta_net_bytes_sent_total",
+                self.n,
+            ),
+            recv: PeerTraffic::register(
+                registry,
+                "theta_net_messages_received_total",
+                "theta_net_bytes_received_total",
+                self.n,
+            ),
+        };
+        // Connections made during setup predate the registry; transfer
+        // the accumulated count so reconnect logic added later only has
+        // to keep incrementing the same counter.
+        registry
+            .counter("theta_net_connects_total")
+            .add(self.shared.connects_established.load(Ordering::Relaxed));
+        let _ = self.shared.metrics.set(metrics);
     }
 }
 
@@ -513,6 +571,38 @@ mod tests {
         body.extend_from_slice(b"fake");
         nodes[2].shared.send_raw(2, &body);
         assert!(nodes[1].recv_timeout(Duration::from_millis(200)).is_none());
+    }
+
+    #[test]
+    fn tcp_counters_track_traffic() {
+        let mut nodes = build_mesh(2);
+        let registry = Arc::new(theta_metrics::MetricsRegistry::new());
+        nodes[1].attach_registry(&registry); // node 2 only
+        assert_eq!(registry.counter_value("theta_net_connects_total", &[]), Some(1));
+
+        nodes[0].send_to(2, b"abcd".to_vec());
+        let ev = nodes[1].recv_timeout(TICK).expect("delivery");
+        assert!(matches!(ev, NetworkEvent::P2p { from: 1, .. }));
+        // Received: one frame from peer 1 (3-byte header + 4-byte payload).
+        assert_eq!(
+            registry.counter_value("theta_net_messages_received_total", &[("peer", "1")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("theta_net_bytes_received_total", &[("peer", "1")]),
+            Some(7)
+        );
+
+        nodes[1].send_to(1, b"xy".to_vec());
+        let _ = nodes[0].recv_timeout(TICK).expect("delivery back");
+        assert_eq!(
+            registry.counter_value("theta_net_messages_sent_total", &[("peer", "1")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("theta_net_bytes_sent_total", &[("peer", "1")]),
+            Some(5)
+        );
     }
 
     #[test]

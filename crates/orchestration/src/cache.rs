@@ -60,7 +60,7 @@ impl<V> ResultCache<V> {
             let matches_live = self
                 .map
                 .get(&old_id)
-                .map_or(false, |e| e.generation == old_gen);
+                .is_some_and(|e| e.generation == old_gen);
             if !matches_live {
                 self.order.pop_front(); // superseded or already evicted
                 continue;

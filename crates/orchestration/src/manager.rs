@@ -19,7 +19,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use theta_codec::{Decode, Encode};
 use theta_metrics::counters::EventLoopCounters;
-use theta_metrics::EventLoopSnapshot;
+use theta_metrics::registry::{Counter, MetricsRegistry};
+use theta_metrics::trace::TraceEventKind;
+use theta_metrics::{EventLoopSnapshot, NodeObservability};
 use theta_network::{Network, NetworkEvent};
 use theta_protocols::kg20_protocol::Kg20Sign;
 use theta_protocols::one_round::{
@@ -111,7 +113,7 @@ pub struct NodeHandle {
     tx: Sender<Command>,
     join: Option<std::thread::JoinHandle<()>>,
     party: PartyId,
-    counters: Arc<EventLoopCounters>,
+    obs: Arc<NodeObservability>,
 }
 
 impl NodeHandle {
@@ -119,7 +121,20 @@ impl NodeHandle {
     /// the Θ-network completes the instance at this node.
     pub fn submit(&self, request: Request) -> PendingResult {
         let (reply_tx, reply_rx) = unbounded();
-        let _ = self.tx.send(Command::Submit { request, reply: reply_tx });
+        if self
+            .tx
+            .send(Command::Submit { request, reply: reply_tx })
+            .is_err()
+        {
+            // The manager thread is gone; the pending result will never
+            // resolve. Count it instead of failing silently.
+            self.obs.registry.counter("theta_event_loop_errors_total").inc();
+            self.obs.journal.record_detail(
+                [0u8; 32],
+                TraceEventKind::Error,
+                "submit to a dead manager thread",
+            );
+        }
         PendingResult { rx: reply_rx }
     }
 
@@ -130,7 +145,13 @@ impl NodeHandle {
 
     /// Point-in-time view of the event-loop counters.
     pub fn counters(&self) -> EventLoopSnapshot {
-        self.counters.snapshot()
+        self.obs.counters.snapshot()
+    }
+
+    /// The node's observability bundle (metrics registry, trace journal,
+    /// phase histograms) — what the service layer exposes over RPC.
+    pub fn observability(&self) -> Arc<NodeObservability> {
+        self.obs.clone()
     }
 
     /// Stops the manager thread (in-flight instances are dropped).
@@ -151,21 +172,33 @@ impl Drop for NodeHandle {
     }
 }
 
-/// Spawns the instance-manager event loop for one node.
+/// Spawns the instance-manager event loop for one node with a fresh
+/// observability bundle.
 pub fn spawn_node(
     keys: KeyChest,
     network: Box<dyn Network>,
     config: NodeConfig,
 ) -> NodeHandle {
+    spawn_node_observed(keys, network, config, Arc::new(NodeObservability::new()))
+}
+
+/// Spawns the instance-manager event loop for one node, wiring the given
+/// observability bundle through the manager and the network transport.
+pub fn spawn_node_observed(
+    keys: KeyChest,
+    mut network: Box<dyn Network>,
+    config: NodeConfig,
+    obs: Arc<NodeObservability>,
+) -> NodeHandle {
+    network.attach_registry(&obs.registry);
     let (tx, rx) = unbounded::<Command>();
     let party = PartyId(network.node_id());
-    let counters = Arc::new(EventLoopCounters::new());
-    let thread_counters = counters.clone();
+    let thread_obs = obs.clone();
     let join = std::thread::Builder::new()
         .name(format!("theta-node-{}", party.value()))
-        .spawn(move || InstanceManager::new(keys, network, config, rx, thread_counters).run())
+        .spawn(move || InstanceManager::new(keys, network, config, rx, thread_obs).run())
         .expect("spawn node thread");
-    NodeHandle { tx, join: Some(join), party, counters }
+    NodeHandle { tx, join: Some(join), party, obs }
 }
 
 struct LiveInstance {
@@ -183,6 +216,39 @@ struct LiveInstance {
     retry_backoff: Duration,
 }
 
+/// Registry counters the event loop touches, resolved once at startup
+/// so hot paths never take the registry lock.
+struct ManagerMetrics {
+    cache_hits: Arc<Counter>,
+    dropped_malformed: Arc<Counter>,
+    dropped_spoofed: Arc<Counter>,
+    dropped_residual: Arc<Counter>,
+    shares_rejected: Arc<Counter>,
+    event_loop_errors: Arc<Counter>,
+    batch_verify_ok: Arc<Counter>,
+    shares_pruned: Arc<Counter>,
+    eager_verifies: Arc<Counter>,
+}
+
+impl ManagerMetrics {
+    fn resolve(registry: &MetricsRegistry) -> ManagerMetrics {
+        ManagerMetrics {
+            cache_hits: registry.counter("theta_cache_hits_total"),
+            dropped_malformed: registry
+                .counter_with("theta_messages_dropped_total", &[("reason", "malformed")]),
+            dropped_spoofed: registry
+                .counter_with("theta_messages_dropped_total", &[("reason", "spoofed")]),
+            dropped_residual: registry
+                .counter_with("theta_messages_dropped_total", &[("reason", "residual")]),
+            shares_rejected: registry.counter("theta_shares_rejected_total"),
+            event_loop_errors: registry.counter("theta_event_loop_errors_total"),
+            batch_verify_ok: registry.counter("theta_batch_verify_ok_total"),
+            shares_pruned: registry.counter("theta_shares_pruned_total"),
+            eager_verifies: registry.counter("theta_share_verifications_eager_total"),
+        }
+    }
+}
+
 struct InstanceManager {
     keys: KeyChest,
     network: Box<dyn Network>,
@@ -196,6 +262,8 @@ struct InstanceManager {
     /// Min-heap of `(retry-due, id)`, same lazy-validation discipline.
     retry_heap: BinaryHeap<Reverse<(Instant, InstanceId)>>,
     counters: Arc<EventLoopCounters>,
+    obs: Arc<NodeObservability>,
+    metrics: ManagerMetrics,
     rng: rand::rngs::StdRng,
 }
 
@@ -205,13 +273,14 @@ impl InstanceManager {
         network: Box<dyn Network>,
         config: NodeConfig,
         commands: Receiver<Command>,
-        counters: Arc<EventLoopCounters>,
+        obs: Arc<NodeObservability>,
     ) -> Self {
         let rng = match config.rng_seed {
             Some(seed) => rand::rngs::StdRng::seed_from_u64(seed),
             None => rand::rngs::StdRng::from_entropy(),
         };
         let finished = ResultCache::new(config.result_cache_capacity, config.result_cache_ttl);
+        let metrics = ManagerMetrics::resolve(&obs.registry);
         InstanceManager {
             keys,
             network,
@@ -221,9 +290,19 @@ impl InstanceManager {
             finished,
             expiry_heap: BinaryHeap::new(),
             retry_heap: BinaryHeap::new(),
-            counters,
+            counters: obs.counters.clone(),
+            obs,
+            metrics,
             rng,
         }
+    }
+
+    /// Counts a contained event-loop failure and records it in the trace
+    /// journal — errors must be visible, never silently swallowed, and
+    /// never fatal to the node.
+    fn note_error(&self, instance: [u8; 32], detail: String) {
+        self.metrics.event_loop_errors.inc();
+        self.obs.journal.record_detail(instance, TraceEventKind::Error, detail);
     }
 
     /// Earliest pending deadline across both heaps, if any. Entries may
@@ -275,7 +354,15 @@ impl InstanceManager {
                             }
                         }
                     }
-                    Err(_) => return, // network torn down
+                    Err(_) => {
+                        // The transport died under us: record it so the
+                        // post-mortem shows why the node stopped.
+                        self.note_error(
+                            [0u8; 32],
+                            "network event channel disconnected".into(),
+                        );
+                        return;
+                    }
                 },
                 recv(timer) -> _ => {}
             }
@@ -289,7 +376,11 @@ impl InstanceManager {
     fn handle_submit(&mut self, request: Request, reply: Sender<InstanceResult>) {
         let id = request.instance_id();
         if let Some(done) = self.finished.get(&id, Instant::now()) {
-            let _ = reply.send(done.clone());
+            self.metrics.cache_hits.inc();
+            self.obs.journal.record(id.0, TraceEventKind::CacheHit);
+            if reply.send(done.clone()).is_err() {
+                self.note_error(id.0, "cache-hit reply channel closed".into());
+            }
             return;
         }
         if let Some(live) = self.instances.get_mut(&id) {
@@ -302,15 +393,27 @@ impl InstanceManager {
                     live.subscribers.push(reply);
                 } else if let Some(done) = self.finished.get(&id, Instant::now()) {
                     // The instance already finished during start (n = 1).
-                    let _ = reply.send(done.clone());
+                    if reply.send(done.clone()).is_err() {
+                        self.note_error(id.0, "reply channel closed".into());
+                    }
                 }
             }
             Err(err) => {
-                let _ = reply.send(InstanceResult {
-                    instance: id,
-                    outcome: Err(err),
-                    elapsed: Duration::ZERO,
-                });
+                self.obs.journal.record_detail(
+                    id.0,
+                    TraceEventKind::InstanceFailed,
+                    format!("{err:?}"),
+                );
+                if reply
+                    .send(InstanceResult {
+                        instance: id,
+                        outcome: Err(err),
+                        elapsed: Duration::ZERO,
+                    })
+                    .is_err()
+                {
+                    self.note_error(id.0, "reply channel closed".into());
+                }
             }
         }
     }
@@ -386,7 +489,9 @@ impl InstanceManager {
     fn start_instance(&mut self, request: &Request) -> Result<(), SchemeError> {
         let id = request.instance_id();
         let mut protocol = self.build_protocol(request)?;
+        let compute_start = Instant::now();
         let output = protocol.do_round(&mut self.rng)?;
+        let compute_elapsed = compute_start.elapsed();
         let now = Instant::now();
         let deadline = now + self.config.instance_timeout;
         let next_retry = now + self.config.retry_initial_backoff;
@@ -405,8 +510,14 @@ impl InstanceManager {
         );
         self.expiry_heap.push(Reverse((deadline, id)));
         self.retry_heap.push(Reverse((next_retry, id)));
+        // Counter and journal stay in lockstep: every counted start has
+        // an `InstanceStarted` journal entry and vice versa.
         EventLoopCounters::bump(&self.counters.instances_started);
+        self.obs.journal.record(id.0, TraceEventKind::InstanceStarted);
+        self.obs.phases.share_compute.record(compute_elapsed);
+        self.obs.journal.record(id.0, TraceEventKind::ShareComputed);
         self.dispatch_round_output(id, output);
+        self.obs.journal.record(id.0, TraceEventKind::ShareSent);
         self.poll_instance(id);
         Ok(())
     }
@@ -446,26 +557,55 @@ impl InstanceManager {
             NetworkEvent::Tob { from, payload, .. } => (from, payload),
         };
         let Ok(envelope) = Envelope::decoded(&payload) else {
-            return; // malformed traffic is dropped
+            // Malformed traffic is dropped — but counted and journaled.
+            self.metrics.dropped_malformed.inc();
+            self.obs.journal.record_full(
+                [0u8; 32],
+                TraceEventKind::MessageDropped,
+                from,
+                "malformed envelope".into(),
+            );
+            return;
         };
         if envelope.sender != from {
             // Spoofed sender field. This applies to TOB deliveries too:
             // the transport stamps `from` with the authenticated
             // submitter, so a mismatching envelope is an impersonation
             // attempt (a peer trying to inject shares as someone else).
+            self.metrics.dropped_spoofed.inc();
+            self.obs.journal.record_full(
+                envelope.instance.0,
+                TraceEventKind::MessageDropped,
+                from,
+                format!("spoofed sender {} != {}", envelope.sender, from),
+            );
             return;
         }
         let id = envelope.instance;
         if self.finished.contains(&id, Instant::now()) {
-            return; // residual message for a completed request
+            // Residual message for a completed request — normal traffic
+            // past quorum; counted but not journaled per-message.
+            self.metrics.dropped_residual.inc();
+            return;
         }
         if !self.instances.contains_key(&id) {
             // First contact: start our own instance from the embedded
             // request (validates against our keys).
             if envelope.request.instance_id() != id {
+                self.metrics.dropped_spoofed.inc();
+                self.obs.journal.record_full(
+                    id.0,
+                    TraceEventKind::MessageDropped,
+                    from,
+                    "embedded request does not hash to instance id".into(),
+                );
                 return;
             }
-            if self.start_instance(&envelope.request).is_err() {
+            if let Err(err) = self.start_instance(&envelope.request) {
+                self.note_error(
+                    id.0,
+                    format!("instance start on first contact failed: {err:?}"),
+                );
                 return;
             }
         }
@@ -480,7 +620,24 @@ impl InstanceManager {
         };
         if let Some(live) = self.instances.get_mut(&id) {
             // Invalid messages are logged-and-dropped; the instance lives on.
-            let _ = live.protocol.update(&inbound);
+            self.obs.journal.record_peer(id.0, TraceEventKind::ShareReceived, from);
+            let verify_start = Instant::now();
+            let verdict = live.protocol.update(&inbound);
+            self.obs.phases.share_verify.record(verify_start.elapsed());
+            match verdict {
+                Ok(()) => {
+                    self.obs.journal.record_peer(id.0, TraceEventKind::ShareVerified, from);
+                }
+                Err(err) => {
+                    self.metrics.shares_rejected.inc();
+                    self.obs.journal.record_full(
+                        id.0,
+                        TraceEventKind::ShareRejected,
+                        from,
+                        format!("{err:?}"),
+                    );
+                }
+            }
         }
         self.poll_instance(id);
     }
@@ -502,7 +659,13 @@ impl InstanceManager {
                 }
             }
             if live.protocol.is_ready_to_finalize() {
+                self.obs.journal.record(id.0, TraceEventKind::QuorumReached);
+                let combine_start = Instant::now();
                 let outcome = live.protocol.finalize();
+                self.obs.phases.combine.record(combine_start.elapsed());
+                if outcome.is_ok() {
+                    self.obs.journal.record(id.0, TraceEventKind::Combined);
+                }
                 self.finish_instance(id, outcome);
             }
             return;
@@ -511,6 +674,12 @@ impl InstanceManager {
 
     fn finish_instance(&mut self, id: InstanceId, outcome: Result<ProtocolOutput, SchemeError>) {
         if let Some(live) = self.instances.remove(&id) {
+            // Fold the protocol's verification stats into the registry
+            // now that the instance is final.
+            let stats = live.protocol.stats();
+            self.metrics.batch_verify_ok.add(stats.batch_verify_ok);
+            self.metrics.shares_pruned.add(stats.shares_pruned);
+            self.metrics.eager_verifies.add(stats.eager_verifies);
             let result = InstanceResult {
                 instance: id,
                 outcome,
@@ -519,10 +688,26 @@ impl InstanceManager {
             // Account and cache *before* notifying: a subscriber thread
             // may inspect counters the moment its result arrives.
             EventLoopCounters::bump(&self.counters.instances_completed);
+            // The e2e histogram records *every* finish (success, failure,
+            // timeout), mirroring `instances_completed` semantics.
+            self.obs.phases.e2e.record(result.elapsed);
+            match &result.outcome {
+                Ok(_) => self.obs.journal.record(id.0, TraceEventKind::ResultDelivered),
+                Err(err) => self.obs.journal.record_detail(
+                    id.0,
+                    TraceEventKind::InstanceFailed,
+                    format!("{err:?}"),
+                ),
+            }
             let evicted = self.finished.insert(id, result.clone(), Instant::now());
             EventLoopCounters::add(&self.counters.cache_evictions, evicted);
             for sub in &live.subscribers {
-                let _ = sub.send(result.clone());
+                if sub.send(result.clone()).is_err() {
+                    self.note_error(
+                        id.0,
+                        "subscriber channel closed before result delivery".into(),
+                    );
+                }
             }
             // Heap entries for `id` are now stale; pops skip them.
         }
@@ -540,11 +725,12 @@ impl InstanceManager {
             let still_live = self
                 .instances
                 .get(&id)
-                .map_or(false, |live| live.deadline <= now);
+                .is_some_and(|live| live.deadline <= now);
             if !still_live {
                 continue; // finished already, or a stale entry
             }
             EventLoopCounters::bump(&self.counters.instances_timed_out);
+            self.obs.journal.record(id.0, TraceEventKind::InstanceTimedOut);
             self.finish_instance(
                 id,
                 Err(SchemeError::InvalidShareSet(
@@ -573,6 +759,13 @@ impl InstanceManager {
                 (live.retry_backoff * 2).min(self.config.retry_max_backoff);
             live.next_retry = now + live.retry_backoff;
             let next = live.next_retry;
+            if !resend.is_empty() {
+                self.obs.journal.record_detail(
+                    id.0,
+                    TraceEventKind::RetryBroadcast,
+                    format!("{} message(s)", resend.len()),
+                );
+            }
             for bytes in resend {
                 self.network.broadcast_p2p(bytes);
                 EventLoopCounters::bump(&self.counters.retries_sent);

@@ -88,7 +88,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Hex decoding; `None` on odd length or non-hex characters.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())

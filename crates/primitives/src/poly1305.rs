@@ -55,7 +55,7 @@ pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
         let mut d3 = m(h0, r3) + m(h1, r2) + m(h2, r1) + m(h3, r0) + m(h4, s4);
         let mut d4 = m(h0, r4) + m(h1, r3) + m(h2, r2) + m(h3, r1) + m(h4, r0);
 
-        let mut c = (d0 >> 26) as u64;
+        let mut c = d0 >> 26;
         h0 = (d0 as u32) & 0x3ffffff;
         d1 += c;
         c = d1 >> 26;

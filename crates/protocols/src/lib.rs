@@ -108,6 +108,20 @@ impl ProtocolOutput {
     }
 }
 
+/// Verification-work statistics a protocol instance accumulates over
+/// its lifetime, so the orchestration layer can fold them into the
+/// node's metrics when the instance finishes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Batched verifications that cleared a whole pending set in one
+    /// check (one MSM / pairing-product).
+    pub batch_verify_ok: u64,
+    /// Shares pruned by the bisection fallback after a batch failed.
+    pub shares_pruned: u64,
+    /// Per-share eager verifications performed.
+    pub eager_verifies: u64,
+}
+
 /// The Threshold Round Interface (paper §3.5).
 ///
 /// Implementations are single-party state machines: each node runs its
@@ -154,6 +168,12 @@ pub trait ThresholdRoundProtocol: Send {
 
     /// The party running this instance.
     fn party(&self) -> PartyId;
+
+    /// Verification-work statistics accumulated so far. Protocols that
+    /// do no share verification keep the default zeros.
+    fn stats(&self) -> ProtocolStats {
+        ProtocolStats::default()
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 //! CKS05 through the [`OneRoundScheme`] adapter trait.
 
 use crate::{
-    InboundMessage, OutboundMessage, ProtocolOutput, RoundOutput, ThresholdRoundProtocol,
-    Transport,
+    InboundMessage, OutboundMessage, ProtocolOutput, ProtocolStats, RoundOutput,
+    ThresholdRoundProtocol, Transport,
 };
 use std::collections::BTreeMap;
 use theta_schemes::{bls04, bz03, cks05, sg02, sh00, PartyId, SchemeError};
@@ -82,6 +82,7 @@ pub struct OneRoundProtocol<S: OneRoundScheme> {
     verified: std::collections::BTreeSet<PartyId>,
     lazy: bool,
     finished: bool,
+    stats: ProtocolStats,
 }
 
 impl<S: OneRoundScheme> OneRoundProtocol<S> {
@@ -95,6 +96,7 @@ impl<S: OneRoundScheme> OneRoundProtocol<S> {
             verified: std::collections::BTreeSet::new(),
             lazy: false,
             finished: false,
+            stats: ProtocolStats::default(),
         }
     }
 
@@ -134,12 +136,14 @@ impl<S: OneRoundScheme> OneRoundProtocol<S> {
             let batch: Vec<S::Share> = pending.iter().map(|(_, s)| s.clone()).collect();
             match self.scheme.verify_shares_batch(&batch) {
                 Ok(()) => {
+                    self.stats.batch_verify_ok += 1;
                     self.verified.extend(pending.iter().map(|(id, _)| *id));
                     return Ok(pruned);
                 }
                 Err(SchemeError::InvalidShare { party }) => {
                     let id = PartyId(party);
                     self.shares.remove(&id);
+                    self.stats.shares_pruned += 1;
                     pruned.push(id);
                     // Loop: re-batch the remainder (bisection already
                     // localized this failure; others may still be bad).
@@ -176,6 +180,7 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
             return Err(SchemeError::InvalidShare { party: message.sender.value() });
         }
         if !self.lazy {
+            self.stats.eager_verifies += 1;
             if !self.scheme.verify_share(&share) {
                 return Err(SchemeError::InvalidShare { party: claimed.value() });
             }
@@ -224,6 +229,10 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
 
     fn party(&self) -> PartyId {
         self.scheme.party()
+    }
+
+    fn stats(&self) -> ProtocolStats {
+        self.stats
     }
 }
 
@@ -740,6 +749,52 @@ mod tests {
             Err(SchemeError::InvalidShare { party: 2 })
         ));
         assert!(!me.is_ready_to_finalize());
+    }
+
+    #[test]
+    fn stats_track_batch_and_prune_outcomes() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new_lazy(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        let other_ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let forged =
+            theta_schemes::sg02::create_decryption_share(&keys[1], &other_ct, &mut r).unwrap();
+        me.update(&InboundMessage {
+            sender: keys[1].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&forged),
+        })
+        .unwrap();
+        for k in &keys[2..4] {
+            let share = theta_schemes::sg02::create_decryption_share(k, &ct, &mut r).unwrap();
+            let _ = me.update(&InboundMessage {
+                sender: k.id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share),
+            });
+        }
+        let stats = me.stats();
+        assert_eq!(stats.shares_pruned, 1, "the forged share must be pruned");
+        assert!(stats.batch_verify_ok >= 1, "the honest remainder batch-verifies");
+        assert_eq!(stats.eager_verifies, 0, "lazy mode never verifies eagerly");
+
+        // Eager mode counts per-share checks instead.
+        let mut eager = OneRoundProtocol::new(Sg02Decrypt::new(keys[4].clone(), ct.clone()));
+        let _ = eager.do_round(&mut r).unwrap();
+        let share = theta_schemes::sg02::create_decryption_share(&keys[5], &ct, &mut r).unwrap();
+        eager
+            .update(&InboundMessage {
+                sender: keys[5].id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share),
+            })
+            .unwrap();
+        let stats = eager.stats();
+        assert_eq!(stats.eager_verifies, 1);
+        assert_eq!(stats.batch_verify_ok, 0);
     }
 
     #[test]

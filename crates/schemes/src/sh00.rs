@@ -320,7 +320,7 @@ pub fn keygen_from_primes(
 
 /// Maps a message to an element of `Z_N*` (full-domain hash).
 fn message_rep(pk: &PublicKey, message: &[u8]) -> BigUint {
-    let n_bytes = (pk.n.bits() + 7) / 8;
+    let n_bytes = pk.n.bits().div_ceil(8);
     let mut ctr = 0u32;
     loop {
         let mut seed = Vec::with_capacity(message.len() + 8);

@@ -172,6 +172,37 @@ impl RpcClient {
         }
     }
 
+    /// Observability: the node's metrics registry rendered as Prometheus
+    /// text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind.
+    pub fn metrics(&mut self) -> Result<String, RpcError> {
+        match self.call(RpcRequest::GetMetrics)? {
+            RpcResponse::MetricsText(text) => Ok(text),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Observability: the trace-journal events recorded for `instance`,
+    /// in recording order.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] when the node has no trace for that id.
+    pub fn trace(
+        &mut self,
+        instance: [u8; 32],
+    ) -> Result<Vec<theta_metrics::TraceEvent>, RpcError> {
+        match self.call(RpcRequest::GetTrace(instance))? {
+            RpcResponse::Trace(events) => Ok(events),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
     /// Scheme API: verifies a combined signature.
     ///
     /// # Errors

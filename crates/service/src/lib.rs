@@ -86,6 +86,12 @@ pub enum RpcRequest {
     },
     /// Observability: snapshot of the node's event-loop counters.
     GetNodeStats,
+    /// Observability: the node's full metrics registry rendered in the
+    /// Prometheus text exposition format.
+    GetMetrics,
+    /// Observability: the recorded trace-journal events for one protocol
+    /// instance, in recording order.
+    GetTrace([u8; 32]),
 }
 
 impl Encode for RpcRequest {
@@ -114,6 +120,13 @@ impl Encode for RpcRequest {
             RpcRequest::GetNodeStats => {
                 4u8.encode(w);
             }
+            RpcRequest::GetMetrics => {
+                5u8.encode(w);
+            }
+            RpcRequest::GetTrace(instance) => {
+                6u8.encode(w);
+                instance.encode(w);
+            }
         }
     }
 }
@@ -134,6 +147,8 @@ impl Decode for RpcRequest {
                 signature: Vec::<u8>::decode(r)?,
             }),
             4 => Ok(RpcRequest::GetNodeStats),
+            5 => Ok(RpcRequest::GetMetrics),
+            6 => Ok(RpcRequest::GetTrace(<[u8; 32]>::decode(r)?)),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -160,6 +175,10 @@ pub enum RpcResponse {
     Error(String),
     /// Event-loop counters of the serving node.
     NodeStats(theta_metrics::EventLoopSnapshot),
+    /// Prometheus text exposition of the node's metrics registry.
+    MetricsText(String),
+    /// Trace-journal events for one instance, in recording order.
+    Trace(Vec<theta_metrics::TraceEvent>),
 }
 
 impl Encode for RpcResponse {
@@ -199,6 +218,23 @@ impl Encode for RpcResponse {
                 s.instances_completed.encode(w);
                 s.instances_timed_out.encode(w);
             }
+            RpcResponse::MetricsText(text) => {
+                6u8.encode(w);
+                text.encode(w);
+            }
+            RpcResponse::Trace(events) => {
+                // `TraceEvent` lives in theta-metrics (no codec
+                // dependency), so its fields are framed here too.
+                7u8.encode(w);
+                (events.len() as u32).encode(w);
+                for ev in events {
+                    ev.instance.encode(w);
+                    ev.kind.code().encode(w);
+                    ev.at_micros.encode(w);
+                    ev.peer.encode(w);
+                    ev.detail.encode(w);
+                }
+            }
         }
     }
 }
@@ -224,6 +260,25 @@ impl Decode for RpcResponse {
                 instances_completed: u64::decode(r)?,
                 instances_timed_out: u64::decode(r)?,
             })),
+            6 => Ok(RpcResponse::MetricsText(String::decode(r)?)),
+            7 => {
+                let len = u32::decode(r)? as usize;
+                let mut events = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    let instance = <[u8; 32]>::decode(r)?;
+                    let code = u8::decode(r)?;
+                    let kind = theta_metrics::TraceEventKind::from_code(code)
+                        .ok_or(CodecError::InvalidTag(code as u32))?;
+                    events.push(theta_metrics::TraceEvent {
+                        instance,
+                        kind,
+                        at_micros: u64::decode(r)?,
+                        peer: u16::decode(r)?,
+                        detail: String::decode(r)?,
+                    });
+                }
+                Ok(RpcResponse::Trace(events))
+            }
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -295,6 +350,8 @@ mod tests {
                 signature: vec![1, 2, 3],
             },
             RpcRequest::GetNodeStats,
+            RpcRequest::GetMetrics,
+            RpcRequest::GetTrace([7u8; 32]),
         ];
         for r in reqs {
             assert_eq!(RpcRequest::decoded(&r.encoded()).unwrap(), r);
@@ -319,6 +376,14 @@ mod tests {
                 instances_completed: 7,
                 instances_timed_out: 8,
             }),
+            RpcResponse::MetricsText("# TYPE x counter\nx 1\n".into()),
+            RpcResponse::Trace(vec![theta_metrics::TraceEvent {
+                instance: [9u8; 32],
+                kind: theta_metrics::TraceEventKind::ShareVerified,
+                at_micros: 1234,
+                peer: 3,
+                detail: "ok".into(),
+            }]),
         ];
         for r in resps {
             assert_eq!(RpcResponse::decoded(&r.encoded()).unwrap(), r);

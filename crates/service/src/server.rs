@@ -84,6 +84,19 @@ pub fn serve(
     Ok(ServiceHandle { addr: bound, shutdown, join: Some(join) })
 }
 
+/// Short method label used by the per-variant RPC counters.
+fn method_name(request: &RpcRequest) -> &'static str {
+    match request {
+        RpcRequest::Protocol(_) => "protocol",
+        RpcRequest::GetPublicKey(_) => "get_public_key",
+        RpcRequest::Encrypt { .. } => "encrypt",
+        RpcRequest::VerifySignature { .. } => "verify_signature",
+        RpcRequest::GetNodeStats => "get_node_stats",
+        RpcRequest::GetMetrics => "get_metrics",
+        RpcRequest::GetTrace(_) => "get_trace",
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     node: Arc<NodeHandle>,
@@ -95,6 +108,8 @@ fn handle_connection(
         Ok(s) => s,
         Err(_) => return,
     }));
+    let obs = node.observability();
+    let rpc_timer = obs.registry.histogram("theta_rpc_request_seconds");
     let mut reader = stream;
     loop {
         let frame: Frame<RpcRequest> = match crate::read_frame(&mut reader) {
@@ -102,11 +117,20 @@ fn handle_connection(
             Err(_) => return, // client gone or malformed
         };
         let id = frame.id;
+        let started = std::time::Instant::now();
+        obs.registry
+            .counter_with("theta_rpc_requests_total", &[("method", method_name(&frame.body))])
+            .inc();
         match frame.body {
             RpcRequest::Protocol(request) => {
+                obs.journal.record(
+                    request.instance_id().0,
+                    theta_metrics::TraceEventKind::RpcReceived,
+                );
                 // Answer from a waiter thread so the connection can pipeline.
                 let pending = node.submit(request);
                 let writer = writer.clone();
+                let rpc_timer = rpc_timer.clone();
                 std::thread::Builder::new()
                     .name("theta-rpc-wait".into())
                     .spawn(move || {
@@ -120,12 +144,27 @@ fn handle_connection(
                             },
                             None => RpcResponse::Error("request timed out".into()),
                         };
+                        rpc_timer.record(started.elapsed());
                         let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
                     })
                     .ok();
+                continue; // timed inside the waiter thread
             }
             RpcRequest::GetNodeStats => {
                 let response = RpcResponse::NodeStats(node.counters());
+                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+            }
+            RpcRequest::GetMetrics => {
+                let response = RpcResponse::MetricsText(obs.render_prometheus());
+                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+            }
+            RpcRequest::GetTrace(instance) => {
+                let events = obs.journal.events_for(&instance);
+                let response = if events.is_empty() {
+                    RpcResponse::Error("no trace recorded for that instance id".into())
+                } else {
+                    RpcResponse::Trace(events)
+                };
                 let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
             }
             other => {
@@ -133,6 +172,7 @@ fn handle_connection(
                 let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
             }
         }
+        rpc_timer.record(started.elapsed());
     }
 }
 
@@ -186,7 +226,10 @@ fn answer_scheme_api(request: RpcRequest, keys: &PublicKeyChest) -> RpcResponse 
                 None => RpcResponse::Error(format!("scheme {scheme} not provisioned")),
             }
         }
-        RpcRequest::Protocol(_) | RpcRequest::GetNodeStats => {
+        RpcRequest::Protocol(_)
+        | RpcRequest::GetNodeStats
+        | RpcRequest::GetMetrics
+        | RpcRequest::GetTrace(_) => {
             unreachable!("handled by the connection loop")
         }
     }

@@ -124,6 +124,7 @@ struct Task {
 
 /// Per-(node, request) protocol progress.
 #[derive(Clone, Copy, Debug)]
+#[derive(Default)]
 struct ReqState {
     arrival: SimTime,
     arrived: bool,
@@ -135,20 +136,6 @@ struct ReqState {
     done: bool,
 }
 
-impl Default for ReqState {
-    fn default() -> Self {
-        ReqState {
-            arrival: 0,
-            arrived: false,
-            verified: 0,
-            commits: 0,
-            round1_done: false,
-            round2_started: false,
-            combining: false,
-            done: false,
-        }
-    }
-}
 
 struct Node {
     region: Region,

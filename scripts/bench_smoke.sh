@@ -20,3 +20,11 @@ cargo run --release -p theta-bench --bin bench_kernels -- --quick
 echo
 echo "BENCH_kernels.json:"
 cat BENCH_kernels.json
+
+echo
+echo "== observability instrumentation overhead -> BENCH_observability.json =="
+cargo run --release -p theta-bench --bin bench_observability -- --quick
+
+echo
+echo "BENCH_observability.json:"
+cat BENCH_observability.json

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, full test suite, and clippy (deny warnings) on
+# the crates the observability subsystem touches.
+#
+# Usage: scripts/ci.sh [--no-clippy]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo
+echo "== cargo test (workspace) =="
+cargo test -q
+
+if [[ "${1:-}" != "--no-clippy" ]] && cargo clippy --version >/dev/null 2>&1; then
+    echo
+    echo "== cargo clippy -D warnings (observability-touched crates) =="
+    cargo clippy \
+        -p theta-metrics \
+        -p theta-protocols \
+        -p theta-network \
+        -p theta-orchestration \
+        -p theta-service \
+        -p theta-core \
+        -p theta-bench \
+        -- -D warnings
+else
+    echo
+    echo "== clippy skipped =="
+fi
+
+echo
+echo "CI gate passed."

@@ -122,7 +122,7 @@ fn kg20_stalls_under_crashes_as_designed() {
 
 #[test]
 fn latency_injection_slows_but_completes() {
-    let mut r = rng();
+    let r = rng();
     let net = ThetaNetworkBuilder::new(1, 4)
         .with_cks05()
         .link_profile(LinkProfile::fixed(Duration::from_millis(40)))
