@@ -1,0 +1,194 @@
+//! Worker-pool scaling benchmark: sg02 threshold-decryption throughput
+//! on a 4-node in-memory mesh at `worker_threads` ∈ {1, 2, 4, cores},
+//! recorded in `BENCH_parallel.json` at the repository root.
+//!
+//! Two views are reported side by side, in the same spirit as the
+//! live-vs-sim cross-check (`live_vs_sim.rs`):
+//!
+//! - **live**: wall-clock throughput of the real stack (schemes +
+//!   driver + router/worker pool + in-memory network). On a host with
+//!   as many cores as workers this shows the scaling directly; on a
+//!   smaller host (CI containers are often 1-core — see `host_cores`)
+//!   all workers time-share the same CPU and live numbers flatten.
+//! - **modeled**: a measured-cost pipeline bound, built from the busy
+//!   counters the router and workers maintain about themselves
+//!   (`theta_router_busy_nanos_total`, `theta_worker_busy_nanos_total`).
+//!   From the single-worker live run, `S` = router busy ns / instance
+//!   (the serial stage) and `C` = worker busy ns / instance (the stage
+//!   that divides across the pool). A node's throughput is then bounded
+//!   by its slowest pipeline stage: `rps(W) = 1 / max(S, C / W)`.
+//!   Because protocol crypto dominates (`C ≫ S`), the modeled speedup
+//!   at 4 workers is ≈4×.
+//!
+//! `--quick` or `CRITERION_QUICK=1` shrinks the request counts for CI
+//! smoke runs.
+
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::{Duration, Instant};
+use theta_codec::Encode;
+use theta_core::ThetaNetworkBuilder;
+use theta_orchestration::Request;
+use theta_schemes::{sg02, ThresholdParams};
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// One live sweep point: wall-clock throughput plus node 1's in-situ
+/// busy accounting (router and worker nanoseconds per instance).
+struct LivePoint {
+    rps: f64,
+    router_ns_per_instance: f64,
+    worker_ns_per_instance: f64,
+}
+
+/// Live throughput (requests/s) of a 4-node mesh with `workers` crypto
+/// workers per node: `n` distinct sg02 decryptions submitted
+/// back-to-back at node 1, timed to the last result.
+fn live_throughput(workers: usize, n: usize, seed: u64) -> LivePoint {
+    let net = ThetaNetworkBuilder::new(1, 4)
+        .with_sg02()
+        .worker_threads(workers)
+        .seed(seed)
+        .instance_timeout(Duration::from_secs(120))
+        .build()
+        .expect("build 4-node mesh");
+    let pk = net.public_keys().sg02.clone().expect("sg02 provisioned");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let requests: Vec<Request> = (0..n)
+        .map(|i| {
+            let ct =
+                sg02::encrypt(&pk, b"bench", format!("payload {i}").as_bytes(), &mut rng);
+            Request::Sg02Decrypt(ct.encoded())
+        })
+        .collect();
+
+    // Warm-up: one request end to end so lazy initialization (tables,
+    // thread spawn-up) is outside the timed window.
+    net.submit_and_wait(1, requests[0].clone()).expect("warm-up completes");
+
+    let node = net.node(1).clone();
+    let obs = net.node_observability(1);
+    let busy_at = |name: &str| obs.registry.counter_value(name, &[]).unwrap_or(0) as f64;
+    let (router0, worker0) = (
+        busy_at(theta_metrics::observability::ROUTER_BUSY_NANOS_COUNTER),
+        busy_at(theta_metrics::observability::WORKER_BUSY_NANOS_COUNTER),
+    );
+
+    let start = Instant::now();
+    let pending: Vec<_> = requests.iter().skip(1).map(|r| node.submit(r.clone())).collect();
+    for p in pending {
+        p.wait_timeout(Duration::from_secs(120))
+            .expect("node alive")
+            .outcome
+            .expect("decryption succeeds");
+    }
+    let timed = (n - 1) as f64;
+    LivePoint {
+        rps: timed / start.elapsed().as_secs_f64(),
+        router_ns_per_instance: (busy_at(theta_metrics::observability::ROUTER_BUSY_NANOS_COUNTER) - router0)
+            / timed,
+        worker_ns_per_instance: (busy_at(theta_metrics::observability::WORKER_BUSY_NANOS_COUNTER) - worker0)
+            / timed,
+    }
+}
+
+/// Measures the per-instance worker-side crypto cost `C` for one node:
+/// its own share computation plus the verified combine over a quorum —
+/// exactly the work the router hands to the pool per sg02 instance.
+fn crypto_cost_ns(samples: usize) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a11);
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let (pk, keys) = sg02::keygen(params, &mut rng);
+    let ct = sg02::encrypt(&pk, b"bench", b"worker-side cost", &mut rng);
+    let quorum: Vec<_> = keys
+        .iter()
+        .take(2)
+        .map(|k| sg02::create_decryption_share(k, &ct, &mut rng).unwrap())
+        .collect();
+    // Warm-up.
+    std::hint::black_box(sg02::create_decryption_share(&keys[2], &ct, &mut rng).unwrap());
+    std::hint::black_box(sg02::combine(&pk, &ct, &quorum).unwrap());
+    let start = Instant::now();
+    for _ in 0..samples {
+        std::hint::black_box(sg02::create_decryption_share(&keys[2], &ct, &mut rng).unwrap());
+        std::hint::black_box(sg02::combine(&pk, &ct, &quorum).unwrap());
+    }
+    start.elapsed().as_nanos() as f64 / samples as f64
+}
+
+fn main() {
+    let (n_requests, crypto_samples) = if quick() { (9, 8) } else { (25, 40) };
+    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // worker_threads sweep: 1, 2, 4, and the host's core count, deduped.
+    let mut sweep = vec![1usize, 2, 4, host_cores];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    println!("host cores: {host_cores}");
+    let micro_crypto_ns = crypto_cost_ns(crypto_samples);
+    println!("micro-benched crypto cost:  {:>9.1} µs/instance", micro_crypto_ns / 1e3);
+
+    let mut live = Vec::new();
+    for &w in &sweep {
+        let point = live_throughput(w, n_requests, 0x9a11 + w as u64);
+        println!("live   workers={w:<2} {:>9.1} req/s", point.rps);
+        live.push(point);
+    }
+
+    // The model's inputs come from the single-worker live run's own
+    // busy accounting: S is what the router thread actually spent per
+    // instance (the serial stage), C what the worker spent (the stage
+    // that divides across the pool). Floors keep measurement noise from
+    // degenerating the bound.
+    let router_ns = live[0].router_ns_per_instance.max(100.0);
+    let crypto_ns = live[0].worker_ns_per_instance.max(1_000.0);
+    println!("in-situ router stage S:     {:>9.1} µs/instance", router_ns / 1e3);
+    println!("in-situ worker stage C:     {:>9.1} µs/instance", crypto_ns / 1e3);
+
+    let modeled_rps = |w: usize| 1e9 / router_ns.max(crypto_ns / w as f64);
+    let modeled: Vec<f64> = sweep.iter().map(|&w| modeled_rps(w)).collect();
+    for (&w, rps) in sweep.iter().zip(&modeled) {
+        println!("model  workers={w:<2} {rps:>9.1} req/s ({:.2}x)", rps / modeled[0]);
+    }
+    let speedup_at_4 = modeled_rps(4) / modeled[0];
+    println!("modeled speedup at 4 workers: {speedup_at_4:.2}x");
+
+    let results: Vec<String> = sweep
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            format!(
+                "    {{ \"workers\": {w}, \"live_rps\": {:.2}, \"modeled_rps\": {:.2}, \
+                 \"modeled_speedup\": {:.3} }}",
+                live[i].rps,
+                modeled[i],
+                modeled[i] / modeled[0]
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"worker-pool scaling, sg02 threshold decryption\",\n  \
+         \"mesh\": \"4 nodes in-memory, t=1\",\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"quick\": {},\n  \
+         \"requests_per_config\": {},\n  \
+         \"router_ns_per_instance\": {router_ns:.1},\n  \
+         \"worker_ns_per_instance\": {crypto_ns:.1},\n  \
+         \"microbench_crypto_ns\": {micro_crypto_ns:.1},\n  \
+         \"model\": \"rps(W) = 1 / max(S, C/W); S = in-situ router busy ns, C = in-situ worker busy ns, C/W with W workers\",\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"modeled_speedup_at_4_workers\": {speedup_at_4:.3}\n}}\n",
+        quick(),
+        n_requests - 1,
+        results.join(",\n")
+    );
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_parallel.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+}

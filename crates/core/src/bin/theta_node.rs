@@ -27,6 +27,7 @@ struct Args {
     public: std::path::PathBuf,
     peers: Vec<SocketAddr>,
     rpc: SocketAddr,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut public = None;
     let mut peers = None;
     let mut rpc = None;
+    let mut workers = 0;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -43,6 +45,9 @@ fn parse_args() -> Result<Args, String> {
             "--keys" => keys = Some(std::path::PathBuf::from(value()?)),
             "--public" => public = Some(std::path::PathBuf::from(value()?)),
             "--rpc" => rpc = Some(value()?.parse().map_err(|e| format!("--rpc: {e}"))?),
+            "--workers" => {
+                workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
             "--peers" => {
                 peers = Some(
                     value()?
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         public: public.ok_or("--public is required")?,
         peers: peers.ok_or("--peers is required")?,
         rpc: rpc.ok_or("--rpc is required")?,
+        workers,
     })
 }
 
@@ -70,7 +76,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: theta-node --id I --keys FILE --public FILE \
-                 --peers a1,a2,... --rpc ADDR"
+                 --peers a1,a2,... --rpc ADDR [--workers N]"
             );
             std::process::exit(2);
         }
@@ -97,7 +103,7 @@ fn main() {
     let handle = Arc::new(spawn_node(
         key_file.into_chest(),
         Box::new(mesh) as Box<dyn Network>,
-        NodeConfig::default(),
+        NodeConfig { worker_threads: args.workers, ..NodeConfig::default() },
     ));
     let service = serve(args.rpc, handle, public, Duration::from_secs(60))
         .expect("bind rpc endpoint");

@@ -44,6 +44,9 @@ pub enum CoreError {
     Scheme(SchemeError),
     /// The request did not complete within the deadline.
     Timeout,
+    /// The node stopped (shut down or died) before delivering the
+    /// result; retrying against the same handle is pointless.
+    NodeStopped,
     /// Transport/service failure.
     Io(std::io::Error),
 }
@@ -54,6 +57,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
             CoreError::Scheme(e) => write!(f, "scheme error: {e}"),
             CoreError::Timeout => write!(f, "request timed out"),
+            CoreError::NodeStopped => {
+                write!(f, "the node stopped before delivering the result")
+            }
             CoreError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -83,6 +89,7 @@ pub struct ThetaNetworkBuilder {
     sh00_modulus_bits: usize,
     kg20_nonce_stock: usize,
     instance_timeout: Duration,
+    worker_threads: usize,
 }
 
 impl ThetaNetworkBuilder {
@@ -97,6 +104,7 @@ impl ThetaNetworkBuilder {
             sh00_modulus_bits: 256,
             kg20_nonce_stock: 0,
             instance_timeout: Duration::from_secs(30),
+            worker_threads: 0,
         }
     }
 
@@ -166,6 +174,12 @@ impl ThetaNetworkBuilder {
     /// Per-instance timeout at every node.
     pub fn instance_timeout(mut self, timeout: Duration) -> Self {
         self.instance_timeout = timeout;
+        self
+    }
+
+    /// Crypto worker threads per node (`0` = one per available core).
+    pub fn worker_threads(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
         self
     }
 
@@ -257,6 +271,7 @@ impl ThetaNetworkBuilder {
                     NodeConfig {
                         instance_timeout: self.instance_timeout,
                         use_precomputed_nonces: self.kg20_nonce_stock > 0,
+                        worker_threads: self.worker_threads,
                         ..NodeConfig::default()
                     },
                 ))
@@ -340,7 +355,10 @@ impl ThetaNetwork {
         let pending = self.node(id).submit(request);
         let result = pending
             .wait_timeout(Duration::from_secs(60))
-            .ok_or(CoreError::Timeout)?;
+            .map_err(|e| match e {
+                theta_orchestration::WaitError::TimedOut => CoreError::Timeout,
+                theta_orchestration::WaitError::NodeStopped => CoreError::NodeStopped,
+            })?;
         result.outcome.map_err(CoreError::from)
     }
 

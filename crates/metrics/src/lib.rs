@@ -20,7 +20,7 @@ pub mod trace;
 
 pub use counters::{EventLoopCounters, EventLoopSnapshot};
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
-pub use observability::{NodeObservability, PhaseTimers};
+pub use observability::{NodeObservability, PhaseTimers, PoolMetrics};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use trace::{TraceEvent, TraceEventKind, TraceJournal, DEFAULT_JOURNAL_CAPACITY};
 

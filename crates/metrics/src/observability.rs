@@ -5,7 +5,7 @@
 
 use crate::counters::EventLoopCounters;
 use crate::histogram::Histogram;
-use crate::registry::MetricsRegistry;
+use crate::registry::{Counter, Gauge, MetricsRegistry};
 use crate::trace::TraceJournal;
 use std::sync::Arc;
 
@@ -20,6 +20,79 @@ pub const COMBINE_HISTOGRAM: &str = "theta_combine_seconds";
 /// Name of the end-to-end (instance started → result delivered)
 /// histogram.
 pub const E2E_HISTOGRAM: &str = "theta_e2e_seconds";
+
+/// Gauge: live protocol instances currently hosted by the worker pool.
+pub const INFLIGHT_INSTANCES_GAUGE: &str = "theta_inflight_instances";
+/// Gauge: instance slots queued on the worker-pool run queue (scheduled
+/// but not yet picked up by a worker).
+pub const RUNQUEUE_DEPTH_GAUGE: &str = "theta_runqueue_depth";
+/// Gauge: submissions sitting in the node's command queue, waiting for
+/// the router to admit them.
+pub const SUBMISSION_QUEUE_DEPTH_GAUGE: &str = "theta_submission_queue_depth";
+/// Counter: submissions rejected because a queue bound was hit (the
+/// service's `Overloaded` error and the router's admission cap both
+/// count here).
+pub const OVERLOAD_REJECTIONS_COUNTER: &str = "theta_overload_rejections_total";
+/// Counter: network events dropped because an instance mailbox was full
+/// or already closed.
+pub const MAILBOX_DROPPED_COUNTER: &str = "theta_mailbox_dropped_total";
+/// Name of the per-worker busy-time histogram; each worker records with
+/// a `{worker="i"}` label.
+pub const WORKER_BUSY_HISTOGRAM: &str = "theta_worker_busy_seconds";
+/// Counter: total nanoseconds the router thread spent doing work (not
+/// blocked in `select!`). Nanosecond resolution because one router
+/// iteration is often sub-microsecond — the histogram above would
+/// truncate it to zero.
+pub const ROUTER_BUSY_NANOS_COUNTER: &str = "theta_router_busy_nanos_total";
+/// Counter: total nanoseconds workers spent running instance slots,
+/// summed across the pool (the per-worker histograms give the shape;
+/// this gives an exact total for utilization math).
+pub const WORKER_BUSY_NANOS_COUNTER: &str = "theta_worker_busy_nanos_total";
+
+/// Pre-resolved handles for the router/worker-pool metrics, so the
+/// router hot path and the workers record without touching the registry
+/// lock.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    /// Live instances hosted across the pool.
+    pub inflight_instances: Arc<Gauge>,
+    /// Scheduled-but-unclaimed instance slots on the run queue.
+    pub runqueue_depth: Arc<Gauge>,
+    /// Commands waiting for router admission.
+    pub submission_queue_depth: Arc<Gauge>,
+    /// Bounded-queue rejections (service + router admission).
+    pub overload_rejections: Arc<Counter>,
+    /// Events dropped at a full or closed instance mailbox.
+    pub mailbox_dropped: Arc<Counter>,
+    /// Per-worker busy-time histograms, indexed by worker id.
+    pub worker_busy: Vec<Arc<Histogram>>,
+    /// Exact nanoseconds the router spent working (select wakeups only).
+    pub router_busy_nanos: Arc<Counter>,
+    /// Exact nanoseconds workers spent running slots, pool-wide.
+    pub worker_busy_nanos: Arc<Counter>,
+}
+
+impl PoolMetrics {
+    /// Resolves the pool metrics against `registry`, pre-registering one
+    /// `{worker="i"}` busy histogram per worker (0-based ids).
+    pub fn register(registry: &MetricsRegistry, workers: usize) -> PoolMetrics {
+        let mut worker_busy = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let label = w.to_string();
+            worker_busy.push(registry.histogram_with(WORKER_BUSY_HISTOGRAM, &[("worker", &label)]));
+        }
+        PoolMetrics {
+            inflight_instances: registry.gauge(INFLIGHT_INSTANCES_GAUGE),
+            runqueue_depth: registry.gauge(RUNQUEUE_DEPTH_GAUGE),
+            submission_queue_depth: registry.gauge(SUBMISSION_QUEUE_DEPTH_GAUGE),
+            overload_rejections: registry.counter(OVERLOAD_REJECTIONS_COUNTER),
+            mailbox_dropped: registry.counter(MAILBOX_DROPPED_COUNTER),
+            worker_busy,
+            router_busy_nanos: registry.counter(ROUTER_BUSY_NANOS_COUNTER),
+            worker_busy_nanos: registry.counter(WORKER_BUSY_NANOS_COUNTER),
+        }
+    }
+}
 
 /// Pre-resolved handles to the four per-phase histograms, so the
 /// event-loop hot path records without touching the registry lock.
@@ -127,6 +200,29 @@ mod tests {
         assert!(text.contains("theta_combine_seconds_count 0"));
         assert!(text.contains("theta_instances_started_total 1"));
         assert!(text.contains("theta_trace_journal_events 1"));
+    }
+
+    #[test]
+    fn pool_metrics_register_and_render() {
+        let obs = NodeObservability::new();
+        let pool = PoolMetrics::register(&obs.registry, 2);
+        pool.inflight_instances.set(3);
+        pool.runqueue_depth.set(1);
+        pool.overload_rejections.inc();
+        pool.mailbox_dropped.add(2);
+        pool.worker_busy[1].record(Duration::from_micros(250));
+        pool.router_busy_nanos.add(480);
+        pool.worker_busy_nanos.add(250_000);
+        let text = obs.render_prometheus();
+        assert!(text.contains("theta_inflight_instances 3"));
+        assert!(text.contains("theta_runqueue_depth 1"));
+        assert!(text.contains("theta_submission_queue_depth 0"));
+        assert!(text.contains("theta_overload_rejections_total 1"));
+        assert!(text.contains("theta_mailbox_dropped_total 2"));
+        assert!(text.contains("theta_worker_busy_seconds_count{worker=\"1\"} 1"));
+        assert!(text.contains("theta_worker_busy_seconds_count{worker=\"0\"} 0"));
+        assert!(text.contains("theta_router_busy_nanos_total 480"));
+        assert!(text.contains("theta_worker_busy_nanos_total 250000"));
     }
 
     #[test]

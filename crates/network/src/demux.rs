@@ -1,0 +1,69 @@
+//! Instance-id demultiplexing helpers.
+//!
+//! The orchestration layer's envelope wire format (`theta-orchestration`'s
+//! `Envelope`) encodes the 32-byte instance id *first* and *raw* — the
+//! codec writes fixed-size byte arrays with no length prefix — so the
+//! first [`KEY_LEN`] bytes of every protocol payload double as a routing
+//! key. A router thread can pull that key out of an incoming payload and
+//! decide which per-instance mailbox the event belongs to (or that the
+//! instance is already finished and the payload can be dropped) *without*
+//! running the full envelope decoder on its hot path.
+//!
+//! This module only pins down the convention; it deliberately knows
+//! nothing about envelopes, requests or schemes, so the network crate
+//! stays below the orchestration crate in the dependency order.
+
+/// Length of the routing key: the 32-byte instance id that leads every
+/// envelope payload.
+pub const KEY_LEN: usize = 32;
+
+/// Extracts the instance routing key from a raw payload.
+///
+/// Returns `None` when the payload is too short to carry a key — such
+/// payloads can never decode into a valid envelope and callers should
+/// drop them as malformed.
+pub fn peek_key(payload: &[u8]) -> Option<[u8; KEY_LEN]> {
+    let head = payload.get(..KEY_LEN)?;
+    let mut key = [0u8; KEY_LEN];
+    key.copy_from_slice(head);
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peeks_leading_32_bytes() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&[7u8; KEY_LEN]);
+        payload.extend_from_slice(b"rest of the envelope");
+        assert_eq!(peek_key(&payload), Some([7u8; KEY_LEN]));
+    }
+
+    #[test]
+    fn exact_length_payload_is_a_key() {
+        let payload = [3u8; KEY_LEN];
+        assert_eq!(peek_key(&payload), Some([3u8; KEY_LEN]));
+    }
+
+    #[test]
+    fn short_payload_has_no_key() {
+        assert_eq!(peek_key(&[]), None);
+        assert_eq!(peek_key(&[1u8; KEY_LEN - 1]), None);
+    }
+
+    #[test]
+    fn key_matches_codec_fixed_array_encoding() {
+        // The convention relies on the codec writing `[u8; 32]` raw with
+        // no length prefix; lock that in here so a codec change breaks
+        // this test rather than silently mis-routing envelopes.
+        use theta_codec::Encode;
+        let id = [9u8; KEY_LEN];
+        let mut w = theta_codec::Writer::new();
+        id.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), KEY_LEN);
+        assert_eq!(peek_key(&bytes), Some(id));
+    }
+}

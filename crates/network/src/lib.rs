@@ -20,6 +20,7 @@
 //! (including the submitter) in one global sequence order. P2P broadcast
 //! excludes the sender (a node already knows its own protocol messages).
 
+pub mod demux;
 pub mod inmemory;
 pub mod tcp;
 

@@ -8,19 +8,33 @@
 //! - [`KeyChest`] — the *key manager*: per-scheme key material plus the
 //!   KG20 precomputed-nonce stock.
 //! - [`Request`] — what an application asks the Θ-network to do.
-//! - the instance manager (via [`spawn_node`]):
-//!   an event loop owning every live [`theta_protocols::ThresholdRoundProtocol`]
-//!   instance, keyed by a content-derived [`InstanceId`] so that all
-//!   nodes working on the same request converge on the same instance.
+//! - the router + worker pool (via [`spawn_node`]): a thin router
+//!   thread owning the instance registry, result cache, deadlines and
+//!   network demux, forwarding work to N crypto workers over bounded
+//!   per-instance mailboxes. Each live
+//!   [`theta_protocols::ThresholdRoundProtocol`] instance is keyed by a
+//!   content-derived [`InstanceId`] so that all nodes working on the
+//!   same request converge on the same instance, and is hosted by an
+//!   `InstanceHost` that serializes its own messages (no locks around
+//!   protocol state) while distinct instances run truly in parallel.
 //!
-//! Each node runs the manager on a dedicated thread; protocol crypto
-//! executes inline on that thread, which deliberately mirrors the
-//! paper's evaluation setup of one vCPU per Thetacrypt container.
+//! Protocol crypto never executes on the router thread — a debug
+//! assertion enforces the split. Backpressure is explicit at every
+//! boundary: the submission queue, the live-instance count and each
+//! mailbox are bounded, and overflow is refused
+//! ([`theta_schemes::SchemeError::Overloaded`]) rather than buffered
+//! without limit.
 
 mod cache;
-mod manager;
+mod instance_host;
+mod mailbox;
+mod router;
+mod worker_pool;
 
-pub use manager::{spawn_node, NodeConfig, NodeHandle, PendingResult};
+pub use router::{
+    spawn_node, spawn_node_observed, InstanceResult, NodeConfig, NodeHandle, PendingResult,
+    SubmitError, WaitError,
+};
 
 use theta_codec::{Decode, Encode, Reader, Writer};
 use theta_primitives::DomainHasher;

@@ -1,0 +1,119 @@
+//! Bounded per-instance mailbox.
+//!
+//! Every live protocol instance owns one [`Mailbox`]: the router is its
+//! single producer, the worker currently scheduled for the instance its
+//! single consumer. The bound is the backpressure mechanism — when a
+//! burst of network traffic outruns a worker, `try_push` fails instead
+//! of buffering without limit, and the router counts the drop (P2P
+//! retransmission re-delivers protocol messages later, so a dropped
+//! share delays an instance rather than wedging it).
+//!
+//! The mailbox itself is just a mutex around a `VecDeque`; the lock is
+//! held only to push or to swap the queue out, never while protocol
+//! work runs.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The mailbox is at capacity; the message was dropped.
+    Full,
+    /// The instance finished or the node is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish queue (in practice SPSC: router → scheduled
+/// worker) carrying one instance's pending work.
+pub struct Mailbox<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+}
+
+impl<T> Mailbox<T> {
+    /// An open mailbox holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> Mailbox<T> {
+        Mailbox {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), closed: false }),
+            capacity,
+        }
+    }
+
+    /// Enqueues `msg` unless the mailbox is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Mailbox::close`]. The message is dropped either way.
+    pub fn try_push(&self, msg: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.queue.push_back(msg);
+        Ok(())
+    }
+
+    /// Moves every queued message into `out` (appended in FIFO order).
+    pub fn drain_into(&self, out: &mut Vec<T>) {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        out.extend(inner.queue.drain(..));
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("mailbox poisoned").queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the mailbox and discards anything still queued; later
+    /// pushes fail with [`PushError::Closed`].
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        inner.closed = true;
+        inner.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mb = Mailbox::new(2);
+        mb.try_push(1).unwrap();
+        mb.try_push(2).unwrap();
+        assert_eq!(mb.try_push(3), Err(PushError::Full));
+        assert_eq!(mb.len(), 2);
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        assert_eq!(out, vec![1, 2]);
+        assert!(mb.is_empty());
+        // Draining frees capacity again.
+        mb.try_push(4).unwrap();
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn close_discards_and_refuses() {
+        let mb = Mailbox::new(8);
+        mb.try_push("x").unwrap();
+        mb.close();
+        assert!(mb.is_empty(), "close discards queued messages");
+        assert_eq!(mb.try_push("y"), Err(PushError::Closed));
+    }
+}

@@ -1,35 +1,46 @@
-//! The instance manager / protocol executor event loop.
+//! The router thread: the thin orchestration core of a node.
 //!
-//! The loop is select-driven: it parks on the command channel, the
-//! network's event channel and a deadline timer, waking only when there
-//! is work. Expiry and retransmission deadlines live in min-heaps, so an
-//! iteration costs O(log instances) instead of a full scan, and finished
-//! results are kept in a bounded TTL + capacity cache instead of an
-//! unbounded map. Instances whose peers are slow re-broadcast their P2P
-//! round messages with exponential backoff, which lets protocols ride
-//! out lost or late-joining peers.
+//! The router owns everything *about* instances — the registry, the
+//! result cache, deadlines, retry schedules, subscriber lists and the
+//! network handle — but never runs protocol crypto itself. Each
+//! `do_round` / `update` / `finalize` happens inside an
+//! [`InstanceHost`](crate::instance_host::InstanceHost) on one of N pool
+//! workers; the router only demultiplexes network events onto bounded
+//! per-instance mailboxes (routing by the 32-byte instance id that
+//! leads every envelope, without a full decode on the residual path)
+//! and applies the hosts' upcalls (broadcasts, terminal results) to the
+//! world.
+//!
+//! Backpressure is explicit at every boundary: the submission queue and
+//! the live-instance count are capped (`Overloaded` instead of
+//! unbounded buffering), and mailboxes are bounded (drops are counted;
+//! P2P retransmission re-delivers protocol traffic). Shutdown drains:
+//! live instances get a bounded window to finish, then fail with
+//! [`SchemeError::Shutdown`], so every subscriber always receives a
+//! terminal result.
 
 use crate::cache::ResultCache;
+use crate::instance_host::{HostMsg, InstanceHost, Upcall};
+use crate::worker_pool::{schedule, InstanceSlot, WorkerPool};
 use crate::{Envelope, InstanceId, KeyChest, Request};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::SeedableRng;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use rand::{RngCore, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use theta_codec::{Decode, Encode};
+use theta_codec::Decode;
 use theta_metrics::counters::EventLoopCounters;
 use theta_metrics::registry::{Counter, MetricsRegistry};
 use theta_metrics::trace::TraceEventKind;
-use theta_metrics::{EventLoopSnapshot, NodeObservability};
-use theta_network::{Network, NetworkEvent};
+use theta_metrics::{EventLoopSnapshot, NodeObservability, PoolMetrics};
+use theta_network::{demux, Network, NetworkEvent};
 use theta_protocols::kg20_protocol::Kg20Sign;
 use theta_protocols::one_round::{
     Bls04Sign, Bz03Decrypt, Cks05Coin, OneRoundProtocol, Sg02Decrypt, Sh00Sign,
 };
-use theta_protocols::{
-    InboundMessage, ProtocolOutput, RoundOutput, ThresholdRoundProtocol, Transport,
-};
+use theta_protocols::{InboundMessage, ProtocolDriver, ProtocolOutput, ThresholdRoundProtocol};
 use theta_schemes::{PartyId, SchemeError};
 
 /// Upper bound on network events drained per wakeup, so one firehose
@@ -58,6 +69,21 @@ pub struct NodeConfig {
     pub retry_initial_backoff: Duration,
     /// Backoff doubles per retry up to this ceiling.
     pub retry_max_backoff: Duration,
+    /// Crypto worker threads (`0` = one per available core).
+    pub worker_threads: usize,
+    /// Live-instance admission cap: submissions and first-contact starts
+    /// beyond it are refused with [`SchemeError::Overloaded`].
+    pub max_inflight_instances: usize,
+    /// Bound of each instance's mailbox; events past it are dropped
+    /// (and re-delivered by P2P retransmission).
+    pub mailbox_capacity: usize,
+    /// Submissions queued ahead of the router beyond this make
+    /// [`NodeHandle::try_submit`] refuse with
+    /// [`SubmitError::Overloaded`].
+    pub submission_queue_capacity: usize,
+    /// How long [`NodeHandle::shutdown`] lets live instances finish
+    /// before failing them with [`SchemeError::Shutdown`].
+    pub shutdown_drain: Duration,
 }
 
 impl Default for NodeConfig {
@@ -71,6 +97,11 @@ impl Default for NodeConfig {
             result_cache_ttl: Duration::from_secs(300),
             retry_initial_backoff: Duration::from_millis(200),
             retry_max_backoff: Duration::from_secs(5),
+            worker_threads: 0,
+            max_inflight_instances: 1024,
+            mailbox_capacity: 256,
+            submission_queue_capacity: 1024,
+            shutdown_drain: Duration::from_secs(5),
         }
     }
 }
@@ -86,56 +117,157 @@ pub struct InstanceResult {
     pub elapsed: Duration,
 }
 
+/// Why a wait on a [`PendingResult`] yielded no result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitError {
+    /// The timeout elapsed; the instance may still complete later.
+    TimedOut,
+    /// The node stopped (shut down or died) and will never deliver this
+    /// result — retrying the wait is pointless.
+    NodeStopped,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::TimedOut => write!(f, "timed out waiting for the instance result"),
+            WaitError::NodeStopped => {
+                write!(f, "the node stopped before delivering the instance result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// Why a [`NodeHandle::try_submit`] was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submission queue is at capacity — retry later.
+    Overloaded,
+    /// The node stopped; no submission will ever be served.
+    NodeStopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "node overloaded: submission queue full"),
+            SubmitError::NodeStopped => write!(f, "the node has stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Receiver half for one submitted request.
 pub struct PendingResult {
     rx: Receiver<InstanceResult>,
 }
 
+impl std::fmt::Debug for PendingResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingResult").finish_non_exhaustive()
+    }
+}
+
 impl PendingResult {
     /// Blocks until the instance completes or `timeout` elapses.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<InstanceResult> {
-        self.rx.recv_timeout(timeout).ok()
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::TimedOut`] when the window elapsed with the node
+    /// still alive; [`WaitError::NodeStopped`] when the node shut down
+    /// or died without delivering — the two deserve different user
+    /// messages, so they are distinct.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<InstanceResult, WaitError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err(WaitError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(WaitError::NodeStopped),
+        }
     }
 
-    /// Non-blocking poll.
-    pub fn try_take(&self) -> Option<InstanceResult> {
-        self.rx.try_recv().ok()
+    /// Non-blocking poll: `Ok(None)` means not ready yet.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::NodeStopped`] when the node will never deliver.
+    pub fn try_take(&self) -> Result<Option<InstanceResult>, WaitError> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(WaitError::NodeStopped),
+        }
     }
 }
 
 enum Command {
     Submit { request: Request, reply: Sender<InstanceResult> },
-    Shutdown,
+    Shutdown { drain: Duration },
 }
 
-/// Handle to a running Thetacrypt node (the manager thread).
+/// Handle to a running Thetacrypt node (router thread + worker pool).
 pub struct NodeHandle {
     tx: Sender<Command>,
     join: Option<std::thread::JoinHandle<()>>,
     party: PartyId,
     obs: Arc<NodeObservability>,
+    queue_depth: Arc<AtomicUsize>,
+    queue_capacity: usize,
+    overload_rejections: Arc<Counter>,
+    drain: Duration,
 }
 
 impl NodeHandle {
     /// Submits a request; the returned [`PendingResult`] resolves when
-    /// the Θ-network completes the instance at this node.
+    /// the Θ-network completes the instance at this node. Never refuses:
+    /// use [`NodeHandle::try_submit`] for backpressure-aware admission.
     pub fn submit(&self, request: Request) -> PendingResult {
         let (reply_tx, reply_rx) = unbounded();
+        self.queue_depth.fetch_add(1, Ordering::SeqCst);
         if self
             .tx
             .send(Command::Submit { request, reply: reply_tx })
             .is_err()
         {
-            // The manager thread is gone; the pending result will never
-            // resolve. Count it instead of failing silently.
+            // The router thread is gone; dropping the reply sender makes
+            // the pending result report NodeStopped. Count it too.
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
             self.obs.registry.counter("theta_event_loop_errors_total").inc();
             self.obs.journal.record_detail(
                 [0u8; 32],
                 TraceEventKind::Error,
-                "submit to a dead manager thread",
+                "submit to a dead router thread",
             );
         }
         PendingResult { rx: reply_rx }
+    }
+
+    /// Backpressure-aware submission: refuses instead of queueing when
+    /// the submission queue is at its configured bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] at the queue bound (counted in
+    /// `theta_overload_rejections_total`); [`SubmitError::NodeStopped`]
+    /// when the router is gone.
+    pub fn try_submit(&self, request: Request) -> Result<PendingResult, SubmitError> {
+        if self.queue_depth.load(Ordering::SeqCst) >= self.queue_capacity {
+            self.overload_rejections.inc();
+            return Err(SubmitError::Overloaded);
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        self.queue_depth.fetch_add(1, Ordering::SeqCst);
+        if self
+            .tx
+            .send(Command::Submit { request, reply: reply_tx })
+            .is_err()
+        {
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(SubmitError::NodeStopped);
+        }
+        Ok(PendingResult { rx: reply_rx })
     }
 
     /// This node's party id.
@@ -154,9 +286,12 @@ impl NodeHandle {
         self.obs.clone()
     }
 
-    /// Stops the manager thread (in-flight instances are dropped).
+    /// Stops the node gracefully: live instances get up to
+    /// `NodeConfig::shutdown_drain` to finish, then fail with
+    /// [`SchemeError::Shutdown`]; every subscriber receives a terminal
+    /// result either way.
     pub fn shutdown(mut self) {
-        let _ = self.tx.send(Command::Shutdown);
+        let _ = self.tx.send(Command::Shutdown { drain: self.drain });
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -165,25 +300,23 @@ impl NodeHandle {
 
 impl Drop for NodeHandle {
     fn drop(&mut self) {
-        let _ = self.tx.send(Command::Shutdown);
+        // Fail-fast drain: no finish window, but subscribers still get
+        // their Shutdown terminal results.
+        let _ = self.tx.send(Command::Shutdown { drain: Duration::ZERO });
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
     }
 }
 
-/// Spawns the instance-manager event loop for one node with a fresh
+/// Spawns the router + worker pool for one node with a fresh
 /// observability bundle.
-pub fn spawn_node(
-    keys: KeyChest,
-    network: Box<dyn Network>,
-    config: NodeConfig,
-) -> NodeHandle {
+pub fn spawn_node(keys: KeyChest, network: Box<dyn Network>, config: NodeConfig) -> NodeHandle {
     spawn_node_observed(keys, network, config, Arc::new(NodeObservability::new()))
 }
 
-/// Spawns the instance-manager event loop for one node, wiring the given
-/// observability bundle through the manager and the network transport.
+/// Spawns the router + worker pool for one node, wiring the given
+/// observability bundle through every layer.
 pub fn spawn_node_observed(
     keys: KeyChest,
     mut network: Box<dyn Network>,
@@ -193,17 +326,34 @@ pub fn spawn_node_observed(
     network.attach_registry(&obs.registry);
     let (tx, rx) = unbounded::<Command>();
     let party = PartyId(network.node_id());
+    let queue_depth = Arc::new(AtomicUsize::new(0));
+    let overload_rejections = obs
+        .registry
+        .counter(theta_metrics::observability::OVERLOAD_REJECTIONS_COUNTER);
+    let queue_capacity = config.submission_queue_capacity;
+    let drain = config.shutdown_drain;
     let thread_obs = obs.clone();
+    let thread_depth = queue_depth.clone();
     let join = std::thread::Builder::new()
-        .name(format!("theta-node-{}", party.value()))
-        .spawn(move || InstanceManager::new(keys, network, config, rx, thread_obs).run())
-        .expect("spawn node thread");
-    NodeHandle { tx, join: Some(join), party, obs }
+        .name(format!("theta-router-{}", party.value()))
+        .spawn(move || Router::new(keys, network, config, rx, thread_obs, thread_depth).run())
+        .expect("spawn router thread");
+    NodeHandle {
+        tx,
+        join: Some(join),
+        party,
+        obs,
+        queue_depth,
+        queue_capacity,
+        overload_rejections,
+        drain,
+    }
 }
 
-struct LiveInstance {
-    protocol: Box<dyn ThresholdRoundProtocol>,
-    request: Request,
+/// Router-side state for one live instance: everything *about* it, while
+/// the protocol itself lives in the worker-owned host.
+struct RouterEntry {
+    slot: Arc<InstanceSlot>,
     subscribers: Vec<Sender<InstanceResult>>,
     started: Instant,
     deadline: Instant,
@@ -216,9 +366,9 @@ struct LiveInstance {
     retry_backoff: Duration,
 }
 
-/// Registry counters the event loop touches, resolved once at startup
-/// so hot paths never take the registry lock.
-struct ManagerMetrics {
+/// Registry counters the router touches, resolved once at startup so
+/// hot paths never take the registry lock.
+struct RouterMetrics {
     cache_hits: Arc<Counter>,
     dropped_malformed: Arc<Counter>,
     dropped_spoofed: Arc<Counter>,
@@ -230,9 +380,9 @@ struct ManagerMetrics {
     eager_verifies: Arc<Counter>,
 }
 
-impl ManagerMetrics {
-    fn resolve(registry: &MetricsRegistry) -> ManagerMetrics {
-        ManagerMetrics {
+impl RouterMetrics {
+    fn resolve(registry: &MetricsRegistry) -> RouterMetrics {
+        RouterMetrics {
             cache_hits: registry.counter("theta_cache_hits_total"),
             dropped_malformed: registry
                 .counter_with("theta_messages_dropped_total", &[("reason", "malformed")]),
@@ -249,12 +399,21 @@ impl ManagerMetrics {
     }
 }
 
-struct InstanceManager {
+fn resolve_worker_threads(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+struct Router {
     keys: KeyChest,
     network: Box<dyn Network>,
     config: NodeConfig,
     commands: Receiver<Command>,
-    instances: HashMap<InstanceId, LiveInstance>,
+    queue_depth: Arc<AtomicUsize>,
+    instances: HashMap<InstanceId, RouterEntry>,
     finished: ResultCache<InstanceResult>,
     /// Min-heap of `(deadline, id)` — lazily validated against the live
     /// instance on pop (an entry for a finished instance is skipped).
@@ -263,29 +422,41 @@ struct InstanceManager {
     retry_heap: BinaryHeap<Reverse<(Instant, InstanceId)>>,
     counters: Arc<EventLoopCounters>,
     obs: Arc<NodeObservability>,
-    metrics: ManagerMetrics,
+    metrics: RouterMetrics,
+    pool_metrics: PoolMetrics,
+    pool: WorkerPool,
+    upcall_tx: Sender<Upcall>,
+    upcall_rx: Receiver<Upcall>,
+    /// Master RNG: only ever used to derive per-host seeds; all protocol
+    /// randomness is drawn worker-side.
     rng: rand::rngs::StdRng,
 }
 
-impl InstanceManager {
+impl Router {
     fn new(
         keys: KeyChest,
         network: Box<dyn Network>,
         config: NodeConfig,
         commands: Receiver<Command>,
         obs: Arc<NodeObservability>,
+        queue_depth: Arc<AtomicUsize>,
     ) -> Self {
         let rng = match config.rng_seed {
             Some(seed) => rand::rngs::StdRng::seed_from_u64(seed),
             None => rand::rngs::StdRng::from_entropy(),
         };
         let finished = ResultCache::new(config.result_cache_capacity, config.result_cache_ttl);
-        let metrics = ManagerMetrics::resolve(&obs.registry);
-        InstanceManager {
+        let metrics = RouterMetrics::resolve(&obs.registry);
+        let workers = resolve_worker_threads(config.worker_threads);
+        let pool_metrics = PoolMetrics::register(&obs.registry, workers);
+        let pool = WorkerPool::spawn(workers, network.node_id(), &pool_metrics);
+        let (upcall_tx, upcall_rx) = unbounded::<Upcall>();
+        Router {
             keys,
             network,
             config,
             commands,
+            queue_depth,
             instances: HashMap::new(),
             finished,
             expiry_heap: BinaryHeap::new(),
@@ -293,13 +464,16 @@ impl InstanceManager {
             counters: obs.counters.clone(),
             obs,
             metrics,
+            pool_metrics,
+            pool,
+            upcall_tx,
+            upcall_rx,
             rng,
         }
     }
 
-    /// Counts a contained event-loop failure and records it in the trace
-    /// journal — errors must be visible, never silently swallowed, and
-    /// never fatal to the node.
+    /// Counts a contained failure and records it in the trace journal —
+    /// errors must be visible, never silently swallowed, never fatal.
     fn note_error(&self, instance: [u8; 32], detail: String) {
         self.metrics.event_loop_errors.inc();
         self.obs.journal.record_detail(instance, TraceEventKind::Error, detail);
@@ -322,54 +496,127 @@ impl InstanceManager {
         // call `&mut self` methods without borrow conflicts.
         let commands = self.commands.clone();
         let events = self.network.events().clone();
+        let upcalls = self.upcall_rx.clone();
         loop {
             let timer = match self.next_deadline() {
                 Some(t) => crossbeam::channel::at(t),
                 None => crossbeam::channel::never(),
             };
+            let mut drain_and_stop: Option<Duration> = None;
+            // Re-stamped at the top of each arm — i.e. the moment
+            // `select!` hands us work — so blocked time is excluded and
+            // the router-busy counter measures the serial stage alone.
+            // (Initialized here only because the macro hides the arms'
+            // assignments from definite-assignment analysis.)
+            let mut work_start = Instant::now();
             crossbeam::select! {
-                recv(commands) -> cmd => match cmd {
-                    Ok(Command::Submit { request, reply }) => {
-                        EventLoopCounters::bump(&self.counters.commands_processed);
-                        self.handle_submit(request, reply);
+                recv(commands) -> cmd => {
+                    work_start = Instant::now();
+                    match cmd {
+                        Ok(Command::Submit { request, reply }) => {
+                            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            self.pool_metrics
+                                .submission_queue_depth
+                                .set(self.queue_depth.load(Ordering::SeqCst) as i64);
+                            EventLoopCounters::bump(&self.counters.commands_processed);
+                            self.handle_submit(request, reply);
+                        }
+                        Ok(Command::Shutdown { drain }) => drain_and_stop = Some(drain),
+                        Err(_) => drain_and_stop = Some(Duration::ZERO),
                     }
-                    Ok(Command::Shutdown) | Err(_) => return,
                 },
-                recv(events) -> ev => match ev {
-                    Ok(event) => {
-                        // Drain a bounded batch per wakeup: cheaper than
-                        // one select round-trip per event, but still
-                        // yields to commands and timers regularly. Count
-                        // each event *before* handling it — completions
-                        // notify subscribers who may read the counters.
-                        EventLoopCounters::bump(&self.counters.events_processed);
-                        self.handle_network_event(event);
+                // Upcalls before raw events: results and broadcasts the
+                // workers already produced should reach subscribers and
+                // the wire ahead of new inbound work.
+                recv(upcalls) -> up => {
+                    work_start = Instant::now();
+                    if let Ok(u) = up {
+                        self.handle_upcall(u);
                         for _ in 1..EVENT_BATCH {
-                            match events.try_recv() {
-                                Ok(e) => {
-                                    EventLoopCounters::bump(&self.counters.events_processed);
-                                    self.handle_network_event(e);
-                                }
+                            match upcalls.try_recv() {
+                                Ok(u) => self.handle_upcall(u),
                                 Err(_) => break,
                             }
                         }
                     }
-                    Err(_) => {
-                        // The transport died under us: record it so the
-                        // post-mortem shows why the node stopped.
-                        self.note_error(
-                            [0u8; 32],
-                            "network event channel disconnected".into(),
-                        );
-                        return;
+                },
+                recv(events) -> ev => {
+                    work_start = Instant::now();
+                    match ev {
+                        Ok(event) => {
+                            // Drain a bounded batch per wakeup: cheaper than
+                            // one select round-trip per event, but still
+                            // yields to commands and timers regularly. Count
+                            // each event *before* handling it — completions
+                            // notify subscribers who may read the counters.
+                            EventLoopCounters::bump(&self.counters.events_processed);
+                            self.handle_network_event(event);
+                            for _ in 1..EVENT_BATCH {
+                                match events.try_recv() {
+                                    Ok(e) => {
+                                        EventLoopCounters::bump(&self.counters.events_processed);
+                                        self.handle_network_event(e);
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // The transport died under us: record it so the
+                            // post-mortem shows why the node stopped.
+                            self.note_error(
+                                [0u8; 32],
+                                "network event channel disconnected".into(),
+                            );
+                            drain_and_stop = Some(Duration::ZERO);
+                        }
                     }
                 },
-                recv(timer) -> _ => {}
+                recv(timer) -> _ => { work_start = Instant::now(); }
+            }
+            if let Some(drain) = drain_and_stop {
+                self.shutdown(drain);
+                return;
             }
             EventLoopCounters::bump(&self.counters.wakeups);
             let now = Instant::now();
             self.expire_instances(now);
             self.retry_due(now);
+            self.pool_metrics.router_busy_nanos.add(work_start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Drain phase: give live instances up to `drain` to finish (network
+    /// and upcall processing keep running), then fail the remainder with
+    /// [`SchemeError::Shutdown`] so every subscriber gets a terminal
+    /// result. Dropping `self` afterwards stops and joins the workers.
+    fn shutdown(&mut self, drain: Duration) {
+        let deadline = Instant::now() + drain;
+        let events = self.network.events().clone();
+        let upcalls = self.upcall_rx.clone();
+        while !self.instances.is_empty() && Instant::now() < deadline {
+            let wake = self.next_deadline().map_or(deadline, |t| t.min(deadline));
+            let timer = crossbeam::channel::at(wake);
+            crossbeam::select! {
+                recv(upcalls) -> up => if let Ok(u) = up {
+                    self.handle_upcall(u);
+                },
+                recv(events) -> ev => match ev {
+                    Ok(event) => {
+                        EventLoopCounters::bump(&self.counters.events_processed);
+                        self.handle_network_event(event);
+                    }
+                    Err(_) => break,
+                },
+                recv(timer) -> _ => {}
+            }
+            let now = Instant::now();
+            self.expire_instances(now);
+            self.retry_due(now);
+        }
+        let leftover: Vec<InstanceId> = self.instances.keys().copied().collect();
+        for id in leftover {
+            self.finish_instance(id, Err(SchemeError::Shutdown), None);
         }
     }
 
@@ -383,19 +630,36 @@ impl InstanceManager {
             }
             return;
         }
-        if let Some(live) = self.instances.get_mut(&id) {
-            live.subscribers.push(reply);
+        if let Some(entry) = self.instances.get_mut(&id) {
+            entry.subscribers.push(reply);
+            return;
+        }
+        if self.instances.len() >= self.config.max_inflight_instances {
+            // Admission control: refuse rather than buffer without bound.
+            self.pool_metrics.overload_rejections.inc();
+            self.obs.journal.record_detail(
+                id.0,
+                TraceEventKind::InstanceFailed,
+                "refused: live-instance cap reached",
+            );
+            if reply
+                .send(InstanceResult {
+                    instance: id,
+                    outcome: Err(SchemeError::Overloaded),
+                    elapsed: Duration::ZERO,
+                })
+                .is_err()
+            {
+                self.note_error(id.0, "overloaded reply channel closed".into());
+            }
             return;
         }
         match self.start_instance(&request) {
             Ok(()) => {
-                if let Some(live) = self.instances.get_mut(&id) {
-                    live.subscribers.push(reply);
-                } else if let Some(done) = self.finished.get(&id, Instant::now()) {
-                    // The instance already finished during start (n = 1).
-                    if reply.send(done.clone()).is_err() {
-                        self.note_error(id.0, "reply channel closed".into());
-                    }
+                // The start is asynchronous (the first round runs on a
+                // worker), so the entry is guaranteed still live here.
+                if let Some(entry) = self.instances.get_mut(&id) {
+                    entry.subscribers.push(reply);
                 }
             }
             Err(err) => {
@@ -486,20 +750,33 @@ impl InstanceManager {
         }
     }
 
+    /// Builds the protocol (cheap: key clones and decoding, no crypto),
+    /// registers the instance and hands its first round to the pool.
     fn start_instance(&mut self, request: &Request) -> Result<(), SchemeError> {
         let id = request.instance_id();
-        let mut protocol = self.build_protocol(request)?;
-        let compute_start = Instant::now();
-        let output = protocol.do_round(&mut self.rng)?;
-        let compute_elapsed = compute_start.elapsed();
+        let protocol = self.build_protocol(request)?;
+        let driver = ProtocolDriver::new(protocol);
+        // Each host gets a private RNG seeded off the master: protocol
+        // randomness is drawn worker-side, never on the router.
+        let host_rng = rand::rngs::StdRng::seed_from_u64(self.rng.next_u64());
+        let host = InstanceHost::new(
+            id,
+            driver,
+            request.clone(),
+            self.network.node_id(),
+            host_rng,
+            self.obs.clone(),
+            self.metrics.shares_rejected.clone(),
+            self.upcall_tx.clone(),
+        );
+        let slot = Arc::new(InstanceSlot::new(id, self.config.mailbox_capacity, host));
         let now = Instant::now();
         let deadline = now + self.config.instance_timeout;
         let next_retry = now + self.config.retry_initial_backoff;
         self.instances.insert(
             id,
-            LiveInstance {
-                protocol,
-                request: request.clone(),
+            RouterEntry {
+                slot: slot.clone(),
                 subscribers: Vec::new(),
                 started: now,
                 deadline,
@@ -510,45 +787,16 @@ impl InstanceManager {
         );
         self.expiry_heap.push(Reverse((deadline, id)));
         self.retry_heap.push(Reverse((next_retry, id)));
+        self.pool_metrics.inflight_instances.set(self.instances.len() as i64);
         // Counter and journal stay in lockstep: every counted start has
         // an `InstanceStarted` journal entry and vice versa.
         EventLoopCounters::bump(&self.counters.instances_started);
         self.obs.journal.record(id.0, TraceEventKind::InstanceStarted);
-        self.obs.phases.share_compute.record(compute_elapsed);
-        self.obs.journal.record(id.0, TraceEventKind::ShareComputed);
-        self.dispatch_round_output(id, output);
-        self.obs.journal.record(id.0, TraceEventKind::ShareSent);
-        self.poll_instance(id);
+        // A fresh mailbox can always take its Start message.
+        let scheduled =
+            schedule(&slot, self.pool.injector(), &self.pool_metrics, HostMsg::Start);
+        debug_assert!(scheduled.is_ok(), "fresh mailbox refused Start");
         Ok(())
-    }
-
-    fn dispatch_round_output(&mut self, id: InstanceId, output: RoundOutput) {
-        let Some(live) = self.instances.get(&id) else { return };
-        let request = live.request.clone();
-        let sender = self.network.node_id();
-        let mut sent_p2p = Vec::new();
-        for msg in output.messages {
-            let envelope = Envelope {
-                instance: id,
-                request: request.clone(),
-                round: msg.round,
-                sender,
-                payload: msg.payload,
-            };
-            let bytes = envelope.encoded();
-            match msg.transport {
-                Transport::P2p => {
-                    self.network.broadcast_p2p(bytes.clone());
-                    sent_p2p.push(bytes);
-                }
-                Transport::Tob => self.network.submit_tob(bytes),
-            }
-        }
-        if !sent_p2p.is_empty() {
-            if let Some(live) = self.instances.get_mut(&id) {
-                live.p2p_history.extend(sent_p2p);
-            }
-        }
     }
 
     fn handle_network_event(&mut self, event: NetworkEvent) {
@@ -556,8 +804,10 @@ impl InstanceManager {
             NetworkEvent::P2p { from, payload } => (from, payload),
             NetworkEvent::Tob { from, payload, .. } => (from, payload),
         };
-        let Ok(envelope) = Envelope::decoded(&payload) else {
-            // Malformed traffic is dropped — but counted and journaled.
+        // Route by the leading 32-byte instance id before decoding the
+        // whole envelope — residual traffic for finished instances is
+        // the post-quorum common case and costs only this peek.
+        let Some(key) = demux::peek_key(&payload) else {
             self.metrics.dropped_malformed.inc();
             self.obs.journal.record_full(
                 [0u8; 32],
@@ -567,6 +817,25 @@ impl InstanceManager {
             );
             return;
         };
+        let id = InstanceId(key);
+        if self.finished.contains(&id, Instant::now()) {
+            // Residual message for a completed request — normal traffic
+            // past quorum; counted but not journaled per-message.
+            self.metrics.dropped_residual.inc();
+            return;
+        }
+        let Ok(envelope) = Envelope::decoded(&payload) else {
+            // Malformed traffic is dropped — but counted and journaled.
+            self.metrics.dropped_malformed.inc();
+            self.obs.journal.record_full(
+                id.0,
+                TraceEventKind::MessageDropped,
+                from,
+                "malformed envelope".into(),
+            );
+            return;
+        };
+        debug_assert_eq!(envelope.instance, id, "demux key disagrees with envelope");
         if envelope.sender != from {
             // Spoofed sender field. This applies to TOB deliveries too:
             // the transport stamps `from` with the authenticated
@@ -574,18 +843,11 @@ impl InstanceManager {
             // attempt (a peer trying to inject shares as someone else).
             self.metrics.dropped_spoofed.inc();
             self.obs.journal.record_full(
-                envelope.instance.0,
+                id.0,
                 TraceEventKind::MessageDropped,
                 from,
                 format!("spoofed sender {} != {}", envelope.sender, from),
             );
-            return;
-        }
-        let id = envelope.instance;
-        if self.finished.contains(&id, Instant::now()) {
-            // Residual message for a completed request — normal traffic
-            // past quorum; counted but not journaled per-message.
-            self.metrics.dropped_residual.inc();
             return;
         }
         if !self.instances.contains_key(&id) {
@@ -598,6 +860,16 @@ impl InstanceManager {
                     TraceEventKind::MessageDropped,
                     from,
                     "embedded request does not hash to instance id".into(),
+                );
+                return;
+            }
+            if self.instances.len() >= self.config.max_inflight_instances {
+                self.pool_metrics.overload_rejections.inc();
+                self.obs.journal.record_full(
+                    id.0,
+                    TraceEventKind::MessageDropped,
+                    from,
+                    "refused first contact: live-instance cap reached".into(),
                 );
                 return;
             }
@@ -618,99 +890,92 @@ impl InstanceManager {
             round: envelope.round,
             payload: envelope.payload,
         };
-        if let Some(live) = self.instances.get_mut(&id) {
-            // Invalid messages are logged-and-dropped; the instance lives on.
-            self.obs.journal.record_peer(id.0, TraceEventKind::ShareReceived, from);
-            let verify_start = Instant::now();
-            let verdict = live.protocol.update(&inbound);
-            self.obs.phases.share_verify.record(verify_start.elapsed());
-            match verdict {
-                Ok(()) => {
-                    self.obs.journal.record_peer(id.0, TraceEventKind::ShareVerified, from);
-                }
-                Err(err) => {
-                    self.metrics.shares_rejected.inc();
-                    self.obs.journal.record_full(
-                        id.0,
-                        TraceEventKind::ShareRejected,
-                        from,
-                        format!("{err:?}"),
-                    );
-                }
+        if let Some(entry) = self.instances.get(&id) {
+            if schedule(
+                &entry.slot,
+                self.pool.injector(),
+                &self.pool_metrics,
+                HostMsg::Deliver { from, inbound },
+            )
+            .is_err()
+            {
+                // Mailbox full (or closing): drop and count. P2P
+                // retransmission re-delivers protocol traffic later.
+                self.pool_metrics.mailbox_dropped.inc();
+                self.obs.journal.record_full(
+                    id.0,
+                    TraceEventKind::MessageDropped,
+                    from,
+                    "instance mailbox full".into(),
+                );
             }
-        }
-        self.poll_instance(id);
-    }
-
-    /// Advances rounds and finalizes when ready.
-    fn poll_instance(&mut self, id: InstanceId) {
-        loop {
-            let Some(live) = self.instances.get_mut(&id) else { return };
-            if live.protocol.is_ready_for_next_round() {
-                match live.protocol.do_round(&mut self.rng) {
-                    Ok(out) => {
-                        self.dispatch_round_output(id, out);
-                        continue;
-                    }
-                    Err(err) => {
-                        self.finish_instance(id, Err(err));
-                        return;
-                    }
-                }
-            }
-            if live.protocol.is_ready_to_finalize() {
-                self.obs.journal.record(id.0, TraceEventKind::QuorumReached);
-                let combine_start = Instant::now();
-                let outcome = live.protocol.finalize();
-                self.obs.phases.combine.record(combine_start.elapsed());
-                if outcome.is_ok() {
-                    self.obs.journal.record(id.0, TraceEventKind::Combined);
-                }
-                self.finish_instance(id, outcome);
-            }
-            return;
         }
     }
 
-    fn finish_instance(&mut self, id: InstanceId, outcome: Result<ProtocolOutput, SchemeError>) {
-        if let Some(live) = self.instances.remove(&id) {
+    fn handle_upcall(&mut self, upcall: Upcall) {
+        match upcall {
+            Upcall::Broadcast { id, p2p, tob } => {
+                // The entry is gone when the instance timed out or shut
+                // down between the worker's send and now; drop silently.
+                let Some(entry) = self.instances.get_mut(&id) else { return };
+                for bytes in p2p {
+                    self.network.broadcast_p2p(bytes.clone());
+                    entry.p2p_history.push(bytes);
+                }
+                for bytes in tob {
+                    self.network.submit_tob(bytes);
+                }
+            }
+            Upcall::Finished { id, outcome, stats } => {
+                self.finish_instance(id, outcome, Some(stats));
+            }
+        }
+    }
+
+    fn finish_instance(
+        &mut self,
+        id: InstanceId,
+        outcome: Result<ProtocolOutput, SchemeError>,
+        stats: Option<theta_protocols::ProtocolStats>,
+    ) {
+        let Some(entry) = self.instances.remove(&id) else { return };
+        // Close the mailbox: the worker discards residual work and late
+        // pushes fail fast.
+        entry.slot.mailbox.close();
+        self.pool_metrics.inflight_instances.set(self.instances.len() as i64);
+        if let Some(stats) = stats {
             // Fold the protocol's verification stats into the registry
             // now that the instance is final.
-            let stats = live.protocol.stats();
             self.metrics.batch_verify_ok.add(stats.batch_verify_ok);
             self.metrics.shares_pruned.add(stats.shares_pruned);
             self.metrics.eager_verifies.add(stats.eager_verifies);
-            let result = InstanceResult {
-                instance: id,
-                outcome,
-                elapsed: live.started.elapsed(),
-            };
-            // Account and cache *before* notifying: a subscriber thread
-            // may inspect counters the moment its result arrives.
-            EventLoopCounters::bump(&self.counters.instances_completed);
-            // The e2e histogram records *every* finish (success, failure,
-            // timeout), mirroring `instances_completed` semantics.
-            self.obs.phases.e2e.record(result.elapsed);
-            match &result.outcome {
-                Ok(_) => self.obs.journal.record(id.0, TraceEventKind::ResultDelivered),
-                Err(err) => self.obs.journal.record_detail(
-                    id.0,
-                    TraceEventKind::InstanceFailed,
-                    format!("{err:?}"),
-                ),
-            }
-            let evicted = self.finished.insert(id, result.clone(), Instant::now());
-            EventLoopCounters::add(&self.counters.cache_evictions, evicted);
-            for sub in &live.subscribers {
-                if sub.send(result.clone()).is_err() {
-                    self.note_error(
-                        id.0,
-                        "subscriber channel closed before result delivery".into(),
-                    );
-                }
-            }
-            // Heap entries for `id` are now stale; pops skip them.
         }
+        let result = InstanceResult { instance: id, outcome, elapsed: entry.started.elapsed() };
+        // Account and cache *before* notifying: a subscriber thread may
+        // inspect counters the moment its result arrives.
+        EventLoopCounters::bump(&self.counters.instances_completed);
+        // The e2e histogram records *every* finish (success, failure,
+        // timeout), mirroring `instances_completed` semantics.
+        self.obs.phases.e2e.record(result.elapsed);
+        match &result.outcome {
+            Ok(_) => self.obs.journal.record(id.0, TraceEventKind::ResultDelivered),
+            Err(err) => self.obs.journal.record_detail(
+                id.0,
+                TraceEventKind::InstanceFailed,
+                format!("{err:?}"),
+            ),
+        }
+        let evicted = self.finished.insert(id, result.clone(), Instant::now());
+        EventLoopCounters::add(&self.counters.cache_evictions, evicted);
+        for sub in &entry.subscribers {
+            if sub.send(result.clone()).is_err() {
+                self.note_error(
+                    id.0,
+                    "subscriber channel closed before result delivery".into(),
+                );
+            }
+        }
+        // Heap entries for `id` are now stale; pops skip them.
     }
 
     /// Pops every due expiry deadline and fails the instances that are
@@ -725,17 +990,21 @@ impl InstanceManager {
             let still_live = self
                 .instances
                 .get(&id)
-                .is_some_and(|live| live.deadline <= now);
+                .is_some_and(|entry| entry.deadline <= now);
             if !still_live {
                 continue; // finished already, or a stale entry
             }
             EventLoopCounters::bump(&self.counters.instances_timed_out);
             self.obs.journal.record(id.0, TraceEventKind::InstanceTimedOut);
+            // The host may still hold the protocol; closing the mailbox
+            // (in finish) makes the worker drop it. A late Finished
+            // upcall for this id is ignored via the registry miss.
             self.finish_instance(
                 id,
                 Err(SchemeError::InvalidShareSet(
                     "instance timed out before reaching quorum".into(),
                 )),
+                None,
             );
         }
     }
@@ -748,17 +1017,16 @@ impl InstanceManager {
                 break;
             }
             self.retry_heap.pop();
-            let Some(live) = self.instances.get_mut(&id) else {
+            let Some(entry) = self.instances.get_mut(&id) else {
                 continue; // instance finished; stale entry
             };
-            if live.next_retry > now {
+            if entry.next_retry > now {
                 continue; // superseded by a newer schedule
             }
-            let resend: Vec<Vec<u8>> = live.p2p_history.clone();
-            live.retry_backoff =
-                (live.retry_backoff * 2).min(self.config.retry_max_backoff);
-            live.next_retry = now + live.retry_backoff;
-            let next = live.next_retry;
+            let resend: Vec<Vec<u8>> = entry.p2p_history.clone();
+            entry.retry_backoff = (entry.retry_backoff * 2).min(self.config.retry_max_backoff);
+            entry.next_retry = now + entry.retry_backoff;
+            let next = entry.next_retry;
             if !resend.is_empty() {
                 self.obs.journal.record_detail(
                     id.0,
@@ -778,6 +1046,7 @@ impl InstanceManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use theta_codec::Encode;
     use theta_network::inmemory::{InMemoryConfig, InMemoryHub};
     use theta_schemes::ThresholdParams;
 
@@ -869,13 +1138,13 @@ mod tests {
     }
 
     #[test]
-    fn kg20_two_round_through_manager() {
+    fn kg20_two_round_through_router() {
         let mut r = seeded();
         let (_hub, nets) = build_network(3);
         let handles = spawn_all(full_chests(0, 3, &mut r), nets);
         let pending: Vec<PendingResult> = handles
             .iter()
-            .map(|h| h.submit(Request::Kg20Sign(b"frost via manager".to_vec())))
+            .map(|h| h.submit(Request::Kg20Sign(b"frost via router".to_vec())))
             .collect();
         for p in pending {
             let result = p.wait_timeout(WAIT).expect("completion");
@@ -981,7 +1250,7 @@ mod tests {
     }
 
     #[test]
-    fn idle_manager_does_not_spin() {
+    fn idle_router_does_not_spin() {
         // With no instances and no traffic, the loop must park in its
         // select rather than busy-poll: the wakeup counter stays flat.
         let (_hub, mut nets) = build_network(1);
@@ -1063,7 +1332,7 @@ mod tests {
         let params = ThresholdParams::new(1, 2).unwrap();
         let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
         let (_hub, mut nets) = build_network(2);
-        let injector = nets.remove(0); // raw handle for node 1, no manager
+        let injector = nets.remove(0); // raw handle for node 1, no router
         let mut chest = KeyChest::new();
         chest.cks05 = Some(keys[1].clone());
         let handle = spawn_node(chest, nets.pop().unwrap(), NodeConfig::default());
@@ -1133,5 +1402,197 @@ mod tests {
             handles[0].counters().retries_sent >= 1,
             "node 1 must have re-broadcast its share"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Router/worker-pool specific coverage.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn crypto_runs_on_worker_threads_not_router() {
+        // The InstanceHost debug-asserts it never executes on a thread
+        // named `theta-router-*`; completing an instance under
+        // debug_assertions therefore proves the split. The per-worker
+        // busy histogram proves work actually reached the pool.
+        let mut r = seeded();
+        let (_hub, mut nets) = build_network(1);
+        let params = ThresholdParams::new(0, 1).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(
+            chest,
+            nets.pop().unwrap(),
+            NodeConfig { worker_threads: 2, ..Default::default() },
+        );
+        let result = handle
+            .submit(Request::Cks05Coin(b"threads".to_vec()))
+            .wait_timeout(WAIT)
+            .expect("completion");
+        assert!(result.outcome.is_ok());
+        let obs = handle.observability();
+        let busy: u64 = (0..2)
+            .map(|w| {
+                obs.registry
+                    .histogram_snapshot(
+                        theta_metrics::observability::WORKER_BUSY_HISTOGRAM,
+                        &[("worker", &w.to_string())],
+                    )
+                    .map_or(0, |s| s.count())
+            })
+            .sum();
+        assert!(busy >= 1, "no worker recorded busy time — crypto ran elsewhere?");
+    }
+
+    #[test]
+    fn overloaded_submission_is_refused_not_queued() {
+        // Two isolated nodes (instances can never finish) and a cap of 2:
+        // the third distinct submission must be refused with Overloaded.
+        let mut r = seeded();
+        let params = ThresholdParams::new(1, 2).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let (hub, mut nets) = build_network(2);
+        hub.isolate_node(1, true);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(
+            chest,
+            nets.remove(0),
+            NodeConfig {
+                max_inflight_instances: 2,
+                instance_timeout: Duration::from_secs(30),
+                ..Default::default()
+            },
+        );
+        let _a = handle.submit(Request::Cks05Coin(b"a".to_vec()));
+        let _b = handle.submit(Request::Cks05Coin(b"b".to_vec()));
+        let c = handle.submit(Request::Cks05Coin(b"c".to_vec()));
+        let refused = c.wait_timeout(Duration::from_secs(5)).expect("immediate refusal");
+        assert_eq!(refused.outcome, Err(SchemeError::Overloaded));
+        let obs = handle.observability();
+        let rejected = obs
+            .registry
+            .counter_value(theta_metrics::observability::OVERLOAD_REJECTIONS_COUNTER, &[])
+            .unwrap_or(0);
+        assert!(rejected >= 1, "overload rejection must be counted");
+    }
+
+    #[test]
+    fn try_submit_applies_queue_backpressure() {
+        let (_hub, mut nets) = build_network(1);
+        let handle = spawn_node(
+            KeyChest::new(),
+            nets.pop().unwrap(),
+            NodeConfig { submission_queue_capacity: 0, ..Default::default() },
+        );
+        // Zero capacity: every try_submit is refused up front.
+        match handle.try_submit(Request::Cks05Coin(b"never".to_vec())) {
+            Err(SubmitError::Overloaded) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The unconditional path still queues.
+        let pending = handle.submit(Request::Cks05Coin(b"queued".to_vec()));
+        let result = pending.wait_timeout(Duration::from_secs(5)).expect("served");
+        // No cks05 key: fails fast, but it was *served*, not refused.
+        assert!(matches!(result.outcome, Err(SchemeError::KeyMismatch(_))));
+    }
+
+    #[test]
+    fn shutdown_drains_live_instances_with_terminal_results() {
+        // A quorum-blocked instance (peer isolated) cannot finish inside
+        // the drain window: the subscriber must still get a terminal
+        // result, tagged Shutdown.
+        let mut r = seeded();
+        let params = ThresholdParams::new(1, 2).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let (hub, mut nets) = build_network(2);
+        hub.isolate_node(1, true);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(
+            chest,
+            nets.remove(0),
+            NodeConfig {
+                shutdown_drain: Duration::from_millis(200),
+                ..Default::default()
+            },
+        );
+        let pending = handle.submit(Request::Cks05Coin(b"drain me".to_vec()));
+        std::thread::sleep(Duration::from_millis(100)); // let the instance start
+        handle.shutdown();
+        let result = pending
+            .wait_timeout(Duration::from_secs(1))
+            .expect("shutdown must deliver a terminal result");
+        assert_eq!(result.outcome, Err(SchemeError::Shutdown));
+    }
+
+    #[test]
+    fn shutdown_drain_lets_completing_instances_finish() {
+        // A completable instance submitted right before shutdown finishes
+        // inside the drain window and delivers its real result.
+        let mut r = seeded();
+        let (_hub, mut nets) = build_network(1);
+        let params = ThresholdParams::new(0, 1).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(chest, nets.pop().unwrap(), NodeConfig::default());
+        let pending = handle.submit(Request::Cks05Coin(b"finish me".to_vec()));
+        handle.shutdown();
+        let result = pending
+            .wait_timeout(Duration::from_secs(1))
+            .expect("result delivered before or during drain");
+        assert!(result.outcome.is_ok(), "drain should let the coin finish");
+    }
+
+    #[test]
+    fn pending_result_reports_node_stopped() {
+        // A reply channel whose sender is gone (router died / command
+        // never served) must report NodeStopped, not TimedOut.
+        let (tx, rx) = unbounded::<InstanceResult>();
+        let pending = PendingResult { rx };
+        drop(tx);
+        assert_eq!(
+            pending.wait_timeout(Duration::from_millis(10)),
+            Err(WaitError::NodeStopped)
+        );
+        assert_eq!(pending.try_take(), Err(WaitError::NodeStopped));
+
+        // And a live-but-empty channel reports TimedOut / not-ready.
+        let (_tx2, rx2) = unbounded::<InstanceResult>();
+        let pending2 = PendingResult { rx: rx2 };
+        assert_eq!(
+            pending2.wait_timeout(Duration::from_millis(10)),
+            Err(WaitError::TimedOut)
+        );
+        assert_eq!(pending2.try_take(), Ok(None));
+    }
+
+    #[test]
+    fn distinct_instances_progress_concurrently() {
+        // With 2 workers and 2 slow-to-quorum instances, both must be
+        // live at once (inflight gauge reaches 2) — instances do not
+        // serialize behind one another.
+        let mut r = seeded();
+        let params = ThresholdParams::new(1, 2).unwrap();
+        let (_, keys) = theta_schemes::cks05::keygen(params, &mut r);
+        let (hub, mut nets) = build_network(2);
+        hub.isolate_node(1, true);
+        let mut chest = KeyChest::new();
+        chest.cks05 = Some(keys[0].clone());
+        let handle = spawn_node(
+            chest,
+            nets.remove(0),
+            NodeConfig { worker_threads: 2, ..Default::default() },
+        );
+        let _a = handle.submit(Request::Cks05Coin(b"parallel-a".to_vec()));
+        let _b = handle.submit(Request::Cks05Coin(b"parallel-b".to_vec()));
+        std::thread::sleep(Duration::from_millis(200));
+        let obs = handle.observability();
+        let inflight = obs
+            .registry
+            .gauge(theta_metrics::observability::INFLIGHT_INSTANCES_GAUGE)
+            .get();
+        assert_eq!(inflight, 2, "both instances must be live concurrently");
     }
 }

@@ -1,0 +1,508 @@
+//! The host-side protocol driver: the round/update/finalize state
+//! machine that advances one [`ThresholdRoundProtocol`] instance.
+//!
+//! Historically this logic lived inline in the orchestration manager's
+//! event loop; it is extracted here so an instance can be *owned by a
+//! worker thread* — the driver is `Send`, has no channels or locks, and
+//! exposes exactly three transitions:
+//!
+//! - [`ProtocolDriver::start`] — the first `do_round`;
+//! - [`ProtocolDriver::deliver`] — absorb one network message;
+//! - [`ProtocolDriver::advance`] — run `do_round` while the progression
+//!   condition holds, then `finalize` once the termination condition
+//!   holds.
+//!
+//! The caller decides *where* these run (which thread, behind which
+//! mailbox) and what to do with the produced messages; the driver only
+//! guarantees that every transition on a given instance is applied
+//! sequentially and that a finished instance absorbs no further work.
+
+use crate::{InboundMessage, ProtocolOutput, ProtocolStats, RoundOutput, ThresholdRoundProtocol};
+use std::collections::BTreeMap;
+use theta_schemes::{PartyId, SchemeError};
+
+/// How many rounds ahead of the protocol's current round a message may
+/// claim before it is rejected outright. Bounds the future buffer to
+/// `lookahead × parties` entries, since senders are
+/// transport-authenticated upstream.
+const MAX_ROUND_LOOKAHEAD: u16 = 8;
+
+/// What one [`ProtocolDriver::advance`] call produced.
+#[derive(Debug, Default)]
+pub struct Advance {
+    /// Round outputs emitted while the progression condition held, in
+    /// round order. Each must be dispatched to the network.
+    pub outputs: Vec<RoundOutput>,
+    /// `Some` exactly once per instance: the terminal outcome, produced
+    /// either by `finalize` or by a failing `do_round`.
+    pub finished: Option<Result<ProtocolOutput, SchemeError>>,
+    /// Wall time spent inside `finalize` (the combine phase), when this
+    /// advance reached it — so the caller can feed its combine-latency
+    /// histogram without instrumenting the protocol itself.
+    pub combine_time: Option<std::time::Duration>,
+    /// Buffered future-round messages that were replayed by this advance
+    /// and rejected by the protocol — reported here so the caller can
+    /// count and journal them exactly like directly-delivered rejects.
+    pub rejects: Vec<(PartyId, SchemeError)>,
+}
+
+/// Sequential state machine around one protocol instance.
+///
+/// The driver is an exclusive owner: it is handed the boxed protocol at
+/// construction and nothing else may touch the protocol afterwards.
+/// All methods take `&mut self`, so exclusive access is enforced by the
+/// borrow checker rather than a runtime lock.
+pub struct ProtocolDriver {
+    protocol: Box<dyn ThresholdRoundProtocol>,
+    /// Messages for rounds the protocol has not reached yet, keyed by
+    /// `(round, sender)` so a retransmitted copy replaces — not
+    /// duplicates — its predecessor. Replayed by [`Self::advance`] as
+    /// the round catches up. Multi-round protocols need this because
+    /// transports race: a round-2 share sent P2P (direct) can overtake
+    /// a round-1 commitment routed over total-order broadcast (via the
+    /// sequencer), and handing it to the protocol early makes it verify
+    /// against incomplete round-1 state.
+    future: BTreeMap<(u16, PartyId), InboundMessage>,
+    done: bool,
+}
+
+impl ProtocolDriver {
+    /// Wraps a freshly built protocol instance (no round run yet).
+    pub fn new(protocol: Box<dyn ThresholdRoundProtocol>) -> ProtocolDriver {
+        ProtocolDriver { protocol, future: BTreeMap::new(), done: false }
+    }
+
+    /// Runs the first round, returning its messages.
+    ///
+    /// # Errors
+    ///
+    /// A scheme-level failure (e.g. an invalid ciphertext) — the
+    /// instance is terminal after such an error and [`Self::is_done`]
+    /// turns true.
+    pub fn start(&mut self, rng: &mut dyn rand::RngCore) -> Result<RoundOutput, SchemeError> {
+        debug_assert!(!self.done, "start on a finished instance");
+        match self.protocol.do_round(rng) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Absorbs one network message. Messages for a round the protocol
+    /// has not reached yet are buffered and replayed by
+    /// [`Self::advance`] once the round catches up, instead of being
+    /// handed to the protocol against incomplete earlier-round state.
+    ///
+    /// # Errors
+    ///
+    /// An error marks the *message* invalid (e.g. a bad share); the
+    /// instance stays live. Messages delivered after the instance
+    /// finished are ignored and reported as ok.
+    pub fn deliver(&mut self, message: &InboundMessage) -> Result<(), SchemeError> {
+        if self.done {
+            return Ok(());
+        }
+        let current = self.protocol.current_round();
+        if message.round > current {
+            if message.round - current > MAX_ROUND_LOOKAHEAD {
+                return Err(SchemeError::Malformed(format!(
+                    "message for round {} but instance is in round {current}",
+                    message.round
+                )));
+            }
+            self.future
+                .insert((message.round, message.sender), message.clone());
+            return Ok(());
+        }
+        self.protocol.update(message)
+    }
+
+    /// Advances the instance as far as it can go: runs `do_round` while
+    /// the progression condition holds, replays any buffered messages
+    /// the new round makes current (which may unlock further rounds),
+    /// then finalizes once the termination condition holds. Idempotent
+    /// after completion.
+    pub fn advance(&mut self, rng: &mut dyn rand::RngCore) -> Advance {
+        let mut step = Advance::default();
+        if self.done {
+            return step;
+        }
+        loop {
+            while self.protocol.is_ready_for_next_round() {
+                match self.protocol.do_round(rng) {
+                    Ok(out) => step.outputs.push(out),
+                    Err(e) => {
+                        self.done = true;
+                        step.finished = Some(Err(e));
+                        return step;
+                    }
+                }
+            }
+            if !self.replay_due(&mut step.rejects) {
+                break;
+            }
+        }
+        if self.protocol.is_ready_to_finalize() {
+            self.done = true;
+            let combine_start = std::time::Instant::now();
+            step.finished = Some(self.protocol.finalize());
+            step.combine_time = Some(combine_start.elapsed());
+        }
+        step
+    }
+
+    /// Hands buffered messages whose round has become current to the
+    /// protocol, reporting per-message rejects into `rejects`. Returns
+    /// `true` when at least one message was applied (the caller must
+    /// re-check the progression condition).
+    fn replay_due(&mut self, rejects: &mut Vec<(PartyId, SchemeError)>) -> bool {
+        let current = self.protocol.current_round();
+        let mut rest = self.future.split_off(&(current + 1, PartyId(0)));
+        std::mem::swap(&mut self.future, &mut rest);
+        let due = rest;
+        let mut applied = false;
+        for message in due.into_values() {
+            applied = true;
+            if let Err(e) = self.protocol.update(&message) {
+                rejects.push((message.sender, e));
+            }
+        }
+        applied
+    }
+
+    /// True once the instance reached a terminal outcome.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The party running this instance.
+    pub fn party(&self) -> PartyId {
+        self.protocol.party()
+    }
+
+    /// The protocol's current round.
+    pub fn current_round(&self) -> u16 {
+        self.protocol.current_round()
+    }
+
+    /// Verification-work statistics accumulated by the protocol.
+    pub fn stats(&self) -> ProtocolStats {
+        self.protocol.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transport;
+
+    /// A scripted two-round protocol: round 1 emits one message, the
+    /// second round unlocks after `need` deliveries, finalize echoes
+    /// how many messages it saw.
+    struct Scripted {
+        round: u16,
+        seen: usize,
+        need: usize,
+        fail_round_two: bool,
+    }
+
+    impl ThresholdRoundProtocol for Scripted {
+        fn do_round(&mut self, _rng: &mut dyn rand::RngCore) -> Result<RoundOutput, SchemeError> {
+            self.round += 1;
+            if self.round == 2 && self.fail_round_two {
+                return Err(SchemeError::HashToGroupFailed);
+            }
+            Ok(RoundOutput {
+                messages: vec![crate::OutboundMessage {
+                    transport: Transport::P2p,
+                    round: self.round,
+                    payload: vec![self.round as u8],
+                }],
+            })
+        }
+
+        fn update(&mut self, message: &InboundMessage) -> Result<(), SchemeError> {
+            if message.payload.is_empty() {
+                return Err(SchemeError::InvalidShare { party: message.sender.value() });
+            }
+            self.seen += 1;
+            Ok(())
+        }
+
+        fn is_ready_for_next_round(&self) -> bool {
+            self.round == 1 && self.seen >= self.need
+        }
+
+        fn is_ready_to_finalize(&self) -> bool {
+            self.round == 2 && self.seen >= 2 * self.need
+        }
+
+        fn finalize(&mut self) -> Result<ProtocolOutput, SchemeError> {
+            Ok(ProtocolOutput::Signature(vec![self.seen as u8]))
+        }
+
+        fn current_round(&self) -> u16 {
+            self.round
+        }
+
+        fn party(&self) -> PartyId {
+            PartyId(1)
+        }
+    }
+
+    fn msg(sender: u16, round: u16, payload: Vec<u8>) -> InboundMessage {
+        InboundMessage { sender: PartyId(sender), round, payload }
+    }
+
+    #[test]
+    fn drives_two_rounds_to_completion() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(Scripted {
+            round: 0,
+            seen: 0,
+            need: 2,
+            fail_round_two: false,
+        }));
+        let first = d.start(&mut rng).unwrap();
+        assert_eq!(first.messages.len(), 1);
+        assert!(d.advance(&mut rng).finished.is_none());
+
+        d.deliver(&msg(2, 1, vec![1])).unwrap();
+        assert!(d.advance(&mut rng).outputs.is_empty(), "one short of round 2");
+        d.deliver(&msg(3, 1, vec![1])).unwrap();
+        let step = d.advance(&mut rng);
+        assert_eq!(step.outputs.len(), 1, "round 2 ran");
+        assert!(step.finished.is_none());
+
+        d.deliver(&msg(2, 2, vec![2])).unwrap();
+        d.deliver(&msg(3, 2, vec![2])).unwrap();
+        let step = d.advance(&mut rng);
+        match step.finished {
+            Some(Ok(ProtocolOutput::Signature(s))) => assert_eq!(s, vec![4]),
+            other => panic!("expected a signature, got {other:?}"),
+        }
+        assert!(d.is_done());
+        // Terminal: further work is absorbed without effect.
+        d.deliver(&msg(2, 1, vec![9])).unwrap();
+        assert!(d.advance(&mut rng).finished.is_none());
+    }
+
+    #[test]
+    fn future_round_message_is_buffered_until_the_round_catches_up() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(Scripted {
+            round: 0,
+            seen: 0,
+            need: 2,
+            fail_round_two: false,
+        }));
+        d.start(&mut rng).unwrap();
+
+        // A round-2 message overtakes round 1: buffered, not applied.
+        d.deliver(&msg(4, 2, vec![2])).unwrap();
+        assert!(d.advance(&mut rng).outputs.is_empty());
+
+        // A retransmitted copy replaces the buffered one (no duplicate).
+        d.deliver(&msg(4, 2, vec![2])).unwrap();
+
+        // Round 1 completes: round 2 runs, and the buffered message is
+        // replayed — with its duplicate collapsed — leaving the driver
+        // one delivery short of finalizing (3 seen, 4 needed).
+        d.deliver(&msg(2, 1, vec![1])).unwrap();
+        d.deliver(&msg(3, 1, vec![1])).unwrap();
+        let step = d.advance(&mut rng);
+        assert_eq!(step.outputs.len(), 1, "round 2 ran");
+        assert!(step.rejects.is_empty());
+        assert!(step.finished.is_none(), "duplicate must not double-count");
+
+        d.deliver(&msg(3, 2, vec![2])).unwrap();
+        let step = d.advance(&mut rng);
+        match step.finished {
+            Some(Ok(ProtocolOutput::Signature(s))) => assert_eq!(s, vec![4]),
+            other => panic!("expected a signature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replayed_reject_is_reported_in_advance() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(Scripted {
+            round: 0,
+            seen: 0,
+            need: 1,
+            fail_round_two: false,
+        }));
+        d.start(&mut rng).unwrap();
+        // Empty payload = invalid, but it claims round 2 so the error
+        // only surfaces on replay, via `Advance::rejects`.
+        d.deliver(&msg(5, 2, vec![])).unwrap();
+        d.deliver(&msg(2, 1, vec![1])).unwrap();
+        let step = d.advance(&mut rng);
+        assert_eq!(step.outputs.len(), 1, "round 2 ran");
+        assert_eq!(step.rejects.len(), 1);
+        assert!(matches!(
+            step.rejects[0],
+            (PartyId(5), SchemeError::InvalidShare { party: 5 })
+        ));
+        assert!(!d.is_done());
+    }
+
+    #[test]
+    fn far_future_round_is_rejected_outright() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(Scripted {
+            round: 0,
+            seen: 0,
+            need: 1,
+            fail_round_two: false,
+        }));
+        d.start(&mut rng).unwrap();
+        let too_far = 1 + MAX_ROUND_LOOKAHEAD + 1;
+        assert!(matches!(
+            d.deliver(&msg(2, too_far, vec![1])),
+            Err(SchemeError::Malformed(_))
+        ));
+        // The edge of the window is still buffered fine.
+        d.deliver(&msg(2, 1 + MAX_ROUND_LOOKAHEAD, vec![1])).unwrap();
+        assert!(!d.is_done());
+    }
+
+    /// Regression for the transport race that wedged KG20 over TCP: a
+    /// round-2 share sent P2P (direct) arrives before the last round-1
+    /// commitment routed over the sequencer. Handing it to the protocol
+    /// early made it verify against an incomplete commitment list and
+    /// permanently abort the run; the driver must instead buffer it and
+    /// replay it once round 2 is reached, letting the run complete.
+    #[test]
+    fn kg20_round2_share_overtaking_commitments_still_completes() {
+        use crate::kg20_protocol::Kg20Sign;
+        use theta_schemes::kg20;
+        use theta_schemes::ThresholdParams;
+
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0x0f57);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = kg20::keygen(params, &mut rng);
+        let message = b"overtaken".to_vec();
+
+        // Parties 2..4 run in lockstep outside the driver, producing
+        // their round-1 commitments and round-2 shares.
+        let mut peers: Vec<Kg20Sign> = keys[1..]
+            .iter()
+            .map(|k| Kg20Sign::new(k.clone(), message.clone()))
+            .collect();
+        let commitments: Vec<InboundMessage> = peers
+            .iter_mut()
+            .map(|p| {
+                let out = p.do_round(&mut rng).unwrap();
+                msg(p.party().value(), 1, out.messages[0].payload.clone())
+            })
+            .collect();
+        let mut d = ProtocolDriver::new(Box::new(Kg20Sign::new(keys[0].clone(), message.clone())));
+        let own_commitment = d.start(&mut rng).unwrap();
+        for p in peers.iter_mut() {
+            for c in &commitments {
+                if c.sender != p.party() {
+                    p.update(c).unwrap();
+                }
+            }
+            p.update(&msg(1, 1, own_commitment.messages[0].payload.clone())).unwrap();
+        }
+        let shares: Vec<InboundMessage> = peers
+            .iter_mut()
+            .map(|p| {
+                let out = p.do_round(&mut rng).unwrap();
+                msg(p.party().value(), 2, out.messages[0].payload.clone())
+            })
+            .collect();
+
+        // Adversarial arrival order at party 1: two commitments, then a
+        // share that OVERTAKES the third commitment, then the rest.
+        d.deliver(&commitments[0]).unwrap();
+        d.deliver(&commitments[1]).unwrap();
+        d.deliver(&shares[0]).unwrap(); // round 2 before round 1 is complete
+        assert!(d.advance(&mut rng).finished.is_none());
+        d.deliver(&commitments[2]).unwrap();
+        let step = d.advance(&mut rng);
+        assert_eq!(step.outputs.len(), 1, "own round-2 share emitted");
+        assert!(step.rejects.is_empty(), "overtaking share must verify on replay");
+        d.deliver(&shares[1]).unwrap();
+        d.deliver(&shares[2]).unwrap();
+        let step = d.advance(&mut rng);
+        let sig = match step.finished {
+            Some(Ok(ProtocolOutput::Signature(s))) => s,
+            other => panic!("expected a signature, got {other:?}"),
+        };
+        let sig = <kg20::Signature as theta_codec::Decode>::decoded(&sig).unwrap();
+        assert!(kg20::verify(&pk, &message, &sig));
+    }
+
+    #[test]
+    fn failing_round_is_terminal() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(Scripted {
+            round: 0,
+            seen: 0,
+            need: 1,
+            fail_round_two: true,
+        }));
+        d.start(&mut rng).unwrap();
+        d.deliver(&msg(2, 1, vec![1])).unwrap();
+        let step = d.advance(&mut rng);
+        assert!(matches!(step.finished, Some(Err(SchemeError::HashToGroupFailed))));
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn invalid_message_keeps_instance_live() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(Scripted {
+            round: 0,
+            seen: 0,
+            need: 1,
+            fail_round_two: false,
+        }));
+        d.start(&mut rng).unwrap();
+        assert!(matches!(
+            d.deliver(&msg(5, 1, vec![])),
+            Err(SchemeError::InvalidShare { party: 5 })
+        ));
+        assert!(!d.is_done());
+    }
+
+    #[test]
+    fn failing_start_is_terminal() {
+        struct FailStart;
+        impl ThresholdRoundProtocol for FailStart {
+            fn do_round(
+                &mut self,
+                _rng: &mut dyn rand::RngCore,
+            ) -> Result<RoundOutput, SchemeError> {
+                Err(SchemeError::InvalidCiphertext("bad".into()))
+            }
+            fn update(&mut self, _m: &InboundMessage) -> Result<(), SchemeError> {
+                Ok(())
+            }
+            fn is_ready_for_next_round(&self) -> bool {
+                false
+            }
+            fn is_ready_to_finalize(&self) -> bool {
+                false
+            }
+            fn finalize(&mut self) -> Result<ProtocolOutput, SchemeError> {
+                unreachable!()
+            }
+            fn current_round(&self) -> u16 {
+                0
+            }
+            fn party(&self) -> PartyId {
+                PartyId(1)
+            }
+        }
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let mut d = ProtocolDriver::new(Box::new(FailStart));
+        assert!(d.start(&mut rng).is_err());
+        assert!(d.is_done());
+    }
+}

@@ -164,10 +164,13 @@ impl ThresholdRoundProtocol for Kg20Sign {
     }
 
     fn is_ready_to_finalize(&self) -> bool {
+        // An abort finalizes immediately (to the abort error): FROST is
+        // non-robust, so once a party misbehaved the run can never
+        // produce a signature and waiting for more shares only turns a
+        // crisp failure into an instance timeout.
         !self.finished
-            && self.aborted_by.is_none()
-            && self.round == 2
-            && self.shares.len() == self.group_size()
+            && (self.aborted_by.is_some()
+                || (self.round == 2 && self.shares.len() == self.group_size()))
     }
 
     fn finalize(&mut self) -> Result<ProtocolOutput, SchemeError> {
@@ -334,7 +337,9 @@ mod tests {
         });
         assert!(err.is_err());
         assert_eq!(protos[0].aborted_by(), Some(PartyId(2)));
-        assert!(!protos[0].is_ready_to_finalize());
+        // The abort makes the run finalize *immediately* — to the abort
+        // error, not a signature — instead of idling until timeout.
+        assert!(protos[0].is_ready_to_finalize());
         assert!(protos[0].finalize().is_err());
     }
 

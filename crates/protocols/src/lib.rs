@@ -19,8 +19,11 @@
 //! FROST is the two-round, `O(n²)` member of the suite and exercised the
 //! multi-round features of this interface (as in the paper, §3.5).
 
+pub mod driver;
 pub mod kg20_protocol;
 pub mod one_round;
+
+pub use driver::{Advance, ProtocolDriver};
 
 use theta_codec::{Decode, Encode, Reader, Writer};
 use theta_schemes::{PartyId, SchemeError};

@@ -31,6 +31,11 @@ pub enum SchemeError {
     HashToGroupFailed,
     /// The operation was invoked with mismatched key material.
     KeyMismatch(String),
+    /// The serving node was at capacity and refused to start the
+    /// instance; the request is safe to retry elsewhere or later.
+    Overloaded,
+    /// The serving node shut down before the instance completed.
+    Shutdown,
 }
 
 impl fmt::Display for SchemeError {
@@ -49,6 +54,8 @@ impl fmt::Display for SchemeError {
             SchemeError::Malformed(msg) => write!(f, "malformed data: {msg}"),
             SchemeError::HashToGroupFailed => write!(f, "hash-to-group retries exhausted"),
             SchemeError::KeyMismatch(msg) => write!(f, "key mismatch: {msg}"),
+            SchemeError::Overloaded => write!(f, "node overloaded: submission rejected"),
+            SchemeError::Shutdown => write!(f, "node shut down before the instance completed"),
         }
     }
 }
@@ -71,6 +78,8 @@ mod tests {
             SchemeError::Malformed("m".into()),
             SchemeError::HashToGroupFailed,
             SchemeError::KeyMismatch("k".into()),
+            SchemeError::Overloaded,
+            SchemeError::Shutdown,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

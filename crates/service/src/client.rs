@@ -15,6 +15,9 @@ pub enum RpcError {
     Io(std::io::Error),
     /// The server answered with an error.
     Server(String),
+    /// The node refused the request at its capacity bound without
+    /// queueing it — retry later or against another node.
+    Overloaded,
     /// The server answered with an unexpected response kind.
     UnexpectedResponse,
 }
@@ -24,6 +27,9 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Io(e) => write!(f, "rpc i/o error: {e}"),
             RpcError::Server(msg) => write!(f, "server error: {msg}"),
+            RpcError::Overloaded => {
+                write!(f, "node overloaded: submission refused, retry later")
+            }
             RpcError::UnexpectedResponse => write!(f, "unexpected response kind"),
         }
     }
@@ -91,6 +97,7 @@ impl RpcClient {
             RpcResponse::ProtocolResult { output, server_latency_us } => {
                 Ok((output, Duration::from_micros(server_latency_us)))
             }
+            RpcResponse::Overloaded => Err(RpcError::Overloaded),
             RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
             _ => Err(RpcError::UnexpectedResponse),
         }
@@ -119,6 +126,7 @@ impl RpcClient {
             RpcResponse::ProtocolResult { output, server_latency_us } => {
                 Ok((output, Duration::from_micros(server_latency_us)))
             }
+            RpcResponse::Overloaded => Err(RpcError::Overloaded),
             RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
             _ => Err(RpcError::UnexpectedResponse),
         }

@@ -173,6 +173,10 @@ pub enum RpcResponse {
     Verified(bool),
     /// The request failed.
     Error(String),
+    /// The serving node was at capacity (submission queue or
+    /// live-instance cap) and refused the request without queueing it;
+    /// safe to retry later or against another node.
+    Overloaded,
     /// Event-loop counters of the serving node.
     NodeStats(theta_metrics::EventLoopSnapshot),
     /// Prometheus text exposition of the node's metrics registry.
@@ -221,6 +225,9 @@ impl Encode for RpcResponse {
             RpcResponse::MetricsText(text) => {
                 6u8.encode(w);
                 text.encode(w);
+            }
+            RpcResponse::Overloaded => {
+                8u8.encode(w);
             }
             RpcResponse::Trace(events) => {
                 // `TraceEvent` lives in theta-metrics (no codec
@@ -279,6 +286,7 @@ impl Decode for RpcResponse {
                 }
                 Ok(RpcResponse::Trace(events))
             }
+            8 => Ok(RpcResponse::Overloaded),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -366,6 +374,7 @@ mod tests {
             RpcResponse::Ciphertext(vec![3]),
             RpcResponse::Verified(true),
             RpcResponse::Error("nope".into()),
+            RpcResponse::Overloaded,
             RpcResponse::NodeStats(theta_metrics::EventLoopSnapshot {
                 wakeups: 1,
                 events_processed: 2,

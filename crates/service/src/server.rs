@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use theta_codec::Decode;
-use theta_orchestration::NodeHandle;
+use theta_orchestration::{NodeHandle, SubmitError, WaitError};
 use theta_schemes::registry::SchemeId;
 
 /// Handle to a running RPC service.
@@ -127,22 +127,57 @@ fn handle_connection(
                     request.instance_id().0,
                     theta_metrics::TraceEventKind::RpcReceived,
                 );
+                // Backpressure-aware admission: a full submission queue
+                // refuses the request up front instead of buffering it
+                // without bound behind the router.
+                let pending = match node.try_submit(request) {
+                    Ok(p) => p,
+                    Err(SubmitError::Overloaded) => {
+                        rpc_timer.record(started.elapsed());
+                        let _ = write_frame(
+                            &mut writer.lock(),
+                            &Frame { id, body: RpcResponse::Overloaded },
+                        );
+                        continue;
+                    }
+                    Err(SubmitError::NodeStopped) => {
+                        rpc_timer.record(started.elapsed());
+                        let _ = write_frame(
+                            &mut writer.lock(),
+                            &Frame {
+                                id,
+                                body: RpcResponse::Error("the node has stopped".into()),
+                            },
+                        );
+                        continue;
+                    }
+                };
                 // Answer from a waiter thread so the connection can pipeline.
-                let pending = node.submit(request);
                 let writer = writer.clone();
                 let rpc_timer = rpc_timer.clone();
                 std::thread::Builder::new()
                     .name("theta-rpc-wait".into())
                     .spawn(move || {
                         let response = match pending.wait_timeout(request_timeout) {
-                            Some(result) => match result.outcome {
+                            Ok(result) => match result.outcome {
                                 Ok(output) => RpcResponse::ProtocolResult {
                                     output: output.as_bytes().to_vec(),
                                     server_latency_us: result.elapsed.as_micros() as u64,
                                 },
+                                // The router's live-instance admission cap
+                                // surfaces as the same wire-level refusal as
+                                // a full submission queue.
+                                Err(theta_schemes::SchemeError::Overloaded) => {
+                                    RpcResponse::Overloaded
+                                }
                                 Err(e) => RpcResponse::Error(e.to_string()),
                             },
-                            None => RpcResponse::Error("request timed out".into()),
+                            Err(WaitError::TimedOut) => {
+                                RpcResponse::Error("request timed out".into())
+                            }
+                            Err(WaitError::NodeStopped) => RpcResponse::Error(
+                                "the node stopped before delivering the result".into(),
+                            ),
                         };
                         rpc_timer.record(started.elapsed());
                         let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });

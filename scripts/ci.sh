@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, full test suite, and clippy (deny warnings) on
-# the crates the observability subsystem touches.
+# Tier-1 CI gate: build, full test suite, the release-mode concurrency
+# stress suite, and clippy (deny warnings) workspace-wide.
 #
 # Usage: scripts/ci.sh [--no-clippy]
 set -euo pipefail
@@ -14,18 +14,19 @@ echo
 echo "== cargo test (workspace) =="
 cargo test -q
 
+echo
+echo "== saturation stress test (release, full 64+ request mix) =="
+RUST_BACKTRACE=1 cargo test -q --release --test stress_concurrency
+
+echo
+echo "== mailbox handoff interleaving harness (release, repeated runs) =="
+RUST_BACKTRACE=1 cargo test -q --release -p theta-orchestration \
+    handoff_interleaving_never_loses_messages
+
 if [[ "${1:-}" != "--no-clippy" ]] && cargo clippy --version >/dev/null 2>&1; then
     echo
-    echo "== cargo clippy -D warnings (observability-touched crates) =="
-    cargo clippy \
-        -p theta-metrics \
-        -p theta-protocols \
-        -p theta-network \
-        -p theta-orchestration \
-        -p theta-service \
-        -p theta-core \
-        -p theta-bench \
-        -- -D warnings
+    echo "== cargo clippy -D warnings (workspace) =="
+    cargo clippy --workspace -- -D warnings
 else
     echo
     echo "== clippy skipped =="

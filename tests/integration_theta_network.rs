@@ -227,7 +227,7 @@ fn lossy_network_retries_nothing_but_quorum_still_forms() {
     let pending: Vec<_> = handles.iter().map(|h| h.submit(request.clone())).collect();
     let mut ok = 0;
     for p in pending {
-        if let Some(result) = p.wait_timeout(Duration::from_secs(15)) {
+        if let Ok(result) = p.wait_timeout(Duration::from_secs(15)) {
             if result.outcome.is_ok() {
                 ok += 1;
             }
