@@ -144,7 +144,11 @@ fn main() {
 
     for file in &node_files {
         let path = args.out.join(format!("node-{}.keys", file.node_id));
-        std::fs::write(&path, file.encoded()).expect("write node key file");
+        // Wipe the serialized secret shares once they are on disk rather
+        // than leaving a plaintext copy on the heap for the allocator.
+        let mut encoded = file.encoded();
+        std::fs::write(&path, &encoded).expect("write node key file");
+        theta_math::wipe_bytes(&mut encoded);
         println!("wrote {}", path.display());
     }
     let pub_path = args.out.join("public.keys");

@@ -14,8 +14,7 @@
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
-use theta_codec::Decode;
-use theta_core::keyfile::{decode_public, NodeKeyFile};
+use theta_core::keyfile::{self, decode_public};
 use theta_network::tcp::TcpMesh;
 use theta_network::Network;
 use theta_orchestration::{spawn_node, NodeConfig};
@@ -82,8 +81,11 @@ fn main() {
         }
     };
 
-    let key_bytes = std::fs::read(&args.keys).expect("read node key file");
-    let key_file = NodeKeyFile::decoded(&key_bytes).expect("parse node key file");
+    let mut key_bytes = std::fs::read(&args.keys).expect("read node key file");
+    // decode_node_key volatile-wipes key_bytes: the on-disk encoding is
+    // the secret shares themselves and must not linger in this buffer.
+    let key_file =
+        keyfile::decode_node_key(&mut key_bytes).expect("parse node key file");
     assert_eq!(
         key_file.node_id, args.id,
         "key file belongs to node {}, not {}",

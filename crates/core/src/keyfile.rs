@@ -46,6 +46,21 @@ impl NodeKeyFile {
     }
 }
 
+/// Parses a node key file from a mutable buffer, volatile-wiping the
+/// buffer before returning. The serialized bytes *are* the secret shares,
+/// so the caller's copy must not linger on the heap after parsing; the
+/// buffer is wiped on both the success and error paths.
+///
+/// # Errors
+///
+/// [`theta_codec::CodecError`] on malformed input (the buffer is still
+/// wiped).
+pub fn decode_node_key(bytes: &mut [u8]) -> theta_codec::Result<NodeKeyFile> {
+    let result = NodeKeyFile::decoded(bytes);
+    theta_math::wipe_bytes(bytes);
+    result
+}
+
 fn put_opt<T: Encode>(w: &mut Writer, v: &Option<T>) {
     match v {
         None => false.encode(w),
@@ -163,6 +178,27 @@ mod tests {
         let chest = decoded.into_chest();
         assert!(chest.has(theta_schemes::SchemeId::Sg02));
         assert!(!chest.has(theta_schemes::SchemeId::Cks05));
+    }
+
+    #[test]
+    fn decode_node_key_wipes_the_buffer() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(6);
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (_pk, shares) = sg02::keygen(params, &mut r);
+        let file = NodeKeyFile {
+            node_id: 1,
+            sg02: Some(shares[0].clone()),
+            ..Default::default()
+        };
+        let mut bytes = file.encoded();
+        let decoded = decode_node_key(&mut bytes).unwrap();
+        assert!(decoded.sg02.is_some());
+        assert!(bytes.iter().all(|&b| b == 0), "secret bytes survived decode");
+
+        // The error path wipes too.
+        let mut garbage = b"NOTAKEY0rest".to_vec();
+        assert!(decode_node_key(&mut garbage).is_err());
+        assert!(garbage.iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -55,6 +55,23 @@ impl BigUint {
         out
     }
 
+    /// Constant-time equality: running time depends only on the longer
+    /// operand's limb count, never on where the values differ. Use this
+    /// — not `==`/[`PartialEq`] — whenever either operand is secret
+    /// (key shares, DKG shares, RSA exponents).
+    #[must_use]
+    pub fn ct_eq(&self, other: &BigUint) -> bool {
+        crate::ct::ct_eq_u64s(&self.limbs, &other.limbs)
+    }
+
+    /// Volatile-overwrites every limb with zero (the optimizer cannot
+    /// elide it) and leaves `self == 0`. For `Drop` impls of
+    /// secret-bearing wrappers.
+    pub fn wipe(&mut self) {
+        crate::ct::wipe_u64s(&mut self.limbs);
+        self.limbs.clear();
+    }
+
     /// Builds a value from little-endian limbs (any trailing zeros are trimmed).
     pub fn from_limbs(limbs: Vec<u64>) -> Self {
         let mut out = BigUint { limbs };

@@ -21,6 +21,19 @@ use std::sync::OnceLock;
 pub struct Fr(BigUint);
 
 impl Fr {
+    /// Constant-time equality; use instead of `==` whenever either
+    /// scalar is secret (key shares, nonces, DKG shares).
+    #[must_use]
+    pub fn ct_eq(&self, other: &Fr) -> bool {
+        self.0.ct_eq(&other.0)
+    }
+
+    /// Volatile-overwrites the underlying limbs with zero; for `Drop`
+    /// impls of secret-bearing wrappers.
+    pub fn wipe(&mut self) {
+        self.0.wipe();
+    }
+
     /// The group order r.
     pub fn modulus() -> &'static BigUint {
         static R: OnceLock<BigUint> = OnceLock::new();

@@ -1,0 +1,97 @@
+//! Constant-time comparison and best-effort zeroization for secret
+//! material.
+//!
+//! Two rules for code that touches key shares, DKG shares or decoded
+//! key files, enforced by `theta-lint`:
+//!
+//! - **compare with [`ct_eq_bytes`]/[`ct_eq_u64s`]** (or the `ct_eq`
+//!   methods built on them), never `==`: a short-circuiting comparison
+//!   leaks the position of the first differing limb through timing;
+//! - **wipe on drop** with [`wipe_u64s`]/[`wipe_bytes`]: volatile
+//!   writes the optimizer is not allowed to elide, followed by a
+//!   compiler fence so the zeroing is not reordered past the free.
+//!
+//! The comparisons equalize work across *values* of equal length; the
+//! operand length itself (the limb count of a `BigUint`) is treated as
+//! public, which matches how the workspace stores secrets (fixed-width
+//! field elements, fixed-size RSA moduli).
+
+use std::sync::atomic::{compiler_fence, Ordering};
+
+/// Constant-time equality over `u64` slices. Shorter operands are
+/// implicitly zero-extended, so canonical and non-canonical encodings
+/// of the same value compare equal; the running time depends only on
+/// `max(a.len(), b.len())`, never on where the operands differ.
+#[must_use]
+pub fn ct_eq_u64s(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().max(b.len());
+    let mut diff = 0u64;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time equality over byte slices (zero-extended, like
+/// [`ct_eq_u64s`]).
+#[must_use]
+pub fn ct_eq_bytes(a: &[u8], b: &[u8]) -> bool {
+    let n = a.len().max(b.len());
+    let mut diff = 0u8;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Overwrites every limb with zero through volatile writes, then fences
+/// so the compiler cannot sink or elide the stores ("the value is dead
+/// anyway" is exactly the reasoning this defeats).
+pub fn wipe_u64s(limbs: &mut [u64]) {
+    for limb in limbs.iter_mut() {
+        // SAFETY: `limb` is a valid, aligned, exclusive reference.
+        unsafe { std::ptr::write_volatile(limb, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Byte-slice variant of [`wipe_u64s`].
+pub fn wipe_bytes(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        // SAFETY: `b` is a valid, aligned, exclusive reference.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_and_zero_extension() {
+        assert!(ct_eq_u64s(&[1, 2], &[1, 2]));
+        assert!(ct_eq_u64s(&[1, 2, 0], &[1, 2]), "trailing zeros are not a difference");
+        assert!(!ct_eq_u64s(&[1, 2], &[1, 3]));
+        assert!(!ct_eq_u64s(&[1, 2], &[1, 2, 9]));
+        assert!(ct_eq_u64s(&[], &[0, 0]));
+        assert!(ct_eq_bytes(b"abc", b"abc"));
+        assert!(!ct_eq_bytes(b"abc", b"abd"));
+        assert!(!ct_eq_bytes(b"abc", b"ab"));
+        assert!(ct_eq_bytes(b"", b""));
+    }
+
+    #[test]
+    fn wipe_zeroes_everything() {
+        let mut limbs = [u64::MAX, 7, 1];
+        wipe_u64s(&mut limbs);
+        assert_eq!(limbs, [0, 0, 0]);
+        let mut bytes = *b"secret";
+        wipe_bytes(&mut bytes);
+        assert_eq!(bytes, [0; 6]);
+    }
+}

@@ -33,6 +33,19 @@ fn order() -> &'static BigUint {
 pub struct Scalar(BigUint);
 
 impl Scalar {
+    /// Constant-time equality; use instead of `==` whenever either
+    /// scalar is secret (key shares, nonces, DKG shares).
+    #[must_use]
+    pub fn ct_eq(&self, other: &Scalar) -> bool {
+        self.0.ct_eq(&other.0)
+    }
+
+    /// Volatile-overwrites the underlying limbs with zero; for `Drop`
+    /// impls of secret-bearing wrappers.
+    pub fn wipe(&mut self) {
+        self.0.wipe();
+    }
+
     /// The group order ℓ.
     pub fn order_biguint() -> &'static BigUint {
         order()

@@ -29,6 +29,7 @@
 mod bigint;
 mod crt;
 mod biguint;
+pub mod ct;
 mod mont;
 pub mod msm;
 pub mod precomp;
@@ -38,6 +39,7 @@ pub mod bn254;
 pub mod ed25519;
 
 pub use bigint::{ext_gcd, mod_inverse, BigInt, Sign};
+pub use ct::{ct_eq_bytes, ct_eq_u64s, wipe_bytes, wipe_u64s};
 pub use crt::{crt_combine, rsa_crt_pow};
 pub use biguint::BigUint;
 pub use mont::{MontTable, Montgomery};

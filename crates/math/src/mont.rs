@@ -6,11 +6,26 @@
 use crate::BigUint;
 use std::cell::RefCell;
 
+/// The thread-local window table, wrapped so thread exit volatile-wipes
+/// whatever powers of the last base are still sitting in it — `pow` is
+/// on the RSA signing path, where base and intermediates are derived
+/// from key material that must not linger in freed heap pages.
+struct PowScratch(Vec<BigUint>);
+
+impl Drop for PowScratch {
+    fn drop(&mut self) {
+        for entry in &mut self.0 {
+            entry.wipe();
+        }
+    }
+}
+
 thread_local! {
     /// Scratch table reused by every [`Montgomery::pow`] call on this
     /// thread, so the hot exponentiation path does not allocate a fresh
-    /// window-table `Vec` per call.
-    static POW_SCRATCH: RefCell<Vec<BigUint>> = const { RefCell::new(Vec::new()) };
+    /// window-table `Vec` per call. Wiped on thread exit (see
+    /// [`PowScratch`]).
+    static POW_SCRATCH: RefCell<PowScratch> = const { RefCell::new(PowScratch(Vec::new())) };
 }
 
 /// A fixed-base exponentiation table for one [`Montgomery`] context.
@@ -165,7 +180,8 @@ impl Montgomery {
         }
         let base_m = self.to_mont(base);
         POW_SCRATCH.with(|scratch| {
-            let mut table = scratch.borrow_mut();
+            let mut scratch = scratch.borrow_mut();
+            let table = &mut scratch.0;
             table.clear();
             let b2 = self.square(&base_m);
             table.push(base_m);
@@ -173,7 +189,7 @@ impl Montgomery {
                 let next = self.mul(&table[i - 1], &b2);
                 table.push(next);
             }
-            let acc = self.pow_windows(&table, exp);
+            let acc = self.pow_windows(table, exp);
             self.from_mont(&acc)
         })
     }

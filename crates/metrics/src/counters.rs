@@ -9,7 +9,7 @@
 //! All counters are monotonically increasing and updated with relaxed
 //! atomics — they are statistics, not synchronization points.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use theta_sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, lock-free counters for one instance-manager event loop.
 #[derive(Debug, Default)]
@@ -38,17 +38,27 @@ impl EventLoopCounters {
         EventLoopCounters::default()
     }
 
-    /// Adds `n` to `counter` (relaxed; statistics only).
+    /// Adds `n` to `counter`.
+    ///
+    /// Relaxed is safe because each counter is independently monotone
+    /// and nothing synchronizes *through* a counter value: readers only
+    /// conclude "at least N events happened", which a fetch_add of any
+    /// ordering supports (increments cannot be lost or torn).
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Increments `counter` by one (relaxed; statistics only).
+    /// Increments `counter` by one (relaxed; see [`Self::add`]).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A consistent-enough point-in-time copy of every counter.
+    ///
+    /// Relaxed loads: each field is individually between 0 and its true
+    /// final value (per-counter monotonicity); fields are not mutually
+    /// consistent while writers are in flight. The loom model verifies
+    /// both halves of that contract.
     pub fn snapshot(&self) -> EventLoopSnapshot {
         EventLoopSnapshot {
             wakeups: self.wakeups.load(Ordering::Relaxed),

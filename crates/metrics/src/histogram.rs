@@ -13,7 +13,7 @@
 //! the upper bound of the bucket holding the ⌈p/100·N⌉-th smallest
 //! sample, i.e. a conservative (never under-reported) estimate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use theta_sync::atomic::{AtomicU64, Ordering};
 
 /// Lowest bucket boundary: 1 µs. Values below land in bucket 0.
 const MIN_MICROS: u64 = 1;
@@ -101,18 +101,32 @@ impl Histogram {
     /// Records one duration given in microseconds.
     #[inline]
     pub fn record_micros(&self, micros: u64) {
+        // Relaxed is safe because every cell is independently monotone:
+        // no reader infers anything from the *relation* between cells,
+        // only from each cell's own value, and a fetch_add can never be
+        // torn or lost regardless of ordering. A concurrent snapshot may
+        // see the bucket increment without the sum (or vice versa) —
+        // the loom model pins down exactly that contract: every
+        // observed cell lies between 0 and its true final value, and a
+        // quiescent snapshot is exact.
         self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Total samples recorded so far.
     pub fn count(&self) -> u64 {
+        // Relaxed: each bucket is monotone (see `record_micros`); the
+        // sum over buckets is therefore a lower bound of the true count
+        // at return time and an upper bound of the count at call time.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// A consistent-enough point-in-time copy.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
+            // Relaxed: per-cell monotonicity (see `record_micros`) is
+            // the whole contract; cells are not mutually consistent
+            // while writers are in flight.
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             sum_micros: self.sum_micros.load(Ordering::Relaxed),
         }

@@ -8,14 +8,19 @@
 
 use crate::histogram::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+use theta_sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use theta_sync::{Mutex, MutexGuard};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
 impl Counter {
+    // All counter traffic is Relaxed: the value is monotone, increments
+    // cannot be lost or torn at any ordering, and no code synchronizes
+    // through a counter (readers only conclude "at least N so far").
+
     /// Increments by one.
     #[inline]
     pub fn inc(&self) {
@@ -39,6 +44,10 @@ impl Counter {
 pub struct Gauge(AtomicI64);
 
 impl Gauge {
+    // Relaxed throughout: a gauge is a single independent cell carrying
+    // a last-writer-wins statistic; add/fetch_add cannot lose updates
+    // at any ordering, and nothing orders other memory against it.
+
     /// Sets the value.
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);

@@ -13,9 +13,9 @@
 //! become the memory leak it is supposed to detect.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+use theta_sync::atomic::{AtomicU64, Ordering};
+use theta_sync::{Mutex, MutexGuard};
 
 /// What happened, in instance-lifecycle order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -210,6 +210,10 @@ impl TraceJournal {
         let mut ring = self.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
+            // Relaxed: the only writer path runs under the ring lock,
+            // so increments are already serialized; readers treat the
+            // value as a monotone statistic, never a synchronization
+            // signal.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(ev);

@@ -1,0 +1,91 @@
+//! The producer/consumer scheduling handshake, in one place.
+//!
+//! These three functions are the entire lock-free core of the worker
+//! pool: the router runs [`schedule_core`], a worker runs
+//! [`drain_apply`] followed by [`unschedule`]. They are extracted from
+//! `worker_pool` (which calls them on the real run queue) so that the
+//! loom models in `tests/loom.rs` exercise *this exact code* — not a
+//! test-only re-implementation — against every interleaving.
+//!
+//! # The invariant
+//!
+//! The `scheduled` flag means "the slot is on the run queue or a worker
+//! is draining it". The protocol:
+//!
+//! - **Producer** (`schedule_core`): push the message *first*, then
+//!   `swap(true)`. If the swap returned `false` the slot was idle and
+//!   the producer owns the duty of enqueueing it — exactly one
+//!   enqueuer per idle→scheduled transition.
+//! - **Consumer** (`unschedule`): runs only after draining the mailbox
+//!   to empty. `store(false)` first, then re-check the mailbox; if a
+//!   message is present, try to re-claim with `swap(true)`.
+//!
+//! Because the producer's push happens before its swap, a message can
+//! be missed by both sides only if the consumer's emptiness re-check
+//! happened before the push *and* the producer's swap returned `true`
+//! (someone scheduled) — but the consumer had already stored `false`,
+//! so the swap returns `false` and the producer enqueues. The loom
+//! models verify this exhaustively rather than taking the prose on
+//! faith.
+
+use crate::mailbox::{Mailbox, PushError};
+use theta_sync::atomic::{AtomicBool, Ordering};
+
+/// Producer-side handshake: enqueue `msg` and, iff the slot was idle,
+/// call `enqueue` (which must place the slot on the run queue).
+///
+/// # Errors
+///
+/// Propagates the mailbox bound ([`PushError::Full`]) or closure
+/// ([`PushError::Closed`]); the message is dropped in either case and
+/// the slot is *not* scheduled for it.
+pub fn schedule_core<T>(
+    mailbox: &Mailbox<T>,
+    scheduled: &AtomicBool,
+    msg: T,
+    enqueue: impl FnOnce(),
+) -> Result<(), PushError> {
+    mailbox.try_push(msg)?;
+    // SeqCst: the push above must be ordered before this swap so that a
+    // consumer observing `scheduled == false` in `unschedule` and then
+    // re-checking the mailbox cannot miss the message. Under any weaker
+    // ordering the push could be reordered past the swap and the
+    // handshake's "push-then-flag" argument collapses.
+    if !scheduled.swap(true, Ordering::SeqCst) {
+        enqueue();
+    }
+    Ok(())
+}
+
+/// Consumer-side handshake, run *after* the mailbox was drained to
+/// empty and the host lock released: clears the scheduled flag, then
+/// re-claims the slot iff a producer slipped a message in between.
+/// Returns `true` when the caller must put the slot back on the run
+/// queue.
+pub fn unschedule<T>(mailbox: &Mailbox<T>, scheduled: &AtomicBool) -> bool {
+    // SeqCst: the store must not sink below the emptiness re-check, or
+    // a producer could push + see `scheduled == true` (stale) while we
+    // see an empty mailbox (stale) — the lost-wakeup this module
+    // exists to prevent.
+    scheduled.store(false, Ordering::SeqCst);
+    // Producer order is push-then-swap, so either we see its message
+    // here, or it saw our store and scheduled the slot itself — a
+    // message can be missed by both sides only if it was never pushed.
+    !mailbox.is_empty() && !scheduled.swap(true, Ordering::SeqCst)
+}
+
+/// Consumer-side drain loop: repeatedly swaps the mailbox contents out
+/// and applies them in FIFO order until an observation finds it empty.
+/// `scratch` is the caller's reusable buffer (workers keep one per
+/// thread to avoid per-drain allocation).
+pub fn drain_apply<T>(mailbox: &Mailbox<T>, scratch: &mut Vec<T>, mut apply: impl FnMut(T)) {
+    loop {
+        mailbox.drain_into(scratch);
+        if scratch.is_empty() {
+            break;
+        }
+        for msg in scratch.drain(..) {
+            apply(msg);
+        }
+    }
+}

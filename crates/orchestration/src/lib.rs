@@ -26,8 +26,9 @@
 //! without limit.
 
 mod cache;
+pub mod handshake;
 mod instance_host;
-mod mailbox;
+pub mod mailbox;
 mod router;
 mod worker_pool;
 

@@ -13,7 +13,7 @@
 //! work runs.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use theta_sync::Mutex;
 
 /// Why a push was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

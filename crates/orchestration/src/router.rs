@@ -27,8 +27,8 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use rand::{RngCore, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use theta_sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use theta_codec::Decode;
 use theta_metrics::counters::EventLoopCounters;
@@ -1430,18 +1430,27 @@ mod tests {
             .wait_timeout(WAIT)
             .expect("completion");
         assert!(result.outcome.is_ok());
+        // The worker records its busy time *after* the host delivers the
+        // terminal result (the histogram write is deliberately off the
+        // result path), so poll briefly instead of reading once.
         let obs = handle.observability();
-        let busy: u64 = (0..2)
-            .map(|w| {
-                obs.registry
-                    .histogram_snapshot(
-                        theta_metrics::observability::WORKER_BUSY_HISTOGRAM,
-                        &[("worker", &w.to_string())],
-                    )
-                    .map_or(0, |s| s.count())
-            })
-            .sum();
-        assert!(busy >= 1, "no worker recorded busy time — crypto ran elsewhere?");
+        let busy_total = || -> u64 {
+            (0..2)
+                .map(|w| {
+                    obs.registry
+                        .histogram_snapshot(
+                            theta_metrics::observability::WORKER_BUSY_HISTOGRAM,
+                            &[("worker", &w.to_string())],
+                        )
+                        .map_or(0, |s| s.count())
+                })
+                .sum()
+        };
+        let deadline = std::time::Instant::now() + WAIT;
+        while busy_total() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(busy_total() >= 1, "no worker recorded busy time — crypto ran elsewhere?");
     }
 
     #[test]

@@ -11,18 +11,20 @@
 //! while distinct instances run on different workers in parallel.
 //!
 //! The handshake (push/schedule on the producer side, drain/unschedule
-//! on the consumer side) is the only clever part; it is factored into
-//! [`schedule`] and [`unschedule`] so the interleaving test can hammer
-//! it directly.
+//! on the consumer side) is the only clever part; it lives in
+//! [`crate::handshake`] so the loom models and the interleaving test
+//! hammer the exact code the pool runs.
 
+use crate::handshake::{drain_apply, schedule_core, unschedule};
 use crate::instance_host::{HostMsg, InstanceHost};
 use crate::mailbox::{Mailbox, PushError};
 use crate::InstanceId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 use theta_metrics::PoolMetrics;
+use theta_sync::atomic::AtomicBool;
+use theta_sync::Mutex;
 
 /// One live instance's scheduling state.
 pub(crate) struct InstanceSlot {
@@ -67,25 +69,10 @@ pub(crate) fn schedule(
     metrics: &PoolMetrics,
     msg: HostMsg,
 ) -> Result<(), PushError> {
-    slot.mailbox.try_push(msg)?;
-    if !slot.scheduled.swap(true, Ordering::SeqCst) {
+    schedule_core(&slot.mailbox, &slot.scheduled, msg, || {
         metrics.runqueue_depth.add(1);
         let _ = injector.send(PoolJob::Run(slot.clone()));
-    }
-    Ok(())
-}
-
-/// Consumer-side handshake, run *after* the mailbox was drained to
-/// empty and the host lock released: clears the scheduled flag, then
-/// re-claims the slot iff the producer slipped a message in between.
-/// Returns `true` when the caller must put the slot back on the run
-/// queue.
-pub(crate) fn unschedule<T>(mailbox: &Mailbox<T>, scheduled: &AtomicBool) -> bool {
-    scheduled.store(false, Ordering::SeqCst);
-    // Producer order is push-then-swap, so either we see its message
-    // here, or it saw our store and scheduled the slot itself — a
-    // message can be missed by both sides only if it was never pushed.
-    !mailbox.is_empty() && !scheduled.swap(true, Ordering::SeqCst)
+    })
 }
 
 /// Drains and applies everything in the slot's mailbox. Returns `true`
@@ -97,21 +84,15 @@ fn run_slot(slot: &InstanceSlot, scratch: &mut Vec<HostMsg>) -> bool {
             .host
             .try_lock()
             .unwrap_or_else(|_| panic!("instance {:?} scheduled on two workers at once", slot.id));
-        loop {
-            slot.mailbox.drain_into(scratch);
-            if scratch.is_empty() {
-                break;
-            }
-            for msg in scratch.drain(..) {
-                if let Some(h) = host.as_mut() {
-                    if h.handle(msg) {
-                        // Terminal: free the protocol state eagerly; any
-                        // residual mailbox traffic is discarded below.
-                        *host = None;
-                    }
+        drain_apply(&slot.mailbox, scratch, |msg| {
+            if let Some(h) = host.as_mut() {
+                if h.handle(msg) {
+                    // Terminal: free the protocol state eagerly; any
+                    // residual mailbox traffic is discarded below.
+                    *host = None;
                 }
             }
-        }
+        });
         // The guard drops here, before the flag flips, so the next
         // worker to claim the slot can never contend on the lock.
     }
@@ -182,6 +163,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use theta_sync::atomic::Ordering;
 
     /// Repeat-run interleaving harness for the mailbox/run-queue
     /// handoff: one producer races one consumer over a shared slot-like

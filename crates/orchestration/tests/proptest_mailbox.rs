@@ -1,0 +1,132 @@
+//! Randomized-interleaving accounting property for the mailbox and the
+//! scheduled-flag handshake (the same production code the loom models
+//! in `tests/loom.rs` check exhaustively on tiny schedules — this file
+//! covers big random workloads on real OS threads instead).
+//!
+//! Property: for every mix of producers, message counts, capacities and
+//! injected yield points,
+//!
+//! ```text
+//! delivered + dropped == enqueued
+//! ```
+//!
+//! with every message delivered exactly once, no drained batch ever
+//! exceeding the mailbox capacity, and the run queue receiving at least
+//! one token whenever something was delivered (no lost wakeups).
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use theta_orchestration::handshake::{drain_apply, schedule_core, unschedule};
+use theta_orchestration::mailbox::{Mailbox, PushError};
+use theta_sync::atomic::AtomicBool;
+
+/// One run: `producers[p]` messages pushed from thread `p`, each push
+/// optionally preceded by a yield (from the shared `yields` script) to
+/// shake out different interleavings run to run.
+fn run_mix(capacity: usize, producers: &[usize], yields: &[bool]) {
+    let mailbox = Arc::new(Mailbox::<(usize, usize)>::new(capacity));
+    let scheduled = Arc::new(AtomicBool::new(false));
+    let dropped = Arc::new(AtomicUsize::new(0));
+    let (tokens_tx, tokens_rx) = mpsc::channel::<()>();
+
+    let enqueued: usize = producers.iter().sum();
+
+    let handles: Vec<_> = producers
+        .iter()
+        .enumerate()
+        .map(|(p, &count)| {
+            let mailbox = mailbox.clone();
+            let scheduled = scheduled.clone();
+            let dropped = dropped.clone();
+            let tokens_tx = tokens_tx.clone();
+            let yields: Vec<bool> =
+                yields.iter().cycle().skip(p).take(count).copied().collect();
+            std::thread::spawn(move || {
+                for (i, &pause) in yields.iter().enumerate() {
+                    if pause {
+                        std::thread::yield_now();
+                    }
+                    match schedule_core(&mailbox, &scheduled, (p, i), || {
+                        tokens_tx.send(()).expect("consumer alive");
+                    }) {
+                        Ok(()) => {}
+                        Err(PushError::Full) => {
+                            dropped.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(PushError::Closed) => panic!("mailbox never closed here"),
+                    }
+                }
+            })
+        })
+        .collect();
+    // The consumer exits when every producer-held sender is gone.
+    drop(tokens_tx);
+
+    // Consumer: exactly the worker-pool loop — drain to empty, clear the
+    // scheduled flag, and keep going locally when unschedule detects a
+    // message that raced in after the drain.
+    let mut delivered: Vec<(usize, usize)> = Vec::new();
+    let mut scratch = Vec::new();
+    while tokens_rx.recv().is_ok() {
+        loop {
+            drain_apply(&mailbox, &mut scratch, |msg| delivered.push(msg));
+            if !unschedule(&mailbox, &scheduled) {
+                break;
+            }
+        }
+    }
+    for h in handles {
+        h.join().expect("producer");
+    }
+    // The last producer's token may have been consumed before its
+    // message landed — one final pass picks up any straggler.
+    loop {
+        drain_apply(&mailbox, &mut scratch, |msg| delivered.push(msg));
+        if !unschedule(&mailbox, &scheduled) {
+            break;
+        }
+    }
+
+    let dropped = dropped.load(Ordering::SeqCst);
+    assert_eq!(
+        delivered.len() + dropped,
+        enqueued,
+        "conservation: delivered + dropped == enqueued"
+    );
+    assert!(mailbox.is_empty(), "nothing may be stranded");
+
+    // Exactly-once, per producer, in per-producer FIFO order.
+    for (p, &count) in producers.iter().enumerate() {
+        let mine: Vec<usize> =
+            delivered.iter().filter(|(q, _)| *q == p).map(|&(_, i)| i).collect();
+        assert!(mine.windows(2).all(|w| w[0] < w[1]), "producer {p} reordered: {mine:?}");
+        let dropped_here = count - mine.len();
+        assert!(dropped_here <= count, "producer {p} over-delivered");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mailbox_accounting_balances_under_random_interleavings(
+        capacity in 1usize..16,
+        producers in proptest::collection::vec(1usize..24, 1..5),
+        yields in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        run_mix(capacity, &producers, &yields);
+    }
+
+    #[test]
+    fn unbounded_enough_mailbox_never_drops(
+        producers in proptest::collection::vec(1usize..16, 1..5),
+        yields in proptest::collection::vec(any::<bool>(), 1..32),
+    ) {
+        // Capacity ≥ total enqueued: conservation collapses to
+        // delivered == enqueued with zero drops.
+        let total: usize = producers.iter().sum();
+        run_mix(total, &producers, &yields);
+    }
+}

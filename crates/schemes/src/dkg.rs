@@ -95,7 +95,11 @@ impl Decode for Commitment {
 
 /// A share of one dealer's polynomial, destined for one receiver
 /// (sent over an authenticated private channel in a real deployment).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Deliberately *not* `PartialEq`: the share value is secret material,
+/// and a derived `==` would short-circuit on the first differing limb.
+/// Compare with [`DealtShare::ct_eq`].
+#[derive(Clone)]
 pub struct DealtShare {
     dealer: PartyId,
     receiver: PartyId,
@@ -111,6 +115,34 @@ impl DealtShare {
     /// The receiving party.
     pub fn receiver(&self) -> PartyId {
         self.receiver
+    }
+
+    /// Constant-time comparison: routing fields must match and the
+    /// share values are compared without short-circuiting.
+    #[must_use]
+    pub fn ct_eq(&self, other: &DealtShare) -> bool {
+        self.dealer == other.dealer
+            && self.receiver == other.receiver
+            && self.value.ct_eq(&other.value)
+    }
+}
+
+/// Redacted: only the routing metadata is printed, never the share.
+impl std::fmt::Debug for DealtShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DealtShare")
+            .field("dealer", &self.dealer)
+            .field("receiver", &self.receiver)
+            .field("value", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+/// On drop the share value is volatile-wiped so private-channel payloads
+/// never linger in freed memory.
+impl Drop for DealtShare {
+    fn drop(&mut self) {
+        self.value.wipe();
     }
 }
 
@@ -172,7 +204,7 @@ pub fn verify_dealt_share(commitment: &Commitment, share: &DealtShare) -> bool {
 }
 
 /// The output of a completed DKG at one party.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct DkgOutput {
     params: ThresholdParams,
     id: PartyId,
@@ -209,6 +241,25 @@ impl DkgOutput {
     pub fn verification_key(&self, party: PartyId) -> Option<&Point> {
         self.verification_keys
             .get(party.value().checked_sub(1)? as usize)
+    }
+}
+
+/// Redacted: the secret share never reaches logs or panic messages.
+impl std::fmt::Debug for DkgOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DkgOutput")
+            .field("params", &self.params)
+            .field("id", &self.id)
+            .field("secret_share", &"<redacted>")
+            .field("group_key", &self.group_key)
+            .finish_non_exhaustive()
+    }
+}
+
+/// On drop the party's share of the group secret is volatile-wiped.
+impl Drop for DkgOutput {
+    fn drop(&mut self) {
+        self.secret_share.wipe();
     }
 }
 
@@ -530,7 +581,11 @@ mod tests {
         let dealing = deal(params, PartyId(2), &mut r);
         let good = &dealing.shares[0];
         assert!(verify_dealt_share(&dealing.commitment, good));
-        let bad = DealtShare { value: good.value.add(&Scalar::one()), ..good.clone() };
+        let bad = DealtShare {
+            dealer: good.dealer,
+            receiver: good.receiver,
+            value: good.value.add(&Scalar::one()),
+        };
         assert!(!verify_dealt_share(&dealing.commitment, &bad));
     }
 
@@ -632,7 +687,7 @@ mod tests {
         let c = dealing.commitment.clone();
         assert_eq!(Commitment::decoded(&c.encoded()).unwrap(), c);
         let s = dealing.shares[2].clone();
-        assert_eq!(DealtShare::decoded(&s.encoded()).unwrap(), s);
+        assert!(DealtShare::decoded(&s.encoded()).unwrap().ct_eq(&s));
     }
 
     /// Runs a full reshare from `old` outputs (quorum subset) to a new
@@ -692,7 +747,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         )
         .unwrap();
-        assert_eq!(new_secret, old_secret);
+        assert!(new_secret.ct_eq(&old_secret), "reshared secret changed");
         // Verification keys are consistent with the new shares.
         for o in &new {
             assert_eq!(
@@ -723,7 +778,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         )
         .unwrap();
-        assert_eq!(new_secret, old_secret);
+        assert!(new_secret.ct_eq(&old_secret), "reshared secret changed");
     }
 
     #[test]

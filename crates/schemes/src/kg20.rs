@@ -104,7 +104,7 @@ impl Decode for PublicKey {
 }
 
 /// One party's long-term FROST signing share.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct KeyShare {
     id: PartyId,
     x_i: Scalar,
@@ -120,6 +120,33 @@ impl KeyShare {
     /// The common public key.
     pub fn public(&self) -> &PublicKey {
         &self.public
+    }
+
+    /// Constant-time comparison: ids must match and the secret halves
+    /// are compared without short-circuiting (`theta_math::ct`), so
+    /// timing reveals nothing about where two shares differ.
+    #[must_use]
+    pub fn ct_eq(&self, other: &KeyShare) -> bool {
+        self.id == other.id && self.x_i.ct_eq(&other.x_i)
+    }
+}
+
+/// Redacted: a key share must never leak its secret through logs or
+/// panic messages, so only the owner id is printed.
+impl std::fmt::Debug for KeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyShare")
+            .field("id", &self.id)
+            .field("x_i", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+/// On drop the secret scalar is wiped (volatile writes the optimizer cannot elide), so
+/// freed heap pages never retain key material.
+impl Drop for KeyShare {
+    fn drop(&mut self) {
+        self.x_i.wipe();
     }
 }
 
@@ -176,7 +203,6 @@ impl Decode for NonceCommitment {
 
 /// A party's secret round-1 nonce pair. **Single use**: consumed by
 /// [`sign_share`] so it cannot be replayed (nonce reuse leaks the key).
-#[derive(Debug)]
 pub struct SigningNonce {
     d: Scalar,
     e: Scalar,
@@ -187,6 +213,28 @@ impl SigningNonce {
     /// The public commitment to broadcast in round 1.
     pub fn commitment(&self) -> &NonceCommitment {
         &self.commitment
+    }
+}
+
+/// Redacted: a leaked nonce is as bad as a leaked key (Schnorr nonce
+/// reuse/exposure recovers the signing share), so only the public
+/// commitment is printed.
+impl std::fmt::Debug for SigningNonce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningNonce")
+            .field("d", &"<redacted>")
+            .field("e", &"<redacted>")
+            .field("commitment", &self.commitment)
+            .finish()
+    }
+}
+
+/// Wipes both secret nonce scalars when the nonce is dropped — which
+/// [`sign_share`] does immediately after computing the response.
+impl Drop for SigningNonce {
+    fn drop(&mut self) {
+        self.d.wipe();
+        self.e.wipe();
     }
 }
 

@@ -98,7 +98,7 @@ impl Decode for PublicKey {
 }
 
 /// One party's SG02 key share `x_i` plus the common public key.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct KeyShare {
     id: PartyId,
     x_i: Scalar,
@@ -114,6 +114,33 @@ impl KeyShare {
     /// The common public key.
     pub fn public(&self) -> &PublicKey {
         &self.public
+    }
+
+    /// Constant-time comparison: ids must match and the secret halves
+    /// are compared without short-circuiting (`theta_math::ct`), so
+    /// timing reveals nothing about where two shares differ.
+    #[must_use]
+    pub fn ct_eq(&self, other: &KeyShare) -> bool {
+        self.id == other.id && self.x_i.ct_eq(&other.x_i)
+    }
+}
+
+/// Redacted: a key share must never leak its secret through logs or
+/// panic messages, so only the owner id is printed.
+impl std::fmt::Debug for KeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyShare")
+            .field("id", &self.id)
+            .field("x_i", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+/// On drop the secret scalar is wiped (volatile writes the optimizer cannot elide), so
+/// freed heap pages never retain key material.
+impl Drop for KeyShare {
+    fn drop(&mut self) {
+        self.x_i.wipe();
     }
 }
 

@@ -118,7 +118,7 @@ impl Decode for PublicKey {
 }
 
 /// One party's share `s_i` of the signing exponent.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct KeyShare {
     id: PartyId,
     s_i: BigUint,
@@ -134,6 +134,33 @@ impl KeyShare {
     /// The common public key.
     pub fn public(&self) -> &PublicKey {
         &self.public
+    }
+
+    /// Constant-time comparison: ids must match and the secret halves
+    /// are compared without short-circuiting (`theta_math::ct`), so
+    /// timing reveals nothing about where two shares differ.
+    #[must_use]
+    pub fn ct_eq(&self, other: &KeyShare) -> bool {
+        self.id == other.id && self.s_i.ct_eq(&other.s_i)
+    }
+}
+
+/// Redacted: a key share must never leak its secret through logs or
+/// panic messages, so only the owner id is printed.
+impl std::fmt::Debug for KeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyShare")
+            .field("id", &self.id)
+            .field("s_i", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+/// On drop the secret exponent share is wiped (volatile writes the optimizer cannot elide), so
+/// freed heap pages never retain key material.
+impl Drop for KeyShare {
+    fn drop(&mut self) {
+        self.s_i.wipe();
     }
 }
 

@@ -2,7 +2,11 @@
 # Tier-1 CI gate: build, full test suite, the release-mode concurrency
 # stress suite, and clippy (deny warnings) workspace-wide.
 #
-# Usage: scripts/ci.sh [--no-clippy]
+# The static/dynamic analysis gate (loom model checking, secret-hygiene
+# lint, Miri/TSan) lives in scripts/analysis.sh and runs as its own CI
+# job; pass --with-analysis to chain it here locally.
+#
+# Usage: scripts/ci.sh [--no-clippy] [--with-analysis]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,13 +27,19 @@ echo "== mailbox handoff interleaving harness (release, repeated runs) =="
 RUST_BACKTRACE=1 cargo test -q --release -p theta-orchestration \
     handoff_interleaving_never_loses_messages
 
-if [[ "${1:-}" != "--no-clippy" ]] && cargo clippy --version >/dev/null 2>&1; then
+if [[ " $* " != *" --no-clippy "* ]] && cargo clippy --version >/dev/null 2>&1; then
     echo
     echo "== cargo clippy -D warnings (workspace) =="
     cargo clippy --workspace -- -D warnings
 else
     echo
     echo "== clippy skipped =="
+fi
+
+if [[ " $* " == *" --with-analysis "* ]]; then
+    echo
+    echo "== analysis gate (loom, lint, proptest, miri/tsan) =="
+    scripts/analysis.sh
 fi
 
 echo

@@ -39,6 +39,23 @@ fn metric_value(text: &str, series: &str) -> f64 {
 
 #[test]
 fn saturation_mixed_schemes_all_agree_nothing_dropped() {
+    // `THETA_STRESS_REPEATS=n` re-runs the whole mix on a fresh mesh n
+    // times. scripts/analysis.sh uses this to soak the orchestration
+    // layer under ThreadSanitizer, where a single run's interleavings
+    // are too few to trust.
+    let repeats: usize = std::env::var("THETA_STRESS_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    for rep in 1..=repeats {
+        if repeats > 1 {
+            eprintln!("stress repeat {rep}/{repeats}");
+        }
+        run_saturation_mix();
+    }
+}
+
+fn run_saturation_mix() {
     // ≥64 distinct requests in release; a lighter mix in debug so the
     // default `cargo test -q` gate stays quick on 1-core hosts.
     let per_scheme: usize = if cfg!(debug_assertions) { 6 } else { 22 };

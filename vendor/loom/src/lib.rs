@@ -1,0 +1,209 @@
+//! Offline stand-in for [`loom`](https://docs.rs/loom): systematic
+//! concurrency model checking for the API subset thetacrypt uses.
+//!
+//! The build environment has no crates registry, so like the other
+//! `vendor/` crates this re-implements exactly the surface the workspace
+//! needs: `loom::model`, `loom::thread::{spawn, yield_now}`, and the
+//! `loom::sync` mirrors of `Mutex`, `Condvar` and the atomics.
+//!
+//! # How it differs from real loom
+//!
+//! - **Exploration**: CHESS-style stateless DFS over scheduling choices
+//!   with a preemption bound (default 2, `LOOM_MAX_PREEMPTIONS` to
+//!   change, [`model_bounded`] for per-model control), instead of loom's
+//!   DPOR. Two-thread models are cheap to explore fully unbounded.
+//! - **Memory model**: executions are sequentially consistent; weaker
+//!   orderings are *executed* as `SeqCst` (interleaving bugs are caught,
+//!   compiler/CPU reordering is not — document every `Relaxed` with the
+//!   invariant that makes it safe).
+//! - **Dual mode**: outside [`model`], every primitive delegates to
+//!   `std`, so code built against these types runs normally in ordinary
+//!   tests.
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let h: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let n = n.clone();
+//!             loom::thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+//!         })
+//!         .collect();
+//!     for t in h {
+//!         t.join().unwrap();
+//!     }
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+
+mod rt;
+pub mod sync;
+
+pub use rt::{model, model_bounded};
+
+pub mod thread {
+    //! Model-aware mirrors of `std::thread` spawning.
+    pub use crate::rt::{spawn, yield_now, JoinHandle};
+}
+
+pub mod hint {
+    //! Mirror of `std::hint` spin hints (a scheduling point in a model).
+    /// Spin-loop hint; inside a model this is a scheduling point so
+    /// spin-waiting threads cannot monopolize the token.
+    pub fn spin_loop() {
+        crate::rt::yield_point();
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::{Arc, Condvar, Mutex};
+
+    /// The canonical store-buffer-free SC check: two increments always
+    /// sum to 2.
+    #[test]
+    fn counter_increments_are_atomic() {
+        crate::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    crate::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    /// The checker must FIND the classic racy read-modify-write: two
+    /// load-then-store increments can lose an update under some
+    /// schedule.
+    #[test]
+    fn finds_lost_update() {
+        let found = std::panic::catch_unwind(|| {
+            crate::model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = n.clone();
+                        crate::thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(found.is_err(), "model must discover the lost-update schedule");
+    }
+
+    /// The checker must find a lost wakeup when the flag check and the
+    /// park are not under the same critical section.
+    #[test]
+    fn finds_lost_wakeup_and_reports_deadlock() {
+        let found = std::panic::catch_unwind(|| {
+            crate::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let waiter = {
+                    let pair = pair.clone();
+                    crate::thread::spawn(move || {
+                        // BUG under test: the flag check and the park
+                        // are separate critical sections, so the notify
+                        // can land in the gap and be lost.
+                        let flagged = { *pair.0.lock().unwrap() };
+                        if !flagged {
+                            let g = pair.0.lock().unwrap();
+                            let _g = pair.1.wait(g).unwrap();
+                        }
+                    })
+                };
+                let notifier = {
+                    let pair = pair.clone();
+                    crate::thread::spawn(move || {
+                        *pair.0.lock().unwrap() = true;
+                        pair.1.notify_one();
+                    })
+                };
+                waiter.join().unwrap();
+                notifier.join().unwrap();
+            });
+        });
+        assert!(found.is_err(), "model must discover the lost-wakeup deadlock");
+    }
+
+    /// Correctly synchronized condvar handoff passes exhaustively.
+    #[test]
+    fn correct_condvar_handoff_passes() {
+        crate::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiter = {
+                let pair = pair.clone();
+                crate::thread::spawn(move || {
+                    let mut g = pair.0.lock().unwrap();
+                    while !*g {
+                        g = pair.1.wait(g).unwrap();
+                    }
+                })
+            };
+            let notifier = {
+                let pair = pair.clone();
+                crate::thread::spawn(move || {
+                    *pair.0.lock().unwrap() = true;
+                    pair.1.notify_one();
+                })
+            };
+            waiter.join().unwrap();
+            notifier.join().unwrap();
+        });
+    }
+
+    /// Mutexes provide mutual exclusion across all schedules.
+    #[test]
+    fn mutex_mutual_exclusion() {
+        crate::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    crate::thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    /// Outside a model, the primitives behave like std (dual mode).
+    #[test]
+    fn passthrough_outside_model() {
+        let m = Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+        let a = AtomicUsize::new(3);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 3);
+        let h = crate::thread::spawn(|| 7u8);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

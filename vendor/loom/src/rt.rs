@@ -1,0 +1,591 @@
+//! The scheduler: systematic exploration of thread interleavings.
+//!
+//! One execution runs every model thread on a real OS thread, but a
+//! token-passing scheduler grants the CPU to exactly one thread at a
+//! time. Every shared-memory operation (atomic access, mutex
+//! acquisition, condvar op, spawn/join/yield) first calls into
+//! [`Execution::switch`], which is a *choice point*: the scheduler picks
+//! the next thread to run, either from the prescribed replay prefix or
+//! by the default policy (keep the current thread running).
+//!
+//! [`model`] drives a depth-first enumeration over those choices: after
+//! each execution it finds the deepest choice point with an untried
+//! alternative, and replays with that prefix. Schedules are explored in
+//! lexicographic order of choice indices, so the search never repeats a
+//! schedule and terminates. A CHESS-style preemption bound keeps the
+//! space tractable for 3+-thread models; 2-thread models are typically
+//! explored unbounded (set the bound to `usize::MAX`).
+//!
+//! Soundness note: all inter-thread transitions hand the token through
+//! one `std::sync::Mutex`, so every modeled execution is sequentially
+//! consistent and data-race-free at the OS level. The checker therefore
+//! verifies *interleaving* correctness (lost wakeups, double schedules,
+//! torn accounting), not weak-memory reorderings — `Relaxed` operations
+//! are executed as `SeqCst`. Pair it with the comment-the-invariant rule
+//! for every `Ordering::Relaxed` in reviewed code.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel panic payload used to unwind every controlled thread when an
+/// execution aborts (deadlock or a real panic on another thread).
+pub(crate) struct AbortExecution;
+
+/// `current` value meaning "no thread runnable, execution complete".
+const DONE: usize = usize::MAX;
+
+/// What a controlled thread is blocked on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Resource {
+    /// Waiting to acquire the mutex with this identity.
+    Mutex(usize),
+    /// Parked on the condvar with this identity.
+    Condvar(usize),
+    /// Joining the thread with this id.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Eligible to be granted the token.
+    Ready,
+    /// Currently holds the token.
+    Running,
+    /// Not eligible until the resource is released/notified/finished.
+    Blocked(Resource),
+    /// The thread's closure returned (or unwound).
+    Finished,
+}
+
+/// One recorded scheduling decision.
+struct TraceStep {
+    /// Candidate threads in canonical order: the previously running
+    /// thread first (continuing is never a preemption), then the rest
+    /// ascending. Identical prefixes always reproduce identical
+    /// candidate lists because executions are deterministic.
+    candidates: Vec<usize>,
+    /// Index into `candidates` of the thread actually chosen.
+    chosen_idx: usize,
+    /// Preemptions consumed by the schedule before this step.
+    preemptions_before: usize,
+    /// The thread that held the token when this choice was made.
+    prev_running: usize,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    /// Thread currently granted the token (or [`DONE`]).
+    current: usize,
+    /// Replay prefix of choices (thread ids) from the DFS driver.
+    schedule: Vec<usize>,
+    /// Next choice index.
+    step: usize,
+    trace: Vec<TraceStep>,
+    /// FIFO waiters per condvar identity (assoc list keeps iteration
+    /// deterministic — no HashMap).
+    cond_waiters: Vec<(usize, VecDeque<usize>)>,
+    /// First real panic raised by any thread this execution.
+    panic_payload: Option<Box<dyn Any + Send + 'static>>,
+    aborting: bool,
+    /// Threads not yet `Finished`.
+    live: usize,
+    preemption_bound: usize,
+    preemptions_used: usize,
+}
+
+pub(crate) struct Execution {
+    inner: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution + thread id of the calling thread, when it is a
+/// controlled model thread.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// A scheduling point for the calling thread, if it is controlled.
+/// Called before every shared-memory operation.
+#[inline]
+pub(crate) fn yield_point() {
+    if let Some((exec, tid)) = current_ctx() {
+        exec.switch(tid, None);
+    }
+}
+
+impl Execution {
+    fn new(schedule: Vec<usize>, preemption_bound: usize) -> Execution {
+        Execution {
+            inner: Mutex::new(ExecState {
+                status: vec![Status::Running],
+                current: 0,
+                schedule,
+                step: 0,
+                trace: Vec::new(),
+                cond_waiters: Vec::new(),
+                panic_payload: None,
+                aborting: false,
+                live: 1,
+                preemption_bound,
+                preemptions_used: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a newly spawned thread; it starts `Ready` and runs when
+    /// first granted the token.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.inner.lock().unwrap();
+        st.status.push(Status::Ready);
+        st.live += 1;
+        assert!(st.status.len() <= 16, "loom-lite: too many model threads");
+        st.status.len() - 1
+    }
+
+    /// Blocks a freshly spawned thread until the scheduler first grants
+    /// it the token.
+    fn wait_first_grant(&self, tid: usize) {
+        let mut st = self.inner.lock().unwrap();
+        while st.current != tid && !st.aborting {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        st.status[tid] = Status::Running;
+    }
+
+    /// The core choice point: records `tid`'s new status, lets the
+    /// scheduler pick the next thread, and blocks until `tid` is granted
+    /// the token again. `block_on == None` means "still runnable".
+    pub(crate) fn switch(&self, tid: usize, block_on: Option<Resource>) {
+        let mut st = self.inner.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        st.status[tid] = match block_on {
+            None => Status::Ready,
+            Some(r) => Status::Blocked(r),
+        };
+        self.choose_next(&mut st, tid);
+        self.cv.notify_all();
+        while st.current != tid && !st.aborting {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        st.status[tid] = Status::Running;
+    }
+
+    /// Picks the next thread to grant. Default policy: keep `prev`
+    /// running (non-preemptive), else the lowest-id ready thread. A
+    /// replay prefix overrides the default.
+    fn choose_next(&self, st: &mut ExecState, prev: usize) {
+        let mut candidates: Vec<usize> = Vec::new();
+        if matches!(st.status[prev], Status::Ready) {
+            candidates.push(prev);
+        }
+        for t in 0..st.status.len() {
+            if t != prev && matches!(st.status[t], Status::Ready) {
+                candidates.push(t);
+            }
+        }
+        if candidates.is_empty() {
+            if st.live == 0 {
+                st.current = DONE;
+                return;
+            }
+            // Threads alive but none runnable: deadlock. Abort and
+            // report with the schedule that got here.
+            let blocked: Vec<(usize, Resource)> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    Status::Blocked(r) => Some((t, *r)),
+                    _ => None,
+                })
+                .collect();
+            st.panic_payload.get_or_insert_with(|| {
+                Box::new(format!(
+                    "loom-lite: deadlock — blocked threads {blocked:?}, schedule {:?}",
+                    st.trace
+                        .iter()
+                        .map(|s| s.candidates[s.chosen_idx])
+                        .collect::<Vec<_>>()
+                ))
+            });
+            st.aborting = true;
+            return;
+        }
+        let chosen = if st.step < st.schedule.len() {
+            let c = st.schedule[st.step];
+            assert!(
+                candidates.contains(&c),
+                "loom-lite: nondeterministic execution — replay prescribed thread {c} \
+                 but candidates are {candidates:?} at step {} (model code must be \
+                 deterministic: no time, randomness or HashMap iteration)",
+                st.step
+            );
+            c
+        } else {
+            candidates[0]
+        };
+        let chosen_idx = candidates.iter().position(|&t| t == chosen).unwrap();
+        let is_preempt = candidates.first() == Some(&prev) && chosen != prev;
+        st.trace.push(TraceStep {
+            candidates,
+            chosen_idx,
+            preemptions_before: st.preemptions_used,
+            prev_running: prev,
+        });
+        if is_preempt {
+            st.preemptions_used += 1;
+        }
+        st.step += 1;
+        st.current = chosen;
+    }
+
+    /// Marks `tid` finished, wakes joiners, records a real panic (which
+    /// aborts the whole execution), and hands the token onward.
+    fn thread_finished(&self, tid: usize, panic: Option<Box<dyn Any + Send + 'static>>) {
+        let mut st = self.inner.lock().unwrap();
+        st.status[tid] = Status::Finished;
+        st.live -= 1;
+        for t in 0..st.status.len() {
+            if st.status[t] == Status::Blocked(Resource::Join(tid)) {
+                st.status[t] = Status::Ready;
+            }
+        }
+        if let Some(p) = panic {
+            if st.panic_payload.is_none() {
+                st.panic_payload = Some(p);
+            }
+            st.aborting = true;
+        }
+        if !st.aborting {
+            self.choose_next(&mut st, tid);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the controller until every model thread has finished
+    /// (normally or via abort-unwind).
+    fn wait_all_finished(&self) {
+        let mut st = self.inner.lock().unwrap();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    // ---- resource hooks used by the sync primitives ----
+
+    /// Wakes every thread blocked acquiring the mutex `addr`. They
+    /// re-attempt `try_lock` when next scheduled; exactly one wins.
+    pub(crate) fn mutex_released(&self, addr: usize) {
+        let mut st = self.inner.lock().unwrap();
+        for t in 0..st.status.len() {
+            if st.status[t] == Status::Blocked(Resource::Mutex(addr)) {
+                st.status[t] = Status::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks `tid` until `mutex_released(addr)` makes it ready again.
+    pub(crate) fn block_on_mutex(&self, tid: usize, addr: usize) {
+        self.switch(tid, Some(Resource::Mutex(addr)));
+    }
+
+    /// Parks `tid` on condvar `addr`. The caller must have released the
+    /// associated mutex first; because `tid` still holds the token until
+    /// the switch below, no notifier can run in between — the
+    /// release-and-wait pair is atomic exactly like a real condvar.
+    pub(crate) fn condvar_wait(&self, tid: usize, addr: usize) {
+        {
+            let mut st = self.inner.lock().unwrap();
+            match st.cond_waiters.iter_mut().find(|(a, _)| *a == addr) {
+                Some((_, q)) => q.push_back(tid),
+                None => {
+                    let mut q = VecDeque::new();
+                    q.push_back(tid);
+                    st.cond_waiters.push((addr, q));
+                }
+            }
+        }
+        self.switch(tid, Some(Resource::Condvar(addr)));
+    }
+
+    /// Readies the longest-waiting thread parked on `addr` (it still
+    /// must re-acquire the mutex). A notify with no waiters is lost —
+    /// exactly the semantics lost-wakeup bugs depend on.
+    pub(crate) fn condvar_notify_one(&self, addr: usize) {
+        let mut st = self.inner.lock().unwrap();
+        let woken = st
+            .cond_waiters
+            .iter_mut()
+            .find(|(a, _)| *a == addr)
+            .and_then(|(_, q)| q.pop_front());
+        if let Some(t) = woken {
+            st.status[t] = Status::Ready;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Readies every thread parked on `addr`.
+    pub(crate) fn condvar_notify_all(&self, addr: usize) {
+        let mut st = self.inner.lock().unwrap();
+        let woken: Vec<usize> = st
+            .cond_waiters
+            .iter_mut()
+            .find(|(a, _)| *a == addr)
+            .map(|(_, q)| q.drain(..).collect())
+            .unwrap_or_default();
+        for t in woken {
+            st.status[t] = Status::Ready;
+        }
+        self.cv.notify_all();
+    }
+
+    /// True once thread `target` has finished.
+    #[allow(dead_code)] // kept for parity with JoinHandle::is_finished
+    pub(crate) fn is_finished(&self, target: usize) -> bool {
+        matches!(self.inner.lock().unwrap().status[target], Status::Finished)
+    }
+
+    /// Blocks `tid` until `target` finishes.
+    pub(crate) fn block_on_join(&self, tid: usize, target: usize) {
+        let blocked = {
+            let st = self.inner.lock().unwrap();
+            !matches!(st.status[target], Status::Finished)
+        };
+        if blocked {
+            self.switch(tid, Some(Resource::Join(target)));
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.inner.lock().unwrap().panic_payload.take()
+    }
+
+    /// The choices actually taken this execution, for failure reports.
+    fn choices(&self) -> Vec<usize> {
+        self.inner
+            .lock()
+            .unwrap()
+            .trace
+            .iter()
+            .map(|s| s.candidates[s.chosen_idx])
+            .collect()
+    }
+
+    /// The lexicographically next unexplored schedule under the
+    /// preemption bound, or `None` when the space is exhausted.
+    fn next_schedule(&self) -> Option<Vec<usize>> {
+        let st = self.inner.lock().unwrap();
+        for i in (0..st.trace.len()).rev() {
+            let step = &st.trace[i];
+            for alt_idx in step.chosen_idx + 1..step.candidates.len() {
+                let is_preempt = step.candidates.first() == Some(&step.prev_running)
+                    && step.candidates[alt_idx] != step.prev_running;
+                let used = step.preemptions_before + usize::from(is_preempt);
+                if used > st.preemption_bound {
+                    continue;
+                }
+                let mut sched: Vec<usize> = st.trace[..i]
+                    .iter()
+                    .map(|s| s.candidates[s.chosen_idx])
+                    .collect();
+                sched.push(step.candidates[alt_idx]);
+                return Some(sched);
+            }
+        }
+        None
+    }
+}
+
+// ---- thread support ----
+
+enum HandleInner<T> {
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        inner: std::thread::JoinHandle<Option<T>>,
+    },
+    Plain(std::thread::JoinHandle<T>),
+}
+
+/// Mirror of `std::thread::JoinHandle` for controlled threads.
+pub struct JoinHandle<T> {
+    inner: HandleInner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Mirror of `std::thread::JoinHandle::join`. Inside a model the
+    /// join is a blocking scheduling point.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            HandleInner::Model { exec, tid, inner } => {
+                if let Some((ctx_exec, self_tid)) = current_ctx() {
+                    debug_assert!(Arc::ptr_eq(&ctx_exec, &exec));
+                    ctx_exec.block_on_join(self_tid, tid);
+                }
+                match inner.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // The closure panicked; the wrapper already recorded
+                    // the payload and aborted the execution, so unwind
+                    // the joiner too.
+                    Ok(None) | Err(_) => std::panic::panic_any(AbortExecution),
+                }
+            }
+            HandleInner::Plain(h) => h.join(),
+        }
+    }
+}
+
+/// Mirror of `std::thread::spawn`: controlled inside a model,
+/// passthrough outside.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        Some((exec, _)) => {
+            let tid = exec.register_thread();
+            let exec2 = exec.clone();
+            let inner = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    set_ctx(exec2.clone(), tid);
+                    exec2.wait_first_grant(tid);
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    clear_ctx();
+                    match result {
+                        Ok(v) => {
+                            exec2.thread_finished(tid, None);
+                            Some(v)
+                        }
+                        Err(p) => {
+                            let real = if p.is::<AbortExecution>() { None } else { Some(p) };
+                            exec2.thread_finished(tid, real);
+                            None
+                        }
+                    }
+                })
+                .expect("spawn model thread");
+            JoinHandle { inner: HandleInner::Model { exec, tid, inner } }
+        }
+        None => JoinHandle { inner: HandleInner::Plain(std::thread::spawn(f)) },
+    }
+}
+
+/// Mirror of `std::thread::yield_now`: a pure scheduling point inside a
+/// model.
+pub fn yield_now() {
+    match current_ctx() {
+        Some((exec, tid)) => exec.switch(tid, None),
+        None => std::thread::yield_now(),
+    }
+}
+
+// ---- the DFS driver ----
+
+/// Serializes model executions within one process: the scheduler state
+/// is per-execution, but tests run on multiple threads.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Explores every schedule of `f` within `preemption_bound` context
+/// switches away from the non-preemptive baseline. `usize::MAX` means
+/// full exhaustive search (feasible for 2-thread models).
+///
+/// Panics (propagating the model's own panic, with the failing schedule
+/// on stderr) when any execution fails an assertion or deadlocks.
+pub fn model_bounded<F>(preemption_bound: usize, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let f = Arc::new(f);
+    let max_execs = env_usize("LOOM_MAX_BRANCHES", 1_000_000);
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut executions: usize = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= max_execs,
+            "loom-lite: exceeded {max_execs} executions — shrink the model or raise LOOM_MAX_BRANCHES"
+        );
+        let exec = Arc::new(Execution::new(schedule.clone(), preemption_bound));
+        let exec_root = exec.clone();
+        let f_run = f.clone();
+        let root = std::thread::Builder::new()
+            .name("loom-0".into())
+            .spawn(move || {
+                set_ctx(exec_root.clone(), 0);
+                let result = catch_unwind(AssertUnwindSafe(|| f_run()));
+                clear_ctx();
+                match result {
+                    Ok(()) => exec_root.thread_finished(0, None),
+                    Err(p) => {
+                        let real = if p.is::<AbortExecution>() { None } else { Some(p) };
+                        exec_root.thread_finished(0, real);
+                    }
+                }
+            })
+            .expect("spawn model root thread");
+        exec.wait_all_finished();
+        let _ = root.join();
+        if let Some(p) = exec.take_panic() {
+            eprintln!(
+                "loom-lite: execution {executions} failed with schedule {:?}",
+                exec.choices()
+            );
+            if let Some(msg) = p.downcast_ref::<String>() {
+                eprintln!("loom-lite: failure: {msg}");
+            }
+            resume_unwind(p);
+        }
+        match exec.next_schedule() {
+            Some(s) => schedule = s,
+            None => break,
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom-lite: explored {executions} executions exhaustively (preemption bound {preemption_bound})");
+    }
+}
+
+/// Explores every schedule of `f` under the default preemption bound
+/// (`LOOM_MAX_PREEMPTIONS`, default 2 — the CHESS result: almost all
+/// interleaving bugs manifest within two preemptions).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_bounded(env_usize("LOOM_MAX_PREEMPTIONS", 2), f);
+}

@@ -1,0 +1,407 @@
+//! Model-aware mirrors of `std::sync` primitives.
+//!
+//! Every type here is dual-mode: inside a [`crate::model`] execution the
+//! operations are scheduling points driven by the exploration runtime;
+//! outside a model they delegate straight to `std`, so code compiled
+//! against these types keeps working in ordinary tests and binaries.
+
+use crate::rt::{self, current_ctx};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Model-aware atomics. Inside a model every operation is a
+    //! scheduling point and executes with `SeqCst` semantics regardless
+    //! of the requested ordering: the checker explores interleavings
+    //! under sequential consistency (see the soundness note on
+    //! [`crate::model`]); it does not model weak-memory reordering.
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! numeric_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-aware mirror of `std::sync::atomic` counterpart.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Mirror of the std constructor.
+                pub const fn new(v: $ty) -> Self {
+                    Self { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                /// Loads the value (scheduling point inside a model).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Stores `v` (scheduling point inside a model).
+                pub fn store(&self, v: $ty, _order: Ordering) {
+                    rt::yield_point();
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                /// Swaps in `v`, returning the previous value.
+                pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Adds `v`, returning the previous value.
+                pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Subtracts `v`, returning the previous value.
+                pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Bitwise-or with `v`, returning the previous value.
+                pub fn fetch_or(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.inner.fetch_or(v, Ordering::SeqCst)
+                }
+
+                /// Bitwise-and with `v`, returning the previous value.
+                pub fn fetch_and(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.inner.fetch_and(v, Ordering::SeqCst)
+                }
+
+                /// Mirror of std `compare_exchange`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::yield_point();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Mirror of std `compare_exchange_weak` (never fails
+                /// spuriously in the model — spurious failure is a
+                /// hardware artifact, not an interleaving).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the inner value.
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+
+                /// Mutable access without synchronization.
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    numeric_atomic!(AtomicUsize, AtomicUsize, usize);
+    numeric_atomic!(AtomicU32, AtomicU32, u32);
+    numeric_atomic!(AtomicU64, AtomicU64, u64);
+    numeric_atomic!(AtomicI64, AtomicI64, i64);
+
+    /// Model-aware mirror of `std::sync::atomic::AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Mirror of the std constructor.
+        pub const fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        /// Loads the value (scheduling point inside a model).
+        pub fn load(&self, _order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Stores `v` (scheduling point inside a model).
+        pub fn store(&self, v: bool, _order: Ordering) {
+            rt::yield_point();
+            self.inner.store(v, Ordering::SeqCst)
+        }
+
+        /// Swaps in `v`, returning the previous value.
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+
+        /// Mirror of std `compare_exchange`.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::yield_point();
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+
+        /// Bitwise-or with `v`, returning the previous value.
+        pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.fetch_or(v, Ordering::SeqCst)
+        }
+
+        /// Bitwise-and with `v`, returning the previous value.
+        pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.fetch_and(v, Ordering::SeqCst)
+        }
+
+        /// Consumes the atomic, returning the inner value.
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+
+    /// Model-aware memory fence (a scheduling point; `SeqCst` inside).
+    pub fn fence(_order: Ordering) {
+        rt::yield_point();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+}
+
+/// Model-aware mirror of `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it wakes model threads
+/// blocked on the same mutex.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `None` only after the guard was dismantled for a condvar wait.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Mirror of the std constructor.
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(t) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// The identity used for scheduler bookkeeping. Addresses are
+    /// stable for the lifetime of the mutex, which spans the execution.
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    fn wrap<'a>(&'a self, guard: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard { guard: Some(guard), lock: self }
+    }
+
+    /// Mirror of std `lock`. Inside a model, acquisition is a
+    /// scheduling point and contention blocks the model thread.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some((exec, tid)) => loop {
+                exec.switch(tid, None);
+                match self.inner.try_lock() {
+                    Ok(g) => return Ok(self.wrap(g)),
+                    Err(TryLockError::WouldBlock) => exec.block_on_mutex(tid, self.addr()),
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(self.wrap(e.into_inner())));
+                    }
+                }
+            },
+            None => match self.inner.lock() {
+                Ok(g) => Ok(self.wrap(g)),
+                Err(e) => Err(PoisonError::new(self.wrap(e.into_inner()))),
+            },
+        }
+    }
+
+    /// Mirror of std `try_lock` (a scheduling point, never blocks).
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if current_ctx().is_some() {
+            rt::yield_point();
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Ok(self.wrap(g)),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(e)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(self.wrap(e.into_inner()))))
+            }
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard dismantled")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard dismantled")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.guard.take() {
+            drop(g);
+            if let Some((exec, _tid)) = current_ctx() {
+                exec.mutex_released(self.lock.addr());
+            }
+        }
+    }
+}
+
+/// Result of a timed condvar wait (mirrors `std::sync::WaitTimeoutResult`,
+/// which has no public constructor).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-aware mirror of `std::sync::Condvar`. The modeled semantics
+/// are exactly the ones lost-wakeup bugs depend on: a notify with no
+/// parked waiter is lost.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Mirror of the std constructor.
+    pub const fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    /// Mirror of std `wait`: atomically releases the mutex and parks.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                let lock = guard.lock;
+                // The park-and-release pair is atomic with respect to
+                // other model threads: this thread holds the scheduler
+                // token from here until the switch inside condvar_wait.
+                drop(guard);
+                exec.condvar_wait(tid, self.addr());
+                lock.lock()
+            }
+            None => {
+                let lock = guard.lock;
+                let inner = guard.guard.take().expect("guard dismantled");
+                match self.inner.wait(inner) {
+                    Ok(g) => Ok(lock.wrap(g)),
+                    Err(e) => Err(PoisonError::new(lock.wrap(e.into_inner()))),
+                }
+            }
+        }
+    }
+
+    /// Mirror of std `wait_timeout`. Inside a model the timeout is not
+    /// modeled (time is not part of the state space): the wait behaves
+    /// like [`Condvar::wait`], and code whose *correctness* (rather than
+    /// liveness) depends on the timeout firing will be reported as a
+    /// deadlock by the scheduler.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match current_ctx() {
+            Some(_) => match self.wait(guard) {
+                Ok(g) => Ok((g, WaitTimeoutResult { timed_out: false })),
+                Err(e) => {
+                    let g = e.into_inner();
+                    Err(PoisonError::new((g, WaitTimeoutResult { timed_out: false })))
+                }
+            },
+            None => {
+                let lock = guard.lock;
+                let mut guard = guard;
+                let inner = guard.guard.take().expect("guard dismantled");
+                match self.inner.wait_timeout(inner, dur) {
+                    Ok((g, t)) => {
+                        Ok((lock.wrap(g), WaitTimeoutResult { timed_out: t.timed_out() }))
+                    }
+                    Err(e) => {
+                        let (g, t) = e.into_inner();
+                        Err(PoisonError::new((
+                            lock.wrap(g),
+                            WaitTimeoutResult { timed_out: t.timed_out() },
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirror of std `notify_one` (a scheduling point).
+    pub fn notify_one(&self) {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                exec.switch(tid, None);
+                exec.condvar_notify_one(self.addr());
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Mirror of std `notify_all` (a scheduling point).
+    pub fn notify_all(&self) {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                exec.switch(tid, None);
+                exec.condvar_notify_all(self.addr());
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
