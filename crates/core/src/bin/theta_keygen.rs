@@ -6,9 +6,10 @@
 //! theta-keygen --t 1 --n 4 --schemes sg02,bls04,cks05 --out ./keys
 //! ```
 
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use theta_codec::Encode;
-use theta_core::keyfile::{encode_public, NodeKeyFile};
+use theta_core::keyfile::{encode_public_with_roster, NodeKeyFile};
+use theta_network::handshake::{IdentitySeed, StaticIdentity};
 use theta_schemes::registry::SchemeId;
 use theta_schemes::ThresholdParams;
 use theta_service::PublicKeyChest;
@@ -86,9 +87,21 @@ fn main() {
     };
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
+    // Deal each node a static transport identity alongside its shares:
+    // the Noise-IK handshake authenticates mesh links against the
+    // roster of derived public keys written into the public key file.
+    print!("generating transport identities... ");
+    let mut roster = Vec::with_capacity(args.n as usize);
     let mut node_files: Vec<NodeKeyFile> = (1..=args.n)
-        .map(|id| NodeKeyFile { node_id: id, ..Default::default() })
+        .map(|id| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            let seed = IdentitySeed::new(seed);
+            roster.push(StaticIdentity::from_seed(&seed).public_bytes());
+            NodeKeyFile { node_id: id, identity_seed: Some(seed), ..Default::default() }
+        })
         .collect();
+    println!("done");
     let mut public = PublicKeyChest::default();
 
     for scheme in &args.schemes {
@@ -152,8 +165,9 @@ fn main() {
         println!("wrote {}", path.display());
     }
     let pub_path = args.out.join("public.keys");
-    std::fs::write(&pub_path, encode_public(&public)).expect("write public key file");
-    println!("wrote {}", pub_path.display());
+    std::fs::write(&pub_path, encode_public_with_roster(&public, &roster))
+        .expect("write public key file");
+    println!("wrote {} (including the {}-node mesh roster)", pub_path.display(), args.n);
     println!(
         "dealt a {}-out-of-{} deployment for {} scheme(s)",
         params.quorum(),

@@ -10,11 +10,21 @@
 //!
 //! Peer `i` in the list is node `i+1`'s mesh address; the node binds its
 //! own entry. Node 1 doubles as the TOB sequencer.
+//!
+//! Every mesh link is authenticated and encrypted: the node's key file
+//! carries its static transport identity, the public key file carries
+//! the roster, and connection setup runs the Noise-IK handshake before
+//! any protocol byte flows. `--mesh-degree D` (with `D > 0`) joins the
+//! gossip/flood overlay with ≈D links per node instead of the `n-1`
+//! links of the full mesh — the mode for fleets too large to fully
+//! connect.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
-use theta_core::keyfile::{self, decode_public};
+use theta_core::keyfile::{self, decode_public_with_roster};
+use theta_network::gossip::GossipMesh;
+use theta_network::handshake::{MeshAuth, Roster, StaticIdentity};
 use theta_network::tcp::TcpMesh;
 use theta_network::Network;
 use theta_orchestration::{spawn_node, NodeConfig};
@@ -27,6 +37,7 @@ struct Args {
     peers: Vec<SocketAddr>,
     rpc: SocketAddr,
     workers: usize,
+    mesh_degree: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut peers = None;
     let mut rpc = None;
     let mut workers = 0;
+    let mut mesh_degree = 0;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -46,6 +58,10 @@ fn parse_args() -> Result<Args, String> {
             "--rpc" => rpc = Some(value()?.parse().map_err(|e| format!("--rpc: {e}"))?),
             "--workers" => {
                 workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--mesh-degree" => {
+                mesh_degree =
+                    value()?.parse().map_err(|e| format!("--mesh-degree: {e}"))?;
             }
             "--peers" => {
                 peers = Some(
@@ -65,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         peers: peers.ok_or("--peers is required")?,
         rpc: rpc.ok_or("--rpc is required")?,
         workers,
+        mesh_degree,
     })
 }
 
@@ -75,7 +92,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: theta-node --id I --keys FILE --public FILE \
-                 --peers a1,a2,... --rpc ADDR [--workers N]"
+                 --peers a1,a2,... --rpc ADDR [--workers N] [--mesh-degree D]"
             );
             std::process::exit(2);
         }
@@ -84,7 +101,7 @@ fn main() {
     let mut key_bytes = std::fs::read(&args.keys).expect("read node key file");
     // decode_node_key volatile-wipes key_bytes: the on-disk encoding is
     // the secret shares themselves and must not linger in this buffer.
-    let key_file =
+    let mut key_file =
         keyfile::decode_node_key(&mut key_bytes).expect("parse node key file");
     assert_eq!(
         key_file.node_id, args.id,
@@ -92,19 +109,56 @@ fn main() {
         key_file.node_id, args.id
     );
     let public_bytes = std::fs::read(&args.public).expect("read public key file");
-    let public = decode_public(&public_bytes).expect("parse public key file");
+    let (public, roster_bytes) =
+        decode_public_with_roster(&public_bytes).expect("parse public key file");
 
-    println!(
-        "node {} joining a {}-node mesh (TOB sequencer: node 1)...",
-        args.id,
+    let seed = key_file.identity_seed.take().unwrap_or_else(|| {
+        panic!(
+            "key file {} has no transport identity — re-deal with theta-keygen",
+            args.keys.display()
+        )
+    });
+    assert!(
+        !roster_bytes.is_empty(),
+        "public key file {} has no mesh roster — re-deal with theta-keygen",
+        args.public.display()
+    );
+    assert_eq!(
+        roster_bytes.len(),
+        args.peers.len(),
+        "roster covers {} nodes but --peers lists {}",
+        roster_bytes.len(),
         args.peers.len()
     );
-    let mesh = TcpMesh::connect(args.id, &args.peers).expect("mesh setup");
-    println!("mesh connected");
+    let auth = MeshAuth {
+        identity: StaticIdentity::from_seed(&seed),
+        roster: Roster::from_bytes(&roster_bytes).expect("validate mesh roster"),
+    };
+    drop(seed); // wiped on drop; the derived identity lives on in auth
+
+    println!(
+        "node {} joining a {}-node mesh (TOB sequencer: node 1, links: {})...",
+        args.id,
+        args.peers.len(),
+        if args.mesh_degree == 0 {
+            "full mesh".to_string()
+        } else {
+            format!("gossip, degree {}", args.mesh_degree)
+        }
+    );
+    let mesh: Box<dyn Network> = if args.mesh_degree == 0 {
+        Box::new(TcpMesh::connect(args.id, &args.peers, auth).expect("mesh setup"))
+    } else {
+        Box::new(
+            GossipMesh::connect(args.id, &args.peers, auth, args.mesh_degree)
+                .expect("mesh setup"),
+        )
+    };
+    println!("mesh connected (all links authenticated + encrypted)");
 
     let handle = Arc::new(spawn_node(
         key_file.into_chest(),
-        Box::new(mesh) as Box<dyn Network>,
+        mesh,
         NodeConfig { worker_threads: args.workers, ..NodeConfig::default() },
     ));
     let service = serve(args.rpc, handle, public, Duration::from_secs(60))

@@ -4,6 +4,7 @@
 //! provisioned into each node's security domain).
 
 use theta_codec::{Decode, Encode, Reader, Writer};
+use theta_network::handshake::IdentitySeed;
 use theta_orchestration::KeyChest;
 use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00};
 use theta_service::PublicKeyChest;
@@ -30,6 +31,11 @@ pub struct NodeKeyFile {
     pub kg20: Option<kg20::KeyShare>,
     /// CKS05 share.
     pub cks05: Option<cks05::KeyShare>,
+    /// Seed of this node's static transport identity (the Noise-IK
+    /// handshake key). Absent in key files dealt before the encrypted
+    /// transport existed; such nodes can only join unauthenticated
+    /// test meshes.
+    pub identity_seed: Option<IdentitySeed>,
 }
 
 impl NodeKeyFile {
@@ -89,6 +95,13 @@ impl Encode for NodeKeyFile {
         put_opt(w, &self.bls04);
         put_opt(w, &self.kg20);
         put_opt(w, &self.cks05);
+        match &self.identity_seed {
+            None => false.encode(w),
+            Some(seed) => {
+                true.encode(w);
+                w.put_raw(seed.bytes());
+            }
+        }
     }
 }
 
@@ -100,20 +113,36 @@ impl Decode for NodeKeyFile {
                 "not a theta node key file".into(),
             ));
         }
-        Ok(NodeKeyFile {
-            node_id: u16::decode(r)?,
-            sg02: get_opt(r)?,
-            bz03: get_opt(r)?,
-            sh00: get_opt(r)?,
-            bls04: get_opt(r)?,
-            kg20: get_opt(r)?,
-            cks05: get_opt(r)?,
-        })
+        let node_id = u16::decode(r)?;
+        let sg02 = get_opt(r)?;
+        let bz03 = get_opt(r)?;
+        let sh00 = get_opt(r)?;
+        let bls04 = get_opt(r)?;
+        let kg20 = get_opt(r)?;
+        let cks05 = get_opt(r)?;
+        // Key files dealt before the encrypted transport end here.
+        let identity_seed = if r.is_at_end() {
+            None
+        } else if bool::decode(r)? {
+            let mut seed = [0u8; 32];
+            seed.copy_from_slice(r.take(32)?);
+            Some(IdentitySeed::new(seed))
+        } else {
+            None
+        };
+        Ok(NodeKeyFile { node_id, sg02, bz03, sh00, bls04, kg20, cks05, identity_seed })
     }
 }
 
-/// Serializes a public key chest with a file magic.
+/// Serializes a public key chest with a file magic (no mesh roster —
+/// kept for unauthenticated/test deployments).
 pub fn encode_public(keys: &PublicKeyChest) -> Vec<u8> {
+    encode_public_with_roster(keys, &[])
+}
+
+/// Serializes a public key chest plus the mesh roster (each node's
+/// static transport public key, compressed, in id order).
+pub fn encode_public_with_roster(keys: &PublicKeyChest, roster: &[[u8; 32]]) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_raw(PUBLIC_MAGIC);
     put_opt(&mut w, &keys.sg02);
@@ -122,15 +151,35 @@ pub fn encode_public(keys: &PublicKeyChest) -> Vec<u8> {
     put_opt(&mut w, &keys.bls04);
     put_opt(&mut w, &keys.kg20);
     put_opt(&mut w, &keys.cks05);
+    if !roster.is_empty() {
+        (roster.len() as u16).encode(&mut w);
+        for entry in roster {
+            w.put_raw(entry);
+        }
+    }
     w.into_bytes()
 }
 
-/// Parses a public key file.
+/// Parses a public key file, dropping any roster (see
+/// [`decode_public_with_roster`]).
 ///
 /// # Errors
 ///
 /// [`theta_codec::CodecError`] on malformed input.
 pub fn decode_public(bytes: &[u8]) -> theta_codec::Result<PublicKeyChest> {
+    decode_public_with_roster(bytes).map(|(keys, _)| keys)
+}
+
+/// Parses a public key file including the mesh roster. Files written
+/// before the encrypted transport (or with an empty roster) decode to
+/// an empty roster vector.
+///
+/// # Errors
+///
+/// [`theta_codec::CodecError`] on malformed input.
+pub fn decode_public_with_roster(
+    bytes: &[u8],
+) -> theta_codec::Result<(PublicKeyChest, Vec<[u8; 32]>)> {
     let mut r = Reader::new(bytes);
     let magic = r.take(8)?;
     if magic != PUBLIC_MAGIC {
@@ -146,10 +195,19 @@ pub fn decode_public(bytes: &[u8]) -> theta_codec::Result<PublicKeyChest> {
         kg20: get_opt(&mut r)?,
         cks05: get_opt(&mut r)?,
     };
+    let mut roster = Vec::new();
+    if !r.is_at_end() {
+        let count = u16::decode(&mut r)?;
+        for _ in 0..count {
+            let mut entry = [0u8; 32];
+            entry.copy_from_slice(r.take(32)?);
+            roster.push(entry);
+        }
+    }
     if !r.is_at_end() {
         return Err(theta_codec::CodecError::TrailingBytes(r.remaining()));
     }
-    Ok(keys)
+    Ok((keys, roster))
 }
 
 #[cfg(test)]
@@ -210,6 +268,45 @@ mod tests {
         let bytes = encode_public(&chest);
         let back = decode_public(&bytes).unwrap();
         assert_eq!(back, chest);
+    }
+
+    #[test]
+    fn identity_seed_roundtrips_and_is_optional() {
+        let file = NodeKeyFile {
+            node_id: 3,
+            identity_seed: Some(IdentitySeed::new([7u8; 32])),
+            ..Default::default()
+        };
+        let decoded = NodeKeyFile::decoded(&file.encoded()).unwrap();
+        assert_eq!(decoded.identity_seed.as_ref().unwrap().bytes(), &[7u8; 32]);
+
+        // A pre-transport key file (no trailing identity field) still
+        // decodes, with no identity.
+        let bare = NodeKeyFile { node_id: 4, ..Default::default() };
+        let mut bytes = bare.encoded();
+        bytes.truncate(bytes.len() - 1); // drop the identity presence flag
+        let decoded = NodeKeyFile::decoded(&bytes).unwrap();
+        assert_eq!(decoded.node_id, 4);
+        assert!(decoded.identity_seed.is_none());
+    }
+
+    #[test]
+    fn public_key_file_carries_the_roster() {
+        use theta_network::handshake::{MeshAuth, Roster};
+        let auth = MeshAuth::insecure_dev(1, 3, 99);
+        let roster_bytes = auth.roster.to_bytes();
+        let chest = PublicKeyChest::default();
+        let bytes = encode_public_with_roster(&chest, &roster_bytes);
+        let (keys, roster) = decode_public_with_roster(&bytes).unwrap();
+        assert_eq!(keys, chest);
+        assert_eq!(roster, roster_bytes);
+        // The roster entries revalidate as curve points.
+        assert!(Roster::from_bytes(&roster).is_ok());
+        // The roster-less reader still works on the same file.
+        assert_eq!(decode_public(&bytes).unwrap(), chest);
+        // And a roster-less file yields an empty roster.
+        let (_, empty) = decode_public_with_roster(&encode_public(&chest)).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -35,7 +35,19 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Types that are secret-bearing by name, wherever they are defined.
-const SECRET_TYPE_NAMES: &[&str] = &["KeyShare", "DealtShare", "DkgOutput", "SigningNonce"];
+const SECRET_TYPE_NAMES: &[&str] = &[
+    "KeyShare",
+    "DealtShare",
+    "DkgOutput",
+    "SigningNonce",
+    // Transport handshake secrets (crates/network/src/handshake.rs):
+    // the static-identity seed/scalar and the per-direction AEAD
+    // session keys derived by the Noise-IK handshake.
+    "IdentitySeed",
+    "StaticIdentity",
+    "SendCipher",
+    "RecvCipher",
+];
 
 /// Field names that mark their owning struct as secret-bearing, and
 /// whose direct comparison with `==`/`!=` is flagged anywhere.

@@ -1,0 +1,870 @@
+//! Gossip/flood overlay: O(degree) encrypted links per node instead of
+//! a full mesh.
+//!
+//! The TCP full mesh of [`crate::tcp`] needs `n-1` connections per node
+//! — fine for the paper's 4–16 node fleets, wasteful beyond. This
+//! overlay gives each node a bounded set of neighbors on a circulant
+//! graph and **floods** messages: every frame carries a
+//! `(origin, counter)` message id; a node delivers/processes the first
+//! copy it sees and relays it to every neighbor except the link it
+//! arrived on, so a message crosses each link at most once in each
+//! direction and still reaches all nodes in O(diameter) hops.
+//!
+//! **Topology.** Neighbor *offsets* are the powers of two strictly
+//! below `n/2`, truncated to `ceil(mesh_degree / 2)` entries: node `i`
+//! dials `(i-1+o) mod n + 1` for each offset `o` and accepts from the
+//! mirror set, giving a connected circulant graph `C(n; 1, 2, 4, ...)`
+//! of total degree ≈ `mesh_degree` whose diameter shrinks as offsets
+//! are added. The offset-1 ring alone keeps the graph connected, so any
+//! single dropped link leaves flooding intact whenever `mesh_degree`
+//! admits a second offset.
+//!
+//! **Link security.** Every link runs the same Noise-IK handshake and
+//! AEAD framing as the full mesh ([`crate::handshake`]): neighbors are
+//! mutually authenticated against the roster and every byte after the
+//! hello is encrypted. The *first hop* of a message is therefore
+//! cryptographically attributed; relayed hops necessarily carry the
+//! origin id inside the (authenticated, encrypted) frame on the word
+//! of the relaying neighbor. A non-member cannot inject or read
+//! anything; a *member* relaying forged origins is outside this PR's
+//! threat model (the full mesh remains the deployment answer when
+//! insider attribution is required, and is noted in DESIGN.md).
+//!
+//! TOB rides the same flood: submits are flooded until they reach the
+//! sequencer (node 1), which assigns sequence numbers and floods the
+//! deliveries; each node's [`TobReorderBuffer`] releases them gap-free
+//! in order, so all nodes observe the identical TOB sequence.
+
+use crate::handshake::{self, MeshAuth, RecvCipher, SendCipher, Session};
+use crate::tcp::{dial_with_retry, LinkHealth, HANDSHAKE_TIMEOUT, SEQUENCER};
+use crate::{Network, NetworkError, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Inner message kinds carried by a flood frame.
+const KIND_P2P_BCAST: u8 = 0;
+const KIND_P2P_DIRECT: u8 = 1;
+const KIND_TOB_SUBMIT: u8 = 2;
+const KIND_TOB_DELIVER: u8 = 3;
+
+/// Flood frame header: `origin (2) | counter (8) | kind (1)`.
+const HEADER_LEN: usize = 11;
+
+/// Bound on the dedup window (message ids remembered per node).
+const SEEN_CAP: usize = 1 << 16;
+
+/// Sentinel "link index" for locally-originated traffic routed through
+/// the demux thread (the sequencer's own TOB submissions).
+const LOCAL: usize = usize::MAX;
+
+/// Neighbor offsets for an `n`-node circulant graph of total degree
+/// ≈ `mesh_degree`: powers of two strictly below `n/2` (so an offset
+/// and its mirror never coincide), truncated to `ceil(mesh_degree/2)`.
+/// Always at least one offset — the ring keeps the graph connected.
+pub fn flood_offsets(n: usize, mesh_degree: usize) -> Vec<usize> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut offsets = Vec::new();
+    let mut o = 1;
+    while o * 2 < n {
+        offsets.push(o);
+        o *= 2;
+    }
+    if offsets.is_empty() {
+        offsets.push(1); // n == 2 or 3: the ring is the whole graph
+    }
+    offsets.truncate(mesh_degree.div_ceil(2).max(1));
+    offsets
+}
+
+struct LinkConn {
+    stream: TcpStream,
+    cipher: SendCipher,
+}
+
+/// One established, encrypted neighbor link.
+struct Link {
+    peer: NodeId,
+    conn: Mutex<LinkConn>,
+}
+
+struct GossipMetrics {
+    sent: PeerTraffic,
+    recv: PeerTraffic,
+    send_errors: Arc<theta_metrics::Counter>,
+    reader_exits: Arc<theta_metrics::Counter>,
+    aead_failures: Arc<theta_metrics::Counter>,
+    relayed: Arc<theta_metrics::Counter>,
+    duplicates: Arc<theta_metrics::Counter>,
+}
+
+struct GossipShared {
+    links: Vec<Link>,
+    id: NodeId,
+    /// Message-id counter for frames this node originates.
+    msg_counter: AtomicU64,
+    /// Sequencer state (used only on node 1's demux thread).
+    tob_seq: AtomicU64,
+    connects_established: AtomicU64,
+    health: LinkHealth,
+    metrics: OnceLock<GossipMetrics>,
+}
+
+impl GossipShared {
+    /// Seals and sends `body` on link `idx`, counting failures.
+    fn send_on_link(&self, idx: usize, body: &[u8]) {
+        let link = &self.links[idx];
+        let mut conn = link.conn.lock();
+        let result = {
+            let LinkConn { stream, cipher } = &mut *conn;
+            handshake::write_sealed(stream, cipher, body)
+        };
+        match result {
+            Ok(()) => {
+                if let Some(m) = self.metrics.get() {
+                    m.sent.count(link.peer, body.len() + 16);
+                }
+            }
+            Err(_) => {
+                self.health.send_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.send_errors.inc();
+                }
+            }
+        }
+    }
+
+    /// Sends `body` on every link except `except` (use [`LOCAL`] for
+    /// "all links": the initial flood of an own message).
+    fn flood(&self, body: &[u8], except: usize) {
+        for idx in 0..self.links.len() {
+            if idx != except {
+                self.send_on_link(idx, body);
+            }
+        }
+    }
+
+    /// Builds a flood frame this node originates (fresh message id).
+    fn own_frame(&self, kind: u8, rest: &[u8]) -> Vec<u8> {
+        let counter = self.msg_counter.fetch_add(1, Ordering::Relaxed);
+        let mut body = Vec::with_capacity(HEADER_LEN + rest.len());
+        body.extend_from_slice(&self.id.to_le_bytes());
+        body.extend_from_slice(&counter.to_le_bytes());
+        body.push(kind);
+        body.extend_from_slice(rest);
+        body
+    }
+
+    fn count_reader_exit(&self) {
+        self.health.reader_exits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.reader_exits.inc();
+        }
+    }
+
+    fn count_aead_failure(&self) {
+        self.health.aead_failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.aead_failures.inc();
+        }
+    }
+}
+
+/// A node of the gossip overlay. Implements [`Network`] with the same
+/// semantics as the full mesh — P2P broadcast/direct plus TOB — over
+/// O(degree) connections.
+pub struct GossipMeshNode {
+    shared: Arc<GossipShared>,
+    n: usize,
+    events: Receiver<NetworkEvent>,
+    raw_tx: Sender<(usize, Vec<u8>)>,
+}
+
+/// Builder for the gossip overlay.
+pub struct GossipMesh;
+
+impl GossipMesh {
+    /// Connects node `id` into an `n`-node gossip overlay of total
+    /// degree ≈ `mesh_degree` (see [`flood_offsets`]), binding the
+    /// listener at `addrs[id-1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError`] when binding, dialing or a handshake fail.
+    pub fn connect(
+        id: NodeId,
+        addrs: &[SocketAddr],
+        auth: MeshAuth,
+        mesh_degree: usize,
+    ) -> Result<GossipMeshNode, NetworkError> {
+        let n = addrs.len();
+        if id == 0 || id as usize > n {
+            return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
+        }
+        let listener = TcpListener::bind(addrs[id as usize - 1])?;
+        Self::connect_listener(id, listener, addrs, auth, mesh_degree)
+    }
+
+    /// Like [`GossipMesh::connect`], but with a pre-bound listener
+    /// (the OS-assigned-port pattern; `addrs[id-1]` is ignored).
+    ///
+    /// Dialing and accepting run concurrently — the overlay graph has
+    /// cycles, so a node must be able to accept its in-neighbors while
+    /// its own dials are still in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError`] on bind/dial/handshake failure, an unexpected
+    /// or duplicate in-neighbor, or a mute dialer timing out setup.
+    pub fn connect_listener(
+        id: NodeId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        auth: MeshAuth,
+        mesh_degree: usize,
+    ) -> Result<GossipMeshNode, NetworkError> {
+        let n = addrs.len();
+        if id == 0 || id as usize > n {
+            return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
+        }
+        if auth.roster.len() != n {
+            return Err(NetworkError::Setup(format!(
+                "roster has {} entries for a {n}-node mesh",
+                auth.roster.len()
+            )));
+        }
+        let auth = Arc::new(auth);
+        let offsets = flood_offsets(n, mesh_degree);
+        let out_peers: Vec<NodeId> = offsets
+            .iter()
+            .map(|o| ((id as usize - 1 + o) % n + 1) as NodeId)
+            .collect();
+        let in_peers: HashSet<NodeId> = offsets
+            .iter()
+            .map(|o| ((id as usize - 1 + n - o) % n + 1) as NodeId)
+            .collect();
+
+        // Dial out-neighbors on a separate thread while accepting
+        // in-neighbors here: the ring has cycles, so doing these
+        // sequentially would deadlock the whole overlay.
+        let dialer = {
+            let addrs = addrs.to_vec();
+            let auth = auth.clone();
+            std::thread::spawn(move || -> Result<Vec<(NodeId, TcpStream, Session)>, NetworkError> {
+                let mut out = Vec::new();
+                for peer in out_peers {
+                    let mut stream = dial_with_retry(addrs[peer as usize - 1])?;
+                    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+                    let responder_static = auth.roster.get(peer).ok_or_else(|| {
+                        NetworkError::Setup(format!("no roster entry for {peer}"))
+                    })?;
+                    let session =
+                        handshake::initiate(&mut stream, id, &auth.identity, responder_static)?;
+                    stream.set_read_timeout(None)?;
+                    out.push((peer, stream, session));
+                }
+                Ok(out)
+            })
+        };
+
+        let mut accepted = HashSet::new();
+        let mut inbound = Vec::new();
+        while accepted.len() < in_peers.len() {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            let (peer_id, session) = handshake::respond(&mut stream, &auth.identity, &auth.roster)?;
+            if !in_peers.contains(&peer_id) {
+                return Err(NetworkError::Setup(format!(
+                    "unexpected in-neighbor {peer_id} (expected one of {in_peers:?})"
+                )));
+            }
+            if !accepted.insert(peer_id) {
+                return Err(NetworkError::Setup(format!(
+                    "duplicate hello from peer {peer_id}: a connection for that id is already \
+                     established"
+                )));
+            }
+            stream.set_read_timeout(None)?;
+            inbound.push((peer_id, stream, session));
+        }
+        let outbound = dialer
+            .join()
+            .map_err(|_| NetworkError::Setup("dialer thread panicked".into()))??;
+
+        let (raw_tx, raw_rx) = unbounded::<(usize, Vec<u8>)>();
+        let mut links = Vec::new();
+        let mut readers = Vec::new();
+        for (peer, stream, session) in outbound.into_iter().chain(inbound) {
+            readers.push((stream.try_clone()?, links.len(), peer, session.recv));
+            links.push(Link {
+                peer,
+                conn: Mutex::new(LinkConn { stream, cipher: session.send }),
+            });
+        }
+        let connects = links.len() as u64;
+        let shared = Arc::new(GossipShared {
+            links,
+            id,
+            msg_counter: AtomicU64::new(0),
+            tob_seq: AtomicU64::new(0),
+            connects_established: AtomicU64::new(connects),
+            health: LinkHealth::default(),
+            metrics: OnceLock::new(),
+        });
+        shared.health.handshakes.store(connects, Ordering::Relaxed);
+        for (stream, idx, peer, recv) in readers {
+            spawn_link_reader(stream, idx, peer, recv, raw_tx.clone(), shared.clone());
+        }
+        let (events_tx, events_rx) = unbounded::<NetworkEvent>();
+        spawn_flood_demux(raw_rx, events_tx, shared.clone());
+        Ok(GossipMeshNode { shared, n, events: events_rx, raw_tx })
+    }
+}
+
+impl GossipMeshNode {
+    /// Number of live-at-setup neighbor links (the node's degree).
+    pub fn degree(&self) -> usize {
+        self.shared.links.len()
+    }
+
+    /// The distinct neighbor ids this node is linked to.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self.shared.links.iter().map(|l| l.peer).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+
+    /// Failure injection: tears down every link to `peer` (both sides'
+    /// readers see the shutdown). The overlay keeps routing around the
+    /// lost edge as long as the remaining graph is connected.
+    pub fn drop_link(&self, peer: NodeId) {
+        for link in &self.shared.links {
+            if link.peer == peer {
+                let _ = link.conn.lock().stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// A detached failure-injection handle, usable after the node itself
+    /// has been boxed into the orchestration layer (integration tests
+    /// drop or corrupt links *mid-protocol* through this).
+    pub fn link_controller(&self) -> GossipLinkController {
+        GossipLinkController { shared: self.shared.clone() }
+    }
+}
+
+/// Failure injection for a gossip node whose [`GossipMeshNode`] has been
+/// handed off (e.g. to `spawn_node`): drop links or corrupt frames on
+/// the wire to exercise partition and tamper handling.
+pub struct GossipLinkController {
+    shared: Arc<GossipShared>,
+}
+
+impl GossipLinkController {
+    /// See [`GossipMeshNode::drop_link`].
+    pub fn drop_link(&self, peer: NodeId) {
+        for link in &self.shared.links {
+            if link.peer == peer {
+                let _ = link.conn.lock().stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Writes a garbage frame (valid length prefix, unauthenticated
+    /// bytes) directly onto the first link to `peer`, bypassing the
+    /// session cipher — the peer's AEAD open must fail and tear the
+    /// link down.
+    pub fn corrupt_link(&self, peer: NodeId) {
+        use std::io::Write;
+        if let Some(link) = self.shared.links.iter().find(|l| l.peer == peer) {
+            let mut conn = link.conn.lock();
+            let garbage = [0x5au8; 24];
+            let _ = conn.stream.write_all(&(garbage.len() as u32).to_le_bytes());
+            let _ = conn.stream.write_all(&garbage);
+        }
+    }
+
+    /// The node's link-health tallies `(send_errors, reader_exits,
+    /// aead_failures)` — lets tests observe teardown without a registry.
+    pub fn health(&self) -> (u64, u64, u64) {
+        (
+            self.shared.health.send_errors.load(Ordering::Relaxed),
+            self.shared.health.reader_exits.load(Ordering::Relaxed),
+            self.shared.health.aead_failures.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Parsed view of a flood frame.
+struct FloodMsg<'a> {
+    origin: NodeId,
+    counter: u64,
+    kind: u8,
+    rest: &'a [u8],
+}
+
+fn parse_flood(body: &[u8]) -> Option<FloodMsg<'_>> {
+    if body.len() < HEADER_LEN {
+        return None;
+    }
+    let origin = NodeId::from_le_bytes([body[0], body[1]]);
+    let mut counter_bytes = [0u8; 8];
+    counter_bytes.copy_from_slice(&body[2..10]);
+    Some(FloodMsg {
+        origin,
+        counter: u64::from_le_bytes(counter_bytes),
+        kind: body[10],
+        rest: &body[HEADER_LEN..],
+    })
+}
+
+/// Reads AEAD frames off one link and feeds them (tagged with the link
+/// index, for relay exclusion) into the demux. Same teardown rules as
+/// the full mesh: AEAD failure kills the link, every exit is counted.
+fn spawn_link_reader(
+    mut stream: TcpStream,
+    link_idx: usize,
+    peer: NodeId,
+    mut cipher: RecvCipher,
+    tx: Sender<(usize, Vec<u8>)>,
+    shared: Arc<GossipShared>,
+) {
+    std::thread::Builder::new()
+        .name(format!("theta-gossip-reader-{peer}"))
+        .spawn(move || {
+            loop {
+                let body = match handshake::read_sealed(&mut stream, &mut cipher) {
+                    Ok(body) => body,
+                    Err(e) => {
+                        if e.kind() == std::io::ErrorKind::InvalidData {
+                            shared.count_aead_failure();
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                        break;
+                    }
+                };
+                if let Some(m) = shared.metrics.get() {
+                    m.recv.count(peer, body.len() + 16);
+                }
+                if tx.send((link_idx, body)).is_err() {
+                    break;
+                }
+            }
+            shared.count_reader_exit();
+        })
+        .expect("spawn gossip reader");
+}
+
+/// The flood engine: dedups by message id, relays fresh frames to every
+/// other link, and demultiplexes P2P/TOB into the ordered event channel.
+/// Single-threaded by construction, so the dedup window, the reorder
+/// buffer and (on node 1) the sequencer state need no further locking.
+fn spawn_flood_demux(
+    raw_rx: Receiver<(usize, Vec<u8>)>,
+    events_tx: Sender<NetworkEvent>,
+    shared: Arc<GossipShared>,
+) {
+    std::thread::Builder::new()
+        .name(format!("theta-gossip-demux-{}", shared.id))
+        .spawn(move || {
+            let sequencing = shared.id == SEQUENCER;
+            let mut reorder = TobReorderBuffer::new();
+            let mut seen: HashSet<(NodeId, u64)> = HashSet::new();
+            let mut seen_fifo: VecDeque<(NodeId, u64)> = VecDeque::new();
+            while let Ok((link_idx, body)) = raw_rx.recv() {
+                let Some(msg) = parse_flood(&body) else {
+                    continue; // malformed (but authenticated) frame
+                };
+                let from_local = link_idx == LOCAL;
+                if !from_local {
+                    if msg.origin == shared.id {
+                        continue; // echo of our own flood
+                    }
+                    if !seen.insert((msg.origin, msg.counter)) {
+                        if let Some(m) = shared.metrics.get() {
+                            m.duplicates.inc();
+                        }
+                        continue;
+                    }
+                    seen_fifo.push_back((msg.origin, msg.counter));
+                    if seen_fifo.len() > SEEN_CAP {
+                        if let Some(old) = seen_fifo.pop_front() {
+                            seen.remove(&old);
+                        }
+                    }
+                    // First sight: relay to everyone except the arrival
+                    // link before local processing, to keep the flood
+                    // front moving.
+                    shared.flood(&body, link_idx);
+                    if let Some(m) = shared.metrics.get() {
+                        m.relayed.inc();
+                    }
+                }
+                let released = match msg.kind {
+                    KIND_P2P_BCAST => {
+                        vec![NetworkEvent::P2p { from: msg.origin, payload: msg.rest.to_vec() }]
+                    }
+                    KIND_P2P_DIRECT => {
+                        if msg.rest.len() < 2 {
+                            continue;
+                        }
+                        let to = NodeId::from_le_bytes([msg.rest[0], msg.rest[1]]);
+                        if to != shared.id {
+                            continue; // relayed above; not for us
+                        }
+                        vec![NetworkEvent::P2p {
+                            from: msg.origin,
+                            payload: msg.rest[2..].to_vec(),
+                        }]
+                    }
+                    KIND_TOB_SUBMIT => {
+                        if !sequencing {
+                            continue; // relayed above; the sequencer acts
+                        }
+                        let seq = shared.tob_seq.fetch_add(1, Ordering::SeqCst);
+                        let mut rest = Vec::with_capacity(8 + 2 + msg.rest.len());
+                        rest.extend_from_slice(&seq.to_le_bytes());
+                        rest.extend_from_slice(&msg.origin.to_le_bytes());
+                        rest.extend_from_slice(msg.rest);
+                        let deliver = shared.own_frame(KIND_TOB_DELIVER, &rest);
+                        shared.flood(&deliver, LOCAL);
+                        reorder.insert(seq, msg.origin, msg.rest.to_vec())
+                    }
+                    KIND_TOB_DELIVER => {
+                        if msg.rest.len() < 10 {
+                            continue;
+                        }
+                        let mut seq_bytes = [0u8; 8];
+                        seq_bytes.copy_from_slice(&msg.rest[..8]);
+                        let seq = u64::from_le_bytes(seq_bytes);
+                        let from = NodeId::from_le_bytes([msg.rest[8], msg.rest[9]]);
+                        reorder.insert(seq, from, msg.rest[10..].to_vec())
+                    }
+                    _ => continue,
+                };
+                for ev in released {
+                    if events_tx.send(ev).is_err() {
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn gossip demux");
+}
+
+impl Drop for GossipMeshNode {
+    fn drop(&mut self) {
+        for link in &self.shared.links {
+            let _ = link.conn.lock().stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Network for GossipMeshNode {
+    fn node_id(&self) -> NodeId {
+        self.shared.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn broadcast_p2p(&self, payload: Vec<u8>) {
+        let body = self.shared.own_frame(KIND_P2P_BCAST, &payload);
+        self.shared.flood(&body, LOCAL);
+    }
+
+    fn send_to(&self, peer: NodeId, payload: Vec<u8>) {
+        if peer == self.shared.id {
+            return;
+        }
+        let mut rest = Vec::with_capacity(2 + payload.len());
+        rest.extend_from_slice(&peer.to_le_bytes());
+        rest.extend_from_slice(&payload);
+        let body = self.shared.own_frame(KIND_P2P_DIRECT, &rest);
+        self.shared.flood(&body, LOCAL);
+    }
+
+    fn submit_tob(&self, payload: Vec<u8>) {
+        let body = self.shared.own_frame(KIND_TOB_SUBMIT, &payload);
+        if self.shared.id == SEQUENCER {
+            // Route through the demux thread: a single owner serializes
+            // local submissions with the flooded ones.
+            let _ = self.raw_tx.send((LOCAL, body));
+        } else {
+            self.shared.flood(&body, LOCAL);
+        }
+    }
+
+    fn events(&self) -> &Receiver<NetworkEvent> {
+        &self.events
+    }
+
+    fn attach_registry(&mut self, registry: &Arc<theta_metrics::MetricsRegistry>) {
+        let metrics = GossipMetrics {
+            sent: PeerTraffic::register(
+                registry,
+                "theta_net_messages_sent_total",
+                "theta_net_bytes_sent_total",
+                self.n,
+            ),
+            recv: PeerTraffic::register(
+                registry,
+                "theta_net_messages_received_total",
+                "theta_net_bytes_received_total",
+                self.n,
+            ),
+            send_errors: registry.counter("theta_tcp_send_errors_total"),
+            reader_exits: registry.counter("theta_tcp_reader_exits_total"),
+            aead_failures: registry.counter("theta_net_aead_failures_total"),
+            relayed: registry.counter("theta_gossip_relayed_total"),
+            duplicates: registry.counter("theta_gossip_duplicates_total"),
+        };
+        registry
+            .counter("theta_net_connects_total")
+            .add(self.shared.connects_established.load(Ordering::Relaxed));
+        registry
+            .counter("theta_net_handshakes_total")
+            .add(self.shared.health.handshakes.load(Ordering::Relaxed));
+        metrics
+            .send_errors
+            .add(self.shared.health.send_errors.load(Ordering::Relaxed));
+        metrics
+            .reader_exits
+            .add(self.shared.health.reader_exits.load(Ordering::Relaxed));
+        metrics
+            .aead_failures
+            .add(self.shared.health.aead_failures.load(Ordering::Relaxed));
+        let _ = self.shared.metrics.set(metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::time::Duration;
+
+    const TICK: Duration = Duration::from_secs(5);
+
+    fn build_gossip(n: u16, degree: usize, seed: u64) -> Vec<GossipMeshNode> {
+        let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind(loopback).expect("bind ephemeral"))
+            .collect();
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let list = addrs.clone();
+                std::thread::spawn(move || {
+                    let auth = MeshAuth::insecure_dev(i as u16 + 1, n, seed);
+                    GossipMesh::connect_listener(i as u16 + 1, listener, &list, auth, degree)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn offsets_are_powers_of_two_truncated_by_degree() {
+        assert_eq!(flood_offsets(20, 6), vec![1, 2, 4]);
+        assert_eq!(flood_offsets(20, 2), vec![1]);
+        assert_eq!(flood_offsets(20, 100), vec![1, 2, 4, 8]);
+        assert_eq!(flood_offsets(2, 4), vec![1]);
+        assert_eq!(flood_offsets(3, 4), vec![1]);
+        assert_eq!(flood_offsets(1, 4), Vec::<usize>::new());
+        // Offsets stay strictly below n/2: no offset collides with its
+        // mirror, so dialing and accepting never race on the same edge.
+        for off in flood_offsets(64, 100) {
+            assert!(off * 2 < 64);
+        }
+    }
+
+    #[test]
+    fn degree_is_sublinear() {
+        let nodes = build_gossip(8, 4, 21);
+        for node in &nodes {
+            assert!(
+                node.degree() < 7,
+                "degree {} is not sublinear for n=8",
+                node.degree()
+            );
+            assert_eq!(node.degree(), 4); // offsets {1,2}: 2 out + 2 in
+        }
+    }
+
+    #[test]
+    fn broadcast_floods_to_all_nodes() {
+        let nodes = build_gossip(8, 4, 22);
+        nodes[2].broadcast_p2p(b"flood hello".to_vec());
+        for (i, node) in nodes.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let ev = node.recv_timeout(TICK).expect("flood delivery");
+            assert_eq!(ev, NetworkEvent::P2p { from: 3, payload: b"flood hello".to_vec() });
+        }
+        // The origin must not see its own broadcast echoed back.
+        assert!(nodes[2].recv_timeout(Duration::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn direct_send_reaches_only_the_target() {
+        let nodes = build_gossip(6, 2, 23);
+        // Node 2 → node 5: several ring hops away, so the frame is
+        // relayed through nodes that must not deliver it.
+        nodes[1].send_to(5, b"for five".to_vec());
+        let ev = nodes[4].recv_timeout(TICK).expect("direct delivery");
+        assert_eq!(ev, NetworkEvent::P2p { from: 2, payload: b"for five".to_vec() });
+        for (i, node) in nodes.iter().enumerate() {
+            if i == 4 {
+                continue;
+            }
+            assert!(
+                node.recv_timeout(Duration::from_millis(100)).is_none(),
+                "node {} saw a frame addressed to node 5",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn tob_total_order_over_gossip() {
+        let nodes = build_gossip(5, 2, 24);
+        nodes[1].submit_tob(b"x".to_vec());
+        nodes[4].submit_tob(b"y".to_vec());
+        nodes[0].submit_tob(b"z".to_vec());
+        let mut views = Vec::new();
+        for node in &nodes {
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                match node.recv_timeout(TICK) {
+                    Some(NetworkEvent::Tob { seq, payload, .. }) => seen.push((seq, payload)),
+                    other => panic!("expected tob, got {other:?}"),
+                }
+            }
+            views.push(seen);
+        }
+        for v in &views[1..] {
+            assert_eq!(*v, views[0]);
+        }
+    }
+
+    #[test]
+    fn flood_survives_a_dropped_link() {
+        // Degree 4 (offsets {1,2}) on 6 nodes: dropping one edge leaves
+        // the graph connected, so broadcasts still reach everyone.
+        let nodes = build_gossip(6, 4, 25);
+        nodes[0].drop_link(2);
+        nodes[1].drop_link(1);
+        std::thread::sleep(Duration::from_millis(50)); // let readers die
+        nodes[0].broadcast_p2p(b"around the gap".to_vec());
+        for node in &nodes[1..] {
+            let ev = node.recv_timeout(TICK).expect("delivery despite dropped link");
+            assert_eq!(
+                ev,
+                NetworkEvent::P2p { from: 1, payload: b"around the gap".to_vec() }
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_frame_tears_the_link_down_without_crashing() {
+        let mut nodes = build_gossip(4, 2, 26);
+        let registry = Arc::new(theta_metrics::MetricsRegistry::new());
+        nodes[1].attach_registry(&registry);
+
+        // Corrupt bytes injected on node 1's link toward node 2.
+        {
+            let link = nodes[0]
+                .shared
+                .links
+                .iter()
+                .find(|l| l.peer == 2)
+                .expect("ring link 1→2");
+            let mut conn = link.conn.lock();
+            let garbage = [7u8; 8];
+            conn.stream.write_all(&(garbage.len() as u32).to_le_bytes()).unwrap();
+            conn.stream.write_all(&garbage).unwrap();
+        }
+
+        let deadline = std::time::Instant::now() + TICK;
+        loop {
+            let aead = registry
+                .counter_value("theta_net_aead_failures_total", &[])
+                .unwrap_or(0);
+            if aead >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "aead failure never surfaced on the tampered link"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The victim stays up, and the flood routes around the dead
+        // edge (ring direction 2→3→4→1 still works).
+        nodes[1].broadcast_p2p(b"still alive".to_vec());
+        for (i, node) in nodes.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let ev = node.recv_timeout(TICK).expect("flood after teardown");
+            assert_eq!(
+                ev,
+                NetworkEvent::P2p { from: 2, payload: b"still alive".to_vec() }
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_floods_are_counted_not_delivered() {
+        let mut nodes = build_gossip(4, 4, 27);
+        // All four nodes share one registry (same counter names resolve
+        // to the same counter), because *which* node sees the duplicate
+        // is a race: n=4 floods over the ring 1-2-3-4, and the cycle
+        // guarantees some node receives a second copy, but relay timing
+        // decides whether that is node 3 (one copy via each neighbor)
+        // or a neighbor whose direct copy lost to the ring relay.
+        let registry = Arc::new(theta_metrics::MetricsRegistry::new());
+        for node in nodes.iter_mut() {
+            node.attach_registry(&registry);
+        }
+        nodes[0].broadcast_p2p(b"dup me".to_vec());
+        for node in &mut nodes[1..] {
+            let ev = node.recv_timeout(TICK).expect("delivery");
+            assert_eq!(ev, NetworkEvent::P2p { from: 1, payload: b"dup me".to_vec() });
+        }
+        // The redundant copy arrives on its own schedule: poll the
+        // counter rather than sleeping a fixed interval.
+        let deadline = std::time::Instant::now() + TICK;
+        loop {
+            let dups = registry
+                .counter_value("theta_gossip_duplicates_total", &[])
+                .unwrap_or(0);
+            if dups >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "a flood around a cycle must produce a counted duplicate"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Exactly one delivery per node despite multiple arrival paths.
+        for node in &mut nodes[1..] {
+            assert!(node.recv_timeout(Duration::from_millis(100)).is_none());
+        }
+    }
+}

@@ -21,6 +21,8 @@
 //! excludes the sender (a node already knows its own protocol messages).
 
 pub mod demux;
+pub mod gossip;
+pub mod handshake;
 pub mod inmemory;
 pub mod tcp;
 

@@ -1,19 +1,33 @@
-//! Real TCP full-mesh transport with a leader-sequencer TOB.
+//! Real TCP full-mesh transport with a leader-sequencer TOB, over
+//! authenticated encrypted links.
 //!
 //! Replaces the libp2p overlay of the original system for standalone
 //! deployments: every node dials every higher-id node and accepts from
-//! every lower-id node, frames are `u32`-length-prefixed, and node 1
-//! doubles as the TOB sequencer (the "proxy to a replicated service"
-//! collapsed to its simplest faithful form: a single ordering point).
+//! every lower-id node, and node 1 doubles as the TOB sequencer (the
+//! "proxy to a replicated service" collapsed to its simplest faithful
+//! form: a single ordering point).
 //!
-//! Frame layout after the length prefix:
+//! **Link security.** Connection setup runs the Noise-IK-style
+//! handshake of [`crate::handshake`]: the dialer's first bytes are
+//! handshake message A (its node id in the clear plus an ephemeral key
+//! and an authentication tag), the accepter answers with message B, and
+//! both sides derive per-direction ChaCha20-Poly1305 session keys. From
+//! then on every frame on the wire is a `u32`-length-prefixed AEAD
+//! ciphertext; a frame that fails authentication tears the connection
+//! down. Handshake reads carry a timeout so a mute or stalled dialer
+//! cannot wedge mesh setup, and a second connection claiming an
+//! already-connected peer id is rejected instead of clobbering the
+//! live link.
+//!
+//! Frame layout *inside* the AEAD plaintext:
 //! `tag(u8) | fields... | payload` with tags
 //! `0` = P2P message (`from: u16`),
 //! `1` = TOB submit (`from: u16`) — only sent *to* the sequencer,
 //! `2` = TOB deliver (`seq: u64, from: u16`) — only sent *by* it.
 //!
-//! Sender identity is **connection-derived**: each reader thread knows
-//! which peer its socket belongs to (from the 2-byte hello handshake) and
+//! Sender identity is **connection-derived and cryptographically
+//! verified**: each reader thread knows which peer its socket belongs
+//! to (proved by the handshake, not merely claimed by a hello byte) and
 //! stamps/validates every frame against it. A peer cannot impersonate
 //! another node in P2P traffic, cannot submit TOB messages under a
 //! foreign id, and cannot forge TOB deliveries unless it *is* the
@@ -23,58 +37,34 @@
 //! on node 1, the sequencer state) and feeds a single ordered event
 //! channel, which [`Network::events`] exposes for `select!`-style
 //! consumption.
+//!
+//! Link-health observability: write failures no longer vanish into
+//! `let _ =` — they count into `theta_tcp_send_errors_total` — and a
+//! reader thread ending (EOF, I/O error, malformed or tampered frame)
+//! counts into `theta_tcp_reader_exits_total` (AEAD failures also into
+//! `theta_net_aead_failures_total`), so a dead link is visible in the
+//! metrics instead of silently eating traffic.
 
+use crate::handshake::{self, MeshAuth, RecvCipher, SendCipher};
 use crate::{Network, NetworkError, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::io::{Read, Write};
+use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-const TAG_P2P: u8 = 0;
-const TAG_TOB_SUBMIT: u8 = 1;
-const TAG_TOB_DELIVER: u8 = 2;
+pub(crate) const TAG_P2P: u8 = 0;
+pub(crate) const TAG_TOB_SUBMIT: u8 = 1;
+pub(crate) const TAG_TOB_DELIVER: u8 = 2;
 
 /// The fixed TOB sequencer node.
-const SEQUENCER: NodeId = 1;
+pub(crate) const SEQUENCER: NodeId = 1;
 
-/// Maximum accepted frame size (matches the codec bound).
-const MAX_FRAME: u32 = 64 << 20;
-
-/// Frame bodies are read in chunks of this size, so a hostile length
-/// prefix never triggers one giant upfront allocation.
-const READ_CHUNK: usize = 64 << 10;
-
-fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(body.len() as u32).to_le_bytes())?;
-    stream.write_all(body)
-}
-
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len_bytes = [0u8; 4];
-    stream.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME as usize {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "frame exceeds limit",
-        ));
-    }
-    // Grow the buffer chunk by chunk: memory use tracks bytes actually
-    // received, not the (attacker-controlled) claimed length.
-    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
-    let mut chunk = [0u8; READ_CHUNK];
-    let mut remaining = len;
-    while remaining > 0 {
-        let take = remaining.min(READ_CHUNK);
-        stream.read_exact(&mut chunk[..take])?;
-        body.extend_from_slice(&chunk[..take]);
-        remaining -= take;
-    }
-    Ok(body)
-}
+/// Read timeout applied while a connection is mid-handshake, so a
+/// dialer that connects and never speaks cannot stall mesh setup.
+pub(crate) const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(3);
 
 enum Inbound {
     P2p { from: NodeId, payload: Vec<u8> },
@@ -112,27 +102,78 @@ fn parse_frame(body: &[u8]) -> Option<Inbound> {
 struct TcpMetrics {
     sent: PeerTraffic,
     recv: PeerTraffic,
+    send_errors: Arc<theta_metrics::Counter>,
+    reader_exits: Arc<theta_metrics::Counter>,
+    aead_failures: Arc<theta_metrics::Counter>,
+}
+
+/// Link-health tallies accumulated before (and after) a registry is
+/// attached; the pre-attach values are transferred into the registry
+/// counters at attach time, mirroring `connects_established`.
+#[derive(Default)]
+pub(crate) struct LinkHealth {
+    pub(crate) send_errors: AtomicU64,
+    pub(crate) reader_exits: AtomicU64,
+    pub(crate) aead_failures: AtomicU64,
+    pub(crate) handshakes: AtomicU64,
+}
+
+/// One established, encrypted write half.
+struct Conn {
+    stream: TcpStream,
+    cipher: SendCipher,
 }
 
 struct Shared {
     /// Write halves, indexed by node id − 1 (`None` at our own slot).
-    peers: Vec<Option<Mutex<TcpStream>>>,
+    peers: Vec<Option<Mutex<Conn>>>,
     id: NodeId,
     /// Sequencer state (used only on node 1's demux thread).
     tob_seq: AtomicU64,
     /// Connections established during mesh setup (dials + accepts),
     /// transferred into the registry when metrics are attached.
     connects_established: AtomicU64,
+    health: LinkHealth,
     metrics: OnceLock<TcpMetrics>,
 }
 
 impl Shared {
     fn send_raw(&self, peer: NodeId, body: &[u8]) {
-        if let Some(Some(stream)) = self.peers.get(peer as usize - 1) {
-            if let Some(m) = self.metrics.get() {
-                m.sent.count(peer, body.len());
+        if let Some(Some(conn)) = self.peers.get(peer as usize - 1) {
+            let mut conn = conn.lock();
+            let result = {
+                let Conn { stream, cipher } = &mut *conn;
+                handshake::write_sealed(stream, cipher, body)
+            };
+            match result {
+                Ok(()) => {
+                    if let Some(m) = self.metrics.get() {
+                        // Count wire bytes (ciphertext + tag), what the
+                        // peer's receive counter will also see.
+                        m.sent.count(peer, body.len() + 16);
+                    }
+                }
+                Err(_) => {
+                    self.health.send_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.send_errors.inc();
+                    }
+                }
             }
-            let _ = write_frame(&mut stream.lock(), body);
+        }
+    }
+
+    fn count_reader_exit(&self) {
+        self.health.reader_exits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.reader_exits.inc();
+        }
+    }
+
+    fn count_aead_failure(&self) {
+        self.health.aead_failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.aead_failures.inc();
         }
     }
 }
@@ -156,21 +197,25 @@ pub struct TcpMesh;
 impl TcpMesh {
     /// Connects node `id` (1-based) into the mesh described by `addrs`
     /// (address `i` belongs to node `i + 1`; `addrs[id-1]` is the local
-    /// bind address).
+    /// bind address), authenticating every link with `auth`.
     ///
     /// Dial direction: node `a` dials node `b` iff `a < b`. The dialer
-    /// sends its id as a 2-byte hello.
+    /// opens with handshake message A (which carries its id).
     ///
     /// # Errors
     ///
-    /// [`NetworkError`] when binding, dialing or the hello handshake fail.
-    pub fn connect(id: NodeId, addrs: &[SocketAddr]) -> Result<TcpMeshNode, NetworkError> {
+    /// [`NetworkError`] when binding, dialing or the handshake fail.
+    pub fn connect(
+        id: NodeId,
+        addrs: &[SocketAddr],
+        auth: MeshAuth,
+    ) -> Result<TcpMeshNode, NetworkError> {
         let n = addrs.len();
         if id == 0 || id as usize > n {
             return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
         }
         let listener = TcpListener::bind(addrs[id as usize - 1])?;
-        Self::connect_listener(id, listener, addrs)
+        Self::connect_listener(id, listener, addrs, auth)
     }
 
     /// Like [`TcpMesh::connect`], but with a pre-bound listener — the
@@ -180,60 +225,79 @@ impl TcpMesh {
     ///
     /// # Errors
     ///
-    /// [`NetworkError`] when accepting, dialing or the hello handshake
-    /// fail.
+    /// [`NetworkError`] when accepting, dialing or the handshake fail —
+    /// including a peer id claimed twice (the duplicate is rejected
+    /// rather than allowed to clobber the live peer's slot) and a
+    /// dialer that connects but never completes its handshake within
+    /// [`HANDSHAKE_TIMEOUT`].
     pub fn connect_listener(
         id: NodeId,
         listener: TcpListener,
         addrs: &[SocketAddr],
+        auth: MeshAuth,
     ) -> Result<TcpMeshNode, NetworkError> {
         let n = addrs.len();
         if id == 0 || id as usize > n {
             return Err(NetworkError::Setup(format!("node id {id} outside 1..={n}")));
         }
+        if auth.roster.len() != n {
+            return Err(NetworkError::Setup(format!(
+                "roster has {} entries for a {n}-node mesh",
+                auth.roster.len()
+            )));
+        }
         let (raw_tx, raw_rx) = unbounded::<Inbound>();
 
-        let mut peers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n);
+        let mut peers: Vec<Option<Mutex<Conn>>> = Vec::with_capacity(n);
         for _ in 0..n {
             peers.push(None);
         }
 
-        // Accept connections from all lower-id nodes.
+        // Accept connections from all lower-id nodes. Each accepted
+        // socket must complete the authentication handshake within
+        // HANDSHAKE_TIMEOUT, and each peer id may appear only once.
         let expected_inbound = id as usize - 1;
-        let mut accepted = 0;
+        let mut accepted = HashSet::new();
         let mut inbound_streams = Vec::new();
         listener.set_nonblocking(false)?;
-        while accepted < expected_inbound {
+        while accepted.len() < expected_inbound {
             let (mut stream, _) = listener.accept()?;
-            let mut hello = [0u8; 2];
-            stream.read_exact(&mut hello)?;
-            let peer_id = u16::from_le_bytes(hello);
+            stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            let (peer_id, session) = handshake::respond(&mut stream, &auth.identity, &auth.roster)?;
             if peer_id == 0 || peer_id >= id {
                 return Err(NetworkError::Setup(format!("unexpected hello from {peer_id}")));
             }
-            inbound_streams.push((peer_id, stream));
-            accepted += 1;
+            if !accepted.insert(peer_id) {
+                return Err(NetworkError::Setup(format!(
+                    "duplicate hello from peer {peer_id}: a connection for that id is already \
+                     established"
+                )));
+            }
+            stream.set_read_timeout(None)?;
+            inbound_streams.push((peer_id, stream, session));
         }
 
         // Dial all higher-id nodes (with retries while they come up).
         let mut outbound_streams = Vec::new();
         for peer in (id + 1)..=(n as u16) {
             let addr = addrs[peer as usize - 1];
-            let stream = dial_with_retry(addr)?;
-            outbound_streams.push((peer, stream));
+            let mut stream = dial_with_retry(addr)?;
+            stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            let responder_static = auth
+                .roster
+                .get(peer)
+                .ok_or_else(|| NetworkError::Setup(format!("no roster entry for {peer}")))?;
+            let session = handshake::initiate(&mut stream, id, &auth.identity, responder_static)?;
+            stream.set_read_timeout(None)?;
+            outbound_streams.push((peer, stream, session));
         }
 
         let mut readers = Vec::new();
         let mut connects = 0u64;
-        for (peer, mut stream) in outbound_streams {
-            stream.write_all(&id.to_le_bytes())?;
-            readers.push((stream.try_clone()?, peer));
-            peers[peer as usize - 1] = Some(Mutex::new(stream));
-            connects += 1;
-        }
-        for (peer, stream) in inbound_streams {
-            readers.push((stream.try_clone()?, peer));
-            peers[peer as usize - 1] = Some(Mutex::new(stream));
+        for (peer, stream, session) in outbound_streams.into_iter().chain(inbound_streams) {
+            readers.push((stream.try_clone()?, peer, session.recv));
+            peers[peer as usize - 1] =
+                Some(Mutex::new(Conn { stream, cipher: session.send }));
             connects += 1;
         }
 
@@ -242,10 +306,12 @@ impl TcpMesh {
             id,
             tob_seq: AtomicU64::new(0),
             connects_established: AtomicU64::new(connects),
+            health: LinkHealth::default(),
             metrics: OnceLock::new(),
         });
-        for (stream, peer) in readers {
-            spawn_reader(stream, peer, raw_tx.clone(), shared.clone());
+        shared.health.handshakes.store(connects, Ordering::Relaxed);
+        for (stream, peer, recv) in readers {
+            spawn_reader(stream, peer, recv, raw_tx.clone(), shared.clone());
         }
         let (events_tx, events_rx) = unbounded::<NetworkEvent>();
         spawn_demux(raw_rx, events_tx, shared.clone(), n);
@@ -253,7 +319,7 @@ impl TcpMesh {
     }
 }
 
-fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkError> {
+pub(crate) fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkError> {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
         match TcpStream::connect(addr) {
@@ -271,24 +337,40 @@ fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkError> {
     }
 }
 
-/// Reads frames from one connection, enforcing the connection identity
-/// `conn_peer` learned during the hello handshake:
+/// Reads AEAD frames from one connection, enforcing the connection
+/// identity `conn_peer` proved during the handshake:
 ///
 /// - P2P frames are **stamped** with `conn_peer`, whatever they claim;
 /// - TOB submits claiming a different sender are dropped (spoofing);
-/// - TOB deliveries are accepted only from the sequencer's connection.
+/// - TOB deliveries are accepted only from the sequencer's connection;
+/// - a frame failing AEAD authentication tears the connection down
+///   (and the exit is counted, so dead links are observable).
 fn spawn_reader(
     mut stream: TcpStream,
     conn_peer: NodeId,
+    mut cipher: RecvCipher,
     tx: Sender<Inbound>,
     shared: Arc<Shared>,
 ) {
     std::thread::Builder::new()
         .name(format!("theta-tcp-reader-{conn_peer}"))
         .spawn(move || {
-            while let Ok(body) = read_frame(&mut stream) {
+            loop {
+                let body = match handshake::read_sealed(&mut stream, &mut cipher) {
+                    Ok(body) => body,
+                    Err(e) => {
+                        if e.kind() == std::io::ErrorKind::InvalidData {
+                            // Tampered/forged traffic: kill the link so
+                            // the peer (or the attacker splicing into
+                            // it) cannot keep probing the stream state.
+                            shared.count_aead_failure();
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                        break;
+                    }
+                };
                 if let Some(m) = shared.metrics.get() {
-                    m.recv.count(conn_peer, body.len());
+                    m.recv.count(conn_peer, body.len() + 16);
                 }
                 let inbound = match parse_frame(&body) {
                     Some(Inbound::P2p { payload, .. }) => {
@@ -312,6 +394,7 @@ fn spawn_reader(
                     break;
                 }
             }
+            shared.count_reader_exit();
         })
         .expect("spawn reader");
 }
@@ -364,6 +447,18 @@ fn spawn_demux(
             }
         })
         .expect("spawn demux");
+}
+
+impl Drop for TcpMeshNode {
+    fn drop(&mut self) {
+        // Reader threads hold cloned fds of every connection, so merely
+        // dropping the write halves would leave the sockets open (and
+        // peers none the wiser). Shut them down so both sides' readers
+        // see EOF promptly.
+        for conn in self.shared.peers.iter().flatten() {
+            let _ = conn.lock().stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 impl Network for TcpMeshNode {
@@ -432,13 +527,27 @@ impl Network for TcpMeshNode {
                 "theta_net_bytes_received_total",
                 self.n,
             ),
+            send_errors: registry.counter("theta_tcp_send_errors_total"),
+            reader_exits: registry.counter("theta_tcp_reader_exits_total"),
+            aead_failures: registry.counter("theta_net_aead_failures_total"),
         };
-        // Connections made during setup predate the registry; transfer
-        // the accumulated count so reconnect logic added later only has
-        // to keep incrementing the same counter.
+        // Events from before the registry existed (setup connects, early
+        // failures) are transferred so the counters stay cumulative.
         registry
             .counter("theta_net_connects_total")
             .add(self.shared.connects_established.load(Ordering::Relaxed));
+        registry
+            .counter("theta_net_handshakes_total")
+            .add(self.shared.health.handshakes.load(Ordering::Relaxed));
+        metrics
+            .send_errors
+            .add(self.shared.health.send_errors.load(Ordering::Relaxed));
+        metrics
+            .reader_exits
+            .add(self.shared.health.reader_exits.load(Ordering::Relaxed));
+        metrics
+            .aead_failures
+            .add(self.shared.health.aead_failures.load(Ordering::Relaxed));
         let _ = self.shared.metrics.set(metrics);
     }
 }
@@ -446,7 +555,11 @@ impl Network for TcpMeshNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
     use std::net::{IpAddr, Ipv4Addr};
+
+    /// Shared dev-mode auth domain for mesh tests.
+    const DEV_SEED: u64 = 42;
 
     /// Binds `n` ephemeral-port listeners and connects the full mesh —
     /// no fixed port ranges, so parallel test binaries cannot collide.
@@ -465,7 +578,8 @@ mod tests {
             .map(|(i, listener)| {
                 let list = addr_list.clone();
                 std::thread::spawn(move || {
-                    TcpMesh::connect_listener(i as u16 + 1, listener, &list).unwrap()
+                    let auth = MeshAuth::insecure_dev(i as u16 + 1, n, DEV_SEED);
+                    TcpMesh::connect_listener(i as u16 + 1, listener, &list, auth).unwrap()
                 })
             })
             .collect();
@@ -521,8 +635,8 @@ mod tests {
             TcpListener::bind(loopback).unwrap().local_addr().unwrap(),
             TcpListener::bind(loopback).unwrap().local_addr().unwrap(),
         ];
-        assert!(TcpMesh::connect(0, &list).is_err());
-        assert!(TcpMesh::connect(3, &list).is_err());
+        assert!(TcpMesh::connect(0, &list, MeshAuth::insecure_dev(1, 2, DEV_SEED)).is_err());
+        assert!(TcpMesh::connect(3, &list, MeshAuth::insecure_dev(3, 2, DEV_SEED)).is_err());
     }
 
     #[test]
@@ -579,18 +693,20 @@ mod tests {
         let registry = Arc::new(theta_metrics::MetricsRegistry::new());
         nodes[1].attach_registry(&registry); // node 2 only
         assert_eq!(registry.counter_value("theta_net_connects_total", &[]), Some(1));
+        assert_eq!(registry.counter_value("theta_net_handshakes_total", &[]), Some(1));
 
         nodes[0].send_to(2, b"abcd".to_vec());
         let ev = nodes[1].recv_timeout(TICK).expect("delivery");
         assert!(matches!(ev, NetworkEvent::P2p { from: 1, .. }));
-        // Received: one frame from peer 1 (3-byte header + 4-byte payload).
+        // Received: one frame from peer 1 — 3-byte header + 4-byte
+        // payload + 16-byte AEAD tag on the wire.
         assert_eq!(
             registry.counter_value("theta_net_messages_received_total", &[("peer", "1")]),
             Some(1)
         );
         assert_eq!(
             registry.counter_value("theta_net_bytes_received_total", &[("peer", "1")]),
-            Some(7)
+            Some(23)
         );
 
         nodes[1].send_to(1, b"xy".to_vec());
@@ -601,51 +717,235 @@ mod tests {
         );
         assert_eq!(
             registry.counter_value("theta_net_bytes_sent_total", &[("peer", "1")]),
-            Some(5)
+            Some(21)
         );
     }
 
+    /// Regression (PR 6): a second connection claiming an already-seen
+    /// peer id used to overwrite the live peer's slot and leave the
+    /// original half-dead; it must be rejected at setup instead.
     #[test]
-    fn oversized_length_prefix_is_rejected() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    fn duplicate_hello_is_rejected() {
+        let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let listener = TcpListener::bind(loopback).unwrap();
         let addr = listener.local_addr().unwrap();
-        let mut writer = TcpStream::connect(addr).unwrap();
-        let (mut reader, _) = listener.accept().unwrap();
-        // Claim a frame bigger than the cap: rejected before any body read.
-        writer
-            .write_all(&(MAX_FRAME + 1).to_le_bytes())
-            .unwrap();
-        let err = read_frame(&mut reader).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Node 3 of a 3-mesh expects inbound from nodes 1 and 2.
+        let addrs = vec![addr, addr, addr];
+        let accepter = std::thread::spawn(move || {
+            TcpMesh::connect_listener(3, listener, &addrs, MeshAuth::insecure_dev(3, 3, 77))
+        });
+        // Two dialers, both with node 1's (valid!) identity.
+        let dial = |_| {
+            let auth = MeshAuth::insecure_dev(1, 3, 77);
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(TICK)).unwrap();
+            let target = *auth.roster.get(3).unwrap();
+            let result = handshake::initiate(&mut stream, 1, &auth.identity, &target);
+            (stream, result)
+        };
+        let _first = dial(0);
+        let _second = dial(1);
+        let err = accepter.join().unwrap();
+        match err {
+            Err(NetworkError::Setup(msg)) => {
+                assert!(msg.contains("duplicate"), "unexpected message: {msg}")
+            }
+            Err(other) => panic!("expected duplicate-hello rejection, got {other:?}"),
+            Ok(_) => panic!("expected duplicate-hello rejection, got a mesh"),
+        }
     }
 
+    /// Regression (PR 6): a dialer that connects and never speaks used
+    /// to stall mesh setup forever on the blocking hello read; the
+    /// handshake read timeout must fail setup instead.
     #[test]
-    fn truncated_giant_frame_fails_without_upfront_allocation() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    fn mute_dialer_cannot_stall_mesh_setup() {
+        let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let listener = TcpListener::bind(loopback).unwrap();
         let addr = listener.local_addr().unwrap();
-        let mut writer = TcpStream::connect(addr).unwrap();
-        let (mut reader, _) = listener.accept().unwrap();
-        // Claim the maximum allowed size but send only a sliver and hang
-        // up: chunked reading must surface EOF instead of sitting on a
-        // 64 MiB buffer waiting for bytes that never come.
-        writer.write_all(&MAX_FRAME.to_le_bytes()).unwrap();
-        writer.write_all(&[0u8; 128]).unwrap();
-        drop(writer);
-        assert!(read_frame(&mut reader).is_err());
+        let addrs = vec![addr, addr];
+        let accepter = std::thread::spawn(move || {
+            TcpMesh::connect_listener(2, listener, &addrs, MeshAuth::insecure_dev(2, 2, 78))
+        });
+        // Connect and say nothing, keeping the socket open.
+        let mute = TcpStream::connect(addr).unwrap();
+        let start = std::time::Instant::now();
+        let result = accepter.join().unwrap();
+        assert!(result.is_err(), "mesh setup must fail on a mute dialer");
+        assert!(
+            start.elapsed() < HANDSHAKE_TIMEOUT + Duration::from_secs(5),
+            "setup took too long: {:?}",
+            start.elapsed()
+        );
+        drop(mute);
     }
 
+    /// Regression (PR 6): write errors used to vanish into `let _ =` and
+    /// reader-thread deaths were invisible; both must count.
     #[test]
-    fn chunked_read_reassembles_large_frames() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut writer = TcpStream::connect(addr).unwrap();
-        let (mut reader, _) = listener.accept().unwrap();
-        // Larger than one read chunk, so reassembly spans several reads.
-        let body: Vec<u8> = (0..READ_CHUNK * 3 + 17).map(|i| i as u8).collect();
-        let body_clone = body.clone();
-        let w = std::thread::spawn(move || write_frame(&mut writer, &body_clone).unwrap());
-        let got = read_frame(&mut reader).unwrap();
-        w.join().unwrap();
-        assert_eq!(got, body);
+    fn dead_link_is_observable_in_counters() {
+        let mut nodes = build_mesh(2);
+        let registry = Arc::new(theta_metrics::MetricsRegistry::new());
+        let node2 = nodes.pop().unwrap();
+        let mut node1 = nodes.pop().unwrap();
+        node1.attach_registry(&registry);
+        drop(node2); // closes its sockets: node 1's link is now dead
+
+        // The reader sees EOF and its exit is counted.
+        let deadline = std::time::Instant::now() + TICK;
+        loop {
+            if registry
+                .counter_value("theta_tcp_reader_exits_total", &[])
+                .unwrap_or(0)
+                >= 1
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "reader exit never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Writes to the dead link eventually fail (first ones may land
+        // in the kernel buffer) and the failures are counted.
+        let deadline = std::time::Instant::now() + TICK;
+        loop {
+            node1.send_to(2, vec![0u8; 4096]);
+            if registry
+                .counter_value("theta_tcp_send_errors_total", &[])
+                .unwrap_or(0)
+                >= 1
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "send error never counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// A man-in-the-middle recording the wire must see only handshake
+    /// material and ciphertext: the acceptance bar for "every inter-node
+    /// byte after the hello is AEAD-protected".
+    #[test]
+    fn wire_carries_no_plaintext() {
+        let captured: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        fn pipe(mut from: TcpStream, mut to: TcpStream, cap: Arc<Mutex<Vec<u8>>>) {
+            let mut buf = [0u8; 4096];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        cap.lock().extend_from_slice(&buf[..n]);
+                        if to.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let node2_listener = TcpListener::bind(loopback).unwrap();
+        let node2_addr = node2_listener.local_addr().unwrap();
+        // The forwarder takes node 2's place in node 1's address list.
+        let mitm_listener = TcpListener::bind(loopback).unwrap();
+        let mitm_addr = mitm_listener.local_addr().unwrap();
+        let cap = captured.clone();
+        std::thread::spawn(move || {
+            let (client, _) = mitm_listener.accept().unwrap();
+            let server = TcpStream::connect(node2_addr).unwrap();
+            let c2 = client.try_clone().unwrap();
+            let s2 = server.try_clone().unwrap();
+            let cap2 = cap.clone();
+            std::thread::spawn(move || pipe(c2, server, cap));
+            std::thread::spawn(move || pipe(s2, client, cap2));
+        });
+
+        let node1_listener = TcpListener::bind(loopback).unwrap();
+        let node1_addrs = vec![node1_listener.local_addr().unwrap(), mitm_addr];
+        let node2_addrs = vec![node1_addrs[0], node2_addr];
+        let node2 = std::thread::spawn(move || {
+            TcpMesh::connect_listener(
+                2,
+                node2_listener,
+                &node2_addrs,
+                MeshAuth::insecure_dev(2, 2, 79),
+            )
+            .unwrap()
+        });
+        let node1 = TcpMesh::connect_listener(
+            1,
+            node1_listener,
+            &node1_addrs,
+            MeshAuth::insecure_dev(1, 2, 79),
+        )
+        .unwrap();
+        let node2 = node2.join().unwrap();
+
+        let secret = b"ATTACK AT DAWN: distinctive plaintext marker 5f2c9a";
+        node1.broadcast_p2p(secret.to_vec());
+        let ev = node2.recv_timeout(TICK).expect("delivery through the mitm");
+        assert_eq!(ev, NetworkEvent::P2p { from: 1, payload: secret.to_vec() });
+        node2.send_to(1, secret.to_vec());
+        let _ = node1.recv_timeout(TICK).expect("reverse delivery");
+
+        let wire = captured.lock().clone();
+        assert!(!wire.is_empty(), "the mitm saw no traffic at all");
+        assert!(
+            !wire
+                .windows(secret.len())
+                .any(|w| w == &secret[..]),
+            "plaintext payload leaked onto the wire"
+        );
+        // Not even a fragment of the payload may appear.
+        assert!(
+            !wire.windows(16).any(|w| secret.windows(16).any(|s| s == w)),
+            "plaintext fragment leaked onto the wire"
+        );
+    }
+
+    /// Tampering with a frame in flight must kill the link, not crash or
+    /// desync the node.
+    #[test]
+    fn tampered_frame_tears_the_link_down() {
+        let mut nodes = build_mesh(2);
+        let registry = Arc::new(theta_metrics::MetricsRegistry::new());
+        nodes[1].attach_registry(&registry);
+
+        // Honest traffic first, to prove the link works.
+        nodes[0].send_to(2, b"before".to_vec());
+        assert!(nodes[1].recv_timeout(TICK).is_some());
+
+        // Write garbage directly into node 1's write half: node 2's
+        // AEAD open fails and its reader tears the connection down.
+        {
+            let conn = nodes[0].shared.peers[1].as_ref().unwrap();
+            let mut conn = conn.lock();
+            let garbage = [9u8, 9, 9, 9];
+            conn.stream
+                .write_all(&(garbage.len() as u32).to_le_bytes())
+                .unwrap();
+            conn.stream.write_all(&garbage).unwrap();
+        }
+
+        let deadline = std::time::Instant::now() + TICK;
+        loop {
+            let aead = registry
+                .counter_value("theta_net_aead_failures_total", &[])
+                .unwrap_or(0);
+            let exits = registry
+                .counter_value("theta_tcp_reader_exits_total", &[])
+                .unwrap_or(0);
+            if aead >= 1 && exits >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "tampering never tore the link down (aead={aead}, exits={exits})"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The victim node is still alive (its event channel works).
+        assert!(nodes[1].recv_timeout(Duration::from_millis(50)).is_none());
     }
 }

@@ -81,6 +81,72 @@ pub fn expand(domain: &str, seed: &[u8], len: usize) -> Vec<u8> {
     out
 }
 
+/// HMAC-SHA256 (FIPS 198-1 / RFC 2104).
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut block = [0u8; 64];
+    if key.len() > 64 {
+        block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; 64];
+    let mut opad = [0x5cu8; 64];
+    for i in 0..64 {
+        ipad[i] ^= block[i];
+        opad[i] ^= block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-Extract (RFC 5869 §2.2): condenses input keying material `ikm`
+/// under `salt` into a 32-byte pseudorandom key. Used by the transport
+/// handshake as the chaining-key mixer: `ck' = extract(ck, dh_output)`.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand (RFC 5869 §2.3): stretches `prk` into `len` output bytes
+/// bound to `info` (at most 255 × 32 bytes).
+///
+/// # Panics
+///
+/// Panics when `len > 255 * 32` (RFC 5869 bound).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "hkdf-expand output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut block: [u8; 32] = [0; 32];
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut data = Vec::with_capacity(32 + info.len() + 1);
+        if counter > 1 {
+            data.extend_from_slice(&block);
+        }
+        data.extend_from_slice(info);
+        data.push(counter);
+        block = hmac_sha256(prk, &data);
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// HKDF-Expand into a fixed 32-byte key (the transport's session-key
+/// shape), avoiding a heap allocation on the handshake path.
+pub fn hkdf_expand_key(prk: &[u8; 32], info: &[u8]) -> [u8; 32] {
+    let mut data = Vec::with_capacity(info.len() + 1);
+    data.extend_from_slice(info);
+    data.push(1u8);
+    hmac_sha256(prk, &data)
+}
+
 /// Lowercase hex encoding.
 pub fn to_hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
@@ -152,6 +218,59 @@ mod tests {
     fn expand_domain_and_seed_sensitivity() {
         assert_ne!(expand("a", b"s", 32), expand("b", b"s", 32));
         assert_ne!(expand("a", b"s", 32), expand("a", b"t", 32));
+    }
+
+    /// RFC 4231 test case 2 (short key, short data).
+    #[test]
+    fn hmac_sha256_rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 5869 A.1: basic HKDF-SHA256.
+    #[test]
+    fn hkdf_rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 A.2: longer inputs, multi-block expand.
+    #[test]
+    fn hkdf_rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        let okm = hkdf_expand(&prk, &info, 82);
+        assert_eq!(
+            to_hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    #[test]
+    fn hkdf_expand_key_matches_expand() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let a = hkdf_expand_key(&prk, b"session");
+        let b = hkdf_expand(&prk, b"session", 32);
+        assert_eq!(a.to_vec(), b);
     }
 
     #[test]

@@ -27,5 +27,8 @@ pub mod poly1305;
 mod sha2;
 
 pub use aead::AeadError;
-pub use kdf::{expand, from_hex, to_hex, DomainHasher};
+pub use kdf::{
+    expand, from_hex, hkdf_expand, hkdf_expand_key, hkdf_extract, hmac_sha256, to_hex,
+    DomainHasher,
+};
 pub use sha2::{Sha256, Sha512};

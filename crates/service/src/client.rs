@@ -55,7 +55,10 @@ pub struct RpcClient {
 }
 
 impl RpcClient {
-    /// Connects to a Thetacrypt service endpoint.
+    /// Connects to a Thetacrypt service endpoint. `timeout` bounds the
+    /// TCP connect *and* every subsequent response read: a server that
+    /// accepts the connection but never answers surfaces as an
+    /// [`RpcError::Io`] timeout instead of blocking the caller forever.
     ///
     /// # Errors
     ///
@@ -63,6 +66,7 @@ impl RpcClient {
     pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<RpcClient, RpcError> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
         Ok(RpcClient { stream, next_id: 0, parked: HashMap::new() })
     }
 
@@ -231,5 +235,38 @@ impl RpcClient {
             RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
             _ => Err(RpcError::UnexpectedResponse),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Regression (PR 6): `connect` never applied its timeout to reads,
+    /// so a server that accepted the connection but never answered hung
+    /// the client forever. Reads must now time out.
+    #[test]
+    fn reads_time_out_against_an_accept_but_silent_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            // Accept, hold the connection open, never answer.
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(3));
+            drop(stream);
+        });
+        let start = std::time::Instant::now();
+        let mut client = RpcClient::connect(addr, Duration::from_millis(300)).unwrap();
+        let err = client.node_stats();
+        assert!(
+            matches!(err, Err(RpcError::Io(_))),
+            "expected an i/o timeout, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "client hung on a silent server for {:?}",
+            start.elapsed()
+        );
     }
 }

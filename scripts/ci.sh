@@ -23,6 +23,10 @@ echo "== saturation stress test (release, full 64+ request mix) =="
 RUST_BACKTRACE=1 cargo test -q --release --test stress_concurrency
 
 echo
+echo "== gossip overlay integration (release, 20 nodes, partition + tamper) =="
+RUST_BACKTRACE=1 cargo test -q --release --test integration_gossip
+
+echo
 echo "== mailbox handoff interleaving harness (release, repeated runs) =="
 RUST_BACKTRACE=1 cargo test -q --release -p theta-orchestration \
     handoff_interleaving_never_loses_messages

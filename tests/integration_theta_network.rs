@@ -239,6 +239,7 @@ fn lossy_network_retries_nothing_but_quorum_still_forms() {
 #[test]
 fn tcp_mesh_runs_a_real_protocol() {
     // End-to-end over real TCP sockets (the standalone deployment mode).
+    use theta_network::handshake::MeshAuth;
     use theta_network::tcp::TcpMesh;
     use theta_network::Network;
     use theta_orchestration::{spawn_node, KeyChest, NodeConfig};
@@ -261,7 +262,10 @@ fn tcp_mesh_runs_a_real_protocol() {
         .zip(1..=4u16)
         .map(|(listener, id)| {
             let list = addrs.clone();
-            std::thread::spawn(move || TcpMesh::connect_listener(id, listener, &list).unwrap())
+            std::thread::spawn(move || {
+                let auth = MeshAuth::insecure_dev(id, 4, 0xC0FFEE);
+                TcpMesh::connect_listener(id, listener, &list, auth).unwrap()
+            })
         })
         .collect();
     let handles: Vec<_> = meshes
