@@ -29,6 +29,7 @@ fn sweep(
             drain: duration / 10,
             seed: 0xf2057 ^ rate,
             kg20_precomputed: precomputed,
+            worker_lanes: 1,
         };
         if let Some(exp) = run_experiment(&cfg, cost) {
             out.push(exp);

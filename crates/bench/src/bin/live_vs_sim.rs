@@ -79,6 +79,7 @@ fn main() {
             drain: Duration::from_secs(30),
             seed: 0x11fe,
             kg20_precomputed: false,
+            worker_lanes: 1,
         };
         let sim = run_experiment(&cfg, &cost).expect("sim completes");
         let ratio = live / sim.latency.l50.max(1e-9);

@@ -1,0 +1,75 @@
+//! Re-runs the Table 2 / Figure 4 capacity knees on **multi-core
+//! nodes**: the same deployments, but each node serves its crypto queue
+//! with `worker_lanes` ∈ {1, 2, 4} parallel lanes — the simulator
+//! counterpart of `NodeConfig::worker_threads` in the live stack.
+//!
+//! ```text
+//! cargo run -p theta-bench --release --bin table2_multicore [--full] [--reference-costs]
+//! ```
+//!
+//! The paper's deployments are one-vCPU droplets, so its published
+//! knees are the lanes=1 column. The knee is CPU-saturation-bound for
+//! every scheme at these sizes, so W lanes move it up by ~W until a
+//! deployment's max injection rate caps the sweep (SG02/CKS05 on the
+//! small deployments) or until the serial router stage would bind
+//! (~18 lanes for the cheapest scheme per `BENCH_parallel.json` —
+//! outside this sweep, and therefore not modeled; see DESIGN.md).
+
+use theta_bench::{cost_model, write_csv, EvalArgs};
+use theta_schemes::registry::SchemeId;
+use theta_sim::{capacity_sweep_lanes, knee_of, table2_deployments};
+
+const LANES: [u16; 3] = [1, 2, 4];
+
+fn main() {
+    let args = EvalArgs::parse();
+    let cost = cost_model(&args);
+    let duration = args.capacity_duration();
+    println!(
+        "\nTable 2 knees on multi-core nodes: {} s virtual runs, crypto lanes in {LANES:?}\n",
+        duration.as_secs()
+    );
+
+    let mut rows = Vec::new();
+    for deployment in table2_deployments() {
+        // The large global sweep adds nothing here (knees are already
+        // network-shaped at n=127 rates of 1 req/s) and triples runtime.
+        if deployment.n > 31 {
+            continue;
+        }
+        println!("=== {} (n={}, t={}) ===", deployment.name, deployment.n, deployment.t);
+        println!("{:<7} {:>10} {:>10} {:>10}", "scheme", "lanes=1", "lanes=2", "lanes=4");
+        for scheme in SchemeId::ALL {
+            let mut knees = Vec::new();
+            for lanes in LANES {
+                let series = capacity_sweep_lanes(
+                    &deployment,
+                    scheme,
+                    &cost,
+                    duration,
+                    256,
+                    0xf14 ^ lanes as u64,
+                    lanes,
+                );
+                knees.push(knee_of(&series).unwrap_or(0.0));
+            }
+            println!(
+                "{:<7} {:>10} {:>10} {:>10}",
+                scheme.name(),
+                knees[0],
+                knees[1],
+                knees[2]
+            );
+            rows.push(format!(
+                "{},{},{},{},{}",
+                deployment.name, scheme, knees[0], knees[1], knees[2]
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "table2_multicore_knees.csv",
+        "deployment,scheme,knee_1lane_req_s,knee_2lane_req_s,knee_4lane_req_s",
+        &rows,
+    );
+}

@@ -48,6 +48,12 @@ pub const ROUTER_BUSY_NANOS_COUNTER: &str = "theta_router_busy_nanos_total";
 /// summed across the pool (the per-worker histograms give the shape;
 /// this gives an exact total for utilization math).
 pub const WORKER_BUSY_NANOS_COUNTER: &str = "theta_worker_busy_nanos_total";
+/// Histogram: checks per cross-instance batch settle. Recorded as a raw
+/// count (not a duration), so the bucket bounds read as batch sizes.
+pub const BATCH_SIZE_HISTOGRAM: &str = "theta_batch_size";
+/// Counter: cross-instance batch flushes, labeled
+/// `{reason="size"|"age"|"shutdown"}`.
+pub const BATCH_FLUSHES_COUNTER: &str = "theta_batch_flushes_total";
 
 /// Pre-resolved handles for the router/worker-pool metrics, so the
 /// router hot path and the workers record without touching the registry
@@ -70,6 +76,14 @@ pub struct PoolMetrics {
     pub router_busy_nanos: Arc<Counter>,
     /// Exact nanoseconds workers spent running slots, pool-wide.
     pub worker_busy_nanos: Arc<Counter>,
+    /// Checks per cross-instance batch settle (recorded as raw counts).
+    pub batch_size: Arc<Histogram>,
+    /// Cross-instance batch flushes that fired on the size threshold.
+    pub batch_flushes_size: Arc<Counter>,
+    /// Cross-instance batch flushes that fired on the age threshold.
+    pub batch_flushes_age: Arc<Counter>,
+    /// Cross-instance batch flushes forced by node shutdown.
+    pub batch_flushes_shutdown: Arc<Counter>,
 }
 
 impl PoolMetrics {
@@ -90,6 +104,12 @@ impl PoolMetrics {
             worker_busy,
             router_busy_nanos: registry.counter(ROUTER_BUSY_NANOS_COUNTER),
             worker_busy_nanos: registry.counter(WORKER_BUSY_NANOS_COUNTER),
+            batch_size: registry.histogram(BATCH_SIZE_HISTOGRAM),
+            batch_flushes_size: registry
+                .counter_with(BATCH_FLUSHES_COUNTER, &[("reason", "size")]),
+            batch_flushes_age: registry.counter_with(BATCH_FLUSHES_COUNTER, &[("reason", "age")]),
+            batch_flushes_shutdown: registry
+                .counter_with(BATCH_FLUSHES_COUNTER, &[("reason", "shutdown")]),
         }
     }
 }

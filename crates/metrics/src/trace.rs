@@ -54,6 +54,12 @@ pub enum TraceEventKind {
     MessageDropped,
     /// An internal error on the event loop was contained and counted.
     Error,
+    /// A received share's validity check was handed to the pool-scoped
+    /// cross-instance batch aggregator instead of being verified inline.
+    BatchEnqueued,
+    /// A cross-instance batch settle returned this instance's verdicts
+    /// (the detail notes the batch size and flush reason).
+    BatchSettled,
 }
 
 impl TraceEventKind {
@@ -76,6 +82,8 @@ impl TraceEventKind {
             TraceEventKind::CacheHit => 13,
             TraceEventKind::MessageDropped => 14,
             TraceEventKind::Error => 15,
+            TraceEventKind::BatchEnqueued => 16,
+            TraceEventKind::BatchSettled => 17,
         }
     }
 
@@ -99,6 +107,8 @@ impl TraceEventKind {
             13 => TraceEventKind::CacheHit,
             14 => TraceEventKind::MessageDropped,
             15 => TraceEventKind::Error,
+            16 => TraceEventKind::BatchEnqueued,
+            17 => TraceEventKind::BatchSettled,
             _ => return None,
         })
     }
@@ -122,6 +132,8 @@ impl TraceEventKind {
             TraceEventKind::CacheHit => "cache-hit",
             TraceEventKind::MessageDropped => "message-dropped",
             TraceEventKind::Error => "error",
+            TraceEventKind::BatchEnqueued => "batch-enqueued",
+            TraceEventKind::BatchSettled => "batch-settled",
         }
     }
 }
@@ -307,11 +319,12 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=15u8 {
+        for code in 0..=17u8 {
             let kind = TraceEventKind::from_code(code).unwrap();
             assert_eq!(kind.code(), code);
             assert!(!kind.label().is_empty());
         }
+        assert!(TraceEventKind::from_code(18).is_none());
         assert!(TraceEventKind::from_code(200).is_none());
     }
 

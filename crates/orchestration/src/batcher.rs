@@ -1,0 +1,217 @@
+//! The cross-instance batch aggregator (pool-scoped share verification).
+//!
+//! Per-instance lazy batching (PR 3) amortizes verification *within*
+//! one instance: at most `quorum` checks fold into one MSM. Under many
+//! concurrent instances the bigger win is folding checks *across*
+//! instances: every pending DLEQ proof in the pool — whatever instance,
+//! whatever Fiat–Shamir domain — verifies as one random-linear-
+//! combination MSM, and every pending pairing check as one multi-Miller
+//! pairing product, via [`theta_schemes::batch::settle_mixed`].
+//!
+//! The flow:
+//!
+//! 1. pooled-mode protocols defer each share's check as a detached
+//!    [`PendingCheck`]; the worker that drained the instance submits
+//!    them here ([`BatchAggregator::submit`]);
+//! 2. the submission that crosses `flush_size` claims the flush duty
+//!    (the [`crate::handshake::batch_submit`] handshake — model-checked
+//!    under loom) and that same worker settles the batch off the
+//!    router thread;
+//! 3. checks that never see a size crossing are picked up by the
+//!    router's age trigger (`flush_age`), which claims the duty and
+//!    injects a [`crate::worker_pool::PoolJob::Flush`] so the crypto
+//!    still runs on a worker;
+//! 4. verdicts travel back to each instance through its regular
+//!    mailbox ([`HostMsg::Verdicts`]) — the same single-writer
+//!    scheduling handshake as every other host message, so protocol
+//!    state stays lock-free.
+//!
+//! A failed batch never poisons innocent instances:
+//! [`theta_schemes::batch::settle_mixed`] bisects down to the exact
+//! culprit checks, and each instance receives only its own per-party
+//! verdicts. Verdicts whose mailbox push fails are dropped — the share
+//! simply stays unverified and the next P2P retransmission re-enqueues
+//! its check (re-deliveries of the identical payload re-enter the
+//! outbox), so a lost flush degrades latency, never safety.
+
+use crate::handshake::{batch_claim, batch_finish, batch_submit, batch_take};
+use crate::instance_host::HostMsg;
+use crate::mailbox::PushError;
+use crate::worker_pool::{schedule, InstanceSlot, PoolJob};
+use crossbeam::channel::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use theta_metrics::PoolMetrics;
+use theta_schemes::batch::{settle_mixed, PendingCheck};
+use theta_schemes::PartyId;
+use theta_sync::atomic::AtomicBool;
+use theta_sync::Mutex;
+
+/// Why a batch flush fired (the `reason` label on
+/// `theta_batch_flushes_total` and in the per-instance trace journal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlushReason {
+    /// The pending list reached `flush_size`.
+    Size,
+    /// The oldest pending check aged past `flush_age`.
+    Age,
+    /// Node shutdown: settle whatever is pending so draining instances
+    /// can still reach quorum.
+    Shutdown,
+}
+
+impl FlushReason {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Age => "age",
+            FlushReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One deferred share check, waiting for a batch settle.
+pub(crate) struct PendingVerify {
+    /// The instance the verdict goes back to.
+    slot: Arc<InstanceSlot>,
+    /// The party whose share the check validates.
+    party: PartyId,
+    /// The detached statement + proof.
+    check: PendingCheck,
+    /// When the check entered the pool (drives the age flush).
+    enqueued: Instant,
+}
+
+/// The pool-wide aggregator: one per node, shared by every worker and
+/// the router.
+pub(crate) struct BatchAggregator {
+    pending: Mutex<Vec<PendingVerify>>,
+    flush_claimed: AtomicBool,
+    flush_size: usize,
+    flush_age: Duration,
+}
+
+impl BatchAggregator {
+    pub(crate) fn new(flush_size: usize, flush_age: Duration) -> BatchAggregator {
+        BatchAggregator {
+            pending: Mutex::new(Vec::new()),
+            flush_claimed: AtomicBool::new(false),
+            // A zero size would make `batch_finish` re-claim forever on
+            // an empty list.
+            flush_size: flush_size.max(1),
+            flush_age,
+        }
+    }
+
+    /// Adds one instance's drained checks to the pool. Returns `true`
+    /// when this submission crossed the size threshold and the caller
+    /// (a worker, by construction) must run [`run_flush`].
+    pub(crate) fn submit(
+        &self,
+        slot: &Arc<InstanceSlot>,
+        checks: Vec<(PartyId, PendingCheck)>,
+    ) -> bool {
+        let now = Instant::now();
+        let items = checks.into_iter().map(|(party, check)| PendingVerify {
+            slot: slot.clone(),
+            party,
+            check,
+            enqueued: now,
+        });
+        batch_submit(&self.pending, &self.flush_claimed, items, self.flush_size)
+    }
+
+    /// When the age-based flush for the oldest pending check is due
+    /// (the router folds this into its timer deadline).
+    pub(crate) fn next_age_flush(&self) -> Option<Instant> {
+        let p = self.pending.lock().expect("batch list poisoned");
+        p.first().map(|v| v.enqueued + self.flush_age)
+    }
+
+    /// Router-side age trigger: claims the flush duty iff a pending
+    /// check has aged out and no flush is already running. The caller
+    /// must then hand a [`PoolJob::Flush`] to the pool — the settle
+    /// itself never runs on the router thread.
+    pub(crate) fn claim_if_aged(&self, now: Instant) -> bool {
+        let due = match self.next_age_flush() {
+            Some(t) => t <= now,
+            None => false,
+        };
+        due && batch_claim(&self.flush_claimed)
+    }
+
+    /// Unconditional claim for the shutdown flush. `false` means a
+    /// flush is already in progress (which will settle the same checks).
+    pub(crate) fn claim_for_shutdown(&self) -> bool {
+        batch_claim(&self.flush_claimed)
+    }
+}
+
+/// Settles batches until the flush duty hands back clean: take the
+/// pending list, verify it as one cross-instance equation (bisecting
+/// culprits on failure), and mail each instance its own verdicts. Runs
+/// on a worker thread; the caller must hold the flush claim (from
+/// [`BatchAggregator::submit`], [`BatchAggregator::claim_if_aged`] or
+/// [`BatchAggregator::claim_for_shutdown`]).
+pub(crate) fn run_flush(
+    agg: &BatchAggregator,
+    injector: &Sender<PoolJob>,
+    metrics: &PoolMetrics,
+    reason: FlushReason,
+) {
+    loop {
+        let batch = batch_take(&agg.pending);
+        if !batch.is_empty() {
+            settle_batch(&batch, injector, metrics, reason);
+        }
+        if !batch_finish(&agg.pending, &agg.flush_claimed, agg.flush_size) {
+            return;
+        }
+    }
+}
+
+fn settle_batch(
+    batch: &[PendingVerify],
+    injector: &Sender<PoolJob>,
+    metrics: &PoolMetrics,
+    reason: FlushReason,
+) {
+    metrics.batch_size.record_micros(batch.len() as u64);
+    match reason {
+        FlushReason::Size => metrics.batch_flushes_size.inc(),
+        FlushReason::Age => metrics.batch_flushes_age.inc(),
+        FlushReason::Shutdown => metrics.batch_flushes_shutdown.inc(),
+    }
+    let checks: Vec<&PendingCheck> = batch.iter().map(|v| &v.check).collect();
+    let verdicts = settle_mixed(&checks);
+    // Group verdicts per instance, preserving arrival order within each
+    // group. Batches are small (≈flush_size), so a linear scan beats a
+    // map here.
+    type InstanceVerdicts<'a> = (&'a Arc<InstanceSlot>, Vec<(PartyId, bool)>);
+    let mut grouped: Vec<InstanceVerdicts<'_>> = Vec::new();
+    for (v, ok) in batch.iter().zip(verdicts) {
+        match grouped.iter_mut().find(|(slot, _)| slot.id == v.slot.id) {
+            Some((_, list)) => list.push((v.party, ok)),
+            None => grouped.push((&v.slot, vec![(v.party, ok)])),
+        }
+    }
+    for (slot, instance_verdicts) in grouped {
+        // A Closed push means the instance already finished (its quorum
+        // settled in an earlier batch) — the verdicts are moot, the
+        // normal residual case. A Full push loses the verdicts, but the
+        // next P2P retransmission re-enqueues the affected checks, so
+        // count it like any other mailbox drop.
+        if let Err(PushError::Full) = schedule(
+            slot,
+            injector,
+            metrics,
+            HostMsg::Verdicts {
+                verdicts: instance_verdicts,
+                batch_size: batch.len(),
+                reason: reason.label(),
+            },
+        ) {
+            metrics.mailbox_dropped.inc();
+        }
+    }
+}

@@ -28,8 +28,22 @@
 //! models verify this exhaustively rather than taking the prose on
 //! faith.
 
+//! # The batch-flush handshake
+//!
+//! The cross-instance batch aggregator reuses the same shape with a
+//! second flag, `flush_claimed` ("some thread is settling a batch right
+//! now"): submitters push under the pending-list lock and the one whose
+//! push crosses the size threshold claims the flush duty
+//! ([`batch_submit`]); the flusher swaps the list out ([`batch_take`]),
+//! settles it, then hands the duty back ([`batch_finish`]) — which,
+//! exactly like `unschedule`, re-checks the list *after* releasing the
+//! flag and re-claims if submissions crossed the threshold mid-flush.
+//! Checks enqueued during a flush below the threshold are not lost
+//! either: they stay on the list for the age-based flush to collect.
+
 use crate::mailbox::{Mailbox, PushError};
 use theta_sync::atomic::{AtomicBool, Ordering};
+use theta_sync::Mutex;
 
 /// Producer-side handshake: enqueue `msg` and, iff the slot was idle,
 /// call `enqueue` (which must place the slot on the run queue).
@@ -87,5 +101,114 @@ pub fn drain_apply<T>(mailbox: &Mailbox<T>, scratch: &mut Vec<T>, mut apply: imp
         for msg in scratch.drain(..) {
             apply(msg);
         }
+    }
+}
+
+/// Submitter-side batch handshake: appends `items` to the shared
+/// pending list and, iff the list reached `threshold` *and* no flush is
+/// in progress, claims the flush duty. Returns `true` when the caller
+/// now owns the duty and must run the flush loop
+/// ([`batch_take`] → settle → [`batch_finish`] until it reports no
+/// re-claim).
+pub fn batch_submit<T>(
+    pending: &Mutex<Vec<T>>,
+    flush_claimed: &AtomicBool,
+    items: impl IntoIterator<Item = T>,
+    threshold: usize,
+) -> bool {
+    let len = {
+        let mut p = pending.lock().expect("batch list poisoned");
+        p.extend(items);
+        p.len()
+    };
+    // Push-then-claim, mirroring schedule_core's push-then-swap: a
+    // flusher that observes `flush_claimed == false` in `batch_finish`
+    // and then re-checks the list cannot miss these items.
+    len >= threshold
+        && flush_claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+}
+
+/// Flusher-side: swaps the whole pending list out for settlement. Also
+/// the shutdown drain (which takes unconditionally, without a claim,
+/// after the workers have stopped).
+pub fn batch_take<T>(pending: &Mutex<Vec<T>>) -> Vec<T> {
+    std::mem::take(&mut *pending.lock().expect("batch list poisoned"))
+}
+
+/// Flusher-side hand-back, run *after* the taken batch was settled:
+/// releases the flush duty, then re-checks the list; if submissions
+/// crossed `threshold` mid-flush (their `batch_submit` saw the flag
+/// held and could not claim), re-claims. Returns `true` when the caller
+/// must run another take/settle round — the no-lost-size-flush
+/// guarantee, same argument as [`unschedule`].
+pub fn batch_finish<T>(
+    pending: &Mutex<Vec<T>>,
+    flush_claimed: &AtomicBool,
+    threshold: usize,
+) -> bool {
+    flush_claimed.store(false, Ordering::SeqCst);
+    let len = pending.lock().expect("batch list poisoned").len();
+    len >= threshold
+        && flush_claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+}
+
+/// Claims the flush duty outside the size path — the router's age-based
+/// flush trigger and the shutdown flush use this. Returns `true` when
+/// the claim succeeded (a flush is then owed, ending in
+/// [`batch_finish`]); `false` means a flush is already in progress.
+pub fn batch_claim(flush_claimed: &AtomicBool) -> bool {
+    flush_claimed
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_handshake_claims_exactly_at_threshold() {
+        let pending: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let claimed = AtomicBool::new(false);
+        assert!(!batch_submit(&pending, &claimed, [1], 3), "below threshold");
+        assert!(!batch_submit(&pending, &claimed, [2], 3), "still below");
+        assert!(batch_submit(&pending, &claimed, [3], 3), "crossing claims");
+        // While the flush is claimed, further threshold crossings must
+        // not claim a second flusher.
+        assert!(!batch_submit(&pending, &claimed, [4, 5, 6], 3));
+        let batch = batch_take(&pending);
+        assert_eq!(batch, vec![1, 2, 3, 4, 5, 6]);
+        // Nothing arrived mid-flush: the hand-back releases the duty.
+        assert!(!batch_finish(&pending, &claimed, 3));
+        assert!(!claimed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn batch_finish_reclaims_when_submissions_crossed_mid_flush() {
+        let pending: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let claimed = AtomicBool::new(false);
+        assert!(batch_submit(&pending, &claimed, [1, 2], 2));
+        let first = batch_take(&pending);
+        assert_eq!(first, vec![1, 2]);
+        // A whole batch worth of checks lands while we are settling:
+        // its submitter saw the flag held and did not claim.
+        assert!(!batch_submit(&pending, &claimed, [3, 4], 2));
+        // The hand-back must pick that duty up — otherwise the size
+        // flush is lost and those checks wait for the age fallback.
+        assert!(batch_finish(&pending, &claimed, 2), "mid-flush crossing must re-claim");
+        assert_eq!(batch_take(&pending), vec![3, 4]);
+        assert!(!batch_finish(&pending, &claimed, 2));
+        // Sub-threshold leftovers do not spin the flush loop...
+        assert!(!batch_submit(&pending, &claimed, [5], 2));
+        assert!(batch_claim(&claimed), "age path can claim an idle duty");
+        assert_eq!(batch_take(&pending), vec![5]);
+        assert!(!batch_finish(&pending, &claimed, 2));
+        // ...and a claim attempt during a flush is refused.
+        assert!(batch_claim(&claimed));
+        assert!(!batch_claim(&claimed));
     }
 }

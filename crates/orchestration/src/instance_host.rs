@@ -24,7 +24,8 @@ use theta_metrics::trace::TraceEventKind;
 use theta_metrics::NodeObservability;
 use theta_network::NodeId;
 use theta_protocols::{InboundMessage, ProtocolDriver, ProtocolOutput, ProtocolStats, RoundOutput};
-use theta_schemes::SchemeError;
+use theta_schemes::batch::PendingCheck;
+use theta_schemes::{PartyId, SchemeError};
 
 /// Work the router forwards to an instance's mailbox.
 pub(crate) enum HostMsg {
@@ -36,6 +37,17 @@ pub(crate) enum HostMsg {
         from: NodeId,
         /// The protocol message.
         inbound: InboundMessage,
+    },
+    /// Per-party verdicts from a cross-instance batch settle, for
+    /// checks this instance previously deferred.
+    Verdicts {
+        /// `(party, valid)` for each settled check of this instance.
+        verdicts: Vec<(PartyId, bool)>,
+        /// Total checks in the settled batch (all instances), for the
+        /// trace journal.
+        batch_size: usize,
+        /// Flush-reason label (`"size"` / `"age"` / `"shutdown"`).
+        reason: &'static str,
     },
 }
 
@@ -103,13 +115,36 @@ impl InstanceHost {
 
     /// Applies one mailbox message; returns `true` once the instance is
     /// terminal (the caller drops the host, freeing protocol state).
-    pub(crate) fn handle(&mut self, msg: HostMsg) -> bool {
+    ///
+    /// Checks the protocol deferred for cross-instance batching are
+    /// drained into `checks_out` — the worker submits them to the pool
+    /// aggregator *after* releasing this host's slot.
+    pub(crate) fn handle(
+        &mut self,
+        msg: HostMsg,
+        checks_out: &mut Vec<(PartyId, PendingCheck)>,
+    ) -> bool {
         assert_off_router();
         match msg {
             HostMsg::Start => self.start(),
-            HostMsg::Deliver { from, inbound } => self.deliver(from, &inbound),
+            HostMsg::Deliver { from, inbound } => self.deliver(from, &inbound, checks_out),
+            HostMsg::Verdicts { verdicts, batch_size, reason } => {
+                self.apply_verdicts(&verdicts, batch_size, reason);
+            }
         }
+        self.drain_checks(checks_out);
         self.driver.is_done()
+    }
+
+    /// Moves the driver's deferred checks into `checks_out`, journaling
+    /// each hand-off so GetTrace shows the share rode a batch.
+    fn drain_checks(&mut self, checks_out: &mut Vec<(PartyId, PendingCheck)>) {
+        for (party, check) in self.driver.take_pending_checks() {
+            self.obs
+                .journal
+                .record_peer(self.id.0, TraceEventKind::BatchEnqueued, party.value());
+            checks_out.push((party, check));
+        }
     }
 
     fn start(&mut self) {
@@ -129,14 +164,27 @@ impl InstanceHost {
         }
     }
 
-    fn deliver(&mut self, from: NodeId, inbound: &InboundMessage) {
+    fn deliver(
+        &mut self,
+        from: NodeId,
+        inbound: &InboundMessage,
+        checks_out: &mut Vec<(PartyId, PendingCheck)>,
+    ) {
         self.obs.journal.record_peer(self.id.0, TraceEventKind::ShareReceived, from);
         let verify_start = Instant::now();
         let verdict = self.driver.deliver(inbound);
         self.obs.phases.share_verify.record(verify_start.elapsed());
         match verdict {
             Ok(()) => {
-                self.obs.journal.record_peer(self.id.0, TraceEventKind::ShareVerified, from);
+                // In pooled mode an accepted share is *deferred*, not
+                // verified: its check surfaces here and the trace shows
+                // BatchEnqueued instead of ShareVerified (which arrives
+                // later with the batch verdicts).
+                let before = checks_out.len();
+                self.drain_checks(checks_out);
+                if checks_out.len() == before {
+                    self.obs.journal.record_peer(self.id.0, TraceEventKind::ShareVerified, from);
+                }
             }
             Err(err) => {
                 // Invalid share: logged and dropped, the instance lives on.
@@ -149,6 +197,37 @@ impl InstanceHost {
                 );
             }
         }
+        self.advance();
+    }
+
+    /// Applies one batch settle's verdicts for this instance: journals
+    /// the settle and each per-party outcome, resolves the deferred
+    /// checks and advances (a quorum of verified shares finalizes here).
+    fn apply_verdicts(&mut self, verdicts: &[(PartyId, bool)], batch_size: usize, reason: &str) {
+        self.obs.journal.record_detail(
+            self.id.0,
+            TraceEventKind::BatchSettled,
+            format!(
+                "{} verdict(s) from a {batch_size}-check cross-instance batch ({reason} flush)",
+                verdicts.len()
+            ),
+        );
+        for (party, ok) in verdicts {
+            if *ok {
+                self.obs
+                    .journal
+                    .record_peer(self.id.0, TraceEventKind::ShareVerified, party.value());
+            } else {
+                self.shares_rejected.inc();
+                self.obs.journal.record_full(
+                    self.id.0,
+                    TraceEventKind::ShareRejected,
+                    party.value(),
+                    "failed cross-instance batch verification".into(),
+                );
+            }
+        }
+        self.driver.resolve_checks(verdicts);
         self.advance();
     }
 

@@ -25,6 +25,7 @@
 //! ([`theta_schemes::SchemeError::Overloaded`]) rather than buffered
 //! without limit.
 
+mod batcher;
 mod cache;
 pub mod handshake;
 mod instance_host;

@@ -19,14 +19,16 @@
 //! [`SchemeError::Shutdown`], so every subscriber always receives a
 //! terminal result.
 
+use crate::batcher::{BatchAggregator, FlushReason};
 use crate::cache::ResultCache;
 use crate::instance_host::{HostMsg, InstanceHost, Upcall};
-use crate::worker_pool::{schedule, InstanceSlot, WorkerPool};
+use crate::worker_pool::{schedule, InstanceSlot, PoolJob, WorkerPool};
 use crate::{Envelope, InstanceId, KeyChest, Request};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use rand::{RngCore, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use theta_sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -59,6 +61,18 @@ pub struct NodeConfig {
     /// invalid shares are pruned and the instance keeps waiting. Eager
     /// per-share verification is used when false.
     pub lazy_batch_verification: bool,
+    /// Pool-scoped batching: defer every batchable share check to the
+    /// node-wide aggregator, which folds checks from *all* concurrent
+    /// instances into one RLC/MSM settle. Takes precedence over
+    /// `lazy_batch_verification` for schemes that support detached
+    /// checks; non-batchable schemes fall back per the other flags.
+    pub cross_instance_batching: bool,
+    /// The aggregator settles as soon as this many checks are pending
+    /// (the size flush, run by the submitting worker).
+    pub batch_flush_size: usize,
+    /// A pending check older than this triggers a flush even below the
+    /// size threshold — bounds the latency cost of batching.
+    pub batch_flush_age: Duration,
     /// RNG seed (`None` = entropy from the OS).
     pub rng_seed: Option<u64>,
     /// Finished results kept for duplicate submissions, at most this many.
@@ -92,6 +106,9 @@ impl Default for NodeConfig {
             instance_timeout: Duration::from_secs(30),
             use_precomputed_nonces: true,
             lazy_batch_verification: true,
+            cross_instance_batching: true,
+            batch_flush_size: 16,
+            batch_flush_age: Duration::from_millis(1),
             rng_seed: None,
             result_cache_capacity: 4096,
             result_cache_ttl: Duration::from_secs(300),
@@ -378,6 +395,7 @@ struct RouterMetrics {
     batch_verify_ok: Arc<Counter>,
     shares_pruned: Arc<Counter>,
     eager_verifies: Arc<Counter>,
+    shares_cross_batched: Arc<Counter>,
 }
 
 impl RouterMetrics {
@@ -395,9 +413,35 @@ impl RouterMetrics {
             batch_verify_ok: registry.counter("theta_batch_verify_ok_total"),
             shares_pruned: registry.counter("theta_shares_pruned_total"),
             eager_verifies: registry.counter("theta_share_verifications_eager_total"),
+            shares_cross_batched: registry.counter("theta_shares_cross_batched_total"),
         }
     }
 }
+
+/// Pass-through hasher for the instances map: instance ids are already
+/// 32 bytes of a cryptographic hash (uniformly distributed by
+/// construction), so running them through SipHash again only burns
+/// router-thread cycles on the per-message demux path. Folding the id's
+/// 8-byte chunks with XOR preserves the distribution and costs four
+/// word ops.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 ^= u64::from_le_bytes(word);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type InstanceMap = HashMap<InstanceId, RouterEntry, BuildHasherDefault<IdHasher>>;
 
 fn resolve_worker_threads(configured: usize) -> usize {
     if configured > 0 {
@@ -413,7 +457,7 @@ struct Router {
     config: NodeConfig,
     commands: Receiver<Command>,
     queue_depth: Arc<AtomicUsize>,
-    instances: HashMap<InstanceId, RouterEntry>,
+    instances: InstanceMap,
     finished: ResultCache<InstanceResult>,
     /// Min-heap of `(deadline, id)` — lazily validated against the live
     /// instance on pop (an entry for a finished instance is skipped).
@@ -425,6 +469,9 @@ struct Router {
     metrics: RouterMetrics,
     pool_metrics: PoolMetrics,
     pool: WorkerPool,
+    /// The node-wide cross-instance batch aggregator, shared with every
+    /// worker. The router only triggers its age/shutdown flushes.
+    agg: Arc<BatchAggregator>,
     upcall_tx: Sender<Upcall>,
     upcall_rx: Receiver<Upcall>,
     /// Master RNG: only ever used to derive per-host seeds; all protocol
@@ -449,7 +496,8 @@ impl Router {
         let metrics = RouterMetrics::resolve(&obs.registry);
         let workers = resolve_worker_threads(config.worker_threads);
         let pool_metrics = PoolMetrics::register(&obs.registry, workers);
-        let pool = WorkerPool::spawn(workers, network.node_id(), &pool_metrics);
+        let agg = Arc::new(BatchAggregator::new(config.batch_flush_size, config.batch_flush_age));
+        let pool = WorkerPool::spawn(workers, network.node_id(), &pool_metrics, agg.clone());
         let (upcall_tx, upcall_rx) = unbounded::<Upcall>();
         Router {
             keys,
@@ -457,7 +505,7 @@ impl Router {
             config,
             commands,
             queue_depth,
-            instances: HashMap::new(),
+            instances: InstanceMap::default(),
             finished,
             expiry_heap: BinaryHeap::new(),
             retry_heap: BinaryHeap::new(),
@@ -466,6 +514,7 @@ impl Router {
             metrics,
             pool_metrics,
             pool,
+            agg,
             upcall_tx,
             upcall_rx,
             rng,
@@ -479,15 +528,24 @@ impl Router {
         self.obs.journal.record_detail(instance, TraceEventKind::Error, detail);
     }
 
-    /// Earliest pending deadline across both heaps, if any. Entries may
-    /// be stale (their instance already finished) — a stale head only
-    /// causes one early wakeup that pops and discards it.
+    /// Earliest pending deadline across both heaps and the aggregator's
+    /// age flush, if any. Entries may be stale (their instance already
+    /// finished, or a flush in progress will collect the pending
+    /// checks) — a stale head only causes one early wakeup that pops
+    /// (or fails to claim) and discards it.
     fn next_deadline(&self) -> Option<Instant> {
         let expiry = self.expiry_heap.peek().map(|Reverse((t, _))| *t);
         let retry = self.retry_heap.peek().map(|Reverse((t, _))| *t);
-        match (expiry, retry) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        let flush = self.agg.next_age_flush();
+        [expiry, retry, flush].into_iter().flatten().min()
+    }
+
+    /// Age-trigger service: when the oldest pending check has aged out
+    /// and no flush is running, claim the duty and hand the settle to a
+    /// worker — batch crypto never runs on the router thread.
+    fn flush_if_aged(&mut self, now: Instant) {
+        if self.agg.claim_if_aged(now) {
+            let _ = self.pool.injector().send(PoolJob::Flush(FlushReason::Age));
         }
     }
 
@@ -582,6 +640,7 @@ impl Router {
             let now = Instant::now();
             self.expire_instances(now);
             self.retry_due(now);
+            self.flush_if_aged(now);
             self.pool_metrics.router_busy_nanos.add(work_start.elapsed().as_nanos() as u64);
         }
     }
@@ -594,6 +653,11 @@ impl Router {
         let deadline = Instant::now() + drain;
         let events = self.network.events().clone();
         let upcalls = self.upcall_rx.clone();
+        // Settle whatever the aggregator holds so draining instances
+        // whose checks are parked there can still reach quorum.
+        if self.agg.claim_for_shutdown() {
+            let _ = self.pool.injector().send(PoolJob::Flush(FlushReason::Shutdown));
+        }
         while !self.instances.is_empty() && Instant::now() < deadline {
             let wake = self.next_deadline().map_or(deadline, |t| t.min(deadline));
             let timer = crossbeam::channel::at(wake);
@@ -613,6 +677,8 @@ impl Router {
             let now = Instant::now();
             self.expire_instances(now);
             self.retry_due(now);
+            // Checks deferred *during* the drain still need settling.
+            self.flush_if_aged(now);
         }
         let leftover: Vec<InstanceId> = self.instances.keys().copied().collect();
         for id in leftover {
@@ -687,18 +753,24 @@ impl Router {
         request: &Request,
     ) -> Result<Box<dyn ThresholdRoundProtocol>, SchemeError> {
         let malformed = |e: theta_codec::CodecError| SchemeError::Malformed(e.to_string());
-        // Lazy batch verification folds all pending share checks at
-        // quorum into one MSM / pairing-product equation.
+        // Verification-mode precedence: pooled (cross-instance batching)
+        // over lazy (instance-local batching at quorum) over eager
+        // (per-share inline). Pooled protocols whose scheme cannot
+        // detach checks (SH00) verify inline anyway.
         fn one_round<S: theta_protocols::one_round::OneRoundScheme + 'static>(
+            pooled: bool,
             lazy: bool,
             scheme: S,
         ) -> Box<OneRoundProtocol<S>> {
-            Box::new(if lazy {
+            Box::new(if pooled {
+                OneRoundProtocol::new_pooled(scheme)
+            } else if lazy {
                 OneRoundProtocol::new_lazy(scheme)
             } else {
                 OneRoundProtocol::new(scheme)
             })
         }
+        let pooled = self.config.cross_instance_batching;
         let lazy = self.config.lazy_batch_verification;
         match request {
             Request::Sg02Decrypt(bytes) => {
@@ -706,26 +778,26 @@ impl Router {
                     SchemeError::KeyMismatch("no sg02 key provisioned".into())
                 })?;
                 let ct = theta_schemes::sg02::Ciphertext::decoded(bytes).map_err(malformed)?;
-                Ok(one_round(lazy, Sg02Decrypt::new(key, ct)))
+                Ok(one_round(pooled, lazy, Sg02Decrypt::new(key, ct)))
             }
             Request::Bz03Decrypt(bytes) => {
                 let key = self.keys.bz03.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no bz03 key provisioned".into())
                 })?;
                 let ct = theta_schemes::bz03::Ciphertext::decoded(bytes).map_err(malformed)?;
-                Ok(one_round(lazy, Bz03Decrypt::new(key, ct)))
+                Ok(one_round(pooled, lazy, Bz03Decrypt::new(key, ct)))
             }
             Request::Sh00Sign(message) => {
                 let key = self.keys.sh00.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no sh00 key provisioned".into())
                 })?;
-                Ok(one_round(lazy, Sh00Sign::new(key, message.clone())))
+                Ok(one_round(pooled, lazy, Sh00Sign::new(key, message.clone())))
             }
             Request::Bls04Sign(message) => {
                 let key = self.keys.bls04.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no bls04 key provisioned".into())
                 })?;
-                Ok(one_round(lazy, Bls04Sign::new(key, message.clone())))
+                Ok(one_round(pooled, lazy, Bls04Sign::new(key, message.clone())))
             }
             Request::Kg20Sign(message) => {
                 let key = self.keys.kg20.clone().ok_or_else(|| {
@@ -745,7 +817,7 @@ impl Router {
                 let key = self.keys.cks05.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no cks05 key provisioned".into())
                 })?;
-                Ok(one_round(lazy, Cks05Coin::new(key, name.clone())))
+                Ok(one_round(pooled, lazy, Cks05Coin::new(key, name.clone())))
             }
         }
     }
@@ -949,6 +1021,7 @@ impl Router {
             self.metrics.batch_verify_ok.add(stats.batch_verify_ok);
             self.metrics.shares_pruned.add(stats.shares_pruned);
             self.metrics.eager_verifies.add(stats.eager_verifies);
+            self.metrics.shares_cross_batched.add(stats.cross_batched);
         }
         let result = InstanceResult { instance: id, outcome, elapsed: entry.started.elapsed() };
         // Account and cache *before* notifying: a subscriber thread may
@@ -1603,5 +1676,155 @@ mod tests {
             .gauge(theta_metrics::observability::INFLIGHT_INSTANCES_GAUGE)
             .get();
         assert_eq!(inflight, 2, "both instances must be live concurrently");
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-instance batch verification (PR 7).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cross_instance_batching_settles_and_traces() {
+        // Several concurrent BLS04 instances on a 4-node network: shares
+        // from all instances must verify through the pool aggregator
+        // (not per-instance checks), the flush counters/histogram must
+        // record it, and each instance's journal must show the full
+        // batch lifecycle (BatchEnqueued → BatchSettled → ShareVerified)
+        // — what GetTrace serves to the operator.
+        let mut r = seeded();
+        let (_hub, nets) = build_network(4);
+        let chests = full_chests(1, 4, &mut r);
+        let handles: Vec<NodeHandle> = chests
+            .into_iter()
+            .zip(nets)
+            .map(|(chest, net)| {
+                spawn_node(
+                    chest,
+                    net,
+                    NodeConfig {
+                        batch_flush_size: 4,
+                        batch_flush_age: Duration::from_millis(2),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        const REQS: usize = 4;
+        let pending: Vec<(InstanceId, PendingResult)> = (0..REQS)
+            .map(|i| {
+                let req = Request::Bls04Sign(format!("batched-{i}").into_bytes());
+                (req.instance_id(), handles[0].submit(req))
+            })
+            .collect();
+        for (_, p) in &pending {
+            let result = p.wait_timeout(WAIT).expect("completion");
+            assert!(result.outcome.is_ok(), "batched instance failed: {:?}", result.outcome);
+        }
+        let obs = handles[0].observability();
+        // Shares verified via the pool-scoped batch, not instance-local.
+        let deadline = std::time::Instant::now() + WAIT;
+        let cross = || {
+            obs.registry
+                .counter_value("theta_shares_cross_batched_total", &[])
+                .unwrap_or(0)
+        };
+        // Stats fold on Finished upcalls which race this check briefly.
+        while cross() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(cross() >= 1, "no share was cross-batch verified");
+        // At least one flush fired, and the size histogram saw it.
+        let flushes: u64 = ["size", "age", "shutdown"]
+            .iter()
+            .map(|reason| {
+                obs.registry
+                    .counter_value(
+                        theta_metrics::observability::BATCH_FLUSHES_COUNTER,
+                        &[("reason", reason)],
+                    )
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(flushes >= 1, "no batch flush recorded");
+        let sizes = obs
+            .registry
+            .histogram_snapshot(theta_metrics::observability::BATCH_SIZE_HISTOGRAM, &[])
+            .expect("batch size histogram registered");
+        assert!(sizes.count() >= 1, "no batch size recorded");
+        // Per-instance trace: the request's shares rode a batch.
+        let (id, _) = &pending[0];
+        let kinds: Vec<TraceEventKind> =
+            obs.journal.events_for(&id.0).iter().map(|e| e.kind).collect();
+        assert!(
+            kinds.contains(&TraceEventKind::BatchEnqueued),
+            "journal missing BatchEnqueued: {kinds:?}"
+        );
+        assert!(
+            kinds.contains(&TraceEventKind::BatchSettled),
+            "journal missing BatchSettled: {kinds:?}"
+        );
+        assert!(kinds.contains(&TraceEventKind::ShareVerified));
+    }
+
+    #[test]
+    fn forged_share_in_cross_batch_prunes_only_culprit() {
+        // Node 2 holds a key share from an *independent* keygen: its
+        // shares decode fine but fail verification. With t = 2 (quorum
+        // 3) the three honest nodes must still complete every instance —
+        // the failed batch bisects down to node 2's checks and prunes
+        // exactly those, never the innocent instances' valid shares.
+        let mut r = seeded();
+        let params = ThresholdParams::new(2, 4).unwrap();
+        let (_, honest_keys) = theta_schemes::bls04::keygen(params, &mut r);
+        let (_, foreign_keys) = theta_schemes::bls04::keygen(params, &mut r);
+        let (_hub, nets) = build_network(4);
+        let handles: Vec<NodeHandle> = (0..4usize)
+            .zip(nets)
+            .map(|(i, net)| {
+                let mut chest = KeyChest::new();
+                chest.bls04 = Some(if i == 1 {
+                    foreign_keys[i].clone() // the forger
+                } else {
+                    honest_keys[i].clone()
+                });
+                spawn_node(
+                    chest,
+                    net,
+                    NodeConfig {
+                        batch_flush_size: 4,
+                        batch_flush_age: Duration::from_millis(2),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        // Two concurrent instances so the forged shares share a batch
+        // with innocent checks from another instance.
+        let pending: Vec<PendingResult> = (0..2)
+            .flat_map(|i| {
+                let msg = format!("forged-batch-{i}").into_bytes();
+                [&handles[0], &handles[2], &handles[3]]
+                    .map(|h| h.submit(Request::Bls04Sign(msg.clone())))
+            })
+            .collect();
+        for p in pending {
+            let result = p.wait_timeout(WAIT).expect("completion despite forger");
+            assert!(
+                result.outcome.is_ok(),
+                "honest quorum must survive a forged share in the batch: {:?}",
+                result.outcome
+            );
+        }
+        // At least one honest node saw node 2's share fail the batch
+        // settle and pruned it (journaled with the batch reject detail).
+        let pruned_somewhere = [0usize, 2, 3].iter().any(|&i| {
+            let obs = handles[i].observability();
+            obs.journal.events_for(&Request::Bls04Sign(b"forged-batch-0".to_vec()).instance_id().0)
+                .iter()
+                .any(|e| {
+                    e.kind == TraceEventKind::ShareRejected
+                        && e.detail.contains("cross-instance batch")
+                })
+        });
+        assert!(pruned_somewhere, "no honest node journaled the batch-verdict prune");
     }
 }

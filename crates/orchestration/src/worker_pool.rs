@@ -15,6 +15,7 @@
 //! [`crate::handshake`] so the loom models and the interleaving test
 //! hammer the exact code the pool runs.
 
+use crate::batcher::{run_flush, BatchAggregator, FlushReason};
 use crate::handshake::{drain_apply, schedule_core, unschedule};
 use crate::instance_host::{HostMsg, InstanceHost};
 use crate::mailbox::{Mailbox, PushError};
@@ -23,6 +24,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 use theta_metrics::PoolMetrics;
+use theta_schemes::batch::PendingCheck;
+use theta_schemes::PartyId;
 use theta_sync::atomic::AtomicBool;
 use theta_sync::Mutex;
 
@@ -48,11 +51,18 @@ impl InstanceSlot {
     }
 }
 
-/// A run-queue entry: a scheduled slot, or the shutdown sentinel each
-/// worker consumes exactly once (workers hold injector clones for
-/// re-injection, so plain channel disconnection can never fire).
+/// A run-queue entry: a scheduled slot, a claimed batch flush (the
+/// router's age/shutdown triggers hand the settle to a worker this
+/// way), or the shutdown sentinel each worker consumes exactly once
+/// (workers hold injector clones for re-injection, so plain channel
+/// disconnection can never fire).
 pub(crate) enum PoolJob {
     Run(Arc<InstanceSlot>),
+    /// Settle the aggregator's pending batch. The sender already holds
+    /// the flush claim ([`BatchAggregator::claim_if_aged`] /
+    /// [`BatchAggregator::claim_for_shutdown`]); the worker runs
+    /// [`run_flush`] to completion.
+    Flush(FlushReason),
     Stop,
 }
 
@@ -75,10 +85,17 @@ pub(crate) fn schedule(
     })
 }
 
-/// Drains and applies everything in the slot's mailbox. Returns `true`
-/// when the slot must be re-injected (messages arrived during the
-/// hand-back).
-fn run_slot(slot: &InstanceSlot, scratch: &mut Vec<HostMsg>) -> bool {
+/// Drains and applies everything in the slot's mailbox; checks the
+/// host deferred for cross-instance batching come back in `checks`
+/// (the caller submits them to the aggregator *after* the host lock is
+/// released, so a same-worker flush never deadlocks on its own slot).
+/// Returns `true` when the slot must be re-injected (messages arrived
+/// during the hand-back).
+fn run_slot(
+    slot: &InstanceSlot,
+    scratch: &mut Vec<HostMsg>,
+    checks: &mut Vec<(PartyId, PendingCheck)>,
+) -> bool {
     {
         let mut host = slot
             .host
@@ -86,7 +103,7 @@ fn run_slot(slot: &InstanceSlot, scratch: &mut Vec<HostMsg>) -> bool {
             .unwrap_or_else(|_| panic!("instance {:?} scheduled on two workers at once", slot.id));
         drain_apply(&slot.mailbox, scratch, |msg| {
             if let Some(h) = host.as_mut() {
-                if h.handle(msg) {
+                if h.handle(msg, checks) {
                     // Terminal: free the protocol state eagerly; any
                     // residual mailbox traffic is discarded below.
                     *host = None;
@@ -107,32 +124,57 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `threads` workers named `theta-worker-{party}-{i}`.
-    pub(crate) fn spawn(threads: usize, party: u16, metrics: &PoolMetrics) -> WorkerPool {
+    /// Spawns `threads` workers named `theta-worker-{party}-{i}`, all
+    /// sharing the node's cross-instance batch aggregator.
+    pub(crate) fn spawn(
+        threads: usize,
+        party: u16,
+        metrics: &PoolMetrics,
+        agg: Arc<BatchAggregator>,
+    ) -> WorkerPool {
         let (injector, run_queue) = unbounded::<PoolJob>();
         let workers = (0..threads)
             .map(|i| {
                 let rx: Receiver<PoolJob> = run_queue.clone();
                 let injector = injector.clone();
-                let runqueue_depth = metrics.runqueue_depth.clone();
+                let metrics = metrics.clone();
                 let busy = metrics.worker_busy[i.min(metrics.worker_busy.len() - 1)].clone();
-                let busy_nanos = metrics.worker_busy_nanos.clone();
+                let agg = agg.clone();
                 std::thread::Builder::new()
                     .name(format!("theta-worker-{party}-{i}"))
                     .spawn(move || {
                         let mut scratch = Vec::new();
+                        let mut checks: Vec<(PartyId, PendingCheck)> = Vec::new();
                         // Exits on PoolJob::Stop or a closed queue alike.
-                        while let Ok(PoolJob::Run(slot)) = rx.recv() {
-                            runqueue_depth.add(-1);
+                        while let Ok(job) = rx.recv() {
                             let busy_start = Instant::now();
-                            let reinject = run_slot(&slot, &mut scratch);
+                            match job {
+                                PoolJob::Run(slot) => {
+                                    metrics.runqueue_depth.add(-1);
+                                    let reinject = run_slot(&slot, &mut scratch, &mut checks);
+                                    if reinject {
+                                        metrics.runqueue_depth.add(1);
+                                        let _ = injector.send(PoolJob::Run(slot.clone()));
+                                    }
+                                    // Submit deferred checks only after the
+                                    // host lock is released; the submission
+                                    // that crosses the size threshold settles
+                                    // the batch right here, overlapping with
+                                    // other workers' share processing.
+                                    if !checks.is_empty()
+                                        && agg.submit(&slot, std::mem::take(&mut checks))
+                                    {
+                                        run_flush(&agg, &injector, &metrics, FlushReason::Size);
+                                    }
+                                }
+                                PoolJob::Flush(reason) => {
+                                    run_flush(&agg, &injector, &metrics, reason);
+                                }
+                                PoolJob::Stop => break,
+                            }
                             let spent = busy_start.elapsed();
                             busy.record(spent);
-                            busy_nanos.add(spent.as_nanos() as u64);
-                            if reinject {
-                                runqueue_depth.add(1);
-                                let _ = injector.send(PoolJob::Run(slot));
-                            }
+                            metrics.worker_busy_nanos.add(spent.as_nanos() as u64);
                         }
                     })
                     .expect("spawn worker thread")

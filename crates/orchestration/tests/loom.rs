@@ -20,12 +20,17 @@
 //!    behind or resurrects the slot;
 //! 5. terminal delivery is exactly-once: the worker finish path and the
 //!    shutdown-drain path can both try to claim an instance's terminal
-//!    result, but only one succeeds.
+//!    result, but only one succeeds;
+//! 6. the batch-flush handshake settles every submitted check exactly
+//!    once: a check enqueued *while* another thread is mid-flush is
+//!    neither lost nor double-verified, and the flush duty never leaks.
 
 #![cfg(feature = "loom")]
 
 use std::sync::Arc;
-use theta_orchestration::handshake::{drain_apply, schedule_core, unschedule};
+use theta_orchestration::handshake::{
+    batch_claim, batch_finish, batch_submit, batch_take, drain_apply, schedule_core, unschedule,
+};
 use theta_orchestration::mailbox::{Mailbox, PushError};
 use theta_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use theta_sync::{model, model_bounded, thread, Condvar, Mutex};
@@ -283,4 +288,64 @@ fn terminal_result_is_claimed_exactly_once() {
         assert_eq!(deliveries.load(Ordering::SeqCst), 1, "terminal result lost or duplicated");
         assert!(result.lock().unwrap().is_none());
     });
+}
+
+/// Model 6 (exhaustive) — the batch-flush handshake: two workers race
+/// `batch_submit` on one aggregator (threshold 2). Whoever claims the
+/// flush duty runs the production take/settle/finish loop; a check
+/// submitted while the other thread is mid-flush must be either swept
+/// into that flush's re-claim round or left on the list for the age
+/// path — settled exactly once, never lost, never twice. The duty flag
+/// must always come back released (or claimable) at the end.
+#[test]
+fn batch_flush_settles_every_check_exactly_once() {
+    // threshold 1: every submission may claim, so one thread is usually
+    // mid-flush when the other's push lands — the enqueue-while-flushing
+    // races. threshold 2: only the crossing submission claims — the
+    // single-flusher sweep-up races.
+    for threshold in [1usize, 2] {
+        model_bounded(usize::MAX, move || {
+            let pending: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+            let claimed = Arc::new(AtomicBool::new(false));
+            let settled: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+            let submitters: Vec<_> = (0..2u64)
+                .map(|item| {
+                    let pending = pending.clone();
+                    let claimed = claimed.clone();
+                    let settled = settled.clone();
+                    thread::spawn(move || {
+                        // Each submitter contributes one check; a claim
+                        // obliges it to run the production flush loop.
+                        if batch_submit(&pending, &claimed, [item], threshold) {
+                            loop {
+                                let batch = batch_take(&pending);
+                                settled.lock().unwrap().extend(batch);
+                                if !batch_finish(&pending, &claimed, threshold) {
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in submitters {
+                h.join().unwrap();
+            }
+
+            // The age/shutdown path collects whatever the size flushes
+            // left behind (a sub-threshold straggler).
+            if batch_claim(&claimed) {
+                let batch = batch_take(&pending);
+                settled.lock().unwrap().extend(batch);
+                assert!(!batch_finish(&pending, &claimed, threshold));
+            }
+
+            let mut seen = settled.lock().unwrap().clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1], "check lost or double-settled (threshold {threshold})");
+            assert!(pending.lock().unwrap().is_empty());
+            assert!(!claimed.load(Ordering::SeqCst), "flush duty leaked");
+        });
+    }
 }

@@ -191,6 +191,30 @@ impl ProtocolDriver {
     pub fn stats(&self) -> ProtocolStats {
         self.protocol.stats()
     }
+
+    /// Drains the share-validity checks the protocol deferred for
+    /// cross-instance batch verification (empty for protocols that
+    /// verify inline, and always empty once the instance is done).
+    pub fn take_pending_checks(
+        &mut self,
+    ) -> Vec<(PartyId, theta_schemes::batch::PendingCheck)> {
+        if self.done {
+            // Terminal: any still-deferred checks are moot, but drain
+            // them so they cannot leak into a later flush.
+            let _ = self.protocol.take_pending_checks();
+            return Vec::new();
+        }
+        self.protocol.take_pending_checks()
+    }
+
+    /// Applies cross-instance batch verdicts to previously deferred
+    /// checks. Ignored on a finished instance.
+    pub fn resolve_checks(&mut self, verdicts: &[(PartyId, bool)]) {
+        if self.done {
+            return;
+        }
+        self.protocol.resolve_checks(verdicts);
+    }
 }
 
 #[cfg(test)]

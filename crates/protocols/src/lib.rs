@@ -123,6 +123,9 @@ pub struct ProtocolStats {
     pub shares_pruned: u64,
     /// Per-share eager verifications performed.
     pub eager_verifies: u64,
+    /// Shares verified by a *cross-instance* batch settle (pool-scoped
+    /// batching, PR 7) instead of an instance-local check.
+    pub cross_batched: u64,
 }
 
 /// The Threshold Round Interface (paper §3.5).
@@ -176,6 +179,26 @@ pub trait ThresholdRoundProtocol: Send {
     /// do no share verification keep the default zeros.
     fn stats(&self) -> ProtocolStats {
         ProtocolStats::default()
+    }
+
+    /// Drains the share-validity checks this protocol has deferred for
+    /// *cross-instance* batch verification (pool-scoped batching).
+    ///
+    /// Protocols that verify inline — the default — never defer, so the
+    /// default returns an empty vector. A protocol that does defer hands
+    /// back `(party, check)` pairs and counts on a later
+    /// [`Self::resolve_checks`] call with the verdicts; until then the
+    /// corresponding shares do not count toward its quorum.
+    fn take_pending_checks(&mut self) -> Vec<(PartyId, theta_schemes::batch::PendingCheck)> {
+        Vec::new()
+    }
+
+    /// Applies the verdicts of a cross-instance batch settle to
+    /// previously deferred checks: `true` marks the party's share
+    /// verified, `false` prunes it (the share was invalid). Verdicts for
+    /// parties whose shares are no longer held are ignored.
+    fn resolve_checks(&mut self, verdicts: &[(PartyId, bool)]) {
+        let _ = verdicts;
     }
 }
 

@@ -10,6 +10,7 @@ use crate::{
     ThresholdRoundProtocol, Transport,
 };
 use std::collections::BTreeMap;
+use theta_schemes::batch::PendingCheck;
 use theta_schemes::{bls04, bz03, cks05, sg02, sh00, PartyId, SchemeError};
 
 /// Adapter trait: everything a non-interactive scheme needs to expose to
@@ -72,6 +73,40 @@ pub trait OneRoundScheme: Send {
     ///
     /// Propagates scheme combination failures.
     fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError>;
+
+    /// Captures a received share's validity check as a detached
+    /// [`PendingCheck`] for cross-instance batching. Schemes without a
+    /// batchable check (SH00's RSA proofs) return `None` and fall back
+    /// to eager inline verification in pooled mode.
+    fn pending_check(&self, share: &Self::Share) -> Option<PendingCheck> {
+        let _ = share;
+        None
+    }
+
+    /// Combines a quorum of shares that were **already individually
+    /// verified** (by the cross-instance batch settle), skipping the
+    /// per-combine re-verification. Default falls back to [`Self::combine`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme combination failures.
+    fn combine_preverified(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        self.combine(shares)
+    }
+}
+
+/// How a [`OneRoundProtocol`] verifies incoming shares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Verify each share inline on arrival.
+    Eager,
+    /// Store shares unchecked; batch-verify the instance's pending set
+    /// once a quorum of candidates accumulates.
+    Lazy,
+    /// Defer each share's check to the pool-scoped cross-instance batch
+    /// aggregator; shares count toward quorum only once their verdict
+    /// arrives via [`ThresholdRoundProtocol::resolve_checks`].
+    Pooled,
 }
 
 /// TRI state machine for any [`OneRoundScheme`].
@@ -80,7 +115,8 @@ pub struct OneRoundProtocol<S: OneRoundScheme> {
     round: u16,
     shares: BTreeMap<PartyId, S::Share>,
     verified: std::collections::BTreeSet<PartyId>,
-    lazy: bool,
+    mode: Mode,
+    outbox: Vec<(PartyId, PendingCheck)>,
     finished: bool,
     stats: ProtocolStats,
 }
@@ -94,7 +130,8 @@ impl<S: OneRoundScheme> OneRoundProtocol<S> {
             round: 0,
             shares: BTreeMap::new(),
             verified: std::collections::BTreeSet::new(),
-            lazy: false,
+            mode: Mode::Eager,
+            outbox: Vec::new(),
             finished: false,
             stats: ProtocolStats::default(),
         }
@@ -109,7 +146,26 @@ impl<S: OneRoundScheme> OneRoundProtocol<S> {
     /// cost.
     pub fn new_lazy(scheme: S) -> Self {
         let mut p = Self::new(scheme);
-        p.lazy = true;
+        p.mode = Mode::Lazy;
+        p
+    }
+
+    /// Wraps a scheme adapter with *pool-scoped batched verification*:
+    /// each incoming share's validity check is detached as a
+    /// [`PendingCheck`] (drained via
+    /// [`ThresholdRoundProtocol::take_pending_checks`]) so the
+    /// orchestration layer can settle checks from *many concurrent
+    /// instances* in one combined equation. Shares count toward quorum
+    /// once their verdict arrives through
+    /// [`ThresholdRoundProtocol::resolve_checks`]; by then every quorum
+    /// share is individually verified, so finalization combines with
+    /// [`OneRoundScheme::combine_preverified`] — only the Lagrange MSM
+    /// (and any final output check) remains on the critical combine path,
+    /// overlapping verification with share arrival instead of paying for
+    /// it at quorum settle.
+    pub fn new_pooled(scheme: S) -> Self {
+        let mut p = Self::new(scheme);
+        p.mode = Mode::Pooled;
         p
     }
 
@@ -179,26 +235,66 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
         if claimed != message.sender {
             return Err(SchemeError::InvalidShare { party: message.sender.value() });
         }
-        if !self.lazy {
-            self.stats.eager_verifies += 1;
-            if !self.scheme.verify_share(&share) {
-                return Err(SchemeError::InvalidShare { party: claimed.value() });
+        match self.mode {
+            Mode::Eager => {
+                self.stats.eager_verifies += 1;
+                if !self.scheme.verify_share(&share) {
+                    return Err(SchemeError::InvalidShare { party: claimed.value() });
+                }
+                self.shares.insert(claimed, share);
+                self.verified.insert(claimed);
+                Ok(())
             }
-            self.shares.insert(claimed, share);
-            self.verified.insert(claimed);
-            return Ok(());
-        }
-        // Lazy mode: store unchecked; once a quorum of candidates exists,
-        // settle all pending shares with one batched verification and
-        // prune the invalid ones.
-        self.shares.insert(claimed, share);
-        if self.shares.len() >= self.scheme.quorum() {
-            let pruned = self.settle_pending()?;
-            if pruned.contains(&claimed) {
-                return Err(SchemeError::InvalidShare { party: claimed.value() });
+            Mode::Lazy => {
+                // Store unchecked; once a quorum of candidates exists,
+                // settle all pending shares with one batched verification
+                // and prune the invalid ones.
+                self.shares.insert(claimed, share);
+                if self.shares.len() >= self.scheme.quorum() {
+                    let pruned = self.settle_pending()?;
+                    if pruned.contains(&claimed) {
+                        return Err(SchemeError::InvalidShare { party: claimed.value() });
+                    }
+                }
+                Ok(())
+            }
+            Mode::Pooled => {
+                if self.verified.contains(&claimed) {
+                    // Already settled for this party (e.g. P2P re-delivery).
+                    return Ok(());
+                }
+                if let Some(existing) = self.shares.get(&claimed) {
+                    // A verdict for this party is still outstanding. A
+                    // re-delivery of the *same* share re-enqueues its
+                    // check (self-healing if the earlier verdict was
+                    // dropped), but a *different* share is rejected:
+                    // only one share version per party may be in flight,
+                    // so verdicts are never ambiguous about which share
+                    // they refer to.
+                    if S::encode_share(existing) != message.payload {
+                        return Err(SchemeError::InvalidShare { party: claimed.value() });
+                    }
+                }
+                match self.scheme.pending_check(&share) {
+                    Some(check) => {
+                        self.shares.insert(claimed, share);
+                        self.outbox.push((claimed, check));
+                        Ok(())
+                    }
+                    None => {
+                        // No batchable check for this scheme: verify
+                        // inline, as in eager mode.
+                        self.stats.eager_verifies += 1;
+                        if !self.scheme.verify_share(&share) {
+                            return Err(SchemeError::InvalidShare { party: claimed.value() });
+                        }
+                        self.shares.insert(claimed, share);
+                        self.verified.insert(claimed);
+                        Ok(())
+                    }
+                }
             }
         }
-        Ok(())
     }
 
     fn is_ready_for_next_round(&self) -> bool {
@@ -207,18 +303,44 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
     }
 
     fn is_ready_to_finalize(&self) -> bool {
-        !self.finished && self.round == 1 && self.shares.len() >= self.scheme.quorum()
+        if self.finished || self.round != 1 {
+            return false;
+        }
+        match self.mode {
+            // Pooled: only settled (verified) shares count — unsettled
+            // shares may yet be pruned by their batch verdict.
+            Mode::Pooled => self.verified.len() >= self.scheme.quorum(),
+            _ => self.shares.len() >= self.scheme.quorum(),
+        }
     }
 
     fn finalize(&mut self) -> Result<ProtocolOutput, SchemeError> {
         if !self.is_ready_to_finalize() {
-            return Err(SchemeError::NotEnoughShares {
-                have: self.shares.len(),
-                need: self.scheme.quorum(),
-            });
+            let have = match self.mode {
+                Mode::Pooled => self.verified.len(),
+                _ => self.shares.len(),
+            };
+            return Err(SchemeError::NotEnoughShares { have, need: self.scheme.quorum() });
         }
-        let shares: Vec<S::Share> = self.shares.values().cloned().collect();
-        let out = self.scheme.combine(&shares)?;
+        let out = match self.mode {
+            Mode::Pooled => {
+                // Every verified share passed its cross-instance batch
+                // check individually, so combine skips re-verification:
+                // the pipelined-combine payoff — at quorum only the
+                // Lagrange MSM (and any final output check) remains.
+                let shares: Vec<S::Share> = self
+                    .shares
+                    .iter()
+                    .filter(|(id, _)| self.verified.contains(id))
+                    .map(|(_, s)| s.clone())
+                    .collect();
+                self.scheme.combine_preverified(&shares)?
+            }
+            _ => {
+                let shares: Vec<S::Share> = self.shares.values().cloned().collect();
+                self.scheme.combine(&shares)?
+            }
+        };
         self.finished = true;
         Ok(out)
     }
@@ -233,6 +355,29 @@ impl<S: OneRoundScheme> ThresholdRoundProtocol for OneRoundProtocol<S> {
 
     fn stats(&self) -> ProtocolStats {
         self.stats
+    }
+
+    fn take_pending_checks(&mut self) -> Vec<(PartyId, PendingCheck)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn resolve_checks(&mut self, verdicts: &[(PartyId, bool)]) {
+        for (party, ok) in verdicts {
+            // The share may have been pruned (or never stored) since the
+            // check was enqueued; such verdicts are stale — ignore them.
+            if !self.shares.contains_key(party) {
+                continue;
+            }
+            if *ok {
+                if self.verified.insert(*party) {
+                    self.stats.cross_batched += 1;
+                }
+            } else {
+                self.shares.remove(party);
+                self.verified.remove(party);
+                self.stats.shares_pruned += 1;
+            }
+        }
     }
 }
 
@@ -292,6 +437,15 @@ impl OneRoundScheme for Sg02Decrypt {
     fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
         sg02::combine(self.key.public(), &self.ciphertext, shares).map(ProtocolOutput::Plaintext)
     }
+
+    fn pending_check(&self, share: &Self::Share) -> Option<PendingCheck> {
+        Some(sg02::pending_check(self.key.public(), &self.ciphertext, share))
+    }
+
+    fn combine_preverified(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        sg02::combine_preverified(self.key.public(), &self.ciphertext, shares)
+            .map(ProtocolOutput::Plaintext)
+    }
 }
 
 /// BZ03 threshold decryption as a one-round protocol.
@@ -344,6 +498,15 @@ impl OneRoundScheme for Bz03Decrypt {
 
     fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
         bz03::combine(self.key.public(), &self.ciphertext, shares).map(ProtocolOutput::Plaintext)
+    }
+
+    fn pending_check(&self, share: &Self::Share) -> Option<PendingCheck> {
+        Some(bz03::pending_check(self.key.public(), &self.ciphertext, share))
+    }
+
+    fn combine_preverified(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        bz03::combine_preverified(self.key.public(), &self.ciphertext, shares)
+            .map(ProtocolOutput::Plaintext)
     }
 }
 
@@ -405,12 +568,15 @@ impl OneRoundScheme for Sh00Sign {
 pub struct Bls04Sign {
     key: bls04::KeyShare,
     message: Vec<u8>,
+    /// Message hash, computed once on first use: every detached pending
+    /// check shares the same `H(m)` point.
+    hashed: std::cell::OnceCell<Option<theta_math::bn254::G1>>,
 }
 
 impl Bls04Sign {
     /// Creates the adapter for signing `message`.
     pub fn new(key: bls04::KeyShare, message: Vec<u8>) -> Self {
-        Bls04Sign { key, message }
+        Bls04Sign { key, message, hashed: std::cell::OnceCell::new() }
     }
 }
 
@@ -451,6 +617,20 @@ impl OneRoundScheme for Bls04Sign {
 
     fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
         bls04::combine(self.key.public(), &self.message, shares)
+            .map(|sig| ProtocolOutput::Signature(theta_codec::Encode::encoded(&sig)))
+    }
+
+    fn pending_check(&self, share: &Self::Share) -> Option<PendingCheck> {
+        match self.hashed.get_or_init(|| bls04::hash_message(&self.message).ok()) {
+            Some(h) => Some(bls04::pending_check_with_hash(self.key.public(), h, share)),
+            // Hashing the message failed: no valid statement exists, so
+            // every share of this instance is unverifiable.
+            None => Some(PendingCheck::Invalid),
+        }
+    }
+
+    fn combine_preverified(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        bls04::combine_preverified(self.key.public(), &self.message, shares)
             .map(|sig| ProtocolOutput::Signature(theta_codec::Encode::encoded(&sig)))
     }
 }
@@ -505,6 +685,14 @@ impl OneRoundScheme for Cks05Coin {
 
     fn combine(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
         cks05::combine(self.key.public(), &self.name, shares).map(ProtocolOutput::Coin)
+    }
+
+    fn pending_check(&self, share: &Self::Share) -> Option<PendingCheck> {
+        Some(cks05::pending_check(self.key.public(), &self.name, share))
+    }
+
+    fn combine_preverified(&self, shares: &[Self::Share]) -> Result<ProtocolOutput, SchemeError> {
+        cks05::combine_preverified(self.key.public(), &self.name, shares).map(ProtocolOutput::Coin)
     }
 }
 
@@ -795,6 +983,236 @@ mod tests {
         let stats = eager.stats();
         assert_eq!(stats.eager_verifies, 1);
         assert_eq!(stats.batch_verify_ok, 0);
+    }
+
+    /// Drives a pooled instance the way the orchestration layer does:
+    /// deliver, drain the outbox, settle the checks, feed verdicts back.
+    fn settle_outbox<S: OneRoundScheme>(p: &mut OneRoundProtocol<S>) -> usize {
+        let pending = p.take_pending_checks();
+        let checks: Vec<&theta_schemes::batch::PendingCheck> =
+            pending.iter().map(|(_, c)| c).collect();
+        let verdicts = theta_schemes::batch::settle_mixed(&checks);
+        let resolved: Vec<(PartyId, bool)> = pending
+            .iter()
+            .zip(verdicts.iter())
+            .map(|((id, _), ok)| (*id, *ok))
+            .collect();
+        p.resolve_checks(&resolved);
+        resolved.len()
+    }
+
+    #[test]
+    fn pooled_mode_agrees_with_eager_for_every_batchable_scheme() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+
+        // SG02 decryption.
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"label", b"pooled", &mut r);
+        let mut me = OneRoundProtocol::new_pooled(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        for k in &keys[1..3] {
+            let share = theta_schemes::sg02::create_decryption_share(k, &ct, &mut r).unwrap();
+            me.update(&InboundMessage {
+                sender: k.id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share),
+            })
+            .unwrap();
+        }
+        // Shares are held but unverified: quorum only counts verdicts.
+        assert_eq!(me.share_count(), 3);
+        assert!(!me.is_ready_to_finalize());
+        assert_eq!(settle_outbox(&mut me), 2);
+        assert!(me.is_ready_to_finalize());
+        assert_eq!(me.finalize().unwrap(), ProtocolOutput::Plaintext(b"pooled".to_vec()));
+        assert_eq!(me.stats().cross_batched, 2);
+        assert_eq!(me.stats().eager_verifies, 0);
+
+        // BLS04 signing (pairing checks ride the same outbox).
+        let (bpk, bkeys) = theta_schemes::bls04::keygen(params, &mut r);
+        let mut me = OneRoundProtocol::new_pooled(Bls04Sign::new(bkeys[0].clone(), b"m".to_vec()));
+        let _ = me.do_round(&mut r).unwrap();
+        for k in &bkeys[1..3] {
+            let share = theta_schemes::bls04::sign_share(k, b"m").unwrap();
+            me.update(&InboundMessage {
+                sender: k.id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share),
+            })
+            .unwrap();
+        }
+        assert!(!me.is_ready_to_finalize());
+        settle_outbox(&mut me);
+        assert!(me.is_ready_to_finalize());
+        let out = me.finalize().unwrap();
+        if let ProtocolOutput::Signature(bytes) = out {
+            let sig =
+                <theta_schemes::bls04::Signature as theta_codec::Decode>::decoded(&bytes).unwrap();
+            assert!(theta_schemes::bls04::verify(&bpk, b"m", &sig));
+        } else {
+            panic!("expected signature output");
+        }
+
+        // CKS05 coin: pooled agrees with an eager run of the same coin.
+        let (_cpk, ckeys) = theta_schemes::cks05::keygen(params, &mut r);
+        let mut pooled =
+            OneRoundProtocol::new_pooled(Cks05Coin::new(ckeys[0].clone(), b"c".to_vec()));
+        let mut eager = OneRoundProtocol::new(Cks05Coin::new(ckeys[1].clone(), b"c".to_vec()));
+        let _ = pooled.do_round(&mut r).unwrap();
+        let _ = eager.do_round(&mut r).unwrap();
+        for k in &ckeys[2..4] {
+            let share = theta_schemes::cks05::create_coin_share(k, b"c", &mut r);
+            let payload = theta_codec::Encode::encoded(&share);
+            pooled
+                .update(&InboundMessage { sender: k.id(), round: 1, payload: payload.clone() })
+                .unwrap();
+            eager.update(&InboundMessage { sender: k.id(), round: 1, payload }).unwrap();
+        }
+        settle_outbox(&mut pooled);
+        assert_eq!(pooled.finalize().unwrap(), eager.finalize().unwrap());
+    }
+
+    #[test]
+    fn pooled_mode_prunes_bad_share_on_false_verdict() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new_pooled(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        let other_ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let forged =
+            theta_schemes::sg02::create_decryption_share(&keys[1], &other_ct, &mut r).unwrap();
+        me.update(&InboundMessage {
+            sender: keys[1].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&forged),
+        })
+        .unwrap();
+        let honest = theta_schemes::sg02::create_decryption_share(&keys[2], &ct, &mut r).unwrap();
+        me.update(&InboundMessage {
+            sender: keys[2].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&honest),
+        })
+        .unwrap();
+        settle_outbox(&mut me);
+        // The forged share was pruned by its verdict; the honest one
+        // verified. 2 of 3 needed.
+        assert_eq!(me.share_count(), 2);
+        assert!(!me.is_ready_to_finalize());
+        assert_eq!(me.stats().shares_pruned, 1);
+        assert_eq!(me.stats().cross_batched, 1);
+        // A replacement honest share from the pruned party is accepted
+        // (its verdict slot is free again) and completes the quorum.
+        let honest1 = theta_schemes::sg02::create_decryption_share(&keys[1], &ct, &mut r).unwrap();
+        me.update(&InboundMessage {
+            sender: keys[1].id(),
+            round: 1,
+            payload: theta_codec::Encode::encoded(&honest1),
+        })
+        .unwrap();
+        settle_outbox(&mut me);
+        assert!(me.is_ready_to_finalize());
+        assert_eq!(me.finalize().unwrap(), ProtocolOutput::Plaintext(b"m".to_vec()));
+    }
+
+    #[test]
+    fn pooled_mode_rejects_conflicting_share_while_verdict_outstanding() {
+        let mut r = rng();
+        let params = ThresholdParams::new(2, 7).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"m", &mut r);
+        let mut me = OneRoundProtocol::new_pooled(Sg02Decrypt::new(keys[0].clone(), ct.clone()));
+        let _ = me.do_round(&mut r).unwrap();
+        let share = theta_schemes::sg02::create_decryption_share(&keys[1], &ct, &mut r).unwrap();
+        let payload = theta_codec::Encode::encoded(&share);
+        me.update(&InboundMessage { sender: keys[1].id(), round: 1, payload: payload.clone() })
+            .unwrap();
+        // A *different* share from the same party while its verdict is
+        // outstanding: rejected (one share version in flight per party).
+        let share2 = theta_schemes::sg02::create_decryption_share(&keys[1], &ct, &mut r).unwrap();
+        assert!(matches!(
+            me.update(&InboundMessage {
+                sender: keys[1].id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share2),
+            }),
+            Err(SchemeError::InvalidShare { party: 2 })
+        ));
+        // An identical re-delivery re-enqueues the check (self-healing
+        // for a dropped verdict)...
+        me.update(&InboundMessage { sender: keys[1].id(), round: 1, payload: payload.clone() })
+            .unwrap();
+        assert_eq!(me.take_pending_checks().len(), 2, "original + re-enqueued check");
+        // ...and once the verdict lands, further re-deliveries are no-ops.
+        me.resolve_checks(&[(keys[1].id(), true)]);
+        me.update(&InboundMessage { sender: keys[1].id(), round: 1, payload }).unwrap();
+        assert!(me.take_pending_checks().is_empty());
+        // Stale verdict for a party with no held share is ignored.
+        me.resolve_checks(&[(PartyId(6), false)]);
+        assert_eq!(me.stats().shares_pruned, 0);
+    }
+
+    #[test]
+    fn pooled_sh00_falls_back_to_eager_inline_verification() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = theta_schemes::sh00::keygen(params, 256, &mut r).unwrap();
+        let protos: Vec<_> = keys
+            .into_iter()
+            .map(|k| OneRoundProtocol::new_pooled(Sh00Sign::new(k, b"rsa msg".to_vec())))
+            .collect();
+        // SH00 has no batchable check: pooled mode verifies inline, so
+        // the all-to-all run completes without any settle step.
+        let outputs = run_all(protos, &mut r);
+        let first = outputs[0].clone();
+        for out in &outputs {
+            assert_eq!(*out, first);
+        }
+        if let ProtocolOutput::Signature(bytes) = first {
+            let sig =
+                <theta_schemes::sh00::Signature as theta_codec::Decode>::decoded(&bytes).unwrap();
+            assert!(theta_schemes::sh00::verify(&pk, b"rsa msg", &sig));
+        } else {
+            panic!("expected signature output");
+        }
+    }
+
+    #[test]
+    fn driver_forwards_pending_checks_and_verdicts() {
+        let mut r = rng();
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let (pk, keys) = theta_schemes::sg02::keygen(params, &mut r);
+        let ct = theta_schemes::sg02::encrypt(&pk, b"l", b"driver", &mut r);
+        let mut d = crate::ProtocolDriver::new(Box::new(OneRoundProtocol::new_pooled(
+            Sg02Decrypt::new(keys[0].clone(), ct.clone()),
+        )));
+        let _ = d.start(&mut r).unwrap();
+        for k in &keys[1..3] {
+            let share = theta_schemes::sg02::create_decryption_share(k, &ct, &mut r).unwrap();
+            d.deliver(&InboundMessage {
+                sender: k.id(),
+                round: 1,
+                payload: theta_codec::Encode::encoded(&share),
+            })
+            .unwrap();
+        }
+        let pending = d.take_pending_checks();
+        assert_eq!(pending.len(), 2);
+        // No verdicts yet: the instance cannot finalize.
+        assert!(d.advance(&mut r).finished.is_none());
+        let verdicts: Vec<(PartyId, bool)> = pending.iter().map(|(id, _)| (*id, true)).collect();
+        d.resolve_checks(&verdicts);
+        let step = d.advance(&mut r);
+        match step.finished {
+            Some(Ok(ProtocolOutput::Plaintext(p))) => assert_eq!(p, b"driver".to_vec()),
+            other => panic!("expected plaintext, got {other:?}"),
+        }
+        assert!(step.combine_time.is_some());
+        // Finished: the driver drains and drops any residue.
+        assert!(d.take_pending_checks().is_empty());
     }
 
     #[test]

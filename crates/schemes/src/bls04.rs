@@ -287,6 +287,21 @@ fn batch_holds(pk: &PublicKey, h: &G1, shares: &[SignatureShare]) -> bool {
     pairing_check(&lhs, &G2::generator(), h, &rhs)
 }
 
+/// Captures one partial-signature check as a detached
+/// [`crate::batch::PendingCheck`] so the orchestration layer can fold it
+/// into a cross-instance pairing product. `h` is the pre-hashed message
+/// (via [`hash_message`], computed once per instance).
+pub fn pending_check_with_hash(
+    pk: &PublicKey,
+    h: &G1,
+    share: &SignatureShare,
+) -> crate::batch::PendingCheck {
+    match pk.verification_key(share.id) {
+        Some(vk) => crate::batch::PendingCheck::Bls04 { h: *h, sigma: share.sigma_i, vk: *vk },
+        None => crate::batch::PendingCheck::Invalid,
+    }
+}
+
 /// Verifies a batch of partial signatures with one pairing-product
 /// equation (random linear combination); on failure, bisection locates
 /// the first invalid share.
@@ -325,6 +340,20 @@ pub fn combine(
     shares: &[SignatureShare],
 ) -> Result<Signature, SchemeError> {
     verify_shares_batch(pk, message, shares)?;
+    combine_preverified(pk, message, shares)
+}
+
+/// Combines shares that were **already verified individually** (e.g. by
+/// the cross-instance batch settle), skipping the per-combine batch
+/// verification so only the Lagrange MSM and the final signature check
+/// remain. Callers must not pass unverified shares: an invalid share
+/// would surface only as [`SchemeError::InvalidSignature`] after
+/// interpolation, without naming the culprit.
+pub fn combine_preverified(
+    pk: &PublicKey,
+    message: &[u8],
+    shares: &[SignatureShare],
+) -> Result<Signature, SchemeError> {
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });

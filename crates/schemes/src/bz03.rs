@@ -403,6 +403,37 @@ pub fn combine(
         return Err(SchemeError::InvalidCiphertext("BZ03 validity pairing failed".into()));
     }
     verify_decryption_shares_batch(pk, ct, shares)?;
+    combine_preverified(pk, ct, shares)
+}
+
+/// Captures one decryption-share check as a detached
+/// [`crate::batch::PendingCheck`] so the orchestration layer can fold it
+/// into a cross-instance pairing product.
+pub fn pending_check(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    share: &DecryptionShare,
+) -> crate::batch::PendingCheck {
+    let Ok(h1) = validity_base(&ct.u, &ct.c_k, &ct.label) else {
+        return crate::batch::PendingCheck::Invalid;
+    };
+    match pk.verification_key(share.id) {
+        Some(vk) => {
+            crate::batch::PendingCheck::Bz03 { w: ct.w, vk: *vk, h1, delta: share.delta_i }
+        }
+        None => crate::batch::PendingCheck::Invalid,
+    }
+}
+
+/// Combines shares that were **already verified individually** (e.g. by
+/// the cross-instance batch settle) against a ciphertext that already
+/// passed its validity pairing (producing our own share checks it), so
+/// only the G2 Lagrange MSM and the AEAD open remain on the combine path.
+pub fn combine_preverified(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+) -> Result<Vec<u8>, SchemeError> {
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });

@@ -273,6 +273,39 @@ pub fn verify_coin_shares_batch(
 /// [`SchemeError::InvalidShare`] / [`SchemeError::NotEnoughShares`].
 pub fn combine(pk: &PublicKey, name: &[u8], shares: &[CoinShare]) -> Result<[u8; 32], SchemeError> {
     verify_coin_shares_batch(pk, name, shares)?;
+    combine_preverified(pk, name, shares)
+}
+
+/// Captures one coin-share check as a detached
+/// [`crate::batch::PendingCheck`] so the orchestration layer can fold it
+/// into a cross-instance DLEQ batch (mixed with SG02 shares — the
+/// Fiat–Shamir domains stay distinct per instance).
+pub fn pending_check(
+    pk: &PublicKey,
+    name: &[u8],
+    share: &CoinShare,
+) -> crate::batch::PendingCheck {
+    match pk.verification_key(share.id) {
+        Some(h_i) => crate::batch::PendingCheck::Dleq {
+            domain: D_SHARE,
+            g1: Point::base(),
+            h1: *h_i,
+            g2: coin_base(name),
+            h2: share.sigma_i,
+            proof: share.proof.clone(),
+        },
+        None => crate::batch::PendingCheck::Invalid,
+    }
+}
+
+/// Combines shares that were **already verified individually** (e.g. by
+/// the cross-instance batch settle), skipping re-verification so only
+/// the Lagrange MSM and the value hash remain.
+pub fn combine_preverified(
+    pk: &PublicKey,
+    name: &[u8],
+    shares: &[CoinShare],
+) -> Result<[u8; 32], SchemeError> {
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });

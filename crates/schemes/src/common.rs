@@ -477,6 +477,34 @@ mod tests {
     }
 
     #[test]
+    fn bisect_degenerate_batch_of_one() {
+        assert_eq!(bisect_invalid(1, &|_| true), None);
+        assert_eq!(bisect_invalid(1, &|r: std::ops::Range<usize>| r.is_empty()), Some(0));
+    }
+
+    #[test]
+    fn bisect_all_invalid_batch_returns_first() {
+        // Every non-empty range fails: the first culprit is index 0, and
+        // repeatedly removing it walks the whole batch.
+        for len in [1usize, 2, 3, 8, 9] {
+            let check = |r: std::ops::Range<usize>| r.is_empty();
+            assert_eq!(bisect_invalid(len, &check), Some(0), "len {len}");
+        }
+    }
+
+    #[test]
+    fn bisect_culprit_at_both_boundaries() {
+        // Invalid share at the very first and very last position, for
+        // even and odd lengths (the halving boundary cases).
+        for len in [2usize, 5, 8, 13] {
+            for bad in [0, len - 1] {
+                let check = |r: std::ops::Range<usize>| !r.contains(&bad);
+                assert_eq!(bisect_invalid(len, &check), Some(bad), "len {len} bad {bad}");
+            }
+        }
+    }
+
+    #[test]
     fn batch_coeffs_reject_duplicates() {
         let ids = vec![PartyId(1), PartyId(2), PartyId(1)];
         assert!(lagrange_coeffs_at_zero::<Scalar>(&ids).is_err());

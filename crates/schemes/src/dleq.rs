@@ -149,6 +149,78 @@ impl DleqProof {
         msm::msm(&points, &scalar_refs).is_identity()
     }
 
+    /// Like [`DleqProof::verify_batch`], but every instance carries its
+    /// own Fiat–Shamir domain, so proofs from *different schemes* (SG02
+    /// decryption shares and CKS05 coin shares) fold into the same
+    /// multi-scalar multiplication. The per-instance challenge is always
+    /// derived with the instance's own domain — exactly the scalar an
+    /// individual [`DleqProof::verify`] would use — while the batch
+    /// weights are bound to a mixed-batch domain plus the full transcript
+    /// (domains, statements and commitments of every instance).
+    pub fn verify_batch_mixed(instances: &[(&str, DleqInstance<'_>)]) -> bool {
+        match instances.len() {
+            0 => return true,
+            1 => {
+                let (domain, i) = &instances[0];
+                return i.proof.verify(domain, i.g1, i.h1, i.g2, i.h2);
+            }
+            _ => {}
+        }
+        const D_MIXED: &str = "thetacrypt/dleq/mixed-batch/v1";
+        let challenges: Vec<Scalar> = instances
+            .iter()
+            .map(|(domain, i)| {
+                Self::challenge(domain, i.g1, i.h1, i.g2, i.h2, &i.proof.w1, &i.proof.w2)
+            })
+            .collect();
+        // Transcript: per instance, the domain (length-prefixed via its
+        // own item slot) then the six compressed points.
+        let compressed: Vec<[u8; 32]> = instances
+            .iter()
+            .flat_map(|(_, i)| {
+                [
+                    i.g1.compress(),
+                    i.h1.compress(),
+                    i.g2.compress(),
+                    i.h2.compress(),
+                    i.proof.w1.compress(),
+                    i.proof.w2.compress(),
+                ]
+            })
+            .collect();
+        let mut items: Vec<&[u8]> = Vec::with_capacity(instances.len() * 7);
+        for (idx, (domain, _)) in instances.iter().enumerate() {
+            items.push(domain.as_bytes());
+            items.extend(compressed[idx * 6..idx * 6 + 6].iter().map(|c| c.as_slice()));
+        }
+        let seed = crate::hashing::hash_to_key(&format!("{D_MIXED}/batch-seed"), &items);
+        let mut points = Vec::with_capacity(instances.len() * 6);
+        let mut scalars = Vec::with_capacity(instances.len() * 6);
+        for (idx, ((_, inst), e)) in instances.iter().zip(&challenges).enumerate() {
+            let idx_bytes = (idx as u64).to_le_bytes();
+            let r =
+                hash_to_ed25519_scalar(&format!("{D_MIXED}/batch-r"), &[&seed, &idx_bytes]);
+            let s =
+                hash_to_ed25519_scalar(&format!("{D_MIXED}/batch-s"), &[&seed, &idx_bytes]);
+            let z = &inst.proof.response;
+            points.push(*inst.g1);
+            scalars.push(r.mul(z));
+            points.push(*inst.h1);
+            scalars.push(r.mul(e).neg());
+            points.push(inst.proof.w1);
+            scalars.push(r.neg());
+            points.push(*inst.g2);
+            scalars.push(s.mul(z));
+            points.push(*inst.h2);
+            scalars.push(s.mul(e).neg());
+            points.push(inst.proof.w2);
+            scalars.push(s.neg());
+        }
+        let scalar_refs: Vec<&theta_math::BigUint> =
+            scalars.iter().map(|s| s.to_biguint()).collect();
+        msm::msm(&points, &scalar_refs).is_identity()
+    }
+
     fn challenge(
         domain: &str,
         g1: &Point,
@@ -321,6 +393,77 @@ mod tests {
         assert!(!DleqProof::verify_batch("test/dleq", &instances));
         // The other four instances still pass on their own.
         assert!(DleqProof::verify_batch("test/dleq", &instances[..3]));
+    }
+
+    #[test]
+    fn mixed_batch_accepts_proofs_from_different_domains() {
+        let mut r = rng();
+        let domains = ["domain-a", "domain-b", "domain-a", "domain-c"];
+        let stmts: Vec<_> = (0..domains.len()).map(|_| statement(&mut r)).collect();
+        let proofs: Vec<DleqProof> = stmts
+            .iter()
+            .zip(&domains)
+            .map(|((g1, h1, g2, h2, x), d)| DleqProof::prove(d, g1, h1, g2, h2, x, &mut r))
+            .collect();
+        let instances: Vec<(&str, DleqInstance<'_>)> = stmts
+            .iter()
+            .zip(&proofs)
+            .zip(&domains)
+            .map(|(((g1, h1, g2, h2, _), proof), d)| {
+                (*d, DleqInstance { g1, h1, g2, h2, proof })
+            })
+            .collect();
+        assert!(DleqProof::verify_batch_mixed(&instances));
+        assert!(DleqProof::verify_batch_mixed(&instances[..1]));
+        assert!(DleqProof::verify_batch_mixed(&[]));
+        // The plain batch over a uniform domain agrees with the mixed one.
+        let uniform: Vec<(&str, DleqInstance<'_>)> =
+            instances.iter().map(|(_, i)| ("domain-a", *i)).collect();
+        assert_eq!(
+            DleqProof::verify_batch_mixed(&uniform),
+            DleqProof::verify_batch(
+                "domain-a",
+                &uniform.iter().map(|(_, i)| *i).collect::<Vec<_>>()
+            ),
+        );
+    }
+
+    #[test]
+    fn mixed_batch_rejects_one_bad_proof_and_swapped_domains() {
+        let mut r = rng();
+        let domains = ["domain-a", "domain-b", "domain-c"];
+        let stmts: Vec<_> = (0..domains.len()).map(|_| statement(&mut r)).collect();
+        let mut proofs: Vec<DleqProof> = stmts
+            .iter()
+            .zip(&domains)
+            .map(|((g1, h1, g2, h2, x), d)| DleqProof::prove(d, g1, h1, g2, h2, x, &mut r))
+            .collect();
+        {
+            let instances: Vec<(&str, DleqInstance<'_>)> = stmts
+                .iter()
+                .zip(&proofs)
+                .zip(&domains)
+                .map(|(((g1, h1, g2, h2, _), proof), d)| {
+                    (*d, DleqInstance { g1, h1, g2, h2, proof })
+                })
+                .collect();
+            // A proof attached under the wrong domain must not verify.
+            let mut swapped = instances.clone();
+            swapped[0].0 = "domain-b";
+            assert!(!DleqProof::verify_batch_mixed(&swapped));
+        }
+        proofs[1].response = proofs[1].response.add(&Scalar::one());
+        let instances: Vec<(&str, DleqInstance<'_>)> = stmts
+            .iter()
+            .zip(&proofs)
+            .zip(&domains)
+            .map(|(((g1, h1, g2, h2, _), proof), d)| {
+                (*d, DleqInstance { g1, h1, g2, h2, proof })
+            })
+            .collect();
+        assert!(!DleqProof::verify_batch_mixed(&instances));
+        // The untouched instances still pass without the bad one.
+        assert!(DleqProof::verify_batch_mixed(&[instances[0], instances[2]]));
     }
 
     #[test]

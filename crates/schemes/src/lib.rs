@@ -18,6 +18,7 @@
 //! "might also be imported as a library directly by other projects"
 //! (paper §3.3); the benchmark client does exactly that.
 
+pub mod batch;
 pub mod bls04;
 pub mod bz03;
 pub mod cks05;

@@ -393,6 +393,27 @@ pub fn verify_decryption_shares_batch(
     }
 }
 
+/// Captures one decryption-share check as a detached
+/// [`crate::batch::PendingCheck`] so the orchestration layer can fold it
+/// into a cross-instance DLEQ batch.
+pub fn pending_check(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    share: &DecryptionShare,
+) -> crate::batch::PendingCheck {
+    match pk.verification_key(share.id) {
+        Some(h_i) => crate::batch::PendingCheck::Dleq {
+            domain: D_SHARE,
+            g1: Point::base(),
+            h1: *h_i,
+            g2: ct.u,
+            h2: share.u_i,
+            proof: share.proof.clone(),
+        },
+        None => crate::batch::PendingCheck::Invalid,
+    }
+}
+
 /// Combines `t+1` verified shares and opens the payload.
 ///
 /// Shares failing verification are rejected (robustness: the protocol
@@ -415,6 +436,18 @@ pub fn combine(
         return Err(SchemeError::InvalidCiphertext("TDH2 validity check failed".into()));
     }
     verify_decryption_shares_batch(pk, ct, shares)?;
+    combine_preverified(pk, ct, shares)
+}
+
+/// Combines shares that were **already verified individually** (e.g. by
+/// the cross-instance batch settle) against a ciphertext whose validity
+/// check already passed (producing our own share checks it), so only the
+/// Lagrange MSM and the AEAD open remain on the combine path.
+pub fn combine_preverified(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+) -> Result<Vec<u8>, SchemeError> {
     let need = pk.params.quorum() as usize;
     if shares.len() < need {
         return Err(SchemeError::NotEnoughShares { have: shares.len(), need });

@@ -1,4 +1,4 @@
-//! The discrete-event engine: virtual clock, per-node 1-vCPU FIFO queues
+//! The discrete-event engine: virtual clock, per-node FIFO CPU queues
 //! and the message-level protocol models for all six schemes.
 //!
 //! The model reproduces exactly the mechanisms the paper's evaluation
@@ -8,7 +8,17 @@
 //! - `O(n)` share traffic for the non-interactive schemes and the
 //!   `O(n²)`/two-round pattern of KG20 with its TOB'd first round,
 //! - WAN latency between the Table 2 regions,
-//! - CPU saturation of the single vCPU per node (queueing → the knee).
+//! - CPU saturation of the node's crypto lanes (queueing → the knee).
+//!
+//! Each node serves its crypto queue with [`SimConfig::worker_lanes`]
+//! identical lanes (an M/G/W queue). `worker_lanes = 1` is the paper's
+//! one-vCPU droplet; `worker_lanes = W` models the router + worker-pool
+//! orchestration on a W-core node, where distinct instances verify and
+//! combine truly in parallel. The serial router stage measured in
+//! `BENCH_parallel.json` (~0.5 ms/instance) is far below every scheme's
+//! crypto cost at the rates simulated here, so the sim deliberately
+//! omits it; its bound only matters past ~18 lanes for the cheapest
+//! scheme.
 
 use crate::cost::CostModel;
 use crate::deployment::{one_way, Deployment, Region};
@@ -42,6 +52,10 @@ pub struct SimConfig {
     /// been exchanged during preprocessing (the paper's precomputation
     /// mode), so signing needs a single round.
     pub kg20_precomputed: bool,
+    /// Parallel crypto lanes per node (clamped to ≥ 1). `1` models the
+    /// paper's one-vCPU droplets; `W` models the worker-pool
+    /// orchestration on a W-core node.
+    pub worker_lanes: u16,
 }
 
 /// Samples collected from one run.
@@ -78,7 +92,7 @@ enum MsgKind {
 enum EventKind {
     Arrival { req: u32 },
     Msg { req: u32, kind: MsgKind },
-    CpuDone,
+    CpuDone { task: Task },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -139,7 +153,8 @@ struct ReqState {
 
 struct Node {
     region: Region,
-    busy: bool,
+    /// Crypto lanes currently occupied (≤ `SimConfig::worker_lanes`).
+    busy: u16,
     queue: VecDeque<Task>,
 }
 
@@ -172,7 +187,7 @@ impl<'a> Engine<'a> {
         let nodes = (1..=n)
             .map(|id| Node {
                 region: config.deployment.region_of(id),
-                busy: false,
+                busy: 0,
                 queue: VecDeque::new(),
             })
             .collect();
@@ -265,7 +280,7 @@ impl<'a> Engine<'a> {
             match ev.kind {
                 EventKind::Arrival { req } => self.on_arrival(ev.at, ev.node, req),
                 EventKind::Msg { req, kind } => self.on_msg(ev.at, ev.node, req, kind),
-                EventKind::CpuDone => self.on_cpu_done(ev.at, ev.node),
+                EventKind::CpuDone { task } => self.on_cpu_done(ev.at, ev.node, task),
             }
         }
         self.result
@@ -321,33 +336,29 @@ impl<'a> Engine<'a> {
     }
 
     fn maybe_start(&mut self, now: SimTime, node: u16) {
-        if self.nodes[node as usize - 1].busy {
-            return;
-        }
-        // Skip tasks made obsolete while queued (request already done).
-        while let Some(&task) = self.nodes[node as usize - 1].queue.front() {
+        let lanes = self.config.worker_lanes.max(1);
+        // Fill every free lane from the FIFO, skipping tasks made
+        // obsolete while queued (request already done).
+        while self.nodes[node as usize - 1].busy < lanes {
+            let Some(task) = self.nodes[node as usize - 1].queue.pop_front() else {
+                return;
+            };
             let st = self.state[task.req as usize][node as usize - 1];
             let obsolete = match task.kind {
                 TaskKind::Verify | TaskKind::VerifyR2 => st.done || st.combining,
                 _ => false,
             };
             if obsolete {
-                self.nodes[node as usize - 1].queue.pop_front();
                 continue;
             }
             let cost = self.task_cost(task);
-            self.nodes[node as usize - 1].busy = true;
-            self.nodes[node as usize - 1].current_task_store(task);
-            self.push(now + cost, node, EventKind::CpuDone);
-            return;
+            self.nodes[node as usize - 1].busy += 1;
+            self.push(now + cost, node, EventKind::CpuDone { task });
         }
     }
 
-    fn on_cpu_done(&mut self, now: SimTime, node: u16) {
-        let task = self.nodes[node as usize - 1]
-            .take_current()
-            .expect("cpu completion without a task");
-        self.nodes[node as usize - 1].busy = false;
+    fn on_cpu_done(&mut self, now: SimTime, node: u16, task: Task) {
+        self.nodes[node as usize - 1].busy -= 1;
         self.apply_task_effect(now, node, task);
         self.maybe_start(now, node);
     }
@@ -457,21 +468,6 @@ impl<'a> Engine<'a> {
     }
 }
 
-// Small helper storage for the in-flight CPU task.
-impl Node {
-    fn current_task_store(&mut self, task: Task) {
-        // Keep the running task at the queue front; popped on completion.
-        debug_assert_eq!(
-            self.queue.front().map(|t| (t.req, t.kind)),
-            Some((task.req, task.kind))
-        );
-    }
-
-    fn take_current(&mut self) -> Option<Task> {
-        self.queue.pop_front()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +483,7 @@ mod tests {
             drain: Duration::from_secs(30),
             seed: 7,
             kg20_precomputed: false,
+            worker_lanes: 1,
         }
     }
 
@@ -559,6 +556,38 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         // At least two WAN one-way hops (~0.1 s) even for the luckiest node.
         assert!(min > 0.1, "min node latency {min:.4}s");
+    }
+
+    #[test]
+    fn worker_lanes_absorb_load_a_single_lane_cannot() {
+        let cost = CostModel::reference();
+        // SH00 on 7 local nodes at 8 req/s for 2 s: the per-request CPU
+        // work (create + t+… verifies + combine, each tens of ms) is ~4×
+        // past what one lane clears inside the window + short drain, but
+        // well within 8 lanes.
+        let mut cfg = quick_config("DO-7-L", SchemeId::Sh00, 8.0);
+        cfg.drain = Duration::from_secs(2);
+        let one = run(&cfg, &cost);
+        cfg.worker_lanes = 8;
+        let eight = run(&cfg, &cost);
+        assert_eq!(one.injected, eight.injected);
+        assert!(
+            !one.all_processed(),
+            "one lane should saturate: {}/{}",
+            one.completed,
+            one.injected
+        );
+        assert!(
+            eight.all_processed(),
+            "eight lanes should keep up: {}/{}",
+            eight.completed,
+            eight.injected
+        );
+        // And where both complete, parallel lanes strictly cut queueing.
+        let mean = |r: &SimResult| {
+            r.quorum_latencies.iter().sum::<f64>() / r.quorum_latencies.len().max(1) as f64
+        };
+        assert!(mean(&eight) < mean(&one));
     }
 
     #[test]

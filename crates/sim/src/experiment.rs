@@ -70,7 +70,8 @@ pub fn run_experiment(config: &SimConfig, cost: &CostModel) -> Option<Experiment
 }
 
 /// One scheme's capacity-test series for one deployment (a line of Fig. 4):
-/// rate doubling from 1 req/s to the deployment's max rate.
+/// rate doubling from 1 req/s to the deployment's max rate. Nodes run
+/// one crypto lane — the paper's one-vCPU droplets.
 pub fn capacity_sweep(
     deployment: &Deployment,
     scheme: SchemeId,
@@ -78,6 +79,20 @@ pub fn capacity_sweep(
     duration: Duration,
     payload_bytes: usize,
     seed: u64,
+) -> Vec<ExperimentOutput> {
+    capacity_sweep_lanes(deployment, scheme, cost, duration, payload_bytes, seed, 1)
+}
+
+/// [`capacity_sweep`] on nodes with `worker_lanes` parallel crypto
+/// lanes — the worker-pool orchestration on multi-core nodes.
+pub fn capacity_sweep_lanes(
+    deployment: &Deployment,
+    scheme: SchemeId,
+    cost: &CostModel,
+    duration: Duration,
+    payload_bytes: usize,
+    seed: u64,
+    worker_lanes: u16,
 ) -> Vec<ExperimentOutput> {
     let mut out = Vec::new();
     let mut rate = 1u64;
@@ -92,6 +107,7 @@ pub fn capacity_sweep(
             drain: duration / 10,
             seed: seed ^ rate,
             kg20_precomputed: false,
+            worker_lanes,
         };
         if let Some(exp) = run_experiment(&config, cost) {
             out.push(exp);
@@ -133,6 +149,7 @@ pub fn steady_state(
         drain: duration / 10,
         seed,
         kg20_precomputed: false,
+        worker_lanes: 1,
     };
     run_experiment(&config, cost)
 }
@@ -173,6 +190,22 @@ mod tests {
         assert!(
             sg_knee > sh_knee,
             "ECDH knee {sg_knee} must beat RSA knee {sh_knee}"
+        );
+    }
+
+    #[test]
+    fn worker_lanes_raise_the_knee() {
+        let cost = CostModel::reference();
+        let mut d = deployment_by_name("DO-7-L").unwrap();
+        d.max_rate = 64;
+        let dur = Duration::from_secs(3);
+        let one = capacity_sweep_lanes(&d, SchemeId::Sh00, &cost, dur, 256, 1, 1);
+        let four = capacity_sweep_lanes(&d, SchemeId::Sh00, &cost, dur, 256, 1, 4);
+        let k1 = knee_of(&one).expect("1-lane knee");
+        let k4 = knee_of(&four).expect("4-lane knee");
+        assert!(
+            k4 >= 2.0 * k1,
+            "4 crypto lanes should at least double the CPU-bound knee: {k1} -> {k4}"
         );
     }
 

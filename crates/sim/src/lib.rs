@@ -28,6 +28,7 @@
 //!     drain: Duration::from_secs(30),
 //!     seed: 1,
 //!     kg20_precomputed: false,
+//!     worker_lanes: 1,
 //! };
 //! let out = run_experiment(&cfg, &CostModel::reference()).unwrap();
 //! assert!(out.throughput > 0.0);
@@ -44,5 +45,6 @@ pub use deployment::{
 };
 pub use engine::{run, SimConfig, SimResult, SimTime};
 pub use experiment::{
-    capacity_sweep, knee_of, run_experiment, steady_state, usable_of, ExperimentOutput,
+    capacity_sweep, capacity_sweep_lanes, knee_of, run_experiment, steady_state, usable_of,
+    ExperimentOutput,
 };

@@ -31,6 +31,14 @@ echo "== mailbox handoff interleaving harness (release, repeated runs) =="
 RUST_BACKTRACE=1 cargo test -q --release -p theta-orchestration \
     handoff_interleaving_never_loses_messages
 
+echo
+echo "== cross-instance batch verify smoke (release, >=1.5x gate) =="
+cargo run -q --release -p theta-bench --bin bench_cross_batch -- --quick
+
+echo
+echo "== worker-pool scaling smoke (release; asserts 2-worker >= 1.5x when host_cores >= 2, records skip otherwise) =="
+cargo run -q --release -p theta-bench --bin bench_parallel -- --quick
+
 if [[ " $* " != *" --no-clippy "* ]] && cargo clippy --version >/dev/null 2>&1; then
     echo
     echo "== cargo clippy -D warnings (workspace) =="
