@@ -4,21 +4,37 @@
 //!
 //! The measured path is the SG02 share computation (ciphertext validity
 //! check + `u^{x_i}` + DLEQ proof) — the per-request work every node
-//! performs — run bare versus wrapped in exactly the instrumentation
-//! the instance manager adds per share: one histogram `record` of the
-//! timed phase plus two trace-journal events (`InstanceStarted`,
-//! `ShareComputed`). `--quick` or `CRITERION_QUICK=1` shrinks the
-//! measurement budget for CI smoke runs.
+//! performs — run bare versus wrapped in instrumentation:
+//!
+//! 1. what the instance manager records per share: one histogram
+//!    `record` of the timed phase plus two trace-journal events
+//!    (`InstanceStarted`, `ShareComputed`);
+//! 2. what the cross-node tracing plane adds on top: span stamping plus
+//!    `PeerSend`/`PeerRecv` journal entries (the wire-envelope context)
+//!    and a worker-profiler phase attribution.
+//!
+//! `--quick` or `CRITERION_QUICK=1` shrinks the measurement budget for
+//! CI smoke runs; `--gate` exits nonzero when either overhead reaches
+//! 5%, which is how `scripts/ci.sh` enforces the hot-path budget.
 
 use rand::SeedableRng;
 use std::io::Write;
 use std::time::{Duration, Instant};
+use theta_metrics::profiler::WorkerPhase;
 use theta_metrics::{NodeObservability, TraceEventKind};
+use theta_network::demux::{span_hex, span_of};
 use theta_schemes::{sg02, ThresholdParams};
+
+/// Hot-path overhead budget enforced by `--gate`, in percent.
+const GATE_PCT: f64 = 5.0;
 
 fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
         || std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn gate() -> bool {
+    std::env::args().any(|a| a == "--gate")
 }
 
 /// Interleaves single iterations of `a` and `b` inside a wall-clock
@@ -92,13 +108,56 @@ fn main() {
     println!("sg02 share compute, instrumented: {instrumented_ns:>10.0} ns");
     println!("instrumentation overhead:         {overhead_pct:>10.2} %");
 
+    // Second pairing: this PR's cross-node additions. Per share the
+    // tracing plane stamps the 8-byte span into the envelope and
+    // journals a PeerSend on the way out and a PeerRecv on the way in;
+    // the worker profiler attributes the elapsed time to a phase
+    // through the thread-local sink (installed here exactly as a pool
+    // worker does at startup).
+    let obs2 = NodeObservability::new();
+    theta_metrics::profiler::install_worker_phases(
+        theta_metrics::profiler::WorkerPhases::register(&obs2.registry, 0),
+    );
+    let mut r3 = rand::rngs::StdRng::seed_from_u64(0x0b5f);
+    let mut r4 = rand::rngs::StdRng::seed_from_u64(0x0b5f);
+    let (traced_bare_ns, traced_ns) = measure_paired(
+        budget,
+        || sg02::create_decryption_share(key, &ct, &mut r3).unwrap(),
+        || {
+            let t0 = Instant::now();
+            let share = sg02::create_decryption_share(key, &ct, &mut r4).unwrap();
+            let span = span_of(&instance);
+            obs2.journal.record_full(
+                instance,
+                TraceEventKind::PeerSend,
+                0,
+                format!("span={}", span_hex(&span)),
+            );
+            obs2.journal.record_full(
+                instance,
+                TraceEventKind::PeerRecv,
+                2,
+                format!("span={} hop=1", span_hex(&span)),
+            );
+            theta_metrics::profiler::record_phase(WorkerPhase::ShareVerify, t0.elapsed());
+            share
+        },
+    );
+    let traced_overhead_pct = (traced_ns - traced_bare_ns) / traced_bare_ns * 100.0;
+    println!("sg02 share compute, traced+profiled: {traced_ns:>7.0} ns");
+    println!("tracing+profiler overhead:        {traced_overhead_pct:>10.2} %");
+
     let json = format!(
         "{{\n  \"benchmark\": \"observability instrumentation overhead\",\n  \
          \"hot_path\": \"sg02 create_decryption_share\",\n  \
          \"quick\": {},\n  \
          \"bare_ns\": {bare_ns:.1},\n  \
          \"instrumented_ns\": {instrumented_ns:.1},\n  \
-         \"overhead_pct\": {overhead_pct:.3}\n}}\n",
+         \"overhead_pct\": {overhead_pct:.3},\n  \
+         \"traced_bare_ns\": {traced_bare_ns:.1},\n  \
+         \"traced_ns\": {traced_ns:.1},\n  \
+         \"traced_overhead_pct\": {traced_overhead_pct:.3},\n  \
+         \"gate_pct\": {GATE_PCT:.1}\n}}\n",
         quick()
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -106,4 +165,13 @@ fn main() {
     let mut f = std::fs::File::create(&path).expect("create BENCH_observability.json");
     f.write_all(json.as_bytes()).expect("write BENCH_observability.json");
     println!("wrote {}", path.display());
+
+    if gate() {
+        let worst = overhead_pct.max(traced_overhead_pct);
+        if worst >= GATE_PCT {
+            eprintln!("FAIL: hot-path overhead {worst:.2}% breaches the {GATE_PCT}% budget");
+            std::process::exit(1);
+        }
+        println!("gate: worst overhead {worst:.2}% < {GATE_PCT}%");
+    }
 }

@@ -15,6 +15,18 @@ use theta_orchestration::Request;
 use theta_schemes::registry::SchemeId;
 use theta_service::RpcClient;
 
+fn parse_instance(hex: &str) -> [u8; 32] {
+    let bytes = theta_primitives::from_hex(hex)
+        .filter(|b| b.len() == 32)
+        .unwrap_or_else(|| {
+            eprintln!("trace expects a 64-char hex instance id");
+            std::process::exit(2);
+        });
+    let mut instance = [0u8; 32];
+    instance.copy_from_slice(&bytes);
+    instance
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: theta-client --node ADDR <command>\n\
@@ -25,7 +37,9 @@ fn usage() -> ! {
            pubkey <scheme>             fetch a public key (hex)\n\
            stats                       event-loop counters of the node\n\
            metrics                     Prometheus text exposition of the node's metrics\n\
-           trace <instance-hex>        lifecycle trace of one protocol instance"
+           health                      SLO watchdog verdict (ready/degraded + reasons)\n\
+           trace <instance-hex>        lifecycle trace of one protocol instance\n\
+           trace --cluster <hex>       merged cross-node timeline (fans GetTrace over the roster)"
     );
     std::process::exit(2);
 }
@@ -52,9 +66,9 @@ fn main() {
 
     match rest[0].as_str() {
         "coin" if rest.len() == 2 => {
-            let (value, latency) = client
-                .run_protocol(Request::Cks05Coin(rest[1].clone().into_bytes()))
-                .expect("coin");
+            let request = Request::Cks05Coin(rest[1].clone().into_bytes());
+            println!("instance = {}", theta_primitives::to_hex(&request.instance_id().0));
+            let (value, latency) = client.run_protocol(request).expect("coin");
             println!("coin  = {}", theta_primitives::to_hex(&value));
             println!("server-side latency: {latency:?}");
         }
@@ -67,6 +81,7 @@ fn main() {
                 SchemeId::Kg20 => Request::Kg20Sign(message.clone()),
                 _ => usage(),
             };
+            println!("instance = {}", theta_primitives::to_hex(&request.instance_id().0));
             let (sig, latency) = client.run_protocol(request).expect("sign");
             println!("signature = {}", theta_primitives::to_hex(&sig));
             println!("server-side latency: {latency:?}");
@@ -87,6 +102,7 @@ fn main() {
                 SchemeId::Bz03 => Request::Bz03Decrypt(ct),
                 _ => usage(),
             };
+            println!("instance = {}", theta_primitives::to_hex(&request.instance_id().0));
             let (plain, latency) = client.run_protocol(request).expect("decrypt");
             assert_eq!(plain, message, "roundtrip mismatch");
             println!("decrypted: {:?}", String::from_utf8_lossy(&plain));
@@ -106,18 +122,32 @@ fn main() {
             // file_sd-backed scrape.
             print!("{}", client.metrics().expect("metrics"));
         }
+        "health" if rest.len() == 1 => {
+            let report = client.health().expect("health");
+            println!("verdict: {}", if report.ready { "ready" } else { "degraded" });
+            for reason in &report.reasons {
+                println!("  - {reason}");
+            }
+            println!("e2e p99          : {:.3} ms", report.e2e_p99_micros as f64 / 1000.0);
+            println!("run queue        : {}", report.runqueue_depth);
+            println!("submission queue : {}", report.submission_queue_depth);
+            println!("mailbox drops    : {}", report.mailbox_dropped);
+            println!("overload rejects : {}", report.overload_rejections);
+            println!("link faults      : {}", report.link_errors);
+            if !report.ready {
+                std::process::exit(1);
+            }
+        }
         "trace" if rest.len() == 2 => {
-            let bytes = theta_primitives::from_hex(&rest[1])
-                .filter(|b| b.len() == 32)
-                .unwrap_or_else(|| {
-                    eprintln!("trace expects a 64-char hex instance id");
-                    std::process::exit(2);
-                });
-            let mut instance = [0u8; 32];
-            instance.copy_from_slice(&bytes);
-            let events = client.trace(instance).expect("trace");
-            println!("trace for {} ({} event(s)):", &rest[1][..16], events.len());
-            for ev in events {
+            let instance = parse_instance(&rest[1]);
+            let trace = client.trace(instance).expect("trace");
+            println!(
+                "trace for {} ({} event(s){}):",
+                &rest[1][..16],
+                trace.events.len(),
+                if trace.truncated { ", TRUNCATED: ring evicted earlier events" } else { "" }
+            );
+            for ev in trace.events {
                 let peer = if ev.peer == 0 {
                     String::new()
                 } else {
@@ -131,6 +161,44 @@ fn main() {
                 println!(
                     "  {:>10.3} ms  {:<18}{}{}",
                     ev.at_micros as f64 / 1000.0,
+                    ev.kind.label(),
+                    peer,
+                    detail
+                );
+            }
+        }
+        "trace" if rest.len() == 3 && rest[1] == "--cluster" => {
+            let instance = parse_instance(&rest[2]);
+            let trace = client.collect_trace(instance).expect("collect trace");
+            println!(
+                "cluster timeline for {} — {} event(s) from {} node(s){}{}",
+                &rest[2][..16],
+                trace.entries.len(),
+                trace.nodes_reporting,
+                if trace.truncated { ", TRUNCATED" } else { "" },
+                if trace.causality_violations > 0 {
+                    format!(", {} causality violation(s)", trace.causality_violations)
+                } else {
+                    String::new()
+                },
+            );
+            let origin = trace.entries.first().map_or(0, |e| e.aligned_micros);
+            for entry in trace.entries {
+                let ev = entry.event;
+                let peer = if ev.peer == 0 {
+                    String::new()
+                } else {
+                    format!(" peer={}", ev.peer)
+                };
+                let detail = if ev.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", ev.detail)
+                };
+                println!(
+                    "  {:>10.3} ms  node {:<3} {:<18}{}{}",
+                    (entry.aligned_micros - origin) as f64 / 1000.0,
+                    entry.node,
                     ev.kind.label(),
                     peer,
                     detail

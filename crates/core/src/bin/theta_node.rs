@@ -18,6 +18,11 @@
 //! gossip/flood overlay with ≈D links per node instead of the `n-1`
 //! links of the full mesh — the mode for fleets too large to fully
 //! connect.
+//!
+//! `--rpc-peers a1,a2,...` (the RPC address of every node, in roster
+//! order) enables the cluster plane: with it, `CollectTrace` fans out
+//! across the roster and `theta-client trace --cluster` returns the
+//! merged, clock-aligned timeline instead of just this node's slice.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -28,7 +33,7 @@ use theta_network::handshake::{MeshAuth, Roster, StaticIdentity};
 use theta_network::tcp::TcpMesh;
 use theta_network::Network;
 use theta_orchestration::{spawn_node, NodeConfig};
-use theta_service::serve;
+use theta_service::{serve_with_cluster, ClusterConfig, SloThresholds};
 
 struct Args {
     id: u16,
@@ -36,6 +41,7 @@ struct Args {
     public: std::path::PathBuf,
     peers: Vec<SocketAddr>,
     rpc: SocketAddr,
+    rpc_peers: Vec<SocketAddr>,
     workers: usize,
     mesh_degree: usize,
 }
@@ -46,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
     let mut public = None;
     let mut peers = None;
     let mut rpc = None;
+    let mut rpc_peers = Vec::new();
     let mut workers = 0;
     let mut mesh_degree = 0;
     let mut args = std::env::args().skip(1);
@@ -71,6 +78,12 @@ fn parse_args() -> Result<Args, String> {
                         .collect::<Result<Vec<SocketAddr>, String>>()?,
                 );
             }
+            "--rpc-peers" => {
+                rpc_peers = value()?
+                    .split(',')
+                    .map(|a| a.trim().parse().map_err(|e| format!("--rpc-peers: {e}")))
+                    .collect::<Result<Vec<SocketAddr>, String>>()?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -80,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         public: public.ok_or("--public is required")?,
         peers: peers.ok_or("--peers is required")?,
         rpc: rpc.ok_or("--rpc is required")?,
+        rpc_peers,
         workers,
         mesh_degree,
     })
@@ -92,7 +106,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: theta-node --id I --keys FILE --public FILE \
-                 --peers a1,a2,... --rpc ADDR [--workers N] [--mesh-degree D]"
+                 --peers a1,a2,... --rpc ADDR [--rpc-peers a1,a2,...] \
+                 [--workers N] [--mesh-degree D]"
             );
             std::process::exit(2);
         }
@@ -161,8 +176,28 @@ fn main() {
         mesh,
         NodeConfig { worker_threads: args.workers, ..NodeConfig::default() },
     ));
-    let service = serve(args.rpc, handle, public, Duration::from_secs(60))
-        .expect("bind rpc endpoint");
+    if !args.rpc_peers.is_empty() {
+        assert_eq!(
+            args.rpc_peers.len(),
+            args.peers.len(),
+            "--rpc-peers lists {} nodes but the mesh has {}",
+            args.rpc_peers.len(),
+            args.peers.len()
+        );
+    }
+    let cluster = ClusterConfig {
+        peers: args
+            .rpc_peers
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| (i as u16 + 1, *addr))
+            .collect(),
+        self_id: args.id,
+        slo: SloThresholds::default(),
+    };
+    let service =
+        serve_with_cluster(args.rpc, handle, public, Duration::from_secs(60), cluster)
+            .expect("bind rpc endpoint");
     println!("serving Thetacrypt RPC on {}", service.addr());
     println!("ready — press ctrl-c to stop");
 

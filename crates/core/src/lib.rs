@@ -379,6 +379,45 @@ impl ThetaNetwork {
         self.services.push(handle);
         Ok(bound)
     }
+
+    /// Starts an RPC service for *every* node on an ephemeral port, each
+    /// configured with the full roster — so `CollectTrace` on any node
+    /// fans out across the whole Θ-network — and the given health SLOs.
+    /// Returns the bound addresses in node order (index 0 = node 1).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn serve_rpc_cluster(
+        &mut self,
+        slo: theta_service::SloThresholds,
+    ) -> Result<Vec<std::net::SocketAddr>, CoreError> {
+        // Bind every listener first: each server needs the complete
+        // roster (ephemeral ports included) before it starts answering.
+        let mut listeners = Vec::with_capacity(self.nodes.len());
+        let mut peers = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+            peers.push(((i + 1) as u16, listener.local_addr()?));
+            listeners.push(listener);
+        }
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let cluster = theta_service::ClusterConfig {
+                peers: peers.clone(),
+                self_id: (i + 1) as u16,
+                slo: slo.clone(),
+            };
+            let handle = theta_service::serve_on(
+                listener,
+                self.nodes[i].clone(),
+                self.public_keys.clone(),
+                Duration::from_secs(60),
+                cluster,
+            )?;
+            self.services.push(handle);
+        }
+        Ok(peers.into_iter().map(|(_, addr)| addr).collect())
+    }
 }
 
 #[cfg(test)]

@@ -15,12 +15,14 @@
 pub mod counters;
 pub mod histogram;
 pub mod observability;
+pub mod profiler;
 pub mod registry;
 pub mod trace;
 
 pub use counters::{EventLoopCounters, EventLoopSnapshot};
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use observability::{NodeObservability, PhaseTimers, PoolMetrics};
+pub use profiler::{PhaseScope, WorkerPhase, WorkerPhases, WORKER_PHASE_HISTOGRAM};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use trace::{TraceEvent, TraceEventKind, TraceJournal, DEFAULT_JOURNAL_CAPACITY};
 

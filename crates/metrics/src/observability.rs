@@ -5,6 +5,7 @@
 
 use crate::counters::EventLoopCounters;
 use crate::histogram::Histogram;
+use crate::profiler::WorkerPhases;
 use crate::registry::{Counter, Gauge, MetricsRegistry};
 use crate::trace::TraceJournal;
 use std::sync::Arc;
@@ -72,6 +73,10 @@ pub struct PoolMetrics {
     pub mailbox_dropped: Arc<Counter>,
     /// Per-worker busy-time histograms, indexed by worker id.
     pub worker_busy: Vec<Arc<Histogram>>,
+    /// Per-worker phase-profiler sinks (idle / share-verify / combine /
+    /// batch-settle), indexed by worker id; each worker installs its
+    /// entry as the thread-local sink at startup.
+    pub worker_phases: Vec<WorkerPhases>,
     /// Exact nanoseconds the router spent working (select wakeups only).
     pub router_busy_nanos: Arc<Counter>,
     /// Exact nanoseconds workers spent running slots, pool-wide.
@@ -91,9 +96,11 @@ impl PoolMetrics {
     /// `{worker="i"}` busy histogram per worker (0-based ids).
     pub fn register(registry: &MetricsRegistry, workers: usize) -> PoolMetrics {
         let mut worker_busy = Vec::with_capacity(workers);
+        let mut worker_phases = Vec::with_capacity(workers);
         for w in 0..workers {
             let label = w.to_string();
             worker_busy.push(registry.histogram_with(WORKER_BUSY_HISTOGRAM, &[("worker", &label)]));
+            worker_phases.push(WorkerPhases::register(registry, w));
         }
         PoolMetrics {
             inflight_instances: registry.gauge(INFLIGHT_INSTANCES_GAUGE),
@@ -102,6 +109,7 @@ impl PoolMetrics {
             overload_rejections: registry.counter(OVERLOAD_REJECTIONS_COUNTER),
             mailbox_dropped: registry.counter(MAILBOX_DROPPED_COUNTER),
             worker_busy,
+            worker_phases,
             router_busy_nanos: registry.counter(ROUTER_BUSY_NANOS_COUNTER),
             worker_busy_nanos: registry.counter(WORKER_BUSY_NANOS_COUNTER),
             batch_size: registry.histogram(BATCH_SIZE_HISTOGRAM),

@@ -1,0 +1,202 @@
+//! Per-worker phase profiler: attributes worker self-time to the
+//! phases that matter for capacity analysis — idle (blocked on the run
+//! queue), share verification, combine, and cross-instance batch
+//! settlement — as per-worker Prometheus histograms.
+//!
+//! The profiler samples the monotonic clock only at phase *transitions*
+//! (scope enter/exit), so the hot-path cost is two `Instant::now()`
+//! reads plus one lock-free histogram record per phase — there is no
+//! background sampler thread to perturb the workers it measures.
+//!
+//! Attribution is thread-local: each pool worker installs its own
+//! [`WorkerPhases`] sink at thread start, and instrumentation sites
+//! deeper in the stack (the instance host's verify/combine timers, the
+//! batch aggregator's settle) call [`record_phase`] without knowing
+//! which worker they run on. On threads without a sink (the router, the
+//! service threads, tests) every call is a cheap no-op, so profiling
+//! never needs to be compiled out.
+
+use crate::histogram::Histogram;
+use crate::registry::MetricsRegistry;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Metric name for the per-worker phase histograms; series carry
+/// `{worker="i",phase="idle"|"share_verify"|"combine"|"batch_settle"}`.
+pub const WORKER_PHASE_HISTOGRAM: &str = "theta_worker_phase_seconds";
+
+/// The phases a pool worker's self-time is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerPhase {
+    /// Blocked on the run queue waiting for a job.
+    Idle,
+    /// Verifying a received share (inline path).
+    ShareVerify,
+    /// Combining shares into the final result.
+    Combine,
+    /// Settling a cross-instance verification batch.
+    BatchSettle,
+}
+
+impl WorkerPhase {
+    /// Stable label value for the `phase` dimension.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerPhase::Idle => "idle",
+            WorkerPhase::ShareVerify => "share_verify",
+            WorkerPhase::Combine => "combine",
+            WorkerPhase::BatchSettle => "batch_settle",
+        }
+    }
+
+    /// All phases, for registration loops.
+    pub const ALL: [WorkerPhase; 4] = [
+        WorkerPhase::Idle,
+        WorkerPhase::ShareVerify,
+        WorkerPhase::Combine,
+        WorkerPhase::BatchSettle,
+    ];
+}
+
+/// Pre-resolved per-phase histograms for one worker.
+#[derive(Clone)]
+pub struct WorkerPhases {
+    idle: Arc<Histogram>,
+    share_verify: Arc<Histogram>,
+    combine: Arc<Histogram>,
+    batch_settle: Arc<Histogram>,
+}
+
+impl WorkerPhases {
+    /// Registers the four `{worker,phase}` series for worker `worker`.
+    pub fn register(registry: &MetricsRegistry, worker: usize) -> WorkerPhases {
+        let w = worker.to_string();
+        let h = |phase: WorkerPhase| {
+            registry.histogram_with(
+                WORKER_PHASE_HISTOGRAM,
+                &[("worker", &w), ("phase", phase.label())],
+            )
+        };
+        WorkerPhases {
+            idle: h(WorkerPhase::Idle),
+            share_verify: h(WorkerPhase::ShareVerify),
+            combine: h(WorkerPhase::Combine),
+            batch_settle: h(WorkerPhase::BatchSettle),
+        }
+    }
+
+    fn sink(&self, phase: WorkerPhase) -> &Arc<Histogram> {
+        match phase {
+            WorkerPhase::Idle => &self.idle,
+            WorkerPhase::ShareVerify => &self.share_verify,
+            WorkerPhase::Combine => &self.combine,
+            WorkerPhase::BatchSettle => &self.batch_settle,
+        }
+    }
+
+    /// Records `spent` against `phase` directly (used by sites that
+    /// already measured the duration themselves).
+    pub fn record(&self, phase: WorkerPhase, spent: Duration) {
+        self.sink(phase).record(spent);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<WorkerPhases>> = const { RefCell::new(None) };
+}
+
+/// Installs `phases` as this thread's profiling sink. Called once by
+/// each pool worker at thread start; the sink lives for the thread.
+pub fn install_worker_phases(phases: WorkerPhases) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(phases));
+}
+
+/// Removes this thread's profiling sink (tests and shutdown paths).
+pub fn clear_worker_phases() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Attributes `spent` to `phase` on the calling thread's sink; no-op on
+/// threads that never installed one.
+pub fn record_phase(phase: WorkerPhase, spent: Duration) {
+    CURRENT.with(|c| {
+        if let Some(p) = c.borrow().as_ref() {
+            p.record(phase, spent);
+        }
+    });
+}
+
+/// RAII scope: measures from construction to drop and attributes the
+/// span to its phase via [`record_phase`].
+pub struct PhaseScope {
+    phase: WorkerPhase,
+    start: Instant,
+}
+
+impl PhaseScope {
+    /// Opens a scope for `phase`.
+    pub fn enter(phase: WorkerPhase) -> PhaseScope {
+        PhaseScope { phase, start: Instant::now() }
+    }
+}
+
+impl Drop for PhaseScope {
+    fn drop(&mut self) {
+        record_phase(self.phase, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase_count(r: &MetricsRegistry, worker: &str, phase: &str) -> u64 {
+        r.histogram_snapshot(WORKER_PHASE_HISTOGRAM, &[("worker", worker), ("phase", phase)])
+            .map(|s| s.count())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn records_into_installed_sink_only() {
+        let r = MetricsRegistry::new();
+        let phases = WorkerPhases::register(&r, 0);
+
+        // No sink installed yet: attribution is a no-op.
+        record_phase(WorkerPhase::Combine, Duration::from_micros(100));
+        assert_eq!(phase_count(&r, "0", "combine"), 0);
+
+        install_worker_phases(phases);
+        record_phase(WorkerPhase::Combine, Duration::from_micros(100));
+        {
+            let _scope = PhaseScope::enter(WorkerPhase::ShareVerify);
+        }
+        record_phase(WorkerPhase::Idle, Duration::from_micros(5));
+        record_phase(WorkerPhase::BatchSettle, Duration::from_micros(7));
+        clear_worker_phases();
+        record_phase(WorkerPhase::Combine, Duration::from_micros(100));
+
+        assert_eq!(phase_count(&r, "0", "combine"), 1);
+        assert_eq!(phase_count(&r, "0", "share_verify"), 1);
+        assert_eq!(phase_count(&r, "0", "idle"), 1);
+        assert_eq!(phase_count(&r, "0", "batch_settle"), 1);
+    }
+
+    #[test]
+    fn workers_get_distinct_series() {
+        let r = MetricsRegistry::new();
+        let w0 = WorkerPhases::register(&r, 0);
+        let w1 = WorkerPhases::register(&r, 1);
+        w0.record(WorkerPhase::Idle, Duration::from_micros(10));
+        w1.record(WorkerPhase::Idle, Duration::from_micros(10));
+        w1.record(WorkerPhase::Idle, Duration::from_micros(10));
+        assert_eq!(phase_count(&r, "0", "idle"), 1);
+        assert_eq!(phase_count(&r, "1", "idle"), 2);
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        let labels: Vec<_> = WorkerPhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["idle", "share_verify", "combine", "batch_settle"]);
+    }
+}

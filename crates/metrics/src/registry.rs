@@ -181,6 +181,14 @@ impl MetricsRegistry {
         }
     }
 
+    /// Value of a gauge by name/labels, when registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.lock().get(&key(name, labels)) {
+            Some(Metric::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
     /// Renders every metric in the Prometheus text exposition format.
     ///
     /// Durations are recorded in microseconds internally; histogram
@@ -226,13 +234,20 @@ impl MetricsRegistry {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and line feed must be escaped (backslash
+/// first, or the other escapes' own backslashes get double-escaped).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
 fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{}=\"{}\"", k, v.replace('"', "\\\"")))
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label_value(v)))
         .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
@@ -353,6 +368,54 @@ mod tests {
         assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
         // The 1 ms samples appear cumulatively in some finite bucket.
         assert!(text.contains("lat_seconds_sum"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        let r = MetricsRegistry::new();
+        r.counter_with("esc_total", &[("path", "a\\b")]).inc();
+        r.counter_with("esc_total", &[("path", "say \"hi\"")]).inc();
+        r.counter_with("esc_total", &[("path", "two\nlines")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"esc_total{path="a\\b"} 1"#));
+        assert!(text.contains(r#"esc_total{path="say \"hi\""} 1"#));
+        assert!(text.contains(r#"esc_total{path="two\nlines"} 1"#));
+        // The raw newline must not survive into the exposition: every
+        // line is exactly `name{labels} value` or a `# TYPE` comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE") || line.contains(' '),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_ordering_is_deterministic_and_sorted() {
+        let make = |order_flipped: bool| {
+            let r = MetricsRegistry::new();
+            let series: &[(&str, &str)] = &[("zeta_total", "9"), ("alpha_total", "1")];
+            let iter: Vec<_> = if order_flipped {
+                series.iter().rev().collect()
+            } else {
+                series.iter().collect()
+            };
+            for (name, peer) in iter {
+                r.counter_with(name, &[("peer", peer)]).inc();
+                r.counter_with(name, &[("peer", "0")]).inc();
+            }
+            r.render_prometheus()
+        };
+        let a = make(false);
+        let b = make(true);
+        assert_eq!(a, b, "render must not depend on registration order");
+        let alpha = a.find("alpha_total").unwrap();
+        let zeta = a.find("zeta_total").unwrap();
+        assert!(alpha < zeta, "series must render sorted by name");
+        // Within one name, label sets render sorted too.
+        let p0 = a.find(r#"alpha_total{peer="0"}"#).unwrap();
+        let p1 = a.find(r#"alpha_total{peer="1"}"#).unwrap();
+        assert!(p0 < p1);
     }
 
     #[test]

@@ -6,14 +6,20 @@
 //! filters the ring by instance and returns the events in the order
 //! they were recorded. Timestamps are microseconds since the journal's
 //! creation (a monotonic clock), so within one node event ordering and
-//! phase durations are exact.
+//! phase durations are exact. A wall-clock anchor (UNIX-epoch
+//! microseconds captured once at creation) maps the monotonic epoch to
+//! absolute time, which is what lets per-node journals from different
+//! machines be merged into one cluster timeline.
 //!
 //! The journal is bounded: when full, the oldest events are dropped
 //! (and counted) rather than growing without limit — tracing must never
-//! become the memory leak it is supposed to detect.
+//! become the memory leak it is supposed to detect. Instances that lose
+//! events to eviction while later events survive are remembered as
+//! *truncated*, so a trace query can say "partial lifecycle" instead of
+//! silently presenting an incomplete one as complete.
 
-use std::collections::VecDeque;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use theta_sync::atomic::{AtomicU64, Ordering};
 use theta_sync::{Mutex, MutexGuard};
 
@@ -60,6 +66,16 @@ pub enum TraceEventKind {
     /// A cross-instance batch settle returned this instance's verdicts
     /// (the detail notes the batch size and flush reason).
     BatchSettled,
+    /// A gossip node relayed a flood frame carrying this instance's
+    /// traffic (the peer field is the link it arrived on, the detail
+    /// notes origin/span/hop of the trace context).
+    RelayHop,
+    /// An envelope for this instance left this node toward a peer (the
+    /// detail carries the span id).
+    PeerSend,
+    /// An envelope for this instance arrived from a peer (the detail
+    /// carries the span id and hop count it travelled).
+    PeerRecv,
 }
 
 impl TraceEventKind {
@@ -84,6 +100,9 @@ impl TraceEventKind {
             TraceEventKind::Error => 15,
             TraceEventKind::BatchEnqueued => 16,
             TraceEventKind::BatchSettled => 17,
+            TraceEventKind::RelayHop => 18,
+            TraceEventKind::PeerSend => 19,
+            TraceEventKind::PeerRecv => 20,
         }
     }
 
@@ -109,6 +128,9 @@ impl TraceEventKind {
             15 => TraceEventKind::Error,
             16 => TraceEventKind::BatchEnqueued,
             17 => TraceEventKind::BatchSettled,
+            18 => TraceEventKind::RelayHop,
+            19 => TraceEventKind::PeerSend,
+            20 => TraceEventKind::PeerRecv,
             _ => return None,
         })
     }
@@ -134,6 +156,9 @@ impl TraceEventKind {
             TraceEventKind::Error => "error",
             TraceEventKind::BatchEnqueued => "batch-enqueued",
             TraceEventKind::BatchSettled => "batch-settled",
+            TraceEventKind::RelayHop => "relay-hop",
+            TraceEventKind::PeerSend => "peer-send",
+            TraceEventKind::PeerRecv => "peer-recv",
         }
     }
 }
@@ -158,11 +183,24 @@ pub struct TraceEvent {
 /// full lifecycles without unbounded growth.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 16_384;
 
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    /// Live event count per instance still present in the ring. An
+    /// entry exists iff the instance has ≥1 event buffered, so the map
+    /// (and the truncated set below) stay bounded by ring occupancy.
+    live: HashMap<[u8; 32], u32>,
+    /// Instances that lost at least one event to eviction while later
+    /// events survive. Once the last event goes, the flag goes with it
+    /// (an empty trace reads as "nothing recorded", not "partial").
+    truncated: HashSet<[u8; 32]>,
+}
+
 /// Bounded ring buffer of [`TraceEvent`]s, one per node.
 pub struct TraceJournal {
     epoch: Instant,
+    wall_anchor_micros: u64,
     capacity: usize,
-    events: Mutex<VecDeque<TraceEvent>>,
+    ring: Mutex<Ring>,
     dropped: AtomicU64,
 }
 
@@ -175,10 +213,19 @@ impl Default for TraceJournal {
 impl TraceJournal {
     /// A journal holding at most `capacity` events.
     pub fn new(capacity: usize) -> TraceJournal {
+        let wall_anchor_micros = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         TraceJournal {
             epoch: Instant::now(),
+            wall_anchor_micros,
             capacity: capacity.max(1),
-            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                live: HashMap::new(),
+                truncated: HashSet::new(),
+            }),
             dropped: AtomicU64::new(0),
         }
     }
@@ -186,13 +233,21 @@ impl TraceJournal {
     /// The journal's ring is always structurally consistent; a panic in
     /// a holder must not disable tracing for the rest of the node's
     /// life, so lock poisoning is ignored.
-    fn lock(&self) -> MutexGuard<'_, VecDeque<TraceEvent>> {
-        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Microseconds elapsed since the journal was created.
     pub fn now_micros(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// UNIX-epoch microseconds at journal creation. Adding this anchor
+    /// to an event's `at_micros` dates it absolutely (up to the wall
+    /// clock's own accuracy), which makes single-node traces datable
+    /// and cross-node traces mergeable.
+    pub fn wall_anchor_micros(&self) -> u64 {
+        self.wall_anchor_micros
     }
 
     /// Records an event with no peer / detail context.
@@ -219,21 +274,45 @@ impl TraceJournal {
         detail: String,
     ) {
         let ev = TraceEvent { instance, kind, at_micros: self.now_micros(), peer, detail };
-        let mut ring = self.lock();
-        if ring.len() == self.capacity {
-            ring.pop_front();
+        let mut guard = self.lock();
+        let ring = &mut *guard;
+        if ring.events.len() == self.capacity {
+            if let Some(old) = ring.events.pop_front() {
+                match ring.live.get_mut(&old.instance) {
+                    Some(n) if *n > 1 => {
+                        *n -= 1;
+                        ring.truncated.insert(old.instance);
+                    }
+                    _ => {
+                        ring.live.remove(&old.instance);
+                        ring.truncated.remove(&old.instance);
+                    }
+                }
+            }
             // Relaxed: the only writer path runs under the ring lock,
             // so increments are already serialized; readers treat the
             // value as a monotone statistic, never a synchronization
             // signal.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        ring.push_back(ev);
+        *ring.live.entry(instance).or_insert(0) += 1;
+        ring.events.push_back(ev);
     }
 
     /// All events for one instance, in recording order.
     pub fn events_for(&self, instance: &[u8; 32]) -> Vec<TraceEvent> {
-        self.lock().iter().filter(|e| &e.instance == instance).cloned().collect()
+        self.lock().events.iter().filter(|e| &e.instance == instance).cloned().collect()
+    }
+
+    /// All events for one instance plus whether the ring evicted part
+    /// of that instance's lifecycle (`true` = the returned events are a
+    /// truncated suffix, not the full story).
+    pub fn events_for_flagged(&self, instance: &[u8; 32]) -> (Vec<TraceEvent>, bool) {
+        let ring = self.lock();
+        let events: Vec<TraceEvent> =
+            ring.events.iter().filter(|e| &e.instance == instance).cloned().collect();
+        let truncated = ring.truncated.contains(instance);
+        (events, truncated)
     }
 
     /// Number of distinct instances with at least one
@@ -241,6 +320,7 @@ impl TraceJournal {
     pub fn instances_started(&self) -> usize {
         let ring = self.lock();
         let mut seen: Vec<[u8; 32]> = ring
+            .events
             .iter()
             .filter(|e| e.kind == TraceEventKind::InstanceStarted)
             .map(|e| e.instance)
@@ -252,7 +332,7 @@ impl TraceJournal {
 
     /// Total events currently buffered.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.lock().events.len()
     }
 
     /// Whether the journal holds no events.
@@ -319,12 +399,12 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=17u8 {
+        for code in 0..=20u8 {
             let kind = TraceEventKind::from_code(code).unwrap();
             assert_eq!(kind.code(), code);
             assert!(!kind.label().is_empty());
         }
-        assert!(TraceEventKind::from_code(18).is_none());
+        assert!(TraceEventKind::from_code(21).is_none());
         assert!(TraceEventKind::from_code(200).is_none());
     }
 
@@ -333,5 +413,73 @@ mod tests {
         let j = TraceJournal::new(8);
         j.record(id(1), TraceEventKind::InstanceStarted);
         assert!(j.events_for(&id(7)).is_empty());
+    }
+
+    #[test]
+    fn wall_anchor_is_plausible_unix_time() {
+        let j = TraceJournal::new(8);
+        // After 2020-01-01 (in µs) and before 2100-01-01: catches a
+        // zeroed or nanosecond-vs-microsecond-confused anchor.
+        assert!(j.wall_anchor_micros() > 1_577_836_800_000_000);
+        assert!(j.wall_anchor_micros() < 4_102_444_800_000_000);
+    }
+
+    #[test]
+    fn partial_eviction_flags_instance_truncated() {
+        let j = TraceJournal::new(4);
+        // Instance 1 records two events, then churn from instance 2
+        // evicts the first of them.
+        j.record(id(1), TraceEventKind::InstanceStarted);
+        j.record(id(1), TraceEventKind::ShareComputed);
+        let (evs, truncated) = j.events_for_flagged(&id(1));
+        assert_eq!(evs.len(), 2);
+        assert!(!truncated, "untouched instance must not read truncated");
+
+        j.record(id(2), TraceEventKind::InstanceStarted);
+        j.record(id(2), TraceEventKind::ShareComputed);
+        j.record(id(2), TraceEventKind::Combined); // evicts id(1) InstanceStarted
+
+        let (evs, truncated) = j.events_for_flagged(&id(1));
+        assert_eq!(evs.len(), 1, "one id(1) event must survive");
+        assert_eq!(evs[0].kind, TraceEventKind::ShareComputed);
+        assert!(truncated, "partially evicted instance must read truncated");
+    }
+
+    #[test]
+    fn full_eviction_clears_truncation_flag() {
+        let j = TraceJournal::new(2);
+        j.record(id(1), TraceEventKind::InstanceStarted);
+        j.record(id(1), TraceEventKind::ShareComputed);
+        j.record(id(2), TraceEventKind::InstanceStarted); // id(1) now partial
+        let (_, truncated) = j.events_for_flagged(&id(1));
+        assert!(truncated);
+        j.record(id(2), TraceEventKind::ShareComputed); // id(1) fully gone
+        let (evs, truncated) = j.events_for_flagged(&id(1));
+        assert!(evs.is_empty());
+        assert!(!truncated, "empty trace is 'nothing recorded', not 'partial'");
+    }
+
+    #[test]
+    fn wraparound_truncation_across_many_instances() {
+        let j = TraceJournal::new(6);
+        // Three instances, three events each, interleaved; capacity 6
+        // keeps exactly the newest six events.
+        for round in 0..3u8 {
+            for inst in 0..3u8 {
+                let kind = match round {
+                    0 => TraceEventKind::InstanceStarted,
+                    1 => TraceEventKind::ShareComputed,
+                    _ => TraceEventKind::Combined,
+                };
+                j.record(id(inst), kind);
+            }
+        }
+        // All three instances lost their round-0 event but keep rounds
+        // 1 and 2 — every one of them must read truncated.
+        for inst in 0..3u8 {
+            let (evs, truncated) = j.events_for_flagged(&id(inst));
+            assert_eq!(evs.len(), 2);
+            assert!(truncated, "instance {inst} wrapped and must be flagged");
+        }
     }
 }

@@ -29,6 +29,32 @@ pub fn peek_key(payload: &[u8]) -> Option<[u8; KEY_LEN]> {
     Some(key)
 }
 
+/// Length of the span id carried in trace contexts.
+pub const SPAN_LEN: usize = 8;
+
+/// Derives the 8-byte trace span id for a payload: the leading bytes of
+/// the instance routing key. The instance id is content-derived, so
+/// every node computes the *same* span for the same instance — which is
+/// what lets per-node journals be joined into one cross-node timeline
+/// without a span-exchange protocol. Payloads too short to carry a key
+/// get the all-zero span ("untraced").
+pub fn span_of(payload: &[u8]) -> [u8; SPAN_LEN] {
+    let mut span = [0u8; SPAN_LEN];
+    if let Some(key) = peek_key(payload) {
+        span.copy_from_slice(&key[..SPAN_LEN]);
+    }
+    span
+}
+
+/// Renders a span id the way journal details and the CLI print it.
+pub fn span_hex(span: &[u8; SPAN_LEN]) -> String {
+    let mut s = String::with_capacity(SPAN_LEN * 2);
+    for b in span {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,15 +35,17 @@
 //! deliveries; each node's [`TobReorderBuffer`] releases them gap-free
 //! in order, so all nodes observe the identical TOB sequence.
 
+use crate::demux::{peek_key, span_hex, span_of, SPAN_LEN};
 use crate::handshake::{self, MeshAuth, RecvCipher, SendCipher, Session};
 use crate::tcp::{dial_with_retry, LinkHealth, HANDSHAKE_TIMEOUT, SEQUENCER};
 use crate::{Network, NetworkError, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use theta_metrics::{TraceEventKind, TraceJournal};
 
 /// Inner message kinds carried by a flood frame.
 const KIND_P2P_BCAST: u8 = 0;
@@ -51,8 +53,17 @@ const KIND_P2P_DIRECT: u8 = 1;
 const KIND_TOB_SUBMIT: u8 = 2;
 const KIND_TOB_DELIVER: u8 = 3;
 
-/// Flood frame header: `origin (2) | counter (8) | kind (1)`.
-const HEADER_LEN: usize = 11;
+/// Flood frame header:
+/// `origin (2) | counter (8) | span (8) | hop (1) | kind (1)`.
+///
+/// `span`/`hop` are the trace context: the span id of the protocol
+/// instance the payload belongs to and the number of links the frame
+/// has traversed along this path. The origin stamps `hop = 1`; every
+/// relay increments the byte in place before re-flooding, so the first
+/// copy arriving at a node `d` links away carries `hop = d`.
+const HEADER_LEN: usize = 2 + 8 + SPAN_LEN + 1 + 1;
+/// Byte offset of the hop counter inside the header (mutated by relays).
+const HOP_OFF: usize = 2 + 8 + SPAN_LEN;
 
 /// Bound on the dedup window (message ids remembered per node).
 const SEEN_CAP: usize = 1 << 16;
@@ -113,6 +124,11 @@ struct GossipShared {
     connects_established: AtomicU64,
     health: LinkHealth,
     metrics: OnceLock<GossipMetrics>,
+    /// Estimated wall-clock offset to each node (µs to *add* to our
+    /// wall clock to land on theirs); only neighbor slots are probed,
+    /// the rest stay 0.
+    clock_offsets: Vec<AtomicI64>,
+    journal: OnceLock<Arc<TraceJournal>>,
 }
 
 impl GossipShared {
@@ -149,15 +165,40 @@ impl GossipShared {
         }
     }
 
-    /// Builds a flood frame this node originates (fresh message id).
-    fn own_frame(&self, kind: u8, rest: &[u8]) -> Vec<u8> {
+    /// Builds a flood frame this node originates (fresh message id),
+    /// stamping the trace context. `hop` is 1 for frames about to
+    /// traverse their first link, 0 for a sequencer-local submit that
+    /// has not travelled yet.
+    fn own_frame(&self, kind: u8, span: &[u8; SPAN_LEN], hop: u8, rest: &[u8]) -> Vec<u8> {
         let counter = self.msg_counter.fetch_add(1, Ordering::Relaxed);
         let mut body = Vec::with_capacity(HEADER_LEN + rest.len());
         body.extend_from_slice(&self.id.to_le_bytes());
         body.extend_from_slice(&counter.to_le_bytes());
+        body.extend_from_slice(span);
+        body.push(hop);
         body.push(kind);
         body.extend_from_slice(rest);
         body
+    }
+
+    /// Journals an envelope leaving this node (`peer` 0 = broadcast).
+    fn trace_send(&self, peer: NodeId, payload: &[u8]) {
+        if let (Some(j), Some(key)) = (self.journal.get(), peek_key(payload)) {
+            let span = span_of(payload);
+            j.record_full(key, TraceEventKind::PeerSend, peer, format!("span={}", span_hex(&span)));
+        }
+    }
+
+    /// Journals an envelope delivered to this node's event channel.
+    fn trace_recv(&self, peer: NodeId, span: &[u8; SPAN_LEN], hop: u8, payload: &[u8]) {
+        if let (Some(j), Some(key)) = (self.journal.get(), peek_key(payload)) {
+            j.record_full(
+                key,
+                TraceEventKind::PeerRecv,
+                peer,
+                format!("span={} hop={hop}", span_hex(span)),
+            );
+        }
     }
 
     fn count_reader_exit(&self) {
@@ -255,29 +296,38 @@ impl GossipMesh {
         let dialer = {
             let addrs = addrs.to_vec();
             let auth = auth.clone();
-            std::thread::spawn(move || -> Result<Vec<(NodeId, TcpStream, Session)>, NetworkError> {
-                let mut out = Vec::new();
-                for peer in out_peers {
-                    let mut stream = dial_with_retry(addrs[peer as usize - 1])?;
-                    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
-                    let responder_static = auth.roster.get(peer).ok_or_else(|| {
-                        NetworkError::Setup(format!("no roster entry for {peer}"))
-                    })?;
-                    let session =
-                        handshake::initiate(&mut stream, id, &auth.identity, responder_static)?;
-                    stream.set_read_timeout(None)?;
-                    out.push((peer, stream, session));
-                }
-                Ok(out)
-            })
+            std::thread::spawn(
+                move || -> Result<Vec<(NodeId, TcpStream, Session, i64)>, NetworkError> {
+                    let mut out = Vec::new();
+                    for peer in out_peers {
+                        let mut stream = dial_with_retry(addrs[peer as usize - 1])?;
+                        // Flood frames and clock probes are small and
+                        // latency-sensitive; Nagle would hold them for
+                        // the previous frame's ACK.
+                        stream.set_nodelay(true).ok();
+                        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+                        let responder_static = auth.roster.get(peer).ok_or_else(|| {
+                            NetworkError::Setup(format!("no roster entry for {peer}"))
+                        })?;
+                        let mut session =
+                            handshake::initiate(&mut stream, id, &auth.identity, responder_static)?;
+                        let offset = handshake::offset_probe_initiate(&mut stream, &mut session)?;
+                        stream.set_read_timeout(None)?;
+                        out.push((peer, stream, session, offset));
+                    }
+                    Ok(out)
+                },
+            )
         };
 
         let mut accepted = HashSet::new();
         let mut inbound = Vec::new();
         while accepted.len() < in_peers.len() {
             let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true).ok();
             stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
-            let (peer_id, session) = handshake::respond(&mut stream, &auth.identity, &auth.roster)?;
+            let (peer_id, mut session) =
+                handshake::respond(&mut stream, &auth.identity, &auth.roster)?;
             if !in_peers.contains(&peer_id) {
                 return Err(NetworkError::Setup(format!(
                     "unexpected in-neighbor {peer_id} (expected one of {in_peers:?})"
@@ -289,8 +339,9 @@ impl GossipMesh {
                      established"
                 )));
             }
+            let offset = handshake::offset_probe_respond(&mut stream, &mut session)?;
             stream.set_read_timeout(None)?;
-            inbound.push((peer_id, stream, session));
+            inbound.push((peer_id, stream, session, offset));
         }
         let outbound = dialer
             .join()
@@ -299,12 +350,14 @@ impl GossipMesh {
         let (raw_tx, raw_rx) = unbounded::<(usize, Vec<u8>)>();
         let mut links = Vec::new();
         let mut readers = Vec::new();
-        for (peer, stream, session) in outbound.into_iter().chain(inbound) {
+        let mut offsets = vec![0i64; n];
+        for (peer, stream, session, offset) in outbound.into_iter().chain(inbound) {
             readers.push((stream.try_clone()?, links.len(), peer, session.recv));
             links.push(Link {
                 peer,
                 conn: Mutex::new(LinkConn { stream, cipher: session.send }),
             });
+            offsets[peer as usize - 1] = offset;
         }
         let connects = links.len() as u64;
         let shared = Arc::new(GossipShared {
@@ -315,6 +368,8 @@ impl GossipMesh {
             connects_established: AtomicU64::new(connects),
             health: LinkHealth::default(),
             metrics: OnceLock::new(),
+            clock_offsets: offsets.into_iter().map(AtomicI64::new).collect(),
+            journal: OnceLock::new(),
         });
         shared.health.handshakes.store(connects, Ordering::Relaxed);
         for (stream, idx, peer, recv) in readers {
@@ -401,27 +456,44 @@ impl GossipLinkController {
     }
 }
 
-/// Parsed view of a flood frame.
-struct FloodMsg<'a> {
+/// Parsed flood-frame header. Owned (no borrow of the frame), so the
+/// demux can increment the hop byte in the frame buffer before
+/// re-flooding it.
+struct FloodMsg {
     origin: NodeId,
     counter: u64,
+    span: [u8; SPAN_LEN],
+    hop: u8,
     kind: u8,
-    rest: &'a [u8],
 }
 
-fn parse_flood(body: &[u8]) -> Option<FloodMsg<'_>> {
+fn parse_flood(body: &[u8]) -> Option<FloodMsg> {
     if body.len() < HEADER_LEN {
         return None;
     }
     let origin = NodeId::from_le_bytes([body[0], body[1]]);
     let mut counter_bytes = [0u8; 8];
     counter_bytes.copy_from_slice(&body[2..10]);
+    let mut span = [0u8; SPAN_LEN];
+    span.copy_from_slice(&body[10..10 + SPAN_LEN]);
     Some(FloodMsg {
         origin,
         counter: u64::from_le_bytes(counter_bytes),
-        kind: body[10],
-        rest: &body[HEADER_LEN..],
+        span,
+        hop: body[HOP_OFF],
+        kind: body[HOP_OFF + 1],
     })
+}
+
+/// The protocol payload inside a flood frame's `rest`, for journal
+/// keying: what [`peek_key`] should look at per message kind.
+fn inner_payload(kind: u8, rest: &[u8]) -> Option<&[u8]> {
+    match kind {
+        KIND_P2P_BCAST | KIND_TOB_SUBMIT => Some(rest),
+        KIND_P2P_DIRECT => rest.get(2..),
+        KIND_TOB_DELIVER => rest.get(10..),
+        _ => None,
+    }
 }
 
 /// Reads AEAD frames off one link and feeds them (tagged with the link
@@ -461,10 +533,12 @@ fn spawn_link_reader(
         .expect("spawn gossip reader");
 }
 
-/// The flood engine: dedups by message id, relays fresh frames to every
-/// other link, and demultiplexes P2P/TOB into the ordered event channel.
-/// Single-threaded by construction, so the dedup window, the reorder
-/// buffer and (on node 1) the sequencer state need no further locking.
+/// The flood engine: dedups by message id (remembering the best hop
+/// count seen per message), relays fresh frames — and shorter-path
+/// duplicates — to every other link, and demultiplexes P2P/TOB into the
+/// ordered event channel. Single-threaded by construction, so the dedup
+/// window, the reorder buffer and (on node 1) the sequencer state need
+/// no further locking.
 fn spawn_flood_demux(
     raw_rx: Receiver<(usize, Vec<u8>)>,
     events_tx: Sender<NetworkEvent>,
@@ -475,9 +549,10 @@ fn spawn_flood_demux(
         .spawn(move || {
             let sequencing = shared.id == SEQUENCER;
             let mut reorder = TobReorderBuffer::new();
-            let mut seen: HashSet<(NodeId, u64)> = HashSet::new();
+            // Message id → smallest hop count any copy arrived with.
+            let mut seen: HashMap<(NodeId, u64), u8> = HashMap::new();
             let mut seen_fifo: VecDeque<(NodeId, u64)> = VecDeque::new();
-            while let Ok((link_idx, body)) = raw_rx.recv() {
+            while let Ok((link_idx, mut body)) = raw_rx.recv() {
                 let Some(msg) = parse_flood(&body) else {
                     continue; // malformed (but authenticated) frame
                 };
@@ -486,65 +561,150 @@ fn spawn_flood_demux(
                     if msg.origin == shared.id {
                         continue; // echo of our own flood
                     }
-                    if !seen.insert((msg.origin, msg.counter)) {
-                        if let Some(m) = shared.metrics.get() {
+                    let dedup_key = (msg.origin, msg.counter);
+                    let best = seen.get(&dedup_key).copied();
+                    if let Some(best) = best {
+                        // A duplicate copy. It still crossed a link, so
+                        // journal it (for the kinds every node journals
+                        // on first sight) — then, if it witnesses a
+                        // *shorter* path than the copy that won the
+                        // arrival race, relay the improvement onward
+                        // (asynchronous distance relaxation): without
+                        // this a node whose first copy came the long
+                        // way poisons every downstream hop count, and
+                        // per-pair minimum hops would only match the
+                        // topology's shortest paths probabilistically.
+                        // Hops strictly decrease per improvement, so
+                        // the extra relays are bounded by the graph
+                        // diameter per message. The payload itself is
+                        // never re-delivered.
+                        if matches!(msg.kind, KIND_P2P_BCAST | KIND_TOB_DELIVER) {
+                            if let Some(inner) = inner_payload(msg.kind, &body[HEADER_LEN..]) {
+                                shared.trace_recv(msg.origin, &msg.span, msg.hop, inner);
+                            }
+                        }
+                        if msg.hop < best {
+                            seen.insert(dedup_key, msg.hop);
+                            body[HOP_OFF] = msg.hop.saturating_add(1);
+                            shared.flood(&body, link_idx);
+                            if let Some(m) = shared.metrics.get() {
+                                m.relayed.inc();
+                            }
+                        } else if let Some(m) = shared.metrics.get() {
                             m.duplicates.inc();
                         }
                         continue;
                     }
-                    seen_fifo.push_back((msg.origin, msg.counter));
+                    seen.insert(dedup_key, msg.hop);
+                    seen_fifo.push_back(dedup_key);
                     if seen_fifo.len() > SEEN_CAP {
                         if let Some(old) = seen_fifo.pop_front() {
                             seen.remove(&old);
                         }
                     }
-                    // First sight: relay to everyone except the arrival
-                    // link before local processing, to keep the flood
-                    // front moving.
+                    // First sight: increment the hop count (the copies
+                    // we forward have crossed one more link) and relay
+                    // to everyone except the arrival link *before*
+                    // local processing, to keep the flood front moving.
+                    body[HOP_OFF] = msg.hop.saturating_add(1);
                     shared.flood(&body, link_idx);
+                    body[HOP_OFF] = msg.hop;
                     if let Some(m) = shared.metrics.get() {
                         m.relayed.inc();
                     }
+                    if let Some(j) = shared.journal.get() {
+                        if let Some(key) =
+                            inner_payload(msg.kind, &body[HEADER_LEN..]).and_then(peek_key)
+                        {
+                            j.record_full(
+                                key,
+                                TraceEventKind::RelayHop,
+                                shared.links[link_idx].peer,
+                                format!(
+                                    "origin={} span={} hop={}",
+                                    msg.origin,
+                                    span_hex(&msg.span),
+                                    msg.hop.saturating_add(1)
+                                ),
+                            );
+                        }
+                    }
                 }
+                let rest = &body[HEADER_LEN..];
                 let released = match msg.kind {
                     KIND_P2P_BCAST => {
-                        vec![NetworkEvent::P2p { from: msg.origin, payload: msg.rest.to_vec() }]
+                        shared.trace_recv(msg.origin, &msg.span, msg.hop, rest);
+                        vec![NetworkEvent::P2p { from: msg.origin, payload: rest.to_vec() }]
                     }
                     KIND_P2P_DIRECT => {
-                        if msg.rest.len() < 2 {
+                        if rest.len() < 2 {
                             continue;
                         }
-                        let to = NodeId::from_le_bytes([msg.rest[0], msg.rest[1]]);
+                        let to = NodeId::from_le_bytes([rest[0], rest[1]]);
                         if to != shared.id {
                             continue; // relayed above; not for us
                         }
+                        shared.trace_recv(msg.origin, &msg.span, msg.hop, &rest[2..]);
                         vec![NetworkEvent::P2p {
                             from: msg.origin,
-                            payload: msg.rest[2..].to_vec(),
+                            payload: rest[2..].to_vec(),
                         }]
                     }
                     KIND_TOB_SUBMIT => {
                         if !sequencing {
                             continue; // relayed above; the sequencer acts
                         }
+                        if !from_local {
+                            shared.trace_recv(msg.origin, &msg.span, msg.hop, rest);
+                        }
                         let seq = shared.tob_seq.fetch_add(1, Ordering::SeqCst);
-                        let mut rest = Vec::with_capacity(8 + 2 + msg.rest.len());
-                        rest.extend_from_slice(&seq.to_le_bytes());
-                        rest.extend_from_slice(&msg.origin.to_le_bytes());
-                        rest.extend_from_slice(msg.rest);
-                        let deliver = shared.own_frame(KIND_TOB_DELIVER, &rest);
+                        let mut deliver_rest = Vec::with_capacity(8 + 2 + rest.len());
+                        deliver_rest.extend_from_slice(&seq.to_le_bytes());
+                        deliver_rest.extend_from_slice(&msg.origin.to_le_bytes());
+                        deliver_rest.extend_from_slice(rest);
+                        // The delivery continues the submit's causal
+                        // chain: it leaves here having crossed the
+                        // submit's hops plus the link it is about to
+                        // take (a local submit has crossed none yet).
+                        let out_hop = msg.hop.saturating_add(1);
+                        let deliver =
+                            shared.own_frame(KIND_TOB_DELIVER, &msg.span, out_hop, &deliver_rest);
+                        if let Some(j) = shared.journal.get() {
+                            if let Some(key) = peek_key(rest) {
+                                if from_local {
+                                    j.record_full(
+                                        key,
+                                        TraceEventKind::PeerSend,
+                                        0,
+                                        format!("span={}", span_hex(&msg.span)),
+                                    );
+                                } else {
+                                    j.record_full(
+                                        key,
+                                        TraceEventKind::RelayHop,
+                                        msg.origin,
+                                        format!(
+                                            "origin={} span={} hop={out_hop}",
+                                            msg.origin,
+                                            span_hex(&msg.span)
+                                        ),
+                                    );
+                                }
+                            }
+                        }
                         shared.flood(&deliver, LOCAL);
-                        reorder.insert(seq, msg.origin, msg.rest.to_vec())
+                        reorder.insert(seq, msg.origin, rest.to_vec())
                     }
                     KIND_TOB_DELIVER => {
-                        if msg.rest.len() < 10 {
+                        if rest.len() < 10 {
                             continue;
                         }
                         let mut seq_bytes = [0u8; 8];
-                        seq_bytes.copy_from_slice(&msg.rest[..8]);
+                        seq_bytes.copy_from_slice(&rest[..8]);
                         let seq = u64::from_le_bytes(seq_bytes);
-                        let from = NodeId::from_le_bytes([msg.rest[8], msg.rest[9]]);
-                        reorder.insert(seq, from, msg.rest[10..].to_vec())
+                        let from = NodeId::from_le_bytes([rest[8], rest[9]]);
+                        shared.trace_recv(msg.origin, &msg.span, msg.hop, &rest[10..]);
+                        reorder.insert(seq, from, rest[10..].to_vec())
                     }
                     _ => continue,
                 };
@@ -576,7 +736,8 @@ impl Network for GossipMeshNode {
     }
 
     fn broadcast_p2p(&self, payload: Vec<u8>) {
-        let body = self.shared.own_frame(KIND_P2P_BCAST, &payload);
+        self.shared.trace_send(0, &payload);
+        let body = self.shared.own_frame(KIND_P2P_BCAST, &span_of(&payload), 1, &payload);
         self.shared.flood(&body, LOCAL);
     }
 
@@ -584,20 +745,26 @@ impl Network for GossipMeshNode {
         if peer == self.shared.id {
             return;
         }
+        self.shared.trace_send(peer, &payload);
         let mut rest = Vec::with_capacity(2 + payload.len());
         rest.extend_from_slice(&peer.to_le_bytes());
         rest.extend_from_slice(&payload);
-        let body = self.shared.own_frame(KIND_P2P_DIRECT, &rest);
+        let body = self.shared.own_frame(KIND_P2P_DIRECT, &span_of(&payload), 1, &rest);
         self.shared.flood(&body, LOCAL);
     }
 
     fn submit_tob(&self, payload: Vec<u8>) {
-        let body = self.shared.own_frame(KIND_TOB_SUBMIT, &payload);
+        let span = span_of(&payload);
         if self.shared.id == SEQUENCER {
             // Route through the demux thread: a single owner serializes
-            // local submissions with the flooded ones.
+            // local submissions with the flooded ones. Hop 0: the frame
+            // has not traversed a link yet (the delivery it turns into
+            // records the PeerSend).
+            let body = self.shared.own_frame(KIND_TOB_SUBMIT, &span, 0, &payload);
             let _ = self.raw_tx.send((LOCAL, body));
         } else {
+            self.shared.trace_send(SEQUENCER, &payload);
+            let body = self.shared.own_frame(KIND_TOB_SUBMIT, &span, 1, &payload);
             self.shared.flood(&body, LOCAL);
         }
     }
@@ -641,7 +808,19 @@ impl Network for GossipMeshNode {
         metrics
             .aead_failures
             .add(self.shared.health.aead_failures.load(Ordering::Relaxed));
+        // Pairwise clock offsets for probed (neighbor) links.
+        let neighbors: HashSet<NodeId> = self.shared.links.iter().map(|l| l.peer).collect();
+        for peer in neighbors {
+            let off = self.shared.clock_offsets[peer as usize - 1].load(Ordering::Relaxed);
+            registry
+                .gauge_with("theta_clock_offset_micros", &[("peer", &peer.to_string())])
+                .set(off);
+        }
         let _ = self.shared.metrics.set(metrics);
+    }
+
+    fn attach_journal(&mut self, journal: &Arc<TraceJournal>) {
+        let _ = self.shared.journal.set(journal.clone());
     }
 }
 
@@ -826,6 +1005,53 @@ mod tests {
                 NetworkEvent::P2p { from: 2, payload: b"still alive".to_vec() }
             );
         }
+    }
+
+    /// The trace context rides the flood: a direct send three ring hops
+    /// away arrives with `hop = 3` journaled, and intermediate nodes
+    /// journal the relay.
+    #[test]
+    fn hop_count_reflects_ring_distance() {
+        let mut nodes = build_gossip(6, 2, 28); // offsets [1]: a pure ring
+        let journals: Vec<Arc<TraceJournal>> =
+            (0..6).map(|_| Arc::new(TraceJournal::new(256))).collect();
+        for (node, j) in nodes.iter_mut().zip(&journals) {
+            node.attach_journal(j);
+        }
+
+        let mut instance = [0u8; 32];
+        instance[..4].copy_from_slice(&[0xca, 0xfe, 0xf0, 0x0d]);
+        let payload = instance.to_vec();
+        nodes[0].send_to(4, payload); // 1 → 4: three links either way
+        let ev = nodes[3].recv_timeout(TICK).expect("direct delivery");
+        assert!(matches!(ev, NetworkEvent::P2p { from: 1, .. }));
+
+        let deadline = std::time::Instant::now() + TICK;
+        let recv = loop {
+            if let Some(ev) = journals[3]
+                .events_for(&instance)
+                .into_iter()
+                .find(|e| e.kind == TraceEventKind::PeerRecv)
+            {
+                break ev;
+            }
+            assert!(std::time::Instant::now() < deadline, "receive never journaled");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(recv.peer, 1, "PeerRecv must carry the origin");
+        assert!(recv.detail.contains("span=cafef00d00000000"), "detail: {}", recv.detail);
+        assert!(recv.detail.contains("hop=3"), "detail: {}", recv.detail);
+
+        // An intermediate ring node (2 or 6, one hop from the origin)
+        // journaled the relay with the incremented hop.
+        let relay = journals[1]
+            .events_for(&instance)
+            .into_iter()
+            .chain(journals[5].events_for(&instance))
+            .find(|e| e.kind == TraceEventKind::RelayHop)
+            .expect("an adjacent node must have relayed");
+        assert!(relay.detail.contains("origin=1"), "detail: {}", relay.detail);
+        assert!(relay.detail.contains("hop=2"), "detail: {}", relay.detail);
     }
 
     #[test]

@@ -544,6 +544,105 @@ pub fn read_sealed(stream: &mut TcpStream, cipher: &mut RecvCipher) -> std::io::
     })
 }
 
+/// UNIX-epoch microseconds right now (0 for a clock before 1970).
+pub fn wall_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+fn probe_err(msg: &'static str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Rounds per clock-offset probe. The NTP formula's error is bounded by
+/// half the round-trip delay of the sample it came from, so the probe
+/// runs several exchanges and keeps the minimum-delay one — a single
+/// round descheduled mid-flight (easy during a noisy mesh bring-up,
+/// when every node is spawning threads and running key agreement) would
+/// otherwise leak tens of milliseconds into the estimate.
+const PROBE_ROUNDS: usize = 5;
+
+/// Clock-offset probe, initiator side — the first sealed frames of a
+/// session, run immediately after [`initiate`] while the handshake read
+/// timeout is still armed.
+///
+/// NTP-style four-timestamp exchange, [`PROBE_ROUNDS`] times over: each
+/// round the initiator sends its wall clock `t0`, the responder answers
+/// with its receive/send stamps `(t1, t2)`, and on receipt at `t3` the
+/// initiator forms `offset = ((t1 − t0) + (t2 − t3)) / 2` —
+/// microseconds to *add* to the local wall clock to land on the
+/// responder's — and `delay = (t3 − t0) − (t2 − t1)`. The offset from
+/// the minimum-delay round wins and is shared back, so the responder
+/// learns the negated offset without a second round trip (both frames
+/// ride the authenticated session, so within the mesh trust model the
+/// echo is as good as measuring).
+///
+/// # Errors
+///
+/// Transport errors, or `InvalidData` for malformed probe frames.
+pub fn offset_probe_initiate(
+    stream: &mut TcpStream,
+    session: &mut Session,
+) -> std::io::Result<i64> {
+    let mut best: Option<(i64, i64)> = None; // (delay, offset)
+    for _ in 0..PROBE_ROUNDS {
+        let t0 = wall_micros() as i64;
+        write_sealed(stream, &mut session.send, &(t0 as u64).to_le_bytes())?;
+        let reply = read_sealed(stream, &mut session.recv)?;
+        let t3 = wall_micros() as i64;
+        if reply.len() != 16 {
+            return Err(probe_err("malformed offset-probe reply"));
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&reply[..8]);
+        let t1 = u64::from_le_bytes(b) as i64;
+        b.copy_from_slice(&reply[8..]);
+        let t2 = u64::from_le_bytes(b) as i64;
+        let delay = (t3 - t0) - (t2 - t1);
+        let offset = ((t1 - t0) + (t2 - t3)) / 2;
+        if best.is_none_or(|(d, _)| delay < d) {
+            best = Some((delay, offset));
+        }
+    }
+    let offset = best.expect("PROBE_ROUNDS >= 1").1;
+    write_sealed(stream, &mut session.send, &offset.to_le_bytes())?;
+    Ok(offset)
+}
+
+/// Clock-offset probe, responder side (see [`offset_probe_initiate`]).
+/// Returns this node's estimated offset to the *initiator* (the
+/// negation of the initiator's estimate).
+///
+/// # Errors
+///
+/// Transport errors, or `InvalidData` for malformed probe frames.
+pub fn offset_probe_respond(
+    stream: &mut TcpStream,
+    session: &mut Session,
+) -> std::io::Result<i64> {
+    for _ in 0..PROBE_ROUNDS {
+        let ping = read_sealed(stream, &mut session.recv)?;
+        if ping.len() != 8 {
+            return Err(probe_err("malformed offset-probe ping"));
+        }
+        let t1 = wall_micros();
+        let mut reply = [0u8; 16];
+        reply[..8].copy_from_slice(&t1.to_le_bytes());
+        let t2 = wall_micros();
+        reply[8..].copy_from_slice(&t2.to_le_bytes());
+        write_sealed(stream, &mut session.send, &reply)?;
+    }
+    let echoed = read_sealed(stream, &mut session.recv)?;
+    if echoed.len() != 8 {
+        return Err(probe_err("malformed offset-probe echo"));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&echoed);
+    Ok(-(i64::from_le_bytes(b)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +692,34 @@ mod tests {
             let sealed = resp.send.seal(msg);
             assert_eq!(init.recv.open(&sealed).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn offset_probe_agrees_between_loopback_peers() {
+        let (mut a, mut b) = pair();
+        let resp_auth = MeshAuth::insecure_dev(2, 2, 11);
+        let resp = std::thread::spawn(move || {
+            let (_, mut session) = respond(&mut b, &resp_auth.identity, &resp_auth.roster).unwrap();
+            let off = offset_probe_respond(&mut b, &mut session).unwrap();
+            (off, session)
+        });
+        let init_auth = MeshAuth::insecure_dev(1, 2, 11);
+        let target = *init_auth.roster.get(2).unwrap();
+        let mut session = initiate(&mut a, 1, &init_auth.identity, &target).unwrap();
+        let init_off = offset_probe_initiate(&mut a, &mut session).unwrap();
+        let (resp_off, mut resp_session) = resp.join().unwrap();
+
+        // Same host, same clock: the measured skew is bounded by the
+        // loopback round trip, and the responder sees the negation.
+        assert!(init_off.abs() < 1_000_000, "offset {init_off}µs on loopback");
+        assert_eq!(resp_off, -init_off);
+
+        // The probe consumed matching nonces on both sides: ordinary
+        // traffic still flows afterwards.
+        let sealed = session.send.seal(b"after-probe");
+        assert_eq!(resp_session.recv.open(&sealed).unwrap(), b"after-probe");
+        let sealed = resp_session.send.seal(b"reply");
+        assert_eq!(session.recv.open(&sealed).unwrap(), b"reply");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the paper's local (0.65 ms) and global (43–100 ms) RTT regimes on one
 //! machine.
 
+use crate::demux::{peek_key, span_hex, span_of};
 use crate::{LinkProfile, Network, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -15,6 +16,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use theta_metrics::{TraceEventKind, TraceJournal};
 
 /// Configuration of the simulated mesh.
 #[derive(Clone, Debug)]
@@ -79,6 +81,10 @@ struct HubInner {
     /// Per-target receive counters, registered lazily by each node's
     /// `attach_registry` and read by the scheduler on delivery.
     recv_counters: Mutex<Vec<Option<Arc<PeerTraffic>>>>,
+    /// Per-target trace journals, registered lazily by each node's
+    /// `attach_journal`; the scheduler records `PeerRecv` on delivery
+    /// (in-process links are single-hop, so `hop` is always 1).
+    journals: Mutex<Vec<Option<Arc<TraceJournal>>>>,
 }
 
 impl HubInner {
@@ -142,6 +148,7 @@ impl InMemoryHub {
             scheduler_tx,
             shutdown: shutdown.clone(),
             recv_counters: Mutex::new(vec![None; n as usize]),
+            journals: Mutex::new(vec![None; n as usize]),
         });
 
         let scheduler_inner = inner.clone();
@@ -157,6 +164,7 @@ impl InMemoryHub {
                 hub: inner.clone(),
                 inbox: inboxes[id as usize - 1].clone(),
                 sent: None,
+                journal: None,
             })
             .collect();
         (InMemoryHub { inner, handle: Some(handle) }, nodes)
@@ -220,17 +228,20 @@ fn scheduler_loop(
         while heap.peek().is_some_and(|d| d.due <= now) {
             let d = heap.pop().expect("peeked");
             let recv = inner.recv_counters.lock()[d.target].clone();
+            let journal = inner.journals.lock()[d.target].clone();
             match d.event {
                 Delivery::P2p { from, payload } => {
                     if let Some(recv) = recv {
                         recv.count(from, payload.len());
                     }
+                    trace_delivery(journal.as_deref(), from, &payload);
                     let _ = inner.outboxes[d.target].send(NetworkEvent::P2p { from, payload });
                 }
                 Delivery::Tob { seq, from, payload } => {
                     if let Some(recv) = recv {
                         recv.count(from, payload.len());
                     }
+                    trace_delivery(journal.as_deref(), from, &payload);
                     for ev in reorder[d.target].insert(seq, from, payload) {
                         let _ = inner.outboxes[d.target].send(ev);
                     }
@@ -251,6 +262,20 @@ fn scheduler_loop(
     }
 }
 
+/// Records a `PeerRecv` for an in-memory delivery (single hop, shared
+/// clock — the trace context degenerates to span + `hop=1`).
+fn trace_delivery(journal: Option<&TraceJournal>, from: NodeId, payload: &[u8]) {
+    if let (Some(j), Some(key)) = (journal, peek_key(payload)) {
+        let span = span_of(payload);
+        j.record_full(
+            key,
+            TraceEventKind::PeerRecv,
+            from,
+            format!("span={} hop=1", span_hex(&span)),
+        );
+    }
+}
+
 /// One node's handle onto the in-memory mesh.
 pub struct InMemoryNode {
     id: NodeId,
@@ -259,6 +284,8 @@ pub struct InMemoryNode {
     inbox: Receiver<NetworkEvent>,
     /// Per-peer send counters; `None` until `attach_registry`.
     sent: Option<PeerTraffic>,
+    /// This node's trace journal; `None` until `attach_journal`.
+    journal: Option<Arc<TraceJournal>>,
 }
 
 impl Network for InMemoryNode {
@@ -287,6 +314,15 @@ impl Network for InMemoryNode {
         if let Some(sent) = &self.sent {
             sent.count(peer, payload.len());
         }
+        if let (Some(j), Some(key)) = (&self.journal, peek_key(&payload)) {
+            let span = span_of(&payload);
+            j.record_full(
+                key,
+                TraceEventKind::PeerSend,
+                peer,
+                format!("span={}", span_hex(&span)),
+            );
+        }
         if self.hub.should_drop(self.id, peer) {
             return;
         }
@@ -299,6 +335,15 @@ impl Network for InMemoryNode {
         // The TOB service is modeled as reliable (the paper treats it as a
         // black box provided by the host platform): no drops, but latency
         // still applies per destination.
+        if let (Some(j), Some(key)) = (&self.journal, peek_key(&payload)) {
+            let span = span_of(&payload);
+            j.record_full(
+                key,
+                TraceEventKind::PeerSend,
+                0,
+                format!("span={}", span_hex(&span)),
+            );
+        }
         let seq = self.hub.tob_seq.fetch_add(1, Ordering::SeqCst);
         for peer in 1..=self.n as u16 {
             if let Some(sent) = &self.sent {
@@ -335,6 +380,11 @@ impl Network for InMemoryNode {
             self.n,
         ));
         self.hub.recv_counters.lock()[self.id as usize - 1] = Some(recv);
+    }
+
+    fn attach_journal(&mut self, journal: &Arc<TraceJournal>) {
+        self.journal = Some(journal.clone());
+        self.hub.journals.lock()[self.id as usize - 1] = Some(journal.clone());
     }
 }
 
@@ -504,6 +554,34 @@ mod tests {
             registry.counter_value("theta_net_bytes_received_total", &[("peer", "1")]),
             Some(20)
         );
+    }
+
+    #[test]
+    fn journals_record_send_and_receive() {
+        let (_hub, mut nodes) = mesh(2);
+        let j1 = Arc::new(TraceJournal::new(64));
+        let j2 = Arc::new(TraceJournal::new(64));
+        nodes[0].attach_journal(&j1);
+        nodes[1].attach_journal(&j2);
+
+        let mut instance = [9u8; 32];
+        instance[0] = 0x11;
+        nodes[0].send_to(2, instance.to_vec());
+        assert!(nodes[1].recv_timeout(TICK).is_some());
+
+        let sends = j1.events_for(&instance);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].kind, TraceEventKind::PeerSend);
+        assert_eq!(sends[0].peer, 2);
+        let recvs = j2.events_for(&instance);
+        assert_eq!(recvs.len(), 1);
+        assert_eq!(recvs[0].kind, TraceEventKind::PeerRecv);
+        assert_eq!(recvs[0].peer, 1);
+        assert!(recvs[0].detail.contains("hop=1"));
+        // Sub-32-byte payloads are untraced, not a crash.
+        nodes[0].send_to(2, b"short".to_vec());
+        assert!(nodes[1].recv_timeout(TICK).is_some());
+        assert_eq!(j1.len(), 1);
     }
 
     #[test]

@@ -121,6 +121,16 @@ pub trait Network: Send {
     fn attach_registry(&mut self, registry: &std::sync::Arc<theta_metrics::MetricsRegistry>) {
         let _ = registry;
     }
+
+    /// Attaches the node's trace journal: implementations record
+    /// `PeerSend` / `PeerRecv` (and, on relaying overlays, `RelayHop`)
+    /// events for envelope traffic, keyed by the instance id peeked
+    /// from the payload (see [`demux::peek_key`]). Called once by the
+    /// orchestration layer alongside [`Network::attach_registry`]; the
+    /// default is a no-op.
+    fn attach_journal(&mut self, journal: &std::sync::Arc<theta_metrics::TraceJournal>) {
+        let _ = journal;
+    }
 }
 
 /// Per-peer traffic counters (messages + bytes), resolved once at

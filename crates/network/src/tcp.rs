@@ -20,10 +20,26 @@
 //! live link.
 //!
 //! Frame layout *inside* the AEAD plaintext:
-//! `tag(u8) | fields... | payload` with tags
+//! `tag(u8) | fields... | span([u8;8]) | hop(u8) | payload` with tags
 //! `0` = P2P message (`from: u16`),
 //! `1` = TOB submit (`from: u16`) — only sent *to* the sequencer,
 //! `2` = TOB deliver (`seq: u64, from: u16`) — only sent *by* it.
+//!
+//! `span`/`hop` are the **trace context**: the 8-byte span id of the
+//! protocol instance the payload belongs to (see
+//! [`crate::demux::span_of`]) and the number of links the frame has
+//! traversed. The full mesh is single-hop, so senders stamp `hop = 1`;
+//! the only relay is the sequencer turning a TOB submit into a
+//! delivery, which increments the hop (and records a `RelayHop` journal
+//! event). Because the context sits inside the AEAD plaintext, any
+//! tampering with it is indistinguishable from tampering with the
+//! payload: the frame fails authentication and the link is torn down.
+//!
+//! Directly after each link's handshake, the dialer runs the
+//! [`handshake::offset_probe_initiate`] ping-pong so both ends hold an
+//! estimate of the pairwise wall-clock offset; the estimates surface as
+//! `theta_clock_offset_micros{peer=...}` gauges and feed the
+//! cluster-trace merge.
 //!
 //! Sender identity is **connection-derived and cryptographically
 //! verified**: each reader thread knows which peer its socket belongs
@@ -45,19 +61,24 @@
 //! `theta_net_aead_failures_total`), so a dead link is visible in the
 //! metrics instead of silently eating traffic.
 
+use crate::demux::{span_hex, span_of, SPAN_LEN};
 use crate::handshake::{self, MeshAuth, RecvCipher, SendCipher};
 use crate::{Network, NetworkError, NetworkEvent, NodeId, PeerTraffic, TobReorderBuffer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+use theta_metrics::{TraceEventKind, TraceJournal};
 
 pub(crate) const TAG_P2P: u8 = 0;
 pub(crate) const TAG_TOB_SUBMIT: u8 = 1;
 pub(crate) const TAG_TOB_DELIVER: u8 = 2;
+
+/// Trace context carried by every frame: span id + hop count.
+pub(crate) const CTX_LEN: usize = SPAN_LEN + 1;
 
 /// The fixed TOB sequencer node.
 pub(crate) const SEQUENCER: NodeId = 1;
@@ -67,33 +88,72 @@ pub(crate) const SEQUENCER: NodeId = 1;
 pub(crate) const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(3);
 
 enum Inbound {
-    P2p { from: NodeId, payload: Vec<u8> },
-    TobSubmit { from: NodeId, payload: Vec<u8> },
-    TobDeliver { seq: u64, from: NodeId, payload: Vec<u8> },
+    P2p { from: NodeId, span: [u8; SPAN_LEN], hop: u8, payload: Vec<u8> },
+    TobSubmit { from: NodeId, span: [u8; SPAN_LEN], hop: u8, payload: Vec<u8> },
+    TobDeliver { seq: u64, from: NodeId, span: [u8; SPAN_LEN], hop: u8, payload: Vec<u8> },
+}
+
+/// Header length for P2P / TOB-submit frames:
+/// `tag(1) | from(2) | span(8) | hop(1)`.
+const P2P_HEADER_LEN: usize = 1 + 2 + CTX_LEN;
+/// Header length for TOB-deliver frames:
+/// `tag(1) | seq(8) | from(2) | span(8) | hop(1)`.
+const DELIVER_HEADER_LEN: usize = 1 + 8 + 2 + CTX_LEN;
+
+fn read_span(body: &[u8], at: usize) -> [u8; SPAN_LEN] {
+    let mut span = [0u8; SPAN_LEN];
+    span.copy_from_slice(&body[at..at + SPAN_LEN]);
+    span
 }
 
 fn parse_frame(body: &[u8]) -> Option<Inbound> {
     match *body.first()? {
-        TAG_P2P => {
-            let from = u16::from_le_bytes([*body.get(1)?, *body.get(2)?]);
-            Some(Inbound::P2p { from, payload: body[3..].to_vec() })
-        }
-        TAG_TOB_SUBMIT => {
-            let from = u16::from_le_bytes([*body.get(1)?, *body.get(2)?]);
-            Some(Inbound::TobSubmit { from, payload: body[3..].to_vec() })
+        tag @ (TAG_P2P | TAG_TOB_SUBMIT) => {
+            if body.len() < P2P_HEADER_LEN {
+                return None;
+            }
+            let from = u16::from_le_bytes([body[1], body[2]]);
+            let span = read_span(body, 3);
+            let hop = body[11];
+            let payload = body[P2P_HEADER_LEN..].to_vec();
+            Some(if tag == TAG_P2P {
+                Inbound::P2p { from, span, hop, payload }
+            } else {
+                Inbound::TobSubmit { from, span, hop, payload }
+            })
         }
         TAG_TOB_DELIVER => {
-            if body.len() < 11 {
+            if body.len() < DELIVER_HEADER_LEN {
                 return None;
             }
             let mut seq_bytes = [0u8; 8];
             seq_bytes.copy_from_slice(&body[1..9]);
             let seq = u64::from_le_bytes(seq_bytes);
             let from = u16::from_le_bytes([body[9], body[10]]);
-            Some(Inbound::TobDeliver { seq, from, payload: body[11..].to_vec() })
+            let span = read_span(body, 11);
+            let hop = body[19];
+            Some(Inbound::TobDeliver {
+                seq,
+                from,
+                span,
+                hop,
+                payload: body[DELIVER_HEADER_LEN..].to_vec(),
+            })
         }
         _ => None,
     }
+}
+
+/// Builds a P2P / TOB-submit frame: sender-stamped trace context with
+/// `hop = 1` (the frame is about to traverse its first link).
+fn p2p_frame(tag: u8, from: NodeId, payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(P2P_HEADER_LEN + payload.len());
+    body.push(tag);
+    body.extend_from_slice(&from.to_le_bytes());
+    body.extend_from_slice(&span_of(payload));
+    body.push(1);
+    body.extend_from_slice(payload);
+    body
 }
 
 /// Traffic counters attached to a mesh node after setup. Reader and
@@ -135,9 +195,33 @@ struct Shared {
     connects_established: AtomicU64,
     health: LinkHealth,
     metrics: OnceLock<TcpMetrics>,
+    /// Estimated wall-clock offset to each peer (µs to *add* to our
+    /// wall clock to land on theirs), measured by the post-handshake
+    /// ping-pong probe; 0 at our own slot and for unprobed peers.
+    clock_offsets: Vec<AtomicI64>,
+    journal: OnceLock<Arc<TraceJournal>>,
 }
 
 impl Shared {
+    /// Journals an envelope leaving this node (`peer` 0 = broadcast).
+    fn trace_send(&self, peer: NodeId, payload: &[u8]) {
+        if let (Some(j), Some(key)) = (self.journal.get(), crate::demux::peek_key(payload)) {
+            let span = span_of(payload);
+            j.record_full(key, TraceEventKind::PeerSend, peer, format!("span={}", span_hex(&span)));
+        }
+    }
+
+    /// Journals an envelope arriving from `peer` with its trace context.
+    fn trace_recv(&self, peer: NodeId, span: &[u8; SPAN_LEN], hop: u8, payload: &[u8]) {
+        if let (Some(j), Some(key)) = (self.journal.get(), crate::demux::peek_key(payload)) {
+            j.record_full(
+                key,
+                TraceEventKind::PeerRecv,
+                peer,
+                format!("span={} hop={hop}", span_hex(span)),
+            );
+        }
+    }
     fn send_raw(&self, peer: NodeId, body: &[u8]) {
         if let Some(Some(conn)) = self.peers.get(peer as usize - 1) {
             let mut conn = conn.lock();
@@ -259,11 +343,13 @@ impl TcpMesh {
         let expected_inbound = id as usize - 1;
         let mut accepted = HashSet::new();
         let mut inbound_streams = Vec::new();
+        let mut offsets = vec![0i64; n];
         listener.set_nonblocking(false)?;
         while accepted.len() < expected_inbound {
             let (mut stream, _) = listener.accept()?;
             stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
-            let (peer_id, session) = handshake::respond(&mut stream, &auth.identity, &auth.roster)?;
+            let (peer_id, mut session) =
+                handshake::respond(&mut stream, &auth.identity, &auth.roster)?;
             if peer_id == 0 || peer_id >= id {
                 return Err(NetworkError::Setup(format!("unexpected hello from {peer_id}")));
             }
@@ -273,6 +359,10 @@ impl TcpMesh {
                      established"
                 )));
             }
+            // Clock-offset probe, responder side, while the handshake
+            // read timeout is still armed (a mute initiator cannot
+            // wedge setup here either).
+            offsets[peer_id as usize - 1] = handshake::offset_probe_respond(&mut stream, &mut session)?;
             stream.set_read_timeout(None)?;
             inbound_streams.push((peer_id, stream, session));
         }
@@ -287,7 +377,10 @@ impl TcpMesh {
                 .roster
                 .get(peer)
                 .ok_or_else(|| NetworkError::Setup(format!("no roster entry for {peer}")))?;
-            let session = handshake::initiate(&mut stream, id, &auth.identity, responder_static)?;
+            let mut session =
+                handshake::initiate(&mut stream, id, &auth.identity, responder_static)?;
+            offsets[peer as usize - 1] =
+                handshake::offset_probe_initiate(&mut stream, &mut session)?;
             stream.set_read_timeout(None)?;
             outbound_streams.push((peer, stream, session));
         }
@@ -308,6 +401,8 @@ impl TcpMesh {
             connects_established: AtomicU64::new(connects),
             health: LinkHealth::default(),
             metrics: OnceLock::new(),
+            clock_offsets: offsets.into_iter().map(AtomicI64::new).collect(),
+            journal: OnceLock::new(),
         });
         shared.health.handshakes.store(connects, Ordering::Relaxed);
         for (stream, peer, recv) in readers {
@@ -373,20 +468,23 @@ fn spawn_reader(
                     m.recv.count(conn_peer, body.len() + 16);
                 }
                 let inbound = match parse_frame(&body) {
-                    Some(Inbound::P2p { payload, .. }) => {
-                        Inbound::P2p { from: conn_peer, payload }
+                    Some(Inbound::P2p { span, hop, payload, .. }) => {
+                        shared.trace_recv(conn_peer, &span, hop, &payload);
+                        Inbound::P2p { from: conn_peer, span, hop, payload }
                     }
-                    Some(Inbound::TobSubmit { from, payload }) => {
+                    Some(Inbound::TobSubmit { from, span, hop, payload }) => {
                         if from != conn_peer {
                             continue; // spoofed submit: drop it
                         }
-                        Inbound::TobSubmit { from, payload }
+                        shared.trace_recv(conn_peer, &span, hop, &payload);
+                        Inbound::TobSubmit { from, span, hop, payload }
                     }
-                    Some(Inbound::TobDeliver { seq, from, payload }) => {
+                    Some(Inbound::TobDeliver { seq, from, span, hop, payload }) => {
                         if conn_peer != SEQUENCER {
                             continue; // only the sequencer delivers
                         }
-                        Inbound::TobDeliver { seq, from, payload }
+                        shared.trace_recv(conn_peer, &span, hop, &payload);
+                        Inbound::TobDeliver { seq, from, span, hop, payload }
                     }
                     None => break, // malformed frame: drop the connection
                 };
@@ -415,19 +513,47 @@ fn spawn_demux(
             let mut reorder = TobReorderBuffer::new();
             while let Ok(inbound) = raw_rx.recv() {
                 let released = match inbound {
-                    Inbound::P2p { from, payload } => {
+                    Inbound::P2p { from, payload, .. } => {
                         vec![NetworkEvent::P2p { from, payload }]
                     }
-                    Inbound::TobSubmit { from, payload } => {
+                    Inbound::TobSubmit { from, span, hop, payload } => {
                         if !sequencing {
                             continue; // stray submit at a non-sequencer
                         }
                         let seq = shared.tob_seq.fetch_add(1, Ordering::SeqCst);
-                        let mut body = Vec::with_capacity(11 + payload.len());
+                        // The sequencer relays the submit as a delivery:
+                        // the context travels on, one hop further.
+                        let out_hop = hop.saturating_add(1);
+                        let mut body =
+                            Vec::with_capacity(DELIVER_HEADER_LEN + payload.len());
                         body.push(TAG_TOB_DELIVER);
                         body.extend_from_slice(&seq.to_le_bytes());
                         body.extend_from_slice(&from.to_le_bytes());
+                        body.extend_from_slice(&span);
+                        body.push(out_hop);
                         body.extend_from_slice(&payload);
+                        if let (Some(j), Some(key)) =
+                            (shared.journal.get(), crate::demux::peek_key(&payload))
+                        {
+                            if from == shared.id {
+                                j.record_full(
+                                    key,
+                                    TraceEventKind::PeerSend,
+                                    0,
+                                    format!("span={}", span_hex(&span)),
+                                );
+                            } else {
+                                j.record_full(
+                                    key,
+                                    TraceEventKind::RelayHop,
+                                    from,
+                                    format!(
+                                        "origin={from} span={} hop={out_hop}",
+                                        span_hex(&span)
+                                    ),
+                                );
+                            }
+                        }
                         for peer in 1..=n as u16 {
                             if peer != shared.id {
                                 shared.send_raw(peer, &body);
@@ -435,7 +561,7 @@ fn spawn_demux(
                         }
                         reorder.insert(seq, from, payload)
                     }
-                    Inbound::TobDeliver { seq, from, payload } => {
+                    Inbound::TobDeliver { seq, from, payload, .. } => {
                         reorder.insert(seq, from, payload)
                     }
                 };
@@ -471,10 +597,8 @@ impl Network for TcpMeshNode {
     }
 
     fn broadcast_p2p(&self, payload: Vec<u8>) {
-        let mut body = Vec::with_capacity(3 + payload.len());
-        body.push(TAG_P2P);
-        body.extend_from_slice(&self.shared.id.to_le_bytes());
-        body.extend_from_slice(&payload);
+        self.shared.trace_send(0, &payload);
+        let body = p2p_frame(TAG_P2P, self.shared.id, &payload);
         for peer in 1..=self.n as u16 {
             if peer != self.shared.id {
                 self.shared.send_raw(peer, &body);
@@ -486,10 +610,8 @@ impl Network for TcpMeshNode {
         if peer == self.shared.id {
             return;
         }
-        let mut body = Vec::with_capacity(3 + payload.len());
-        body.push(TAG_P2P);
-        body.extend_from_slice(&self.shared.id.to_le_bytes());
-        body.extend_from_slice(&payload);
+        self.shared.trace_send(peer, &payload);
+        let body = p2p_frame(TAG_P2P, self.shared.id, &payload);
         self.shared.send_raw(peer, &body);
     }
 
@@ -497,14 +619,18 @@ impl Network for TcpMeshNode {
         if self.shared.id == SEQUENCER {
             // Route through the demux thread so local submissions are
             // serialized with remote ones by a single sequencing owner.
-            let _ = self
-                .raw_tx
-                .send(Inbound::TobSubmit { from: self.shared.id, payload });
+            // No link traversed yet: hop 0 (the deliver fan-out stamps
+            // hop 1 and records the PeerSend).
+            let span = span_of(&payload);
+            let _ = self.raw_tx.send(Inbound::TobSubmit {
+                from: self.shared.id,
+                span,
+                hop: 0,
+                payload,
+            });
         } else {
-            let mut body = Vec::with_capacity(3 + payload.len());
-            body.push(TAG_TOB_SUBMIT);
-            body.extend_from_slice(&self.shared.id.to_le_bytes());
-            body.extend_from_slice(&payload);
+            self.shared.trace_send(SEQUENCER, &payload);
+            let body = p2p_frame(TAG_TOB_SUBMIT, self.shared.id, &payload);
             self.shared.send_raw(SEQUENCER, &body);
         }
     }
@@ -548,7 +674,21 @@ impl Network for TcpMeshNode {
         metrics
             .aead_failures
             .add(self.shared.health.aead_failures.load(Ordering::Relaxed));
+        // Pairwise clock offsets measured by the post-handshake probe,
+        // for the cluster-trace merge and operator inspection.
+        for peer in 1..=self.n as u16 {
+            if peer != self.shared.id {
+                let off = self.shared.clock_offsets[peer as usize - 1].load(Ordering::Relaxed);
+                registry
+                    .gauge_with("theta_clock_offset_micros", &[("peer", &peer.to_string())])
+                    .set(off);
+            }
+        }
         let _ = self.shared.metrics.set(metrics);
+    }
+
+    fn attach_journal(&mut self, journal: &Arc<TraceJournal>) {
+        let _ = self.shared.journal.set(journal.clone());
     }
 }
 
@@ -644,9 +784,7 @@ mod tests {
         // Node 3 claims to be node 9 inside the frame; the receiver must
         // see the connection-derived sender instead.
         let nodes = build_mesh(3);
-        let mut body = vec![TAG_P2P];
-        body.extend_from_slice(&9u16.to_le_bytes());
-        body.extend_from_slice(b"who am i");
+        let body = p2p_frame(TAG_P2P, 9, b"who am i");
         nodes[2].shared.send_raw(1, &body);
         let ev = nodes[0].recv_timeout(TICK).expect("delivery");
         assert_eq!(ev, NetworkEvent::P2p { from: 3, payload: b"who am i".to_vec() });
@@ -657,9 +795,7 @@ mod tests {
         // Node 3 submits to the sequencer claiming to be node 2: the
         // frame must be discarded, and honest traffic keeps flowing.
         let nodes = build_mesh(3);
-        let mut body = vec![TAG_TOB_SUBMIT];
-        body.extend_from_slice(&2u16.to_le_bytes());
-        body.extend_from_slice(b"forged");
+        let body = p2p_frame(TAG_TOB_SUBMIT, 2, b"forged");
         nodes[2].shared.send_raw(1, &body);
         // An honest submit afterwards is the only delivery anyone sees.
         nodes[2].submit_tob(b"honest".to_vec());
@@ -682,6 +818,8 @@ mod tests {
         let mut body = vec![TAG_TOB_DELIVER];
         body.extend_from_slice(&0u64.to_le_bytes());
         body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(&[0u8; SPAN_LEN]);
+        body.push(1); // hop
         body.extend_from_slice(b"fake");
         nodes[2].shared.send_raw(2, &body);
         assert!(nodes[1].recv_timeout(Duration::from_millis(200)).is_none());
@@ -698,15 +836,15 @@ mod tests {
         nodes[0].send_to(2, b"abcd".to_vec());
         let ev = nodes[1].recv_timeout(TICK).expect("delivery");
         assert!(matches!(ev, NetworkEvent::P2p { from: 1, .. }));
-        // Received: one frame from peer 1 — 3-byte header + 4-byte
-        // payload + 16-byte AEAD tag on the wire.
+        // Received: one frame from peer 1 — 12-byte header (tag, from,
+        // span, hop) + 4-byte payload + 16-byte AEAD tag on the wire.
         assert_eq!(
             registry.counter_value("theta_net_messages_received_total", &[("peer", "1")]),
             Some(1)
         );
         assert_eq!(
             registry.counter_value("theta_net_bytes_received_total", &[("peer", "1")]),
-            Some(23)
+            Some(32)
         );
 
         nodes[1].send_to(1, b"xy".to_vec());
@@ -717,8 +855,100 @@ mod tests {
         );
         assert_eq!(
             registry.counter_value("theta_net_bytes_sent_total", &[("peer", "1")]),
-            Some(21)
+            Some(30)
         );
+
+        // The post-handshake probe left a pairwise offset gauge; both
+        // processes share one clock, so it must be (near) zero.
+        let off = registry
+            .gauge_value("theta_clock_offset_micros", &[("peer", "1")])
+            .expect("offset gauge registered");
+        assert!(off.abs() < 1_000_000, "same-host offset too large: {off}µs");
+    }
+
+    /// The trace context survives AEAD framing end to end: a payload
+    /// whose leading 32 bytes are an instance id yields PeerSend at the
+    /// sender and PeerRecv (with span and hop=1) at the receiver.
+    #[test]
+    fn trace_context_travels_with_the_frame() {
+        let mut nodes = build_mesh(2);
+        let j1 = Arc::new(TraceJournal::new(64));
+        let j2 = Arc::new(TraceJournal::new(64));
+        nodes[0].attach_journal(&j1);
+        nodes[1].attach_journal(&j2);
+
+        let mut instance = [0u8; 32];
+        instance[..8].copy_from_slice(&[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]);
+        let mut payload = instance.to_vec();
+        payload.extend_from_slice(b"envelope body");
+        nodes[0].send_to(2, payload.clone());
+        let ev = nodes[1].recv_timeout(TICK).expect("delivery");
+        assert!(matches!(ev, NetworkEvent::P2p { from: 1, .. }));
+
+        let sends = j1.events_for(&instance);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].kind, TraceEventKind::PeerSend);
+        assert_eq!(sends[0].peer, 2);
+        assert!(sends[0].detail.contains("span=deadbeef01020304"));
+
+        // The receive is journaled off the reader thread; give it a tick.
+        let deadline = std::time::Instant::now() + TICK;
+        loop {
+            let recvs = j2.events_for(&instance);
+            if !recvs.is_empty() {
+                assert_eq!(recvs[0].kind, TraceEventKind::PeerRecv);
+                assert_eq!(recvs[0].peer, 1);
+                assert!(recvs[0].detail.contains("span=deadbeef01020304"));
+                assert!(recvs[0].detail.contains("hop=1"));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "receive never journaled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The sequencer relaying a TOB submit into a delivery increments
+    /// the hop count and records the relay in its journal.
+    #[test]
+    fn sequencer_relay_increments_hop_and_journals() {
+        let mut nodes = build_mesh(3);
+        let journals: Vec<Arc<TraceJournal>> =
+            (0..3).map(|_| Arc::new(TraceJournal::new(64))).collect();
+        for (node, j) in nodes.iter_mut().zip(&journals) {
+            node.attach_journal(j);
+        }
+
+        let mut instance = [7u8; 32];
+        instance[0] = 0xab;
+        let payload = instance.to_vec();
+        nodes[2].submit_tob(payload); // node 3 → sequencer → everyone
+        for node in &nodes {
+            let ev = node.recv_timeout(TICK).expect("tob delivery");
+            assert!(matches!(ev, NetworkEvent::Tob { from: 3, .. }));
+        }
+
+        let wait_for = |j: &TraceJournal, kind: TraceEventKind| -> theta_metrics::TraceEvent {
+            let deadline = std::time::Instant::now() + TICK;
+            loop {
+                if let Some(ev) =
+                    j.events_for(&instance).into_iter().find(|e| e.kind == kind)
+                {
+                    return ev;
+                }
+                assert!(std::time::Instant::now() < deadline, "no {kind:?} journaled");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+
+        // Sequencer: received the submit at hop 1, relayed at hop 2.
+        let relay = wait_for(&journals[0], TraceEventKind::RelayHop);
+        assert_eq!(relay.peer, 3);
+        assert!(relay.detail.contains("hop=2"), "relay detail: {}", relay.detail);
+        // Node 2 (pure bystander): delivery arrived having crossed two
+        // links — submitter→sequencer, sequencer→node 2.
+        let recv = wait_for(&journals[1], TraceEventKind::PeerRecv);
+        assert_eq!(recv.peer, SEQUENCER);
+        assert!(recv.detail.contains("hop=2"), "recv detail: {}", recv.detail);
     }
 
     /// Regression (PR 6): a second connection claiming an already-seen
@@ -734,14 +964,20 @@ mod tests {
         let accepter = std::thread::spawn(move || {
             TcpMesh::connect_listener(3, listener, &addrs, MeshAuth::insecure_dev(3, 3, 77))
         });
-        // Two dialers, both with node 1's (valid!) identity.
+        // Two dialers, both with node 1's (valid!) identity. A real
+        // dialer follows the handshake with the offset probe, so these
+        // do too (the accepter's probe would otherwise time out before
+        // it ever sees the duplicate).
         let dial = |_| {
             let auth = MeshAuth::insecure_dev(1, 3, 77);
             let mut stream = TcpStream::connect(addr).unwrap();
             stream.set_read_timeout(Some(TICK)).unwrap();
             let target = *auth.roster.get(3).unwrap();
             let result = handshake::initiate(&mut stream, 1, &auth.identity, &target);
-            (stream, result)
+            if let Ok(mut session) = result {
+                let _ = handshake::offset_probe_initiate(&mut stream, &mut session);
+            }
+            stream
         };
         let _first = dial(0);
         let _second = dial(1);

@@ -173,7 +173,12 @@ impl InstanceHost {
         self.obs.journal.record_peer(self.id.0, TraceEventKind::ShareReceived, from);
         let verify_start = Instant::now();
         let verdict = self.driver.deliver(inbound);
-        self.obs.phases.share_verify.record(verify_start.elapsed());
+        let verify_spent = verify_start.elapsed();
+        self.obs.phases.share_verify.record(verify_spent);
+        theta_metrics::profiler::record_phase(
+            theta_metrics::WorkerPhase::ShareVerify,
+            verify_spent,
+        );
         match verdict {
             Ok(()) => {
                 // In pooled mode an accepted share is *deferred*, not
@@ -253,6 +258,7 @@ impl InstanceHost {
             if let Some(combine) = step.combine_time {
                 self.obs.journal.record(self.id.0, TraceEventKind::QuorumReached);
                 self.obs.phases.combine.record(combine);
+                theta_metrics::profiler::record_phase(theta_metrics::WorkerPhase::Combine, combine);
                 if outcome.is_ok() {
                     self.obs.journal.record(self.id.0, TraceEventKind::Combined);
                 }

@@ -341,6 +341,7 @@ pub fn spawn_node_observed(
     obs: Arc<NodeObservability>,
 ) -> NodeHandle {
     network.attach_registry(&obs.registry);
+    network.attach_journal(&obs.journal);
     let (tx, rx) = unbounded::<Command>();
     let party = PartyId(network.node_id());
     let queue_depth = Arc::new(AtomicUsize::new(0));

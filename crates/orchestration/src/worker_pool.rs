@@ -23,7 +23,7 @@ use crate::InstanceId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
-use theta_metrics::PoolMetrics;
+use theta_metrics::{profiler, PoolMetrics, WorkerPhase};
 use theta_schemes::batch::PendingCheck;
 use theta_schemes::PartyId;
 use theta_sync::atomic::AtomicBool;
@@ -139,15 +139,26 @@ impl WorkerPool {
                 let injector = injector.clone();
                 let metrics = metrics.clone();
                 let busy = metrics.worker_busy[i.min(metrics.worker_busy.len() - 1)].clone();
+                let phases =
+                    metrics.worker_phases[i.min(metrics.worker_phases.len() - 1)].clone();
                 let agg = agg.clone();
                 std::thread::Builder::new()
                     .name(format!("theta-worker-{party}-{i}"))
                     .spawn(move || {
+                        // This thread's profiling sink: instrumentation
+                        // sites below (host verify/combine, batch settle)
+                        // attribute into it without knowing the worker.
+                        profiler::install_worker_phases(phases);
                         let mut scratch = Vec::new();
                         let mut checks: Vec<(PartyId, PendingCheck)> = Vec::new();
                         // Exits on PoolJob::Stop or a closed queue alike.
+                        let mut idle_start = Instant::now();
                         while let Ok(job) = rx.recv() {
                             let busy_start = Instant::now();
+                            profiler::record_phase(
+                                WorkerPhase::Idle,
+                                busy_start.duration_since(idle_start),
+                            );
                             match job {
                                 PoolJob::Run(slot) => {
                                     metrics.runqueue_depth.add(-1);
@@ -164,10 +175,14 @@ impl WorkerPool {
                                     if !checks.is_empty()
                                         && agg.submit(&slot, std::mem::take(&mut checks))
                                     {
+                                        let _settle =
+                                            profiler::PhaseScope::enter(WorkerPhase::BatchSettle);
                                         run_flush(&agg, &injector, &metrics, FlushReason::Size);
                                     }
                                 }
                                 PoolJob::Flush(reason) => {
+                                    let _settle =
+                                        profiler::PhaseScope::enter(WorkerPhase::BatchSettle);
                                     run_flush(&agg, &injector, &metrics, reason);
                                 }
                                 PoolJob::Stop => break,
@@ -175,6 +190,7 @@ impl WorkerPool {
                             let spent = busy_start.elapsed();
                             busy.record(spent);
                             metrics.worker_busy_nanos.add(spent.as_nanos() as u64);
+                            idle_start = Instant::now();
                         }
                     })
                     .expect("spawn worker thread")

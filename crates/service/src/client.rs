@@ -198,18 +198,44 @@ impl RpcClient {
         }
     }
 
-    /// Observability: the trace-journal events recorded for `instance`,
-    /// in recording order.
+    /// Observability: the node's trace-journal slice for `instance` —
+    /// its events in recording order plus the wall-clock anchor and a
+    /// flag saying whether the ring evicted part of the history.
     ///
     /// # Errors
     ///
     /// [`RpcError::Server`] when the node has no trace for that id.
-    pub fn trace(
-        &mut self,
-        instance: [u8; 32],
-    ) -> Result<Vec<theta_metrics::TraceEvent>, RpcError> {
+    pub fn trace(&mut self, instance: [u8; 32]) -> Result<crate::NodeTrace, RpcError> {
         match self.call(RpcRequest::GetTrace(instance))? {
-            RpcResponse::Trace(events) => Ok(events),
+            RpcResponse::Trace(trace) => Ok(trace),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Observability: asks the node to fan `GetTrace` out across its
+    /// roster and merge every journal into one offset-aligned cross-node
+    /// timeline for `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind.
+    pub fn collect_trace(&mut self, instance: [u8; 32]) -> Result<crate::ClusterTrace, RpcError> {
+        match self.call(RpcRequest::CollectTrace(instance))? {
+            RpcResponse::ClusterTrace(trace) => Ok(trace),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Observability: the node's SLO watchdog verdict.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind.
+    pub fn health(&mut self) -> Result<crate::HealthReport, RpcError> {
+        match self.call(RpcRequest::GetHealth)? {
+            RpcResponse::Health(report) => Ok(report),
             RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
             _ => Err(RpcError::UnexpectedResponse),
         }

@@ -20,7 +20,9 @@ pub mod client;
 pub mod server;
 
 pub use client::RpcClient;
-pub use server::{serve, ServiceHandle};
+pub use server::{
+    serve, serve_on, serve_with_cluster, ClusterConfig, ServiceHandle, SloThresholds,
+};
 
 use theta_codec::{CodecError, Decode, Encode, Reader, Writer};
 use theta_orchestration::Request;
@@ -92,6 +94,13 @@ pub enum RpcRequest {
     /// Observability: the recorded trace-journal events for one protocol
     /// instance, in recording order.
     GetTrace([u8; 32]),
+    /// Observability: fan a [`RpcRequest::GetTrace`] out across the whole
+    /// roster and merge the per-node journals into one offset-aligned
+    /// cross-node timeline.
+    CollectTrace([u8; 32]),
+    /// Observability: the SLO watchdog's machine-readable ready/degraded
+    /// verdict for the serving node.
+    GetHealth,
 }
 
 impl Encode for RpcRequest {
@@ -127,6 +136,13 @@ impl Encode for RpcRequest {
                 6u8.encode(w);
                 instance.encode(w);
             }
+            RpcRequest::CollectTrace(instance) => {
+                7u8.encode(w);
+                instance.encode(w);
+            }
+            RpcRequest::GetHealth => {
+                8u8.encode(w);
+            }
         }
     }
 }
@@ -149,9 +165,109 @@ impl Decode for RpcRequest {
             4 => Ok(RpcRequest::GetNodeStats),
             5 => Ok(RpcRequest::GetMetrics),
             6 => Ok(RpcRequest::GetTrace(<[u8; 32]>::decode(r)?)),
+            7 => Ok(RpcRequest::CollectTrace(<[u8; 32]>::decode(r)?)),
+            8 => Ok(RpcRequest::GetHealth),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
+}
+
+/// One node's trace-journal slice for an instance, with the clock anchor
+/// needed to place it on a cross-node timeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeTrace {
+    /// UNIX-epoch wall clock (µs) at the journal's creation — added to
+    /// each event's monotonic `at_micros` to recover a wall timestamp.
+    pub wall_anchor_micros: u64,
+    /// True when the journal's ring evicted part of this instance's
+    /// history: the events below are a suffix, not the full trace.
+    pub truncated: bool,
+    /// The recorded events, in recording order.
+    pub events: Vec<theta_metrics::TraceEvent>,
+}
+
+/// One event on the merged cross-node timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterTraceEntry {
+    /// Roster node that recorded the event.
+    pub node: u16,
+    /// Event time mapped onto the collecting node's clock:
+    /// `wall_anchor + at_micros - offset(collector → node)`.
+    pub aligned_micros: i64,
+    /// The event as recorded.
+    pub event: theta_metrics::TraceEvent,
+}
+
+/// A merged, offset-aligned cross-node timeline for one instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterTrace {
+    /// All nodes' events sorted by aligned timestamp.
+    pub entries: Vec<ClusterTraceEntry>,
+    /// Nodes whose journal contributed events (including the collector).
+    pub nodes_reporting: u16,
+    /// True when any contributing journal had evicted part of the
+    /// instance's history — the timeline is a suffix.
+    pub truncated: bool,
+    /// Receives whose earliest matching send aligns *after* them — 0
+    /// unless clock-offset estimation was off by more than the true
+    /// network latency.
+    pub causality_violations: u32,
+}
+
+/// The SLO watchdog's verdict plus the numerics it judged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// True when every SLO check passed since the previous poll.
+    pub ready: bool,
+    /// One line per failed check; empty when ready.
+    pub reasons: Vec<String>,
+    /// Cumulative p99 end-to-end protocol latency (µs; 0 = no samples).
+    pub e2e_p99_micros: u64,
+    /// Current worker run-queue depth.
+    pub runqueue_depth: i64,
+    /// Current submission-queue depth.
+    pub submission_queue_depth: i64,
+    /// Cumulative instance-mailbox drops.
+    pub mailbox_dropped: u64,
+    /// Cumulative admission-control rejections.
+    pub overload_rejections: u64,
+    /// Cumulative link faults (send errors + reader exits + AEAD
+    /// failures), 0 on transports without those counters.
+    pub link_errors: u64,
+}
+
+fn encode_trace_events(events: &[theta_metrics::TraceEvent], w: &mut Writer) {
+    (events.len() as u32).encode(w);
+    for ev in events {
+        ev.instance.encode(w);
+        ev.kind.code().encode(w);
+        ev.at_micros.encode(w);
+        ev.peer.encode(w);
+        ev.detail.encode(w);
+    }
+}
+
+fn decode_trace_events(r: &mut Reader) -> theta_codec::Result<Vec<theta_metrics::TraceEvent>> {
+    let len = u32::decode(r)? as usize;
+    let mut events = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        events.push(decode_trace_event(r)?);
+    }
+    Ok(events)
+}
+
+fn decode_trace_event(r: &mut Reader) -> theta_codec::Result<theta_metrics::TraceEvent> {
+    let instance = <[u8; 32]>::decode(r)?;
+    let code = u8::decode(r)?;
+    let kind = theta_metrics::TraceEventKind::from_code(code)
+        .ok_or(CodecError::InvalidTag(code as u32))?;
+    Ok(theta_metrics::TraceEvent {
+        instance,
+        kind,
+        at_micros: u64::decode(r)?,
+        peer: u16::decode(r)?,
+        detail: String::decode(r)?,
+    })
 }
 
 /// Successful RPC payloads.
@@ -181,8 +297,13 @@ pub enum RpcResponse {
     NodeStats(theta_metrics::EventLoopSnapshot),
     /// Prometheus text exposition of the node's metrics registry.
     MetricsText(String),
-    /// Trace-journal events for one instance, in recording order.
-    Trace(Vec<theta_metrics::TraceEvent>),
+    /// One node's trace-journal slice for an instance, with its clock
+    /// anchor and truncation flag.
+    Trace(NodeTrace),
+    /// The merged, offset-aligned cross-node timeline for an instance.
+    ClusterTrace(ClusterTrace),
+    /// The SLO watchdog's ready/degraded verdict.
+    Health(HealthReport),
 }
 
 impl Encode for RpcResponse {
@@ -229,18 +350,43 @@ impl Encode for RpcResponse {
             RpcResponse::Overloaded => {
                 8u8.encode(w);
             }
-            RpcResponse::Trace(events) => {
+            RpcResponse::Trace(trace) => {
                 // `TraceEvent` lives in theta-metrics (no codec
                 // dependency), so its fields are framed here too.
                 7u8.encode(w);
-                (events.len() as u32).encode(w);
-                for ev in events {
-                    ev.instance.encode(w);
-                    ev.kind.code().encode(w);
-                    ev.at_micros.encode(w);
-                    ev.peer.encode(w);
-                    ev.detail.encode(w);
+                trace.wall_anchor_micros.encode(w);
+                trace.truncated.encode(w);
+                encode_trace_events(&trace.events, w);
+            }
+            RpcResponse::ClusterTrace(trace) => {
+                9u8.encode(w);
+                (trace.entries.len() as u32).encode(w);
+                for entry in &trace.entries {
+                    entry.node.encode(w);
+                    entry.aligned_micros.encode(w);
+                    entry.event.instance.encode(w);
+                    entry.event.kind.code().encode(w);
+                    entry.event.at_micros.encode(w);
+                    entry.event.peer.encode(w);
+                    entry.event.detail.encode(w);
                 }
+                trace.nodes_reporting.encode(w);
+                trace.truncated.encode(w);
+                trace.causality_violations.encode(w);
+            }
+            RpcResponse::Health(report) => {
+                10u8.encode(w);
+                report.ready.encode(w);
+                (report.reasons.len() as u32).encode(w);
+                for reason in &report.reasons {
+                    reason.encode(w);
+                }
+                report.e2e_p99_micros.encode(w);
+                report.runqueue_depth.encode(w);
+                report.submission_queue_depth.encode(w);
+                report.mailbox_dropped.encode(w);
+                report.overload_rejections.encode(w);
+                report.link_errors.encode(w);
             }
         }
     }
@@ -268,25 +414,47 @@ impl Decode for RpcResponse {
                 instances_timed_out: u64::decode(r)?,
             })),
             6 => Ok(RpcResponse::MetricsText(String::decode(r)?)),
-            7 => {
+            7 => Ok(RpcResponse::Trace(NodeTrace {
+                wall_anchor_micros: u64::decode(r)?,
+                truncated: bool::decode(r)?,
+                events: decode_trace_events(r)?,
+            })),
+            8 => Ok(RpcResponse::Overloaded),
+            9 => {
                 let len = u32::decode(r)? as usize;
-                let mut events = Vec::with_capacity(len.min(4096));
+                let mut entries = Vec::with_capacity(len.min(4096));
                 for _ in 0..len {
-                    let instance = <[u8; 32]>::decode(r)?;
-                    let code = u8::decode(r)?;
-                    let kind = theta_metrics::TraceEventKind::from_code(code)
-                        .ok_or(CodecError::InvalidTag(code as u32))?;
-                    events.push(theta_metrics::TraceEvent {
-                        instance,
-                        kind,
-                        at_micros: u64::decode(r)?,
-                        peer: u16::decode(r)?,
-                        detail: String::decode(r)?,
+                    entries.push(ClusterTraceEntry {
+                        node: u16::decode(r)?,
+                        aligned_micros: i64::decode(r)?,
+                        event: decode_trace_event(r)?,
                     });
                 }
-                Ok(RpcResponse::Trace(events))
+                Ok(RpcResponse::ClusterTrace(ClusterTrace {
+                    entries,
+                    nodes_reporting: u16::decode(r)?,
+                    truncated: bool::decode(r)?,
+                    causality_violations: u32::decode(r)?,
+                }))
             }
-            8 => Ok(RpcResponse::Overloaded),
+            10 => {
+                let ready = bool::decode(r)?;
+                let len = u32::decode(r)? as usize;
+                let mut reasons = Vec::with_capacity(len.min(64));
+                for _ in 0..len {
+                    reasons.push(String::decode(r)?);
+                }
+                Ok(RpcResponse::Health(HealthReport {
+                    ready,
+                    reasons,
+                    e2e_p99_micros: u64::decode(r)?,
+                    runqueue_depth: i64::decode(r)?,
+                    submission_queue_depth: i64::decode(r)?,
+                    mailbox_dropped: u64::decode(r)?,
+                    overload_rejections: u64::decode(r)?,
+                    link_errors: u64::decode(r)?,
+                }))
+            }
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -360,6 +528,8 @@ mod tests {
             RpcRequest::GetNodeStats,
             RpcRequest::GetMetrics,
             RpcRequest::GetTrace([7u8; 32]),
+            RpcRequest::CollectTrace([8u8; 32]),
+            RpcRequest::GetHealth,
         ];
         for r in reqs {
             assert_eq!(RpcRequest::decoded(&r.encoded()).unwrap(), r);
@@ -386,13 +556,43 @@ mod tests {
                 instances_timed_out: 8,
             }),
             RpcResponse::MetricsText("# TYPE x counter\nx 1\n".into()),
-            RpcResponse::Trace(vec![theta_metrics::TraceEvent {
-                instance: [9u8; 32],
-                kind: theta_metrics::TraceEventKind::ShareVerified,
-                at_micros: 1234,
-                peer: 3,
-                detail: "ok".into(),
-            }]),
+            RpcResponse::Trace(NodeTrace {
+                wall_anchor_micros: 1_700_000_000_000_000,
+                truncated: true,
+                events: vec![theta_metrics::TraceEvent {
+                    instance: [9u8; 32],
+                    kind: theta_metrics::TraceEventKind::ShareVerified,
+                    at_micros: 1234,
+                    peer: 3,
+                    detail: "ok".into(),
+                }],
+            }),
+            RpcResponse::ClusterTrace(ClusterTrace {
+                entries: vec![ClusterTraceEntry {
+                    node: 2,
+                    aligned_micros: -5,
+                    event: theta_metrics::TraceEvent {
+                        instance: [1u8; 32],
+                        kind: theta_metrics::TraceEventKind::PeerRecv,
+                        at_micros: 77,
+                        peer: 1,
+                        detail: "span=0101010101010101 hop=1".into(),
+                    },
+                }],
+                nodes_reporting: 4,
+                truncated: false,
+                causality_violations: 1,
+            }),
+            RpcResponse::Health(HealthReport {
+                ready: false,
+                reasons: vec!["queue depth 300 > 256".into()],
+                e2e_p99_micros: 123_456,
+                runqueue_depth: 300,
+                submission_queue_depth: 12,
+                mailbox_dropped: 2,
+                overload_rejections: 9,
+                link_errors: 0,
+            }),
         ];
         for r in resps {
             assert_eq!(RpcResponse::decoded(&r.encoded()).unwrap(), r);
@@ -408,6 +608,6 @@ mod tests {
     #[test]
     fn bad_tags_rejected() {
         assert!(RpcRequest::decoded(&[9]).is_err());
-        assert!(RpcResponse::decoded(&[9]).is_err());
+        assert!(RpcResponse::decoded(&[11]).is_err());
     }
 }

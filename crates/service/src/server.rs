@@ -1,15 +1,65 @@
 //! The RPC server: accepts connections, answers scheme-API calls inline
 //! and protocol-API calls from per-request waiter threads.
+//!
+//! Two cluster-plane endpoints live here as well:
+//!
+//! - **CollectTrace** fans `GetTrace` out across the roster
+//!   ([`ClusterConfig::peers`]) and merges the per-node journals into one
+//!   timeline on the collector's clock, using the per-link offsets the
+//!   transport probed at handshake time
+//!   (`theta_clock_offset_micros{peer}`);
+//! - **GetHealth** is an SLO watchdog: cumulative fault counters are
+//!   judged as *deltas since the previous poll*, and the end-to-end p99
+//!   over the same window, so a node that saturated and then drained
+//!   reports degraded exactly once and ready thereafter.
 
-use crate::{write_frame, Frame, PublicKeyChest, RpcRequest, RpcResponse};
+use crate::{
+    write_frame, ClusterTrace, ClusterTraceEntry, Frame, HealthReport, NodeTrace, PublicKeyChest,
+    RpcClient, RpcRequest, RpcResponse,
+};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use theta_codec::Decode;
+use theta_metrics::histogram::HistogramSnapshot;
+use theta_metrics::observability::{
+    E2E_HISTOGRAM, MAILBOX_DROPPED_COUNTER, OVERLOAD_REJECTIONS_COUNTER, RUNQUEUE_DEPTH_GAUGE,
+    SUBMISSION_QUEUE_DEPTH_GAUGE,
+};
+use theta_metrics::{NodeObservability, TraceEventKind};
 use theta_orchestration::{NodeHandle, SubmitError, WaitError};
 use theta_schemes::registry::SchemeId;
+
+/// SLO thresholds the [`RpcRequest::GetHealth`] watchdog judges against.
+#[derive(Clone, Debug)]
+pub struct SloThresholds {
+    /// End-to-end p99 latency bound, applied to the samples recorded
+    /// since the previous health poll.
+    pub p99_e2e: Duration,
+    /// Bound on the instantaneous run-queue and submission-queue depths.
+    pub max_queue_depth: i64,
+}
+
+impl Default for SloThresholds {
+    fn default() -> Self {
+        SloThresholds { p99_e2e: Duration::from_secs(5), max_queue_depth: 256 }
+    }
+}
+
+/// Cluster-plane configuration: the roster CollectTrace fans out to and
+/// the SLO thresholds GetHealth judges against.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterConfig {
+    /// `(node id, RPC address)` of every node, including the serving
+    /// node (its own entry is answered locally, not dialed).
+    pub peers: Vec<(u16, SocketAddr)>,
+    /// The serving node's 1-based roster id.
+    pub self_id: u16,
+    /// Health-plane SLOs.
+    pub slo: SloThresholds,
+}
 
 /// Handle to a running RPC service.
 pub struct ServiceHandle {
@@ -45,7 +95,23 @@ impl Drop for ServiceHandle {
     }
 }
 
-/// Starts serving the two Thetacrypt APIs for a node.
+/// The watchdog's memory between health polls: the counter and
+/// histogram values seen last time, so checks judge the window since
+/// the previous poll instead of the process lifetime.
+#[derive(Default)]
+struct HealthBaseline {
+    e2e: HistogramSnapshot,
+    mailbox_dropped: u64,
+    overload_rejections: u64,
+    link_errors: u64,
+}
+
+struct HealthState {
+    prev: Mutex<HealthBaseline>,
+}
+
+/// Starts serving the two Thetacrypt APIs for a node, standalone: no
+/// roster (CollectTrace reports this node only) and default SLOs.
 ///
 /// `node` is the orchestration handle whose Θ-network executes protocol
 /// requests; `keys` backs the scheme API. Binds `addr` (use port 0 for
@@ -60,10 +126,44 @@ pub fn serve(
     keys: PublicKeyChest,
     request_timeout: Duration,
 ) -> std::io::Result<ServiceHandle> {
-    let listener = TcpListener::bind(addr)?;
+    serve_with_cluster(addr, node, keys, request_timeout, ClusterConfig::default())
+}
+
+/// [`serve`] plus the cluster plane: a roster for CollectTrace fan-out
+/// and SLO thresholds for GetHealth.
+///
+/// # Errors
+///
+/// I/O errors from binding the listener.
+pub fn serve_with_cluster(
+    addr: SocketAddr,
+    node: Arc<NodeHandle>,
+    keys: PublicKeyChest,
+    request_timeout: Duration,
+    cluster: ClusterConfig,
+) -> std::io::Result<ServiceHandle> {
+    serve_on(TcpListener::bind(addr)?, node, keys, request_timeout, cluster)
+}
+
+/// [`serve_with_cluster`] on a pre-bound listener — lets a caller bind
+/// every node's ephemeral port first, learn the full roster, and only
+/// then start the servers with that roster.
+///
+/// # Errors
+///
+/// I/O errors reading the listener's local address.
+pub fn serve_on(
+    listener: TcpListener,
+    node: Arc<NodeHandle>,
+    keys: PublicKeyChest,
+    request_timeout: Duration,
+    cluster: ClusterConfig,
+) -> std::io::Result<ServiceHandle> {
     let bound = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let shutdown_accept = shutdown.clone();
+    let cluster = Arc::new(cluster);
+    let health = Arc::new(HealthState { prev: Mutex::new(HealthBaseline::default()) });
     let join = std::thread::Builder::new()
         .name("theta-rpc-accept".into())
         .spawn(move || {
@@ -74,9 +174,13 @@ pub fn serve(
                 let Ok(stream) = conn else { continue };
                 let node = node.clone();
                 let keys = keys.clone();
+                let cluster = cluster.clone();
+                let health = health.clone();
                 std::thread::Builder::new()
                     .name("theta-rpc-conn".into())
-                    .spawn(move || handle_connection(stream, node, keys, request_timeout))
+                    .spawn(move || {
+                        handle_connection(stream, node, keys, request_timeout, cluster, health)
+                    })
                     .ok();
             }
         })
@@ -94,6 +198,8 @@ fn method_name(request: &RpcRequest) -> &'static str {
         RpcRequest::GetNodeStats => "get_node_stats",
         RpcRequest::GetMetrics => "get_metrics",
         RpcRequest::GetTrace(_) => "get_trace",
+        RpcRequest::CollectTrace(_) => "collect_trace",
+        RpcRequest::GetHealth => "get_health",
     }
 }
 
@@ -102,6 +208,8 @@ fn handle_connection(
     node: Arc<NodeHandle>,
     keys: PublicKeyChest,
     request_timeout: Duration,
+    cluster: Arc<ClusterConfig>,
+    health: Arc<HealthState>,
 ) {
     stream.set_nodelay(true).ok();
     let writer = Arc::new(Mutex::new(match stream.try_clone() {
@@ -194,12 +302,25 @@ fn handle_connection(
                 let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
             }
             RpcRequest::GetTrace(instance) => {
-                let events = obs.journal.events_for(&instance);
-                let response = if events.is_empty() {
+                let (events, truncated) = obs.journal.events_for_flagged(&instance);
+                let response = if events.is_empty() && !truncated {
                     RpcResponse::Error("no trace recorded for that instance id".into())
                 } else {
-                    RpcResponse::Trace(events)
+                    RpcResponse::Trace(NodeTrace {
+                        wall_anchor_micros: obs.journal.wall_anchor_micros(),
+                        truncated,
+                        events,
+                    })
                 };
+                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+            }
+            RpcRequest::CollectTrace(instance) => {
+                let response =
+                    RpcResponse::ClusterTrace(collect_cluster_trace(&obs, &cluster, instance));
+                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+            }
+            RpcRequest::GetHealth => {
+                let response = RpcResponse::Health(health_report(&obs, &cluster.slo, &health));
                 let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
             }
             other => {
@@ -264,8 +385,174 @@ fn answer_scheme_api(request: RpcRequest, keys: &PublicKeyChest) -> RpcResponse 
         RpcRequest::Protocol(_)
         | RpcRequest::GetNodeStats
         | RpcRequest::GetMetrics
-        | RpcRequest::GetTrace(_) => {
+        | RpcRequest::GetTrace(_)
+        | RpcRequest::CollectTrace(_)
+        | RpcRequest::GetHealth => {
             unreachable!("handled by the connection loop")
         }
+    }
+}
+
+/// Per-peer dial/read bound for the CollectTrace fan-out: a slow or
+/// dead peer costs at most this, and the merged timeline simply omits
+/// it (`nodes_reporting` says how many answered).
+const FANOUT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Fans `GetTrace(instance)` out across the roster and merges every
+/// answering node's journal slice into one timeline on this node's
+/// clock, using the handshake-probed per-peer offsets.
+fn collect_cluster_trace(
+    obs: &NodeObservability,
+    cluster: &ClusterConfig,
+    instance: [u8; 32],
+) -> ClusterTrace {
+    let mut slices: Vec<(u16, i64, NodeTrace)> = Vec::new();
+    let (local_events, local_truncated) = obs.journal.events_for_flagged(&instance);
+    if !local_events.is_empty() || local_truncated {
+        slices.push((
+            cluster.self_id,
+            0,
+            NodeTrace {
+                wall_anchor_micros: obs.journal.wall_anchor_micros(),
+                truncated: local_truncated,
+                events: local_events,
+            },
+        ));
+    }
+    for &(peer_id, addr) in &cluster.peers {
+        if peer_id == cluster.self_id {
+            continue;
+        }
+        let Ok(mut peer) = RpcClient::connect(addr, FANOUT_TIMEOUT) else { continue };
+        // A peer with no trace answers with an error; that is "nothing
+        // to contribute", not a fan-out failure.
+        let Ok(slice) = peer.trace(instance) else { continue };
+        let offset = obs
+            .registry
+            .gauge_value("theta_clock_offset_micros", &[("peer", &peer_id.to_string())])
+            .unwrap_or(0);
+        slices.push((peer_id, offset, slice));
+    }
+    merge_cluster_trace(slices)
+}
+
+/// Merges per-node journal slices into one sorted timeline.
+///
+/// Each event's wall time on its recording node is `wall_anchor +
+/// at_micros`; the handshake probe estimated `offset ≈ remote_wall −
+/// local_wall` per peer, so subtracting it maps the event onto the
+/// collector's clock. The audit pass then checks the joined order is
+/// causal: every receive must align after the earliest send its origin
+/// node recorded for the instance.
+fn merge_cluster_trace(slices: Vec<(u16, i64, NodeTrace)>) -> ClusterTrace {
+    let nodes_reporting = slices.len() as u16;
+    let truncated = slices.iter().any(|(_, _, s)| s.truncated);
+    let mut entries: Vec<ClusterTraceEntry> = Vec::new();
+    for (node, offset, slice) in slices {
+        let anchor = slice.wall_anchor_micros as i64;
+        for event in slice.events {
+            entries.push(ClusterTraceEntry {
+                node,
+                aligned_micros: anchor + event.at_micros as i64 - offset,
+                event,
+            });
+        }
+    }
+    entries.sort_by_key(|e| (e.aligned_micros, e.node));
+    let mut causality_violations = 0u32;
+    for e in &entries {
+        if e.event.kind != TraceEventKind::PeerRecv {
+            continue;
+        }
+        let earliest_send = entries
+            .iter()
+            .filter(|s| s.node == e.event.peer && s.event.kind == TraceEventKind::PeerSend)
+            .map(|s| s.aligned_micros)
+            .min();
+        if earliest_send.is_some_and(|send| send > e.aligned_micros) {
+            causality_violations += 1;
+        }
+    }
+    ClusterTrace { entries, nodes_reporting, truncated, causality_violations }
+}
+
+/// The SLO watchdog: judges queue depths instantaneously and the fault
+/// counters / e2e p99 over the window since the previous poll, so a
+/// saturated-then-drained node reports degraded once and ready after.
+fn health_report(
+    obs: &NodeObservability,
+    slo: &SloThresholds,
+    state: &HealthState,
+) -> HealthReport {
+    let registry = &obs.registry;
+    let e2e = registry.histogram_snapshot(E2E_HISTOGRAM, &[]).unwrap_or_default();
+    let e2e_p99_micros = e2e.percentile(99.0).map_or(0, |s| (s * 1e6) as u64);
+    let runqueue_depth = registry.gauge_value(RUNQUEUE_DEPTH_GAUGE, &[]).unwrap_or(0);
+    let submission_queue_depth =
+        registry.gauge_value(SUBMISSION_QUEUE_DEPTH_GAUGE, &[]).unwrap_or(0);
+    let mailbox_dropped = registry.counter_value(MAILBOX_DROPPED_COUNTER, &[]).unwrap_or(0);
+    let overload_rejections =
+        registry.counter_value(OVERLOAD_REJECTIONS_COUNTER, &[]).unwrap_or(0);
+    let link_errors = [
+        "theta_tcp_send_errors_total",
+        "theta_tcp_reader_exits_total",
+        "theta_net_aead_failures_total",
+    ]
+    .iter()
+    .map(|name| registry.counter_value(name, &[]).unwrap_or(0))
+    .sum::<u64>();
+
+    // Window everything cumulative against the previous poll's baseline.
+    let (window, dropped_delta, rejected_delta, link_delta) = {
+        let mut prev = state.prev.lock();
+        let mut window = e2e.clone();
+        for (w, p) in window.buckets.iter_mut().zip(&prev.e2e.buckets) {
+            *w = w.saturating_sub(*p);
+        }
+        window.sum_micros = window.sum_micros.saturating_sub(prev.e2e.sum_micros);
+        let deltas = (
+            window,
+            mailbox_dropped.saturating_sub(prev.mailbox_dropped),
+            overload_rejections.saturating_sub(prev.overload_rejections),
+            link_errors.saturating_sub(prev.link_errors),
+        );
+        *prev = HealthBaseline { e2e, mailbox_dropped, overload_rejections, link_errors };
+        deltas
+    };
+
+    let mut reasons = Vec::new();
+    if let Some(p99) = window.percentile(99.0) {
+        let bound = slo.p99_e2e.as_secs_f64();
+        if p99 > bound {
+            reasons.push(format!("e2e p99 {p99:.3}s over the {bound:.3}s SLO since the last poll"));
+        }
+    }
+    if runqueue_depth > slo.max_queue_depth {
+        reasons.push(format!("run-queue depth {runqueue_depth} > {}", slo.max_queue_depth));
+    }
+    if submission_queue_depth > slo.max_queue_depth {
+        reasons.push(format!(
+            "submission-queue depth {submission_queue_depth} > {}",
+            slo.max_queue_depth
+        ));
+    }
+    if dropped_delta > 0 {
+        reasons.push(format!("{dropped_delta} mailbox drop(s) since the last poll"));
+    }
+    if rejected_delta > 0 {
+        reasons.push(format!("{rejected_delta} overload rejection(s) since the last poll"));
+    }
+    if link_delta > 0 {
+        reasons.push(format!("{link_delta} link fault(s) since the last poll"));
+    }
+    HealthReport {
+        ready: reasons.is_empty(),
+        reasons,
+        e2e_p99_micros,
+        runqueue_depth,
+        submission_queue_depth,
+        mailbox_dropped,
+        overload_rejections,
+        link_errors,
     }
 }

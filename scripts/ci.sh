@@ -39,6 +39,10 @@ echo
 echo "== worker-pool scaling smoke (release; asserts 2-worker >= 1.5x when host_cores >= 2, records skip otherwise) =="
 cargo run -q --release -p theta-bench --bin bench_parallel -- --quick
 
+echo
+echo "== observability overhead gate (tracing + profiler < 5% on the hot path, quick) =="
+cargo run -q --release -p theta-bench --bin bench_observability -- --quick --gate
+
 if [[ " $* " != *" --no-clippy "* ]] && cargo clippy --version >/dev/null 2>&1; then
     echo
     echo "== cargo clippy -D warnings (workspace) =="

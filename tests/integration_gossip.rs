@@ -1,15 +1,20 @@
 //! Gossip-overlay integration: a 20-node Θ-network on O(degree)
 //! encrypted links runs threshold protocols end-to-end, keeps working
 //! through a partition (dropped links mid-protocol), and survives an
-//! AEAD-tampered frame by tearing the affected link down.
+//! AEAD-tampered frame by tearing the affected link down. A second
+//! test pins the trace context riding those frames: it survives AEAD
+//! re-framing at every relay, its hop counts match the overlay's BFS
+//! distances exactly, and a tampered frame never lands in a journal.
 
 use rand::SeedableRng;
 use std::time::Duration;
 use theta_codec::Encode;
+use theta_network::demux::{span_hex, span_of};
 use theta_network::gossip::GossipMesh;
 use theta_network::handshake::MeshAuth;
 use theta_network::Network;
 use theta_orchestration::{spawn_node, KeyChest, NodeConfig};
+use thetacrypt::metrics::TraceEventKind;
 use thetacrypt::orchestration::Request;
 use thetacrypt::protocols::ProtocolOutput;
 use thetacrypt::schemes::ThresholdParams;
@@ -131,5 +136,188 @@ fn twenty_node_gossip_overlay_runs_threshold_protocols_through_faults() {
             "tampered link never tore down (node5 exits={exits_5}, node6 aead={aead_6})"
         );
         std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// BFS distances from every node on the circulant overlay
+/// C(n; ±offsets) with 1-based ids; `dist[a-1][b-1]` = links on a
+/// shortest path a→b.
+fn bfs_distances(n: u16, offsets: &[u16]) -> Vec<Vec<u32>> {
+    (1..=n)
+        .map(|start| {
+            let mut dist = vec![u32::MAX; n as usize];
+            dist[start as usize - 1] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &off in offsets {
+                    for next in [
+                        (v - 1 + off) % n + 1,
+                        (v - 1 + n - off % n) % n + 1,
+                    ] {
+                        if dist[next as usize - 1] == u32::MAX {
+                            dist[next as usize - 1] = dist[v as usize - 1] + 1;
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            dist
+        })
+        .collect()
+}
+
+/// Parses the `hop=<n>` token out of a PeerRecv detail string.
+fn hop_of(detail: &str) -> Option<u32> {
+    detail.split_whitespace().find_map(|t| t.strip_prefix("hop=")?.parse().ok())
+}
+
+#[test]
+fn trace_context_survives_relays_with_exact_hop_counts() {
+    const N: u16 = 20;
+    const MESH_DEGREE: usize = 6; // offsets {1, 2, 4}
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(0x40b5);
+    let params = ThresholdParams::new(5, N).unwrap();
+    let (pk, sg_keys) = thetacrypt::schemes::sg02::keygen(params, &mut r);
+
+    let listeners: Vec<std::net::TcpListener> = (0..N)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> =
+        listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+    let meshes: Vec<_> = listeners
+        .into_iter()
+        .zip(1..=N)
+        .map(|(listener, id)| {
+            let list = addrs.clone();
+            std::thread::spawn(move || {
+                let auth = MeshAuth::insecure_dev(id, N, 0x40b55);
+                GossipMesh::connect_listener(id, listener, &list, auth, MESH_DEGREE).unwrap()
+            })
+        })
+        .collect();
+
+    let mut controllers = Vec::new();
+    let handles: Vec<_> = meshes
+        .into_iter()
+        .enumerate()
+        .map(|(i, join)| {
+            let mesh = join.join().unwrap();
+            controllers.push(mesh.link_controller());
+            let mut chest = KeyChest::new();
+            chest.sg02 = Some(sg_keys[i].clone());
+            spawn_node(chest, Box::new(mesh) as Box<dyn Network>, NodeConfig::default())
+        })
+        .collect();
+
+    // One decrypt submitted at node 1; every node joins on first
+    // contact and floods its own share, so every ordered node pair
+    // gets a traced send→receive over the overlay.
+    let ct = thetacrypt::schemes::sg02::encrypt(&pk, b"l", b"hop audit", &mut r);
+    let request = Request::Sg02Decrypt(ct.encoded());
+    let instance = request.instance_id().0;
+    let span = format!("span={}", span_hex(&span_of(&instance)));
+    let result = handles[0]
+        .submit(request)
+        .wait_timeout(Duration::from_secs(30))
+        .expect("decrypt timed out");
+    assert_eq!(
+        result.outcome.unwrap(),
+        ProtocolOutput::Plaintext(b"hop audit".to_vec())
+    );
+
+    // The context propagated through every AEAD re-framing: each relay
+    // re-seals the frame for the next link, yet the span and a correct
+    // hop count must come out at every journal. First arrivals travel
+    // shortest paths, so the minimum hop per (origin, receiver) pair is
+    // exactly the BFS distance on C(20; ±{1,2,4}).
+    let dist = bfs_distances(N, &[1, 2, 4]);
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    'settle: loop {
+        let mut complete = true;
+        'scan: for receiver in 1..=N {
+            let journal = &handles[receiver as usize - 1].observability().journal;
+            let (events, _) = journal.events_for_flagged(&instance);
+            for origin in 1..=N {
+                if origin == receiver {
+                    continue;
+                }
+                let min_hop = events
+                    .iter()
+                    .filter(|e| e.kind == TraceEventKind::PeerRecv && e.peer == origin)
+                    .filter_map(|e| hop_of(&e.detail))
+                    .min();
+                let want = dist[origin as usize - 1][receiver as usize - 1];
+                match min_hop {
+                    // First arrival still in flight — wait and rescan.
+                    None => {
+                        complete = false;
+                        break 'scan;
+                    }
+                    // A hop below the BFS distance is impossible (a
+                    // shorter path than the shortest); above it means a
+                    // relay failed to stamp. Both are counting bugs, so
+                    // fail immediately rather than waiting out races.
+                    Some(hop) if hop < want => panic!(
+                        "{origin}→{receiver}: hop {hop} beats the BFS distance {want}"
+                    ),
+                    Some(hop) => {
+                        if hop != want {
+                            complete = false;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            // Context integrity: every traced receive at this node
+            // carries the instance's own span, never a forged one.
+            for e in &events {
+                if e.kind == TraceEventKind::PeerRecv {
+                    assert!(
+                        e.detail.contains(&span),
+                        "node {receiver} journaled a foreign span: {}",
+                        e.detail
+                    );
+                }
+            }
+        }
+        if complete {
+            break 'settle;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "hop counts never converged to the overlay's BFS distances"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // Tampered context dies with its frame: corrupt node 2's link to
+    // node 3. The context rides *inside* the AEAD envelope, so the
+    // forged frame fails the open at node 3 and is dropped whole —
+    // nothing of it (span, hop or payload) can reach any journal, and
+    // the poisoned link is torn down.
+    controllers[1].corrupt_link(3);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, _, aead_3) = controllers[2].health();
+        if aead_3 >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tampered frame never hit node 3's AEAD check"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for id in 1..=N {
+        let (events, _) = handles[id as usize - 1]
+            .observability()
+            .journal
+            .events_for_flagged(&instance);
+        for e in &events {
+            if e.kind == TraceEventKind::PeerRecv {
+                assert!(e.detail.contains(&span), "forged span journaled: {}", e.detail);
+            }
+        }
     }
 }

@@ -106,7 +106,10 @@ fn observability_endpoints_agree_end_to_end() {
 
     // --- GetTrace: ordered lifecycle ---------------------------------
     let instance = Request::Bls04Sign(messages[1].to_vec()).instance_id().0;
-    let events = client.trace(instance).unwrap();
+    let trace = client.trace(instance).unwrap();
+    assert!(!trace.truncated, "nothing was evicted, the trace must be complete");
+    assert!(trace.wall_anchor_micros > 0, "journal must carry a wall-clock anchor");
+    let events = trace.events;
     assert!(events.iter().all(|e| e.instance == instance));
     assert!(
         events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros),
@@ -139,7 +142,7 @@ fn observability_endpoints_agree_end_to_end() {
 
     // The duplicate shows up as a cache hit on the first instance's trace.
     let first = Request::Bls04Sign(messages[0].to_vec()).instance_id().0;
-    let first_events = client.trace(first).unwrap();
+    let first_events = client.trace(first).unwrap().events;
     assert!(first_events
         .iter()
         .any(|e| e.kind == TraceEventKind::CacheHit));
@@ -149,5 +152,57 @@ fn observability_endpoints_agree_end_to_end() {
     assert!(
         matches!(err, thetacrypt::service::client::RpcError::Server(_)),
         "unknown instance id must yield a server error, got {err:?}"
+    );
+}
+
+/// `GetTrace` on an instance whose journal entries were (partially)
+/// evicted by the ring must flag the trace truncated on the wire
+/// instead of silently serving the suffix as if it were complete.
+#[test]
+fn get_trace_flags_ring_evicted_instances() {
+    let mut net = ThetaNetworkBuilder::new(1, 4)
+        .with_bls04()
+        .seed(42)
+        .build()
+        .expect("build");
+    let addr = net.serve_rpc(1, "127.0.0.1:0".parse().unwrap()).unwrap();
+    let mut client = RpcClient::connect(addr, Duration::from_secs(5)).unwrap();
+
+    let (sig, _) = client
+        .run_protocol(Request::Bls04Sign(b"soon evicted".to_vec()))
+        .unwrap();
+    assert!(!sig.is_empty());
+    let instance = Request::Bls04Sign(b"soon evicted".to_vec()).instance_id().0;
+    let complete = client.trace(instance).unwrap();
+    assert!(!complete.truncated);
+    let full_len = complete.events.len();
+    assert!(full_len > 0);
+
+    // Wrap the ring: enough filler traffic from other instances to push
+    // the signing instance's *oldest* events out of the journal while
+    // its tail survives (a fully evicted instance reads as "nothing
+    // recorded", which is a different, already-tested path).
+    assert!(full_len > 3, "trace too short to evict partially");
+    let obs = net.node_observability(1);
+    for i in 0..thetacrypt::metrics::DEFAULT_JOURNAL_CAPACITY - full_len + 3 {
+        let mut filler = [0xAB; 32];
+        filler[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        obs.journal.record(filler, TraceEventKind::RpcReceived);
+    }
+
+    let evicted = client.trace(instance).unwrap();
+    assert!(
+        evicted.truncated,
+        "ring-evicted instance must be flagged truncated over the wire"
+    );
+    assert!(
+        evicted.events.len() < full_len,
+        "eviction must have shortened the trace ({} -> {})",
+        full_len,
+        evicted.events.len()
+    );
+    assert_eq!(
+        evicted.wall_anchor_micros, complete.wall_anchor_micros,
+        "the wall anchor is a journal-creation constant"
     );
 }

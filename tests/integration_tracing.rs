@@ -1,0 +1,245 @@
+//! Cross-node tracing and health-plane acceptance: a 4-node gossip
+//! ring runs one protocol instance end-to-end; `CollectTrace` on node 1
+//! fans `GetTrace` over the roster and merges all four journals into a
+//! single offset-aligned causal timeline whose gossip hop counts match
+//! the overlay topology. `GetHealth` reports degraded while the node is
+//! saturated past its admission caps and ready again once the backlog
+//! has drained.
+
+use rand::SeedableRng;
+use std::time::Duration;
+use theta_codec::Encode;
+use theta_network::demux::{span_hex, span_of};
+use theta_network::gossip::GossipMesh;
+use theta_network::handshake::MeshAuth;
+use theta_network::Network;
+use theta_orchestration::{spawn_node, KeyChest, NodeConfig};
+use thetacrypt::metrics::TraceEventKind;
+use thetacrypt::orchestration::Request;
+use thetacrypt::service::{ClusterConfig, RpcClient, SloThresholds};
+
+/// Parses the `hop=<n>` token out of a PeerRecv detail string.
+fn hop_of(detail: &str) -> Option<u32> {
+    detail.split_whitespace().find_map(|t| t.strip_prefix("hop=")?.parse().ok())
+}
+
+/// Ring distance between 1-based node ids on C(n; {1}).
+fn ring_distance(n: u16, a: u16, b: u16) -> u32 {
+    let d = (a as i32 - b as i32).unsigned_abs();
+    d.min(n as u32 - d)
+}
+
+#[test]
+fn collect_trace_merges_the_cluster_and_health_tracks_saturation() {
+    const N: u16 = 4;
+    const MESH_DEGREE: usize = 2; // offsets {1}: a plain ring
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(0x7ace);
+    let params = thetacrypt::schemes::ThresholdParams::new(2, N).unwrap();
+    let (pk, sg_keys) = thetacrypt::schemes::sg02::keygen(params, &mut r);
+
+    // Overlay: bind all listeners first, then connect concurrently.
+    let listeners: Vec<std::net::TcpListener> = (0..N)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> =
+        listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+    let meshes: Vec<_> = listeners
+        .into_iter()
+        .zip(1..=N)
+        .map(|(listener, id)| {
+            let list = addrs.clone();
+            std::thread::spawn(move || {
+                let auth = MeshAuth::insecure_dev(id, N, 0x7ace5);
+                GossipMesh::connect_listener(id, listener, &list, auth, MESH_DEGREE).unwrap()
+            })
+        })
+        .collect();
+
+    // Nodes: node 1 gets tight admission caps so the saturation phase
+    // below produces real overload rejections; the rest run defaults.
+    let handles: Vec<std::sync::Arc<theta_orchestration::NodeHandle>> = meshes
+        .into_iter()
+        .enumerate()
+        .map(|(i, join)| {
+            let mesh = join.join().unwrap();
+            let mut chest = KeyChest::new();
+            chest.sg02 = Some(sg_keys[i].clone());
+            let config = if i == 0 {
+                NodeConfig {
+                    max_inflight_instances: 2,
+                    submission_queue_capacity: 2,
+                    ..NodeConfig::default()
+                }
+            } else {
+                NodeConfig::default()
+            };
+            std::sync::Arc::new(spawn_node(chest, Box::new(mesh) as Box<dyn Network>, config))
+        })
+        .collect();
+
+    // RPC plane: bind every service first so each server knows the full
+    // roster, then start them with it.
+    let rpc_listeners: Vec<std::net::TcpListener> = (0..N)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<(u16, std::net::SocketAddr)> = rpc_listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ((i + 1) as u16, l.local_addr().unwrap()))
+        .collect();
+    let _services: Vec<_> = rpc_listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            thetacrypt::service::serve_on(
+                listener,
+                handles[i].clone(),
+                thetacrypt::service::PublicKeyChest::default(),
+                Duration::from_secs(60),
+                ClusterConfig {
+                    peers: peers.clone(),
+                    self_id: (i + 1) as u16,
+                    slo: SloThresholds::default(),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut client = RpcClient::connect(peers[0].1, Duration::from_secs(60)).unwrap();
+
+    // --- One traced instance across the whole ring -------------------
+    let ct = thetacrypt::schemes::sg02::encrypt(&pk, b"l", b"traced", &mut r);
+    let request = Request::Sg02Decrypt(ct.encoded());
+    let instance = request.instance_id().0;
+    let span = span_hex(&span_of(&instance));
+    let (plain, _) = client.run_protocol(request).unwrap();
+    assert_eq!(plain, b"traced");
+
+    // Every node's share flood must land in every journal before the
+    // merge is judged; receive-side journaling is asynchronous.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let trace = loop {
+        let trace = client.collect_trace(instance).unwrap();
+        let pairs_seen = (1..=N)
+            .flat_map(|p| (1..=N).map(move |q| (p, q)))
+            .filter(|&(p, q)| p != q)
+            .filter(|&(p, q)| {
+                trace.entries.iter().any(|e| {
+                    e.node == q && e.event.kind == TraceEventKind::PeerRecv && e.event.peer == p
+                })
+            })
+            .count();
+        if pairs_seen == (N as usize) * (N as usize - 1) {
+            break trace;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {pairs_seen} origin→receiver pairs journaled a receive"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    };
+
+    // One merged timeline: all four journals, sorted, causal.
+    assert_eq!(trace.nodes_reporting, N, "every roster node must contribute");
+    assert!(!trace.truncated);
+    assert!(
+        trace.entries.windows(2).all(|w| w[0].aligned_micros <= w[1].aligned_micros),
+        "merged timeline must be sorted by aligned time"
+    );
+    assert_eq!(
+        trace.causality_violations, 0,
+        "every receive must align after its origin's earliest send"
+    );
+    for e in &trace.entries {
+        if e.event.kind != TraceEventKind::PeerRecv {
+            continue;
+        }
+        // Direct re-check of what the violation counter summarizes.
+        let send = trace
+            .entries
+            .iter()
+            .filter(|s| s.node == e.event.peer && s.event.kind == TraceEventKind::PeerSend)
+            .map(|s| s.aligned_micros)
+            .min()
+            .unwrap_or_else(|| panic!("receive from node {} with no send", e.event.peer));
+        assert!(
+            send <= e.aligned_micros,
+            "receive at node {} aligned before node {}'s send",
+            e.node,
+            e.event.peer
+        );
+        // The trace context rode the AEAD frames intact end to end.
+        assert!(
+            e.event.detail.contains(&format!("span={span}")),
+            "receive carries a foreign span: {}",
+            e.event.detail
+        );
+    }
+
+    // Hop counts match the overlay: the first copy of a flood reaches a
+    // node over a shortest path, so the minimum journaled hop per
+    // origin→receiver pair is exactly the ring distance.
+    for origin in 1..=N {
+        for receiver in 1..=N {
+            if origin == receiver {
+                continue;
+            }
+            let min_hop = trace
+                .entries
+                .iter()
+                .filter(|e| {
+                    e.node == receiver
+                        && e.event.kind == TraceEventKind::PeerRecv
+                        && e.event.peer == origin
+                })
+                .filter_map(|e| hop_of(&e.event.detail))
+                .min()
+                .unwrap();
+            assert_eq!(
+                min_hop,
+                ring_distance(N, origin, receiver),
+                "hop count {origin}→{receiver} off the ring distance"
+            );
+        }
+    }
+
+    // --- Health plane: degraded under saturation, ready after drain --
+    // Burst 12 distinct decrypts into node 1's caps of 2: some complete,
+    // the rest are refused as Overloaded.
+    let mut ids = Vec::new();
+    for i in 0..12u8 {
+        let ct = thetacrypt::schemes::sg02::encrypt(&pk, b"l", &[i], &mut r);
+        ids.push(client.submit_protocol(Request::Sg02Decrypt(ct.encoded())).unwrap());
+    }
+    let (mut ok, mut rejected) = (0, 0);
+    for id in ids {
+        match client.collect_protocol(id) {
+            Ok(_) => ok += 1,
+            Err(thetacrypt::service::client::RpcError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected burst outcome: {e}"),
+        }
+    }
+    assert!(ok >= 1, "no burst request survived admission");
+    assert!(rejected >= 1, "the caps never rejected — not saturated");
+
+    let degraded = client.health().unwrap();
+    assert!(!degraded.ready, "watchdog must degrade after overload rejections");
+    assert!(
+        degraded.reasons.iter().any(|r| r.contains("overload rejection")),
+        "degraded verdict must name the rejections: {:?}",
+        degraded.reasons
+    );
+    assert!(degraded.overload_rejections >= rejected as u64);
+
+    // Everything already drained (all burst responses collected); the
+    // next window has no new faults, so the verdict recovers.
+    let recovered = client.health().unwrap();
+    assert!(
+        recovered.ready,
+        "watchdog must report ready after the drain, got {:?}",
+        recovered.reasons
+    );
+    assert_eq!(recovered.runqueue_depth, 0);
+    assert_eq!(recovered.submission_queue_depth, 0);
+}
