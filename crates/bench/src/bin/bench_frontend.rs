@@ -1,0 +1,260 @@
+//! Measures the event-driven RPC front-end under connection load and
+//! records it in `BENCH_frontend.json` at the repository root.
+//!
+//! The thread-per-connection front-end this PR replaced held one OS
+//! thread (and its stack) per client, so 10 000 idle subscribers meant
+//! 10 000 threads. The poll(2) loop holds one thread total; this bench
+//! proves the C10k claim and its cost:
+//!
+//! 1. opens as many idle connections as `RLIMIT_NOFILE` allows (target
+//!    10 000, 5 000 under `--quick`), after raising the soft limit to
+//!    the hard cap via hand-rolled getrlimit/setrlimit FFI;
+//! 2. reports the accept rate, the resident-set growth per connection,
+//!    and the service thread count before/while loaded (the loaded
+//!    count must not grow with connections);
+//! 3. measures the client-observed SG02 decrypt p99 on a quiet network
+//!    versus the same requests with every idle connection still open.
+//!    Each phase is the minimum p99 over three measurement batches —
+//!    one-sided scheduler noise (a preempted request becomes the p99 of
+//!    its batch on a one-core host) washes out of the min, a real
+//!    per-connection poll cost raises every batch and survives it.
+//!
+//! `--gate` (CI) fails the run when fewer than 5 000 idle connections
+//! could be opened, when the thread count grew with connections, or
+//! when the loaded p99 exceeds the idle p99 by 10% or more. When the
+//! file-descriptor hard limit cannot cover 5 000 connections the gate
+//! SKIPs with an explicit note instead of failing: the machine, not the
+//! front-end, is the bound.
+
+use rand::SeedableRng;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use theta_codec::Encode;
+use theta_core::ThetaNetworkBuilder;
+use theta_orchestration::Request;
+use theta_service::RpcClient;
+
+/// Loaded p99 budget relative to idle p99, in percent.
+const GATE_P99_PCT: f64 = 10.0;
+/// Measurement batches per phase; each phase reports the MINIMUM batch
+/// p99. On a single-core host the p99 of one batch is set by whichever
+/// request the scheduler preempted — one-sided noise that min-of-k
+/// removes, while a real per-connection poll cost would raise every
+/// batch and survive the min.
+const BATCHES: usize = 3;
+/// Minimum idle connections the gate demands (when the fd limit allows).
+const GATE_MIN_CONNS: usize = 5_000;
+/// Descriptors reserved for everything that is not an idle subscriber:
+/// the node, the service, stdio, procfs reads, and the measuring client.
+const FD_MARGIN: u64 = 256;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn gate() -> bool {
+    std::env::args().any(|a| a == "--gate")
+}
+
+// `RLIMIT_NOFILE` and the rlimit syscalls, hand-rolled: the workspace
+// deliberately has no libc crate (see the front-end's poll FFI).
+const RLIMIT_NOFILE: i32 = 7;
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Raises the soft fd limit to the hard cap; returns the resulting cap.
+fn raise_nofile() -> u64 {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: plain POSIX calls on a valid, initialized struct.
+    unsafe {
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.cur < lim.max {
+            let want = RLimit { cur: lim.max, max: lim.max };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                return lim.max;
+            }
+        }
+        lim.cur
+    }
+}
+
+/// A field from `/proc/self/status`, e.g. `VmRSS` in kB or `Threads`.
+fn proc_status(field: &str) -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    text.lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn p99_micros(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[((samples.len() as f64 * 0.99) as usize).min(samples.len() - 1)]
+}
+
+fn main() {
+    let nofile = raise_nofile();
+    let target = if quick() { GATE_MIN_CONNS } else { 10_000 };
+    // Each idle subscriber costs TWO descriptors here: its client socket
+    // and the accepted server-side socket live in this one process.
+    let budget = (nofile.saturating_sub(FD_MARGIN) / 2) as usize;
+    let planned = target.min(budget);
+    let requests = if quick() { 200 } else { 500 };
+
+    // A 4-node Θ-network with SG02; node 1 serves RPC.
+    let mut net = ThetaNetworkBuilder::new(1, 4)
+        .with_sg02()
+        .seed(0xf0e)
+        .build()
+        .expect("build network");
+    let addr = net.serve_rpc(1, "127.0.0.1:0".parse().unwrap()).expect("serve");
+    let mut client = RpcClient::connect(addr, Duration::from_secs(30)).expect("connect");
+
+    // Pre-encrypt distinct payloads client-side so every request is a
+    // fresh instance (the node caches finished instances by id).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf0e);
+    let pk = net.public_keys().sg02.clone().expect("sg02 key");
+    let mut payloads: Vec<Vec<u8>> = (0..requests * BATCHES * 2)
+        .map(|i| {
+            let ct = theta_schemes::sg02::encrypt(
+                &pk,
+                b"bench",
+                format!("frontend-{i}").as_bytes(),
+                &mut rng,
+            );
+            ct.encoded()
+        })
+        .collect();
+    let mut loaded_payloads = payloads.split_off(requests * BATCHES);
+
+    // Minimum batch p99 over `BATCHES` batches of `requests` each.
+    let run_p99 = |client: &mut RpcClient, payloads: &mut Vec<Vec<u8>>| -> f64 {
+        let mut best = f64::INFINITY;
+        for batch in payloads.chunks(requests) {
+            let mut samples = Vec::with_capacity(batch.len());
+            for ct in batch {
+                let t = Instant::now();
+                client
+                    .run_protocol(Request::Sg02Decrypt(ct.clone()))
+                    .expect("decrypt");
+                samples.push(t.elapsed().as_nanos() as f64 / 1000.0);
+            }
+            best = best.min(p99_micros(&mut samples));
+        }
+        payloads.clear();
+        best
+    };
+
+    let threads_before = proc_status("Threads");
+    let rss_before_kb = proc_status("VmRSS");
+    let idle_p99_us = run_p99(&mut client, &mut payloads);
+    println!("sg02 decrypt p99, quiet network:    {idle_p99_us:>9.0} us");
+
+    // The C10k swarm: idle connections that never send a byte — the
+    // cost is purely what the front-end pays to keep them registered.
+    let accept_start = Instant::now();
+    let mut swarm = Vec::with_capacity(planned);
+    for i in 0..planned {
+        match TcpStream::connect(addr) {
+            Ok(s) => swarm.push(s),
+            Err(e) => {
+                println!("note: stopped at {i} connections: {e}");
+                break;
+            }
+        }
+    }
+    let accept_secs = accept_start.elapsed().as_secs_f64();
+    let opened = swarm.len();
+    let accept_rate = opened as f64 / accept_secs;
+    // Let the final accept burst settle into the loop's registry.
+    std::thread::sleep(Duration::from_millis(200));
+    let threads_loaded = proc_status("Threads");
+    let rss_loaded_kb = proc_status("VmRSS");
+    let rss_per_conn_kb = if opened > 0 {
+        (rss_loaded_kb.saturating_sub(rss_before_kb)) as f64 / opened as f64
+    } else {
+        0.0
+    };
+    println!("idle connections opened:            {opened:>9} ({accept_rate:.0}/s)");
+    println!("process threads before/loaded:      {threads_before:>9} / {threads_loaded}");
+    println!("resident growth per connection:     {rss_per_conn_kb:>9.2} kB");
+
+    let loaded_p99_us = run_p99(&mut client, &mut loaded_payloads);
+    let delta_pct = (loaded_p99_us - idle_p99_us) / idle_p99_us * 100.0;
+    println!("sg02 decrypt p99, {opened:>5} idle conns: {loaded_p99_us:>9.0} us");
+    println!("p99 delta under connection load:    {delta_pct:>9.2} %");
+    drop(swarm);
+
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \
+         \"nofile_limit\": {nofile},\n  \
+         \"planned_connections\": {planned},\n  \
+         \"idle_connections\": {opened},\n  \
+         \"accept_rate_per_s\": {accept_rate:.0},\n  \
+         \"threads_before\": {threads_before},\n  \
+         \"threads_loaded\": {threads_loaded},\n  \
+         \"rss_per_connection_kb\": {rss_per_conn_kb:.2},\n  \
+         \"p99_batches_min_of\": {BATCHES},\n  \
+         \"sg02_p99_idle_us\": {idle_p99_us:.1},\n  \
+         \"sg02_p99_loaded_us\": {loaded_p99_us:.1},\n  \
+         \"p99_delta_pct\": {delta_pct:.2},\n  \
+         \"gate_min_connections\": {GATE_MIN_CONNS},\n  \
+         \"gate_p99_pct\": {GATE_P99_PCT:.1}\n}}\n",
+        quick()
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_frontend.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_frontend.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_frontend.json");
+    println!("wrote {}", path.display());
+
+    if gate() {
+        if budget < GATE_MIN_CONNS {
+            println!(
+                "gate: SKIP — the fd hard limit ({nofile}) cannot cover \
+                 {GATE_MIN_CONNS} connections plus the {FD_MARGIN}-fd margin"
+            );
+            return;
+        }
+        let mut failed = false;
+        if opened < GATE_MIN_CONNS {
+            eprintln!("FAIL: only {opened} of {GATE_MIN_CONNS} idle connections opened");
+            failed = true;
+        }
+        // One accepted thread of slack: unrelated runtime threads may
+        // come or go, but per-connection threads would add thousands.
+        if threads_loaded > threads_before + 1 {
+            eprintln!(
+                "FAIL: thread count grew {threads_before} -> {threads_loaded} \
+                 under connection load"
+            );
+            failed = true;
+        }
+        if delta_pct >= GATE_P99_PCT {
+            eprintln!(
+                "FAIL: p99 delta {delta_pct:.2}% breaches the {GATE_P99_PCT}% budget"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate: {opened} idle connections, p99 delta {delta_pct:.2}% < {GATE_P99_PCT}%"
+        );
+    }
+}

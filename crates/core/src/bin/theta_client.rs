@@ -3,6 +3,9 @@
 //! ```text
 //! theta-client --node 127.0.0.1:8001 coin epoch-7
 //! theta-client --node 127.0.0.1:8001 sign bls04 "block 42"
+//! theta-client --node 127.0.0.1:8001 keygen acme signing bls04
+//! theta-client --node 127.0.0.1:8001 list-keys acme
+//! theta-client --node 127.0.0.1:8001 sign --tenant acme --key signing bls04 "block 42"
 //! theta-client --node 127.0.0.1:8001 seal-open sg02 "secret payload"
 //! theta-client --node 127.0.0.1:8001 pubkey cks05
 //! theta-client --node 127.0.0.1:8001 metrics
@@ -11,7 +14,7 @@
 
 use std::net::SocketAddr;
 use std::time::Duration;
-use theta_orchestration::Request;
+use theta_orchestration::{KeyRef, Request};
 use theta_schemes::registry::SchemeId;
 use theta_service::RpcClient;
 
@@ -32,7 +35,12 @@ fn usage() -> ! {
         "usage: theta-client --node ADDR <command>\n\
          commands:\n\
            coin <name>                 flip the CKS05 coin\n\
-           sign <scheme> <message>     threshold-sign (sh00|bls04|kg20)\n\
+           sign [--tenant T --key K] <scheme> <message>\n\
+                                       threshold-sign (sh00|bls04|kg20); with\n\
+                                       --tenant/--key, under that tenant key\n\
+           keygen <tenant> <name> <scheme>\n\
+                                       deal a tenant key on demand\n\
+           list-keys <tenant>          the tenant's keys (name + scheme)\n\
            seal-open <scheme> <msg>    encrypt via scheme API, decrypt via protocol API (sg02|bz03)\n\
            pubkey <scheme>             fetch a public key (hex)\n\
            stats                       event-loop counters of the node\n\
@@ -42,6 +50,42 @@ fn usage() -> ! {
            trace --cluster <hex>       merged cross-node timeline (fans GetTrace over the roster)"
     );
     std::process::exit(2);
+}
+
+/// Verifies a combined signature against an encoded public key, both
+/// decoded per `scheme`.
+fn verify_with(scheme: SchemeId, pk: &[u8], message: &[u8], sig: &[u8]) -> bool {
+    use theta_codec::Decode;
+    match scheme {
+        SchemeId::Sh00 => {
+            let (Ok(pk), Ok(sig)) = (
+                theta_schemes::sh00::PublicKey::decoded(pk),
+                theta_schemes::sh00::Signature::decoded(sig),
+            ) else {
+                return false;
+            };
+            theta_schemes::sh00::verify(&pk, message, &sig)
+        }
+        SchemeId::Bls04 => {
+            let (Ok(pk), Ok(sig)) = (
+                theta_schemes::bls04::PublicKey::decoded(pk),
+                theta_schemes::bls04::Signature::decoded(sig),
+            ) else {
+                return false;
+            };
+            theta_schemes::bls04::verify(&pk, message, &sig)
+        }
+        SchemeId::Kg20 => {
+            let (Ok(pk), Ok(sig)) = (
+                theta_schemes::kg20::PublicKey::decoded(pk),
+                theta_schemes::kg20::Signature::decoded(sig),
+            ) else {
+                return false;
+            };
+            theta_schemes::kg20::verify(&pk, message, &sig)
+        }
+        _ => false,
+    }
 }
 
 fn main() {
@@ -89,6 +133,49 @@ fn main() {
                 .verify_signature(scheme, &message, &sig)
                 .expect("verify");
             println!("verified: {ok}");
+        }
+        // sign --tenant T --key K <scheme> <message>
+        "sign" if rest.len() == 7 && rest[1] == "--tenant" && rest[3] == "--key" => {
+            let keyref = KeyRef::new(rest[2].clone(), rest[4].clone());
+            let scheme = SchemeId::from_name(&rest[5]).unwrap_or_else(|| usage());
+            let message = rest[6].clone().into_bytes();
+            let inner = match scheme {
+                SchemeId::Sh00 => Request::Sh00Sign(message.clone()),
+                SchemeId::Bls04 => Request::Bls04Sign(message.clone()),
+                SchemeId::Kg20 => Request::Kg20Sign(message.clone()),
+                _ => usage(),
+            };
+            let request = Request::scoped(keyref.clone(), inner);
+            println!("instance = {}", theta_primitives::to_hex(&request.instance_id().0));
+            let (sig, latency) = client.run_protocol(request).expect("sign");
+            println!("signature = {}", theta_primitives::to_hex(&sig));
+            println!("server-side latency: {latency:?}");
+            // The server's verify endpoint checks against the dealer's
+            // network key; a tenant signature must be checked against
+            // the tenant's own public key, fetched and verified here.
+            let (served_scheme, pk) = client.tenant_key(keyref).expect("tenant key");
+            assert_eq!(served_scheme, scheme, "tenant key has a different scheme");
+            let ok = verify_with(scheme, &pk, &message, &sig);
+            println!("verified against tenant key: {ok}");
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "keygen" if rest.len() == 4 => {
+            let scheme = SchemeId::from_name(&rest[3]).unwrap_or_else(|| usage());
+            let keyref = KeyRef::new(rest[1].clone(), rest[2].clone());
+            let pk = client.keygen(keyref, scheme).expect("keygen");
+            println!("dealt {}/{} ({scheme})", rest[1], rest[2]);
+            println!("public key = {}", theta_primitives::to_hex(&pk));
+        }
+        "list-keys" if rest.len() == 2 => {
+            let keys = client.list_keys(&rest[1]).expect("list keys");
+            if keys.is_empty() {
+                println!("no keys for tenant {}", rest[1]);
+            }
+            for (name, scheme) in keys {
+                println!("{}/{name}  {scheme}", rest[1]);
+            }
         }
         "seal-open" if rest.len() == 3 => {
             let scheme = SchemeId::from_name(&rest[1]).unwrap_or_else(|| usage());

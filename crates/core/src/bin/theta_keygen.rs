@@ -5,10 +5,21 @@
 //! ```text
 //! theta-keygen --t 1 --n 4 --schemes sg02,bls04,cks05 --out ./keys
 //! ```
+//!
+//! With `--tenant T --key K` it instead deals ONE tenant key (exactly
+//! one `--schemes` entry) into per-node keystores under
+//! `<out>/keystore/node-<i>/`, sealed with the passphrase from
+//! `$THETA_KEYSTORE_PASS` (or `--keystore-pass`). Point each
+//! `theta-node --keystore` at its own `node-<i>` directory and
+//! tenant-scoped requests resolve against the dealt key.
 
 use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
 use theta_codec::Encode;
 use theta_core::keyfile::{encode_public_with_roster, NodeKeyFile};
+use theta_core::keymanager::{ClusterKeyAdmin, KeyManager, KeystoreKey};
+use theta_orchestration::KeyRef;
+use theta_service::KeyAdmin;
 use theta_network::handshake::{IdentitySeed, StaticIdentity};
 use theta_schemes::registry::SchemeId;
 use theta_schemes::ThresholdParams;
@@ -21,6 +32,9 @@ struct Args {
     schemes: Vec<SchemeId>,
     sh00_bits: usize,
     seed: Option<u64>,
+    tenant: Option<String>,
+    key_name: Option<String>,
+    keystore_pass: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
     let mut schemes = vec![SchemeId::Sg02, SchemeId::Bls04, SchemeId::Cks05];
     let mut sh00_bits = 512;
     let mut seed = None;
+    let mut tenant = None;
+    let mut key_name = None;
+    let mut keystore_pass = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -41,6 +58,9 @@ fn parse_args() -> Result<Args, String> {
                 sh00_bits = value()?.parse().map_err(|e| format!("--sh00-bits: {e}"))?
             }
             "--seed" => seed = Some(value()?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--tenant" => tenant = Some(value()?),
+            "--key" => key_name = Some(value()?),
+            "--keystore-pass" => keystore_pass = Some(value()?),
             "--schemes" => {
                 schemes = value()?
                     .split(',')
@@ -59,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
         schemes,
         sh00_bits,
         seed,
+        tenant,
+        key_name,
+        keystore_pass,
     })
 }
 
@@ -69,7 +92,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: theta-keygen --t T --n N --out DIR \
-                 [--schemes sg02,bz03,sh00,bls04,kg20,cks05] [--sh00-bits B] [--seed S]"
+                 [--schemes sg02,bz03,sh00,bls04,kg20,cks05] [--sh00-bits B] [--seed S] \
+                 [--tenant T --key K [--keystore-pass P]]"
             );
             std::process::exit(2);
         }
@@ -87,6 +111,59 @@ fn main() {
     };
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
+
+    if let Some(tenant) = &args.tenant {
+        // Tenant-key mode: deal one key into every node's keystore and
+        // exit — the static deployment files are untouched.
+        let name = args.key_name.as_deref().unwrap_or_else(|| {
+            eprintln!("error: --tenant needs --key NAME");
+            std::process::exit(2);
+        });
+        if args.schemes.len() != 1 {
+            eprintln!("error: tenant-key mode deals exactly one scheme (--schemes bls04)");
+            std::process::exit(2);
+        }
+        let passphrase = args
+            .keystore_pass
+            .clone()
+            .or_else(|| std::env::var("THETA_KEYSTORE_PASS").ok())
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "error: tenant-key mode needs a passphrase: set \
+                     $THETA_KEYSTORE_PASS or pass --keystore-pass"
+                );
+                std::process::exit(2);
+            });
+        let managers: Vec<Arc<KeyManager>> = (1..=args.n)
+            .map(|i| {
+                Arc::new(
+                    KeyManager::open(
+                        args.out.join("keystore").join(format!("node-{i}")),
+                        KeystoreKey::derive(passphrase.as_bytes()),
+                        1,
+                    )
+                    .expect("open keystore"),
+                )
+            })
+            .collect();
+        let admin = ClusterKeyAdmin::new(managers, params).sh00_modulus_bits(args.sh00_bits);
+        let keyref = KeyRef::new(tenant.clone(), name.to_string());
+        let public = match admin.generate(&keyref, args.schemes[0]) {
+            Ok(pk) => pk,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "dealt tenant key {keyref} ({}) into {} keystore(s) under {}",
+            args.schemes[0],
+            args.n,
+            args.out.join("keystore").display()
+        );
+        println!("public key = {}", theta_primitives::to_hex(&public));
+        return;
+    }
     // Deal each node a static transport identity alongside its shares:
     // the Noise-IK handshake authenticates mesh links against the
     // roster of derived public keys written into the public key file.

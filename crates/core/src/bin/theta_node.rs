@@ -23,17 +23,28 @@
 //! order) enables the cluster plane: with it, `CollectTrace` fans out
 //! across the roster and `theta-client trace --cluster` returns the
 //! merged, clock-aligned timeline instead of just this node's slice.
+//!
+//! `--keystore DIR` attaches the multi-tenant key manager: tenant key
+//! shares sealed under `DIR` (dealt by `theta-keygen --tenant`) serve
+//! tenant-scoped protocol requests and the `list-keys`/tenant-key RPCs.
+//! The storage passphrase comes from `$THETA_KEYSTORE_PASS` (or
+//! `--keystore-pass`, which leaks it to the process list — prefer the
+//! environment). `--tenant-quota N` caps each tenant's concurrent
+//! in-flight scoped requests.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 use theta_core::keyfile::{self, decode_public_with_roster};
+use theta_core::keymanager::{KeyManager, KeystoreKey, LocalKeyAdmin, SharedKeyManager};
 use theta_network::gossip::GossipMesh;
 use theta_network::handshake::{MeshAuth, Roster, StaticIdentity};
 use theta_network::tcp::TcpMesh;
 use theta_network::Network;
-use theta_orchestration::{spawn_node, NodeConfig};
-use theta_service::{serve_with_cluster, ClusterConfig, SloThresholds};
+use theta_orchestration::{spawn_node_observed, spawn_node_with_keys, NodeConfig};
+use theta_service::{
+    serve_on_with_options, ClusterConfig, ServiceOptions, SloThresholds,
+};
 
 struct Args {
     id: u16,
@@ -44,6 +55,9 @@ struct Args {
     rpc_peers: Vec<SocketAddr>,
     workers: usize,
     mesh_degree: usize,
+    keystore: Option<std::path::PathBuf>,
+    keystore_pass: Option<String>,
+    tenant_quota: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
     let mut rpc_peers = Vec::new();
     let mut workers = 0;
     let mut mesh_degree = 0;
+    let mut keystore = None;
+    let mut keystore_pass = None;
+    let mut tenant_quota = 0;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -69,6 +86,12 @@ fn parse_args() -> Result<Args, String> {
             "--mesh-degree" => {
                 mesh_degree =
                     value()?.parse().map_err(|e| format!("--mesh-degree: {e}"))?;
+            }
+            "--keystore" => keystore = Some(std::path::PathBuf::from(value()?)),
+            "--keystore-pass" => keystore_pass = Some(value()?),
+            "--tenant-quota" => {
+                tenant_quota =
+                    value()?.parse().map_err(|e| format!("--tenant-quota: {e}"))?;
             }
             "--peers" => {
                 peers = Some(
@@ -96,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
         rpc_peers,
         workers,
         mesh_degree,
+        keystore,
+        keystore_pass,
+        tenant_quota,
     })
 }
 
@@ -107,7 +133,8 @@ fn main() {
             eprintln!(
                 "usage: theta-node --id I --keys FILE --public FILE \
                  --peers a1,a2,... --rpc ADDR [--rpc-peers a1,a2,...] \
-                 [--workers N] [--mesh-degree D]"
+                 [--workers N] [--mesh-degree D] [--keystore DIR] \
+                 [--keystore-pass P] [--tenant-quota N]"
             );
             std::process::exit(2);
         }
@@ -171,11 +198,40 @@ fn main() {
     };
     println!("mesh connected (all links authenticated + encrypted)");
 
-    let handle = Arc::new(spawn_node(
-        key_file.into_chest(),
-        mesh,
-        NodeConfig { worker_threads: args.workers, ..NodeConfig::default() },
-    ));
+    let config = NodeConfig { worker_threads: args.workers, ..NodeConfig::default() };
+    let obs = Arc::new(theta_metrics::NodeObservability::new());
+    let (handle, key_admin) = match &args.keystore {
+        None => (
+            Arc::new(spawn_node_observed(key_file.into_chest(), mesh, config, obs)),
+            None,
+        ),
+        Some(dir) => {
+            let passphrase = args
+                .keystore_pass
+                .clone()
+                .or_else(|| std::env::var("THETA_KEYSTORE_PASS").ok())
+                .expect(
+                    "--keystore needs a passphrase: set $THETA_KEYSTORE_PASS \
+                     or pass --keystore-pass",
+                );
+            let manager = Arc::new(
+                KeyManager::open(dir, KeystoreKey::derive(passphrase.as_bytes()), 8)
+                    .expect("open keystore"),
+            );
+            manager.set_default_chest(key_file.into_chest());
+            manager.attach_observability(&obs);
+            println!("keystore attached at {}", dir.display());
+            (
+                Arc::new(spawn_node_with_keys(
+                    Box::new(SharedKeyManager(manager.clone())),
+                    mesh,
+                    config,
+                    obs,
+                )),
+                Some(Arc::new(LocalKeyAdmin(manager)) as Arc<dyn theta_service::KeyAdmin>),
+            )
+        }
+    };
     if !args.rpc_peers.is_empty() {
         assert_eq!(
             args.rpc_peers.len(),
@@ -195,9 +251,15 @@ fn main() {
         self_id: args.id,
         slo: SloThresholds::default(),
     };
-    let service =
-        serve_with_cluster(args.rpc, handle, public, Duration::from_secs(60), cluster)
-            .expect("bind rpc endpoint");
+    let listener = std::net::TcpListener::bind(args.rpc).expect("bind rpc endpoint");
+    let service = serve_on_with_options(
+        listener,
+        handle,
+        public,
+        Duration::from_secs(60),
+        ServiceOptions { cluster, key_admin, tenant_quota: args.tenant_quota },
+    )
+    .expect("start rpc service");
     println!("serving Thetacrypt RPC on {}", service.addr());
     println!("ready — press ctrl-c to stop");
 

@@ -22,18 +22,24 @@
 //! ```
 
 pub mod keyfile;
+pub mod keymanager;
 
+use crate::keymanager::{ClusterKeyAdmin, KeyManager, KeystoreKey, SharedKeyManager};
 use rand::SeedableRng;
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+use theta_metrics::NodeObservability;
 use theta_network::inmemory::{InMemoryConfig, InMemoryHub};
 use theta_network::{LinkProfile, Network};
-use theta_orchestration::{spawn_node, KeyChest, NodeConfig, NodeHandle, Request};
+use theta_orchestration::{
+    spawn_node, spawn_node_with_keys, KeyChest, NodeConfig, NodeHandle, Request,
+};
 use theta_protocols::ProtocolOutput;
 use theta_schemes::registry::SchemeId;
 use theta_schemes::{SchemeError, ThresholdParams};
-use theta_service::{serve, PublicKeyChest, ServiceHandle};
+use theta_service::{PublicKeyChest, ServiceHandle, ServiceOptions};
 
 /// Errors from Θ-network construction and use.
 #[derive(Debug)]
@@ -90,6 +96,10 @@ pub struct ThetaNetworkBuilder {
     kg20_nonce_stock: usize,
     instance_timeout: Duration,
     worker_threads: usize,
+    keystore: Option<(PathBuf, Vec<u8>)>,
+    keystore_cache: usize,
+    tenant_quota: usize,
+    submission_queue_capacity: Option<usize>,
 }
 
 impl ThetaNetworkBuilder {
@@ -105,6 +115,10 @@ impl ThetaNetworkBuilder {
             kg20_nonce_stock: 0,
             instance_timeout: Duration::from_secs(30),
             worker_threads: 0,
+            keystore: None,
+            keystore_cache: 8,
+            tenant_quota: 0,
+            submission_queue_capacity: None,
         }
     }
 
@@ -180,6 +194,38 @@ impl ThetaNetworkBuilder {
     /// Crypto worker threads per node (`0` = one per available core).
     pub fn worker_threads(mut self, workers: usize) -> Self {
         self.worker_threads = workers;
+        self
+    }
+
+    /// Bounds each node's submission queue: `try_submit` refuses with
+    /// `Overloaded` at the bound. Defaults to the orchestration layer's
+    /// own default.
+    pub fn submission_queue_capacity(mut self, capacity: usize) -> Self {
+        self.submission_queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables the multi-tenant key manager: node `i` persists its
+    /// tenant key shares under `<dir>/node-<i>`, sealed with a storage
+    /// key derived from `passphrase`. The RPC services then answer
+    /// on-demand `keygen`/`list_keys`/`get_tenant_key`, and tenant-scoped
+    /// protocol requests resolve through the keystore.
+    pub fn with_keystore(mut self, dir: impl Into<PathBuf>, passphrase: &[u8]) -> Self {
+        self.keystore = Some((dir.into(), passphrase.to_vec()));
+        self
+    }
+
+    /// Bounds the decrypted tenant keys each node holds hot (default 8).
+    pub fn keystore_cache(mut self, capacity: usize) -> Self {
+        self.keystore_cache = capacity;
+        self
+    }
+
+    /// Caps concurrent in-flight tenant-scoped protocol requests per
+    /// tenant at every RPC service (0 = unlimited). Excess requests get
+    /// the retryable `Overloaded` refusal.
+    pub fn tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = quota;
         self
     }
 
@@ -261,24 +307,74 @@ impl ThetaNetworkBuilder {
                 seed: self.seed.unwrap_or(0),
             },
         );
-        let nodes: Vec<Arc<NodeHandle>> = chests
-            .into_iter()
-            .zip(net_nodes)
-            .map(|(chest, net)| {
-                Arc::new(spawn_node(
-                    chest,
-                    Box::new(net) as Box<dyn Network>,
-                    NodeConfig {
-                        instance_timeout: self.instance_timeout,
-                        use_precomputed_nonces: self.kg20_nonce_stock > 0,
-                        worker_threads: self.worker_threads,
-                        ..NodeConfig::default()
-                    },
-                ))
-            })
-            .collect();
+        let node_config = |builder: &ThetaNetworkBuilder| NodeConfig {
+            instance_timeout: builder.instance_timeout,
+            use_precomputed_nonces: builder.kg20_nonce_stock > 0,
+            worker_threads: builder.worker_threads,
+            submission_queue_capacity: builder
+                .submission_queue_capacity
+                .unwrap_or(NodeConfig::default().submission_queue_capacity),
+            ..NodeConfig::default()
+        };
+        let mut managers: Vec<Arc<KeyManager>> = Vec::new();
+        let nodes: Vec<Arc<NodeHandle>> = match &self.keystore {
+            None => chests
+                .into_iter()
+                .zip(net_nodes)
+                .map(|(chest, net)| {
+                    Arc::new(spawn_node(
+                        chest,
+                        Box::new(net) as Box<dyn Network>,
+                        node_config(&self),
+                    ))
+                })
+                .collect(),
+            Some((dir, passphrase)) => {
+                // Keystore mode: every node's KeyProvider is its own
+                // KeyManager (dealer chest as the unscoped default), so
+                // tenant-scoped requests resolve through the sealed
+                // per-node keystore.
+                let mut nodes = Vec::with_capacity(n);
+                for (i, (chest, net)) in chests.into_iter().zip(net_nodes).enumerate() {
+                    let manager = Arc::new(
+                        KeyManager::open(
+                            dir.join(format!("node-{}", i + 1)),
+                            KeystoreKey::derive(passphrase),
+                            self.keystore_cache,
+                        )
+                        .map_err(CoreError::Io)?,
+                    );
+                    manager.set_default_chest(chest);
+                    let obs = Arc::new(NodeObservability::new());
+                    manager.attach_observability(&obs);
+                    nodes.push(Arc::new(spawn_node_with_keys(
+                        Box::new(SharedKeyManager(manager.clone())),
+                        Box::new(net) as Box<dyn Network>,
+                        node_config(&self),
+                        obs,
+                    )));
+                    managers.push(manager);
+                }
+                nodes
+            }
+        };
+        let key_admin = (!managers.is_empty()).then(|| {
+            Arc::new(
+                ClusterKeyAdmin::new(managers.clone(), params)
+                    .sh00_modulus_bits(self.sh00_modulus_bits),
+            )
+        });
 
-        Ok(ThetaNetwork { params, hub, nodes, public_keys, services: Vec::new() })
+        Ok(ThetaNetwork {
+            params,
+            hub,
+            nodes,
+            public_keys,
+            services: Vec::new(),
+            managers,
+            key_admin,
+            tenant_quota: self.tenant_quota,
+        })
     }
 }
 
@@ -289,6 +385,9 @@ pub struct ThetaNetwork {
     nodes: Vec<Arc<NodeHandle>>,
     public_keys: PublicKeyChest,
     services: Vec<ServiceHandle>,
+    managers: Vec<Arc<KeyManager>>,
+    key_admin: Option<Arc<ClusterKeyAdmin>>,
+    tenant_quota: usize,
 }
 
 impl ThetaNetwork {
@@ -362,6 +461,33 @@ impl ThetaNetwork {
         result.outcome.map_err(CoreError::from)
     }
 
+    /// The on-demand key admin (present when the network was built
+    /// [`ThetaNetworkBuilder::with_keystore`]).
+    pub fn key_admin(&self) -> Option<Arc<ClusterKeyAdmin>> {
+        self.key_admin.clone()
+    }
+
+    /// Node `id`'s key manager (1-based; keystore mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is outside `1..=n`.
+    pub fn key_manager(&self, id: u16) -> Option<&Arc<KeyManager>> {
+        self.managers.get(id as usize - 1)
+    }
+
+    /// The service options every RPC server of this network runs with.
+    fn service_options(&self, cluster: theta_service::ClusterConfig) -> ServiceOptions {
+        ServiceOptions {
+            cluster,
+            key_admin: self
+                .key_admin
+                .clone()
+                .map(|a| a as Arc<dyn theta_service::KeyAdmin>),
+            tenant_quota: self.tenant_quota,
+        }
+    }
+
     /// Starts the RPC service for node `id` on `addr` (port 0 = ephemeral);
     /// returns the bound address.
     ///
@@ -369,11 +495,14 @@ impl ThetaNetwork {
     ///
     /// I/O errors from binding.
     pub fn serve_rpc(&mut self, id: u16, addr: std::net::SocketAddr) -> Result<std::net::SocketAddr, CoreError> {
-        let handle = serve(
-            addr,
+        let listener = std::net::TcpListener::bind(addr)?;
+        let options = self.service_options(theta_service::ClusterConfig::default());
+        let handle = theta_service::serve_on_with_options(
+            listener,
             self.node(id).clone(),
             self.public_keys.clone(),
             Duration::from_secs(60),
+            options,
         )?;
         let bound = handle.addr();
         self.services.push(handle);
@@ -407,12 +536,13 @@ impl ThetaNetwork {
                 self_id: (i + 1) as u16,
                 slo: slo.clone(),
             };
-            let handle = theta_service::serve_on(
+            let options = self.service_options(cluster);
+            let handle = theta_service::serve_on_with_options(
                 listener,
                 self.nodes[i].clone(),
                 self.public_keys.clone(),
                 Duration::from_secs(60),
-                cluster,
+                options,
             )?;
             self.services.push(handle);
         }

@@ -47,6 +47,9 @@ const SECRET_TYPE_NAMES: &[&str] = &[
     "StaticIdentity",
     "SendCipher",
     "RecvCipher",
+    // The keystore's storage key (crates/core/src/keymanager.rs): the
+    // HKDF-derived symmetric key sealing tenant key shares at rest.
+    "KeystoreKey",
 ];
 
 /// Field names that mark their owning struct as secret-bearing, and

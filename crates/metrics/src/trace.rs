@@ -76,6 +76,15 @@ pub enum TraceEventKind {
     /// An envelope for this instance arrived from a peer (the detail
     /// carries the span id and hop count it travelled).
     PeerRecv,
+    /// The key manager pulled a tenant key into the hot cache (the
+    /// detail names the tenant/key).
+    KeyLoaded,
+    /// The hot cache evicted a tenant key to make room (the detail
+    /// names the tenant/key).
+    KeyEvicted,
+    /// A request was refused because its tenant's in-flight quota was
+    /// exhausted (the detail names the tenant).
+    QuotaRejected,
 }
 
 impl TraceEventKind {
@@ -103,6 +112,9 @@ impl TraceEventKind {
             TraceEventKind::RelayHop => 18,
             TraceEventKind::PeerSend => 19,
             TraceEventKind::PeerRecv => 20,
+            TraceEventKind::KeyLoaded => 21,
+            TraceEventKind::KeyEvicted => 22,
+            TraceEventKind::QuotaRejected => 23,
         }
     }
 
@@ -131,6 +143,9 @@ impl TraceEventKind {
             18 => TraceEventKind::RelayHop,
             19 => TraceEventKind::PeerSend,
             20 => TraceEventKind::PeerRecv,
+            21 => TraceEventKind::KeyLoaded,
+            22 => TraceEventKind::KeyEvicted,
+            23 => TraceEventKind::QuotaRejected,
             _ => return None,
         })
     }
@@ -159,6 +174,9 @@ impl TraceEventKind {
             TraceEventKind::RelayHop => "relay-hop",
             TraceEventKind::PeerSend => "peer-send",
             TraceEventKind::PeerRecv => "peer-recv",
+            TraceEventKind::KeyLoaded => "key-loaded",
+            TraceEventKind::KeyEvicted => "key-evicted",
+            TraceEventKind::QuotaRejected => "quota-rejected",
         }
     }
 }
@@ -399,12 +417,12 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=20u8 {
+        for code in 0..=23u8 {
             let kind = TraceEventKind::from_code(code).unwrap();
             assert_eq!(kind.code(), code);
             assert!(!kind.label().is_empty());
         }
-        assert!(TraceEventKind::from_code(21).is_none());
+        assert!(TraceEventKind::from_code(24).is_none());
         assert!(TraceEventKind::from_code(200).is_none());
     }
 

@@ -34,13 +34,14 @@ mod router;
 mod worker_pool;
 
 pub use router::{
-    spawn_node, spawn_node_observed, InstanceResult, NodeConfig, NodeHandle, PendingResult,
-    SubmitError, WaitError,
+    spawn_node, spawn_node_observed, spawn_node_with_keys, InstanceResult, NodeConfig,
+    NodeHandle, PendingResult, SubmitError, WaitError,
 };
 
 use theta_codec::{Decode, Encode, Reader, Writer};
 use theta_primitives::DomainHasher;
 use theta_schemes::registry::SchemeId;
+use theta_schemes::SchemeError;
 use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00};
 
 /// Identifies a protocol instance network-wide: a hash of the request
@@ -66,6 +67,70 @@ impl Decode for InstanceId {
     }
 }
 
+/// Names one key in the multi-tenant keyspace: a `(tenant, name)` pair.
+///
+/// Tenants and names are bounded UTF-8 labels ([`KeyRef::validate`]); the
+/// key manager maps a `KeyRef` to the node's share of that tenant key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyRef {
+    /// The tenant (namespace) that owns the key.
+    pub tenant: String,
+    /// The key's name inside the tenant's namespace.
+    pub name: String,
+}
+
+/// Longest accepted tenant or key-name label, in bytes.
+pub const KEY_LABEL_MAX: usize = 64;
+
+impl KeyRef {
+    /// Builds a reference without validating the labels.
+    pub fn new(tenant: impl Into<String>, name: impl Into<String>) -> KeyRef {
+        KeyRef { tenant: tenant.into(), name: name.into() }
+    }
+
+    /// Checks both labels: non-empty, at most [`KEY_LABEL_MAX`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::InvalidParameters`] naming the offending label.
+    pub fn validate(&self) -> Result<(), SchemeError> {
+        for (which, label) in [("tenant", &self.tenant), ("key name", &self.name)] {
+            if label.is_empty() {
+                return Err(SchemeError::InvalidParameters(format!("empty {which}")));
+            }
+            if label.len() > KEY_LABEL_MAX {
+                return Err(SchemeError::InvalidParameters(format!(
+                    "{which} exceeds {KEY_LABEL_MAX} bytes"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for KeyRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.tenant, self.name)
+    }
+}
+
+impl Encode for KeyRef {
+    fn encode(&self, w: &mut Writer) {
+        self.tenant.encode(w);
+        self.name.encode(w);
+    }
+}
+
+impl Decode for KeyRef {
+    fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
+        Ok(KeyRef { tenant: String::decode(r)?, name: String::decode(r)? })
+    }
+}
+
+/// Wire tag marking a tenant-scoped request; disjoint from every
+/// [`SchemeId`] tag so legacy decoders reject (not misread) it.
+const SCOPED_TAG: u8 = 255;
+
 /// A request for one threshold operation, as issued by the service layer.
 ///
 /// Payloads are the canonical encodings of the scheme-level objects; they
@@ -84,9 +149,31 @@ pub enum Request {
     Kg20Sign(Vec<u8>),
     /// Flip the CKS05 coin with this name.
     Cks05Coin(Vec<u8>),
+    /// The inner operation, executed against a tenant key from the
+    /// multi-tenant key manager instead of the node's default chest.
+    /// Depth one only: the inner request is never itself `Scoped`.
+    Scoped {
+        /// Which tenant key serves the operation.
+        keyref: KeyRef,
+        /// The operation itself (one of the plain variants).
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
+    /// Wraps a plain request so it runs against a tenant key.
+    ///
+    /// # Panics
+    ///
+    /// When `inner` is already scoped — scoping does not nest.
+    pub fn scoped(keyref: KeyRef, inner: Request) -> Request {
+        assert!(
+            !matches!(inner, Request::Scoped { .. }),
+            "scoped requests do not nest"
+        );
+        Request::Scoped { keyref, inner: Box::new(inner) }
+    }
+
     /// The scheme this request targets.
     pub fn scheme(&self) -> SchemeId {
         match self {
@@ -96,6 +183,7 @@ impl Request {
             Request::Bls04Sign(_) => SchemeId::Bls04,
             Request::Kg20Sign(_) => SchemeId::Kg20,
             Request::Cks05Coin(_) => SchemeId::Cks05,
+            Request::Scoped { inner, .. } => inner.scheme(),
         }
     }
 
@@ -108,38 +196,86 @@ impl Request {
             | Request::Bls04Sign(b)
             | Request::Kg20Sign(b)
             | Request::Cks05Coin(b) => b,
+            Request::Scoped { inner, .. } => inner.body(),
+        }
+    }
+
+    /// The tenant key this request is scoped to, if any.
+    pub fn keyref(&self) -> Option<&KeyRef> {
+        match self {
+            Request::Scoped { keyref, .. } => Some(keyref),
+            _ => None,
         }
     }
 
     /// Derives the network-wide instance id of this request.
+    ///
+    /// Scoped requests live in their own domain, chained over the key
+    /// reference as well — the same operation against two tenant keys
+    /// (or against the default chest) must never collide.
     pub fn instance_id(&self) -> InstanceId {
-        let digest = DomainHasher::new("thetacrypt/instance-id/v1")
-            .chain(self.scheme().name().as_bytes())
-            .chain(self.body())
-            .finish32();
+        let digest = match self {
+            Request::Scoped { keyref, inner } => {
+                DomainHasher::new("thetacrypt/instance-id/scoped/v1")
+                    .chain(keyref.tenant.as_bytes())
+                    .chain(keyref.name.as_bytes())
+                    .chain(inner.scheme().name().as_bytes())
+                    .chain(inner.body())
+                    .finish32()
+            }
+            _ => DomainHasher::new("thetacrypt/instance-id/v1")
+                .chain(self.scheme().name().as_bytes())
+                .chain(self.body())
+                .finish32(),
+        };
         InstanceId(digest)
     }
 }
 
 impl Encode for Request {
     fn encode(&self, w: &mut Writer) {
-        self.scheme().encode(w);
-        self.body().to_vec().encode(w);
+        match self {
+            Request::Scoped { keyref, inner } => {
+                SCOPED_TAG.encode(w);
+                keyref.encode(w);
+                inner.encode(w);
+            }
+            _ => {
+                self.scheme().encode(w);
+                self.body().to_vec().encode(w);
+            }
+        }
     }
 }
 
 impl Decode for Request {
     fn decode(r: &mut Reader) -> theta_codec::Result<Self> {
-        let scheme = SchemeId::decode(r)?;
-        let body = Vec::<u8>::decode(r)?;
-        Ok(match scheme {
-            SchemeId::Sg02 => Request::Sg02Decrypt(body),
-            SchemeId::Bz03 => Request::Bz03Decrypt(body),
-            SchemeId::Sh00 => Request::Sh00Sign(body),
-            SchemeId::Bls04 => Request::Bls04Sign(body),
-            SchemeId::Kg20 => Request::Kg20Sign(body),
-            SchemeId::Cks05 => Request::Cks05Coin(body),
-        })
+        // Mirrors `SchemeId`'s tag space (0..=5) plus the scoped sentinel.
+        match u8::decode(r)? {
+            SCOPED_TAG => {
+                let keyref = KeyRef::decode(r)?;
+                let inner = Request::decode(r)?;
+                if matches!(inner, Request::Scoped { .. }) {
+                    // Depth-one invariant: nesting is a malformed wire
+                    // object, never a valid request.
+                    return Err(theta_codec::CodecError::InvalidTag(SCOPED_TAG as u32));
+                }
+                Ok(Request::Scoped { keyref, inner: Box::new(inner) })
+            }
+            tag => {
+                let scheme = SchemeId::decoded(&[tag])
+                    .map_err(|_| theta_codec::CodecError::InvalidTag(tag as u32))?;
+                let body = Vec::<u8>::decode(r)?;
+                Ok(match scheme {
+                    SchemeId::Sg02 => Request::Sg02Decrypt(body),
+                    SchemeId::Bz03 => Request::Bz03Decrypt(body),
+                    SchemeId::Sh00 => Request::Sh00Sign(body),
+                    SchemeId::Bls04 => Request::Bls04Sign(body),
+                    SchemeId::Kg20 => Request::Kg20Sign(body),
+                    SchemeId::Cks05 => Request::Cks05Coin(body),
+                })
+            }
+        }
     }
 }
 
@@ -222,6 +358,53 @@ impl KeyChest {
     }
 }
 
+/// A chest shared between the router and a key manager. The mutex guards
+/// the KG20 nonce stock (popped per signing instance); share reads only
+/// clone out of it.
+pub type SharedChest = std::sync::Arc<std::sync::Mutex<KeyChest>>;
+
+/// Resolves key references to chests — the router's view of the key
+/// manager. `None` asks for the node's default (deployment-dealt) chest;
+/// `Some(keyref)` asks for a tenant key, which the provider may load on
+/// demand (e.g. from an encrypted keystore).
+///
+/// Called on the router thread at instance start: implementations must
+/// stay cheap on the hot path (a hot-cache hit is a map lookup; a miss
+/// may read one small keystore file).
+pub trait KeyProvider: Send {
+    /// The chest serving `keyref`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::KeyMismatch`] when the reference names no known
+    /// key; any other error the provider's backing store surfaces.
+    fn chest(&self, keyref: Option<&KeyRef>) -> Result<SharedChest, SchemeError>;
+}
+
+/// The fixed-keys provider: exactly the pre-refactor behaviour, serving
+/// one dealt chest and refusing every tenant reference.
+pub struct StaticKeys {
+    chest: SharedChest,
+}
+
+impl StaticKeys {
+    /// Wraps a dealt chest.
+    pub fn new(chest: KeyChest) -> StaticKeys {
+        StaticKeys { chest: std::sync::Arc::new(std::sync::Mutex::new(chest)) }
+    }
+}
+
+impl KeyProvider for StaticKeys {
+    fn chest(&self, keyref: Option<&KeyRef>) -> Result<SharedChest, SchemeError> {
+        match keyref {
+            None => Ok(self.chest.clone()),
+            Some(kr) => Err(SchemeError::KeyMismatch(format!(
+                "no tenant keyspace on this node (requested {kr})"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +459,69 @@ mod tests {
         for scheme in SchemeId::ALL {
             assert!(!chest.has(scheme));
         }
+    }
+
+    #[test]
+    fn scoped_request_codec_roundtrip() {
+        let scoped = Request::scoped(
+            KeyRef::new("acme", "signing-1"),
+            Request::Bls04Sign(b"m".to_vec()),
+        );
+        assert_eq!(Request::decoded(&scoped.encoded()).unwrap(), scoped);
+        assert_eq!(scoped.scheme(), SchemeId::Bls04);
+        assert_eq!(scoped.body(), b"m");
+        assert_eq!(scoped.keyref(), Some(&KeyRef::new("acme", "signing-1")));
+    }
+
+    #[test]
+    fn scoped_instance_ids_are_domain_separated() {
+        let plain = Request::Bls04Sign(b"m".to_vec());
+        let a = Request::scoped(KeyRef::new("acme", "k1"), plain.clone());
+        let b = Request::scoped(KeyRef::new("acme", "k2"), plain.clone());
+        let c = Request::scoped(KeyRef::new("other", "k1"), plain.clone());
+        // Same operation, different key → different instance; and none
+        // collide with the unscoped instance.
+        assert_ne!(a.instance_id(), b.instance_id());
+        assert_ne!(a.instance_id(), c.instance_id());
+        assert_ne!(a.instance_id(), plain.instance_id());
+        // Content-addressing still holds within one keyref.
+        assert_eq!(
+            a.instance_id(),
+            Request::scoped(KeyRef::new("acme", "k1"), plain).instance_id()
+        );
+    }
+
+    #[test]
+    fn nested_scoped_requests_rejected_on_decode() {
+        // Hand-craft a depth-2 scoped encoding: tag, keyref, then
+        // another scoped request — the decoder must refuse it.
+        let inner = Request::scoped(
+            KeyRef::new("acme", "k1"),
+            Request::Cks05Coin(b"c".to_vec()),
+        );
+        let mut w = Writer::new();
+        255u8.encode(&mut w);
+        KeyRef::new("outer", "k0").encode(&mut w);
+        inner.encode(&mut w);
+        assert!(Request::decoded(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn keyref_labels_validated() {
+        assert!(KeyRef::new("acme", "k1").validate().is_ok());
+        assert!(KeyRef::new("", "k1").validate().is_err());
+        assert!(KeyRef::new("acme", "").validate().is_err());
+        assert!(KeyRef::new("a".repeat(KEY_LABEL_MAX + 1), "k").validate().is_err());
+        assert!(KeyRef::new("a".repeat(KEY_LABEL_MAX), "k").validate().is_ok());
+    }
+
+    #[test]
+    fn static_keys_refuse_tenant_refs() {
+        let provider = StaticKeys::new(KeyChest::new());
+        assert!(provider.chest(None).is_ok());
+        assert!(matches!(
+            provider.chest(Some(&KeyRef::new("acme", "k1"))),
+            Err(SchemeError::KeyMismatch(_))
+        ));
     }
 }

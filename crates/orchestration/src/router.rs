@@ -23,7 +23,7 @@ use crate::batcher::{BatchAggregator, FlushReason};
 use crate::cache::ResultCache;
 use crate::instance_host::{HostMsg, InstanceHost, Upcall};
 use crate::worker_pool::{schedule, InstanceSlot, PoolJob, WorkerPool};
-use crate::{Envelope, InstanceId, KeyChest, Request};
+use crate::{Envelope, InstanceId, KeyChest, KeyProvider, Request, StaticKeys};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use rand::{RngCore, SeedableRng};
 use std::cmp::Reverse;
@@ -219,8 +219,75 @@ impl PendingResult {
     }
 }
 
+/// Completion callback for [`NodeHandle::try_submit_with`]: invoked on
+/// the router thread with the terminal result, so it must stay cheap
+/// (push to a queue, write a wakeup byte).
+pub type CompletionFn = Box<dyn FnOnce(InstanceResult) + Send>;
+
+/// A callback subscriber armed with a drop guard: if the router dies (or
+/// drops a queued submit) without delivering, the guard fires the
+/// callback with [`SchemeError::Shutdown`] — callback submitters get the
+/// same always-a-terminal-result guarantee channel waiters get from a
+/// disconnect.
+struct NotifyGuard {
+    instance: InstanceId,
+    f: Option<CompletionFn>,
+}
+
+impl NotifyGuard {
+    fn new(instance: InstanceId, f: CompletionFn) -> NotifyGuard {
+        NotifyGuard { instance, f: Some(f) }
+    }
+
+    fn call(mut self, result: InstanceResult) {
+        if let Some(f) = self.f.take() {
+            f(result);
+        }
+    }
+
+    /// Disarms the guard so dropping it fires nothing — for paths that
+    /// report the failure synchronously instead.
+    fn defuse(&mut self) {
+        self.f = None;
+    }
+}
+
+impl Drop for NotifyGuard {
+    fn drop(&mut self) {
+        if let Some(f) = self.f.take() {
+            f(InstanceResult {
+                instance: self.instance,
+                outcome: Err(SchemeError::Shutdown),
+                elapsed: Duration::ZERO,
+            });
+        }
+    }
+}
+
+/// One party interested in an instance's terminal result: either a
+/// channel being waited on ([`PendingResult`]) or a completion callback
+/// (the event-loop front-end's wakeup path).
+enum Subscriber {
+    Channel(Sender<InstanceResult>),
+    Notify(NotifyGuard),
+}
+
+impl Subscriber {
+    /// Delivers the terminal result. `Err(())` means a channel
+    /// subscriber hung up before delivery (callbacks cannot refuse).
+    fn deliver(self, result: InstanceResult) -> Result<(), ()> {
+        match self {
+            Subscriber::Channel(tx) => tx.send(result).map_err(|_| ()),
+            Subscriber::Notify(guard) => {
+                guard.call(result);
+                Ok(())
+            }
+        }
+    }
+}
+
 enum Command {
-    Submit { request: Request, reply: Sender<InstanceResult> },
+    Submit { request: Request, reply: Subscriber },
     Shutdown { drain: Duration },
 }
 
@@ -245,7 +312,7 @@ impl NodeHandle {
         self.queue_depth.fetch_add(1, Ordering::SeqCst);
         if self
             .tx
-            .send(Command::Submit { request, reply: reply_tx })
+            .send(Command::Submit { request, reply: Subscriber::Channel(reply_tx) })
             .is_err()
         {
             // The router thread is gone; dropping the reply sender makes
@@ -278,13 +345,52 @@ impl NodeHandle {
         self.queue_depth.fetch_add(1, Ordering::SeqCst);
         if self
             .tx
-            .send(Command::Submit { request, reply: reply_tx })
+            .send(Command::Submit { request, reply: Subscriber::Channel(reply_tx) })
             .is_err()
         {
             self.queue_depth.fetch_sub(1, Ordering::SeqCst);
             return Err(SubmitError::NodeStopped);
         }
         Ok(PendingResult { rx: reply_rx })
+    }
+
+    /// Backpressure-aware submission with a completion callback instead
+    /// of a channel: `on_complete` runs exactly once, on the router
+    /// thread, with the terminal result — including synthesized
+    /// [`SchemeError::Shutdown`] results if the node stops first. This
+    /// is the thread-free path the event-loop front-end uses: the
+    /// callback posts to a completion queue and writes a wakeup byte,
+    /// so no waiter thread ever parks on the result.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] at the queue bound (counted);
+    /// [`SubmitError::NodeStopped`] when the router is gone. On either
+    /// error the callback is dropped unrun — the refusal is the
+    /// terminal answer.
+    pub fn try_submit_with(
+        &self,
+        request: Request,
+        on_complete: impl FnOnce(InstanceResult) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        if self.queue_depth.load(Ordering::SeqCst) >= self.queue_capacity {
+            self.overload_rejections.inc();
+            return Err(SubmitError::Overloaded);
+        }
+        let guard = NotifyGuard::new(request.instance_id(), Box::new(on_complete));
+        self.queue_depth.fetch_add(1, Ordering::SeqCst);
+        if let Err(crossbeam::channel::SendError(cmd)) =
+            self.tx.send(Command::Submit { request, reply: Subscriber::Notify(guard) })
+        {
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            // Defuse before dropping: the synchronous NodeStopped below
+            // is the caller's answer, the guard must not also fire.
+            if let Command::Submit { reply: Subscriber::Notify(mut guard), .. } = cmd {
+                guard.defuse();
+            }
+            return Err(SubmitError::NodeStopped);
+        }
+        Ok(())
     }
 
     /// This node's party id.
@@ -336,6 +442,18 @@ pub fn spawn_node(keys: KeyChest, network: Box<dyn Network>, config: NodeConfig)
 /// observability bundle through every layer.
 pub fn spawn_node_observed(
     keys: KeyChest,
+    network: Box<dyn Network>,
+    config: NodeConfig,
+    obs: Arc<NodeObservability>,
+) -> NodeHandle {
+    spawn_node_with_keys(Box::new(StaticKeys::new(keys)), network, config, obs)
+}
+
+/// Spawns the router + worker pool for one node with a dynamic
+/// [`KeyProvider`] — the multi-tenant deployment mode, where the
+/// provider loads tenant chests on demand.
+pub fn spawn_node_with_keys(
+    keys: Box<dyn KeyProvider>,
     mut network: Box<dyn Network>,
     config: NodeConfig,
     obs: Arc<NodeObservability>,
@@ -372,7 +490,7 @@ pub fn spawn_node_observed(
 /// the protocol itself lives in the worker-owned host.
 struct RouterEntry {
     slot: Arc<InstanceSlot>,
-    subscribers: Vec<Sender<InstanceResult>>,
+    subscribers: Vec<Subscriber>,
     started: Instant,
     deadline: Instant,
     /// Encoded envelopes of every P2P broadcast this instance has made,
@@ -453,7 +571,7 @@ fn resolve_worker_threads(configured: usize) -> usize {
 }
 
 struct Router {
-    keys: KeyChest,
+    keys: Box<dyn KeyProvider>,
     network: Box<dyn Network>,
     config: NodeConfig,
     commands: Receiver<Command>,
@@ -482,7 +600,7 @@ struct Router {
 
 impl Router {
     fn new(
-        keys: KeyChest,
+        keys: Box<dyn KeyProvider>,
         network: Box<dyn Network>,
         config: NodeConfig,
         commands: Receiver<Command>,
@@ -687,12 +805,12 @@ impl Router {
         }
     }
 
-    fn handle_submit(&mut self, request: Request, reply: Sender<InstanceResult>) {
+    fn handle_submit(&mut self, request: Request, reply: Subscriber) {
         let id = request.instance_id();
         if let Some(done) = self.finished.get(&id, Instant::now()) {
             self.metrics.cache_hits.inc();
             self.obs.journal.record(id.0, TraceEventKind::CacheHit);
-            if reply.send(done.clone()).is_err() {
+            if reply.deliver(done.clone()).is_err() {
                 self.note_error(id.0, "cache-hit reply channel closed".into());
             }
             return;
@@ -710,7 +828,7 @@ impl Router {
                 "refused: live-instance cap reached",
             );
             if reply
-                .send(InstanceResult {
+                .deliver(InstanceResult {
                     instance: id,
                     outcome: Err(SchemeError::Overloaded),
                     elapsed: Duration::ZERO,
@@ -736,7 +854,7 @@ impl Router {
                     format!("{err:?}"),
                 );
                 if reply
-                    .send(InstanceResult {
+                    .deliver(InstanceResult {
                         instance: id,
                         outcome: Err(err),
                         elapsed: Duration::ZERO,
@@ -773,39 +891,48 @@ impl Router {
         }
         let pooled = self.config.cross_instance_batching;
         let lazy = self.config.lazy_batch_verification;
-        match request {
+        // A scoped request resolves its tenant chest through the key
+        // provider, then builds the inner operation against it; plain
+        // requests resolve the default chest the same way.
+        let inner = match request {
+            Request::Scoped { inner, .. } => &**inner,
+            plain => plain,
+        };
+        let shared = self.keys.chest(request.keyref())?;
+        let mut chest = shared.lock().unwrap_or_else(|e| e.into_inner());
+        match inner {
             Request::Sg02Decrypt(bytes) => {
-                let key = self.keys.sg02.clone().ok_or_else(|| {
+                let key = chest.sg02.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no sg02 key provisioned".into())
                 })?;
                 let ct = theta_schemes::sg02::Ciphertext::decoded(bytes).map_err(malformed)?;
                 Ok(one_round(pooled, lazy, Sg02Decrypt::new(key, ct)))
             }
             Request::Bz03Decrypt(bytes) => {
-                let key = self.keys.bz03.clone().ok_or_else(|| {
+                let key = chest.bz03.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no bz03 key provisioned".into())
                 })?;
                 let ct = theta_schemes::bz03::Ciphertext::decoded(bytes).map_err(malformed)?;
                 Ok(one_round(pooled, lazy, Bz03Decrypt::new(key, ct)))
             }
             Request::Sh00Sign(message) => {
-                let key = self.keys.sh00.clone().ok_or_else(|| {
+                let key = chest.sh00.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no sh00 key provisioned".into())
                 })?;
                 Ok(one_round(pooled, lazy, Sh00Sign::new(key, message.clone())))
             }
             Request::Bls04Sign(message) => {
-                let key = self.keys.bls04.clone().ok_or_else(|| {
+                let key = chest.bls04.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no bls04 key provisioned".into())
                 })?;
                 Ok(one_round(pooled, lazy, Bls04Sign::new(key, message.clone())))
             }
             Request::Kg20Sign(message) => {
-                let key = self.keys.kg20.clone().ok_or_else(|| {
+                let key = chest.kg20.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no kg20 key provisioned".into())
                 })?;
                 let nonce = if self.config.use_precomputed_nonces {
-                    self.keys.kg20_nonces.pop_front()
+                    chest.kg20_nonces.pop_front()
                 } else {
                     None
                 };
@@ -815,10 +942,15 @@ impl Router {
                 }))
             }
             Request::Cks05Coin(name) => {
-                let key = self.keys.cks05.clone().ok_or_else(|| {
+                let key = chest.cks05.clone().ok_or_else(|| {
                     SchemeError::KeyMismatch("no cks05 key provisioned".into())
                 })?;
                 Ok(one_round(pooled, lazy, Cks05Coin::new(key, name.clone())))
+            }
+            Request::Scoped { .. } => {
+                // Unreachable by construction (depth-one invariant), but
+                // fail closed rather than recurse.
+                Err(SchemeError::InvalidParameters("nested scoped request".into()))
             }
         }
     }
@@ -1041,8 +1173,8 @@ impl Router {
         }
         let evicted = self.finished.insert(id, result.clone(), Instant::now());
         EventLoopCounters::add(&self.counters.cache_evictions, evicted);
-        for sub in &entry.subscribers {
-            if sub.send(result.clone()).is_err() {
+        for sub in entry.subscribers {
+            if sub.deliver(result.clone()).is_err() {
                 self.note_error(
                     id.0,
                     "subscriber channel closed before result delivery".into(),

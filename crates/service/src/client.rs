@@ -50,14 +50,21 @@ impl From<std::io::Error> for RpcError {
 pub struct RpcClient {
     stream: TcpStream,
     next_id: u64,
+    /// Bounds each *awaited response*, not the connection lifetime:
+    /// every wait gets a fresh window, restarted whenever any complete
+    /// frame arrives (an answering server is making progress).
+    response_timeout: Option<Duration>,
     /// Responses that arrived while waiting for a different id.
     parked: HashMap<u64, RpcResponse>,
 }
 
 impl RpcClient {
     /// Connects to a Thetacrypt service endpoint. `timeout` bounds the
-    /// TCP connect *and* every subsequent response read: a server that
-    /// accepts the connection but never answers surfaces as an
+    /// TCP connect and becomes the initial per-response timeout: each
+    /// awaited response gets the full window (a server that is slow but
+    /// answering within it never errors, however many responses are
+    /// awaited over the connection's life), while a server that accepts
+    /// the connection and then goes silent surfaces as an
     /// [`RpcError::Io`] timeout instead of blocking the caller forever.
     ///
     /// # Errors
@@ -66,8 +73,19 @@ impl RpcClient {
     pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<RpcClient, RpcError> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(timeout))?;
-        Ok(RpcClient { stream, next_id: 0, parked: HashMap::new() })
+        Ok(RpcClient {
+            stream,
+            next_id: 0,
+            response_timeout: Some(timeout),
+            parked: HashMap::new(),
+        })
+    }
+
+    /// Overrides the per-response timeout (`None` waits forever).
+    /// Useful when the connect budget and the protocol-latency budget
+    /// differ — e.g. a 1 s dial but minute-long keygen waits.
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) {
+        self.response_timeout = timeout;
     }
 
     fn call(&mut self, body: RpcRequest) -> Result<RpcResponse, RpcError> {
@@ -81,8 +99,32 @@ impl RpcClient {
         if let Some(resp) = self.parked.remove(&id) {
             return Ok(resp);
         }
+        // Regression (PR 6 follow-up): the timeout used to be applied
+        // once at connect as the socket's read timeout, which made it a
+        // *per-read* bound for the whole connection — response N+1 only
+        // got whatever window response N had left unused on a pipelined
+        // wait, and a legitimately slow-but-answering server tripped it.
+        // Each awaited response now gets its own full window, tracked
+        // as a deadline so partial reads cannot stretch it.
+        let mut deadline = self.response_timeout.map(|t| std::time::Instant::now() + t);
         loop {
+            match deadline {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        return Err(RpcError::Io(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "timed out waiting for the response",
+                        )));
+                    }
+                    self.stream.set_read_timeout(Some(remaining))?;
+                }
+                None => self.stream.set_read_timeout(None)?,
+            }
             let frame: Frame<RpcResponse> = read_frame(&mut self.stream)?;
+            // A complete frame arrived — the server is alive and
+            // draining its queue, so the window restarts.
+            deadline = self.response_timeout.map(|t| std::time::Instant::now() + t);
             if frame.id == id {
                 return Ok(frame.body);
             }
@@ -241,6 +283,55 @@ impl RpcClient {
         }
     }
 
+    /// Key manager: deals a fresh key for `keyref` under `scheme` on
+    /// demand and returns its encoded public key.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] when the node has no key manager, the name
+    /// already exists, or dealing failed.
+    pub fn keygen(
+        &mut self,
+        keyref: theta_orchestration::KeyRef,
+        scheme: SchemeId,
+    ) -> Result<Vec<u8>, RpcError> {
+        match self.call(RpcRequest::Keygen { keyref, scheme })? {
+            RpcResponse::PublicKey(bytes) => Ok(bytes),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Key manager: a tenant's keys as `(name, scheme)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] when the node has no key manager.
+    pub fn list_keys(&mut self, tenant: &str) -> Result<Vec<(String, SchemeId)>, RpcError> {
+        match self.call(RpcRequest::ListKeys(tenant.to_string()))? {
+            RpcResponse::KeyList(keys) => Ok(keys),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
+    /// Key manager: the scheme and encoded public key of one tenant key.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Server`] when the key does not exist or the node has
+    /// no key manager.
+    pub fn tenant_key(
+        &mut self,
+        keyref: theta_orchestration::KeyRef,
+    ) -> Result<(SchemeId, Vec<u8>), RpcError> {
+        match self.call(RpcRequest::GetTenantKey(keyref))? {
+            RpcResponse::TenantKey { scheme, key } => Ok((scheme, key)),
+            RpcResponse::Error(msg) => Err(RpcError::Server(msg)),
+            _ => Err(RpcError::UnexpectedResponse),
+        }
+    }
+
     /// Scheme API: verifies a combined signature.
     ///
     /// # Errors
@@ -294,5 +385,50 @@ mod tests {
             "client hung on a silent server for {:?}",
             start.elapsed()
         );
+    }
+
+    /// Regression: the read timeout used to be set once at connect, so
+    /// on a connection that stayed up it effectively bounded the sum of
+    /// reads rather than each awaited response. A server that is slow
+    /// (here ~3× slower than the window would allow cumulatively) but
+    /// answers every request within the window must never trip it.
+    #[test]
+    fn slow_but_live_server_does_not_trip_the_response_timeout() {
+        use crate::RpcRequest;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Answer each request ~250 ms after it arrives.
+            while let Ok(frame) = crate::read_frame::<RpcRequest>(&mut stream) {
+                std::thread::sleep(Duration::from_millis(250));
+                let body = RpcResponse::MetricsText("# slow\n".into());
+                if crate::write_frame(&mut stream, &Frame { id: frame.id, body }).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut client = RpcClient::connect(addr, Duration::from_millis(400)).unwrap();
+        // Sequential: each of the four responses takes ~250 ms — fine
+        // per-response, but 1 s cumulatively, which the old
+        // per-connection socket timeout would have misjudged.
+        for _ in 0..4 {
+            client.metrics().expect("slow-but-live server must not time out");
+        }
+        // Pipelined: submit three, then wait; responses arrive ~250 ms
+        // apart and each arrival restarts the window.
+        let ids: Vec<u64> = (0..3)
+            .map(|_| {
+                let id = client.next_id;
+                client.next_id += 1;
+                write_frame(&mut client.stream, &Frame { id, body: RpcRequest::GetMetrics })
+                    .unwrap();
+                id
+            })
+            .collect();
+        for id in ids {
+            let resp = client.wait_for(id).expect("pipelined responses within the window");
+            assert!(matches!(resp, RpcResponse::MetricsText(_)));
+        }
     }
 }

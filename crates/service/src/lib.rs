@@ -17,15 +17,18 @@
 //! connection.
 
 pub mod client;
+mod frontend;
 pub mod server;
 
-pub use client::RpcClient;
+pub use client::{RpcClient, RpcError};
+pub use frontend::ServiceHandle;
 pub use server::{
-    serve, serve_on, serve_with_cluster, ClusterConfig, ServiceHandle, SloThresholds,
+    serve, serve_on, serve_on_with_options, serve_with_cluster, ClusterConfig, KeyAdmin,
+    ServiceOptions, SloThresholds,
 };
 
 use theta_codec::{CodecError, Decode, Encode, Reader, Writer};
-use theta_orchestration::Request;
+use theta_orchestration::{KeyRef, Request};
 use theta_schemes::registry::SchemeId;
 use theta_schemes::{bls04, bz03, cks05, kg20, sg02, sh00};
 
@@ -101,6 +104,18 @@ pub enum RpcRequest {
     /// Observability: the SLO watchdog's machine-readable ready/degraded
     /// verdict for the serving node.
     GetHealth,
+    /// Key manager: deal a fresh tenant key on demand (dealer-on-node);
+    /// answers with [`RpcResponse::PublicKey`].
+    Keygen {
+        /// The tenant/name the new key will live under.
+        keyref: KeyRef,
+        /// The scheme to generate a key for.
+        scheme: SchemeId,
+    },
+    /// Key manager: list a tenant's keys as `(name, scheme)` pairs.
+    ListKeys(String),
+    /// Key manager: fetch the public key of one tenant key.
+    GetTenantKey(KeyRef),
 }
 
 impl Encode for RpcRequest {
@@ -143,6 +158,19 @@ impl Encode for RpcRequest {
             RpcRequest::GetHealth => {
                 8u8.encode(w);
             }
+            RpcRequest::Keygen { keyref, scheme } => {
+                9u8.encode(w);
+                keyref.encode(w);
+                scheme.encode(w);
+            }
+            RpcRequest::ListKeys(tenant) => {
+                10u8.encode(w);
+                tenant.encode(w);
+            }
+            RpcRequest::GetTenantKey(keyref) => {
+                11u8.encode(w);
+                keyref.encode(w);
+            }
         }
     }
 }
@@ -167,6 +195,12 @@ impl Decode for RpcRequest {
             6 => Ok(RpcRequest::GetTrace(<[u8; 32]>::decode(r)?)),
             7 => Ok(RpcRequest::CollectTrace(<[u8; 32]>::decode(r)?)),
             8 => Ok(RpcRequest::GetHealth),
+            9 => Ok(RpcRequest::Keygen {
+                keyref: KeyRef::decode(r)?,
+                scheme: SchemeId::decode(r)?,
+            }),
+            10 => Ok(RpcRequest::ListKeys(String::decode(r)?)),
+            11 => Ok(RpcRequest::GetTenantKey(KeyRef::decode(r)?)),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -304,6 +338,15 @@ pub enum RpcResponse {
     ClusterTrace(ClusterTrace),
     /// The SLO watchdog's ready/degraded verdict.
     Health(HealthReport),
+    /// A tenant's keys as `(name, scheme)` pairs, sorted by name.
+    KeyList(Vec<(String, SchemeId)>),
+    /// One tenant key's scheme and encoded public key.
+    TenantKey {
+        /// The key's scheme.
+        scheme: SchemeId,
+        /// The encoded public key.
+        key: Vec<u8>,
+    },
 }
 
 impl Encode for RpcResponse {
@@ -388,6 +431,19 @@ impl Encode for RpcResponse {
                 report.overload_rejections.encode(w);
                 report.link_errors.encode(w);
             }
+            RpcResponse::KeyList(keys) => {
+                11u8.encode(w);
+                (keys.len() as u32).encode(w);
+                for (name, scheme) in keys {
+                    name.encode(w);
+                    scheme.encode(w);
+                }
+            }
+            RpcResponse::TenantKey { scheme, key } => {
+                12u8.encode(w);
+                scheme.encode(w);
+                key.encode(w);
+            }
         }
     }
 }
@@ -455,6 +511,18 @@ impl Decode for RpcResponse {
                     link_errors: u64::decode(r)?,
                 }))
             }
+            11 => {
+                let len = u32::decode(r)? as usize;
+                let mut keys = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    keys.push((String::decode(r)?, SchemeId::decode(r)?));
+                }
+                Ok(RpcResponse::KeyList(keys))
+            }
+            12 => Ok(RpcResponse::TenantKey {
+                scheme: SchemeId::decode(r)?,
+                key: Vec::<u8>::decode(r)?,
+            }),
             other => Err(CodecError::InvalidTag(other as u32)),
         }
     }
@@ -606,8 +674,38 @@ mod tests {
     }
 
     #[test]
+    fn key_manager_codec() {
+        let reqs = [
+            RpcRequest::Keygen {
+                keyref: KeyRef::new("acme", "signing-1"),
+                scheme: SchemeId::Bls04,
+            },
+            RpcRequest::ListKeys("acme".into()),
+            RpcRequest::GetTenantKey(KeyRef::new("acme", "signing-1")),
+            RpcRequest::Protocol(Request::scoped(
+                KeyRef::new("acme", "signing-1"),
+                Request::Bls04Sign(b"m".to_vec()),
+            )),
+        ];
+        for r in reqs {
+            assert_eq!(RpcRequest::decoded(&r.encoded()).unwrap(), r);
+        }
+        let resps = [
+            RpcResponse::KeyList(vec![
+                ("signing-1".into(), SchemeId::Bls04),
+                ("sealing".into(), SchemeId::Sg02),
+            ]),
+            RpcResponse::KeyList(vec![]),
+            RpcResponse::TenantKey { scheme: SchemeId::Bls04, key: vec![1, 2, 3] },
+        ];
+        for r in resps {
+            assert_eq!(RpcResponse::decoded(&r.encoded()).unwrap(), r);
+        }
+    }
+
+    #[test]
     fn bad_tags_rejected() {
-        assert!(RpcRequest::decoded(&[9]).is_err());
-        assert!(RpcResponse::decoded(&[11]).is_err());
+        assert!(RpcRequest::decoded(&[12]).is_err());
+        assert!(RpcResponse::decoded(&[13]).is_err());
     }
 }

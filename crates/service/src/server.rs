@@ -1,5 +1,20 @@
-//! The RPC server: accepts connections, answers scheme-API calls inline
-//! and protocol-API calls from per-request waiter threads.
+//! The RPC server's domain logic: request dispatch, the scheme API, the
+//! multi-tenant key-manager endpoints, per-tenant admission quotas, and
+//! the cluster observability plane.
+//!
+//! The I/O itself — accepting sockets, framing, pipelining, completion
+//! delivery — lives in the event-driven front-end (`crate::frontend`).
+//! This module decides *what happens* to each decoded request:
+//!
+//! - scheme-API and observability calls are answered inline (pure
+//!   in-memory work);
+//! - protocol-API calls are admitted through the bounded submission
+//!   queue ([`theta_orchestration::NodeHandle::try_submit_with`]) and
+//!   answered later via the front-end's completion queue, with
+//!   per-tenant in-flight quotas enforced at admission;
+//! - the rare slow endpoints — on-demand tenant keygen and the
+//!   CollectTrace roster fan-out — run on short-lived offload threads
+//!   so the readiness loop never blocks.
 //!
 //! Two cluster-plane endpoints live here as well:
 //!
@@ -13,15 +28,16 @@
 //!   over the same window, so a node that saturated and then drained
 //!   reports degraded exactly once and ready thereafter.
 
+use crate::frontend::{completion_for, spawn_frontend, Completion, FrontendShared, ServiceHandle};
 use crate::{
-    write_frame, ClusterTrace, ClusterTraceEntry, Frame, HealthReport, NodeTrace, PublicKeyChest,
-    RpcClient, RpcRequest, RpcResponse,
+    ClusterTrace, ClusterTraceEntry, HealthReport, NodeTrace, PublicKeyChest, RpcClient,
+    RpcRequest, RpcResponse,
 };
 use parking_lot::Mutex;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use theta_codec::Decode;
 use theta_metrics::histogram::HistogramSnapshot;
 use theta_metrics::observability::{
@@ -29,7 +45,7 @@ use theta_metrics::observability::{
     SUBMISSION_QUEUE_DEPTH_GAUGE,
 };
 use theta_metrics::{NodeObservability, TraceEventKind};
-use theta_orchestration::{NodeHandle, SubmitError, WaitError};
+use theta_orchestration::{InstanceResult, KeyRef, NodeHandle, SubmitError};
 use theta_schemes::registry::SchemeId;
 
 /// SLO thresholds the [`RpcRequest::GetHealth`] watchdog judges against.
@@ -61,38 +77,37 @@ pub struct ClusterConfig {
     pub slo: SloThresholds,
 }
 
-/// Handle to a running RPC service.
-pub struct ServiceHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    join: Option<std::thread::JoinHandle<()>>,
+/// The key-manager backing the on-demand keygen endpoints. The service
+/// layer is agnostic of how shares are dealt and persisted; `theta-core`
+/// provides the concrete manager (per-tenant namespaces, encrypted
+/// share persistence, hot-key cache).
+pub trait KeyAdmin: Send + Sync {
+    /// Deals a fresh key for `keyref` under `scheme`, installs the
+    /// shares, and returns the encoded public key. Generating a name
+    /// that already exists is an error (keys are immutable once dealt).
+    fn generate(&self, keyref: &KeyRef, scheme: SchemeId) -> Result<Vec<u8>, String>;
+
+    /// A tenant's keys as `(name, scheme)` pairs, sorted by name.
+    fn list(&self, tenant: &str) -> Vec<(String, SchemeId)>;
+
+    /// The scheme and encoded public key of one tenant key.
+    fn tenant_public_key(&self, keyref: &KeyRef) -> Result<(SchemeId, Vec<u8>), String>;
 }
 
-impl ServiceHandle {
-    /// The bound address.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stops accepting connections (in-flight requests finish).
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
-    }
-}
-
-impl Drop for ServiceHandle {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
-    }
+/// Optional service behaviour beyond the bare protocol/scheme APIs.
+#[derive(Clone, Default)]
+pub struct ServiceOptions {
+    /// Roster and SLO thresholds for the cluster plane.
+    pub cluster: ClusterConfig,
+    /// The key manager answering `Keygen`/`ListKeys`/`GetTenantKey` and
+    /// backing tenant-scoped protocol requests; `None` refuses those
+    /// endpoints.
+    pub key_admin: Option<Arc<dyn KeyAdmin>>,
+    /// Per-tenant cap on in-flight tenant-scoped protocol requests
+    /// (0 = unlimited). Exceeding it yields [`RpcResponse::Overloaded`],
+    /// the same retryable refusal as a full submission queue, so one
+    /// tenant cannot monopolize the node's capacity.
+    pub tenant_quota: usize,
 }
 
 /// The watchdog's memory between health polls: the counter and
@@ -106,12 +121,61 @@ struct HealthBaseline {
     link_errors: u64,
 }
 
-struct HealthState {
-    prev: Mutex<HealthBaseline>,
+/// Everything the front-end needs to answer requests: the node handle,
+/// key material, cluster plane, quotas and metric handles.
+pub(crate) struct ServiceContext {
+    node: Arc<NodeHandle>,
+    keys: PublicKeyChest,
+    cluster: Arc<ClusterConfig>,
+    admin: Option<Arc<dyn KeyAdmin>>,
+    tenant_quota: usize,
+    /// In-flight tenant-scoped protocol requests per tenant. Slots are
+    /// taken at admission and released when the router's completion
+    /// drains through the loop — never tied to connection lifetime, so
+    /// a client dying mid-request cannot leak quota.
+    quotas: Mutex<HashMap<String, usize>>,
+    health_prev: Mutex<HealthBaseline>,
+    pub(crate) obs: Arc<NodeObservability>,
+    pub(crate) rpc_timer: Arc<theta_metrics::histogram::Histogram>,
+    quota_rejections: Arc<theta_metrics::registry::Counter>,
+}
+
+impl ServiceContext {
+    /// Takes one in-flight slot for `tenant`; `false` means the tenant
+    /// is at its cap and the request must be refused as `Overloaded`.
+    fn try_acquire_quota(&self, tenant: &str) -> bool {
+        if self.tenant_quota == 0 {
+            return true;
+        }
+        let mut quotas = self.quotas.lock();
+        let slot = quotas.entry(tenant.to_string()).or_insert(0);
+        if *slot >= self.tenant_quota {
+            false
+        } else {
+            *slot += 1;
+            true
+        }
+    }
+
+    /// Returns an in-flight slot. Idle tenants are dropped from the map
+    /// so the table stays proportional to *active* tenants.
+    pub(crate) fn release_quota(&self, tenant: &str) {
+        if self.tenant_quota == 0 {
+            return;
+        }
+        let mut quotas = self.quotas.lock();
+        if let Some(slot) = quotas.get_mut(tenant) {
+            *slot = slot.saturating_sub(1);
+            if *slot == 0 {
+                quotas.remove(tenant);
+            }
+        }
+    }
 }
 
 /// Starts serving the two Thetacrypt APIs for a node, standalone: no
-/// roster (CollectTrace reports this node only) and default SLOs.
+/// roster (CollectTrace reports this node only), default SLOs, no key
+/// manager.
 ///
 /// `node` is the orchestration handle whose Θ-network executes protocol
 /// requests; `keys` backs the scheme API. Binds `addr` (use port 0 for
@@ -159,33 +223,45 @@ pub fn serve_on(
     request_timeout: Duration,
     cluster: ClusterConfig,
 ) -> std::io::Result<ServiceHandle> {
-    let bound = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let shutdown_accept = shutdown.clone();
-    let cluster = Arc::new(cluster);
-    let health = Arc::new(HealthState { prev: Mutex::new(HealthBaseline::default()) });
-    let join = std::thread::Builder::new()
-        .name("theta-rpc-accept".into())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                if shutdown_accept.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let node = node.clone();
-                let keys = keys.clone();
-                let cluster = cluster.clone();
-                let health = health.clone();
-                std::thread::Builder::new()
-                    .name("theta-rpc-conn".into())
-                    .spawn(move || {
-                        handle_connection(stream, node, keys, request_timeout, cluster, health)
-                    })
-                    .ok();
-            }
-        })
-        .expect("spawn accept loop");
-    Ok(ServiceHandle { addr: bound, shutdown, join: Some(join) })
+    serve_on_with_options(
+        listener,
+        node,
+        keys,
+        request_timeout,
+        ServiceOptions { cluster, ..ServiceOptions::default() },
+    )
+}
+
+/// The full-surface entry point: [`serve_on`] plus a key manager for
+/// the on-demand keygen endpoints and a per-tenant in-flight quota.
+///
+/// # Errors
+///
+/// I/O errors reading the listener's local address or spawning the
+/// front-end thread.
+pub fn serve_on_with_options(
+    listener: TcpListener,
+    node: Arc<NodeHandle>,
+    keys: PublicKeyChest,
+    request_timeout: Duration,
+    options: ServiceOptions,
+) -> std::io::Result<ServiceHandle> {
+    let obs = node.observability();
+    let rpc_timer = obs.registry.histogram("theta_rpc_request_seconds");
+    let quota_rejections = obs.registry.counter("theta_quota_rejections_total");
+    let ctx = Arc::new(ServiceContext {
+        node,
+        keys,
+        cluster: Arc::new(options.cluster),
+        admin: options.key_admin,
+        tenant_quota: options.tenant_quota,
+        quotas: Mutex::new(HashMap::new()),
+        health_prev: Mutex::new(HealthBaseline::default()),
+        obs,
+        rpc_timer,
+        quota_rejections,
+    });
+    spawn_frontend(listener, ctx, request_timeout)
 }
 
 /// Short method label used by the per-variant RPC counters.
@@ -200,135 +276,192 @@ fn method_name(request: &RpcRequest) -> &'static str {
         RpcRequest::GetTrace(_) => "get_trace",
         RpcRequest::CollectTrace(_) => "collect_trace",
         RpcRequest::GetHealth => "get_health",
+        RpcRequest::Keygen { .. } => "keygen",
+        RpcRequest::ListKeys(_) => "list_keys",
+        RpcRequest::GetTenantKey(_) => "get_tenant_key",
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    node: Arc<NodeHandle>,
-    keys: PublicKeyChest,
-    request_timeout: Duration,
-    cluster: Arc<ClusterConfig>,
-    health: Arc<HealthState>,
-) {
-    stream.set_nodelay(true).ok();
-    let writer = Arc::new(Mutex::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    }));
-    let obs = node.observability();
-    let rpc_timer = obs.registry.histogram("theta_rpc_request_seconds");
-    let mut reader = stream;
-    loop {
-        let frame: Frame<RpcRequest> = match crate::read_frame(&mut reader) {
-            Ok(f) => f,
-            Err(_) => return, // client gone or malformed
-        };
-        let id = frame.id;
-        let started = std::time::Instant::now();
-        obs.registry
-            .counter_with("theta_rpc_requests_total", &[("method", method_name(&frame.body))])
-            .inc();
-        match frame.body {
-            RpcRequest::Protocol(request) => {
-                obs.journal.record(
-                    request.instance_id().0,
-                    theta_metrics::TraceEventKind::RpcReceived,
-                );
-                // Backpressure-aware admission: a full submission queue
-                // refuses the request up front instead of buffering it
-                // without bound behind the router.
-                let pending = match node.try_submit(request) {
-                    Ok(p) => p,
-                    Err(SubmitError::Overloaded) => {
-                        rpc_timer.record(started.elapsed());
-                        let _ = write_frame(
-                            &mut writer.lock(),
-                            &Frame { id, body: RpcResponse::Overloaded },
-                        );
-                        continue;
+/// How the front-end should treat a dispatched request.
+pub(crate) enum Dispatch {
+    /// Answered synchronously — write the response now.
+    Inline(RpcResponse),
+    /// Admitted to the router; a completion will arrive, and the
+    /// request-timeout backstop applies.
+    Submitted,
+    /// Running on an offload thread; a completion will arrive, no
+    /// service-level deadline (the work bounds itself).
+    Offloaded,
+}
+
+/// Maps a router result onto the wire, preserving the PR-4 contract:
+/// the live-instance admission cap surfaces as the same retryable
+/// `Overloaded` as a full submission queue.
+pub(crate) fn respond_to_result(result: InstanceResult) -> RpcResponse {
+    match result.outcome {
+        Ok(output) => RpcResponse::ProtocolResult {
+            output: output.as_bytes().to_vec(),
+            server_latency_us: result.elapsed.as_micros() as u64,
+        },
+        Err(theta_schemes::SchemeError::Overloaded) => RpcResponse::Overloaded,
+        Err(theta_schemes::SchemeError::Shutdown) => {
+            RpcResponse::Error("the node stopped before delivering the result".into())
+        }
+        Err(e) => RpcResponse::Error(e.to_string()),
+    }
+}
+
+/// Decides what happens to one decoded request. Runs on the event-loop
+/// thread, so everything here must be non-blocking; slow endpoints are
+/// offloaded.
+pub(crate) fn dispatch_request(
+    ctx: &Arc<ServiceContext>,
+    shared: &Arc<FrontendShared>,
+    conn: u64,
+    frame_id: u64,
+    started: Instant,
+    request: RpcRequest,
+) -> Dispatch {
+    ctx.obs
+        .registry
+        .counter_with("theta_rpc_requests_total", &[("method", method_name(&request))])
+        .inc();
+    match request {
+        RpcRequest::Protocol(request) => {
+            let instance = request.instance_id().0;
+            ctx.obs.journal.record(instance, TraceEventKind::RpcReceived);
+            // Per-tenant admission quota, taken before the submission
+            // queue so one tenant's burst is refused at its own cap
+            // rather than consuming shared queue slots.
+            let quota_tenant = match request.keyref() {
+                Some(keyref) if ctx.tenant_quota > 0 => {
+                    if !ctx.try_acquire_quota(&keyref.tenant) {
+                        ctx.quota_rejections.inc();
+                        ctx.obs.journal.record(instance, TraceEventKind::QuotaRejected);
+                        return Dispatch::Inline(RpcResponse::Overloaded);
                     }
-                    Err(SubmitError::NodeStopped) => {
-                        rpc_timer.record(started.elapsed());
-                        let _ = write_frame(
-                            &mut writer.lock(),
-                            &Frame {
-                                id,
-                                body: RpcResponse::Error("the node has stopped".into()),
-                            },
-                        );
-                        continue;
+                    Some(keyref.tenant.clone())
+                }
+                _ => None,
+            };
+            // Backpressure-aware admission: a full submission queue
+            // refuses the request up front instead of buffering it
+            // without bound behind the router.
+            let callback_shared = shared.clone();
+            let callback_tenant = quota_tenant.clone();
+            let submitted = ctx.node.try_submit_with(request, move |result| {
+                // Runs on the router thread: push the completion and
+                // wake the loop — nothing heavier.
+                callback_shared.complete(completion_for(
+                    conn,
+                    frame_id,
+                    started,
+                    callback_tenant,
+                    result,
+                ));
+            });
+            match submitted {
+                Ok(()) => Dispatch::Submitted,
+                Err(e) => {
+                    if let Some(tenant) = &quota_tenant {
+                        ctx.release_quota(tenant);
                     }
-                };
-                // Answer from a waiter thread so the connection can pipeline.
-                let writer = writer.clone();
-                let rpc_timer = rpc_timer.clone();
-                std::thread::Builder::new()
-                    .name("theta-rpc-wait".into())
-                    .spawn(move || {
-                        let response = match pending.wait_timeout(request_timeout) {
-                            Ok(result) => match result.outcome {
-                                Ok(output) => RpcResponse::ProtocolResult {
-                                    output: output.as_bytes().to_vec(),
-                                    server_latency_us: result.elapsed.as_micros() as u64,
-                                },
-                                // The router's live-instance admission cap
-                                // surfaces as the same wire-level refusal as
-                                // a full submission queue.
-                                Err(theta_schemes::SchemeError::Overloaded) => {
-                                    RpcResponse::Overloaded
-                                }
-                                Err(e) => RpcResponse::Error(e.to_string()),
-                            },
-                            Err(WaitError::TimedOut) => {
-                                RpcResponse::Error("request timed out".into())
-                            }
-                            Err(WaitError::NodeStopped) => RpcResponse::Error(
-                                "the node stopped before delivering the result".into(),
-                            ),
-                        };
-                        rpc_timer.record(started.elapsed());
-                        let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+                    Dispatch::Inline(match e {
+                        SubmitError::Overloaded => RpcResponse::Overloaded,
+                        SubmitError::NodeStopped => {
+                            RpcResponse::Error("the node has stopped".into())
+                        }
                     })
-                    .ok();
-                continue; // timed inside the waiter thread
-            }
-            RpcRequest::GetNodeStats => {
-                let response = RpcResponse::NodeStats(node.counters());
-                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
-            }
-            RpcRequest::GetMetrics => {
-                let response = RpcResponse::MetricsText(obs.render_prometheus());
-                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
-            }
-            RpcRequest::GetTrace(instance) => {
-                let (events, truncated) = obs.journal.events_for_flagged(&instance);
-                let response = if events.is_empty() && !truncated {
-                    RpcResponse::Error("no trace recorded for that instance id".into())
-                } else {
-                    RpcResponse::Trace(NodeTrace {
-                        wall_anchor_micros: obs.journal.wall_anchor_micros(),
-                        truncated,
-                        events,
-                    })
-                };
-                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
-            }
-            RpcRequest::CollectTrace(instance) => {
-                let response =
-                    RpcResponse::ClusterTrace(collect_cluster_trace(&obs, &cluster, instance));
-                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
-            }
-            RpcRequest::GetHealth => {
-                let response = RpcResponse::Health(health_report(&obs, &cluster.slo, &health));
-                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
-            }
-            other => {
-                let response = answer_scheme_api(other, &keys);
-                let _ = write_frame(&mut writer.lock(), &Frame { id, body: response });
+                }
             }
         }
-        rpc_timer.record(started.elapsed());
+        RpcRequest::Keygen { keyref, scheme } => {
+            let Some(admin) = ctx.admin.clone() else {
+                return Dispatch::Inline(RpcResponse::Error(
+                    "no key manager on this node".into(),
+                ));
+            };
+            // Dealing a key is seconds of modular arithmetic — far too
+            // slow for the loop thread.
+            let shared = shared.clone();
+            let spawned = std::thread::Builder::new()
+                .name("theta-keygen".into())
+                .spawn(move || {
+                    let response = match admin.generate(&keyref, scheme) {
+                        Ok(public) => RpcResponse::PublicKey(public),
+                        Err(e) => RpcResponse::Error(e),
+                    };
+                    shared.complete(Completion {
+                        conn,
+                        frame_id,
+                        started,
+                        response,
+                        quota_tenant: None,
+                        tracked: false,
+                    });
+                });
+            match spawned {
+                Ok(_) => Dispatch::Offloaded,
+                Err(_) => Dispatch::Inline(RpcResponse::Error("cannot spawn keygen".into())),
+            }
+        }
+        RpcRequest::ListKeys(tenant) => Dispatch::Inline(match &ctx.admin {
+            Some(admin) => RpcResponse::KeyList(admin.list(&tenant)),
+            None => RpcResponse::Error("no key manager on this node".into()),
+        }),
+        RpcRequest::GetTenantKey(keyref) => Dispatch::Inline(match &ctx.admin {
+            Some(admin) => match admin.tenant_public_key(&keyref) {
+                Ok((scheme, key)) => RpcResponse::TenantKey { scheme, key },
+                Err(e) => RpcResponse::Error(e),
+            },
+            None => RpcResponse::Error("no key manager on this node".into()),
+        }),
+        RpcRequest::GetNodeStats => Dispatch::Inline(RpcResponse::NodeStats(ctx.node.counters())),
+        RpcRequest::GetMetrics => {
+            Dispatch::Inline(RpcResponse::MetricsText(ctx.obs.render_prometheus()))
+        }
+        RpcRequest::GetTrace(instance) => {
+            let (events, truncated) = ctx.obs.journal.events_for_flagged(&instance);
+            Dispatch::Inline(if events.is_empty() && !truncated {
+                RpcResponse::Error("no trace recorded for that instance id".into())
+            } else {
+                RpcResponse::Trace(NodeTrace {
+                    wall_anchor_micros: ctx.obs.journal.wall_anchor_micros(),
+                    truncated,
+                    events,
+                })
+            })
+        }
+        RpcRequest::CollectTrace(instance) => {
+            // Dials every roster peer with a 5 s budget each — offload.
+            let ctx = ctx.clone();
+            let shared = shared.clone();
+            let spawned = std::thread::Builder::new()
+                .name("theta-trace-fanout".into())
+                .spawn(move || {
+                    let response = RpcResponse::ClusterTrace(collect_cluster_trace(
+                        &ctx.obs,
+                        &ctx.cluster,
+                        instance,
+                    ));
+                    shared.complete(Completion {
+                        conn,
+                        frame_id,
+                        started,
+                        response,
+                        quota_tenant: None,
+                        tracked: false,
+                    });
+                });
+            match spawned {
+                Ok(_) => Dispatch::Offloaded,
+                Err(_) => Dispatch::Inline(RpcResponse::Error("cannot spawn fan-out".into())),
+            }
+        }
+        RpcRequest::GetHealth => {
+            Dispatch::Inline(RpcResponse::Health(health_report(ctx)))
+        }
+        other => Dispatch::Inline(answer_scheme_api(other, &ctx.keys)),
     }
 }
 
@@ -387,8 +520,11 @@ fn answer_scheme_api(request: RpcRequest, keys: &PublicKeyChest) -> RpcResponse 
         | RpcRequest::GetMetrics
         | RpcRequest::GetTrace(_)
         | RpcRequest::CollectTrace(_)
-        | RpcRequest::GetHealth => {
-            unreachable!("handled by the connection loop")
+        | RpcRequest::GetHealth
+        | RpcRequest::Keygen { .. }
+        | RpcRequest::ListKeys(_)
+        | RpcRequest::GetTenantKey(_) => {
+            unreachable!("handled by dispatch_request")
         }
     }
 }
@@ -479,12 +615,9 @@ fn merge_cluster_trace(slices: Vec<(u16, i64, NodeTrace)>) -> ClusterTrace {
 /// The SLO watchdog: judges queue depths instantaneously and the fault
 /// counters / e2e p99 over the window since the previous poll, so a
 /// saturated-then-drained node reports degraded once and ready after.
-fn health_report(
-    obs: &NodeObservability,
-    slo: &SloThresholds,
-    state: &HealthState,
-) -> HealthReport {
-    let registry = &obs.registry;
+fn health_report(ctx: &ServiceContext) -> HealthReport {
+    let registry = &ctx.obs.registry;
+    let slo = &ctx.cluster.slo;
     let e2e = registry.histogram_snapshot(E2E_HISTOGRAM, &[]).unwrap_or_default();
     let e2e_p99_micros = e2e.percentile(99.0).map_or(0, |s| (s * 1e6) as u64);
     let runqueue_depth = registry.gauge_value(RUNQUEUE_DEPTH_GAUGE, &[]).unwrap_or(0);
@@ -504,7 +637,7 @@ fn health_report(
 
     // Window everything cumulative against the previous poll's baseline.
     let (window, dropped_delta, rejected_delta, link_delta) = {
-        let mut prev = state.prev.lock();
+        let mut prev = ctx.health_prev.lock();
         let mut window = e2e.clone();
         for (w, p) in window.buckets.iter_mut().zip(&prev.e2e.buckets) {
             *w = w.saturating_sub(*p);

@@ -43,6 +43,10 @@ echo
 echo "== observability overhead gate (tracing + profiler < 5% on the hot path, quick) =="
 cargo run -q --release -p theta-bench --bin bench_observability -- --quick --gate
 
+echo
+echo "== front-end C10k gate (>=5k idle connections, flat threads, p99 delta < 10%) =="
+cargo run -q --release -p theta-bench --bin bench_frontend -- --quick --gate
+
 if [[ " $* " != *" --no-clippy "* ]] && cargo clippy --version >/dev/null 2>&1; then
     echo
     echo "== cargo clippy -D warnings (workspace) =="
