@@ -1,0 +1,293 @@
+//! Pipeline orchestration behind `theta-lint analyze`.
+//!
+//! Gating policy (mirrored in `scripts/analysis.sh`):
+//!
+//! - **taint** and **locks** findings hard-fail — a secret reaching a
+//!   sink or a lock cycle is never acceptable debt;
+//! - **blocking** and **panics** findings fail unless justified: an
+//!   inline `// theta: allow(<pass>): reason` marker, a line in the
+//!   panics allowlist (`crates/lint/panics.allow`), or — for
+//!   first-day adoption of informational passes — the checked-in
+//!   baseline (`crates/lint/analyze.baseline`, regenerated with
+//!   `--write-baseline`).
+
+use crate::report::{assign_ids, render_json, render_text, Finding, Pass};
+use crate::{blocking, callgraph, locks, panics, symbols, taint};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::path::Path;
+
+pub struct Analysis {
+    /// Findings that survived inline `theta: allow` markers.
+    pub findings: Vec<Finding>,
+    /// Count suppressed by inline markers, per pass.
+    pub inline_allowed: HashMap<&'static str, usize>,
+}
+
+/// Runs all four passes over in-memory sources. Pure — the fixture
+/// tests and the CLI share this entry point.
+pub fn run_passes(sources: Vec<(String, String)>) -> Analysis {
+    let ws = symbols::build(sources);
+    let cg = callgraph::build(&ws);
+    let mut findings = Vec::new();
+    findings.extend(taint::run(&ws, &cg));
+    findings.extend(locks::run(&ws, &cg));
+    findings.extend(blocking::run(&ws, &cg));
+    findings.extend(panics::run(&ws, &cg));
+    assign_ids(&mut findings);
+
+    // Inline allows: `// theta: allow(<pass>): reason` suppresses that
+    // pass's findings on its own line and the next (trailing comment
+    // or the line above the flagged statement).
+    let mut inline_allowed: HashMap<&'static str, usize> = HashMap::new();
+    let files: HashMap<&str, &crate::parser::ParsedFile> =
+        ws.files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let findings = findings
+        .into_iter()
+        .filter(|f| {
+            let allowed = files.get(f.file.as_str()).is_some_and(|pf| {
+                pf.allows.iter().any(|a| {
+                    a.pass == f.pass.name()
+                        && (f.line == a.line || f.line == a.line + 1)
+                })
+            });
+            if allowed {
+                *inline_allowed.entry(f.pass.name()).or_insert(0) += 1;
+            }
+            !allowed
+        })
+        .collect();
+    Analysis { findings, inline_allowed }
+}
+
+/// An allowlist/baseline: stable finding IDs plus `path:` prefixes.
+#[derive(Default)]
+pub struct AllowSet {
+    ids: HashSet<String>,
+    prefixes: Vec<String>,
+}
+
+impl AllowSet {
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.ids.contains(&f.id) || self.prefixes.iter().any(|p| f.file.starts_with(p))
+    }
+
+    pub fn insert_id(&mut self, id: String) {
+        self.ids.insert(id);
+    }
+}
+
+/// Parses an allowlist/baseline file. Each non-comment line is either a
+/// stable finding ID (`TA-…`, first whitespace-separated token; the
+/// rest of the line is the justification) or `path:<prefix>`, which
+/// justifies every finding in files under that path prefix — the form
+/// used for whole subsystems whose findings share one argument (e.g.
+/// fixed-limb arithmetic kernels).
+fn load_id_file(path: &Path) -> AllowSet {
+    let mut set = AllowSet::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return set;
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(tok) = line.split_whitespace().next() else { continue };
+        if let Some(prefix) = tok.strip_prefix("path:") {
+            set.prefixes.push(prefix.to_string());
+        } else {
+            set.ids.insert(tok.to_string());
+        }
+    }
+    set
+}
+
+struct Gate {
+    fail: bool,
+    summary: String,
+}
+
+/// Applies the gating policy; returns pass/fail plus the one-line
+/// summary used by CI job summaries.
+fn gate(analysis: &Analysis, allow: &AllowSet, baseline: &AllowSet) -> Gate {
+    let mut counts: HashMap<&str, (usize, usize)> = HashMap::new(); // (total, new)
+    for f in &analysis.findings {
+        let e = counts.entry(f.pass.name()).or_insert((0, 0));
+        e.0 += 1;
+        let justified = match f.pass {
+            Pass::Taint | Pass::Locks => false,
+            Pass::Panics => allow.covers(f) || baseline.covers(f),
+            Pass::Blocking => baseline.covers(f),
+        };
+        if !justified {
+            e.1 += 1;
+        }
+    }
+    let mut summary = String::from("SUMMARY");
+    let mut fail = false;
+    for pass in ["taint", "locks", "blocking", "panics"] {
+        let (total, new) = counts.get(pass).copied().unwrap_or((0, 0));
+        let inline = analysis.inline_allowed.get(pass).copied().unwrap_or(0);
+        let _ = write!(summary, " {pass}={total}(new={new},inline-allowed={inline})");
+        if new > 0 {
+            fail = true;
+        }
+    }
+    Gate { fail, summary }
+}
+
+fn write_baseline(path: &Path, analysis: &Analysis, allow: &AllowSet) -> std::io::Result<()> {
+    let mut out = String::from(
+        "# theta-analyze baseline: blocking/panics findings accepted as pre-existing.\n\
+         # Regenerate with `cargo run -p theta-lint -- analyze --write-baseline`.\n\
+         # Prefer fixing or allowlisting (panics.allow / inline `theta: allow`) over\n\
+         # baselining — this file should trend toward empty.\n",
+    );
+    for f in &analysis.findings {
+        let informational = matches!(f.pass, Pass::Blocking | Pass::Panics);
+        if informational && !allow.covers(f) {
+            let _ = writeln!(out, "{} {}:{} {} {}", f.id, f.file, f.line, f.func, f.kind);
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// CLI entry: `theta-lint analyze [--root DIR] [--format text|json]
+/// [--write-baseline]`. Returns the process exit code.
+pub fn main_analyze(args: &[String]) -> i32 {
+    let mut root = String::from(".");
+    let mut format = String::from("text");
+    let mut write_base = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = v.clone(),
+                None => {
+                    eprintln!("--root needs a value");
+                    return 2;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => {
+                    eprintln!("--format must be text or json");
+                    return 2;
+                }
+            },
+            "--write-baseline" => write_base = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return 2;
+            }
+        }
+    }
+
+    let root = Path::new(&root);
+    let sources = symbols::load_workspace_sources(root);
+    if sources.is_empty() {
+        eprintln!("no sources found under {}/crates — wrong --root?", root.display());
+        return 2;
+    }
+    let n_files = sources.len();
+    let analysis = run_passes(sources);
+
+    let allow = load_id_file(&root.join("crates/lint/panics.allow"));
+    let baseline_path = root.join("crates/lint/analyze.baseline");
+    if write_base {
+        if let Err(e) = write_baseline(&baseline_path, &analysis, &allow) {
+            eprintln!("failed to write baseline: {e}");
+            return 2;
+        }
+        eprintln!("baseline written to {}", baseline_path.display());
+    }
+    let baseline = load_id_file(&baseline_path);
+    let g = gate(&analysis, &allow, &baseline);
+
+    // Findings that are justified are still *listed* (they are real
+    // facts about the tree), but only unjustified ones gate.
+    match format.as_str() {
+        "json" => print!("{}", render_json(&analysis.findings)),
+        _ => {
+            print!("{}", render_text(&analysis.findings));
+            eprintln!("analyzed {n_files} files");
+        }
+    }
+    eprintln!("{}", g.summary);
+    if g.fail {
+        eprintln!("theta-analyze: FAIL — unjustified findings (fix, `theta: allow`, panics.allow, or baseline)");
+        1
+    } else {
+        eprintln!("theta-analyze: ok");
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, s: &str) -> (String, String) {
+        (path.to_string(), s.to_string())
+    }
+
+    #[test]
+    fn inline_allow_suppresses_only_its_pass_and_lines() {
+        let a = run_passes(vec![src(
+            "crates/a/src/m.rs",
+            "// theta: event-loop\nfn run_loop() {\n\
+             // theta: allow(blocking): startup backoff documented in DESIGN §7\n\
+             std::thread::sleep(d);\n\
+             std::thread::sleep(d);\n}\n",
+        )]);
+        // First sleep allowed (marker line + 1), second still reported.
+        assert_eq!(a.findings.len(), 1, "{:#?}", a.findings);
+        assert_eq!(a.inline_allowed.get("blocking"), Some(&1));
+    }
+
+    #[test]
+    fn gate_hard_fails_taint_but_baselines_panics() {
+        let a = run_passes(vec![src(
+            "crates/a/src/m.rs",
+            "// theta: entrypoint(network)\nfn on_frame(v: Option<u8>) { v.unwrap(); }\n",
+        )]);
+        assert_eq!(a.findings.len(), 1);
+        let id = a.findings[0].id.clone();
+        let empty = AllowSet::default();
+        assert!(gate(&a, &empty, &empty).fail);
+        let mut base = AllowSet::default();
+        base.insert_id(id.clone());
+        assert!(!gate(&a, &empty, &base).fail, "baselined panic must not gate");
+        let mut allow = AllowSet::default();
+        allow.insert_id(id);
+        assert!(!gate(&a, &allow, &empty).fail, "allowlisted panic must not gate");
+    }
+
+    #[test]
+    fn path_prefix_allow_covers_a_whole_subsystem() {
+        let a = run_passes(vec![src(
+            "crates/math/src/kernels.rs",
+            "// theta: entrypoint(network)\nfn mul(v: Option<u8>) { v.unwrap(); }\n",
+        )]);
+        assert_eq!(a.findings.len(), 1);
+        let mut allow = AllowSet::default();
+        allow.prefixes.push("crates/math/".into());
+        let empty = AllowSet::default();
+        assert!(!gate(&a, &allow, &empty).fail, "path: prefix must justify");
+        assert!(gate(&a, &empty, &empty).fail);
+    }
+
+    #[test]
+    fn taint_findings_ignore_baseline() {
+        let a = run_passes(vec![src(
+            "crates/a/src/m.rs",
+            "fn leak(s: &KeyShare) { println!(\"{:?}\", s); }\n",
+        )]);
+        assert_eq!(a.findings.len(), 1);
+        let mut base = AllowSet::default();
+        base.insert_id(a.findings[0].id.clone());
+        assert!(gate(&a, &base, &base).fail, "taint is never baselined");
+    }
+}

@@ -1,0 +1,356 @@
+//! Call-graph construction over the workspace symbol table.
+//!
+//! Resolution is name-based with scope preference (same file → same
+//! crate → whole workspace) — the pragmatic middle ground for a
+//! zero-dep analyzer. Method calls resolve against every impl with a
+//! matching method name; `Type::name` paths resolve exactly;
+//! over-ambiguous names (more than [`MAX_CANDIDATES`] matches after
+//! scoping) are dropped rather than wiring the graph into a hairball.
+
+use crate::lexer::TokKind;
+use crate::symbols::{FnId, Workspace};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A resolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub callee: FnId,
+    /// Token index of the callee name in the caller's file.
+    pub pos: usize,
+    pub line: usize,
+}
+
+pub struct CallGraph {
+    pub edges: HashMap<FnId, Vec<Call>>,
+}
+
+/// Method/path names that are never workspace calls worth an edge —
+/// std/container vocabulary that would otherwise alias user fns.
+const NOISE_NAMES: &[&str] = &[
+    "new", "default", "clone", "len", "get", "insert", "remove", "push", "pop",
+    "iter", "next", "send", "recv", "lock", "unwrap", "expect", "drain", "take",
+    "into", "from", "with_capacity", "to_vec", "as_ref", "as_mut", "contains",
+    "clear", "extend", "write", "read", "flush", "map", "and_then", "ok_or",
+    "unwrap_or", "unwrap_or_else", "unwrap_or_default", "is_empty", "split_off",
+];
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "loop", "for", "in", "return", "let", "mut",
+    "ref", "move", "as", "where", "impl", "fn", "pub", "use", "mod", "struct",
+    "enum", "trait", "type", "const", "static", "unsafe", "extern", "crate",
+    "super", "Self", "self", "dyn", "break", "continue", "await", "async",
+    "some", "Some", "None", "Ok", "Err", "Box", "Vec", "String", "Arc", "Rc",
+];
+
+const MAX_CANDIDATES: usize = 8;
+
+/// Narrows `cands` to the closest scope tier relative to `caller`.
+fn prefer_scope(ws: &Workspace, caller: FnId, cands: Vec<FnId>) -> Vec<FnId> {
+    let same_file: Vec<FnId> = cands.iter().copied().filter(|c| c.0 == caller.0).collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let caller_crate = &ws.crates[caller.0];
+    let same_crate: Vec<FnId> =
+        cands.iter().copied().filter(|c| &ws.crates[c.0] == caller_crate).collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    cands
+}
+
+fn resolve(
+    ws: &Workspace,
+    caller: FnId,
+    name: &str,
+    qualifier: Option<&str>,
+    is_method: bool,
+) -> Vec<FnId> {
+    if KEYWORDS.contains(&name) || NOISE_NAMES.contains(&name) {
+        return Vec::new();
+    }
+    // `Type::name` — exact impl lookup (plus `Self::name` against the
+    // caller's own impl type).
+    if let Some(q) = qualifier {
+        let ty = if q == "Self" {
+            ws.fn_def(caller).impl_type.clone()
+        } else if q.starts_with(|c: char| c.is_ascii_uppercase()) {
+            Some(q.to_string())
+        } else {
+            None
+        };
+        if let Some(ty) = ty {
+            return ws
+                .by_typed_name
+                .get(&(ty, name.to_string()))
+                .cloned()
+                .unwrap_or_default();
+        }
+        // `module::name` — prefer the file whose stem is the module.
+        let cands = ws.by_name.get(name).cloned().unwrap_or_default();
+        let modular: Vec<FnId> = cands
+            .iter()
+            .copied()
+            .filter(|c| {
+                ws.files[c.0]
+                    .path
+                    .rsplit('/')
+                    .next()
+                    .is_some_and(|f| f == format!("{q}.rs") || (q == "lib" && f == "lib.rs"))
+            })
+            .collect();
+        let pool = if modular.is_empty() { cands } else { modular };
+        let pool = prefer_scope(ws, caller, pool);
+        return if pool.len() > MAX_CANDIDATES { Vec::new() } else { pool };
+    }
+    let mut cands = ws.by_name.get(name).cloned().unwrap_or_default();
+    if is_method {
+        // `.name(...)` — methods only, and same-crate only: the
+        // receiver's type is unknown, so a cross-crate name match is
+        // far more likely std/foreign (`stream.shutdown(..)` is
+        // `TcpStream::shutdown`, not the router's) than a real edge.
+        // Cross-crate boundaries annotate their own roots instead.
+        let caller_crate = &ws.crates[caller.0];
+        let methods: Vec<FnId> = cands
+            .iter()
+            .copied()
+            .filter(|c| {
+                ws.fn_def(*c).impl_type.is_some() && &ws.crates[c.0] == caller_crate
+            })
+            .collect();
+        cands = methods;
+        // `self.name(...)` against the caller's own type wins outright.
+        if let Some(ty) = &ws.fn_def(caller).impl_type {
+            if let Some(own) = ws.by_typed_name.get(&(ty.clone(), name.to_string())) {
+                let own_scoped: Vec<FnId> =
+                    own.iter().copied().filter(|c| c.0 == caller.0).collect();
+                if !own_scoped.is_empty() {
+                    return own_scoped;
+                }
+            }
+        }
+    }
+    let pool = prefer_scope(ws, caller, cands);
+    if pool.len() > MAX_CANDIDATES {
+        Vec::new()
+    } else {
+        pool
+    }
+}
+
+/// Names bound locally inside `body` (params + `let` bindings). A bare
+/// call to one of these is a closure/fn-pointer invocation, not a call
+/// to a workspace fn that happens to share the name — `enqueue()` on a
+/// closure param must not resolve to some crate's `Engine::enqueue`.
+fn local_bindings(
+    f: &crate::parser::FnDef,
+    toks: &[crate::lexer::Token],
+) -> HashSet<String> {
+    let mut names: HashSet<String> =
+        f.params.iter().map(|p| p.name.clone()).collect();
+    let mut i = f.body.start;
+    while i < f.body.end.min(toks.len()) {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(t) = toks.get(j) {
+                if t.kind == TokKind::Ident {
+                    names.insert(t.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Extracts and resolves every call site in every production fn.
+pub fn build(ws: &Workspace) -> CallGraph {
+    let mut edges: HashMap<FnId, Vec<Call>> = HashMap::new();
+    for id in ws.all_fns() {
+        let f = ws.fn_def(id);
+        if f.in_test {
+            continue;
+        }
+        let toks = ws.tokens(id);
+        let locals = local_bindings(f, toks);
+        let positions = ws.effective_positions(id);
+        let mut calls = Vec::new();
+        for &i in &positions {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(next) = toks.get(i + 1) else { continue };
+            if !next.is("(") {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| &toks[p]);
+            // `fn name(` is a definition, `name!(...)` a macro.
+            if prev.is_some_and(|p| p.is_ident("fn")) {
+                continue;
+            }
+            let (qualifier, is_method) = match prev {
+                Some(p) if p.is("::") => {
+                    let q = i
+                        .checked_sub(2)
+                        .map(|p| &toks[p])
+                        .filter(|q| q.kind == TokKind::Ident)
+                        .map(|q| q.text.clone());
+                    (q, false)
+                }
+                Some(p) if p.is(".") => (None, true),
+                _ => (None, false),
+            };
+            if qualifier.is_none() && !is_method && locals.contains(&t.text) {
+                continue;
+            }
+            for callee in resolve(ws, id, &t.text, qualifier.as_deref(), is_method) {
+                if callee == id {
+                    continue;
+                }
+                calls.push(Call { callee, pos: i, line: t.line });
+            }
+        }
+        edges.insert(id, calls);
+    }
+    CallGraph { edges }
+}
+
+impl CallGraph {
+    pub fn calls(&self, id: FnId) -> &[Call] {
+        self.edges.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// BFS from `roots`; returns each reached fn with its predecessor
+    /// (for path reconstruction). Roots map to themselves.
+    pub fn reach(&self, roots: &[FnId]) -> HashMap<FnId, FnId> {
+        let mut parent: HashMap<FnId, FnId> = HashMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for call in self.calls(cur) {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    parent.entry(call.callee)
+                {
+                    e.insert(cur);
+                    queue.push_back(call.callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstructs `root → … → target` as qualified names.
+    pub fn path_to(
+        &self,
+        ws: &Workspace,
+        parents: &HashMap<FnId, FnId>,
+        target: FnId,
+    ) -> Vec<String> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        let mut seen: HashSet<FnId> = HashSet::new();
+        while let Some(&p) = parents.get(&cur) {
+            if p == cur || !seen.insert(p) {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain.into_iter().map(|id| ws.fn_def(id).qualified.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols;
+
+    fn ws(sources: &[(&str, &str)]) -> Workspace {
+        symbols::build(
+            sources.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect(),
+        )
+    }
+
+    #[test]
+    fn bare_and_path_calls_resolve_with_scope_preference() {
+        let ws = ws(&[
+            (
+                "crates/a/src/main_mod.rs",
+                "pub fn target() {}\npub fn caller() { target(); helper::target(); }\n",
+            ),
+            ("crates/b/src/helper.rs", "pub fn target() {}\n"),
+        ]);
+        let g = build(&ws);
+        let caller = ws.by_name["caller"][0];
+        let calls = g.calls(caller);
+        // Bare call resolves same-file; `helper::target` resolves to
+        // the helper.rs definition.
+        assert_eq!(calls.len(), 2);
+        let files: Vec<&str> =
+            calls.iter().map(|c| ws.files[c.callee.0].path.as_str()).collect();
+        assert!(files.contains(&"crates/a/src/main_mod.rs"));
+        assert!(files.contains(&"crates/b/src/helper.rs"));
+    }
+
+    #[test]
+    fn self_method_calls_resolve_to_own_impl() {
+        let ws = ws(&[(
+            "crates/a/src/m.rs",
+            "struct A;\nimpl A {\n  fn step(&self) {}\n  fn run(&self) { self.step(); }\n}\n\
+             struct B;\nimpl B { fn step(&self) {} }\n",
+        )]);
+        let g = build(&ws);
+        let run = ws.by_typed_name[&("A".to_string(), "run".to_string())][0];
+        let calls = g.calls(run);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(ws.fn_def(calls[0].callee).impl_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn reach_walks_transitively_and_reconstructs_paths() {
+        let ws = ws(&[(
+            "crates/a/src/r.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn unrelated() {}\n",
+        )]);
+        let g = build(&ws);
+        let a = ws.by_name["a"][0];
+        let c = ws.by_name["c"][0];
+        let parents = g.reach(&[a]);
+        assert!(parents.contains_key(&c));
+        assert!(!parents.contains_key(&ws.by_name["unrelated"][0]));
+        let path = g.path_to(&ws, &parents, c);
+        assert_eq!(path, vec!["r::a", "r::b", "r::c"]);
+    }
+
+    #[test]
+    fn locally_bound_closures_do_not_resolve_to_workspace_fns() {
+        let ws = ws(&[
+            (
+                "crates/a/src/h.rs",
+                "pub fn run(enqueue: impl FnOnce()) {\n  let load = |x: u32| x;\n  load(1);\n  enqueue();\n}\n",
+            ),
+            ("crates/b/src/e.rs", "pub fn enqueue() {}\npub fn load() {}\n"),
+        ]);
+        let g = build(&ws);
+        assert!(g.calls(ws.by_name["run"][0]).is_empty());
+    }
+
+    #[test]
+    fn noise_names_and_macros_do_not_create_edges() {
+        let ws = ws(&[(
+            "crates/a/src/n.rs",
+            "fn new() {}\nfn caller() { let v = Vec::new(); format!(\"x\"); }\n",
+        )]);
+        let g = build(&ws);
+        assert!(g.calls(ws.by_name["caller"][0]).is_empty());
+    }
+}

@@ -1,0 +1,438 @@
+//! Shared lexing substrate for `theta-lint` and `theta-analyze`.
+//!
+//! Two consumers, one set of literal/comment rules:
+//!
+//! - [`strip_comments`] — the secret-hygiene scanner's preprocessor:
+//!   replaces comments with spaces (preserving newlines and literals)
+//!   so prose mentioning `Debug` or `==` never reaches the rules.
+//! - [`tokenize`] — the analyzer's front-end: a flat token stream with
+//!   line numbers, where `// theta: ...` marker comments survive as
+//!   [`TokKind::Marker`] tokens (every other comment is dropped).
+//!
+//! Both go through the same literal scanner, so the raw-string fix
+//! (`r#"..."#` used to be lexed as an ordinary `"` string: its `\` was
+//! treated as an escape and its closing `"#` was missed, swallowing
+//! everything up to the next quote — including real code) applies to
+//! the hygiene lint and the analyzer alike.
+
+/// Token classes the analyzer cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation / operator (multi-char ops are one token: `::`,
+    /// `->`, `=>`, `==`, `!=`, `<=`, `>=`, `..`, `&&`, `||`).
+    Punct,
+    /// String literal (ordinary, byte, or raw). `text` is the literal
+    /// *content* (delimiters stripped) so sink scans can look inside.
+    Str,
+    /// Char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// A `// theta: ...` marker comment; `text` is what follows the
+    /// `theta:` prefix, trimmed.
+    Marker,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// Scans a raw-string body starting at `i`, where `bytes[i]` is `r` (an
+/// optional leading `b` is handled by the caller). Returns
+/// `Some((content_start, content_end, after))` — the content byte range
+/// and the index just past the closing delimiter — or `None` when this
+/// is not actually a raw string head.
+fn scan_raw_string(bytes: &[u8], i: usize) -> Option<(usize, usize, usize)> {
+    debug_assert_eq!(bytes[i], b'r');
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return None;
+    }
+    let content_start = j + 1;
+    // The literal ends at the first `"` followed by `hashes` `#`s —
+    // backslashes are NOT escapes inside a raw string.
+    let mut k = content_start;
+    while k < bytes.len() {
+        if bytes[k] == b'"' && bytes[k + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes
+        {
+            return Some((content_start, k, k + 1 + hashes));
+        }
+        k += 1;
+    }
+    // Unterminated: treat the rest of the file as the literal.
+    Some((content_start, bytes.len(), bytes.len()))
+}
+
+/// Scans an ordinary (escaped) string body; `bytes[i]` is the opening
+/// `"`. Returns `(content_start, content_end, after)`.
+fn scan_plain_string(bytes: &[u8], i: usize) -> (usize, usize, usize) {
+    let start = i + 1;
+    let mut k = start;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'\\' => k = (k + 2).min(bytes.len()),
+            b'"' => return (start, k, k + 1),
+            _ => k += 1,
+        }
+    }
+    (start, bytes.len(), bytes.len())
+}
+
+/// True when the byte before `i` cannot end an identifier — i.e. an
+/// `r`/`b` at `i` starts a literal prefix rather than ending a name
+/// like `var` or `ptr`.
+fn is_prefix_position(bytes: &[u8], i: usize) -> bool {
+    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Detects a raw/byte string literal head at `i`. Returns
+/// `(content_start, content_end, after)` when `i` starts `r"`, `r#"`,
+/// `b"`, `br"`, or `br#"` (with any hash count).
+fn scan_string_literal(bytes: &[u8], i: usize) -> Option<(usize, usize, usize)> {
+    match bytes[i] {
+        b'"' => Some(scan_plain_string(bytes, i)),
+        b'r' if is_prefix_position(bytes, i) => scan_raw_string(bytes, i),
+        b'b' if is_prefix_position(bytes, i) => match bytes.get(i + 1) {
+            Some(b'"') => Some(scan_plain_string(bytes, i + 1)),
+            Some(b'r') => scan_raw_string(bytes, i + 1),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Replaces `//` and (nested) `/* */` comments with spaces, preserving
+/// newlines, string/char literals — including raw strings — so prose
+/// mentioning `Debug` or `==` never reaches the hygiene rules.
+pub fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if let Some((_, _, after)) = scan_string_literal(bytes, i) {
+            // Copy the whole literal verbatim (delimiters included),
+            // newlines and all — raw strings may span lines.
+            out.extend_from_slice(&bytes[i..after]);
+            i = after;
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal (`'a'`, `'\n'`) vs lifetime (`'a`): a
+                // lifetime is not followed by a closing quote.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    out.extend_from_slice(&bytes[i..(i + 4).min(bytes.len())]);
+                    i = (i + 4).min(bytes.len());
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    out.extend_from_slice(&bytes[i..i + 3]);
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Literals are copied verbatim and everything else is ASCII-safe
+    // substitution, so the output is valid UTF-8 by construction.
+    String::from_utf8(out).expect("comment stripping preserves UTF-8")
+}
+
+/// Two-character operators lexed as single tokens. Order matters only
+/// within this list (first match wins); three-char ops the analyzer
+/// never inspects (`..=`, `<<=`) fall out as two tokens harmlessly.
+const TWO_CHAR_OPS: &[&str] =
+    &["::", "->", "=>", "==", "!=", "<=", ">=", "..", "&&", "||"];
+
+/// Tokenizes Rust source. Comments are dropped except `// theta: ...`
+/// markers, which become [`TokKind::Marker`] tokens carrying the text
+/// after the prefix. Unknown bytes are skipped.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if let Some((cs, ce, after)) = scan_string_literal(bytes, i) {
+            let content = String::from_utf8_lossy(&bytes[cs..ce]).into_owned();
+            line += bytes[i..after].iter().filter(|&&b| b == b'\n').count();
+            out.push(Token { kind: TokKind::Str, text: content, line });
+            i = after;
+            continue;
+        }
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let end = bytes[i..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| i + p)
+                .unwrap_or(bytes.len());
+            let text = String::from_utf8_lossy(&bytes[i + 2..end]);
+            let trimmed = text.trim_start_matches(['/', '!']).trim();
+            if let Some(marker) = trimmed.strip_prefix("theta:") {
+                out.push(Token {
+                    kind: TokKind::Marker,
+                    text: marker.trim().to_string(),
+                    line,
+                });
+            }
+            i = end;
+            continue;
+        }
+        if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c == b'\'' {
+            // Char literal vs lifetime, same rule as strip_comments.
+            if bytes.get(i + 1) == Some(&b'\\') {
+                out.push(Token { kind: TokKind::Char, text: String::new(), line });
+                i = (i + 4).min(bytes.len());
+                continue;
+            }
+            if bytes.get(i + 2) == Some(&b'\'') {
+                out.push(Token { kind: TokKind::Char, text: String::new(), line });
+                i += 3;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Lifetime,
+                text: String::from_utf8_lossy(&bytes[i + 1..j]).into_owned(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Ident,
+                text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+            {
+                // `2..10` — the range dots belong to the operator, not
+                // the number.
+                if bytes[j] == b'.' && bytes.get(j + 1) == Some(&b'.') {
+                    break;
+                }
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Num,
+                text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Multi-byte (non-ASCII) characters: skip without splitting the
+        // UTF-8 sequence.
+        if c >= 0x80 {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        let two = if i + 1 < bytes.len() {
+            std::str::from_utf8(&bytes[i..i + 2]).ok()
+        } else {
+            None
+        };
+        if let Some(op) = two.and_then(|t| TWO_CHAR_OPS.iter().find(|&&o| o == t)) {
+            out.push(Token { kind: TokKind::Punct, text: (*op).to_string(), line });
+            i += 2;
+            continue;
+        }
+        out.push(Token {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_strings_are_copied_verbatim_not_escaped() {
+        // The old scanner treated the `\` in `r#"\"#` as an escape and
+        // ran past the real closing `"#`, swallowing the code after it.
+        let src = "let re = r#\"a \\ \" b\"#; let x = Debug;\n";
+        let stripped = strip_comments(src);
+        assert_eq!(stripped, src, "raw string must survive untouched");
+        // The identifier after the literal is still visible to scanners.
+        assert!(stripped.contains("Debug"));
+    }
+
+    #[test]
+    fn raw_string_with_comment_lookalike_is_not_a_comment() {
+        let src = "let s = r\"// not a comment\"; keep\n";
+        let stripped = strip_comments(src);
+        assert!(stripped.contains("// not a comment"));
+        assert!(stripped.contains("keep"));
+    }
+
+    #[test]
+    fn unbalanced_quote_inside_raw_string_does_not_derail() {
+        // One interior quote: the old lexer closed the string there and
+        // then treated real code as string content.
+        let src = "let s = r#\"quote \" inside\"#;\nstruct KeyShare { x_i: u8 }\n";
+        let stripped = strip_comments(src);
+        assert!(stripped.contains("struct KeyShare"), "{stripped}");
+        let toks = tokenize(src);
+        assert!(toks.iter().any(|t| t.is_ident("KeyShare")));
+        assert!(
+            toks.iter().any(|t| t.kind == TokKind::Str && t.text == "quote \" inside"),
+            "raw string content should be one Str token"
+        );
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_lex() {
+        let toks = tokenize("let a = b\"ab\\\"c\"; let b2 = br#\"x\"y\"#;");
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["ab\\\"c", "x\"y"]);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let src = "let var = 1; for x in iter { }\n";
+        assert_eq!(strip_comments(src), src);
+        let toks = tokenize(src);
+        assert!(toks.iter().any(|t| t.is_ident("iter")));
+    }
+
+    #[test]
+    fn markers_survive_ordinary_comments_do_not() {
+        let src = "// plain comment\n// theta: event-loop\nfn run() {}\n";
+        let toks = tokenize(src);
+        let markers: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Marker)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(markers, ["event-loop"]);
+        assert!(!toks.iter().any(|t| t.is_ident("plain")));
+    }
+
+    #[test]
+    fn two_char_ops_lex_as_one_token() {
+        let toks = tokenize("a::b != c -> d == e..f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, ["::", "!=", "->", "==", ".."]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_raw_strings() {
+        let toks = tokenize("let s = r#\"a\nb\nc\"#;\nfn after() {}\n");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+}

@@ -1,0 +1,432 @@
+//! Lock-order analysis over `theta_sync::Mutex` acquisitions.
+//!
+//! Lock *classes* are name-based: the receiver ident of `.lock()`
+//! (`self.inner.lock()` → class `inner`). That unifies the same
+//! conceptual lock across files — exactly right for guards handed
+//! around by field name — at the cost of aliasing unrelated locks that
+//! share a field name; in this workspace field names are distinctive.
+//!
+//! Per function we track the set of guards held at every point
+//! (let-bound guards live to the end of their block or an explicit
+//! `drop(guard)`; temporaries die at the statement's `;`), emitting an
+//! order edge `held → acquired` for each nested acquisition, plus
+//! edges `held → a` for every lock `a` transitively acquired by a
+//! callee invoked while `held` is live. Cycles in the merged
+//! acquisition-order graph are potential deadlocks; an edge `c → c` is
+//! a same-class re-entrant lock (self-deadlock with std mutexes).
+//!
+//! `try_lock()` never blocks and is deliberately not an acquisition
+//! *edge source requirement* — it still produces a held guard (holding
+//! it while taking another lock orders them), but acquiring via
+//! `try_lock` under other guards cannot deadlock and emits no edge.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::TokKind;
+use crate::report::{Finding, Pass};
+use crate::symbols::{FnId, Workspace};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+#[derive(Debug, Clone)]
+struct Guard {
+    class: String,
+    var: Option<String>,
+    depth: i32,
+    temp: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct EdgeSite {
+    pub file: String,
+    pub line: usize,
+    pub func: String,
+    pub via: Option<String>,
+}
+
+/// Facts extracted from one function body.
+struct FnLocks {
+    /// Classes this fn acquires directly (blocking `lock()` only).
+    acquires: HashSet<String>,
+    /// Direct nesting edges `(held, acquired, line)`.
+    edges: Vec<(String, String, usize)>,
+    /// `(callee, held classes, line)` per resolved call site.
+    calls_held: Vec<(FnId, Vec<String>, usize)>,
+}
+
+fn extract(ws: &Workspace, cg: &CallGraph, id: FnId) -> FnLocks {
+    let toks = ws.tokens(id);
+    let positions = ws.effective_positions(id);
+    let call_at: HashMap<usize, Vec<FnId>> = {
+        let mut m: HashMap<usize, Vec<FnId>> = HashMap::new();
+        for c in cg.calls(id) {
+            m.entry(c.pos).or_default().push(c.callee);
+        }
+        m
+    };
+
+    let mut held: Vec<Guard> = Vec::new();
+    let mut out = FnLocks { acquires: HashSet::new(), edges: Vec::new(), calls_held: Vec::new() };
+    let mut depth = 0i32;
+    for &i in &positions {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" if t.kind == TokKind::Punct => depth += 1,
+            "}" if t.kind == TokKind::Punct => {
+                depth -= 1;
+                // Let-bound guards die when their block closes;
+                // statement temporaries (if-let / match scrutinees)
+                // also die when the block they fed closes — Rust drops
+                // the scrutinee temporary at the end of the `if let`,
+                // not at the next `;`.
+                held.retain(|g| g.depth <= depth && !(g.temp && g.depth == depth));
+            }
+            ";" if t.kind == TokKind::Punct => {
+                held.retain(|g| !(g.temp && g.depth == depth));
+            }
+            "drop"
+                if t.kind == TokKind::Ident
+                    && toks.get(i + 1).is_some_and(|n| n.is("(")) =>
+            {
+                if let Some(name) =
+                    toks.get(i + 2).filter(|n| n.kind == TokKind::Ident)
+                {
+                    held.retain(|g| g.var.as_deref() != Some(name.text.as_str()));
+                }
+            }
+            "lock" | "try_lock"
+                if t.kind == TokKind::Ident
+                    && i > 0
+                    && toks[i - 1].is(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is("(")) =>
+            {
+                let blocking = t.text == "lock";
+                let class = i
+                    .checked_sub(2)
+                    .map(|p| &toks[p])
+                    .filter(|p| p.kind == TokKind::Ident)
+                    .map(|p| p.text.clone())
+                    .unwrap_or_else(|| "<expr>".into());
+                // `self.lock()` is a per-type wrapper (e.g. the metrics
+                // registry's) — a bare `self` class would alias every
+                // such wrapper across the workspace, so qualify it.
+                let class = if class == "self" {
+                    match &ws.fn_def(id).impl_type {
+                        Some(ty) => format!("{ty}::self"),
+                        None => class,
+                    }
+                } else {
+                    class
+                };
+                if blocking {
+                    out.acquires.insert(class.clone());
+                    for g in &held {
+                        out.edges.push((g.class.clone(), class.clone(), t.line));
+                    }
+                }
+                // Guard binding: `let [mut] name = <...>.lock()...`.
+                // An `if let`/`while let` scrutinee is NOT a block
+                // binding — Rust drops that temporary when the `if
+                // let` statement ends, so treat it like a temporary
+                // (released by the `}` rule above).
+                let mut var = None;
+                let mut j = i;
+                while j > 0 && j > i.saturating_sub(16) {
+                    j -= 1;
+                    if toks[j].is(";") || toks[j].is("{") || toks[j].is("}") {
+                        break;
+                    }
+                    if toks[j].is_ident("let") {
+                        let scrutinee = j > 0
+                            && (toks[j - 1].is_ident("if") || toks[j - 1].is_ident("while"));
+                        if !scrutinee {
+                            var = toks[j + 1..i]
+                                .iter()
+                                .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+                                .map(|t| t.text.clone());
+                        }
+                        break;
+                    }
+                }
+                let temp = var.is_none();
+                held.push(Guard { class, var, depth, temp });
+            }
+            _ => {}
+        }
+        if let Some(callees) = call_at.get(&i) {
+            if !held.is_empty() {
+                let classes: Vec<String> = held.iter().map(|g| g.class.clone()).collect();
+                for &callee in callees {
+                    out.calls_held.push((callee, classes.clone(), t.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the pass: compose per-fn facts over the call graph, detect
+/// cycles in the acquisition-order graph.
+pub fn run(ws: &Workspace, cg: &CallGraph) -> Vec<Finding> {
+    let ids: Vec<FnId> = ws.all_fns().filter(|&id| !ws.fn_def(id).in_test).collect();
+    let facts: HashMap<FnId, FnLocks> =
+        ids.iter().map(|&id| (id, extract(ws, cg, id))).collect();
+
+    // Transitive acquires fixpoint (blocking acquisitions only).
+    let mut trans: HashMap<FnId, HashSet<String>> =
+        ids.iter().map(|&id| (id, facts[&id].acquires.clone())).collect();
+    loop {
+        let mut changed = false;
+        for &id in &ids {
+            let mut acc = trans[&id].clone();
+            let before = acc.len();
+            for call in cg.calls(id) {
+                if let Some(t) = trans.get(&call.callee) {
+                    acc.extend(t.iter().cloned());
+                }
+            }
+            if acc.len() != before {
+                changed = true;
+            }
+            trans.insert(id, acc);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Merge edges: (from, to) → exemplar site. BTreeMap keeps output
+    // deterministic.
+    let mut graph: BTreeMap<String, BTreeMap<String, EdgeSite>> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for &id in &ids {
+        let f = &facts[&id];
+        let file = ws.file(id).path.clone();
+        let func = ws.fn_def(id).qualified.clone();
+        for (from, to, line) in &f.edges {
+            if from == to {
+                findings.push(Finding {
+                    pass: Pass::Locks,
+                    id: String::new(),
+                    file: file.clone(),
+                    line: *line,
+                    func: func.clone(),
+                    kind: "double-lock".into(),
+                    detail: format!("lock class `{from}` re-acquired while already held"),
+                    path: Vec::new(),
+                });
+                continue;
+            }
+            graph.entry(from.clone()).or_default().entry(to.clone()).or_insert(EdgeSite {
+                file: file.clone(),
+                line: *line,
+                func: func.clone(),
+                via: None,
+            });
+        }
+        for (callee, held, line) in &f.calls_held {
+            let callee_def = ws.fn_def(*callee);
+            for h in held {
+                for a in trans.get(callee).into_iter().flatten() {
+                    if h == a {
+                        findings.push(Finding {
+                            pass: Pass::Locks,
+                            id: String::new(),
+                            file: file.clone(),
+                            line: *line,
+                            func: func.clone(),
+                            kind: "double-lock".into(),
+                            detail: format!(
+                                "lock class `{h}` held across call to `{}` which re-acquires it",
+                                callee_def.qualified
+                            ),
+                            path: vec![func.clone(), callee_def.qualified.clone()],
+                        });
+                        continue;
+                    }
+                    graph.entry(h.clone()).or_default().entry(a.clone()).or_insert(
+                        EdgeSite {
+                            file: file.clone(),
+                            line: *line,
+                            func: func.clone(),
+                            via: Some(callee_def.qualified.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Cycle detection: for each edge a→b, BFS b→…→a. Report each
+    // cycle once, keyed by its sorted class set.
+    let mut reported: HashSet<Vec<String>> = HashSet::new();
+    for (a, outs) in &graph {
+        for b in outs.keys() {
+            if let Some(cycle_path) = bfs_path(&graph, b, a) {
+                // a→b then b→…→a.
+                let mut cycle = vec![a.clone()];
+                cycle.extend(cycle_path);
+                let mut key: Vec<String> = cycle.clone();
+                key.sort();
+                key.dedup();
+                if !reported.insert(key) {
+                    continue;
+                }
+                let site = &graph[a][b];
+                let mut detail =
+                    format!("acquisition cycle: {}", cycle.join(" -> "));
+                if let Some(via) = &site.via {
+                    detail.push_str(&format!(" (first edge via call to `{via}`)"));
+                }
+                findings.push(Finding {
+                    pass: Pass::Locks,
+                    id: String::new(),
+                    file: site.file.clone(),
+                    line: site.line,
+                    func: site.func.clone(),
+                    kind: "lock-cycle".into(),
+                    detail,
+                    path: cycle,
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn bfs_path(
+    graph: &BTreeMap<String, BTreeMap<String, EdgeSite>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut parent: HashMap<String, String> = HashMap::new();
+    let mut queue = VecDeque::new();
+    parent.insert(from.to_string(), from.to_string());
+    queue.push_back(from.to_string());
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut path = vec![cur.clone()];
+            let mut c = cur;
+            while parent[&c] != c {
+                c = parent[&c].clone();
+                path.push(c.clone());
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for next in graph.get(&cur).map(|m| m.keys()).into_iter().flatten() {
+            if !parent.contains_key(next) {
+                parent.insert(next.clone(), cur.clone());
+                queue.push_back(next.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, report, symbols};
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = symbols::build(vec![("crates/a/src/l.rs".into(), src.into())]);
+        let cg = callgraph::build(&ws);
+        let mut f = run(&ws, &cg);
+        report::assign_ids(&mut f);
+        f
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_reported_once() {
+        let f = run_on(
+            "fn one(s: &S) { let a = s.alpha.lock().unwrap(); let b = s.beta.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); let a = s.alpha.lock().unwrap(); }\n",
+        );
+        let cycles: Vec<_> = f.iter().filter(|x| x.kind == "lock-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{f:#?}");
+        assert!(cycles[0].detail.contains("alpha") && cycles[0].detail.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = run_on(
+            "fn one(s: &S) { let a = s.alpha.lock().unwrap(); let b = s.beta.lock().unwrap(); }\n\
+             fn two(s: &S) { let a = s.alpha.lock().unwrap(); let b = s.beta.lock().unwrap(); }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let f = run_on(
+            "fn one(s: &S) { let a = s.alpha.lock().unwrap(); drop(a); let b = s.beta.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); let a = s.alpha.lock().unwrap(); }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let f = run_on(
+            "fn one(s: &S) { s.alpha.lock().unwrap().push(1); let b = s.beta.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); s.alpha.lock().unwrap().push(2); }\n",
+        );
+        // one's alpha guard is gone before beta: only the b→a edge in
+        // `two` exists, no cycle.
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn interprocedural_cycle_via_callee_is_found() {
+        let f = run_on(
+            "fn take_beta(s: &S) { let b = s.beta.lock().unwrap(); }\n\
+             fn one(s: &S) { let a = s.alpha.lock().unwrap(); take_beta(s); }\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); let a = s.alpha.lock().unwrap(); }\n",
+        );
+        let cycles: Vec<_> = f.iter().filter(|x| x.kind == "lock-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{f:#?}");
+        assert!(cycles[0].detail.contains("via call to"), "{f:#?}");
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_dies_with_the_if_let_block() {
+        let f = run_on(
+            "fn takes_beta(s: &S) { let b = s.beta.lock().unwrap(); }\n\
+             fn one(s: &S) {\n\
+             if let Some(v) = s.alpha.lock().as_ref() { v.inc(); }\n\
+             takes_beta(s);\n}\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); let a = s.alpha.lock().unwrap(); }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn guard_held_through_match_arms_makes_edges() {
+        let f = run_on(
+            "fn takes_beta(s: &S) { let b = s.beta.lock().unwrap(); }\n\
+             fn one(s: &S) { match s.alpha.lock().get() { Some(_) => takes_beta(s), None => {} } }\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); let a = s.alpha.lock().unwrap(); }\n",
+        );
+        // The match scrutinee guard IS held during the arms (Rust drops
+        // it after the match), so alpha→beta exists and two's beta→alpha
+        // closes the cycle.
+        assert_eq!(f.iter().filter(|x| x.kind == "lock-cycle").count(), 1, "{f:#?}");
+    }
+
+    #[test]
+    fn double_lock_same_class_is_flagged() {
+        let f = run_on(
+            "fn one(s: &S) { let a = s.alpha.lock().unwrap(); let b = s.alpha.lock().unwrap(); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].kind, "double-lock");
+    }
+
+    #[test]
+    fn scoped_guard_released_at_block_end() {
+        let f = run_on(
+            "fn one(s: &S) { { let a = s.alpha.lock().unwrap(); } let b = s.beta.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.beta.lock().unwrap(); let a = s.alpha.lock().unwrap(); }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+}

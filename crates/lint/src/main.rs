@@ -88,6 +88,22 @@ fn main() -> ExitCode {
         .expect("workspace root")
         .to_path_buf();
 
+    // `theta-lint analyze [...]` — the workspace-wide symbol-graph
+    // analyzer (taint / locks / blocking / panics); see lib.rs.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("analyze") {
+        let mut rest: Vec<String> = args[1..].to_vec();
+        if !rest.iter().any(|a| a == "--root") {
+            rest.push("--root".into());
+            rest.push(root.to_string_lossy().into_owned());
+        }
+        return match theta_lint::analyze::main_analyze(&rest) {
+            0 => ExitCode::SUCCESS,
+            2 => ExitCode::from(2),
+            _ => ExitCode::FAILURE,
+        };
+    }
+
     let mut files = Vec::new();
     for top in ["crates", "src", "tests"] {
         collect_rs_files(&root.join(top), &mut files);
@@ -526,80 +542,12 @@ fn operand_forward(src: &str, from: usize) -> Option<String> {
 /// Replaces `//` and (nested) `/* */` comments with spaces, preserving
 /// newlines, string/char literals and raw strings, so prose mentioning
 /// `Debug` or `==` never reaches the rules.
+///
+/// Delegates to the shared lexer: the old local implementation treated
+/// `\` inside raw strings as an escape and missed `"#`-style closers,
+/// so an `r#"..."#` literal could swallow the rest of the file.
 fn strip_comments(src: &str) -> String {
-    let bytes = src.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out.extend([b' ', b' ']);
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        out.extend([b' ', b' ']);
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    if bytes[i] == b'\\' {
-                        out.push(bytes[i]);
-                        i += 1;
-                        if i < bytes.len() {
-                            out.push(bytes[i]);
-                            i += 1;
-                        }
-                        continue;
-                    }
-                    out.push(bytes[i]);
-                    i += 1;
-                }
-                if i < bytes.len() {
-                    out.push(b'"');
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal (`'a'`, `'\n'`) vs lifetime (`'a`): a
-                // lifetime is not followed by a closing quote.
-                if bytes.get(i + 1) == Some(&b'\\') {
-                    out.extend_from_slice(&bytes[i..(i + 4).min(bytes.len())]);
-                    i = (i + 4).min(bytes.len());
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    out.extend_from_slice(&bytes[i..i + 3]);
-                    i += 3;
-                } else {
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8(out).expect("only ASCII was rewritten")
+    theta_lint::lexer::strip_comments(src)
 }
 
 #[cfg(test)]
@@ -717,5 +665,17 @@ mod tests {
                    impl<T: Clone> Holder<T> { fn get(&self) {} }\n\
                    impl core::fmt::Debug for Wrapper {\n fn f() {}\n }\n";
         assert_eq!(rules("x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn raw_strings_do_not_derail_the_scan() {
+        // Regression: the old strip_comments treated `\` inside raw
+        // strings as an escape and missed `"#` closers, so the literal
+        // below swallowed the rest of the file and the real derive was
+        // never seen.
+        let src = "const T: &str = r#\"a \\ quote: \" and // not a comment\"#;\n\
+                   #[derive(Debug)]\npub struct KeyShare { x_i: Scalar }\n\
+                   impl Drop for KeyShare { fn drop(&mut self) { self.x_i.wipe(); } }\n";
+        assert_eq!(rules("sg02.rs", src), vec!["debug-on-secret"]);
     }
 }

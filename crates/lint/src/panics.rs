@@ -1,0 +1,215 @@
+//! Panic-path audit.
+//!
+//! Roots are functions annotated `// theta: entrypoint(network)` —
+//! the places where bytes from a Byzantine peer first become control
+//! flow. Everything reachable from them must not panic on malformed
+//! input: `unwrap`/`expect`, the panic macro family, and non-literal
+//! indexing are findings, gated by the justified allowlist
+//! (`crates/lint/panics.allow`) and inline
+//! `// theta: allow(panics): reason` markers.
+//!
+//! One idiom is excluded by design: `.lock().unwrap()` (and
+//! `.read()`/`.write()` guards). Mutex poisoning means another thread
+//! already panicked; propagating is the only sane recovery and every
+//! call site would otherwise need an identical allowlist line. The
+//! workspace convention `unwrap_or_else(|e| e.into_inner())` does not
+//! even match the pattern.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{TokKind, Token};
+use crate::parser::skip_group;
+use crate::report::{Finding, Pass};
+use crate::symbols::{FnId, Workspace};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// `.unwrap()` / `.expect(` immediately chained onto a guard
+/// acquisition — the poison idiom.
+fn is_poison_idiom(toks: &[Token], i: usize) -> bool {
+    // toks[i] is `unwrap`/`expect`; shape: `<recv> . lock ( ) . unwrap`.
+    i >= 5
+        && toks[i - 1].is(".")
+        && toks[i - 2].is(")")
+        && toks[i - 3].is("(")
+        && toks[i - 4].kind == TokKind::Ident
+        && matches!(toks[i - 4].text.as_str(), "lock" | "read" | "write")
+        && toks[i - 5].is(".")
+}
+
+/// True when an index expression can panic on attacker input: it
+/// mentions a lowercase identifier (a computed length/offset). Pure
+/// numeric literals and `ALL_CAPS` consts index fixed layouts the
+/// surrounding code already guards.
+fn index_is_dynamic(toks: &[Token]) -> bool {
+    toks.iter().any(|t| {
+        t.kind == TokKind::Ident
+            && t.text.starts_with(|c: char| c.is_ascii_lowercase())
+    })
+}
+
+fn flatten_short(toks: &[Token]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty()
+            && t.kind == TokKind::Ident
+            && s.ends_with(|c: char| c.is_alphanumeric() || c == '_')
+        {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+        if s.len() > 40 {
+            s.truncate(40);
+            s.push('…');
+            break;
+        }
+    }
+    s
+}
+
+pub fn run(ws: &Workspace, cg: &CallGraph) -> Vec<Finding> {
+    let roots: Vec<FnId> = ws
+        .all_fns()
+        .filter(|&id| {
+            let f = ws.fn_def(id);
+            !f.in_test && f.markers.iter().any(|m| m.starts_with("entrypoint"))
+        })
+        .collect();
+    let parents = cg.reach(&roots);
+
+    let mut findings = Vec::new();
+    for &id in parents.keys() {
+        let f = ws.fn_def(id);
+        let toks = ws.tokens(id);
+        let positions = ws.effective_positions(id);
+        let file = ws.file(id).path.clone();
+        let push = |findings: &mut Vec<Finding>, line: usize, kind: &str, detail: String| {
+            findings.push(Finding {
+                pass: Pass::Panics,
+                id: String::new(),
+                file: file.clone(),
+                line,
+                func: f.qualified.clone(),
+                kind: kind.into(),
+                detail,
+                path: cg.path_to(ws, &parents, id),
+            });
+        };
+        for &i in &positions {
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Ident if (t.text == "unwrap" || t.text == "expect") => {
+                    let method = i > 0
+                        && toks[i - 1].is(".")
+                        && toks.get(i + 1).is_some_and(|n| n.is("("));
+                    if method && !is_poison_idiom(toks, i) {
+                        push(
+                            &mut findings,
+                            t.line,
+                            &t.text,
+                            format!(".{}() on a network-reachable path", t.text),
+                        );
+                    }
+                }
+                TokKind::Ident
+                    if PANIC_MACROS.contains(&t.text.as_str())
+                        && toks.get(i + 1).is_some_and(|n| n.is("!")) =>
+                {
+                    push(&mut findings, t.line, "panic-macro", format!("{}!", t.text));
+                }
+                TokKind::Punct if t.text == "[" => {
+                    // Indexing only: `expr[..]` — previous token ends a
+                    // value. `#[attr]`, array literals and patterns
+                    // don't.
+                    let indexes = i > 0
+                        && (toks[i - 1].kind == TokKind::Ident
+                            || toks[i - 1].is(")")
+                            || toks[i - 1].is("]"));
+                    if !indexes {
+                        continue;
+                    }
+                    let end = skip_group(toks, i);
+                    let inner = &toks[i + 1..end.saturating_sub(1)];
+                    if !inner.is_empty() && index_is_dynamic(inner) {
+                        push(
+                            &mut findings,
+                            t.line,
+                            "dynamic-index",
+                            format!("`[{}]` may be out of bounds", flatten_short(inner)),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, report, symbols};
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = symbols::build(vec![("crates/a/src/p.rs".into(), src.into())]);
+        let cg = callgraph::build(&ws);
+        let mut f = run(&ws, &cg);
+        report::assign_ids(&mut f);
+        f
+    }
+
+    #[test]
+    fn unwrap_on_decode_path_is_flagged_transitively() {
+        let f = run_on(
+            "// theta: entrypoint(network)\nfn on_frame(buf: &[u8]) { decode(buf); }\n\
+             fn decode(buf: &[u8]) { let n = parse_len(buf).unwrap(); }\n\
+             fn parse_len(buf: &[u8]) -> Option<usize> { None }\n\
+             fn internal_only() { cfg_value().unwrap(); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].kind, "unwrap");
+        assert_eq!(f[0].path, vec!["p::on_frame", "p::decode"]);
+    }
+
+    #[test]
+    fn poison_idiom_is_excluded() {
+        let f = run_on(
+            "// theta: entrypoint(network)\nfn on_frame(s: &S) {\n\
+             let g = s.state.lock().unwrap();\n\
+             let r = s.state.read().expect(\"rw\");\n}\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn dynamic_index_is_flagged_but_literal_and_const_are_not() {
+        let f = run_on(
+            "// theta: entrypoint(network)\nfn on_frame(buf: &[u8], len: usize) {\n\
+             let a = buf[0];\n\
+             let b = buf[HDR_LEN];\n\
+             let c = &buf[4..4 + len];\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].kind, "dynamic-index");
+        assert!(f[0].detail.contains("len"), "{f:#?}");
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let f = run_on(
+            "// theta: entrypoint(network)\nfn on_frame(x: u8) {\n\
+             match x { 0 => {} _ => unreachable!(\"bad tag\") }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].kind, "panic-macro");
+    }
+
+    #[test]
+    fn expect_without_method_dot_is_not_matched() {
+        // A fn named `expect` being *called* (no dot) is not `.expect()`.
+        let f = run_on(
+            "// theta: entrypoint(network)\nfn on_frame() { expect(3); }\nfn expect(n: u8) {}\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+}

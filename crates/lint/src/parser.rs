@@ -1,0 +1,680 @@
+//! Lightweight Rust item parser over the [`crate::lexer`] token stream.
+//!
+//! This is not a grammar-complete parser — it extracts exactly the
+//! facts the analyses need, from idiomatic workspace code:
+//!
+//! - function definitions (name, impl context, parameters with type
+//!   text, return-type text, body token range), including nested fns;
+//! - `#[cfg(test)]` modules and `#[test]` functions, so test-only
+//!   panics and blocking calls never pollute production findings;
+//! - **spawn regions**: the closure argument of a `spawn(...)` call
+//!   runs on a *different thread*, so its body is split out as a
+//!   synthetic child function (`parent::spawn@line`). The caller keeps
+//!   no facts and no call edges from the region; root annotations on
+//!   the parent propagate to the children (annotating a
+//!   `spawn_link_reader`-style helper marks the thread body it spawns);
+//! - struct definitions with field names and type text (taint typing);
+//! - `// theta: ...` marker annotations, attached to the next function
+//!   (`event-loop`, `worker-only`, `entrypoint(...)`) or recorded
+//!   positionally (`allow(<pass>): reason`, suppressing findings on
+//!   its own and the following line).
+
+use crate::lexer::{Token, TokKind};
+use std::ops::Range;
+
+/// One parsed parameter: binding name (empty for patterns the parser
+/// does not resolve) and the flattened type text.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub ty: String,
+}
+
+/// A function definition (real or synthetic spawn child).
+#[derive(Debug)]
+pub struct FnDef {
+    /// Simple name (`run`); spawn children reuse the parent's name.
+    pub name: String,
+    /// Display path: `file_stem::Type::name` or `file_stem::name`,
+    /// with `::spawn@<line>` appended for spawn children.
+    pub qualified: String,
+    /// Enclosing `impl` type, when any.
+    pub impl_type: Option<String>,
+    pub line: usize,
+    pub params: Vec<Param>,
+    /// Flattened return-type text (empty when `()`).
+    pub ret: String,
+    /// Token-index range of the body (inside the braces). Empty for
+    /// trait-method declarations.
+    pub body: Range<usize>,
+    /// Sub-ranges of `body` that are spawn-closure regions — excluded
+    /// from this function's own facts.
+    pub child_regions: Vec<Range<usize>>,
+    /// Index of the parent `FnDef` for spawn children.
+    pub parent: Option<usize>,
+    /// `theta:` annotations attached to this fn (propagated to spawn
+    /// children).
+    pub markers: Vec<String>,
+    /// Inside `#[cfg(test)]` or marked `#[test]` — excluded from every
+    /// analysis pass.
+    pub in_test: bool,
+}
+
+/// A struct definition with typed fields, for taint classification.
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub line: usize,
+    /// `(field name, flattened type text)`.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A positional `allow` marker: suppresses findings of `pass` on
+/// `line` and `line + 1` in this file.
+#[derive(Debug)]
+pub struct AllowMarker {
+    pub pass: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Everything the analyses need from one source file.
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnDef>,
+    pub structs: Vec<StructDef>,
+    pub allows: Vec<AllowMarker>,
+}
+
+/// Returns the index just past the group that opens at `open` (which
+/// must hold `(`, `[`, `{` or `<`). Balanced over all three bracket
+/// kinds; `<` additionally tolerates `->`/`=>`/shift-free generics.
+pub fn skip_group(tokens: &[Token], open: usize) -> usize {
+    let (open_tok, close_tok) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        "<" => ("<", ">"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            if t.text == open_tok {
+                depth += 1;
+            } else if t.text == close_tok {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            } else if open_tok == "<" && (t.text == ";" || t.text == "{") {
+                // A `<` that was really a comparison: bail out rather
+                // than eat the rest of the file.
+                return open + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Flattens tokens into readable type/expr text (`&mut Vec<u8>`).
+fn flatten(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        match t.kind {
+            TokKind::Str => {
+                out.push('"');
+                out.push_str(&t.text);
+                out.push('"');
+            }
+            TokKind::Lifetime => {
+                out.push('\'');
+                out.push_str(&t.text);
+                out.push(' ');
+            }
+            _ => {
+                if !out.is_empty()
+                    && t.kind == TokKind::Ident
+                    && out.ends_with(|c: char| c.is_alphanumeric() || c == '_')
+                {
+                    out.push(' ');
+                }
+                out.push_str(&t.text);
+            }
+        }
+    }
+    out
+}
+
+/// Splits a parameter-list token slice on top-level commas and parses
+/// each `name: Type` (or `self` receivers, recorded as `self`).
+fn parse_params(tokens: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i <= tokens.len() {
+        let at_end = i == tokens.len();
+        let is_sep = !at_end
+            && depth == 0
+            && tokens[i].kind == TokKind::Punct
+            && tokens[i].text == ",";
+        if at_end || is_sep {
+            let part = &tokens[start..i];
+            if !part.is_empty() {
+                params.push(parse_one_param(part));
+            }
+            start = i + 1;
+        } else if !at_end && tokens[i].kind == TokKind::Punct {
+            match tokens[i].text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    params
+}
+
+fn parse_one_param(part: &[Token]) -> Param {
+    // `self`, `&self`, `&mut self`, `mut self`.
+    if part.iter().any(|t| t.is_ident("self")) && !part.iter().any(|t| t.is(":")) {
+        return Param { name: "self".into(), ty: "Self".into() };
+    }
+    let colon = part.iter().position(|t| t.kind == TokKind::Punct && t.text == ":");
+    match colon {
+        Some(c) => {
+            // Binding: last ident before the colon (`mut name`,
+            // destructuring patterns fall back to empty).
+            let name = part[..c]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            Param { name, ty: flatten(&part[c + 1..]) }
+        }
+        None => Param { name: String::new(), ty: flatten(part) },
+    }
+}
+
+/// Parses one file. `path` must be workspace-relative (used for
+/// qualified names and reporting).
+pub fn parse_file(path: &str, tokens: Vec<Token>) -> ParsedFile {
+    let file_stem = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut structs: Vec<StructDef> = Vec::new();
+    let mut allows: Vec<AllowMarker> = Vec::new();
+
+    // `impl` / `mod` contexts as (close-token-index, impl-type,
+    // is-test) entries; popped lazily by index comparison.
+    struct Ctx {
+        end: usize,
+        impl_type: Option<String>,
+        is_test: bool,
+    }
+    let mut ctxs: Vec<Ctx> = Vec::new();
+    let mut pending_markers: Vec<String> = Vec::new();
+    // `#[test]` / `#[cfg(test)]` seen since the last item.
+    let mut pending_test_attr = false;
+    let mut pending_cfg_test = false;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while let Some(c) = ctxs.last() {
+            if i >= c.end {
+                ctxs.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Marker => {
+                let text = t.text.clone();
+                if let Some(rest) = text.strip_prefix("allow(") {
+                    if let Some(close) = rest.find(')') {
+                        let pass = rest[..close].trim().to_string();
+                        let reason = rest[close + 1..]
+                            .trim_start_matches(':')
+                            .trim()
+                            .to_string();
+                        allows.push(AllowMarker { pass, line: t.line, reason });
+                    }
+                } else {
+                    pending_markers.push(text);
+                }
+                i += 1;
+            }
+            TokKind::Punct if t.text == "#" => {
+                // Attribute: `#[...]` — flag test markers, skip.
+                if tokens.get(i + 1).is_some_and(|n| n.is("[")) {
+                    let end = skip_group(&tokens, i + 1);
+                    let attr = flatten(&tokens[i + 1..end]);
+                    if attr.contains("cfg(test") {
+                        pending_cfg_test = true;
+                    }
+                    if attr == "[test]" || attr.contains("[test]") || attr.contains("[ test ]")
+                    {
+                        pending_test_attr = true;
+                    }
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident if t.text == "impl" => {
+                // Header runs to the opening `{`; the self type is the
+                // first path segment after `for`, or after the
+                // (optional) generics otherwise.
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|n| n.is("<")) {
+                    j = skip_group(&tokens, j);
+                }
+                let mut open = j;
+                while open < tokens.len() && !tokens[open].is("{") && !tokens[open].is(";") {
+                    open += 1;
+                }
+                let header = &tokens[j..open.min(tokens.len())];
+                let for_pos = header.iter().position(|t| t.is_ident("for"));
+                let ty_toks = match for_pos {
+                    Some(p) => &header[p + 1..],
+                    None => header,
+                };
+                let impl_type = leading_path_type(ty_toks);
+                if open < tokens.len() && tokens[open].is("{") {
+                    let end = skip_group(&tokens, open);
+                    ctxs.push(Ctx {
+                        end,
+                        impl_type,
+                        is_test: pending_cfg_test || ctxs.last().is_some_and(|c| c.is_test),
+                    });
+                    i = open + 1;
+                } else {
+                    i = open + 1;
+                }
+                pending_cfg_test = false;
+                pending_test_attr = false;
+                pending_markers.clear();
+            }
+            TokKind::Ident if t.text == "mod" => {
+                let is_test =
+                    pending_cfg_test || ctxs.last().is_some_and(|c| c.is_test);
+                let mut open = i + 1;
+                while open < tokens.len() && !tokens[open].is("{") && !tokens[open].is(";") {
+                    open += 1;
+                }
+                if open < tokens.len() && tokens[open].is("{") {
+                    let end = skip_group(&tokens, open);
+                    ctxs.push(Ctx { end, impl_type: None, is_test });
+                    i = open + 1;
+                } else {
+                    i = open + 1;
+                }
+                pending_cfg_test = false;
+                pending_test_attr = false;
+                pending_markers.clear();
+            }
+            TokKind::Ident if t.text == "struct" => {
+                if let Some(name_tok) =
+                    tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident)
+                {
+                    let name = name_tok.text.clone();
+                    let line = name_tok.line;
+                    // Find `{` (named fields), `;` (unit/tuple end) or
+                    // `(` (tuple) — generics skipped.
+                    let mut j = i + 2;
+                    if tokens.get(j).is_some_and(|n| n.is("<")) {
+                        j = skip_group(&tokens, j);
+                    }
+                    let mut fields = Vec::new();
+                    while j < tokens.len() {
+                        if tokens[j].is("{") {
+                            let end = skip_group(&tokens, j);
+                            fields = parse_struct_fields(&tokens[j + 1..end - 1]);
+                            j = end;
+                            break;
+                        }
+                        if tokens[j].is(";") {
+                            j += 1;
+                            break;
+                        }
+                        if tokens[j].is("(") {
+                            j = skip_group(&tokens, j);
+                            continue;
+                        }
+                        j += 1;
+                    }
+                    structs.push(StructDef { name, line, fields });
+                    i = j;
+                } else {
+                    i += 1;
+                }
+                pending_cfg_test = false;
+                pending_test_attr = false;
+                pending_markers.clear();
+            }
+            TokKind::Ident if t.text == "fn" => {
+                // `fn(` is a fn-pointer type, not a definition.
+                let Some(name_tok) =
+                    tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident)
+                else {
+                    i += 1;
+                    continue;
+                };
+                let name = name_tok.text.clone();
+                let line = name_tok.line;
+                let mut j = i + 2;
+                if tokens.get(j).is_some_and(|n| n.is("<")) {
+                    j = skip_group(&tokens, j);
+                }
+                let (params, after_params) =
+                    if tokens.get(j).is_some_and(|n| n.is("(")) {
+                        let end = skip_group(&tokens, j);
+                        (parse_params(&tokens[j + 1..end - 1]), end)
+                    } else {
+                        (Vec::new(), j)
+                    };
+                // Return type: tokens between `->` and the body brace
+                // (or `;`/`where`).
+                let mut k = after_params;
+                let mut ret_start = None;
+                while k < tokens.len() && !tokens[k].is("{") && !tokens[k].is(";") {
+                    if tokens[k].is("->") && ret_start.is_none() {
+                        ret_start = Some(k + 1);
+                    }
+                    if tokens[k].is_ident("where") && ret_start.is_some() {
+                        break;
+                    }
+                    if tokens[k].is("<") {
+                        k = skip_group(&tokens, k);
+                        continue;
+                    }
+                    k += 1;
+                }
+                let ret_end = k;
+                while k < tokens.len() && !tokens[k].is("{") && !tokens[k].is(";") {
+                    k += 1;
+                }
+                let ret = ret_start
+                    .map(|s| flatten(&tokens[s..ret_end]))
+                    .unwrap_or_default();
+                let in_test = pending_test_attr
+                    || pending_cfg_test
+                    || ctxs.last().is_some_and(|c| c.is_test);
+                let impl_type = ctxs.iter().rev().find_map(|c| c.impl_type.clone());
+                let markers = std::mem::take(&mut pending_markers);
+                pending_test_attr = false;
+                pending_cfg_test = false;
+                if k < tokens.len() && tokens[k].is("{") {
+                    let end = skip_group(&tokens, k);
+                    let body = k + 1..end - 1;
+                    let qualified = match &impl_type {
+                        Some(ty) => format!("{file_stem}::{ty}::{name}"),
+                        None => format!("{file_stem}::{name}"),
+                    };
+                    let fn_idx = fns.len();
+                    fns.push(FnDef {
+                        name,
+                        qualified,
+                        impl_type,
+                        line,
+                        params,
+                        ret,
+                        body: body.clone(),
+                        child_regions: Vec::new(),
+                        parent: None,
+                        markers,
+                        in_test,
+                    });
+                    collect_spawn_children(&tokens, body, fn_idx, &mut fns);
+                    // Do NOT jump past the body: nested fns inside it
+                    // are found by continuing the scan (their bodies
+                    // re-parse harmlessly).
+                    i = k + 1;
+                } else {
+                    i = k + 1;
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "enum" | "trait" | "use" | "static" | "const")
+                {
+                    pending_markers.clear();
+                }
+                i += 1;
+            }
+        }
+    }
+
+    ParsedFile { path: path.to_string(), tokens, fns, structs, allows }
+}
+
+/// Last ident of the leading path in an impl header's self type:
+/// `theta::Share<T>` → `Share`. Stops at `<`, `where` or any
+/// non-path punctuation.
+fn leading_path_type(toks: &[Token]) -> Option<String> {
+    let mut last = None;
+    let mut expect_ident = true;
+    for t in toks {
+        match t.kind {
+            TokKind::Ident if expect_ident => {
+                if t.is_ident("where") {
+                    break;
+                }
+                last = Some(t.text.clone());
+                expect_ident = false;
+            }
+            TokKind::Punct if t.text == "::" && !expect_ident => expect_ident = true,
+            TokKind::Punct if t.text == "&" || t.text == "*" => {}
+            _ => break,
+        }
+    }
+    last
+}
+
+fn parse_struct_fields(tokens: &[Token]) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i <= tokens.len() {
+        let at_end = i == tokens.len();
+        let is_sep = !at_end
+            && depth == 0
+            && tokens[i].kind == TokKind::Punct
+            && tokens[i].text == ",";
+        if at_end || is_sep {
+            let part = &tokens[start..i];
+            // `pub name: Type` — name is the ident right before the
+            // first top-level colon; attributes were already lexed out
+            // by `#` handling? No: strip `# [ ... ]` prefixes here.
+            let mut p = 0usize;
+            while p + 1 < part.len() && part[p].is("#") && part[p + 1].is("[") {
+                p = skip_group(part, p + 1);
+            }
+            let part = &part[p..];
+            if let Some(c) =
+                part.iter().position(|t| t.kind == TokKind::Punct && t.text == ":")
+            {
+                let name = part[..c]
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                if let Some(name) = name {
+                    if !matches!(name.as_str(), "pub" | "crate") {
+                        fields.push((name, flatten(&part[c + 1..])));
+                    }
+                }
+            }
+            start = i + 1;
+        } else if !at_end && tokens[i].kind == TokKind::Punct {
+            match tokens[i].text.as_str() {
+                "(" | "[" | "<" | "{" => depth += 1,
+                ")" | "]" | ">" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Finds `spawn(...)` calls whose argument is a closure inside `body`
+/// and registers each as a synthetic child fn of `parent`. Children
+/// inherit the parent's markers (so annotating a spawner annotates the
+/// thread body) and recurse for spawns-within-spawns.
+fn collect_spawn_children(
+    tokens: &[Token],
+    body: Range<usize>,
+    parent: usize,
+    fns: &mut Vec<FnDef>,
+) {
+    let mut i = body.start;
+    while i < body.end {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && t.text == "spawn"
+            && tokens.get(i + 1).is_some_and(|n| n.is("("))
+        {
+            let end = skip_group(tokens, i + 1).min(body.end);
+            let region = i + 2..end.saturating_sub(1);
+            // Only closure arguments become children — `spawn(workers,
+            // id)`-style ordinary calls stay with the caller.
+            let is_closure = tokens[region.clone()]
+                .iter()
+                .take(3)
+                .any(|t| t.is_ident("move") || t.is("|") || t.is("||"));
+            if is_closure && !region.is_empty() {
+                let p = &fns[parent];
+                let line = t.line;
+                let child = FnDef {
+                    name: p.name.clone(),
+                    qualified: format!("{}::spawn@{line}", p.qualified),
+                    impl_type: p.impl_type.clone(),
+                    line,
+                    params: Vec::new(),
+                    ret: String::new(),
+                    body: region.clone(),
+                    child_regions: Vec::new(),
+                    parent: Some(parent),
+                    markers: p.markers.clone(),
+                    in_test: p.in_test,
+                };
+                fns[parent].child_regions.push(region.clone());
+                let child_idx = fns.len();
+                fns.push(child);
+                collect_spawn_children(tokens, region, child_idx, fns);
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Iterates `(token index)` positions of `f.body`, skipping this fn's
+/// spawn-child regions — every fact extractor walks bodies through
+/// this so thread-crossing code is never attributed to the caller.
+pub fn body_positions(f: &FnDef) -> impl Iterator<Item = usize> + '_ {
+    let regions = f.child_regions.clone();
+    f.body.clone().filter(move |i| !regions.iter().any(|r| r.contains(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("x/sample.rs", tokenize(src))
+    }
+
+    #[test]
+    fn fns_structs_and_impls_parse() {
+        let p = parse(
+            "pub struct Foo { pub a: u32, secret: Vec<u8> }\n\
+             impl Foo {\n  pub fn go(&self, n: usize) -> Result<u32, Err> { n + 1 }\n}\n\
+             fn free(x: &KeyShare) {}\n",
+        );
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.structs[0].fields[1], ("secret".into(), "Vec<u8>".into()));
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qualified, "sample::Foo::go");
+        assert_eq!(p.fns[0].params[1].name, "n");
+        assert!(p.fns[0].ret.contains("Result"));
+        assert_eq!(p.fns[1].params[0].ty, "&KeyShare");
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_flagged() {
+        let p = parse(
+            "fn prod() {}\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); }\n  fn helper() {}\n}\n",
+        );
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("prod").in_test);
+        assert!(by_name("t").in_test);
+        assert!(by_name("helper").in_test);
+    }
+
+    #[test]
+    fn markers_attach_to_next_fn_and_allows_are_positional() {
+        let p = parse(
+            "// theta: event-loop\nfn run() { loop {} }\n\
+             fn other() {\n  sleep(); // theta: allow(blocking): docs say so\n}\n",
+        );
+        assert_eq!(p.fns[0].markers, vec!["event-loop".to_string()]);
+        assert!(p.fns[1].markers.is_empty());
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].pass, "blocking");
+        assert_eq!(p.allows[0].reason, "docs say so");
+    }
+
+    #[test]
+    fn spawn_closures_become_children_and_inherit_markers() {
+        let p = parse(
+            "// theta: event-loop\n\
+             fn reader() {\n  setup();\n  std::thread::Builder::new().spawn(move || {\n    loop_body();\n  }).expect(\"spawn\");\n}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        let parent = &p.fns[0];
+        let child = &p.fns[1];
+        assert_eq!(parent.child_regions.len(), 1);
+        assert_eq!(child.parent, Some(0));
+        assert!(child.qualified.contains("::spawn@"));
+        assert_eq!(child.markers, vec!["event-loop".to_string()]);
+        // The parent's visible body keeps `setup` but not `loop_body`.
+        let parent_idents: Vec<&str> = body_positions(parent)
+            .map(|i| p.tokens[i].text.as_str())
+            .collect();
+        assert!(parent_idents.contains(&"setup"));
+        assert!(!parent_idents.contains(&"loop_body"));
+    }
+
+    #[test]
+    fn plain_spawn_call_is_not_a_child() {
+        let p = parse("fn boss() { WorkerPool::spawn(4, id, metrics); }\n");
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].child_regions.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_is_found() {
+        let p = parse("fn outer() { fn inner(q: u8) {} inner(3); }\n");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Findings, stable IDs, and text/JSON rendering.
+//!
+//! Finding IDs are an FNV-1a hash of `(pass, file, function, kind,
+//! detail, occurrence index)` — deliberately **not** the line number,
+//! so unrelated edits above a finding do not churn the checked-in
+//! baseline. The occurrence index disambiguates repeats of the same
+//! kind in the same function.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    Taint,
+    Locks,
+    Blocking,
+    Panics,
+}
+
+impl Pass {
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Taint => "taint",
+            Pass::Locks => "locks",
+            Pass::Blocking => "blocking",
+            Pass::Panics => "panics",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub pass: Pass,
+    /// Stable ID, filled by [`assign_ids`].
+    pub id: String,
+    pub file: String,
+    pub line: usize,
+    /// Qualified name of the containing (or reported) function.
+    pub func: String,
+    /// Machine-stable kind slug (`secret-to-sink`, `lock-cycle`, ...).
+    pub kind: String,
+    /// Human detail, also part of the ID.
+    pub detail: String,
+    /// Call chain from an analysis root, when the pass has one.
+    pub path: Vec<String>,
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Computes each finding's stable ID in place and sorts by
+/// `(pass, file, line)` for deterministic output.
+pub fn assign_ids(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.pass.name(), &a.file, a.line, &a.kind)
+            .cmp(&(b.pass.name(), &b.file, b.line, &b.kind))
+    });
+    let mut occurrence: HashMap<String, usize> = HashMap::new();
+    for f in findings.iter_mut() {
+        let key = format!("{}|{}|{}|{}|{}", f.pass.name(), f.file, f.func, f.kind, f.detail);
+        let n = occurrence.entry(key.clone()).or_insert(0);
+        f.id = format!("TA-{:016x}", fnv64(format!("{key}|{n}").as_bytes()));
+        *n += 1;
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report: per-pass counts plus every
+/// finding, one object each.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for f in findings {
+        *counts.entry(f.pass.name()).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n  \"counts\": {");
+    for (i, pass) in ["taint", "locks", "blocking", "panics"].iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{pass}\": {}", counts.get(pass).copied().unwrap_or(0));
+    }
+    out.push_str("},\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"pass\": \"{}\", \"kind\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"function\": \"{}\", \"detail\": \"{}\", \"path\": [",
+            f.id,
+            f.pass.name(),
+            json_escape(&f.kind),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.func),
+            json_escape(&f.detail),
+        );
+        for (j, hop) in f.path.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", json_escape(hop));
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human report grouped by pass.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for pass in [Pass::Taint, Pass::Locks, Pass::Blocking, Pass::Panics] {
+        let of_pass: Vec<&Finding> = findings.iter().filter(|f| f.pass == pass).collect();
+        let _ = writeln!(out, "== {}: {} finding(s)", pass.name(), of_pass.len());
+        for f in of_pass {
+            let _ = writeln!(
+                out,
+                "  [{}] {}:{} in {} — {}: {}",
+                f.id, f.file, f.line, f.func, f.kind, f.detail
+            );
+            if !f.path.is_empty() {
+                let _ = writeln!(out, "      via {}", f.path.join(" -> "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(line: usize, detail: &str) -> Finding {
+        Finding {
+            pass: Pass::Panics,
+            id: String::new(),
+            file: "crates/x/src/a.rs".into(),
+            line,
+            func: "a::f".into(),
+            kind: "unwrap".into(),
+            detail: detail.into(),
+            path: vec!["a::root".into(), "a::f".into()],
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_line_shifts_and_distinct_per_occurrence() {
+        let mut v1 = vec![mk(10, "x.unwrap()")];
+        let mut v2 = vec![mk(42, "x.unwrap()")];
+        assign_ids(&mut v1);
+        assign_ids(&mut v2);
+        assert_eq!(v1[0].id, v2[0].id, "line moves must not churn IDs");
+
+        let mut dup = vec![mk(10, "x.unwrap()"), mk(11, "x.unwrap()")];
+        assign_ids(&mut dup);
+        assert_ne!(dup[0].id, dup[1].id, "repeat occurrences get distinct IDs");
+    }
+
+    #[test]
+    fn json_is_escaped_and_counts_are_present() {
+        let mut v = vec![mk(1, "quote \" backslash \\ done")];
+        assign_ids(&mut v);
+        let json = render_json(&v);
+        assert!(json.contains("\"panics\": 1"));
+        assert!(json.contains("quote \\\" backslash \\\\ done"));
+        assert!(json.contains("\"path\": [\"a::root\", \"a::f\"]"));
+    }
+}

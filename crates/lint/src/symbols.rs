@@ -1,0 +1,206 @@
+//! Workspace symbol table: all parsed files plus indexes for resolving
+//! function names to definitions.
+
+use crate::lexer::{tokenize, Token};
+use crate::parser::{parse_file, FnDef, ParsedFile, StructDef};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::path::Path;
+
+/// Global function id: `(file index, fn index within file)`.
+pub type FnId = (usize, usize);
+
+pub struct Workspace {
+    pub files: Vec<ParsedFile>,
+    /// Crate name per file (`crates/<name>/src/...`), or `""`.
+    pub crates: Vec<String>,
+    /// Simple fn name → definitions (production fns only).
+    pub by_name: HashMap<String, Vec<FnId>>,
+    /// `(impl type, fn name)` → definitions.
+    pub by_typed_name: HashMap<(String, String), Vec<FnId>>,
+    /// Struct name → definition site.
+    pub structs: HashMap<String, (usize, usize)>,
+}
+
+impl Workspace {
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        &self.files[id.0].fns[id.1]
+    }
+
+    pub fn file(&self, id: FnId) -> &ParsedFile {
+        &self.files[id.0]
+    }
+
+    pub fn tokens(&self, id: FnId) -> &[Token] {
+        &self.files[id.0].tokens
+    }
+
+    pub fn all_fns(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| (0..f.fns.len()).map(move |gi| (fi, gi)))
+    }
+
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.get(name).map(|&(fi, si)| &self.files[fi].structs[si])
+    }
+
+    /// Token positions of `id`'s body with spawn-child regions AND
+    /// nested-fn bodies removed — code that runs on another thread or
+    /// belongs to an inner `fn` is never attributed to this function.
+    pub fn effective_positions(&self, id: FnId) -> Vec<usize> {
+        let file = &self.files[id.0];
+        let f = &file.fns[id.1];
+        let mut cut: Vec<Range<usize>> = f.child_regions.clone();
+        for (gi, g) in file.fns.iter().enumerate() {
+            if gi != id.1
+                && g.parent.is_none()
+                && g.body.start > f.body.start
+                && g.body.end <= f.body.end
+            {
+                // Nested `fn` defined inside this body (the scan
+                // re-visits them as standalone defs).
+                cut.push(g.body.clone());
+            }
+        }
+        f.body
+            .clone()
+            .filter(|i| !cut.iter().any(|r| r.contains(i)))
+            .collect()
+    }
+}
+
+/// Directories never analyzed: vendored deps, build output, the
+/// analyzer itself (it names every pattern it searches for), and
+/// test-only trees.
+fn excluded(rel: &str) -> bool {
+    rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.starts_with("crates/lint/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out);
+        } else if rel.ends_with(".rs") {
+            if let Ok(src) = std::fs::read_to_string(&path) {
+                out.push((rel, src));
+            }
+        }
+    }
+}
+
+/// Loads every production `.rs` file under `<root>/crates`.
+pub fn load_workspace_sources(root: &Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    walk(&root.join("crates"), root, &mut out);
+    out
+}
+
+fn crate_of(rel: &str) -> String {
+    let mut it = rel.split('/');
+    match (it.next(), it.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Parses sources (workspace-relative path, contents) into a
+/// [`Workspace`]. Pure over its inputs — the fixture tests feed
+/// in-memory sources through the same entry point the CLI uses.
+pub fn build(sources: Vec<(String, String)>) -> Workspace {
+    let mut files = Vec::new();
+    let mut crates = Vec::new();
+    for (path, src) in sources {
+        crates.push(crate_of(&path));
+        files.push(parse_file(&path, tokenize(&src)));
+    }
+
+    let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+    let mut by_typed_name: HashMap<(String, String), Vec<FnId>> = HashMap::new();
+    let mut structs: HashMap<String, (usize, usize)> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            if f.in_test || f.parent.is_some() {
+                continue;
+            }
+            by_name.entry(f.name.clone()).or_default().push((fi, gi));
+            if let Some(ty) = &f.impl_type {
+                by_typed_name
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push((fi, gi));
+            }
+        }
+        for (si, s) in file.structs.iter().enumerate() {
+            structs.entry(s.name.clone()).or_insert((fi, si));
+        }
+    }
+
+    Workspace { files, crates, by_name, by_typed_name, structs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_indexes_fns_and_structs_across_files() {
+        let ws = build(vec![
+            (
+                "crates/a/src/one.rs".into(),
+                "pub struct Thing { secret: Vec<u8> }\n\
+                 impl Thing { pub fn go(&self) {} }\n\
+                 pub fn helper() {}\n"
+                    .into(),
+            ),
+            ("crates/b/src/two.rs".into(), "pub fn helper() { other(); }\n".into()),
+        ]);
+        assert_eq!(ws.by_name["helper"].len(), 2);
+        assert_eq!(ws.by_typed_name[&("Thing".to_string(), "go".to_string())].len(), 1);
+        assert!(ws.struct_def("Thing").is_some());
+        assert_eq!(ws.crates, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn effective_positions_cut_nested_fns() {
+        let ws = build(vec![(
+            "crates/a/src/n.rs".into(),
+            "fn outer() { fn inner() { hidden(); } seen(); }\n".into(),
+        )]);
+        let outer = ws.by_name["outer"][0];
+        let idents: Vec<&str> = ws
+            .effective_positions(outer)
+            .into_iter()
+            .map(|i| ws.tokens(outer)[i].text.as_str())
+            .collect();
+        assert!(idents.contains(&"seen"));
+        assert!(!idents.contains(&"hidden"));
+    }
+
+    #[test]
+    fn test_fns_are_not_indexed() {
+        let ws = build(vec![(
+            "crates/a/src/t.rs".into(),
+            "#[cfg(test)]\nmod tests { fn only_in_tests() {} }\n".into(),
+        )]);
+        assert!(!ws.by_name.contains_key("only_in_tests"));
+    }
+}

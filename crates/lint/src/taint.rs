@@ -1,0 +1,456 @@
+//! Secret taint dataflow.
+//!
+//! Tracks values of [`crate::SECRET_TYPE_NAMES`] types — and any
+//! `.x_i`/`.secret`-style field projection — from their bindings into
+//! observable sinks:
+//!
+//! - format-family macros (`format!`, `println!`, `panic!`, ...);
+//! - trace-journal record calls (`.record(..)`, `.record_detail(..)`,
+//!   `.record_full(..)`);
+//! - serialization entry points (`.serialize(`, `.to_json(`);
+//! - non-constant-time comparisons (`==`/`!=` instead of `ct_eq`).
+//!
+//! The interprocedural half is a param-leak summary fixpoint: param
+//! `i` of `f` *leaks* when `f`'s body feeds it to a sink or passes it
+//! bare into a leaking position of a callee. Passing a secret into a
+//! leaking parameter is then a finding at the call site — secrets
+//! escaping "through a helper fn" are caught without inlining.
+//!
+//! Projecting a non-secret field off a secret value (`share.id`) is
+//! deliberately not a finding; the identity of a share is public,
+//! only its scalar material is not.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{TokKind, Token};
+use crate::parser::skip_group;
+use crate::report::{Finding, Pass};
+use crate::symbols::{FnId, Workspace};
+use crate::{SECRET_FIELDS, SECRET_TYPE_NAMES};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+// The assert/panic macro family is deliberately NOT a taint sink: a
+// secret in an `assert!` *condition* (`bytes.len() <= MAX`) is a
+// bounds check, not a formatting leak, and flagging it would bury the
+// real findings. Panic-on-network-path is the panics pass's job.
+const FORMAT_MACROS: &[&str] = &[
+    "format", "println", "print", "eprintln", "eprint", "write", "writeln",
+    "log", "trace", "debug", "info", "warn", "error",
+];
+
+const JOURNAL_METHODS: &[&str] = &["record", "record_detail", "record_full"];
+const SERIALIZE_METHODS: &[&str] = &["serialize", "to_json"];
+
+/// Method chains that preserve secrecy — `share.clone()` is as secret
+/// as `share`.
+const SECRECY_PRESERVING: &[&str] = &["clone", "as_ref", "as_bytes", "to_vec", "as_slice"];
+
+fn word_in(haystack: &str, word: &str) -> bool {
+    haystack.match_indices(word).any(|(at, _)| {
+        let before_ok = at == 0
+            || !haystack[..at]
+                .ends_with(|c: char| c.is_alphanumeric() || c == '_');
+        let after = &haystack[at + word.len()..];
+        let after_ok =
+            !after.starts_with(|c: char| c.is_alphanumeric() || c == '_');
+        before_ok && after_ok
+    })
+}
+
+fn is_secret_type(ty: &str) -> bool {
+    SECRET_TYPE_NAMES.iter().any(|s| word_in(ty, s))
+}
+
+/// Names bound to secret values inside one function: secret-typed
+/// params plus `let` bindings of secret-returning calls.
+fn secret_atoms(ws: &Workspace, cg: &CallGraph, id: FnId) -> HashSet<String> {
+    let f = ws.fn_def(id);
+    let toks = ws.tokens(id);
+    let mut atoms: HashSet<String> = f
+        .params
+        .iter()
+        .filter(|p| !p.name.is_empty() && is_secret_type(&p.ty))
+        .map(|p| p.name.clone())
+        .collect();
+    for call in cg.calls(id) {
+        if !is_secret_type(&ws.fn_def(call.callee).ret) {
+            continue;
+        }
+        // `let [mut] name = <call>` / `let name = match <call> ...`:
+        // scan a few tokens back for the binding.
+        let mut j = call.pos;
+        while j > 0 && j > call.pos.saturating_sub(8) {
+            j -= 1;
+            if toks[j].is_ident("let") {
+                let name = toks[j + 1..call.pos]
+                    .iter()
+                    .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+                    .map(|t| t.text.clone());
+                if let Some(name) = name {
+                    atoms.insert(name);
+                }
+                break;
+            }
+            if toks[j].is(";") || toks[j].is("{") {
+                break;
+            }
+        }
+    }
+    atoms
+}
+
+/// Is the token at `i` a *secret use*? True for a bare secret atom and
+/// for `<anything>.<secret field>`; false when a non-secret field is
+/// projected off the atom (`share.id`). Returns the description.
+fn secret_use_at(toks: &[Token], i: usize, atoms: &HashSet<String>) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // `foo.x_i` — secret field off anything (the receiver may be a
+    // struct the parser didn't type).
+    if SECRET_FIELDS.contains(&t.text.as_str())
+        && i > 0
+        && toks[i - 1].is(".")
+    {
+        let base = i
+            .checked_sub(2)
+            .map(|b| toks[b].text.clone())
+            .unwrap_or_default();
+        return Some(format!("{base}.{}", t.text));
+    }
+    if !atoms.contains(&t.text) {
+        return None;
+    }
+    // Declaration sites are not uses.
+    if i > 0 && (toks[i - 1].is_ident("let") || toks[i - 1].is_ident("mut") || toks[i - 1].is_ident("fn")) {
+        return None;
+    }
+    // Projection: follow `.field`/`.method()` chains; secrecy survives
+    // secret fields and the preserving methods, dies on anything else.
+    let mut j = i;
+    let mut desc = t.text.clone();
+    while toks.get(j + 1).is_some_and(|n| n.is(".")) {
+        let Some(field) = toks.get(j + 2).filter(|f| f.kind == TokKind::Ident) else {
+            break;
+        };
+        let is_call = toks.get(j + 3).is_some_and(|n| n.is("("));
+        let keeps = if is_call {
+            SECRECY_PRESERVING.contains(&field.text.as_str())
+        } else {
+            SECRET_FIELDS.contains(&field.text.as_str())
+        };
+        if !keeps {
+            return None;
+        }
+        desc.push('.');
+        desc.push_str(&field.text);
+        j += if is_call { 3 } else { 2 };
+        if is_call {
+            desc.push_str("()");
+            // step past `()`
+            j = skip_group(toks, j) - 1;
+        }
+    }
+    Some(desc)
+}
+
+/// Sink regions in a body: `(token range of args, sink label)`.
+fn sink_regions(toks: &[Token], positions: &[usize]) -> Vec<(Range<usize>, String)> {
+    let mut out = Vec::new();
+    for &i in positions {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Macro sinks: `name ! ( .. )` / `name ! [ .. ]`.
+        if FORMAT_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is("!"))
+            && toks.get(i + 2).is_some_and(|n| n.is("(") || n.is("["))
+        {
+            let end = skip_group(toks, i + 2);
+            out.push((i + 3..end.saturating_sub(1), format!("{}!", t.text)));
+            continue;
+        }
+        // Method sinks: `.record_detail( .. )`, `.serialize( .. )`.
+        if (JOURNAL_METHODS.contains(&t.text.as_str())
+            || SERIALIZE_METHODS.contains(&t.text.as_str()))
+            && i > 0
+            && toks[i - 1].is(".")
+            && toks.get(i + 1).is_some_and(|n| n.is("("))
+        {
+            let end = skip_group(toks, i + 1);
+            out.push((i + 2..end.saturating_sub(1), format!(".{}(..)", t.text)));
+        }
+    }
+    out
+}
+
+/// Splits a call's argument range on top-level commas.
+fn split_args(toks: &[Token], args: Range<usize>) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = args.start;
+    let mut i = args.start;
+    while i < args.end {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                out.push(start..i);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < args.end {
+        out.push(start..args.end);
+    }
+    out
+}
+
+/// Map from param name to its index, per fn.
+fn param_index(ws: &Workspace, id: FnId) -> HashMap<String, usize> {
+    ws.fn_def(id)
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.name.is_empty())
+        .map(|(i, p)| (p.name.clone(), i))
+        .collect()
+}
+
+/// Runs the pass. Returns raw findings (IDs assigned later).
+pub fn run(ws: &Workspace, cg: &CallGraph) -> Vec<Finding> {
+    // ---- Phase 1: param-leak summaries (fixpoint). -----------------
+    // leak[f] = param indices observable through f.
+    let mut leak: HashMap<FnId, HashSet<usize>> = HashMap::new();
+    let ids: Vec<FnId> = ws.all_fns().filter(|&id| !ws.fn_def(id).in_test).collect();
+    loop {
+        let mut changed = false;
+        for &id in &ids {
+            let toks = ws.tokens(id);
+            let positions = ws.effective_positions(id);
+            let sinks = sink_regions(toks, &positions);
+            let params = param_index(ws, id);
+            if params.is_empty() {
+                continue;
+            }
+            let mut leaked: HashSet<usize> = leak.get(&id).cloned().unwrap_or_default();
+            let before = leaked.len();
+            // Direct: param name appears inside a sink region.
+            for (region, _) in &sinks {
+                for i in region.clone() {
+                    if let Some(&pi) = params.get(toks[i].text.as_str()) {
+                        if toks[i].kind == TokKind::Ident {
+                            leaked.insert(pi);
+                        }
+                    }
+                }
+            }
+            // Transitive: param passed bare into a leaking position.
+            for call in cg.calls(id) {
+                let callee_leak = leak.get(&call.callee).cloned().unwrap_or_default();
+                if callee_leak.is_empty() {
+                    continue;
+                }
+                let end = skip_group(toks, call.pos + 1);
+                let args = split_args(toks, call.pos + 2..end.saturating_sub(1));
+                let offset = usize::from(
+                    ws.fn_def(call.callee).params.first().is_some_and(|p| p.name == "self"),
+                );
+                for (ai, arg) in args.iter().enumerate() {
+                    if !callee_leak.contains(&(ai + offset)) {
+                        continue;
+                    }
+                    for i in arg.clone() {
+                        if let Some(&pi) = params.get(toks[i].text.as_str()) {
+                            if toks[i].kind == TokKind::Ident {
+                                leaked.insert(pi);
+                            }
+                        }
+                    }
+                }
+            }
+            if leaked.len() != before {
+                changed = true;
+            }
+            leak.insert(id, leaked);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Phase 2: findings per fn. ---------------------------------
+    let mut findings = Vec::new();
+    for &id in &ids {
+        let f = ws.fn_def(id);
+        let toks = ws.tokens(id);
+        let positions = ws.effective_positions(id);
+        let atoms = secret_atoms(ws, cg, id);
+        let sinks = sink_regions(toks, &positions);
+
+        // (a) Secret used inside a sink region.
+        for (region, label) in &sinks {
+            for i in region.clone() {
+                if let Some(desc) = secret_use_at(toks, i, &atoms) {
+                    findings.push(Finding {
+                        pass: Pass::Taint,
+                        id: String::new(),
+                        file: ws.file(id).path.clone(),
+                        line: toks[i].line,
+                        func: f.qualified.clone(),
+                        kind: "secret-to-sink".into(),
+                        detail: format!("`{desc}` reaches {label}"),
+                        path: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // (b) Secret passed into a leaking parameter of a callee.
+        for call in cg.calls(id) {
+            let callee_leak = leak.get(&call.callee).cloned().unwrap_or_default();
+            if callee_leak.is_empty() {
+                continue;
+            }
+            let end = skip_group(toks, call.pos + 1);
+            let args = split_args(toks, call.pos + 2..end.saturating_sub(1));
+            let offset = usize::from(
+                ws.fn_def(call.callee).params.first().is_some_and(|p| p.name == "self"),
+            );
+            for (ai, arg) in args.iter().enumerate() {
+                if !callee_leak.contains(&(ai + offset)) {
+                    continue;
+                }
+                for i in arg.clone() {
+                    if let Some(desc) = secret_use_at(toks, i, &atoms) {
+                        findings.push(Finding {
+                            pass: Pass::Taint,
+                            id: String::new(),
+                            file: ws.file(id).path.clone(),
+                            line: toks[i].line,
+                            func: f.qualified.clone(),
+                            kind: "secret-to-leaky-fn".into(),
+                            detail: format!(
+                                "`{desc}` passed to `{}` which leaks param {}",
+                                ws.fn_def(call.callee).qualified,
+                                ai + offset,
+                            ),
+                            path: vec![
+                                f.qualified.clone(),
+                                ws.fn_def(call.callee).qualified.clone(),
+                            ],
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        // (c) Variable-time comparison of secret material.
+        for &i in &positions {
+            if !(toks[i].is("==") || toks[i].is("!=")) {
+                continue;
+            }
+            let lhs = i
+                .checked_sub(1)
+                .and_then(|p| secret_use_at(toks, last_chain_start(toks, p), &atoms));
+            let rhs = toks
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .and_then(|_| secret_use_at(toks, i + 1, &atoms));
+            if let Some(desc) = lhs.or(rhs) {
+                findings.push(Finding {
+                    pass: Pass::Taint,
+                    id: String::new(),
+                    file: ws.file(id).path.clone(),
+                    line: toks[i].line,
+                    func: f.qualified.clone(),
+                    kind: "secret-compare".into(),
+                    detail: format!("`{desc}` compared with `{}` (use ct_eq)", toks[i].text),
+                    path: Vec::new(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Walks a `a.b.c` chain left from `end` to its first ident, so the
+/// LHS of `share.x_i == y` is checked from `share`.
+fn last_chain_start(toks: &[Token], end: usize) -> usize {
+    let mut i = end;
+    while i >= 2 && toks[i].kind == TokKind::Ident && toks[i - 1].is(".") {
+        i -= 2;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, report, symbols};
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = symbols::build(vec![("crates/a/src/t.rs".into(), src.into())]);
+        let cg = callgraph::build(&ws);
+        let mut f = run(&ws, &cg);
+        report::assign_ids(&mut f);
+        f
+    }
+
+    #[test]
+    fn secret_in_format_macro_is_flagged_but_public_field_is_not() {
+        let f = run_on(
+            "fn log_it(share: &KeyShare, id: u32) {\n\
+             let a = format!(\"share {:?}\", share);\n\
+             let b = format!(\"id {}\", share.id);\n\
+             let c = format!(\"n {}\", id);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].kind, "secret-to-sink");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn leak_through_helper_fn_is_interprocedural() {
+        let f = run_on(
+            "fn helper(tag: &str, v: &KeyShare) { println!(\"{} {:?}\", tag, v); }\n\
+             fn outer(s: KeyShare) { helper(\"x\", &s); }\n",
+        );
+        // helper's direct sink + outer's pass into the leaking param.
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().any(|x| x.kind == "secret-to-leaky-fn" && x.func == "t::outer"));
+    }
+
+    #[test]
+    fn secret_field_comparison_is_flagged() {
+        let f = run_on(
+            "fn check(a: &DealtShare, b: &[u8]) -> bool { a.x_i == b }\n\
+             fn fine(a: &DealtShare, b: &DealtShare) -> bool { a.id == b.id }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].kind, "secret-compare");
+    }
+
+    #[test]
+    fn journal_record_detail_is_a_sink() {
+        let f = run_on(
+            "fn trace(j: &Journal, nonce: SigningNonce) {\n  j.record_detail(1, Kind::Error, nonce.clone());\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].detail.contains("record_detail"));
+    }
+
+    #[test]
+    fn let_binding_of_secret_returning_call_is_tracked() {
+        let f = run_on(
+            "fn mint() -> KeyShare { KeyShare }\n\
+             fn show() { let share = mint(); println!(\"{:?}\", share); }\n",
+        );
+        assert!(f.iter().any(|x| x.func == "t::show" && x.kind == "secret-to-sink"), "{f:#?}");
+    }
+}

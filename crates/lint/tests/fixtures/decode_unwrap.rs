@@ -1,0 +1,26 @@
+//! Planted bug: `.unwrap()` on a decode path reachable from a network
+//! entry point — one malformed frame away from a panic.
+
+// theta: entrypoint(network)
+pub fn on_frame(buf: &[u8]) -> u32 {
+    decode_request(buf)
+}
+
+/// The decode helper unwraps what the wire may not have sent.
+fn decode_request(buf: &[u8]) -> u32 {
+    let len = parse_len(buf).unwrap();
+    len + 1
+}
+
+fn parse_len(buf: &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    Some(buf[0] as u32)
+}
+
+/// Control: unwrap in start-up code not reachable from the entry point
+/// must NOT be reported.
+pub fn load_config(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}

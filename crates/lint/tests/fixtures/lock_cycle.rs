@@ -1,0 +1,26 @@
+//! Planted bug: AB/BA lock acquisition — two paths take the same pair
+//! of mutexes in opposite orders, the classic deadlock shape the
+//! lock-order pass exists to catch.
+
+use theta_sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+/// Takes alpha, then beta.
+pub fn transfer_forward(p: &Pair) {
+    let ga = p.alpha.lock();
+    let gb = p.beta.lock();
+    drop(gb);
+    drop(ga);
+}
+
+/// Takes beta, then alpha — the reversed order that closes the cycle.
+pub fn transfer_backward(p: &Pair) {
+    let gb = p.beta.lock();
+    let ga = p.alpha.lock();
+    drop(ga);
+    drop(gb);
+}

@@ -1,0 +1,21 @@
+//! Planted bug: a `thread::sleep` reachable from an annotated event
+//! loop — hidden one call deep so the blocking pass has to walk the
+//! call graph, not just scan the loop body.
+
+// theta: event-loop
+pub fn run_router_loop() {
+    loop {
+        drain_queue();
+    }
+}
+
+/// Looks innocent at the call site; stalls every instance on the loop.
+fn drain_queue() {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}
+
+/// Control: sleeping on a worker thread is fine and must NOT be
+/// reported — only event-loop-reachable fns are in scope.
+pub fn worker_backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}

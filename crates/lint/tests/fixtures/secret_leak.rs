@@ -1,0 +1,25 @@
+//! Planted bug: a secret share leaks into a debug log *through a
+//! helper fn* — the taint pass must follow the parameter across the
+//! call edge, not just flag same-function sinks.
+
+pub struct KeyShare {
+    pub id: u32,
+    pub x_i: u64,
+}
+
+/// The entry point holds the secret and "just" hands it to a helper.
+pub fn handle_request(share: &KeyShare) {
+    debug_dump(share);
+}
+
+/// The helper does the actual leaking.
+fn debug_dump(s: &KeyShare) {
+    println!("share = {:?}", s.x_i);
+}
+
+/// Control: logging the non-secret id field is fine and must NOT be
+/// reported — field projection has to distinguish `share.id` from
+/// `share.x_i`.
+pub fn log_id(share: &KeyShare) {
+    println!("share id = {}", share.id);
+}

@@ -499,6 +499,7 @@ fn inner_payload(kind: u8, rest: &[u8]) -> Option<&[u8]> {
 /// Reads AEAD frames off one link and feeds them (tagged with the link
 /// index, for relay exclusion) into the demux. Same teardown rules as
 /// the full mesh: AEAD failure kills the link, every exit is counted.
+// theta: event-loop
 fn spawn_link_reader(
     mut stream: TcpStream,
     link_idx: usize,
@@ -539,6 +540,8 @@ fn spawn_link_reader(
 /// ordered event channel. Single-threaded by construction, so the dedup
 /// window, the reorder buffer and (on node 1) the sequencer state need
 /// no further locking.
+// theta: event-loop
+// theta: entrypoint(network)
 fn spawn_flood_demux(
     raw_rx: Receiver<(usize, Vec<u8>)>,
     events_tx: Sender<NetworkEvent>,
@@ -552,6 +555,7 @@ fn spawn_flood_demux(
             // Message id → smallest hop count any copy arrived with.
             let mut seen: HashMap<(NodeId, u64), u8> = HashMap::new();
             let mut seen_fifo: VecDeque<(NodeId, u64)> = VecDeque::new();
+            // theta: allow(blocking): the demux thread's designated wait — it owns this queue and has nothing else to do
             while let Ok((link_idx, mut body)) = raw_rx.recv() {
                 let Some(msg) = parse_flood(&body) else {
                     continue; // malformed (but authenticated) frame

@@ -440,6 +440,8 @@ pub(crate) fn dial_with_retry(addr: SocketAddr) -> Result<TcpStream, NetworkErro
 /// - TOB deliveries are accepted only from the sequencer's connection;
 /// - a frame failing AEAD authentication tears the connection down
 ///   (and the exit is counted, so dead links are observable).
+// theta: event-loop
+// theta: entrypoint(network)
 fn spawn_reader(
     mut stream: TcpStream,
     conn_peer: NodeId,
@@ -500,6 +502,7 @@ fn spawn_reader(
 /// The per-node demultiplexer: single owner of the TOB reorder buffer
 /// (and of the sequencer state on node 1), turning the raw inbound
 /// stream into one ordered [`NetworkEvent`] channel.
+// theta: event-loop
 fn spawn_demux(
     raw_rx: Receiver<Inbound>,
     events_tx: Sender<NetworkEvent>,
@@ -511,6 +514,7 @@ fn spawn_demux(
         .spawn(move || {
             let sequencing = shared.id == SEQUENCER;
             let mut reorder = TobReorderBuffer::new();
+            // theta: allow(blocking): the demux thread's designated wait — it owns this queue and has nothing else to do
             while let Ok(inbound) = raw_rx.recv() {
                 let released = match inbound {
                     Inbound::P2p { from, payload, .. } => {

@@ -119,6 +119,7 @@ impl InstanceHost {
     /// Checks the protocol deferred for cross-instance batching are
     /// drained into `checks_out` — the worker submits them to the pool
     /// aggregator *after* releasing this host's slot.
+    // theta: worker-only
     pub(crate) fn handle(
         &mut self,
         msg: HostMsg,

@@ -668,6 +668,7 @@ impl Router {
         }
     }
 
+    // theta: event-loop
     fn run(mut self) {
         // Clone the receivers out of `self` so the `select!` arms can
         // call `&mut self` methods without borrow conflicts.
@@ -768,6 +769,7 @@ impl Router {
     /// and upcall processing keep running), then fail the remainder with
     /// [`SchemeError::Shutdown`] so every subscriber gets a terminal
     /// result. Dropping `self` afterwards stops and joins the workers.
+    // theta: event-loop
     fn shutdown(&mut self, drain: Duration) {
         let deadline = Instant::now() + drain;
         let events = self.network.events().clone();
@@ -1004,6 +1006,7 @@ impl Router {
         Ok(())
     }
 
+    // theta: entrypoint(network)
     fn handle_network_event(&mut self, event: NetworkEvent) {
         let (from, payload) = match event {
             NetworkEvent::P2p { from, payload } => (from, payload),

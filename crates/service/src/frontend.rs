@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use theta_codec::Decode;
+use theta_metrics::registry::Counter;
 
 /// Largest single read per connection per wakeup, and the buffer size a
 /// connection is allowed to keep across idle periods. Bounds both the
@@ -293,6 +294,9 @@ pub(crate) struct EventLoop {
     /// so per-wakeup work scales with the connections *involved*, never
     /// with the connections that exist.
     touched: Vec<u64>,
+    /// `theta_frontend_frame_errors_total` — malformed or internally
+    /// inconsistent frames (counted and dropped, never panicked on).
+    frame_errors: Arc<Counter>,
 }
 
 /// Spawns the front-end thread serving `listener`.
@@ -310,6 +314,7 @@ pub(crate) fn spawn_frontend(
         waker: Waker { pipe: wake_tx, armed: AtomicBool::new(false) },
     });
     let stop = Arc::new(AtomicBool::new(false));
+    let frame_errors = ctx.obs.registry.counter("theta_frontend_frame_errors_total");
     let event_loop = EventLoop {
         listener,
         wake_rx,
@@ -326,6 +331,7 @@ pub(crate) fn spawn_frontend(
         targets: Vec::new(),
         slot_of: HashMap::new(),
         touched: Vec::new(),
+        frame_errors,
     };
     let join = std::thread::Builder::new()
         .name("theta-rpc-frontend".into())
@@ -334,6 +340,7 @@ pub(crate) fn spawn_frontend(
 }
 
 impl EventLoop {
+    // theta: event-loop
     fn run(mut self) {
         let connections_gauge = self.ctx.obs.registry.gauge("theta_frontend_connections");
         let accepts = self.ctx.obs.registry.counter("theta_frontend_accepts_total");
@@ -354,6 +361,7 @@ impl EventLoop {
             if poll_fds(&mut self.pollfds, timeout).is_err() {
                 // poll can only fail structurally (EINVAL/ENOMEM);
                 // back off rather than spin.
+                // theta: allow(blocking): deliberate backoff after a structural poll(2) failure, not a message-path stall
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
@@ -555,26 +563,43 @@ impl EventLoop {
     }
 
     /// Decodes and dispatches every complete frame in the read buffer.
+    // theta: event-loop
+    // theta: entrypoint(network)
     fn parse_frames(&mut self, id: u64) {
         loop {
             let Some(conn) = self.conns.get_mut(&id) else { return };
             if conn.dead || conn.read_buf.len() < 4 {
                 break;
             }
-            let len =
-                u32::from_le_bytes(conn.read_buf[..4].try_into().expect("4-byte slice")) as usize;
+            // Wire input never panics the event loop: both the header
+            // and the body are fetched with `get`, and the impossible
+            // branches are counted error paths, not unwraps.
+            let Some(header) = conn.read_buf.get(..4).and_then(|h| <[u8; 4]>::try_from(h).ok())
+            else {
+                self.frame_errors.inc();
+                conn.dead = true;
+                break;
+            };
+            let len = u32::from_le_bytes(header) as usize;
             if len > MAX_FRAME {
+                self.frame_errors.inc();
                 conn.dead = true;
                 break;
             }
             if conn.read_buf.len() < 4 + len {
                 break; // incomplete frame; wait for more bytes
             }
-            let frame = match Frame::<RpcRequest>::decoded(&conn.read_buf[4..4 + len]) {
+            let Some(body) = conn.read_buf.get(4..4 + len) else {
+                self.frame_errors.inc();
+                conn.dead = true;
+                break;
+            };
+            let frame = match Frame::<RpcRequest>::decoded(body) {
                 Ok(f) => f,
                 Err(_) => {
-                    // Malformed request: drop the connection, matching
-                    // the blocking server's behaviour.
+                    // Malformed request: counted, then drop the
+                    // connection, matching the blocking server.
+                    self.frame_errors.inc();
                     conn.dead = true;
                     break;
                 }

@@ -31,6 +31,30 @@ echo "== theta-lint: secret-hygiene scan =="
 cargo run -q -p theta-lint
 
 echo
+echo "== theta-analyze: symbol-graph passes (taint, locks, blocking, panics) =="
+# Required stage. Taint and lock-order findings always fail; blocking
+# and panic-path findings fail unless justified (inline `theta: allow`,
+# crates/lint/panics.allow, or the checked-in baseline). The SUMMARY
+# line carries per-pass counts into the CI job summary.
+analyze_log="$(mktemp)"
+analyze_rc=0
+cargo run -q -p theta-lint -- analyze 2>"$analyze_log" || analyze_rc=$?
+cat "$analyze_log" >&2
+if [[ "$analyze_rc" -ne 0 ]]; then
+    rm -f "$analyze_log"
+    echo "theta-analyze found unjustified findings — see the report above." >&2
+    exit 1
+fi
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+        echo "### theta-analyze"
+        grep '^SUMMARY' "$analyze_log" \
+            | sed 's/^SUMMARY//; s/ /\n- /g' || true
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
+rm -f "$analyze_log"
+
+echo
 echo "== proptest: mailbox accounting under randomized interleavings =="
 RUST_BACKTRACE=1 cargo test -q -p theta-orchestration --test proptest_mailbox
 
